@@ -1,0 +1,420 @@
+//! Fault-injection campaigns (§V-A/B): parallel sweeps of thousands of
+//! single-bit injections across benchmarks, producing the records behind
+//! Fig. 8, 9, 10 and Table II, plus the labeled datasets the VM-transition
+//! detector is trained on.
+//!
+//! The paper's setup: a simulated 4-core machine running Xen 4.1.2 with one
+//! Dom0 and two para-virtualized DomUs executing the same benchmark;
+//! injection points are chosen randomly while applications run; one fault
+//! per run.
+
+use crate::injection::{inject, prepare_point, InjectionRecord, InjectionSpec};
+use guest_sim::{dom0_profile, load_workload, profile, Benchmark};
+use mltree::{Dataset, Label};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sim_machine::cpu::FlipTarget;
+use sim_machine::VirtMode;
+use xen_like::{DomainSpec, IrqProfile, Platform, Topology};
+use xentry::{VmTransitionDetector, Xentry, FEATURE_NAMES};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub benchmark: Benchmark,
+    pub mode: VirtMode,
+    /// Total injections to perform.
+    pub injections: usize,
+    /// Activations to run before the first injection point.
+    pub warmup: usize,
+    /// Injections performed per snapshot point (amortizes golden runs).
+    pub per_point: usize,
+    /// Activations separating consecutive snapshot points.
+    pub stride: usize,
+    /// Post-VM-entry observation window (activations).
+    pub post_window: usize,
+    /// Guest kernel scale divider (campaigns shrink guest compute; handler
+    /// behaviour — the thing under test — is unchanged).
+    pub kernel_scale: u64,
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A paper-shaped campaign, sized down by `injections`.
+    pub fn paper(benchmark: Benchmark, injections: usize, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            benchmark,
+            mode: VirtMode::Para,
+            injections,
+            warmup: 60,
+            per_point: 4,
+            stride: 3,
+            post_window: 6,
+            kernel_scale: 24,
+            seed,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Build the campaign platform: Dom0 plus two DomUs running `benchmark`
+/// (the paper's fault-injection configuration), DomU 1 pinned to CPU 1.
+pub fn campaign_platform(cfg: &CampaignConfig, seed: u64) -> Platform {
+    let topo = Topology {
+        nr_cpus: 3,
+        domains: vec![DomainSpec { nr_vcpus: 1 }; 3],
+        virt_mode: cfg.mode,
+        seed,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _img) = Platform::new(topo);
+    let prof = profile(cfg.benchmark, cfg.mode).scaled(cfg.kernel_scale);
+    load_workload(&mut plat.machine, 0, &dom0_profile(cfg.mode).scaled(cfg.kernel_scale));
+    load_workload(&mut plat.machine, 1, &prof);
+    load_workload(&mut plat.machine, 2, &prof);
+    plat.irq = IrqProfile {
+        // Faster virtual tick keeps campaign activations cheap while
+        // preserving the interrupt mix.
+        tick_period: 400_000,
+        dev_irq_period: (prof.dev_irq_period / 4).max(50_000),
+    };
+    plat
+}
+
+/// Result of a campaign.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct CampaignResult {
+    pub records: Vec<InjectionRecord>,
+}
+
+impl CampaignResult {
+    /// Merge another result in.
+    pub fn extend(&mut self, other: CampaignResult) {
+        self.records.extend(other.records);
+    }
+
+    /// Persist the raw records as JSON (the paper's stored injection
+    /// traces; downstream analysis can re-aggregate without re-running).
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("records serialize"))
+    }
+
+    /// Load records saved by [`CampaignResult::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<CampaignResult> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn random_spec(rng: &mut ChaCha8Rng, golden_len: u64) -> InjectionSpec {
+    let targets = FlipTarget::all();
+    InjectionSpec {
+        target: targets[rng.gen_range(0..targets.len())],
+        bit: rng.gen_range(0..64),
+        at_step: rng.gen_range(0..golden_len.max(1)),
+    }
+}
+
+/// One worker's share of the campaign.
+fn run_worker(
+    cfg: &CampaignConfig,
+    worker: usize,
+    injections: usize,
+    detector: Option<&VmTransitionDetector>,
+) -> CampaignResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (worker as u64).wrapping_mul(0x9E37));
+    let mut plat = campaign_platform(cfg, cfg.seed + 31 * worker as u64);
+    let cpu = 1; // DomU 1's CPU
+    let mut collector = Xentry::collector();
+    plat.boot(cpu, &mut collector);
+    for _ in 0..cfg.warmup {
+        let act = plat.run_activation(cpu, &mut collector);
+        assert!(act.outcome.is_healthy(), "warmup died: {:?}", act.outcome);
+    }
+
+    let mut result = CampaignResult::default();
+    'outer: while result.records.len() < injections {
+        // Advance to the next snapshot point along the fault-free trace.
+        for _ in 0..cfg.stride {
+            let act = plat.run_activation(cpu, &mut collector);
+            assert!(act.outcome.is_healthy(), "trace died: {:?}", act.outcome);
+        }
+        let (reason, _gc) = plat.run_to_exit(cpu);
+        let at_exit = plat.clone();
+        let Some(point) = prepare_point(at_exit, cpu, 1, reason, cfg.post_window, detector)
+        else {
+            // Finish this activation on the live platform and move on.
+            plat.run_handler(cpu, reason, 0, &mut collector);
+            continue;
+        };
+        for _ in 0..cfg.per_point {
+            if result.records.len() >= injections {
+                break;
+            }
+            let spec = random_spec(&mut rng, point.golden_len);
+            result.records.push(inject(&point, spec, detector));
+            if result.records.len() >= injections {
+                break 'outer;
+            }
+        }
+        // Resume the live (fault-free) platform past this activation.
+        plat.run_handler(cpu, reason, 0, &mut collector);
+    }
+    result
+}
+
+/// Run a campaign, optionally with a deployed VM-transition detector.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    detector: Option<&VmTransitionDetector>,
+) -> CampaignResult {
+    let threads = cfg.threads.max(1).min(cfg.injections.max(1));
+    let share = cfg.injections / threads;
+    let extra = cfg.injections % threads;
+    let mut result = CampaignResult::default();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let cfg = cfg.clone();
+                let n = share + usize::from(w < extra);
+                s.spawn(move |_| run_worker(&cfg, w, n, detector))
+            })
+            .collect();
+        for h in handles {
+            result.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("campaign scope");
+    result
+}
+
+/// Collect `n` fault-free feature samples (label `Correct`) from a
+/// campaign-shaped platform.
+pub fn collect_correct_samples(cfg: &CampaignConfig, n: usize, seed: u64) -> Dataset {
+    let mut plat = campaign_platform(cfg, seed);
+    let cpu = 1;
+    let mut shim = Xentry::collector();
+    plat.boot(cpu, &mut shim);
+    let mut ds = Dataset::new(&FEATURE_NAMES);
+    // Skip the first few activations (cold structures).
+    for _ in 0..20 {
+        plat.run_activation(cpu, &mut shim);
+    }
+    shim.trace.clear();
+    while shim.trace.len() < n {
+        let act = plat.run_activation(cpu, &mut shim);
+        assert!(act.outcome.is_healthy(), "fault-free run died");
+    }
+    for f in shim.trace.iter().take(n) {
+        ds.push(f.into_sample(Label::Correct));
+    }
+    ds
+}
+
+/// Build a labeled dataset from campaign records: faulty executions that
+/// completed VM entry contribute samples labeled by whether they actually
+/// diverged from the golden run (the paper's trace-analysis labeling).
+pub fn dataset_from_records(records: &[InjectionRecord]) -> Dataset {
+    let mut ds = Dataset::new(&FEATURE_NAMES);
+    for r in records {
+        let Some(f) = r.features else { continue };
+        use crate::outcome::FaultOutcome::*;
+        let label = match &r.outcome {
+            Benign => Label::Correct,
+            MaskedAfterEntry | Undetected { .. } => Label::Incorrect,
+            Detected { technique, .. } => {
+                // Only executions that reached VM entry have features;
+                // VM-transition positives and late detections are incorrect
+                // executions by construction.
+                let _ = technique;
+                Label::Incorrect
+            }
+        };
+        ds.push(f.into_sample(label));
+    }
+    ds
+}
+
+/// Multi-bit-upset comparison: run parallel single-bit and k-bit campaigns
+/// from the same trace and compare manifestation and coverage — the
+/// beyond-ECC scenario the paper motivates in §V-B.
+pub fn multibit_study(
+    cfg: &CampaignConfig,
+    injections: usize,
+    bits_per_fault: usize,
+    detector: Option<&VmTransitionDetector>,
+    seed: u64,
+) -> (CampaignResult, CampaignResult) {
+    assert!(bits_per_fault >= 2, "use run_campaign for single-bit faults");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut plat = campaign_platform(cfg, seed);
+    let cpu = 1;
+    let mut collector = Xentry::collector();
+    plat.boot(cpu, &mut collector);
+    for _ in 0..cfg.warmup {
+        assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+    }
+    let mut single = CampaignResult::default();
+    let mut multi = CampaignResult::default();
+    let targets = FlipTarget::all();
+    while single.records.len() < injections {
+        for _ in 0..cfg.stride {
+            assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+        }
+        let (reason, _) = plat.run_to_exit(cpu);
+        let Some(point) =
+            crate::injection::prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
+        else {
+            plat.run_handler(cpu, reason, 0, &mut collector);
+            continue;
+        };
+        for _ in 0..cfg.per_point {
+            if single.records.len() >= injections {
+                break;
+            }
+            let at_step = rng.gen_range(0..point.golden_len.max(1));
+            let flips: Vec<(FlipTarget, u8)> = (0..bits_per_fault)
+                .map(|_| (targets[rng.gen_range(0..targets.len())], rng.gen_range(0..64)))
+                .collect();
+            // Same point, same step: the 1-bit fault is the first flip of
+            // the k-bit fault, so the comparison is paired.
+            single.records.push(crate::injection::inject_with_flips(
+                &point,
+                &flips[..1],
+                at_step,
+                detector,
+            ));
+            multi.records.push(crate::injection::inject_with_flips(
+                &point, &flips, at_step, detector,
+            ));
+        }
+        plat.run_handler(cpu, reason, 0, &mut collector);
+    }
+    (single, multi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::FaultOutcome;
+
+    fn small_cfg() -> CampaignConfig {
+        let mut c = CampaignConfig::paper(Benchmark::Freqmine, 60, 11);
+        c.threads = 2;
+        c.warmup = 30;
+        c.post_window = 4;
+        c
+    }
+
+    #[test]
+    fn campaign_produces_requested_injections() {
+        let cfg = small_cfg();
+        let res = run_campaign(&cfg, None);
+        assert_eq!(res.records.len(), 60);
+        // A healthy mix: some benign, some detected (exceptions dominate).
+        let benign = res.records.iter().filter(|r| !r.outcome.manifested()).count();
+        let detected = res.records.iter().filter(|r| r.outcome.detected()).count();
+        assert!(benign > 0, "no benign faults in 60 injections?");
+        assert!(detected > 0, "no detections in 60 injections?");
+    }
+
+    #[test]
+    fn hw_exceptions_dominate_detections() {
+        // Fig. 8: "Most of errors (85.1%) are detected by the hardware
+        // exceptions" — the shape must hold even in a small campaign.
+        let mut cfg = small_cfg();
+        cfg.injections = 120;
+        let res = run_campaign(&cfg, None);
+        let mut hw = 0;
+        let mut other = 0;
+        for r in &res.records {
+            if let FaultOutcome::Detected { technique, .. } = &r.outcome {
+                if *technique == xentry::Technique::HwException {
+                    hw += 1;
+                } else {
+                    other += 1;
+                }
+            }
+        }
+        assert!(hw > other, "hw={hw} other={other}");
+    }
+
+    #[test]
+    fn correct_samples_are_labeled_correct() {
+        let cfg = small_cfg();
+        let ds = collect_correct_samples(&cfg, 50, 5);
+        assert_eq!(ds.len(), 50);
+        assert!(ds.samples.iter().all(|s| s.label == Label::Correct));
+        assert_eq!(ds.nr_features(), 5);
+    }
+
+    #[test]
+    fn dataset_from_records_labels_divergence() {
+        let cfg = small_cfg();
+        let res = run_campaign(&cfg, None);
+        let ds = dataset_from_records(&res.records);
+        assert!(!ds.is_empty());
+        let (correct, incorrect) = ds.class_counts();
+        assert!(correct > 0, "benign faults should contribute correct samples");
+        // Incorrect samples appear when faults slip past the handler.
+        let _ = incorrect;
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let mut cfg = small_cfg();
+        cfg.injections = 20;
+        cfg.threads = 1;
+        let res = run_campaign(&cfg, None);
+        let dir = std::env::temp_dir().join("xentry_campaign_test.json");
+        res.save_json(&dir).unwrap();
+        let back = CampaignResult::load_json(&dir).unwrap();
+        assert_eq!(back.records.len(), res.records.len());
+        for (a, b) in back.records.iter().zip(res.records.iter()) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.vmer, b.vmer);
+        }
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn hvm_campaign_runs_and_detects() {
+        let mut cfg = small_cfg();
+        cfg.mode = sim_machine::VirtMode::Hvm;
+        cfg.injections = 60;
+        let res = run_campaign(&cfg, None);
+        assert_eq!(res.records.len(), 60);
+        let detected = res.records.iter().filter(|r| r.outcome.detected()).count();
+        assert!(detected > 0, "HVM campaign produced no detections");
+    }
+
+    #[test]
+    fn multibit_faults_manifest_at_least_as_often() {
+        let cfg = small_cfg();
+        let (single, multi) = multibit_study(&cfg, 80, 2, None, 7);
+        assert_eq!(single.records.len(), multi.records.len());
+        let m1 = single.records.iter().filter(|r| r.outcome.manifested()).count();
+        let m2 = multi.records.iter().filter(|r| r.outcome.manifested()).count();
+        // Two simultaneous flips strictly add corruption surface; paired
+        // sampling means the 2-bit campaign manifests at least ~as often.
+        assert!(
+            m2 + 5 >= m1,
+            "2-bit faults should manifest at least as often: {m2} vs {m1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut cfg = small_cfg();
+        cfg.threads = 1;
+        cfg.injections = 20;
+        let a = run_campaign(&cfg, None);
+        let b = run_campaign(&cfg, None);
+        let oa: Vec<_> = a.records.iter().map(|r| format!("{:?}", r.outcome)).collect();
+        let ob: Vec<_> = b.records.iter().map(|r| format!("{:?}", r.outcome)).collect();
+        assert_eq!(oa, ob);
+    }
+}

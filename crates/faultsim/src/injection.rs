@@ -1,0 +1,389 @@
+//! Single-fault injection execution (the paper's §V-B fault model).
+//!
+//! "We currently use the single bit-flip fault model in the architectural
+//! register state, including general purpose registers, instruction and
+//! stack pointers and flags. ... On each fault injection run, only one
+//! fault is injected. After a fault is injected, we allow the simulation to
+//! continue to observe if it can be detected."
+//!
+//! One injection proceeds like the paper's Simics workflow:
+//!
+//! 1. snapshot the platform at a VM exit;
+//! 2. run the handler fault-free (the *golden* run) to get the reference
+//!    state at VM entry, the execution's length and its feature vector;
+//! 3. restore, run the handler again flipping one register bit after a
+//!    chosen number of dynamic instructions, with the Xentry shim attached;
+//! 4. compare against the golden state; if the fault propagated past VM
+//!    entry, run forward windows of both machines to classify the
+//!    consequence (APP SDC / APP crash / one-VM / all-VM).
+
+use crate::golden::{diff_machines, DiffSite, StateDiff};
+use crate::outcome::{Consequence, FaultOutcome, UndetectedCategory};
+use guest_sim::guest_addrs;
+use sim_machine::cpu::FlipTarget;
+use sim_machine::{CpuId, ExitReason};
+use xen_like::{ActivationOutcome, Platform};
+use xentry::{FeatureVec, Xentry, XentryConfig};
+
+/// One fault to inject.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct InjectionSpec {
+    pub target: FlipTarget,
+    pub bit: u8,
+    /// Host-mode dynamic instruction offset within the handler at which the
+    /// flip occurs.
+    pub at_step: u64,
+}
+
+/// A reusable injection point: the platform frozen at a VM exit, plus the
+/// golden reference runs.
+#[derive(Debug, Clone)]
+pub struct InjectionPoint {
+    /// Platform state at the VM exit (host entry, VMCS filled).
+    pub at_exit: Platform,
+    pub cpu: CpuId,
+    pub reason: ExitReason,
+    /// Golden platform state at the matching VM entry.
+    pub golden_entry: Platform,
+    /// Dynamic length of the fault-free handler execution.
+    pub golden_len: u64,
+    /// Fault-free feature vector.
+    pub golden_features: FeatureVec,
+    /// Golden platform advanced `post_window` activations past VM entry.
+    pub golden_post: Platform,
+    /// Benchmark-guest burst count in the golden post state (alignment
+    /// target for consequence runs).
+    pub golden_post_bursts: u64,
+    /// Benchmark-guest checksum at that burst count.
+    pub golden_post_result: u64,
+    /// Guest trap count in the golden post state.
+    pub golden_post_traps: u64,
+    /// Observed guest domain.
+    pub dom: usize,
+    /// Activations in the post window.
+    pub post_window: usize,
+}
+
+/// Outcome of one injection, with everything the campaign aggregates.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct InjectionRecord {
+    pub vmer: u16,
+    pub target: FlipTarget,
+    pub bit: u8,
+    pub at_step: u64,
+    pub outcome: FaultOutcome,
+    /// Faulty-run features, when the handler reached VM entry.
+    pub features: Option<FeatureVec>,
+    /// Golden features of the same execution.
+    pub golden_features: FeatureVec,
+}
+
+fn shim_for(detector: Option<&xentry::VmTransitionDetector>) -> Xentry {
+    // continue_after_positive keeps golden/faulty cycle charging identical
+    // and lets us inspect the post-entry propagation even for detected
+    // faults (needed to know the would-be consequence for Fig. 9).
+    let mut shim = Xentry::new(XentryConfig::overhead(), detector.cloned());
+    shim.keep_trace = false;
+    shim
+}
+
+/// Prepare an injection point from a platform positioned at a VM exit
+/// (i.e. right after [`Platform::run_to_exit`] returned `reason`).
+///
+/// Returns `None` if the golden run itself does not complete healthily
+/// (cannot happen in practice; defensive).
+pub fn prepare_point(
+    at_exit: Platform,
+    cpu: CpuId,
+    dom: usize,
+    reason: ExitReason,
+    post_window: usize,
+    detector: Option<&xentry::VmTransitionDetector>,
+) -> Option<InjectionPoint> {
+    let mut golden = at_exit.clone();
+    let mut shim = shim_for(detector);
+    let act = golden.run_handler(cpu, reason, 0, &mut shim);
+    if !act.outcome.is_healthy() {
+        return None;
+    }
+    let golden_features = shim.last_features()?;
+    let golden_entry = golden.clone();
+    // Forward window for consequence reference.
+    let mut post = golden;
+    for _ in 0..post_window {
+        let a = post.run_activation(cpu, &mut shim);
+        if !a.outcome.is_healthy() {
+            return None;
+        }
+    }
+    let ga = guest_addrs(dom);
+    let golden_post_bursts = post.machine.mem.peek(ga.iter_count).ok()?;
+    let golden_post_result = post.machine.mem.peek(ga.result).ok()?;
+    let golden_post_traps = post.machine.mem.peek(ga.trap_count).ok()?;
+    Some(InjectionPoint {
+        at_exit,
+        cpu,
+        reason,
+        golden_entry,
+        golden_len: act.handler_insns,
+        golden_features,
+        golden_post: post,
+        golden_post_bursts,
+        golden_post_result,
+        golden_post_traps,
+        dom,
+        post_window,
+    })
+}
+
+/// Consequence classification by running the faulty machine forward until
+/// the benchmark guest reaches the golden burst count (or dies / stalls).
+/// `None` means the divergence washed out completely (masked after entry).
+fn classify_consequence(
+    point: &InjectionPoint,
+    faulty_entry: &Platform,
+    entry_diff: &StateDiff,
+    shim: &mut Xentry,
+    nr_doms: usize,
+) -> Option<Consequence> {
+    let cpu = point.cpu;
+    let ga = guest_addrs(point.dom);
+    let mut f = faulty_entry.clone();
+    // Budget: generous multiple of the golden window.
+    let budget = (point.post_window * 4).max(8);
+    let mut died = false;
+    for _ in 0..budget {
+        let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
+        if bursts >= point.golden_post_bursts {
+            break;
+        }
+        let a = f.run_activation(cpu, shim);
+        if !a.outcome.is_healthy() {
+            died = true;
+            break;
+        }
+    }
+    if died {
+        // The hypervisor itself crashed after the guest resumed: every VM
+        // on the host is gone.
+        return Some(Consequence::AllVmFailure);
+    }
+    let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
+    if bursts < point.golden_post_bursts {
+        // The benchmark VM stopped making progress.
+        return Some(Consequence::OneVmFailure);
+    }
+    let traps = f.machine.mem.peek(ga.trap_count).unwrap_or(0);
+    if traps > point.golden_post_traps {
+        // The guest took unexpected traps: the application crashed.
+        return Some(Consequence::AppCrash);
+    }
+    if f.machine.mem.peek(ga.result).unwrap_or(0) != point.golden_post_result {
+        // Application finished its bursts with a wrong checksum: SDC.
+        return Some(Consequence::AppSdc);
+    }
+    // Structural invariants (pointers, descriptors, dispatch table) can be
+    // compared even though the two machines are not activation-aligned;
+    // volatile accounting counters cannot, so the classification relies on
+    // observables plus this check.
+    if crate::golden::structural_corruption(&point.golden_post.machine, &f.machine, nr_doms) {
+        return Some(Consequence::AllVmFailure);
+    }
+    // Entry-aligned evidence: wrong bytes already reached a device, or the
+    // only corruption was guest-visible time.
+    if entry_diff.any_site(&[DiffSite::Device]) {
+        return Some(Consequence::AppSdc);
+    }
+    if entry_diff.sites.iter().all(|s| {
+        matches!(s, DiffSite::TimeValue | DiffSite::StackOrSaveArea | DiffSite::Vmcs)
+    }) && entry_diff.any_site(&[DiffSite::TimeValue])
+    {
+        // Wrong time values delivered to the guest: silent data corruption
+        // in everything that consumes timestamps.
+        return Some(Consequence::AppSdc);
+    }
+    // No observable effect within the window.
+    None
+}
+
+/// Table-II categorization of an undetected fault.
+fn categorize_undetected(
+    golden_features: &FeatureVec,
+    faulty_features: &FeatureVec,
+    diff: &StateDiff,
+) -> UndetectedCategory {
+    if golden_features.rt != faulty_features.rt
+        || golden_features.br != faulty_features.br
+        || golden_features.rm != faulty_features.rm
+        || golden_features.wm != faulty_features.wm
+    {
+        // The counter footprint changed: the VM-transition detector had a
+        // visible anomaly and still passed it.
+        return UndetectedCategory::MisClassified;
+    }
+    if diff.only_sites(&[DiffSite::TimeValue]) {
+        return UndetectedCategory::TimeValues;
+    }
+    // Time values are staged to guests through register save-area slots
+    // (emulated RDTSC writes guest RAX/RDX and the TSC stamp): corruption
+    // touching time words plus save-area staging is time-value corruption,
+    // the paper's "the hypervisor sends time values to the requesting
+    // domains" channel.
+    let stacky = [DiffSite::StackOrSaveArea, DiffSite::Vmcs];
+    if diff.any_site(&[DiffSite::TimeValue])
+        && diff.sites.iter().all(|s| stacky.contains(s) || *s == DiffSite::TimeValue)
+    {
+        return UndetectedCategory::TimeValues;
+    }
+    if diff.sites.iter().all(|s| stacky.contains(s)) && diff.any_site(&stacky) {
+        return UndetectedCategory::StackValues;
+    }
+    UndetectedCategory::OtherValues
+}
+
+/// Execute one injection at a prepared point.
+pub fn inject(
+    point: &InjectionPoint,
+    spec: InjectionSpec,
+    detector: Option<&xentry::VmTransitionDetector>,
+) -> InjectionRecord {
+    inject_with_flips(point, &[(spec.target, spec.bit)], spec.at_step, detector)
+}
+
+/// Execute one injection applying several simultaneous bit flips — the
+/// multi-bit upset model the paper motivates ("uncorrected errors may still
+/// occur when the number of errors are beyond the ECC capabilities").
+pub fn inject_with_flips(
+    point: &InjectionPoint,
+    flips: &[(FlipTarget, u8)],
+    at_step: u64,
+    detector: Option<&xentry::VmTransitionDetector>,
+) -> InjectionRecord {
+    assert!(!flips.is_empty());
+    let spec = InjectionSpec { target: flips[0].0, bit: flips[0].1, at_step };
+    let cpu = point.cpu;
+    let nr_doms = point.at_exit.topo.domains.len();
+    let mut f = point.at_exit.clone();
+    let mut shim = shim_for(detector);
+    // The latency clock starts at activation: the flips land after
+    // `at_step` retired host instructions.
+    shim.injection_mark = Some(f.machine.cpu(cpu).insns_retired + at_step);
+
+    let flips_owned: Vec<(FlipTarget, u8)> = flips.to_vec();
+    let act = f.run_handler_hooked(
+        cpu,
+        point.reason,
+        0,
+        &mut shim,
+        Some(at_step),
+        move |m, c| {
+            for (target, bit) in flips_owned {
+                m.cpu_mut(c).flip_bit(target, bit);
+            }
+        },
+    );
+
+    let vmer = point.reason.vmer();
+    let base = |outcome, features| InjectionRecord {
+        vmer,
+        target: spec.target,
+        bit: spec.bit,
+        at_step: spec.at_step,
+        outcome,
+        features,
+        golden_features: point.golden_features,
+    };
+
+    match act.outcome {
+        ActivationOutcome::HostException(_)
+        | ActivationOutcome::AssertFailed(_)
+        | ActivationOutcome::Flagged => {
+            // Runtime detection fired before VM entry (short-latency path).
+            let d = shim.detections.first().expect("detection recorded");
+            return base(
+                FaultOutcome::Detected {
+                    technique: d.technique,
+                    latency: d.latency.unwrap_or(0),
+                    same_activation: true,
+                    consequence: Some(Consequence::HypervisorCrash),
+                },
+                None,
+            );
+        }
+        ActivationOutcome::Hung => {
+            // Watchdog: the handler livelocked *before VM entry* — a
+            // short-latency hypervisor failure (the paper's Path 1), not a
+            // long-latency propagation. Xentry has no hang detector, so it
+            // goes undetected.
+            return base(
+                FaultOutcome::Undetected {
+                    consequence: Consequence::HypervisorCrash,
+                    category: UndetectedCategory::OtherValues,
+                },
+                None,
+            );
+        }
+        ActivationOutcome::Resumed | ActivationOutcome::WentIdle => {}
+    }
+
+    // Handler completed: the VM-transition detector has classified (in
+    // continue mode a positive is recorded, not fatal).
+    let faulty_features = shim.last_features().expect("features collected");
+    let entry_diff = diff_machines(&point.golden_entry.machine, &f.machine, cpu, nr_doms);
+
+    if entry_diff.is_empty() {
+        // Architecturally clean execution. A positive verdict here is a
+        // false positive (recovery would re-execute and succeed); it is not
+        // a detection of a manifested fault, so the record stays benign —
+        // FP rates are measured on fault-free runs, as in the paper.
+        return base(FaultOutcome::Benign, Some(faulty_features));
+    }
+
+    // Fault propagated across VM entry: long-latency error. Determine the
+    // would-be consequence by running the faulty machine forward.
+    let consequence =
+        classify_consequence(point, &f, &entry_diff, &mut shim_for(detector), nr_doms);
+
+    if shim.detected() {
+        let d = &shim.detections[0];
+        return base(
+            FaultOutcome::Detected {
+                technique: d.technique,
+                latency: d.latency.unwrap_or(0),
+                same_activation: true,
+                consequence,
+            },
+            Some(faulty_features),
+        );
+    }
+    let Some(consequence) = consequence else {
+        return base(FaultOutcome::MaskedAfterEntry, Some(faulty_features));
+    };
+
+    // Give the deployed runtime detection a chance during the observation
+    // window (late hardware exceptions / assertions on corrupted state).
+    let mut fwd = f.clone();
+    let mut late_shim = shim_for(detector);
+    late_shim.injection_mark = shim.injection_mark;
+    for _ in 0..point.post_window {
+        let a = fwd.run_activation(cpu, &mut late_shim);
+        if late_shim.detected() {
+            let d = &late_shim.detections[0];
+            return base(
+                FaultOutcome::Detected {
+                    technique: d.technique,
+                    latency: d.latency.unwrap_or(0),
+                    same_activation: false,
+                    consequence: Some(consequence),
+                },
+                Some(faulty_features),
+            );
+        }
+        if !a.outcome.is_healthy() {
+            break;
+        }
+    }
+
+    let category = categorize_undetected(&point.golden_features, &faulty_features, &entry_diff);
+    base(FaultOutcome::Undetected { consequence, category }, Some(faulty_features))
+}

@@ -1,0 +1,35 @@
+//! # faultsim — fault-injection campaigns for hypervisor soft errors
+//!
+//! The reproduction of the paper's evaluation methodology (§V): single
+//! bit-flips in architectural registers while the CPU executes hypervisor
+//! code, golden-run differencing to decide activation, outcome
+//! classification into the paper's taxonomy (short-latency hypervisor
+//! crashes; long-latency APP SDC / APP crash / one-VM / all-VM failures),
+//! detection-latency measurement, and labeled-dataset emission for training
+//! the VM-transition detector.
+//!
+//! * [`injection`] — one fault: snapshot → golden run → flip → compare.
+//! * [`golden`] — machine differencing and corruption-site attribution.
+//! * [`campaign`] — parallel campaigns over workload traces.
+//! * [`analysis`] — the aggregations behind Fig. 8/9/10 and Table II.
+
+pub mod analysis;
+pub mod campaign;
+pub mod golden;
+pub mod injection;
+pub mod outcome;
+pub mod recovery;
+
+pub use analysis::{
+    coverage_breakdown, latency_data, latency_data_filtered, long_latency_coverage,
+    target_breakdown, undetected_breakdown,
+    CoverageBreakdown, LatencyData, LongLatencyCoverage, TargetRow, UndetectedBreakdown,
+};
+pub use campaign::{
+    campaign_platform, collect_correct_samples, dataset_from_records, multibit_study,
+    run_campaign, CampaignConfig, CampaignResult,
+};
+pub use golden::{classify_site, diff_machines, DiffSite, StateDiff};
+pub use injection::{inject, inject_with_flips, prepare_point, InjectionPoint, InjectionRecord, InjectionSpec};
+pub use outcome::{Consequence, FaultOutcome, UndetectedCategory};
+pub use recovery::{attempt_recovery, recovery_study, RecoveryReport, RecoveryResult};

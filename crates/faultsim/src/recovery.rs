@@ -1,0 +1,227 @@
+//! Recovery feasibility study — completing the paper's §VI sketch.
+//!
+//! The paper measures the *cost* of recovery (copy 1,900 ns, re-execute)
+//! but leaves the mechanism as future work. This module closes the loop:
+//! when a fault is detected before VM entry, restore the critical-state
+//! copy taken at the VM exit, re-initiate the hypervisor execution (the
+//! fault was transient, so the re-execution is clean), and verify the
+//! system actually converges to a correct state.
+
+use crate::injection::{prepare_point, InjectionPoint, InjectionSpec};
+use crate::outcome::Consequence;
+use guest_sim::guest_addrs;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use sim_machine::cpu::FlipTarget;
+use xen_like::ActivationOutcome;
+use xentry::{CriticalState, VmTransitionDetector, Xentry, XentryConfig};
+
+/// What happened when we recovered from a detected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryResult {
+    /// Re-execution completed and the system state converged: the guest
+    /// makes progress with the correct results.
+    Survived,
+    /// Re-execution completed but left observable divergence (corruption
+    /// outside the critical copy survived the restore).
+    Residual(Consequence),
+    /// The re-executed handler failed again (corruption outside the
+    /// critical copy broke the hypervisor itself).
+    FailedAgain,
+}
+
+/// Attempt detection + recovery for one injection. `None` when the fault
+/// was not detected within the activation (recovery never triggers).
+pub fn attempt_recovery(
+    point: &InjectionPoint,
+    spec: InjectionSpec,
+    detector: Option<&VmTransitionDetector>,
+) -> Option<RecoveryResult> {
+    let cpu = point.cpu;
+    let nr_doms = point.at_exit.topo.domains.len();
+    let mut f = point.at_exit.clone();
+    // The shim's recovery support: critical copy at the VM exit.
+    let snapshot = CriticalState::capture(&f.machine, cpu);
+
+    // Detection mode: a positive verdict stops the activation.
+    let mut shim = Xentry::new(XentryConfig::detection(), detector.cloned());
+    let (target, bit) = (spec.target, spec.bit);
+    let act = f.run_handler_hooked(
+        cpu,
+        point.reason,
+        0,
+        &mut shim,
+        Some(spec.at_step),
+        move |m, c| m.cpu_mut(c).flip_bit(target, bit),
+    );
+    match act.outcome {
+        ActivationOutcome::Resumed | ActivationOutcome::WentIdle => return None, // undetected
+        ActivationOutcome::Hung => return None, // no detection signal to act on
+        ActivationOutcome::HostException(_)
+        | ActivationOutcome::AssertFailed(_)
+        | ActivationOutcome::Flagged => {}
+    }
+
+    // Positive detection: restore the critical copy and re-initiate.
+    snapshot.restore(&mut f.machine);
+    let mut clean = Xentry::new(XentryConfig::overhead(), None);
+    let act2 = f.run_handler(cpu, point.reason, 0, &mut clean);
+    if !act2.outcome.is_healthy() {
+        return Some(RecoveryResult::FailedAgain);
+    }
+
+    // Converged? Drive the guest to the golden burst target and compare the
+    // observables (the re-execution draws fresh workload randomness, so a
+    // word-for-word state diff would be over-strict).
+    let ga = guest_addrs(point.dom);
+    let budget = (point.post_window * 4).max(8);
+    for _ in 0..budget {
+        let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
+        if bursts >= point.golden_post_bursts {
+            break;
+        }
+        let a = f.run_activation(cpu, &mut clean);
+        if !a.outcome.is_healthy() {
+            return Some(RecoveryResult::FailedAgain);
+        }
+    }
+    let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
+    if bursts < point.golden_post_bursts {
+        return Some(RecoveryResult::Residual(Consequence::OneVmFailure));
+    }
+    if f.machine.mem.peek(ga.trap_count).unwrap_or(0) > point.golden_post_traps {
+        return Some(RecoveryResult::Residual(Consequence::AppCrash));
+    }
+    if f.machine.mem.peek(ga.result).unwrap_or(0) != point.golden_post_result {
+        return Some(RecoveryResult::Residual(Consequence::AppSdc));
+    }
+    if crate::golden::structural_corruption(&point.golden_post.machine, &f.machine, nr_doms) {
+        return Some(RecoveryResult::Residual(Consequence::AllVmFailure));
+    }
+    Some(RecoveryResult::Survived)
+}
+
+/// Aggregated recovery study.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Injections performed.
+    pub injections: usize,
+    /// Faults detected within the activation (recovery attempts).
+    pub attempted: usize,
+    pub survived: usize,
+    pub residual: usize,
+    pub failed_again: usize,
+}
+
+impl RecoveryReport {
+    /// Fraction of recovery attempts that fully converged.
+    pub fn survival_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            return 0.0;
+        }
+        self.survived as f64 / self.attempted as f64
+    }
+}
+
+/// Run a recovery study: inject faults along a workload trace and attempt
+/// recovery for every detection.
+pub fn recovery_study(
+    cfg: &crate::campaign::CampaignConfig,
+    injections: usize,
+    detector: Option<&VmTransitionDetector>,
+    seed: u64,
+) -> RecoveryReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut plat = crate::campaign::campaign_platform(cfg, seed);
+    let cpu = 1;
+    let mut collector = Xentry::collector();
+    plat.boot(cpu, &mut collector);
+    for _ in 0..cfg.warmup {
+        assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+    }
+
+    let mut report = RecoveryReport::default();
+    let targets = FlipTarget::all();
+    while report.injections < injections {
+        for _ in 0..cfg.stride {
+            assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+        }
+        let (reason, _) = plat.run_to_exit(cpu);
+        let Some(point) =
+            prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
+        else {
+            plat.run_handler(cpu, reason, 0, &mut collector);
+            continue;
+        };
+        for _ in 0..cfg.per_point {
+            if report.injections >= injections {
+                break;
+            }
+            report.injections += 1;
+            let spec = InjectionSpec {
+                target: targets[rng.gen_range(0..targets.len())],
+                bit: rng.gen_range(0..64),
+                at_step: rng.gen_range(0..point.golden_len.max(1)),
+            };
+            match attempt_recovery(&point, spec, detector) {
+                None => {}
+                Some(RecoveryResult::Survived) => {
+                    report.attempted += 1;
+                    report.survived += 1;
+                }
+                Some(RecoveryResult::Residual(_)) => {
+                    report.attempted += 1;
+                    report.residual += 1;
+                }
+                Some(RecoveryResult::FailedAgain) => {
+                    report.attempted += 1;
+                    report.failed_again += 1;
+                }
+            }
+        }
+        plat.run_handler(cpu, reason, 0, &mut collector);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use guest_sim::Benchmark;
+
+    #[test]
+    fn detected_faults_mostly_recover() {
+        let mut cfg = CampaignConfig::paper(Benchmark::Freqmine, 150, 3);
+        cfg.warmup = 30;
+        let report = recovery_study(&cfg, 150, None, 9);
+        assert_eq!(report.injections, 150);
+        assert!(report.attempted > 20, "too few detections: {report:?}");
+        assert!(
+            report.survival_rate() > 0.85,
+            "critical-state recovery should survive most transient faults: {report:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_of_specific_detected_fault_survives() {
+        let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, 5);
+        let mut plat = crate::campaign::campaign_platform(&cfg, 5);
+        let mut shim = Xentry::collector();
+        plat.boot(1, &mut shim);
+        for _ in 0..40 {
+            plat.run_activation(1, &mut shim);
+        }
+        let (reason, _) = plat.run_to_exit(1);
+        let point = prepare_point(plat, 1, 1, reason, 6, None).unwrap();
+        // A guaranteed-detected fault: high RIP bit.
+        let spec = InjectionSpec {
+            target: FlipTarget::Rip,
+            bit: 42,
+            at_step: point.golden_len / 2,
+        };
+        let result = attempt_recovery(&point, spec, None);
+        assert_eq!(result, Some(RecoveryResult::Survived));
+    }
+}

@@ -1,0 +1,412 @@
+//! Guest program emission and loading.
+//!
+//! Every workload is a real guest program: a compute kernel folding results
+//! into a checksum register, periodically performing one of the profile's
+//! exit actions, with a trap handler that unwinds via the `iret` hypercall.
+//! The checksum lands in a known guest-memory word, which is how the
+//! fault-injection campaign distinguishes a silent data corruption (wrong
+//! checksum, clean exit) from a crash — the paper's APP SDC vs APP crash
+//! outcome split.
+
+use crate::profile::{Action, Kernel, WorkloadProfile};
+use sim_asm::Asm;
+use sim_machine::{Machine, Reg::*};
+use xen_like::layout as lay;
+
+/// Word offsets inside a domain's data region.
+pub mod guest_layout {
+    /// Checksum result (SDC-sensitive: corrupted hypervisor outputs land
+    /// here).
+    pub const RESULT: u64 = 0;
+    /// RDTSC outputs (low, high) — time values, tracked separately because
+    /// the paper's Table II separates time-value corruption from data SDC.
+    pub const TIME_RESULT: u64 = 8;
+    /// Count of traps delivered to the guest.
+    pub const TRAP_COUNT: u64 = 16;
+    /// Completed kernel bursts.
+    pub const ITER_COUNT: u64 = 17;
+    /// Bursts since the last program-phase re-roll.
+    pub const PHASE_COUNT: u64 = 18;
+    /// 1 while in the hot (short-burst) phase.
+    pub const PHASE_FLAG: u64 = 19;
+    /// Completed phase periods (drives the deterministic duty cycle).
+    pub const PHASE_IDX: u64 = 20;
+    /// update_va_mapping target window (64 words).
+    pub const SCRATCH: u64 = 0x100;
+    /// Hypercall argument arrays (64 words of valid in-window pointers).
+    pub const ARGS: u64 = 0x200;
+    /// Pointer-chase table (1024 words forming one permutation cycle).
+    pub const CHASE: u64 = 0x400;
+    /// Chase table length in words.
+    pub const CHASE_LEN: u64 = 1024;
+}
+
+/// Guest-memory addresses that the fault-injection campaign inspects.
+#[derive(Debug, Clone, Copy)]
+pub struct GuestAddrs {
+    pub result: u64,
+    pub time_result: u64,
+    pub trap_count: u64,
+    pub iter_count: u64,
+}
+
+/// Addresses of the observable words for domain `dom`.
+pub fn guest_addrs(dom: usize) -> GuestAddrs {
+    let d = lay::guest_data(dom);
+    GuestAddrs {
+        result: d + guest_layout::RESULT * 8,
+        time_result: d + guest_layout::TIME_RESULT * 8,
+        trap_count: d + guest_layout::TRAP_COUNT * 8,
+        iter_count: d + guest_layout::ITER_COUNT * 8,
+    }
+}
+
+/// Register allocation inside guest programs:
+/// `r11` checksum, `r12` chase pointer, `r13` mixing constant,
+/// `r14` chase mask (byte units), `r15` chase base.
+fn emit_program(a: &mut Asm, dom: usize, p: &WorkloadProfile) {
+    let data = lay::guest_data(dom);
+    let result_addr = data + guest_layout::RESULT * 8;
+    let time_addr = data + guest_layout::TIME_RESULT * 8;
+    let trap_addr = data + guest_layout::TRAP_COUNT * 8;
+    let iter_addr = data + guest_layout::ITER_COUNT * 8;
+    let args_addr = data + guest_layout::ARGS * 8;
+    let scratch_addr = data + guest_layout::SCRATCH * 8;
+    let chase_addr = data + guest_layout::CHASE * 8;
+
+    a.global("guest_entry");
+    // Register the trap handler with the hypervisor.
+    a.lea(Rdi, "trap_handler");
+    a.lea(Rsi, "trap_handler");
+    a.hypercall(4); // set_callbacks
+    // Initialize workload registers.
+    a.movi(R11, 0x1234_5678);
+    a.movi(R12, chase_addr as i64);
+    a.movi(R13, 0x9E37_79B9);
+    a.movi(R14, ((guest_layout::CHASE_LEN - 1) * 8) as i64);
+    a.movi(R15, chase_addr as i64);
+
+    a.label("main_loop");
+    a.noise(Rcx, 2 * p.iters_mean);
+    a.addi(Rcx, 1);
+    if p.phase_duty > 0 && p.phase_shift > 0 {
+        // Hot program phases shorten bursts (raising the exit rate) for
+        // `phase_len` bursts at a time — the source of Fig. 3's
+        // window-to-window spread.
+        a.movi(R9, (data + guest_layout::PHASE_FLAG * 8) as i64);
+        a.load(R8, R9, 0);
+        a.cmpi(R8, 0);
+        a.je("phase_cold");
+        a.shr(Rcx, p.phase_shift);
+        a.addi(Rcx, 1);
+        a.label("phase_cold");
+    }
+    a.label("kernel_loop");
+    match p.kernel {
+        Kernel::Alu => {
+            a.mul(R11, R13);
+            a.mov(R8, R11);
+            a.shr(R8, 13);
+            a.xor(R11, R8);
+            a.addi(R11, 1);
+        }
+        Kernel::PointerChase => {
+            a.load(R12, R12, 0);
+            a.add(R11, R12);
+        }
+        Kernel::Mixed => {
+            a.mul(R11, R13);
+            a.mov(R8, R11);
+            a.and(R8, R14);
+            a.add(R8, R15);
+            a.load(R8, R8, 0);
+            a.add(R11, R8);
+        }
+    }
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("kernel_loop");
+
+    // Publish the checksum and the burst count.
+    a.movi(R9, result_addr as i64);
+    a.store(R9, 0, R11);
+    a.movi(R9, iter_addr as i64);
+    a.load(R8, R9, 0);
+    a.addi(R8, 1);
+    a.store(R9, 0, R8);
+
+    if p.phase_duty > 0 && p.phase_shift > 0 {
+        // Phase bookkeeping: every `phase_len` bursts, advance the phase
+        // index; 1 in `phase_duty` phases is hot.
+        a.movi(R9, (data + guest_layout::PHASE_COUNT * 8) as i64);
+        a.load(R8, R9, 0);
+        a.addi(R8, 1);
+        a.cmpi(R8, p.phase_len as i64);
+        a.jl("phase_keep");
+        a.movi(R8, 0);
+        a.movi(R9, (data + guest_layout::PHASE_IDX * 8) as i64);
+        a.load(R10, R9, 0);
+        a.addi(R10, 1);
+        a.store(R9, 0, R10);
+        a.mov(Rdx, R10);
+        a.movi(Rcx, p.phase_duty as i64);
+        a.rem(Rdx, Rcx);
+        a.cmpi(Rdx, 0);
+        a.je("phase_hot");
+        a.movi(R10, 0);
+        a.jmp("phase_set");
+        a.label("phase_hot");
+        a.movi(R10, 1);
+        a.label("phase_set");
+        a.movi(Rdx, (data + guest_layout::PHASE_FLAG * 8) as i64);
+        a.store(Rdx, 0, R10);
+        a.movi(R9, (data + guest_layout::PHASE_COUNT * 8) as i64);
+        a.label("phase_keep");
+        a.store(R9, 0, R8);
+    }
+
+    // Pick an exit action by cumulative weight.
+    let total = p.total_weight() as u64;
+    a.noise(Rax, total);
+    let mut acc: i64 = 0;
+    for (i, (_, w)) in p.actions.iter().enumerate() {
+        acc += *w as i64;
+        a.cmpi(Rax, acc);
+        a.jl(format!("action_{i}"));
+    }
+    a.jmp("main_loop"); // unreachable fallback
+
+    for (i, (action, _)) in p.actions.iter().enumerate() {
+        a.label(format!("action_{i}"));
+        emit_action(a, *action, args_addr, scratch_addr, time_addr);
+        a.jmp("main_loop");
+    }
+
+    // Trap handler: count the trap, "kill the offending task" by skipping
+    // the faulting instruction (advance the frame's saved RIP), then unwind
+    // via the iret hypercall — the guest kernel survives, the application
+    // result is gone (the paper's APP-crash observable).
+    a.label("trap_handler");
+    a.movi(R9, trap_addr as i64);
+    a.load(R8, R9, 0);
+    a.addi(R8, 1);
+    a.store(R9, 0, R8);
+    // "Restart the app": reinitialize the workload registers so a corrupted
+    // pointer doesn't re-fault forever (a real kernel kills the task and
+    // the next one starts fresh).
+    a.movi(R11, 0x1234_5678);
+    a.movi(R12, chase_addr as i64);
+    a.movi(R13, 0x9E37_79B9);
+    a.movi(R14, ((guest_layout::CHASE_LEN - 1) * 8) as i64);
+    a.movi(R15, chase_addr as i64);
+    a.load(R8, Rsp, 0);
+    a.addi(R8, 8);
+    a.store(Rsp, 0, R8);
+    a.hypercall(23); // iret restores RIP/RFLAGS/RAX from the frame
+    // iret never returns here; if it does the guest loops safely.
+    a.jmp("main_loop");
+}
+
+fn emit_action(a: &mut Asm, action: Action, args: u64, scratch: u64, time_addr: u64) {
+    match action {
+        Action::XenVersion => {
+            a.hypercall(17);
+            a.add(R11, Rax);
+        }
+        Action::EvtchnSend => {
+            a.movi(Rdi, 0);
+            a.noise(Rsi, lay::NR_EVTCHN as u64);
+            a.hypercall(32);
+            a.add(R11, Rax);
+        }
+        Action::ConsoleWrite => {
+            a.movi(Rdi, 0);
+            // Console writes are line-sized: 24..32 characters.
+            a.noise(Rsi, 8);
+            a.addi(Rsi, 24);
+            a.movi(Rdx, args as i64);
+            a.hypercall(18);
+            a.add(R11, Rax);
+        }
+        Action::GrantOp => {
+            a.noise(Rdi, 2);
+            a.noise(Rsi, lay::NR_GRANTS as u64);
+            a.movi(Rdx, 77);
+            a.hypercall(20);
+            a.add(R11, Rax);
+        }
+        Action::MmuUpdate => {
+            a.movi(Rdi, args as i64);
+            // Page-table update batches cluster near the batch limit.
+            a.noise(Rsi, 8);
+            a.addi(Rsi, 24);
+            a.hypercall(1);
+            a.add(R11, Rax);
+        }
+        Action::MemoryOp => {
+            a.noise(Rdi, 2);
+            // Balloon in page-cluster units: 48..64 pages.
+            a.noise(Rsi, 16);
+            a.addi(Rsi, 48);
+            a.hypercall(12);
+            a.add(R11, Rax);
+        }
+        Action::SetTimer => {
+            a.noise(Rdi, 100_000);
+            a.addi(Rdi, 100);
+            a.hypercall(15);
+        }
+        Action::Multicall => {
+            a.movi(Rdi, args as i64);
+            // Batches of 6..8 sub-calls.
+            a.noise(Rsi, 2);
+            a.addi(Rsi, 6);
+            a.hypercall(13);
+            a.add(R11, Rax);
+        }
+        Action::UpdateVa => {
+            a.noise(Rdi, 64);
+            a.shl(Rdi, 3);
+            a.addi(Rdi, scratch as i64);
+            a.mov(Rsi, R11);
+            a.hypercall(14);
+            a.add(R11, Rax);
+        }
+        Action::SchedYield => {
+            a.movi(Rdi, 0);
+            a.hypercall(29);
+        }
+        Action::VcpuIsUp => {
+            a.movi(Rdi, 2);
+            a.movi(Rsi, 0);
+            a.hypercall(24);
+            a.add(R11, Rax);
+        }
+        Action::Cpuid => {
+            a.noise(Rax, 16);
+            a.cpuid();
+            a.add(R11, Rax);
+            a.xor(R11, Rbx);
+            a.add(R11, Rcx);
+            a.xor(R11, Rdx);
+        }
+        Action::Rdtsc => {
+            a.rdtsc();
+            // Time values go to their own area, NOT the checksum: replicated
+            // reads of the TSC legitimately differ (paper §VI).
+            a.movi(R9, time_addr as i64);
+            a.store(R9, 0, Rax);
+            a.store(R9, 8, Rdx);
+        }
+        Action::PortOut => {
+            a.mov(Rax, R11);
+            a.out(xen_like::handlers::hypercalls::CONSOLE_PORT, Rax);
+        }
+        Action::PortIn => {
+            a.inp(Rax, xen_like::handlers::hypercalls::CONSOLE_PORT);
+            a.add(R11, Rax);
+        }
+        Action::Sysctl => {
+            a.movi(Rdi, 0);
+            a.hypercall(35);
+            a.add(R11, Rax);
+        }
+        Action::MmuextOp => {
+            a.movi(Rdi, args as i64);
+            a.noise(Rsi, 4);
+            a.addi(Rsi, 12);
+            a.hypercall(26);
+            a.add(R11, Rax);
+        }
+    }
+}
+
+/// Load `profile`'s program and data into domain `dom`.
+pub fn load_workload(m: &mut Machine, dom: usize, profile: &WorkloadProfile) {
+    let base = lay::guest_text(dom);
+    let mut a = Asm::new(base);
+    emit_program(&mut a, dom, profile);
+    let img = a.assemble().expect("guest program assembles");
+    assert!(img.len() <= lay::GUEST_TEXT_WORDS, "guest program too large: {}", img.len());
+    m.mem.load_image(base, &img.words).expect("guest text mapped");
+
+    let data = lay::guest_data(dom);
+    // Argument area: valid in-window pointers (used by mmu_update /
+    // multicall / set_trap_table-style batch calls).
+    for i in 0..64u64 {
+        let target = data + (guest_layout::SCRATCH + (i % 64)) * 8;
+        m.mem.poke(data + (guest_layout::ARGS + i) * 8, target).expect("args area mapped");
+    }
+    // Pointer-chase table: one full permutation cycle (stride 521 is odd,
+    // hence coprime with the power-of-two length).
+    let chase = data + guest_layout::CHASE * 8;
+    for i in 0..guest_layout::CHASE_LEN {
+        let next = (i + 521) % guest_layout::CHASE_LEN;
+        m.mem.poke(chase + i * 8, chase + next * 8).expect("chase table mapped");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile, Benchmark};
+    use sim_machine::VirtMode;
+    use xen_like::{DomainSpec, Platform, Topology};
+
+    #[test]
+    fn every_profile_assembles_within_text_budget() {
+        for b in Benchmark::ALL {
+            for mode in [VirtMode::Para, VirtMode::Hvm] {
+                let p = profile(b, mode);
+                let mut a = Asm::new(lay::guest_text(1));
+                emit_program(&mut a, 1, &p);
+                let img = a.assemble().unwrap_or_else(|e| panic!("{b:?}/{mode:?}: {e}"));
+                assert!(img.len() <= lay::GUEST_TEXT_WORDS);
+                assert!(img.symbol("trap_handler").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_healthy_activations() {
+        let topo = Topology {
+            nr_cpus: 1,
+            domains: vec![DomainSpec { nr_vcpus: 1 }, DomainSpec { nr_vcpus: 1 }],
+            virt_mode: VirtMode::Para,
+            seed: 5,
+            cycle_model: Default::default(),
+        };
+        let (mut plat, _) = Platform::new(topo);
+        let prof = profile(Benchmark::Postmark, VirtMode::Para).scaled(10);
+        load_workload(&mut plat.machine, 0, &crate::profile::dom0_profile(VirtMode::Para));
+        load_workload(&mut plat.machine, 1, &prof);
+        plat.boot(0, &mut xen_like::NullMonitor);
+        let acts = plat.run(0, 400, &mut xen_like::NullMonitor);
+        assert_eq!(acts.len(), 400, "died: {:?}", acts.last().unwrap().outcome);
+        // The guest made progress: bursts were counted and a checksum was
+        // published.
+        let ga = guest_addrs(1);
+        assert!(plat.machine.mem.peek(ga.iter_count).unwrap() > 0, "no bursts completed");
+        assert_ne!(plat.machine.mem.peek(ga.result).unwrap(), 0, "no checksum published");
+    }
+
+    #[test]
+    fn checksum_is_deterministic_for_same_seed() {
+        let run = || {
+            let topo = Topology {
+                nr_cpus: 1,
+                domains: vec![DomainSpec { nr_vcpus: 1 }],
+                virt_mode: VirtMode::Para,
+                seed: 11,
+                cycle_model: Default::default(),
+            };
+            let (mut plat, _) = Platform::new(topo);
+            let prof = profile(Benchmark::Freqmine, VirtMode::Para).scaled(4);
+            load_workload(&mut plat.machine, 0, &prof);
+            plat.boot(0, &mut xen_like::NullMonitor);
+            plat.run(0, 300, &mut xen_like::NullMonitor);
+            plat.machine.mem.peek(guest_addrs(0).result).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,103 @@
+//! Profile fidelity: each workload model must actually produce the exit
+//! mix its profile declares, because that mix is the hypervisor-function
+//! coverage the paper chose the benchmarks for.
+
+use guest_sim::{load_workload, profile, Action, Benchmark};
+use sim_machine::{ExitReason, Vector, VirtMode};
+use xen_like::{DomainSpec, IrqProfile, NullMonitor, Platform, Topology};
+use std::collections::HashMap;
+
+fn run_mix(b: Benchmark, mode: VirtMode, n: usize) -> HashMap<u16, usize> {
+    let topo = Topology {
+        nr_cpus: 2,
+        domains: vec![DomainSpec { nr_vcpus: 1 }; 2],
+        virt_mode: mode,
+        seed: 7,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let prof = profile(b, mode).scaled(16);
+    load_workload(&mut plat.machine, 0, &guest_sim::dom0_profile(mode).scaled(16));
+    load_workload(&mut plat.machine, 1, &prof);
+    plat.irq = IrqProfile { tick_period: 2_130_000, dev_irq_period: prof.dev_irq_period };
+    plat.boot(1, &mut NullMonitor);
+    let mut mix = HashMap::new();
+    for _ in 0..n {
+        let act = plat.run_activation(1, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "died: {:?}", act.outcome);
+        *mix.entry(act.reason.vmer()).or_default() += 1;
+    }
+    mix
+}
+
+/// The actions a profile declares must appear in the observed exits.
+#[test]
+fn declared_actions_materialize_as_exits() {
+    for b in [Benchmark::Freqmine, Benchmark::Postmark, Benchmark::Mcf] {
+        let prof = profile(b, VirtMode::Para);
+        let mix = run_mix(b, VirtMode::Para, 1500);
+        for (action, weight) in &prof.actions {
+            // Map the action to its expected exit code(s).
+            let vmer = match action {
+                Action::XenVersion => ExitReason::Hypercall(17).vmer(),
+                Action::EvtchnSend => ExitReason::Hypercall(32).vmer(),
+                Action::ConsoleWrite => ExitReason::Hypercall(18).vmer(),
+                Action::GrantOp => ExitReason::Hypercall(20).vmer(),
+                Action::MmuUpdate => ExitReason::Hypercall(1).vmer(),
+                Action::MemoryOp => ExitReason::Hypercall(12).vmer(),
+                Action::SetTimer => ExitReason::Hypercall(15).vmer(),
+                Action::Multicall => ExitReason::Hypercall(13).vmer(),
+                Action::UpdateVa => ExitReason::Hypercall(14).vmer(),
+                Action::SchedYield => ExitReason::Hypercall(29).vmer(),
+                Action::VcpuIsUp => ExitReason::Hypercall(24).vmer(),
+                Action::Sysctl => ExitReason::Hypercall(35).vmer(),
+                Action::MmuextOp => ExitReason::Hypercall(26).vmer(),
+                // Privileged instructions trap via #GP in PV mode.
+                Action::Cpuid | Action::Rdtsc | Action::PortOut | Action::PortIn => {
+                    ExitReason::Exception(Vector::GeneralProtection).vmer()
+                }
+            };
+            if *weight >= 10 {
+                assert!(
+                    mix.get(&vmer).copied().unwrap_or(0) > 0,
+                    "{}: declared action {action:?} (weight {weight}) never exited (vmer {vmer}); mix: {mix:?}",
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+/// Postmark must be console-dominated; bzip2 must not touch the console.
+#[test]
+fn io_mix_separates_postmark_from_bzip2() {
+    let console = ExitReason::Hypercall(18).vmer();
+    let post = run_mix(Benchmark::Postmark, VirtMode::Para, 1200);
+    let bzip = run_mix(Benchmark::Bzip2, VirtMode::Para, 300);
+    let post_console = post.get(&console).copied().unwrap_or(0);
+    let bzip_console = bzip.get(&console).copied().unwrap_or(0);
+    assert!(post_console > 100, "postmark console exits: {post_console}");
+    assert_eq!(bzip_console, 0, "bzip2 must not write the console");
+}
+
+/// HVM profiles exit via direct CPUID/IO exits, not #GP traps.
+#[test]
+fn hvm_uses_direct_exits() {
+    let mix = run_mix(Benchmark::Postmark, VirtMode::Hvm, 600);
+    let gp = ExitReason::Exception(Vector::GeneralProtection).vmer();
+    let io_w = ExitReason::IoInstruction { port: 0, write: true }.vmer();
+    let cpuid = ExitReason::CpuidExit.vmer();
+    assert_eq!(mix.get(&gp).copied().unwrap_or(0), 0, "no #GP trap-and-emulate in HVM");
+    let direct = mix.get(&io_w).copied().unwrap_or(0) + mix.get(&cpuid).copied().unwrap_or(0);
+    assert!(direct > 0, "HVM direct exits missing: {mix:?}");
+}
+
+/// Device interrupts arrive at the configured rate for I/O workloads.
+#[test]
+fn device_interrupts_flow_for_io_workloads() {
+    let mix = run_mix(Benchmark::Postmark, VirtMode::Para, 1500);
+    let dev_total: usize = (0..16u8)
+        .map(|i| mix.get(&ExitReason::DeviceInterrupt(i).vmer()).copied().unwrap_or(0))
+        .sum();
+    assert!(dev_total > 3, "postmark should see device IRQs: {dev_total}");
+}

@@ -1,0 +1,166 @@
+//! Labeled datasets of integer feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary classification label: was the hypervisor execution correct?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    Correct,
+    Incorrect,
+}
+
+impl Label {
+    /// 1 for `Incorrect` (the positive class in detection terms).
+    pub fn as_positive(self) -> usize {
+        matches!(self, Label::Incorrect) as usize
+    }
+}
+
+/// One training/testing sample: a fixed-width feature vector plus a label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    pub features: Vec<u64>,
+    pub label: Label,
+}
+
+impl Sample {
+    pub fn new(features: Vec<u64>, label: Label) -> Sample {
+        Sample { features, label }
+    }
+}
+
+/// A dataset with named features.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub feature_names: Vec<String>,
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Empty dataset over the given feature names.
+    pub fn new(feature_names: &[&str]) -> Dataset {
+        Dataset {
+            feature_names: feature_names.iter().map(|s| s.to_string()).collect(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of features.
+    pub fn nr_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Append a sample, validating its width.
+    pub fn push(&mut self, sample: Sample) {
+        assert_eq!(
+            sample.features.len(),
+            self.nr_features(),
+            "sample width {} != dataset width {}",
+            sample.features.len(),
+            self.nr_features()
+        );
+        self.samples.push(sample);
+    }
+
+    /// Count of (correct, incorrect) samples.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let inc = self.samples.iter().filter(|s| s.label == Label::Incorrect).count();
+        (self.samples.len() - inc, inc)
+    }
+
+    /// Deterministically split into (train, test) by taking every k-th
+    /// sample into the test set, preserving class balance roughly.
+    pub fn split(&self, test_every: usize) -> (Dataset, Dataset) {
+        assert!(test_every >= 2, "test_every must be >= 2");
+        let mut train = Dataset { feature_names: self.feature_names.clone(), samples: vec![] };
+        let mut test = Dataset { feature_names: self.feature_names.clone(), samples: vec![] };
+        for (i, s) in self.samples.iter().enumerate() {
+            if i % test_every == 0 {
+                test.samples.push(s.clone());
+            } else {
+                train.samples.push(s.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Project the dataset onto a subset of feature columns (for the
+    /// feature-ablation experiment).
+    pub fn project(&self, columns: &[usize]) -> Dataset {
+        let names = columns.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| Sample {
+                features: columns.iter().map(|&c| s.features[c]).collect(),
+                label: s.label,
+            })
+            .collect();
+        Dataset { feature_names: names, samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(&["a", "b"]);
+        for i in 0..10u64 {
+            let label = if i % 3 == 0 { Label::Incorrect } else { Label::Correct };
+            d.push(Sample::new(vec![i, 100 - i], label));
+        }
+        d
+    }
+
+    #[test]
+    fn class_counts_add_up() {
+        let d = ds();
+        let (c, i) = d.class_counts();
+        assert_eq!(c + i, d.len());
+        assert_eq!(i, 4); // 0,3,6,9
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width")]
+    fn wrong_width_rejected() {
+        let mut d = ds();
+        d.push(Sample::new(vec![1], Label::Correct));
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = ds();
+        let (tr, te) = d.split(3);
+        assert_eq!(tr.len() + te.len(), d.len());
+        assert_eq!(te.len(), 4); // indices 0,3,6,9
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let d = ds();
+        let p = d.project(&[1]);
+        assert_eq!(p.nr_features(), 1);
+        assert_eq!(p.feature_names, vec!["b".to_string()]);
+        assert_eq!(p.samples[2].features, vec![98]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = ds();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.samples[0], d.samples[0]);
+    }
+}

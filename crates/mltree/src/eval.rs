@@ -1,0 +1,191 @@
+//! Classifier evaluation: accuracy, confusion matrix, false-positive rate.
+//!
+//! In detection terms, `Incorrect` is the positive class. The paper reports
+//! 98.6% accuracy for the random tree, 96.1% for the decision tree, and a
+//! 0.7% false-positive rate (correct executions flagged as incorrect) that
+//! feeds the recovery-overhead estimate of Fig. 11.
+
+use crate::dataset::{Dataset, Label};
+use crate::tree::DecisionTree;
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix. Positives are `Incorrect` executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Incorrect execution flagged incorrect (a detection).
+    pub true_positive: usize,
+    /// Correct execution flagged incorrect (triggers unnecessary recovery).
+    pub false_positive: usize,
+    /// Correct execution passed.
+    pub true_negative: usize,
+    /// Incorrect execution missed (mis-classification, Table II's 10%).
+    pub false_negative: usize,
+}
+
+impl ConfusionMatrix {
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Fraction of *correct* executions flagged incorrect — the rate that
+    /// costs recovery re-executions.
+    pub fn false_positive_rate(&self) -> f64 {
+        let negatives = self.false_positive + self.true_negative;
+        if negatives == 0 {
+            return 0.0;
+        }
+        self.false_positive as f64 / negatives as f64
+    }
+
+    /// Fraction of incorrect executions detected (recall / coverage of the
+    /// VM-transition detector).
+    pub fn detection_rate(&self) -> f64 {
+        let positives = self.true_positive + self.false_negative;
+        if positives == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / positives as f64
+    }
+
+    /// Record one (actual, predicted) pair.
+    pub fn record(&mut self, actual: Label, predicted: Label) {
+        match (actual, predicted) {
+            (Label::Incorrect, Label::Incorrect) => self.true_positive += 1,
+            (Label::Correct, Label::Incorrect) => self.false_positive += 1,
+            (Label::Correct, Label::Correct) => self.true_negative += 1,
+            (Label::Incorrect, Label::Correct) => self.false_negative += 1,
+        }
+    }
+}
+
+/// Evaluate a tree on a test set.
+pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::default();
+    for s in &test.samples {
+        cm.record(s.label, tree.classify(&s.features));
+    }
+    cm
+}
+
+/// k-fold cross-validation: train on k-1 folds, evaluate on the held-out
+/// fold, and pool the confusion matrices — a lower-variance estimate of the
+/// paper's single train/test split.
+pub fn cross_validate(
+    data: &Dataset,
+    k: usize,
+    train: impl Fn(&Dataset) -> DecisionTree,
+) -> ConfusionMatrix {
+    assert!(k >= 2, "need at least two folds");
+    assert!(data.len() >= k, "fewer samples than folds");
+    let mut pooled = ConfusionMatrix::default();
+    for fold in 0..k {
+        let names: Vec<&str> = data.feature_names.iter().map(|s| s.as_str()).collect();
+        let mut tr = Dataset::new(&names);
+        let mut te = Dataset::new(&names);
+        for (i, s) in data.samples.iter().enumerate() {
+            if i % k == fold {
+                te.push(s.clone());
+            } else {
+                tr.push(s.clone());
+            }
+        }
+        let tree = train(&tr);
+        for s in &te.samples {
+            pooled.record(s.label, tree.classify(&s.features));
+        }
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::tree::TrainConfig;
+
+    #[test]
+    fn perfect_separation_gives_full_accuracy() {
+        let mut d = Dataset::new(&["x"]);
+        for i in 0..100u64 {
+            let label = if i < 50 { Label::Correct } else { Label::Incorrect };
+            d.push(Sample::new(vec![i], label));
+        }
+        let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
+        let cm = evaluate(&t, &d);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+        assert_eq!(cm.detection_rate(), 1.0);
+        assert_eq!(cm.total(), 100);
+    }
+
+    #[test]
+    fn confusion_matrix_cells_are_routed_correctly() {
+        let mut cm = ConfusionMatrix::default();
+        cm.record(Label::Incorrect, Label::Incorrect);
+        cm.record(Label::Correct, Label::Incorrect);
+        cm.record(Label::Correct, Label::Correct);
+        cm.record(Label::Correct, Label::Correct);
+        cm.record(Label::Incorrect, Label::Correct);
+        assert_eq!(cm.true_positive, 1);
+        assert_eq!(cm.false_positive, 1);
+        assert_eq!(cm.true_negative, 2);
+        assert_eq!(cm.false_negative, 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.false_positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.detection_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_degenerates_gracefully() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+        assert_eq!(cm.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn cross_validation_pools_all_samples() {
+        let mut d = Dataset::new(&["x"]);
+        for i in 0..90u64 {
+            let label = if i % 2 == 0 { Label::Correct } else { Label::Incorrect };
+            d.push(Sample::new(vec![i % 2 * 100 + i % 7], label));
+        }
+        let cm = cross_validate(&d, 5, |tr| {
+            DecisionTree::train(tr, &TrainConfig::decision_tree())
+        });
+        assert_eq!(cm.total(), 90, "every sample evaluated exactly once");
+        assert!(cm.accuracy() > 0.9, "separable data: {}", cm.accuracy());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn cross_validation_rejects_k1() {
+        let mut d = Dataset::new(&["x"]);
+        d.push(Sample::new(vec![1], Label::Correct));
+        d.push(Sample::new(vec![2], Label::Incorrect));
+        cross_validate(&d, 1, |tr| DecisionTree::train(tr, &TrainConfig::decision_tree()));
+    }
+
+    #[test]
+    fn noisy_overlap_keeps_accuracy_below_one() {
+        // Overlapping classes: identical feature values with both labels.
+        let mut d = Dataset::new(&["x"]);
+        for i in 0..50u64 {
+            d.push(Sample::new(vec![i % 5], Label::Correct));
+            d.push(Sample::new(vec![i % 5], Label::Incorrect));
+        }
+        let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
+        let cm = evaluate(&t, &d);
+        assert!(cm.accuracy() <= 0.6, "cannot beat chance on pure noise");
+    }
+}

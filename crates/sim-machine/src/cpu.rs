@@ -1,0 +1,181 @@
+//! A logical CPU: architectural register file, mode, PMU, cycle counter.
+
+use crate::perf::PerfCounters;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+
+/// Index of a logical CPU in the machine.
+pub type CpuId = usize;
+
+/// Execution mode. The paper's terminology (Intel VMX): guest mode runs VM
+/// code, host mode runs hypervisor code; the transitions are VM exit and VM
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Hypervisor execution.
+    Host,
+    /// VM execution on behalf of `dom` / virtual CPU `vcpu`.
+    Guest { dom: u16, vcpu: u16 },
+}
+
+impl Mode {
+    /// Whether this is host (hypervisor) mode.
+    pub fn is_host(self) -> bool {
+        matches!(self, Mode::Host)
+    }
+}
+
+/// Architectural state of one logical CPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cpu {
+    /// The sixteen GPRs, indexed by [`Reg::index`].
+    pub regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register (bit layout in [`crate::reg::flags`]).
+    pub rflags: u64,
+    /// Current execution mode.
+    pub mode: Mode,
+    /// Per-logical-core performance monitoring unit.
+    pub perf: PerfCounters,
+    /// Monotonic cycle counter (drives RDTSC and overhead accounting).
+    pub cycles: u64,
+    /// Dynamic instruction counter (drives detection-latency measurement,
+    /// which the paper reports in instructions).
+    pub insns_retired: u64,
+}
+
+impl Cpu {
+    /// A freshly reset CPU in host mode at `rip = 0`.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; 16],
+            rip: 0,
+            rflags: 0,
+            mode: Mode::Host,
+            perf: PerfCounters::new(),
+            cycles: 0,
+            insns_retired: 0,
+        }
+    }
+
+    /// Read a GPR.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Write a GPR.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Stack pointer convenience accessor.
+    #[inline]
+    pub fn rsp(&self) -> u64 {
+        self.get(Reg::Rsp)
+    }
+
+    /// Flip one bit of an architectural register. This is the paper's fault
+    /// model: "single bit-flip ... in the architectural register state,
+    /// including general purpose registers, instruction and stack pointers
+    /// and flags" (§V-B).
+    pub fn flip_bit(&mut self, target: FlipTarget, bit: u8) {
+        let b = 1u64 << (bit & 63);
+        match target {
+            FlipTarget::Gpr(r) => self.regs[r.index()] ^= b,
+            FlipTarget::Rip => self.rip ^= b,
+            FlipTarget::Rflags => self.rflags ^= b,
+        }
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+/// Where a fault-injection bit flip lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlipTarget {
+    /// One of the sixteen GPRs (includes RSP, the paper's "stack pointer").
+    Gpr(Reg),
+    /// The instruction pointer.
+    Rip,
+    /// The flags register.
+    Rflags,
+}
+
+impl FlipTarget {
+    /// All 18 architectural flip targets.
+    pub fn all() -> Vec<FlipTarget> {
+        let mut v: Vec<FlipTarget> = Reg::ALL.iter().map(|&r| FlipTarget::Gpr(r)).collect();
+        v.push(FlipTarget::Rip);
+        v.push(FlipTarget::Rflags);
+        v
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> String {
+        match self {
+            FlipTarget::Gpr(r) => r.name().to_string(),
+            FlipTarget::Rip => "rip".to_string(),
+            FlipTarget::Rflags => "rflags".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_cpu_is_host_mode_zeroed() {
+        let c = Cpu::new();
+        assert!(c.mode.is_host());
+        assert_eq!(c.regs, [0; 16]);
+        assert_eq!(c.cycles, 0);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut c = Cpu::new();
+        c.set(Reg::R11, 0xfeed);
+        assert_eq!(c.get(Reg::R11), 0xfeed);
+        assert_eq!(c.regs[11], 0xfeed);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let mut c = Cpu::new();
+        c.set(Reg::Rax, 0x1234);
+        c.flip_bit(FlipTarget::Gpr(Reg::Rax), 3);
+        assert_eq!(c.get(Reg::Rax), 0x1234 ^ 8);
+        c.flip_bit(FlipTarget::Gpr(Reg::Rax), 3);
+        assert_eq!(c.get(Reg::Rax), 0x1234);
+    }
+
+    #[test]
+    fn flip_rip_and_flags() {
+        let mut c = Cpu::new();
+        c.rip = 0x1000;
+        c.flip_bit(FlipTarget::Rip, 4);
+        assert_eq!(c.rip, 0x1010);
+        c.flip_bit(FlipTarget::Rflags, 6);
+        assert_eq!(c.rflags, 1 << 6);
+    }
+
+    #[test]
+    fn flip_bit_masks_shift() {
+        let mut c = Cpu::new();
+        c.flip_bit(FlipTarget::Gpr(Reg::Rbx), 64); // masked to bit 0
+        assert_eq!(c.get(Reg::Rbx), 1);
+    }
+
+    #[test]
+    fn eighteen_flip_targets() {
+        assert_eq!(FlipTarget::all().len(), 18);
+    }
+}

@@ -1,0 +1,215 @@
+//! VM exit reasons.
+//!
+//! Section IV of the paper partitions all hypervisor activations into five
+//! categories: common device interrupts (`do_irq`), ten APIC-sourced
+//! interrupts, software interrupts/tasklets (`do_softirq`, `do_tasklet`),
+//! nineteen exceptions, and thirty-eight hypercalls. The exit reason is the
+//! first — and per the paper the most relevant — feature of the VM-transition
+//! detector (synonym `VMER` in Table I).
+
+use crate::exception::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Number of hypercalls in Xen 4.1.2, which the paper reports as 38.
+pub const NR_HYPERCALLS: u8 = 38;
+/// Number of APIC interrupt handlers the paper reports ("ten interrupt
+/// handlers in this category").
+pub const NR_APIC_VECTORS: u8 = 10;
+/// Number of hardware device IRQ lines the simulated platform exposes.
+pub const NR_DEVICE_IRQS: u8 = 16;
+
+/// Why control transferred from guest mode to host mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExitReason {
+    /// Guest invoked hypercall `nr` (0..38). Para-virtualized interface.
+    Hypercall(u8),
+    /// Guest raised exception `vector`, trapped by the hypervisor
+    /// (e.g. #GP from a privileged instruction that must be emulated).
+    Exception(Vector),
+    /// A hardware device interrupt arrived on IRQ line `irq` (handled by
+    /// `do_irq`).
+    DeviceInterrupt(u8),
+    /// An APIC-local interrupt (timer tick, IPI, performance-counter
+    /// interrupt, ...) with local vector index 0..10.
+    ApicInterrupt(u8),
+    /// Pending soft-interrupt work (`do_softirq`).
+    Softirq,
+    /// Pending tasklet work (`do_tasklet`).
+    Tasklet,
+    /// Guest executed a port I/O instruction (hardware-assisted mode).
+    IoInstruction { port: u16, write: bool },
+    /// Guest executed CPUID (hardware-assisted mode exits directly; the
+    /// para-virtual path arrives as `Exception(#GP)` instead).
+    CpuidExit,
+    /// Guest executed RDTSC (hardware-assisted mode).
+    RdtscExit,
+    /// Guest executed HLT.
+    HltExit,
+}
+
+impl ExitReason {
+    /// Dense "VM exit reason" code used both as the ML feature (`VMER`) and
+    /// as the index into the hypervisor's dispatch table.
+    ///
+    /// Layout:
+    /// * `0..38`  — hypercalls
+    /// * `38..58` — exception vectors 0..=19
+    /// * `58..74` — device IRQs 0..16
+    /// * `74..84` — APIC vectors 0..10
+    /// * `84`     — softirq, `85` — tasklet
+    /// * `86`     — I/O read, `87` — I/O write
+    /// * `88`     — cpuid, `89` — rdtsc, `90` — hlt
+    pub fn vmer(self) -> u16 {
+        match self {
+            ExitReason::Hypercall(n) => (n % NR_HYPERCALLS) as u16,
+            ExitReason::Exception(v) => 38 + v.number() as u16,
+            ExitReason::DeviceInterrupt(irq) => 58 + (irq % NR_DEVICE_IRQS) as u16,
+            ExitReason::ApicInterrupt(v) => 74 + (v % NR_APIC_VECTORS) as u16,
+            ExitReason::Softirq => 84,
+            ExitReason::Tasklet => 85,
+            ExitReason::IoInstruction { write, .. } => {
+                if write {
+                    87
+                } else {
+                    86
+                }
+            }
+            ExitReason::CpuidExit => 88,
+            ExitReason::RdtscExit => 89,
+            ExitReason::HltExit => 90,
+        }
+    }
+
+    /// Total number of distinct VMER codes.
+    pub const VMER_COUNT: u16 = 91;
+
+    /// Reconstruct an exit reason from a dense code. Port numbers for I/O
+    /// exits are not recoverable and default to zero. Returns `None` for
+    /// codes outside the dense range.
+    pub fn from_vmer(code: u16) -> Option<ExitReason> {
+        Some(match code {
+            0..=37 => ExitReason::Hypercall(code as u8),
+            38..=57 => ExitReason::Exception(Vector::from_u8((code - 38) as u8)),
+            58..=73 => ExitReason::DeviceInterrupt((code - 58) as u8),
+            74..=83 => ExitReason::ApicInterrupt((code - 74) as u8),
+            84 => ExitReason::Softirq,
+            85 => ExitReason::Tasklet,
+            86 => ExitReason::IoInstruction { port: 0, write: false },
+            87 => ExitReason::IoInstruction { port: 0, write: true },
+            88 => ExitReason::CpuidExit,
+            89 => ExitReason::RdtscExit,
+            90 => ExitReason::HltExit,
+            _ => return None,
+        })
+    }
+
+    /// The five coarse categories of Section IV ("VM exit reasons fall into
+    /// five categories"), used when reporting activation-frequency mixes.
+    pub fn category(self) -> ExitCategory {
+        match self {
+            ExitReason::Hypercall(_) => ExitCategory::Hypercall,
+            ExitReason::Exception(_) => ExitCategory::Exception,
+            ExitReason::DeviceInterrupt(_) => ExitCategory::DeviceInterrupt,
+            ExitReason::ApicInterrupt(_) => ExitCategory::ApicInterrupt,
+            ExitReason::Softirq | ExitReason::Tasklet => ExitCategory::SoftirqTasklet,
+            ExitReason::IoInstruction { .. }
+            | ExitReason::CpuidExit
+            | ExitReason::RdtscExit
+            | ExitReason::HltExit => ExitCategory::HardwareAssist,
+        }
+    }
+}
+
+/// Coarse activation categories (paper §IV plus a sixth bucket for the
+/// hardware-assisted direct exits that bypass the PV trap paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExitCategory {
+    Hypercall,
+    Exception,
+    DeviceInterrupt,
+    ApicInterrupt,
+    SoftirqTasklet,
+    HardwareAssist,
+}
+
+impl std::fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExitReason::Hypercall(n) => write!(f, "hypercall({n})"),
+            ExitReason::Exception(v) => write!(f, "exception({})", v.mnemonic()),
+            ExitReason::DeviceInterrupt(i) => write!(f, "irq({i})"),
+            ExitReason::ApicInterrupt(v) => write!(f, "apic({v})"),
+            ExitReason::Softirq => write!(f, "softirq"),
+            ExitReason::Tasklet => write!(f, "tasklet"),
+            ExitReason::IoInstruction { port, write } => {
+                write!(f, "io({port}, {})", if *write { "out" } else { "in" })
+            }
+            ExitReason::CpuidExit => write!(f, "cpuid-exit"),
+            ExitReason::RdtscExit => write!(f, "rdtsc-exit"),
+            ExitReason::HltExit => write!(f, "hlt-exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmer_codes_are_dense_and_unique() {
+        let mut seen = vec![false; ExitReason::VMER_COUNT as usize];
+        for n in 0..NR_HYPERCALLS {
+            mark(&mut seen, ExitReason::Hypercall(n));
+        }
+        for v in Vector::ALL {
+            mark(&mut seen, ExitReason::Exception(v));
+        }
+        for i in 0..NR_DEVICE_IRQS {
+            mark(&mut seen, ExitReason::DeviceInterrupt(i));
+        }
+        for v in 0..NR_APIC_VECTORS {
+            mark(&mut seen, ExitReason::ApicInterrupt(v));
+        }
+        mark(&mut seen, ExitReason::Softirq);
+        mark(&mut seen, ExitReason::Tasklet);
+        mark(&mut seen, ExitReason::IoInstruction { port: 0x3f8, write: false });
+        mark(&mut seen, ExitReason::IoInstruction { port: 0x3f8, write: true });
+        mark(&mut seen, ExitReason::CpuidExit);
+        mark(&mut seen, ExitReason::RdtscExit);
+        mark(&mut seen, ExitReason::HltExit);
+        assert!(seen.iter().all(|&s| s), "every VMER code covered exactly once");
+    }
+
+    fn mark(seen: &mut [bool], r: ExitReason) {
+        let c = r.vmer() as usize;
+        assert!(!seen[c], "duplicate vmer {c} for {r}");
+        seen[c] = true;
+    }
+
+    #[test]
+    fn from_vmer_round_trips() {
+        for code in 0..ExitReason::VMER_COUNT {
+            let r = ExitReason::from_vmer(code).expect("dense code decodes");
+            assert_eq!(r.vmer(), code);
+        }
+        assert_eq!(ExitReason::from_vmer(ExitReason::VMER_COUNT), None);
+    }
+
+    #[test]
+    fn hypercall_count_matches_xen_4_1_2() {
+        assert_eq!(NR_HYPERCALLS, 38);
+        assert_eq!(NR_APIC_VECTORS, 10);
+    }
+
+    #[test]
+    fn categories_partition_reasons() {
+        assert_eq!(ExitReason::Hypercall(3).category(), ExitCategory::Hypercall);
+        assert_eq!(
+            ExitReason::Exception(Vector::GeneralProtection).category(),
+            ExitCategory::Exception
+        );
+        assert_eq!(ExitReason::Softirq.category(), ExitCategory::SoftirqTasklet);
+        assert_eq!(ExitReason::Tasklet.category(), ExitCategory::SoftirqTasklet);
+        assert_eq!(ExitReason::CpuidExit.category(), ExitCategory::HardwareAssist);
+    }
+}

@@ -1,0 +1,1055 @@
+//! The machine: CPUs + memory + devices + world-switch "hardware".
+//!
+//! [`Machine::step`] executes one instruction on one logical CPU and reports
+//! what happened. Mode transitions mirror Intel VMX:
+//!
+//! * a guest instruction that requires hypervisor service (hypercall, trapped
+//!   exception, I/O exit, ...) performs a **VM exit**: hardware writes the
+//!   guest `RIP`/`RSP`/`RFLAGS`, the exit reason and the exit qualification
+//!   into a per-CPU VMCS block in memory, loads the host stack pointer and
+//!   host entry point, and switches to host mode;
+//! * the host `VMENTRY` instruction performs a **VM entry**: hardware loads
+//!   guest `RIP`/`RSP`/`RFLAGS` back from the VMCS block.
+//!
+//! General-purpose registers are *not* switched by hardware — hypervisor
+//! entry/exit stubs (simulated code built by `xen-like`) save and restore
+//! them, exactly like Xen's assembly stubs. That detail is what lets injected
+//! faults corrupt "stack values ... pushed to or restored from the stack"
+//! (the paper's Table II undetected category).
+
+use crate::cpu::{Cpu, CpuId, Mode};
+use crate::cycles::CycleModel;
+use crate::exception::{AccessKind, Exception, Vector};
+use crate::exit::ExitReason;
+use crate::insn::{Cond, DecodeError, Insn};
+use crate::mem::{MemError, Memory};
+use crate::prng::SiteNoise;
+use crate::reg::{flags, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Words per CPU in the VMCS block.
+pub const VMCS_WORDS: u64 = 5;
+/// VMCS field offsets (in words).
+pub mod vmcs {
+    /// Guest instruction pointer at exit / to load at entry.
+    pub const GUEST_RIP: u64 = 0;
+    /// Guest stack pointer.
+    pub const GUEST_RSP: u64 = 1;
+    /// Guest flags.
+    pub const GUEST_RFLAGS: u64 = 2;
+    /// Dense exit-reason code ([`crate::ExitReason::vmer`]).
+    pub const EXIT_REASON: u64 = 3;
+    /// Exit qualification (fault address, I/O port, hypercall number...).
+    pub const EXIT_QUAL: u64 = 4;
+}
+
+/// Whether guests run para-virtualized or hardware-assisted. The paper
+/// evaluates both (Fig. 3); they differ in how privileged instructions reach
+/// the hypervisor (trap via #GP vs. direct VM exits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VirtMode {
+    /// Para-virtualization: CPUID/RDTSC raise #GP which the hypervisor traps
+    /// and emulates; port I/O from guests is forbidden (#GP).
+    Para,
+    /// Hardware-assisted: CPUID/RDTSC/IN/OUT/HLT exit directly.
+    Hvm,
+}
+
+/// Static machine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of logical CPUs.
+    pub nr_cpus: usize,
+    /// Host-mode entry point loaded by hardware at every VM exit. CPU `i`
+    /// enters at `host_entry + i * host_entry_stride`, which lets the
+    /// hypervisor lay down per-CPU trampolines that establish the per-CPU
+    /// data pointer (the analogue of Xen's per-CPU %gs base).
+    pub host_entry: u64,
+    /// Byte distance between per-CPU entry trampolines (0 = shared entry).
+    pub host_entry_stride: u64,
+    /// Base address of per-CPU host stacks; CPU `i` gets
+    /// `host_stack_base + (i + 1) * host_stack_size` as its stack top.
+    pub host_stack_base: u64,
+    /// Host stack size in bytes per CPU.
+    pub host_stack_size: u64,
+    /// Base address of the per-CPU VMCS blocks.
+    pub vmcs_base: u64,
+    /// Guest virtualization flavour.
+    pub virt_mode: VirtMode,
+    /// Cycle cost model.
+    pub cycle_model: CycleModel,
+}
+
+impl MachineConfig {
+    /// Initial host stack pointer for `cpu` (stacks grow down).
+    pub fn host_stack_top(&self, cpu: CpuId) -> u64 {
+        self.host_stack_base + (cpu as u64 + 1) * self.host_stack_size
+    }
+
+    /// Host entry point for `cpu` (per-CPU trampoline).
+    pub fn host_entry_for(&self, cpu: CpuId) -> u64 {
+        self.host_entry + cpu as u64 * self.host_entry_stride
+    }
+
+    /// Address of a VMCS field for `cpu`.
+    pub fn vmcs_field(&self, cpu: CpuId, field: u64) -> u64 {
+        self.vmcs_base + (cpu as u64 * VMCS_WORDS + field) * 8
+    }
+}
+
+/// Deterministic port-I/O device model. Reads mix the port with a
+/// per-port sequence number so values are reproducible from a snapshot and
+/// independent across ports; writes are folded into a running hash so
+/// golden-run differencing can detect corrupted device output.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Devices {
+    /// Number of OUT operations performed.
+    pub out_count: u64,
+    /// Per-port IN sequence numbers.
+    pub in_counts: std::collections::HashMap<u16, u64>,
+    /// Running hash of all (port, value) writes.
+    pub out_hash: u64,
+}
+
+impl Devices {
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    /// Record a port write.
+    pub fn write(&mut self, port: u16, value: u64) {
+        self.out_count += 1;
+        self.out_hash = Devices::mix(self.out_hash, (port as u64) << 48 | (value & 0xffff_ffff_ffff));
+    }
+
+    /// Produce a deterministic port read value (per-port stream).
+    pub fn read(&mut self, port: u16) -> u64 {
+        let c = self.in_counts.entry(port).or_insert(0);
+        *c += 1;
+        Devices::mix(*c, port as u64)
+    }
+}
+
+/// What a single [`Machine::step`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired normally; execution continues.
+    Retired,
+    /// Something the harness must handle.
+    Event(Event),
+}
+
+/// Events surfaced to the orchestration layer (the hypervisor platform and
+/// the Xentry shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Guest → host transition completed; the CPU now sits at the host entry
+    /// point with the VMCS block filled in.
+    VmExit(ExitReason),
+    /// Host executed VMENTRY; guest RIP/RSP/RFLAGS were loaded from the
+    /// VMCS. The orchestrator must set the CPU's guest mode (it knows which
+    /// VCPU the hypervisor scheduled).
+    VmEntry,
+    /// A hardware exception was raised in **host mode** — the raw signal the
+    /// Xentry runtime detector parses. The CPU is left at the faulting
+    /// instruction.
+    Exception(Exception),
+    /// A software assertion in hypervisor code failed (host mode only).
+    AssertFail { id: u16, rip: u64 },
+    /// Host executed HLT (idle); resume by injecting an interrupt.
+    Halt,
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Physical memory.
+    pub mem: Memory,
+    /// Logical CPUs.
+    cpus: Vec<Cpu>,
+    /// Workload-variability source backing the `NOISE` instruction
+    /// (independent deterministic stream per instruction address).
+    pub noise: SiteNoise,
+    /// Port-I/O devices.
+    pub devices: Devices,
+    /// Static configuration.
+    pub config: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine. Memory must already contain the regions the config
+    /// points into (host stacks, VMCS block); the loader asserts this.
+    pub fn new(config: MachineConfig, mem: Memory, seed: u64) -> Machine {
+        let cpus = (0..config.nr_cpus)
+            .map(|i| {
+                let mut c = Cpu::new();
+                c.rip = config.host_entry_for(i);
+                c.set(Reg::Rsp, config.host_stack_top(i));
+                c
+            })
+            .collect();
+        Machine { mem, cpus, noise: SiteNoise::new(seed), devices: Devices::default(), config }
+    }
+
+    /// Immutable CPU access.
+    pub fn cpu(&self, id: CpuId) -> &Cpu {
+        &self.cpus[id]
+    }
+
+    /// Mutable CPU access (fault injection, orchestration).
+    pub fn cpu_mut(&mut self, id: CpuId) -> &mut Cpu {
+        &mut self.cpus[id]
+    }
+
+    /// Number of CPUs.
+    pub fn nr_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Snapshot the whole machine (for golden-run differencing).
+    pub fn snapshot(&self) -> Machine {
+        self.clone()
+    }
+
+    /// Perform the hardware part of a VM exit on `cpu`: fill the VMCS block,
+    /// load host RSP/RIP, switch to host mode. `guest_rip` is the resume
+    /// point to record (already advanced past trap-like instructions).
+    fn hw_vm_exit(&mut self, cpu: CpuId, reason: ExitReason, guest_rip: u64, qual: u64) -> Event {
+        let cfg = self.config.clone();
+        let c = &mut self.cpus[cpu];
+        let guest_rsp = c.get(Reg::Rsp);
+        let guest_rflags = c.rflags;
+        c.mode = Mode::Host;
+        c.rip = cfg.host_entry_for(cpu);
+        c.set(Reg::Rsp, cfg.host_stack_top(cpu));
+        c.cycles += cfg.cycle_model.vm_exit;
+        // VMCS writes are "microcode": they bypass page permissions but the
+        // block must be mapped.
+        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RIP), guest_rip).expect("VMCS mapped");
+        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RSP), guest_rsp).expect("VMCS mapped");
+        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS), guest_rflags).expect("VMCS mapped");
+        self.mem
+            .poke(cfg.vmcs_field(cpu, vmcs::EXIT_REASON), reason.vmer() as u64)
+            .expect("VMCS mapped");
+        self.mem.poke(cfg.vmcs_field(cpu, vmcs::EXIT_QUAL), qual).expect("VMCS mapped");
+        Event::VmExit(reason)
+    }
+
+    /// Inject an asynchronous VM exit (device/APIC interrupt, pending
+    /// softirq) while `cpu` is in guest mode. The guest resumes at the
+    /// current instruction after the hypervisor handles the interrupt.
+    ///
+    /// # Panics
+    /// If the CPU is in host mode — asynchronous events arriving during
+    /// hypervisor execution are queued by the platform, not injected.
+    pub fn force_exit(&mut self, cpu: CpuId, reason: ExitReason) -> Event {
+        assert!(
+            !self.cpus[cpu].mode.is_host(),
+            "force_exit requires guest mode; host-mode interrupts are queued"
+        );
+        let rip = self.cpus[cpu].rip;
+        self.hw_vm_exit(cpu, reason, rip, 0)
+    }
+
+    /// Raise an exception observed on `cpu`: in guest mode it becomes a VM
+    /// exit (the hypervisor traps guest exceptions); in host mode it is
+    /// surfaced to the harness.
+    fn raise(&mut self, cpu: CpuId, e: Exception) -> Event {
+        if self.cpus[cpu].mode.is_host() {
+            Event::Exception(e)
+        } else {
+            let qual = e.addr.unwrap_or(0);
+            self.hw_vm_exit(cpu, ExitReason::Exception(e.vector), e.rip, qual)
+        }
+    }
+
+    fn mem_error_to_exception(e: MemError, rip: u64, access: AccessKind) -> Exception {
+        match e {
+            MemError::Unmapped { addr } | MemError::Protection { addr } => {
+                Exception::mem(Vector::PageFault, rip, addr, access)
+            }
+            MemError::Unaligned { addr } => {
+                Exception::mem(Vector::AlignmentCheck, rip, addr, access)
+            }
+        }
+    }
+
+    /// CPUID model: a fixed deterministic function of the leaf. The #GP
+    /// emulation path in the hypervisor must reproduce these values — the
+    /// paper's running example of long-latency error propagation is a
+    /// corrupted emulated `eax`.
+    pub fn cpuid_model(leaf: u64) -> [u64; 4] {
+        let m = |s: u64| {
+            let mut z = leaf.wrapping_add(s).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            z ^= z >> 29;
+            z
+        };
+        [m(1), m(2), m(3), m(4)]
+    }
+
+    /// Execute one instruction on `cpu`.
+    pub fn step(&mut self, cpu: CpuId) -> StepOutcome {
+        let pc = self.cpus[cpu].rip;
+        let word = match self.mem.fetch(pc) {
+            Ok(w) => w,
+            Err(e) => {
+                let exc = Machine::mem_error_to_exception(e, pc, AccessKind::Fetch);
+                return StepOutcome::Event(self.raise(cpu, exc));
+            }
+        };
+        let insn = match Insn::decode(word) {
+            Ok(i) => i,
+            Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadOperand(_)) => {
+                return StepOutcome::Event(self.raise(cpu, Exception::at(Vector::InvalidOpcode, pc)));
+            }
+        };
+        self.execute(cpu, pc, insn)
+    }
+
+    fn set_flags_sub(c: &mut Cpu, a: u64, b: u64) {
+        let (res, carry) = a.overflowing_sub(b);
+        let sa = (a as i64) < 0;
+        let sb = (b as i64) < 0;
+        let sr = (res as i64) < 0;
+        let of = (sa != sb) && (sr != sa);
+        let mut f = c.rflags & !flags::ALL;
+        if res == 0 {
+            f |= flags::ZF;
+        }
+        if sr {
+            f |= flags::SF;
+        }
+        if carry {
+            f |= flags::CF;
+        }
+        if of {
+            f |= flags::OF;
+        }
+        c.rflags = f;
+    }
+
+    fn set_flags_logic(c: &mut Cpu, res: u64) {
+        let mut f = c.rflags & !flags::ALL;
+        if res == 0 {
+            f |= flags::ZF;
+        }
+        if (res as i64) < 0 {
+            f |= flags::SF;
+        }
+        c.rflags = f;
+    }
+
+    fn cond_holds(c: &Cpu, cond: Cond) -> bool {
+        let zf = c.rflags & flags::ZF != 0;
+        let sf = c.rflags & flags::SF != 0;
+        let of = c.rflags & flags::OF != 0;
+        let cf = c.rflags & flags::CF != 0;
+        match cond {
+            Cond::Eq => zf,
+            Cond::Ne => !zf,
+            Cond::Lt => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Gt => !zf && (sf == of),
+            Cond::Le => zf || (sf != of),
+            Cond::B => cf,
+            Cond::Ae => !cf,
+        }
+    }
+
+    /// Retire bookkeeping: PMU events, cycles, dynamic instruction count.
+    fn retire(&mut self, cpu: CpuId, insn: &Insn, taken_branch: bool) {
+        let reads = insn.mem_reads();
+        let writes = insn.mem_writes();
+        let c = &mut self.cpus[cpu];
+        c.perf.record(insn.is_branch(), reads, writes);
+        c.cycles += self.config.cycle_model.insn_cost(reads + writes, taken_branch);
+        c.insns_retired += 1;
+    }
+
+    fn execute(&mut self, cpu: CpuId, pc: u64, insn: Insn) -> StepOutcome {
+        use Insn::*;
+        let is_host = self.cpus[cpu].mode.is_host();
+        let virt = self.config.virt_mode;
+        // Default next-RIP; control transfers overwrite.
+        let mut next = pc.wrapping_add(8);
+        let mut taken = false;
+
+        macro_rules! fault {
+            ($e:expr) => {
+                return StepOutcome::Event(self.raise(cpu, $e))
+            };
+        }
+
+        match insn {
+            MovImm { dst, imm } => self.cpus[cpu].set(dst, imm as u64),
+            MovReg { dst, src } => {
+                let v = self.cpus[cpu].get(src);
+                self.cpus[cpu].set(dst, v);
+            }
+            Load { dst, base, off } => {
+                let addr = self.cpus[cpu].get(base).wrapping_add(off as u64);
+                match self.mem.read(addr) {
+                    Ok(v) => self.cpus[cpu].set(dst, v),
+                    Err(e) => fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Read)),
+                }
+            }
+            Store { base, src, off } => {
+                let addr = self.cpus[cpu].get(base).wrapping_add(off as u64);
+                let v = self.cpus[cpu].get(src);
+                if let Err(e) = self.mem.write(addr, v) {
+                    fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
+                }
+            }
+            Add { dst, src } => {
+                let v = self.cpus[cpu].get(dst).wrapping_add(self.cpus[cpu].get(src));
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            AddImm { dst, imm } => {
+                let v = self.cpus[cpu].get(dst).wrapping_add(imm as u64);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            Sub { dst, src } => {
+                let a = self.cpus[cpu].get(dst);
+                let b = self.cpus[cpu].get(src);
+                Machine::set_flags_sub(&mut self.cpus[cpu], a, b);
+                self.cpus[cpu].set(dst, a.wrapping_sub(b));
+            }
+            SubImm { dst, imm } => {
+                let a = self.cpus[cpu].get(dst);
+                let b = imm as u64;
+                Machine::set_flags_sub(&mut self.cpus[cpu], a, b);
+                self.cpus[cpu].set(dst, a.wrapping_sub(b));
+            }
+            Mul { dst, src } => {
+                let v = self.cpus[cpu].get(dst).wrapping_mul(self.cpus[cpu].get(src));
+                self.cpus[cpu].set(dst, v);
+            }
+            Div { dst, src } => {
+                let b = self.cpus[cpu].get(src);
+                if b == 0 {
+                    fault!(Exception::at(Vector::DivideError, pc));
+                }
+                let v = self.cpus[cpu].get(dst) / b;
+                self.cpus[cpu].set(dst, v);
+            }
+            Rem { dst, src } => {
+                let b = self.cpus[cpu].get(src);
+                if b == 0 {
+                    fault!(Exception::at(Vector::DivideError, pc));
+                }
+                let v = self.cpus[cpu].get(dst) % b;
+                self.cpus[cpu].set(dst, v);
+            }
+            And { dst, src } => {
+                let v = self.cpus[cpu].get(dst) & self.cpus[cpu].get(src);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            Or { dst, src } => {
+                let v = self.cpus[cpu].get(dst) | self.cpus[cpu].get(src);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            Xor { dst, src } => {
+                let v = self.cpus[cpu].get(dst) ^ self.cpus[cpu].get(src);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            ShlImm { dst, imm } => {
+                let v = self.cpus[cpu].get(dst) << (imm & 63);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            ShrImm { dst, imm } => {
+                let v = self.cpus[cpu].get(dst) >> (imm & 63);
+                self.cpus[cpu].set(dst, v);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            Cmp { a, b } => {
+                let x = self.cpus[cpu].get(a);
+                let y = self.cpus[cpu].get(b);
+                Machine::set_flags_sub(&mut self.cpus[cpu], x, y);
+            }
+            CmpImm { a, imm } => {
+                let x = self.cpus[cpu].get(a);
+                Machine::set_flags_sub(&mut self.cpus[cpu], x, imm as u64);
+            }
+            Test { a, b } => {
+                let v = self.cpus[cpu].get(a) & self.cpus[cpu].get(b);
+                Machine::set_flags_logic(&mut self.cpus[cpu], v);
+            }
+            Jmp { target } => {
+                next = target;
+                taken = true;
+            }
+            Jcc { cond, target } => {
+                if Machine::cond_holds(&self.cpus[cpu], cond) {
+                    next = target;
+                    taken = true;
+                }
+            }
+            Call { target } => {
+                let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
+                if let Err(e) = self.mem.write(rsp, pc.wrapping_add(8)) {
+                    fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
+                }
+                self.cpus[cpu].set(Reg::Rsp, rsp);
+                next = target;
+                taken = true;
+            }
+            Ret => {
+                let rsp = self.cpus[cpu].rsp();
+                match self.mem.read(rsp) {
+                    Ok(ra) => {
+                        self.cpus[cpu].set(Reg::Rsp, rsp.wrapping_add(8));
+                        next = ra;
+                        taken = true;
+                    }
+                    Err(e) => fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Read)),
+                }
+            }
+            Push { src } => {
+                let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
+                let v = self.cpus[cpu].get(src);
+                if let Err(e) = self.mem.write(rsp, v) {
+                    fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
+                }
+                self.cpus[cpu].set(Reg::Rsp, rsp);
+            }
+            Pop { dst } => {
+                let rsp = self.cpus[cpu].rsp();
+                match self.mem.read(rsp) {
+                    Ok(v) => {
+                        self.cpus[cpu].set(dst, v);
+                        self.cpus[cpu].set(Reg::Rsp, rsp.wrapping_add(8));
+                    }
+                    Err(e) => fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Read)),
+                }
+            }
+            JmpReg { target } => {
+                next = self.cpus[cpu].get(target);
+                taken = true;
+            }
+            CallReg { target } => {
+                let dest = self.cpus[cpu].get(target);
+                let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
+                if let Err(e) = self.mem.write(rsp, pc.wrapping_add(8)) {
+                    fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
+                }
+                self.cpus[cpu].set(Reg::Rsp, rsp);
+                next = dest;
+                taken = true;
+            }
+            Cpuid => {
+                if is_host {
+                    let leaf = self.cpus[cpu].get(Reg::Rax);
+                    let out = Machine::cpuid_model(leaf);
+                    self.cpus[cpu].set(Reg::Rax, out[0]);
+                    self.cpus[cpu].set(Reg::Rbx, out[1]);
+                    self.cpus[cpu].set(Reg::Rcx, out[2]);
+                    self.cpus[cpu].set(Reg::Rdx, out[3]);
+                } else {
+                    return match virt {
+                        VirtMode::Para => {
+                            StepOutcome::Event(self.raise(
+                                cpu,
+                                Exception::at(Vector::GeneralProtection, pc),
+                            ))
+                        }
+                        VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
+                            cpu,
+                            ExitReason::CpuidExit,
+                            pc.wrapping_add(8),
+                            self.cpus[cpu].get(Reg::Rax),
+                        )),
+                    };
+                }
+            }
+            Rdtsc => {
+                if is_host {
+                    let t = self.cpus[cpu].cycles;
+                    self.cpus[cpu].set(Reg::Rax, t & 0xffff_ffff);
+                    self.cpus[cpu].set(Reg::Rdx, t >> 32);
+                } else {
+                    return match virt {
+                        VirtMode::Para => StepOutcome::Event(
+                            self.raise(cpu, Exception::at(Vector::GeneralProtection, pc)),
+                        ),
+                        VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
+                            cpu,
+                            ExitReason::RdtscExit,
+                            pc.wrapping_add(8),
+                            0,
+                        )),
+                    };
+                }
+            }
+            Hypercall { nr } => {
+                if is_host {
+                    fault!(Exception::at(Vector::InvalidOpcode, pc));
+                }
+                return StepOutcome::Event(self.hw_vm_exit(
+                    cpu,
+                    ExitReason::Hypercall(nr % crate::exit::NR_HYPERCALLS),
+                    pc.wrapping_add(8),
+                    nr as u64,
+                ));
+            }
+            VmEntry => {
+                if !is_host {
+                    fault!(Exception::at(Vector::GeneralProtection, pc));
+                }
+                let cfg = self.config.clone();
+                let grip = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RIP)).expect("VMCS");
+                let grsp = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RSP)).expect("VMCS");
+                let gfl = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS)).expect("VMCS");
+                let c = &mut self.cpus[cpu];
+                c.rip = grip;
+                c.set(Reg::Rsp, grsp);
+                c.rflags = gfl;
+                c.cycles += cfg.cycle_model.vm_entry;
+                // Mode switch to Guest is performed by the orchestrator,
+                // which knows (from the hypervisor's scheduling state) which
+                // VCPU is being resumed.
+                self.retire(cpu, &insn, true);
+                return StepOutcome::Event(Event::VmEntry);
+            }
+            Hlt => {
+                if is_host {
+                    self.cpus[cpu].rip = next;
+                    self.retire(cpu, &insn, false);
+                    return StepOutcome::Event(Event::Halt);
+                }
+                return match virt {
+                    VirtMode::Para => StepOutcome::Event(self.hw_vm_exit(
+                        cpu,
+                        ExitReason::Hypercall(29), // PV guests yield via sched_op
+                        pc.wrapping_add(8),
+                        0,
+                    )),
+                    VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
+                        cpu,
+                        ExitReason::HltExit,
+                        pc.wrapping_add(8),
+                        0,
+                    )),
+                };
+            }
+            Nop => {}
+            AssertFail { id } => {
+                if is_host {
+                    return StepOutcome::Event(Event::AssertFail { id, rip: pc });
+                }
+                fault!(Exception::at(Vector::InvalidOpcode, pc));
+            }
+            Out { port, src } => {
+                if is_host {
+                    let v = self.cpus[cpu].get(src);
+                    self.devices.write(port, v);
+                } else {
+                    return match virt {
+                        VirtMode::Para => StepOutcome::Event(
+                            self.raise(cpu, Exception::at(Vector::GeneralProtection, pc)),
+                        ),
+                        VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
+                            cpu,
+                            ExitReason::IoInstruction { port, write: true },
+                            pc.wrapping_add(8),
+                            port as u64,
+                        )),
+                    };
+                }
+            }
+            In { dst, port } => {
+                if is_host {
+                    let v = self.devices.read(port);
+                    self.cpus[cpu].set(dst, v);
+                } else {
+                    return match virt {
+                        VirtMode::Para => StepOutcome::Event(
+                            self.raise(cpu, Exception::at(Vector::GeneralProtection, pc)),
+                        ),
+                        VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
+                            cpu,
+                            ExitReason::IoInstruction { port, write: false },
+                            pc.wrapping_add(8),
+                            port as u64,
+                        )),
+                    };
+                }
+            }
+            Noise { dst, bound } => {
+                let v = self.noise.next_at(pc, bound);
+                self.cpus[cpu].set(dst, v);
+            }
+        }
+
+        self.cpus[cpu].rip = next;
+        self.retire(cpu, &insn, taken);
+        StepOutcome::Retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Perms;
+
+    fn test_config() -> MachineConfig {
+        MachineConfig {
+            nr_cpus: 1,
+            host_entry: 0x1_0000,
+            host_entry_stride: 0,
+            host_stack_base: 0x2_0000,
+            host_stack_size: 0x1000,
+            vmcs_base: 0x3_0000,
+            virt_mode: VirtMode::Para,
+            cycle_model: CycleModel::default(),
+        }
+    }
+
+    fn test_machine(code: &[Insn]) -> Machine {
+        let cfg = test_config();
+        let mut mem = Memory::new();
+        mem.map("hv.text", cfg.host_entry, 4096, Perms::RX);
+        mem.map("hv.stack", cfg.host_stack_base, 512, Perms::RW);
+        mem.map("vmcs", cfg.vmcs_base, 64, Perms::RW);
+        mem.map("hv.data", 0x4_0000, 1024, Perms::RW);
+        mem.map("guest.text", 0x10_0000, 1024, Perms::RX);
+        let words: Vec<u64> = code.iter().map(|i| i.encode()).collect();
+        mem.load_image(cfg.host_entry, &words).unwrap();
+        Machine::new(cfg, mem, 7)
+    }
+
+    fn run_steps(m: &mut Machine, n: usize) -> Vec<StepOutcome> {
+        (0..n).map(|_| m.step(0)).collect()
+    }
+
+    #[test]
+    fn mov_add_retires_and_counts_cycles() {
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rax, imm: 40 },
+            Insn::AddImm { dst: Reg::Rax, imm: 2 },
+        ]);
+        m.cpu_mut(0).perf.start();
+        for o in run_steps(&mut m, 2) {
+            assert_eq!(o, StepOutcome::Retired);
+        }
+        assert_eq!(m.cpu(0).get(Reg::Rax), 42);
+        assert_eq!(m.cpu(0).perf.sample().inst_retired, 2);
+        assert!(m.cpu(0).cycles >= 2);
+        assert_eq!(m.cpu(0).insns_retired, 2);
+    }
+
+    #[test]
+    fn load_store_round_trip_and_pmc_events() {
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rbx, imm: 0x4_0000 },
+            Insn::MovImm { dst: Reg::Rax, imm: 0x99 },
+            Insn::Store { base: Reg::Rbx, src: Reg::Rax, off: 8 },
+            Insn::Load { dst: Reg::Rcx, base: Reg::Rbx, off: 8 },
+        ]);
+        m.cpu_mut(0).perf.start();
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu(0).get(Reg::Rcx), 0x99);
+        let s = m.cpu(0).perf.sample();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.inst_retired, 4);
+    }
+
+    #[test]
+    fn division_by_zero_raises_de_in_host() {
+        let mut m = test_machine(&[Insn::Div { dst: Reg::Rax, src: Reg::Rbx }]);
+        match m.step(0) {
+            StepOutcome::Event(Event::Exception(e)) => {
+                assert_eq!(e.vector, Vector::DivideError);
+            }
+            other => panic!("expected #DE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_load_raises_pf_in_host() {
+        let mut m = test_machine(&[Insn::Load { dst: Reg::Rax, base: Reg::Rbx, off: 0 }]);
+        // rbx == 0 → null-page access.
+        match m.step(0) {
+            StepOutcome::Event(Event::Exception(e)) => {
+                assert_eq!(e.vector, Vector::PageFault);
+                assert_eq!(e.addr, Some(0));
+            }
+            other => panic!("expected #PF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_rip_fetches_invalid_opcode() {
+        let mut m = test_machine(&[Insn::Nop]);
+        // Point RIP at a zero-filled word inside the executable region:
+        // word 0 decodes to #UD (fetching a non-exec region would be #PF).
+        m.cpu_mut(0).rip = 0x1_0000 + 0x800;
+        match m.step(0) {
+            StepOutcome::Event(Event::Exception(e)) => {
+                assert_eq!(e.vector, Vector::InvalidOpcode);
+            }
+            other => panic!("expected #UD, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_rip_into_unmapped_space_is_fetch_fault() {
+        let mut m = test_machine(&[Insn::Nop]);
+        m.cpu_mut(0).rip = 0xdead_0000;
+        match m.step(0) {
+            StepOutcome::Event(Event::Exception(e)) => {
+                assert_eq!(e.vector, Vector::PageFault);
+                assert_eq!(e.access, Some(AccessKind::Fetch));
+            }
+            other => panic!("expected fetch #PF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_ret_uses_stack() {
+        let e = 0x1_0000u64;
+        let mut m = test_machine(&[
+            Insn::Call { target: e + 3 * 8 }, // call f
+            Insn::MovImm { dst: Reg::Rbx, imm: 7 }, // after return
+            Insn::Hlt,
+            Insn::MovImm { dst: Reg::Rax, imm: 5 }, // f:
+            Insn::Ret,
+        ]);
+        let outs = run_steps(&mut m, 4);
+        assert!(outs.iter().take(4).all(|o| *o == StepOutcome::Retired));
+        assert_eq!(m.cpu(0).get(Reg::Rax), 5);
+        assert_eq!(m.cpu(0).get(Reg::Rbx), 7);
+        assert_eq!(m.cpu(0).rsp(), m.config.host_stack_top(0));
+    }
+
+    #[test]
+    fn conditional_branch_signed_semantics() {
+        let e = 0x1_0000u64;
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rax, imm: -5 },
+            Insn::CmpImm { a: Reg::Rax, imm: 3 },
+            Insn::Jcc { cond: Cond::Lt, target: e + 4 * 8 },
+            Insn::MovImm { dst: Reg::Rbx, imm: 111 }, // skipped
+            Insn::MovImm { dst: Reg::Rcx, imm: 222 },
+        ]);
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu(0).get(Reg::Rbx), 0, "not-taken path must be skipped");
+        assert_eq!(m.cpu(0).get(Reg::Rcx), 222);
+    }
+
+    #[test]
+    fn unsigned_below_uses_carry() {
+        let e = 0x1_0000u64;
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rax, imm: -5 }, // huge unsigned
+            Insn::CmpImm { a: Reg::Rax, imm: 3 },
+            Insn::Jcc { cond: Cond::B, target: e + 4 * 8 }, // NOT below
+            Insn::MovImm { dst: Reg::Rbx, imm: 1 },
+            Insn::Nop,
+        ]);
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu(0).get(Reg::Rbx), 1, "unsigned -5 is not below 3");
+    }
+
+    #[test]
+    fn hypercall_from_guest_exits_with_reason_and_vmcs() {
+        let mut m = test_machine(&[Insn::Nop]);
+        // Place guest code.
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Hypercall { nr: 29 }.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        m.cpu_mut(0).set(Reg::Rsp, 0x4_0000 + 512 * 8);
+        match m.step(0) {
+            StepOutcome::Event(Event::VmExit(ExitReason::Hypercall(29))) => {}
+            other => panic!("expected hypercall exit, got {other:?}"),
+        }
+        assert!(m.cpu(0).mode.is_host());
+        assert_eq!(m.cpu(0).rip, m.config.host_entry);
+        assert_eq!(m.cpu(0).rsp(), m.config.host_stack_top(0));
+        let cfg = m.config.clone();
+        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::EXIT_REASON)).unwrap(),
+            ExitReason::Hypercall(29).vmer() as u64
+        );
+    }
+
+    #[test]
+    fn pv_guest_cpuid_traps_as_gp_exit() {
+        let mut m = test_machine(&[Insn::Nop]);
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Cpuid.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        match m.step(0) {
+            StepOutcome::Event(Event::VmExit(ExitReason::Exception(Vector::GeneralProtection))) => {
+            }
+            other => panic!("expected #GP exit, got {other:?}"),
+        }
+        // Fault-like exit: guest RIP in the VMCS points at the CPUID itself.
+        let cfg = m.config.clone();
+        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g);
+    }
+
+    #[test]
+    fn hvm_guest_cpuid_exits_directly() {
+        let mut m = test_machine(&[Insn::Nop]);
+        m.config.virt_mode = VirtMode::Hvm;
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Cpuid.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        match m.step(0) {
+            StepOutcome::Event(Event::VmExit(ExitReason::CpuidExit)) => {}
+            other => panic!("expected cpuid exit, got {other:?}"),
+        }
+        let cfg = m.config.clone();
+        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+    }
+
+    #[test]
+    fn vmentry_loads_guest_state_from_vmcs() {
+        let mut m = test_machine(&[Insn::VmEntry]);
+        let cfg = m.config.clone();
+        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RIP), 0x10_0008).unwrap();
+        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RSP), 0x4_0100).unwrap();
+        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RFLAGS), flags::ZF).unwrap();
+        match m.step(0) {
+            StepOutcome::Event(Event::VmEntry) => {}
+            other => panic!("expected vmentry, got {other:?}"),
+        }
+        assert_eq!(m.cpu(0).rip, 0x10_0008);
+        assert_eq!(m.cpu(0).rsp(), 0x4_0100);
+        assert_eq!(m.cpu(0).rflags, flags::ZF);
+    }
+
+    #[test]
+    fn vmentry_in_guest_mode_is_gp() {
+        let mut m = test_machine(&[Insn::Nop]);
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::VmEntry.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        match m.step(0) {
+            StepOutcome::Event(Event::VmExit(ExitReason::Exception(Vector::GeneralProtection))) => {
+            }
+            other => panic!("expected trapped #GP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assert_fail_surfaces_in_host_mode() {
+        let mut m = test_machine(&[Insn::AssertFail { id: 42 }]);
+        match m.step(0) {
+            StepOutcome::Event(Event::AssertFail { id: 42, .. }) => {}
+            other => panic!("expected assert fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_cpuid_rdtsc_execute_natively() {
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rax, imm: 5 },
+            Insn::Cpuid,
+            Insn::Rdtsc,
+        ]);
+        run_steps(&mut m, 3);
+        let expect = Machine::cpuid_model(5);
+        // CPUID overwrote RAX..RDX, then RDTSC overwrote RAX/RDX with time.
+        assert_eq!(m.cpu(0).get(Reg::Rbx), expect[1]);
+        assert_eq!(m.cpu(0).get(Reg::Rcx), expect[2]);
+    }
+
+    #[test]
+    fn force_exit_records_resume_point() {
+        let mut m = test_machine(&[Insn::Nop]);
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Nop.encode(), Insn::Nop.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 2, vcpu: 1 };
+        m.cpu_mut(0).rip = g;
+        m.step(0); // retire first nop
+        let ev = m.force_exit(0, ExitReason::DeviceInterrupt(3));
+        assert_eq!(ev, Event::VmExit(ExitReason::DeviceInterrupt(3)));
+        let cfg = m.config.clone();
+        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "force_exit requires guest mode")]
+    fn force_exit_in_host_mode_panics() {
+        let mut m = test_machine(&[Insn::Nop]);
+        m.force_exit(0, ExitReason::DeviceInterrupt(0));
+    }
+
+    #[test]
+    fn noise_is_deterministic_from_snapshot() {
+        let prog = [
+            Insn::Noise { dst: Reg::Rax, bound: 1000 },
+            Insn::Noise { dst: Reg::Rbx, bound: 1000 },
+        ];
+        let m0 = test_machine(&prog);
+        let mut a = m0.snapshot();
+        let mut b = m0.snapshot();
+        run_steps(&mut a, 2);
+        run_steps(&mut b, 2);
+        assert_eq!(a.cpu(0).get(Reg::Rax), b.cpu(0).get(Reg::Rax));
+        assert_eq!(a.cpu(0).get(Reg::Rbx), b.cpu(0).get(Reg::Rbx));
+    }
+
+    #[test]
+    fn out_in_device_model_is_deterministic() {
+        let mut m = test_machine(&[
+            Insn::MovImm { dst: Reg::Rax, imm: 0x55 },
+            Insn::Out { port: 0x3f8, src: Reg::Rax },
+            Insn::In { dst: Reg::Rbx, port: 0x60 },
+        ]);
+        let mut m2 = m.snapshot();
+        run_steps(&mut m, 3);
+        run_steps(&mut m2, 3);
+        assert_eq!(m.devices.out_count, 1);
+        assert_eq!(m.devices.out_hash, m2.devices.out_hash);
+        assert_eq!(m.cpu(0).get(Reg::Rbx), m2.cpu(0).get(Reg::Rbx));
+    }
+
+    #[test]
+    fn pv_guest_hlt_becomes_sched_op_hypercall() {
+        let mut m = test_machine(&[Insn::Nop]);
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Hlt.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        match m.step(0) {
+            StepOutcome::Event(Event::VmExit(ExitReason::Hypercall(29))) => {}
+            other => panic!("expected sched_op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guest_state_saved_to_vmcs_on_exit() {
+        let mut m = test_machine(&[Insn::Nop]);
+        let g = 0x10_0000u64;
+        m.mem.load_image(g, &[Insn::Hypercall { nr: 0 }.encode()]).unwrap();
+        m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
+        m.cpu_mut(0).rip = g;
+        m.cpu_mut(0).set(Reg::Rsp, 0x1234_5678);
+        m.cpu_mut(0).rflags = flags::CF | flags::SF;
+        m.step(0);
+        let cfg = m.config.clone();
+        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RSP)).unwrap(), 0x1234_5678);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RFLAGS)).unwrap(),
+            flags::CF | flags::SF
+        );
+        // GPRs are untouched by the hardware exit (software saves them).
+        assert_eq!(m.cpu(0).get(Reg::Rsp), m.config.host_stack_top(0));
+    }
+}

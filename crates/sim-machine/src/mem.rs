@@ -1,0 +1,340 @@
+//! Region-based physical memory with permissions.
+//!
+//! Memory is a set of non-overlapping regions of 64-bit words. Every access
+//! is checked for mapping, alignment and permission; violations surface as
+//! the hardware exceptions the Xentry runtime detector consumes:
+//!
+//! * unmapped address → `#PF`
+//! * store to read-only region (e.g. hypervisor text) → `#PF` (write)
+//! * fetch from a non-executable region → `#PF` (fetch)
+//! * unaligned word access → `#AC`
+//!
+//! The null page is never mapped, so corrupted zero-ish pointers fault
+//! exactly like on real hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// Access permissions for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Perms {
+    pub read: bool,
+    pub write: bool,
+    pub exec: bool,
+}
+
+impl Perms {
+    /// Read-only data.
+    pub const R: Perms = Perms { read: true, write: false, exec: false };
+    /// Read-write data.
+    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    /// Executable, read-only (text sections).
+    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+    /// Executable and writable (guest self-modifying regions; discouraged).
+    pub const RWX: Perms = Perms { read: true, write: true, exec: true };
+}
+
+/// Identifies a region for diagnostics and fault-outcome classification
+/// (e.g. "the corrupted store landed in another domain's memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// A contiguous mapped range of words.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    pub id: RegionId,
+    /// Human-readable name ("hv.text", "dom1.data", ...).
+    pub name: String,
+    /// Base byte address; must be 8-aligned.
+    pub base: u64,
+    /// Backing words.
+    pub words: Vec<u64>,
+    pub perms: Perms,
+}
+
+impl Region {
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        (self.words.len() as u64) * 8
+    }
+
+    /// Whether `addr` (byte address) falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len_bytes()
+    }
+}
+
+/// Memory access errors, mapped to exceptions by the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemError {
+    /// No region maps this address.
+    Unmapped { addr: u64 },
+    /// Region mapped but the permission is missing.
+    Protection { addr: u64 },
+    /// Address not 8-byte aligned.
+    Unaligned { addr: u64 },
+}
+
+/// The physical memory map.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Memory {
+    /// Regions sorted by base address.
+    regions: Vec<Region>,
+}
+
+/// Kind of access being performed, for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+    Fetch,
+}
+
+impl Memory {
+    /// Empty memory map.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Map a new zero-filled region. Panics if it overlaps an existing
+    /// region or the base is unaligned — memory maps are built by trusted
+    /// setup code, not simulated code.
+    pub fn map(&mut self, name: &str, base: u64, words: usize, perms: Perms) -> RegionId {
+        assert_eq!(base % 8, 0, "region base must be 8-aligned: {name} @ {base:#x}");
+        assert!(words > 0, "empty region: {name}");
+        let end = base + (words as u64) * 8;
+        for r in &self.regions {
+            let r_end = r.base + r.len_bytes();
+            assert!(
+                end <= r.base || base >= r_end,
+                "region {name} [{base:#x},{end:#x}) overlaps {} [{:#x},{r_end:#x})",
+                r.name,
+                r.base
+            );
+        }
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region { id, name: name.to_string(), base, words: vec![0; words], perms });
+        self.regions.sort_by_key(|r| r.base);
+        id
+    }
+
+    /// Look up the region covering `addr`.
+    pub fn region_at(&self, addr: u64) -> Option<&Region> {
+        let idx = match self.regions.binary_search_by(|r| {
+            if addr < r.base {
+                std::cmp::Ordering::Greater
+            } else if addr >= r.base + r.len_bytes() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => return None,
+        };
+        Some(&self.regions[idx])
+    }
+
+    /// Region by id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        self.regions.iter().find(|r| r.id == id).expect("region id valid")
+    }
+
+    /// Region lookup by name (setup/diagnostics).
+    pub fn region_by_name(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// All regions, sorted by base.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    fn access(&self, addr: u64, kind: Access) -> Result<(usize, usize), MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let ridx = self
+            .regions
+            .iter()
+            .position(|r| r.contains(addr))
+            .ok_or(MemError::Unmapped { addr })?;
+        let r = &self.regions[ridx];
+        let ok = match kind {
+            Access::Read => r.perms.read,
+            Access::Write => r.perms.write,
+            Access::Fetch => r.perms.exec,
+        };
+        if !ok {
+            return Err(MemError::Protection { addr });
+        }
+        Ok((ridx, ((addr - r.base) / 8) as usize))
+    }
+
+    /// Read the word at `addr` (data read).
+    pub fn read(&self, addr: u64) -> Result<u64, MemError> {
+        let (r, w) = self.access(addr, Access::Read)?;
+        Ok(self.regions[r].words[w])
+    }
+
+    /// Write the word at `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        let (r, w) = self.access(addr, Access::Write)?;
+        self.regions[r].words[w] = value;
+        Ok(())
+    }
+
+    /// Fetch the word at `addr` for execution.
+    pub fn fetch(&self, addr: u64) -> Result<u64, MemError> {
+        let (r, w) = self.access(addr, Access::Fetch)?;
+        Ok(self.regions[r].words[w])
+    }
+
+    /// Privileged write used by loaders and the "hardware" (VMCS block,
+    /// device DMA): ignores the write permission but still requires the
+    /// address to be mapped and aligned.
+    pub fn poke(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let ridx = self
+            .regions
+            .iter()
+            .position(|r| r.contains(addr))
+            .ok_or(MemError::Unmapped { addr })?;
+        let off = ((addr - self.regions[ridx].base) / 8) as usize;
+        self.regions[ridx].words[off] = value;
+        Ok(())
+    }
+
+    /// Privileged read (golden-run differencing, diagnostics).
+    pub fn peek(&self, addr: u64) -> Result<u64, MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let r = self.region_at(addr).ok_or(MemError::Unmapped { addr })?;
+        Ok(r.words[((addr - r.base) / 8) as usize])
+    }
+
+    /// Human-readable memory-map dump (diagnostics).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for r in &self.regions {
+            let p = &r.perms;
+            let _ = writeln!(
+                s,
+                "{:#012x}..{:#012x}  {}{}{}  {:>8} KiB  {}",
+                r.base,
+                r.base + r.len_bytes(),
+                if p.read { 'r' } else { '-' },
+                if p.write { 'w' } else { '-' },
+                if p.exec { 'x' } else { '-' },
+                r.len_bytes() / 1024,
+                r.name
+            );
+        }
+        s
+    }
+
+    /// Copy a slice of words into memory starting at `addr` (loader).
+    pub fn load_image(&mut self, addr: u64, words: &[u64]) -> Result<(), MemError> {
+        for (i, &w) in words.iter().enumerate() {
+            self.poke(addr + (i as u64) * 8, w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map("text", 0x1000, 16, Perms::RX);
+        m.map("data", 0x2000, 16, Perms::RW);
+        m.map("rodata", 0x3000, 4, Perms::R);
+        m
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mem();
+        m.write(0x2008, 0xabcd).unwrap();
+        assert_eq!(m.read(0x2008).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = mem();
+        assert_eq!(m.read(0x0).unwrap_err(), MemError::Unmapped { addr: 0 });
+        assert_eq!(m.read(0x9000).unwrap_err(), MemError::Unmapped { addr: 0x9000 });
+    }
+
+    #[test]
+    fn write_to_text_is_protection_fault() {
+        let mut m = mem();
+        assert_eq!(m.write(0x1000, 1).unwrap_err(), MemError::Protection { addr: 0x1000 });
+    }
+
+    #[test]
+    fn fetch_from_data_is_protection_fault() {
+        let m = mem();
+        assert_eq!(m.fetch(0x2000).unwrap_err(), MemError::Protection { addr: 0x2000 });
+        assert!(m.fetch(0x1008).is_ok());
+    }
+
+    #[test]
+    fn unaligned_access_faults() {
+        let m = mem();
+        assert_eq!(m.read(0x2001).unwrap_err(), MemError::Unaligned { addr: 0x2001 });
+    }
+
+    #[test]
+    fn read_only_region_rejects_writes_allows_reads() {
+        let mut m = mem();
+        assert!(m.read(0x3000).is_ok());
+        assert_eq!(m.write(0x3000, 5).unwrap_err(), MemError::Protection { addr: 0x3000 });
+    }
+
+    #[test]
+    fn poke_bypasses_permissions_but_not_mapping() {
+        let mut m = mem();
+        m.poke(0x1008, 42).unwrap();
+        assert_eq!(m.peek(0x1008).unwrap(), 42);
+        assert!(m.poke(0x9000, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_map_panics() {
+        let mut m = mem();
+        m.map("bad", 0x1008, 4, Perms::RW);
+    }
+
+    #[test]
+    fn region_lookup_by_name_and_addr() {
+        let m = mem();
+        assert_eq!(m.region_by_name("data").unwrap().base, 0x2000);
+        assert_eq!(m.region_at(0x2078).unwrap().name, "data");
+        assert!(m.region_at(0x2080).is_none());
+    }
+
+    #[test]
+    fn describe_lists_every_region() {
+        let m = mem();
+        let d = m.describe();
+        for name in ["text", "data", "rodata"] {
+            assert!(d.contains(name), "missing {name} in:\n{d}");
+        }
+        assert!(d.contains("r-x"), "perm rendering");
+    }
+
+    #[test]
+    fn load_image_places_words() {
+        let mut m = mem();
+        m.load_image(0x1000, &[1, 2, 3]).unwrap();
+        assert_eq!(m.fetch(0x1000).unwrap(), 1);
+        assert_eq!(m.fetch(0x1010).unwrap(), 3);
+    }
+}

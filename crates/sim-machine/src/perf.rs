@@ -1,0 +1,114 @@
+//! Per-logical-CPU performance counters.
+//!
+//! The paper programs four architectural events (Table I): retired
+//! instructions, retired branches, retired load µops and retired store µops.
+//! Counters are started by the Xentry shim right before the original handler
+//! entry function is called and stopped (and read) at VM entry, so the shim's
+//! own work is excluded — this module exposes exactly that enable/disable
+//! discipline. "Logical cores do not share performance counters" (§IV), so
+//! each [`crate::Cpu`] owns one instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Counter values for the four Table-I hardware events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// `INST_RETIRED` (synonym RT).
+    pub inst_retired: u64,
+    /// `BR_INST_RETIRED` (synonym BR).
+    pub branches: u64,
+    /// `MEM_INST_RETIRED.LOADS` (synonym RM).
+    pub loads: u64,
+    /// `MEM_INST_RETIRED.STORES` (synonym WM).
+    pub stores: u64,
+}
+
+/// A per-CPU performance monitoring unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    enabled: bool,
+    counts: PerfSample,
+}
+
+impl PerfCounters {
+    /// New PMU, disabled, counters zero.
+    pub fn new() -> PerfCounters {
+        PerfCounters::default()
+    }
+
+    /// Zero the counters and start counting (the shim's VM-exit action).
+    pub fn start(&mut self) {
+        self.counts = PerfSample::default();
+        self.enabled = true;
+    }
+
+    /// Stop counting and return the sample (the shim's VM-entry action).
+    pub fn stop(&mut self) -> PerfSample {
+        self.enabled = false;
+        self.counts
+    }
+
+    /// Whether the PMU is currently counting.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current values without stopping (diagnostics).
+    pub fn sample(&self) -> PerfSample {
+        self.counts
+    }
+
+    /// Record one retired instruction with its event contributions. Called
+    /// by the CPU core on every successful retirement while enabled.
+    #[inline]
+    pub fn record(&mut self, is_branch: bool, reads: u64, writes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counts.inst_retired += 1;
+        self.counts.branches += is_branch as u64;
+        self.counts.loads += reads;
+        self.counts.stores += writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pmu_ignores_events() {
+        let mut p = PerfCounters::new();
+        p.record(true, 1, 1);
+        assert_eq!(p.sample(), PerfSample::default());
+    }
+
+    #[test]
+    fn start_record_stop() {
+        let mut p = PerfCounters::new();
+        p.start();
+        p.record(false, 0, 0); // plain ALU op
+        p.record(true, 0, 0); // branch
+        p.record(false, 1, 0); // load
+        p.record(false, 0, 1); // store
+        let s = p.stop();
+        assert_eq!(s.inst_retired, 4);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        // After stop, further events are not counted.
+        p.record(true, 1, 1);
+        assert_eq!(p.sample(), s);
+    }
+
+    #[test]
+    fn start_resets_previous_sample() {
+        let mut p = PerfCounters::new();
+        p.start();
+        p.record(false, 0, 0);
+        let first = p.stop();
+        assert_eq!(first.inst_retired, 1);
+        p.start();
+        assert_eq!(p.sample(), PerfSample::default());
+    }
+}

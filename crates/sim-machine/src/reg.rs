@@ -1,0 +1,150 @@
+//! Architectural registers.
+//!
+//! The register file mirrors x86-64's sixteen general-purpose registers.
+//! `RSP` is an ordinary GPR (index 4) just as on real hardware, which matters
+//! for the fault model: a bit flip in the register holding the stack pointer
+//! corrupts pushes, pops and returns exactly as the paper's "stack values"
+//! undetected-fault category describes.
+
+use serde::{Deserialize, Serialize};
+
+/// A general-purpose register. Encodings follow x86-64 ModRM register
+/// numbers, so `RSP == 4` and `RBP == 5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Decode a 4-bit register field. Always succeeds because every 4-bit
+    /// value names a register, as on x86.
+    #[inline]
+    pub fn from_index(idx: u8) -> Reg {
+        Reg::ALL[(idx & 0xf) as usize]
+    }
+
+    /// The encoding index of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Conventional x86 name, for disassembly and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// RFLAGS bit positions, matching x86-64 layout so that single-bit flips in
+/// the flags register hit realistic condition-code bits.
+pub mod flags {
+    /// Carry flag.
+    pub const CF: u64 = 1 << 0;
+    /// Zero flag.
+    pub const ZF: u64 = 1 << 6;
+    /// Sign flag.
+    pub const SF: u64 = 1 << 7;
+    /// Overflow flag.
+    pub const OF: u64 = 1 << 11;
+    /// All condition bits the simulator models.
+    pub const ALL: u64 = CF | ZF | SF | OF;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_registers() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), r);
+        }
+    }
+
+    #[test]
+    fn rsp_encodes_as_four() {
+        assert_eq!(Reg::Rsp.index(), 4);
+        assert_eq!(Reg::from_index(4), Reg::Rsp);
+    }
+
+    #[test]
+    fn from_index_masks_high_bits() {
+        assert_eq!(Reg::from_index(0x10), Reg::Rax);
+        assert_eq!(Reg::from_index(0xff), Reg::R15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Reg::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn flag_bits_match_x86_layout() {
+        assert_eq!(flags::CF, 0x0001);
+        assert_eq!(flags::ZF, 0x0040);
+        assert_eq!(flags::SF, 0x0080);
+        assert_eq!(flags::OF, 0x0800);
+    }
+}

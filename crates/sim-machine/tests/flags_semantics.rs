@@ -1,0 +1,95 @@
+//! Condition-code semantics against a host-side oracle: signed/unsigned
+//! comparison outcomes must match Rust's own `i64`/`u64` comparisons for
+//! boundary-heavy operand pairs. Getting these wrong would silently warp
+//! every handler branch — and with them, the whole fault-propagation story.
+
+use sim_machine::{
+    Cond, CycleModel, Event, Insn, Machine, MachineConfig, Memory, Perms, Reg, StepOutcome,
+    VirtMode,
+};
+
+fn run_compare(a: u64, b: u64, cond: Cond) -> bool {
+    let cfg = MachineConfig {
+        nr_cpus: 1,
+        host_entry: 0x1000,
+        host_entry_stride: 0,
+        host_stack_base: 0x8000,
+        host_stack_size: 0x800,
+        vmcs_base: 0x10000,
+        virt_mode: VirtMode::Para,
+        cycle_model: CycleModel::default(),
+    };
+    let mut mem = Memory::new();
+    mem.map("text", 0x1000, 64, Perms::RX);
+    mem.map("stack", 0x8000, 64, Perms::RW);
+    mem.map("vmcs", 0x10000, 8, Perms::RW);
+    // cmp rax, rbx ; jcc taken -> rcx = 1 ; hlt
+    let prog = [
+        Insn::Cmp { a: Reg::Rax, b: Reg::Rbx },
+        Insn::Jcc { cond, target: 0x1000 + 3 * 8 },
+        Insn::Hlt,                                  // not taken
+        Insn::MovImm { dst: Reg::Rcx, imm: 1 },     // taken
+        Insn::Hlt,
+    ];
+    let words: Vec<u64> = prog.iter().map(|i| i.encode()).collect();
+    mem.load_image(0x1000, &words).unwrap();
+    let mut m = Machine::new(cfg, mem, 1);
+    m.cpu_mut(0).set(Reg::Rax, a);
+    m.cpu_mut(0).set(Reg::Rbx, b);
+    for _ in 0..10 {
+        if let StepOutcome::Event(Event::Halt) = m.step(0) {
+            return m.cpu(0).get(Reg::Rcx) == 1;
+        }
+    }
+    panic!("program did not halt");
+}
+
+/// Boundary-heavy operand set.
+fn operands() -> Vec<u64> {
+    vec![
+        0,
+        1,
+        2,
+        0x7fff_ffff_ffff_fffe,
+        0x7fff_ffff_ffff_ffff, // i64::MAX
+        0x8000_0000_0000_0000, // i64::MIN
+        0x8000_0000_0000_0001,
+        0xffff_ffff_ffff_fffe,
+        0xffff_ffff_ffff_ffff, // -1
+        42,
+        0xdead_beef,
+    ]
+}
+
+#[test]
+fn equality_conditions_match_oracle() {
+    for &a in &operands() {
+        for &b in &operands() {
+            assert_eq!(run_compare(a, b, Cond::Eq), a == b, "je {a:#x} {b:#x}");
+            assert_eq!(run_compare(a, b, Cond::Ne), a != b, "jne {a:#x} {b:#x}");
+        }
+    }
+}
+
+#[test]
+fn signed_conditions_match_oracle() {
+    for &a in &operands() {
+        for &b in &operands() {
+            let (sa, sb) = (a as i64, b as i64);
+            assert_eq!(run_compare(a, b, Cond::Lt), sa < sb, "jl {sa} {sb}");
+            assert_eq!(run_compare(a, b, Cond::Ge), sa >= sb, "jge {sa} {sb}");
+            assert_eq!(run_compare(a, b, Cond::Gt), sa > sb, "jg {sa} {sb}");
+            assert_eq!(run_compare(a, b, Cond::Le), sa <= sb, "jle {sa} {sb}");
+        }
+    }
+}
+
+#[test]
+fn unsigned_conditions_match_oracle() {
+    for &a in &operands() {
+        for &b in &operands() {
+            assert_eq!(run_compare(a, b, Cond::B), a < b, "jb {a:#x} {b:#x}");
+            assert_eq!(run_compare(a, b, Cond::Ae), a >= b, "jae {a:#x} {b:#x}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use sim_machine::{Cond, Insn, Memory, Perms, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_index)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..8).prop_map(|b| Cond::from_u8(b).unwrap())
+}
+
+/// imm48 sign-extended range.
+fn arb_imm() -> impl Strategy<Value = i64> {
+    -(1i64 << 47)..(1i64 << 47)
+}
+
+fn arb_addr() -> impl Strategy<Value = u64> {
+    0u64..(1u64 << 47)
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_reg(), arb_imm()).prop_map(|(dst, imm)| Insn::MovImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovReg { dst, src }),
+        (arb_reg(), arb_reg(), arb_imm()).prop_map(|(dst, base, off)| Insn::Load { dst, base, off }),
+        (arb_reg(), arb_reg(), arb_imm())
+            .prop_map(|(base, src, off)| Insn::Store { base, src, off }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Add { dst, src }),
+        (arb_reg(), arb_imm()).prop_map(|(dst, imm)| Insn::AddImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Sub { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Mul { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Div { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Xor { dst, src }),
+        (arb_reg(), 0u8..64).prop_map(|(dst, imm)| Insn::ShlImm { dst, imm }),
+        (arb_reg(), 0u8..64).prop_map(|(dst, imm)| Insn::ShrImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Cmp { a, b }),
+        (arb_reg(), arb_imm()).prop_map(|(a, imm)| Insn::CmpImm { a, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Test { a, b }),
+        arb_addr().prop_map(|target| Insn::Jmp { target }),
+        (arb_cond(), arb_addr()).prop_map(|(cond, target)| Insn::Jcc { cond, target }),
+        arb_addr().prop_map(|target| Insn::Call { target }),
+        Just(Insn::Ret),
+        arb_reg().prop_map(|src| Insn::Push { src }),
+        arb_reg().prop_map(|dst| Insn::Pop { dst }),
+        arb_reg().prop_map(|target| Insn::JmpReg { target }),
+        arb_reg().prop_map(|target| Insn::CallReg { target }),
+        Just(Insn::Cpuid),
+        Just(Insn::Rdtsc),
+        (0u8..38).prop_map(|nr| Insn::Hypercall { nr }),
+        Just(Insn::VmEntry),
+        Just(Insn::Hlt),
+        Just(Insn::Nop),
+        any::<u16>().prop_map(|id| Insn::AssertFail { id }),
+        (any::<u16>(), arb_reg()).prop_map(|(port, src)| Insn::Out { port, src }),
+        (arb_reg(), any::<u16>()).prop_map(|(dst, port)| Insn::In { dst, port }),
+        (arb_reg(), 0u64..(1 << 47)).prop_map(|(dst, bound)| Insn::Noise { dst, bound }),
+    ]
+}
+
+proptest! {
+    /// Every well-formed instruction survives an encode/decode round trip.
+    #[test]
+    fn encode_decode_round_trip(insn in arb_insn()) {
+        let word = insn.encode();
+        let decoded = Insn::decode(word);
+        prop_assert_eq!(decoded, Ok(insn));
+    }
+
+    /// Decoding never panics on arbitrary 64-bit words — corrupted RIPs can
+    /// fetch any bit pattern.
+    #[test]
+    fn decode_total_on_arbitrary_words(word in any::<u64>()) {
+        let _ = Insn::decode(word);
+    }
+
+    /// If an arbitrary word decodes, re-encoding the decoded form must give
+    /// an instruction with identical semantics when decoded again
+    /// (idempotent normalization).
+    #[test]
+    fn decode_encode_decode_stable(word in any::<u64>()) {
+        if let Ok(insn) = Insn::decode(word) {
+            let renorm = Insn::decode(insn.encode());
+            prop_assert_eq!(renorm, Ok(insn));
+        }
+    }
+
+    /// Memory: a written word is read back exactly; neighbours unaffected.
+    #[test]
+    fn memory_write_read(off in 0u64..512, val in any::<u64>()) {
+        let mut m = Memory::new();
+        m.map("d", 0x8000, 1024, Perms::RW);
+        let addr = 0x8000 + off * 8;
+        m.write(addr, val).unwrap();
+        prop_assert_eq!(m.read(addr).unwrap(), val);
+        // A different slot still holds zero.
+        let other = 0x8000 + ((off + 1) % 1024) * 8;
+        if other != addr {
+            prop_assert_eq!(m.read(other).unwrap(), 0);
+        }
+    }
+
+    /// Unaligned addresses always fault, mapped or not.
+    #[test]
+    fn memory_unaligned_always_faults(addr in any::<u64>()) {
+        prop_assume!(addr % 8 != 0);
+        let mut m = Memory::new();
+        m.map("d", 0x8000, 64, Perms::RW);
+        prop_assert!(m.read(addr).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Software-assertion site identifiers.
+//!
+//! The paper inserts assertions "strategically with the consideration of the
+//! context" (§III-A): boundary checks on values with clearly defined ranges
+//! (Listing 1: `ASSERT(trap <= LAST)`) and checks on conditions critical to
+//! correct execution (Listing 2: `ASSERT(is_idle_vcpu(v))`). Each site gets a
+//! stable id so the detection layer can report which predicate fired.
+
+/// VM-exit-reason bound check in the dispatch stub (reason < 91).
+pub const VMER_BOUND: u16 = 1;
+/// Trap-number bound in event delivery — the paper's Listing 1.
+pub const TRAP_BOUND: u16 = 2;
+/// `is_idle_vcpu(current)` when idling a physical CPU — the paper's
+/// Listing 2.
+pub const IDLE_VCPU: u16 = 3;
+/// Event-channel port bound in `event_channel_op`.
+pub const EVTCHN_BOUND: u16 = 4;
+/// Grant-table reference bound in `grant_table_op`.
+pub const GRANT_BOUND: u16 = 5;
+/// VCPU index bound in `vcpu_op`.
+pub const VCPU_BOUND: u16 = 6;
+/// Domain id bound in `domctl`.
+pub const DOM_BOUND: u16 = 7;
+/// Run-queue occupancy bound in the scheduler.
+pub const RUNQ_BOUND: u16 = 8;
+/// Page-count bound in `memory_op` reservations.
+pub const MEMOP_BOUND: u16 = 9;
+/// Batch-count bound in `multicall`.
+pub const MULTICALL_BOUND: u16 = 10;
+/// MMU-update batch bound in `mmu_update`.
+pub const MMU_BOUND: u16 = 11;
+/// Trap-table entry must point into the guest window (`set_trap_table`).
+pub const TRAPTAB_RANGE: u16 = 12;
+/// `update_descriptor` selector bound.
+pub const DESC_BOUND: u16 = 13;
+/// Softirq bit index bound in `do_softirq`.
+pub const SOFTIRQ_BOUND: u16 = 14;
+/// Console write length bound in `console_io`.
+pub const CONSOLE_BOUND: u16 = 15;
+/// `stack_switch` target must lie inside the guest window.
+pub const STACK_RANGE: u16 = 16;
+/// Current VCPU pointer sanity in the return-to-guest stub.
+pub const CURVCPU_ALIGN: u16 = 17;
+/// `iret` frame address must lie inside the guest window.
+pub const IRET_RANGE: u16 = 18;
+/// VCPU runnable flag must be 0 or 1 (domain audit walk).
+pub const RUNNABLE_FLAG: u16 = 19;
+/// Event-channel word must stay within its encodable state bits.
+pub const EVTCHN_STATE: u16 = 20;
+
+/// Human-readable name for an assertion site.
+pub fn name(id: u16) -> &'static str {
+    match id {
+        VMER_BOUND => "vmexit-reason-bound",
+        TRAP_BOUND => "trap-number-bound",
+        IDLE_VCPU => "is-idle-vcpu",
+        EVTCHN_BOUND => "evtchn-port-bound",
+        GRANT_BOUND => "grant-ref-bound",
+        VCPU_BOUND => "vcpu-index-bound",
+        DOM_BOUND => "domain-id-bound",
+        RUNQ_BOUND => "runqueue-bound",
+        MEMOP_BOUND => "memop-pages-bound",
+        MULTICALL_BOUND => "multicall-count-bound",
+        MMU_BOUND => "mmu-batch-bound",
+        TRAPTAB_RANGE => "traptable-range",
+        DESC_BOUND => "descriptor-bound",
+        SOFTIRQ_BOUND => "softirq-bit-bound",
+        CONSOLE_BOUND => "console-length-bound",
+        STACK_RANGE => "stack-switch-range",
+        CURVCPU_ALIGN => "current-vcpu-sane",
+        IRET_RANGE => "iret-frame-range",
+        RUNNABLE_FLAG => "runnable-flag-sane",
+        EVTCHN_STATE => "evtchn-state-sane",
+        _ => "unknown-assertion",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_named() {
+        let ids = [
+            VMER_BOUND,
+            TRAP_BOUND,
+            IDLE_VCPU,
+            EVTCHN_BOUND,
+            GRANT_BOUND,
+            VCPU_BOUND,
+            DOM_BOUND,
+            RUNQ_BOUND,
+            MEMOP_BOUND,
+            MULTICALL_BOUND,
+            MMU_BOUND,
+            TRAPTAB_RANGE,
+            DESC_BOUND,
+            SOFTIRQ_BOUND,
+            CONSOLE_BOUND,
+            STACK_RANGE,
+            CURVCPU_ALIGN,
+            IRET_RANGE,
+            RUNNABLE_FLAG,
+            EVTCHN_STATE,
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        for id in ids {
+            assert_ne!(name(id), "unknown-assertion");
+        }
+        assert_eq!(name(9999), "unknown-assertion");
+    }
+}

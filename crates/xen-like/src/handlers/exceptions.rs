@@ -1,0 +1,304 @@
+//! The guest-exception handlers (vectors 0..=19).
+//!
+//! Guest exceptions arrive as VM exits. Most are delivered to the guest
+//! kernel's registered trap handler (`deliver_trap_to_guest`). The #GP
+//! handler is special: para-virtualized guests reach the hypervisor's
+//! instruction emulator through it — the paper's running example of
+//! long-latency error propagation is precisely this path ("cpuid is then
+//! carried out in the hypervisor context; the results ... will be written
+//! into the VM's VCPU structure").
+
+use crate::layout::{self as lay, domain, shared, vcpu};
+use sim_asm::Asm;
+use sim_machine::Reg::*;
+use sim_machine::{Opcode, Vector};
+
+/// Label of the handler for exception vector `v`.
+pub fn label(v: u8) -> String {
+    format!("exc_{v:02}_{}", NAME[v as usize])
+}
+
+/// Short names for the exception handlers.
+pub const NAME: [&str; 20] = [
+    "divide_error",
+    "debug",
+    "nmi",
+    "breakpoint",
+    "overflow",
+    "bound_range",
+    "invalid_op",
+    "device_na",
+    "double_fault",
+    "copro_overrun",
+    "invalid_tss",
+    "seg_not_present",
+    "stack_fault",
+    "gp_fault",
+    "page_fault",
+    "reserved",
+    "fp_error",
+    "alignment",
+    "machine_check",
+    "simd_error",
+];
+
+/// CPUID mixing constant — must match [`sim_machine::Machine::cpuid_model`].
+const CPUID_K: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Emit all twenty exception handlers plus the shared emulation routines.
+pub fn emit_all(a: &mut Asm) {
+    emit_deliver_trap(a);
+    emit_cpuid_core(a);
+    emit_rdtsc_core(a);
+    for v in 0..20u8 {
+        match v {
+            1 | 3 => emit_benign(a, v), // #DB / #BP: count and resume
+            2 => emit_nmi(a),
+            8 | 18 => emit_fatal_for_guest(a, v), // #DF / #MC: domain dies
+            13 => emit_gp(a),
+            14 => emit_pf(a),
+            15 => emit_benign(a, v), // reserved vector: count only
+            _ => emit_deliverer(a, v),
+        }
+    }
+}
+
+/// Load a 64-bit constant that exceeds the 48-bit immediate range.
+fn movi64(a: &mut Asm, dst: sim_machine::Reg, v: u64) {
+    a.movi(dst, (v >> 32) as i64);
+    a.shl(dst, 32);
+    a.movi(R9, (v & 0xffff_ffff) as i64);
+    a.or(dst, R9);
+}
+
+/// `deliver_trap_to_guest`: push the interrupted RIP on the guest kernel
+/// stack, mark the vector pending, and redirect the guest to its registered
+/// trap handler. Expects `rax` = vector, `rdi` = VCPU.
+fn emit_deliver_trap(a: &mut Asm) {
+    a.global("deliver_trap_to_guest");
+    // Push an iret frame (RIP, RFLAGS, RAX) onto the guest kernel stack —
+    // the guest's trap handler unwinds it with the `iret` hypercall. If the
+    // guest RSP was corrupted by a fault, these stores page-fault *in host
+    // mode* — a fatal exception the runtime detector catches.
+    a.load(Rcx, Rdi, 4 * 8);
+    a.subi(Rcx, 24);
+    a.load(Rbx, Rdi, (vcpu::SAVE_RIP * 8) as i64);
+    a.store(Rcx, 0, Rbx);
+    a.load(Rbx, Rdi, (vcpu::SAVE_RFLAGS * 8) as i64);
+    a.store(Rcx, 8, Rbx);
+    a.load(Rbx, Rdi, 0);
+    a.store(Rcx, 16, Rbx);
+    a.store(Rdi, 4 * 8, Rcx);
+    // pending_events |= 1 << vector (shift loop: no variable shift).
+    a.movi(Rbx, 1);
+    a.mov(Rdx, Rax);
+    a.label("deliver_trap.shift");
+    a.cmpi(Rdx, 0);
+    a.je("deliver_trap.shifted");
+    a.shl(Rbx, 1);
+    a.subi(Rdx, 1);
+    a.jmp("deliver_trap.shift");
+    a.label("deliver_trap.shifted");
+    a.load(Rdx, Rdi, (vcpu::PENDING_EVENTS * 8) as i64);
+    a.or(Rdx, Rbx);
+    a.store(Rdi, (vcpu::PENDING_EVENTS * 8) as i64, Rdx);
+    // Redirect to the guest trap handler and mask upcalls for the duration.
+    a.load(Rbx, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    a.load(Rbx, Rbx, (domain::TRAP_HANDLER * 8) as i64);
+    a.store(Rdi, (vcpu::SAVE_RIP * 8) as i64, Rbx);
+    a.movi(Rbx, 1);
+    a.store(Rdi, (vcpu::UPCALL_MASK * 8) as i64, Rbx);
+    a.ret();
+}
+
+/// `emulate_cpuid_core`: reproduce the hardware CPUID model in hypervisor
+/// code and write the results into the VCPU save area. Does *not* advance
+/// the saved RIP (the PV #GP wrapper does; the HVM exit already did).
+fn emit_cpuid_core(a: &mut Asm) {
+    a.global("emulate_cpuid_core");
+    a.load(Rcx, Rdi, 0); // leaf from saved guest RAX
+    movi64(a, R8, CPUID_K);
+    // Output register slots in save-area order [rax, rbx, rcx, rdx] for
+    // salts 1..=4 — must match Machine::cpuid_model.
+    for (salt, slot) in [(1i64, 0i64), (2, 3 * 8), (3, 8), (4, 2 * 8)] {
+        a.mov(Rax, Rcx);
+        a.addi(Rax, salt);
+        a.mul(Rax, R8);
+        a.mov(Rbx, Rax);
+        a.shr(Rbx, 29);
+        a.xor(Rax, Rbx);
+        a.store(Rdi, slot, Rax);
+    }
+    a.ret();
+}
+
+/// `emulate_rdtsc_core`: read the host TSC, apply the VCPU's virtual-time
+/// offset, split into guest RAX/RDX, and stamp the shared-info page. These
+/// are the paper's "time values" — data that cannot be verified by naive
+/// instruction duplication.
+fn emit_rdtsc_core(a: &mut Asm) {
+    a.global("emulate_rdtsc_core");
+    a.rdtsc(); // host cycles: rax = low32, rdx = high32
+    a.shl(Rdx, 32);
+    a.or(Rax, Rdx);
+    a.load(Rbx, Rdi, (vcpu::TIME_OFFSET * 8) as i64);
+    a.add(Rax, Rbx);
+    a.mov(Rdx, Rax);
+    a.shr(Rdx, 32);
+    a.movi(Rbx, 0xffff_ffff);
+    a.and(Rax, Rbx);
+    a.store(Rdi, 0, Rax); // guest rax (low half)
+    a.store(Rdi, 2 * 8, Rdx); // guest rdx (high half)
+    a.load(Rbx, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    a.load(Rbx, Rbx, (domain::SHARED_PTR * 8) as i64);
+    a.store(Rbx, (shared::TSC_STAMP * 8) as i64, Rax);
+    a.ret();
+}
+
+/// Advance the saved guest RIP past the emulated instruction.
+fn advance_rip(a: &mut Asm) {
+    a.load(Rbx, Rdi, (vcpu::SAVE_RIP * 8) as i64);
+    a.addi(Rbx, 8);
+    a.store(Rdi, (vcpu::SAVE_RIP * 8) as i64, Rbx);
+}
+
+/// Plain deliverer: route the vector to the guest trap handler (after the
+/// audit walk Xen's do_trap performs while deciding the disposition).
+fn emit_deliverer(a: &mut Asm, v: u8) {
+    a.global(label(v));
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.movi(Rax, v as i64);
+    a.jmp("deliver_trap_to_guest"); // tail call; its ret returns to dispatch
+}
+
+/// Benign vectors (#DB, #BP, reserved): count and resume the guest.
+fn emit_benign(a: &mut Asm, v: u8) {
+    a.global(label(v));
+    a.movi(R8, lay::global_addr(lay::global::SCRATCH + 3) as i64);
+    a.load(R9, R8, 0);
+    a.addi(R9, 1);
+    a.store(R8, 0, R9);
+    // Skip the trapping instruction so debug exceptions don't loop.
+    advance_rip(a);
+    a.ret();
+}
+
+/// NMI: account and kick the timer softirq (watchdog semantics).
+fn emit_nmi(a: &mut Asm) {
+    a.global(label(2));
+    a.load(R9, Rbp, (lay::pcpu::SOFTIRQ_PENDING * 8) as i64);
+    a.movi(R8, lay::softirq::TIMER as i64);
+    a.or(R9, R8);
+    a.store(Rbp, (lay::pcpu::SOFTIRQ_PENDING * 8) as i64, R9);
+    a.ret();
+}
+
+/// #DF / #MC from a guest: the domain is beyond recovery — mark it dying,
+/// stop its VCPU and reschedule.
+fn emit_fatal_for_guest(a: &mut Asm, v: u8) {
+    a.global(label(v));
+    a.load(R8, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    a.movi(R9, 1);
+    a.store(R8, (domain::IS_DYING * 8) as i64, R9);
+    a.movi(R9, 0);
+    a.store(Rdi, (vcpu::RUNNABLE * 8) as i64, R9);
+    a.call("schedule");
+    a.ret();
+}
+
+/// #GP: the PV trap-and-emulate path. Decode the faulting guest instruction
+/// and emulate CPUID/RDTSC/OUT/IN; anything else is delivered to the guest.
+fn emit_gp(a: &mut Asm) {
+    let l = label(13);
+    a.global(l.clone());
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    // Fetch the faulting instruction word from guest text.
+    a.load(Rbx, Rdi, (vcpu::SAVE_RIP * 8) as i64);
+    a.load(Rbx, Rbx, 0);
+    a.mov(Rcx, Rbx);
+    a.shr(Rcx, 56); // opcode byte
+    a.cmpi(Rcx, Opcode::Cpuid as i64);
+    a.je(format!("{l}.cpuid"));
+    a.cmpi(Rcx, Opcode::Rdtsc as i64);
+    a.je(format!("{l}.rdtsc"));
+    a.cmpi(Rcx, Opcode::Out as i64);
+    a.je(format!("{l}.out"));
+    a.cmpi(Rcx, Opcode::In as i64);
+    a.je(format!("{l}.in"));
+    // Unemulatable #GP: deliver to the guest.
+    a.movi(Rax, Vector::GeneralProtection as i64);
+    a.jmp("deliver_trap_to_guest");
+
+    a.label(format!("{l}.cpuid"));
+    a.call("emulate_cpuid_core");
+    advance_rip(a);
+    a.ret();
+
+    a.label(format!("{l}.rdtsc"));
+    a.call("emulate_rdtsc_core");
+    advance_rip(a);
+    a.ret();
+
+    // OUT emulation: extract the source register field, read its saved
+    // value, forward to the console device.
+    a.label(format!("{l}.out"));
+    a.mov(Rcx, Rbx);
+    a.shr(Rcx, 48);
+    a.movi(R8, 0xf);
+    a.and(Rcx, R8);
+    a.shl(Rcx, 3);
+    a.mov(R8, Rdi);
+    a.add(R8, Rcx);
+    a.load(R9, R8, 0);
+    a.out(super::hypercalls::CONSOLE_PORT, R9);
+    advance_rip(a);
+    a.ret();
+
+    // IN emulation: read the device, write into the destination slot.
+    a.label(format!("{l}.in"));
+    a.mov(Rcx, Rbx);
+    a.shr(Rcx, 52);
+    a.movi(R8, 0xf);
+    a.and(Rcx, R8);
+    a.shl(Rcx, 3);
+    a.mov(R8, Rdi);
+    a.add(R8, Rcx);
+    a.inp(R9, super::hypercalls::CONSOLE_PORT);
+    a.store(R8, 0, R9);
+    advance_rip(a);
+    a.ret();
+}
+
+/// #PF: qualification carries the faulting address. Guest page faults are
+/// the guest kernel's problem: account them per-domain, note whether the
+/// address was even inside the guest's window (diagnostics), and deliver —
+/// a PV guest whose corrupted pointer faults sees exactly the crash it
+/// would see on bare metal (the paper's APP-crash outcome).
+fn emit_pf(a: &mut Asm) {
+    let l = label(14);
+    a.global(l.clone());
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.load(R8, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    // Per-domain fault accounting (domain word 38).
+    a.load(R9, R8, 38 * 8);
+    a.addi(R9, 1);
+    a.store(R8, 38 * 8, R9);
+    // Out-of-window faults additionally bump the foreign-fault counter.
+    a.load(R9, R8, (domain::MEM_BASE * 8) as i64);
+    a.cmp(Rsi, R9);
+    a.jb(format!("{l}.foreign"));
+    a.load(Rbx, R8, (domain::MEM_SIZE * 8) as i64);
+    a.add(R9, Rbx);
+    a.cmp(Rsi, R9);
+    a.jb(format!("{l}.deliver"));
+    a.label(format!("{l}.foreign"));
+    a.load(R9, R8, 39 * 8); // domain word 39: out-of-window faults
+    a.addi(R9, 1);
+    a.store(R8, 39 * 8, R9);
+    a.label(format!("{l}.deliver"));
+    a.movi(Rax, Vector::PageFault as i64);
+    a.jmp("deliver_trap_to_guest");
+}

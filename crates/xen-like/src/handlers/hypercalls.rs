@@ -1,0 +1,1190 @@
+//! The 38 hypercall handlers of Xen 4.1.2, as simulated code.
+//!
+//! Handler bodies follow the shapes of their Xen counterparts: guest-pointer
+//! validation, bounded batch loops over guest-supplied arrays, event-channel
+//! and grant-table manipulation, scheduler entry points, and time paths.
+//! Trip counts depend on guest arguments and on hypervisor state, so correct
+//! executions of the same hypercall form a *distribution* of performance
+//! counter footprints — the signal the VM-transition detector learns.
+//!
+//! Error returns use Xen's errno conventions (`-EFAULT = -14`, `-EINVAL =
+//! -22`, `-ENOSYS = -38`, `-ESRCH = -3`). Software assertions guard values
+//! that were already masked/validated: they never fire in error-free runs
+//! and exist to catch fault-induced corruption between check and use.
+
+use crate::assert_ids;
+use crate::layout::{self as lay, domain, evtchn, grant, pcpu, runq, shared, vcpu};
+use sim_asm::Asm;
+use sim_machine::Reg::{self, *};
+
+/// Xen errno values used by handlers.
+pub mod errno {
+    pub const ESRCH: i64 = -3;
+    pub const EFAULT: i64 = -14;
+    pub const EINVAL: i64 = -22;
+    pub const ENOSYS: i64 = -38;
+}
+
+/// Console I/O port (dom0 serial console).
+pub const CONSOLE_PORT: u16 = 0x3f8;
+/// PIC acknowledge port.
+pub const PIC_PORT: u16 = 0x20;
+
+/// Names of the 38 hypercalls, indexed by number (mirrors Xen 4.1.2's
+/// `xen/include/public/xen.h`).
+pub const NAMES: [&str; 38] = [
+    "set_trap_table",
+    "mmu_update",
+    "set_gdt",
+    "stack_switch",
+    "set_callbacks",
+    "fpu_taskswitch",
+    "sched_op_compat",
+    "platform_op",
+    "set_debugreg",
+    "get_debugreg",
+    "update_descriptor",
+    "ni_hypercall",
+    "memory_op",
+    "multicall",
+    "update_va_mapping",
+    "set_timer_op",
+    "event_channel_op_compat",
+    "xen_version",
+    "console_io",
+    "physdev_op_compat",
+    "grant_table_op",
+    "vm_assist",
+    "update_va_mapping_otherdomain",
+    "iret",
+    "vcpu_op",
+    "set_segment_base",
+    "mmuext_op",
+    "xsm_op",
+    "nmi_op",
+    "sched_op",
+    "callback_op",
+    "xenoprof_op",
+    "event_channel_op",
+    "physdev_op",
+    "hvm_op",
+    "sysctl",
+    "domctl",
+    "kexec_op",
+];
+
+/// Label of hypercall `nr`'s handler.
+pub fn label(nr: u8) -> String {
+    format!("hc_{:02}_{}", nr, NAMES[nr as usize])
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers (the "calling convention" of handler bodies)
+// ---------------------------------------------------------------------------
+
+/// Hypercall argument registers in Xen's x86-64 ABI order:
+/// arg1..arg5 = rdi, rsi, rdx, r10, r8 (save-area slots 7, 6, 2, 10, 8).
+const ARG_SLOTS: [i64; 5] = [7 * 8, 6 * 8, 2 * 8, 10 * 8, 8 * 8];
+
+/// Load hypercall argument `n` (1-based) into `dst`. Assumes `r15` holds the
+/// VCPU pointer.
+fn arg(a: &mut Asm, dst: Reg, n: usize) {
+    a.load(dst, R15, ARG_SLOTS[n - 1]);
+}
+
+/// Handler prologue: stash the VCPU pointer in `r15`, bump the global
+/// hypercall counter, and run the domain audit walk (the Xen analogue of
+/// guest-handle copies, XSM permission checks and lock accounting that
+/// every hypercall performs before its real work).
+fn prologue(a: &mut Asm) {
+    a.mov(R15, Rdi);
+    a.movi(Rax, lay::global_addr(lay::global::HYPERCALL_COUNT) as i64);
+    a.load(Rbx, Rax, 0);
+    a.addi(Rbx, 1);
+    a.store(Rax, 0, Rbx);
+    a.call("domain_audit");
+}
+
+/// Store the immediate return value into the guest's RAX slot and return.
+fn ret_imm(a: &mut Asm, v: i64) {
+    a.movi(Rax, v);
+    a.store(R15, 0, Rax);
+    a.ret();
+}
+
+/// Store `r`'s value into the guest's RAX slot and return.
+fn ret_reg(a: &mut Asm, r: Reg) {
+    a.store(R15, 0, r);
+    a.ret();
+}
+
+/// Emit an `-EFAULT` exit label named `{prefix}.efault`.
+fn efault_label(a: &mut Asm, prefix: &str) {
+    a.label(format!("{prefix}.efault"));
+    ret_imm(a, errno::EFAULT);
+}
+
+/// Validate that the address in `addr` lies inside the current domain's
+/// memory window; jump to `{prefix}.efault` otherwise. Clobbers `r8`/`r9`.
+/// Assumes `r15` = VCPU.
+fn window_check(a: &mut Asm, addr: Reg, prefix: &str) {
+    let fail = format!("{prefix}.efault");
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MEM_BASE * 8) as i64);
+    a.cmp(addr, R9);
+    a.jb(fail.clone());
+    a.load(R8, R8, (domain::MEM_SIZE * 8) as i64);
+    a.add(R9, R8); // r9 = window end
+    a.cmp(addr, R9);
+    a.jae(fail);
+}
+
+/// `dst <- dst % modulus` via a register constant. Clobbers `r9`.
+fn mod_imm(a: &mut Asm, dst: Reg, modulus: i64) {
+    a.movi(R9, modulus);
+    a.rem(dst, R9);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+/// Emit all 38 hypercall handlers. Requires that the scheduler routines
+/// (`schedule`) are emitted elsewhere in the same image.
+pub fn emit_all(a: &mut Asm) {
+    hc00_set_trap_table(a);
+    hc01_mmu_update(a);
+    hc02_set_gdt(a);
+    hc03_stack_switch(a);
+    hc04_set_callbacks(a);
+    hc05_fpu_taskswitch(a);
+    hc06_sched_op_compat(a);
+    hc07_platform_op(a);
+    hc08_set_debugreg(a);
+    hc09_get_debugreg(a);
+    hc10_update_descriptor(a);
+    hc11_ni_hypercall(a);
+    hc12_memory_op(a);
+    hc13_multicall(a);
+    hc14_update_va_mapping(a);
+    hc15_set_timer_op(a);
+    hc16_event_channel_op_compat(a);
+    hc17_xen_version(a);
+    hc18_console_io(a);
+    hc19_physdev_op_compat(a);
+    hc20_grant_table_op(a);
+    hc21_vm_assist(a);
+    hc22_update_va_mapping_otherdomain(a);
+    hc23_iret(a);
+    hc24_vcpu_op(a);
+    hc25_set_segment_base(a);
+    hc26_mmuext_op(a);
+    hc27_xsm_op(a);
+    hc28_nmi_op(a);
+    hc29_sched_op(a);
+    hc30_callback_op(a);
+    hc31_xenoprof_op(a);
+    hc32_event_channel_op(a);
+    hc33_physdev_op(a);
+    hc34_hvm_op(a);
+    hc35_sysctl(a);
+    hc36_domctl(a);
+    hc37_kexec_op(a);
+}
+
+/// `set_trap_table(table_ptr)`: walk the guest's 20-entry virtual trap
+/// table, validating each handler address; the last valid entry becomes the
+/// domain's delivery target.
+fn hc00_set_trap_table(a: &mut Asm) {
+    let l = label(0);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // table pointer
+    window_check(a, Rcx, &l);
+    a.movi(Rdx, 0); // index
+    a.label(format!("{l}.loop"));
+    a.load(Rbx, Rcx, 0); // entry
+    a.cmpi(Rbx, 0);
+    a.je(format!("{l}.skip"));
+    window_check(a, Rbx, &l);
+    // Fault-guard: the entry was just range-checked; re-assert before the
+    // store that makes it the live delivery target.
+    a.mov(R9, Rbx);
+    a.subi(R9, lay::GUEST_BASE as i64);
+    a.assert_in_range(
+        R9,
+        0,
+        (lay::MAX_DOMS as u64 * lay::GUEST_STRIDE) as i64 - 1,
+        assert_ids::TRAPTAB_RANGE,
+    );
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, (domain::TRAP_HANDLER * 8) as i64, Rbx);
+    a.label(format!("{l}.skip"));
+    a.addi(Rcx, 8);
+    a.addi(Rdx, 1);
+    a.cmpi(Rdx, 20);
+    a.jl(format!("{l}.loop"));
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `mmu_update(reqs, count)`: apply a batch of page-table updates. Each
+/// request is a guest word naming a machine address; valid ones bump the
+/// domain's update counter, invalid ones the failure count.
+fn hc01_mmu_update(a: &mut Asm) {
+    let l = label(1);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // request array
+    arg(a, Rdx, 2); // count
+    window_check(a, Rcx, &l);
+    mod_imm(a, Rdx, 32);
+    a.assert_le(Rdx, 31, assert_ids::MMU_BOUND);
+    a.movi(R12, 0); // applied
+    a.movi(R13, 0); // index
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(Rbx, Rcx, 0); // request word = target address
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MEM_BASE * 8) as i64);
+    a.cmp(Rbx, R9);
+    a.jb(format!("{l}.bad"));
+    a.load(R8, R8, (domain::MEM_SIZE * 8) as i64);
+    a.add(R9, R8);
+    a.cmp(Rbx, R9);
+    a.jae(format!("{l}.bad"));
+    a.addi(R12, 1);
+    a.label(format!("{l}.bad"));
+    a.addi(Rcx, 8);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MMU_UPDATES * 8) as i64);
+    a.add(R9, R12);
+    a.store(R8, (domain::MMU_UPDATES * 8) as i64, R9);
+    ret_reg(a, R12);
+    efault_label(a, &l);
+}
+
+/// `set_gdt(frames, entries)`: cache up to 16 descriptor frames in the
+/// domain descriptor's scratch area.
+fn hc02_set_gdt(a: &mut Asm) {
+    let l = label(2);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rcx, &l);
+    mod_imm(a, Rdx, 16);
+    a.load(R12, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(Rbx, Rcx, 0);
+    // scratch slot = 32 + (index % 8)
+    a.mov(R8, R13);
+    mod_imm(a, R8, 8);
+    a.shl(R8, 3);
+    a.mov(R9, R12);
+    a.add(R9, R8);
+    a.store(R9, 32 * 8, Rbx);
+    a.addi(Rcx, 8);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `stack_switch(new_rsp)`: install a new guest kernel stack pointer. A
+/// corrupted value here reaches the guest at the next entry — one of the
+/// paper's long-latency channels.
+fn hc03_stack_switch(a: &mut Asm) {
+    let l = label(3);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    window_check(a, Rcx, &l);
+    a.mov(R9, Rcx);
+    a.subi(R9, lay::GUEST_BASE as i64);
+    a.assert_in_range(
+        R9,
+        0,
+        (lay::MAX_DOMS as u64 * lay::GUEST_STRIDE) as i64 - 1,
+        assert_ids::STACK_RANGE,
+    );
+    a.store(R15, 4 * 8, Rcx); // guest RSP save slot
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `set_callbacks(event, failsafe)`: register guest upcall entry points.
+fn hc04_set_callbacks(a: &mut Asm) {
+    let l = label(4);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rcx, &l);
+    window_check(a, Rdx, &l);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, (domain::TRAP_HANDLER * 8) as i64, Rcx);
+    a.store(R8, 33 * 8, Rdx); // failsafe slot
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `fpu_taskswitch(set)`: toggle the VCPU's lazy-FPU flag.
+fn hc05_fpu_taskswitch(a: &mut Asm) {
+    let l = label(5);
+    a.global(l);
+    prologue(a);
+    arg(a, Rcx, 1);
+    mod_imm(a, Rcx, 2);
+    a.store(R15, 30 * 8, Rcx);
+    ret_imm(a, 0);
+}
+
+/// `sched_op_compat`: legacy alias of `sched_op`.
+fn hc06_sched_op_compat(a: &mut Asm) {
+    a.global(label(6));
+    a.jmp(label(29));
+}
+
+/// `platform_op(cmd)`: dom0 platform control; publishes the wall clock to
+/// the caller's shared-info page and performs accounting sweeps.
+fn hc07_platform_op(a: &mut Asm) {
+    let l = label(7);
+    a.global(l.clone());
+    prologue(a);
+    a.movi(Rcx, lay::global_addr(lay::global::WALLCLOCK) as i64);
+    a.load(Rcx, Rcx, 0);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R8, R8, (domain::SHARED_PTR * 8) as i64);
+    a.store(R8, (shared::WALLCLOCK * 8) as i64, Rcx);
+    // Accounting sweep over 6 platform sensors (port reads).
+    a.movi(Rdx, 0);
+    a.label(format!("{l}.loop"));
+    a.inp(Rbx, 0x40);
+    a.add(Rcx, Rbx);
+    a.addi(Rdx, 1);
+    a.cmpi(Rdx, 6);
+    a.jl(format!("{l}.loop"));
+    ret_reg(a, Rcx);
+}
+
+/// `set_debugreg(idx, val)`.
+fn hc08_set_debugreg(a: &mut Asm) {
+    let l = label(8);
+    a.global(l);
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    mod_imm(a, Rcx, 8);
+    a.shl(Rcx, 3);
+    a.mov(R8, R15);
+    a.add(R8, Rcx);
+    a.store(R8, 32 * 8, Rdx); // debugregs at VCPU words 32..39
+    ret_imm(a, 0);
+}
+
+/// `get_debugreg(idx)`.
+fn hc09_get_debugreg(a: &mut Asm) {
+    let l = label(9);
+    a.global(l);
+    prologue(a);
+    arg(a, Rcx, 1);
+    mod_imm(a, Rcx, 8);
+    a.shl(Rcx, 3);
+    a.mov(R8, R15);
+    a.add(R8, Rcx);
+    a.load(Rax, R8, 32 * 8);
+    ret_reg(a, Rax);
+}
+
+/// `update_descriptor(maddr, desc)`: validate and install one descriptor.
+fn hc10_update_descriptor(a: &mut Asm) {
+    let l = label(10);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rcx, &l);
+    // Selector = low bits of the machine address; bound-assert after mask.
+    a.mov(Rbx, Rcx);
+    mod_imm(a, Rbx, 16);
+    a.assert_le(Rbx, 15, assert_ids::DESC_BOUND);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, 34 * 8, Rdx);
+    a.load(R9, R8, (domain::MMU_UPDATES * 8) as i64);
+    a.addi(R9, 1);
+    a.store(R8, (domain::MMU_UPDATES * 8) as i64, R9);
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// Slot 11 is unimplemented in Xen 4.1.2.
+fn hc11_ni_hypercall(a: &mut Asm) {
+    let l = label(11);
+    a.global(l);
+    prologue(a);
+    ret_imm(a, errno::ENOSYS);
+}
+
+/// `memory_op(cmd, pages)`: balloon pages in or out, one loop iteration per
+/// page (memory-traffic heavy, like Xen's reservation loops).
+fn hc12_memory_op(a: &mut Asm) {
+    let l = label(12);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // cmd: 0 = increase, 1 = decrease
+    arg(a, Rdx, 2); // pages
+    mod_imm(a, Rdx, 64);
+    a.assert_le(Rdx, 63, assert_ids::MEMOP_BOUND);
+    mod_imm(a, Rcx, 2);
+    a.load(R12, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(R9, R12, (domain::BALLOON_PAGES * 8) as i64);
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.dec"));
+    a.addi(R9, 1);
+    a.jmp(format!("{l}.store"));
+    a.label(format!("{l}.dec"));
+    a.subi(R9, 1);
+    a.label(format!("{l}.store"));
+    a.store(R12, (domain::BALLOON_PAGES * 8) as i64, R9);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    ret_reg(a, Rdx);
+}
+
+/// `multicall(list, n)`: account a batch of up to 8 sub-calls.
+fn hc13_multicall(a: &mut Asm) {
+    let l = label(13);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rcx, &l);
+    mod_imm(a, Rdx, 8);
+    a.assert_le(Rdx, 7, assert_ids::MULTICALL_BOUND);
+    a.movi(R13, 0);
+    a.movi(R12, 0); // accumulated work
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(Rbx, Rcx, 0); // sub-call number
+    mod_imm(a, Rbx, 64);
+    a.add(R12, Rbx);
+    a.addi(Rcx, 8);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    a.load(R8, Rbp, (pcpu::WORK * 8) as i64);
+    a.add(R8, R12);
+    a.store(Rbp, (pcpu::WORK * 8) as i64, R8);
+    ret_reg(a, Rdx);
+    efault_label(a, &l);
+}
+
+/// `update_va_mapping(va, val)`: write one PTE-sized value into guest
+/// memory, then run a variable-length TLB-flush loop.
+fn hc14_update_va_mapping(a: &mut Asm) {
+    let l = label(14);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // va
+    arg(a, Rdx, 2); // value
+    window_check(a, Rcx, &l);
+    a.store(Rcx, 0, Rdx);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MMU_UPDATES * 8) as i64);
+    a.addi(R9, 1);
+    a.store(R8, (domain::MMU_UPDATES * 8) as i64, R9);
+    // TLB shoot-down: 0..3 flush rounds depending on load.
+    a.noise(Rbx, 4);
+    a.label(format!("{l}.flush"));
+    a.cmpi(Rbx, 0);
+    a.je(format!("{l}.done"));
+    a.movi(R9, lay::global_addr(lay::global::SCRATCH) as i64);
+    a.store(R9, 0, Rbx);
+    a.subi(Rbx, 1);
+    a.jmp(format!("{l}.flush"));
+    a.label(format!("{l}.done"));
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `set_timer_op(deadline)`: arm the VCPU's singleshot timer. Time values
+/// flow from here into guest-visible state — the paper's dominant
+/// undetected-fault category.
+fn hc15_set_timer_op(a: &mut Asm) {
+    let l = label(15);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    a.store(R15, (vcpu::TIMER_DEADLINE * 8) as i64, Rcx);
+    a.movi(Rbx, lay::global_addr(lay::global::WALLCLOCK) as i64);
+    a.load(Rbx, Rbx, 0);
+    a.cmp(Rcx, Rbx);
+    a.jg(format!("{l}.armed"));
+    // Deadline already passed: fire immediately via the upcall path.
+    a.movi(Rdx, 1);
+    a.store(R15, (vcpu::UPCALL_PENDING * 8) as i64, Rdx);
+    a.movi(Rdx, 0);
+    a.store(R15, (vcpu::TIMER_DEADLINE * 8) as i64, Rdx);
+    a.label(format!("{l}.armed"));
+    ret_imm(a, 0);
+}
+
+/// Legacy alias of `event_channel_op`.
+fn hc16_event_channel_op_compat(a: &mut Asm) {
+    a.global(label(16));
+    a.jmp(label(32));
+}
+
+/// `xen_version()`: the cheapest, most frequent call — returns 4.1.2.
+fn hc17_xen_version(a: &mut Asm) {
+    let l = label(17);
+    a.global(l);
+    prologue(a);
+    ret_imm(a, 0x0004_0102);
+}
+
+/// `console_io(cmd, count, buf)`: write up to 32 characters to the serial
+/// console — the I/O-heavy path postmark hammers.
+fn hc18_console_io(a: &mut Asm) {
+    let l = label(18);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // cmd (0 = write)
+    arg(a, Rdx, 2); // count
+    arg(a, Rbx, 3); // buffer
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.read"));
+    window_check(a, Rbx, &l);
+    mod_imm(a, Rdx, 32);
+    a.assert_le(Rdx, 31, assert_ids::CONSOLE_BOUND);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(R12, Rbx, 0);
+    a.out(CONSOLE_PORT, R12);
+    a.addi(Rbx, 8);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    ret_reg(a, Rdx);
+    a.label(format!("{l}.read"));
+    a.inp(Rax, CONSOLE_PORT);
+    ret_reg(a, Rax);
+    efault_label(a, &l);
+}
+
+/// Legacy alias of `physdev_op`.
+fn hc19_physdev_op_compat(a: &mut Asm) {
+    a.global(label(19));
+    a.jmp(label(33));
+}
+
+/// `grant_table_op(op, ref, frame)`: map/unmap a grant entry and copy its
+/// payload window.
+fn hc20_grant_table_op(a: &mut Asm) {
+    let l = label(20);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // op: 0 = map, 1 = unmap
+    arg(a, Rdx, 2); // grant reference
+    arg(a, Rbx, 3); // frame
+    a.cmpi(Rdx, lay::NR_GRANTS as i64);
+    a.jae(format!("{l}.einval"));
+    a.assert_le(Rdx, lay::NR_GRANTS as i64 - 1, assert_ids::GRANT_BOUND);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R8, R8, (domain::GRANT_PTR * 8) as i64);
+    a.mov(R9, Rdx);
+    a.shl(R9, 3);
+    a.add(R8, R9); // entry address
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.unmap"));
+    // map: flags = INUSE|RW, frame stored above bit 8.
+    a.shl(Rbx, 8);
+    a.addi(Rbx, (grant::FLAG_INUSE | grant::FLAG_READ | grant::FLAG_WRITE) as i64);
+    a.store(R8, 0, Rbx);
+    // Copy a 4-word payload through the hypervisor scratch window (grant
+    // copy traffic).
+    a.movi(R13, 0);
+    a.movi(R12, lay::global_addr(lay::global::SCRATCH) as i64);
+    a.label(format!("{l}.copy"));
+    a.load(R9, R8, 0);
+    a.store(R12, 0, R9);
+    a.addi(R12, 8);
+    a.addi(R13, 1);
+    a.cmpi(R13, 4);
+    a.jl(format!("{l}.copy"));
+    ret_imm(a, 0);
+    a.label(format!("{l}.unmap"));
+    a.movi(R9, 0);
+    a.store(R8, 0, R9);
+    ret_imm(a, 0);
+    a.label(format!("{l}.einval"));
+    ret_imm(a, errno::EINVAL);
+}
+
+/// `vm_assist(cmd, type)`: set an assist bit in the domain.
+fn hc21_vm_assist(a: &mut Asm) {
+    let l = label(21);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 2); // type
+    mod_imm(a, Rcx, 8);
+    // Compute 1 << type with a shift loop (no variable shift in the ISA).
+    a.movi(Rbx, 1);
+    a.label(format!("{l}.shift"));
+    a.cmpi(Rcx, 0);
+    a.je(format!("{l}.apply"));
+    a.shl(Rbx, 1);
+    a.subi(Rcx, 1);
+    a.jmp(format!("{l}.shift"));
+    a.label(format!("{l}.apply"));
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, 35 * 8);
+    a.or(R9, Rbx);
+    a.store(R8, 35 * 8, R9);
+    ret_imm(a, 0);
+}
+
+/// `update_va_mapping_otherdomain(va, val, domid)`: like hc14 but targets a
+/// foreign domain found by a descriptor-table scan (dom0 tooling path).
+fn hc22_update_va_mapping_otherdomain(a: &mut Asm) {
+    let l = label(22);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // va
+    arg(a, Rdx, 2); // val
+    arg(a, Rbx, 3); // domid
+    a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
+    a.load(R8, R8, 0);
+    a.rem(Rbx, R8); // clamp domid
+    // Scan the domain table for the id (linear search as in Xen's
+    // rcu_lock_domain_by_id).
+    a.movi(R12, lay::domain_addr(0) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.scan"));
+    a.load(R9, R12, (domain::DOM_ID * 8) as i64);
+    a.cmp(R9, Rbx);
+    a.je(format!("{l}.found"));
+    a.addi(R12, (domain::STRIDE * 8) as i64);
+    a.addi(R13, 1);
+    a.cmp(R13, R8);
+    a.jl(format!("{l}.scan"));
+    ret_imm(a, errno::ESRCH);
+    a.label(format!("{l}.found"));
+    // Bounds-check va against the *target* domain's window.
+    a.load(R9, R12, (domain::MEM_BASE * 8) as i64);
+    a.cmp(Rcx, R9);
+    a.jb(format!("{l}.efault"));
+    a.load(R8, R12, (domain::MEM_SIZE * 8) as i64);
+    a.add(R9, R8);
+    a.cmp(Rcx, R9);
+    a.jae(format!("{l}.efault"));
+    a.store(Rcx, 0, Rdx);
+    a.load(R9, R12, (domain::MMU_UPDATES * 8) as i64);
+    a.addi(R9, 1);
+    a.store(R12, (domain::MMU_UPDATES * 8) as i64, R9);
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `iret`: return from a guest event/trap frame. Pops RIP/RFLAGS/RAX from
+/// the guest kernel stack — corrupted pops here are the paper's "stack
+/// values" SDC channel.
+fn hc23_iret(a: &mut Asm) {
+    let l = label(23);
+    a.global(l.clone());
+    prologue(a);
+    a.load(Rcx, R15, 4 * 8); // guest RSP
+    window_check(a, Rcx, &l);
+    a.mov(R9, Rcx);
+    a.subi(R9, lay::GUEST_BASE as i64);
+    a.assert_in_range(
+        R9,
+        0,
+        (lay::MAX_DOMS as u64 * lay::GUEST_STRIDE) as i64 - 1,
+        assert_ids::IRET_RANGE,
+    );
+    a.load(Rbx, Rcx, 0); // new rip
+    a.load(Rdx, Rcx, 8); // new rflags
+    a.load(R12, Rcx, 16); // restored rax
+    window_check(a, Rbx, &l); // rip must stay in the guest window
+    a.store(R15, (vcpu::SAVE_RIP * 8) as i64, Rbx);
+    a.store(R15, (vcpu::SAVE_RFLAGS * 8) as i64, Rdx);
+    a.store(R15, 0, R12);
+    a.addi(Rcx, 24);
+    a.store(R15, 4 * 8, Rcx);
+    // Re-enable upcalls on iret (Xen semantics).
+    a.movi(R9, 0);
+    a.store(R15, (vcpu::UPCALL_MASK * 8) as i64, R9);
+    a.ret();
+    efault_label(a, &l);
+}
+
+/// `vcpu_op(cmd, vcpuid)`: bring VCPUs up/down and query state.
+fn hc24_vcpu_op(a: &mut Asm) {
+    let l = label(24);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // cmd: 0 up, 1 down, 2 is_up
+    arg(a, Rdx, 2); // vcpuid
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::NR_VCPUS * 8) as i64);
+    a.cmp(Rdx, R9);
+    a.jae(format!("{l}.einval"));
+    a.assert_le(Rdx, lay::MAX_VCPUS_PER_DOM as i64 - 1, assert_ids::VCPU_BOUND);
+    // target = vcpu_base + (first_vcpu + vcpuid) * stride
+    a.load(R9, R8, (domain::FIRST_VCPU * 8) as i64);
+    a.add(R9, Rdx);
+    a.movi(Rbx, (vcpu::STRIDE * 8) as i64);
+    a.mul(R9, Rbx);
+    a.movi(Rbx, vcpu::BASE as i64);
+    a.add(R9, Rbx); // r9 = target VCPU descriptor
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.notup"));
+    // VCPUOP_up: mark runnable and enqueue on this CPU's run queue.
+    a.movi(Rbx, 1);
+    a.store(R9, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    a.load(R12, Rbp, (pcpu::RUNQ_PTR * 8) as i64);
+    a.load(R13, R12, (runq::COUNT * 8) as i64);
+    a.cmpi(R13, runq::MAX_ENTRIES as i64);
+    a.jae(format!("{l}.full"));
+    a.mov(Rbx, R13);
+    a.shl(Rbx, 3);
+    a.add(Rbx, R12);
+    a.store(Rbx, (runq::ENTRIES * 8) as i64, R9);
+    a.addi(R13, 1);
+    a.store(R12, (runq::COUNT * 8) as i64, R13);
+    a.label(format!("{l}.full"));
+    ret_imm(a, 0);
+    a.label(format!("{l}.notup"));
+    a.cmpi(Rcx, 1);
+    a.jne(format!("{l}.isup"));
+    a.movi(Rbx, 0);
+    a.store(R9, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    ret_imm(a, 0);
+    a.label(format!("{l}.isup"));
+    a.load(Rax, R9, (vcpu::RUNNABLE * 8) as i64);
+    ret_reg(a, Rax);
+    a.label(format!("{l}.einval"));
+    ret_imm(a, errno::EINVAL);
+}
+
+/// `set_segment_base(which, addr)`.
+fn hc25_set_segment_base(a: &mut Asm) {
+    let l = label(25);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rdx, &l);
+    mod_imm(a, Rcx, 4);
+    a.shl(Rcx, 3);
+    a.mov(R8, R15);
+    a.add(R8, Rcx);
+    a.store(R8, 40 * 8, Rdx); // segment bases at VCPU words 40..43
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `mmuext_op(ops, count)`: extended MMU operations — a small op-code
+/// interpreter with per-op work profiles.
+fn hc26_mmuext_op(a: &mut Asm) {
+    let l = label(26);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rcx, &l);
+    mod_imm(a, Rdx, 16);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, Rdx);
+    a.jge(format!("{l}.done"));
+    a.load(Rbx, Rcx, 0);
+    mod_imm(a, Rbx, 4);
+    a.cmpi(Rbx, 0);
+    a.jne(format!("{l}.op1"));
+    // op 0: pin table — bump the counter.
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MMU_UPDATES * 8) as i64);
+    a.addi(R9, 1);
+    a.store(R8, (domain::MMU_UPDATES * 8) as i64, R9);
+    a.jmp(format!("{l}.next"));
+    a.label(format!("{l}.op1"));
+    a.cmpi(Rbx, 1);
+    a.jne(format!("{l}.op2"));
+    // op 1: local TLB flush — variable work.
+    a.noise(R12, 3);
+    a.label(format!("{l}.fl"));
+    a.cmpi(R12, 0);
+    a.je(format!("{l}.next"));
+    a.movi(R9, lay::global_addr(lay::global::SCRATCH + 1) as i64);
+    a.store(R9, 0, R12);
+    a.subi(R12, 1);
+    a.jmp(format!("{l}.fl"));
+    a.label(format!("{l}.op2"));
+    a.cmpi(Rbx, 2);
+    a.jne(format!("{l}.op3"));
+    // op 2: flush cache — a port write.
+    a.out(PIC_PORT, Rbx);
+    a.jmp(format!("{l}.next"));
+    a.label(format!("{l}.op3"));
+    // op 3: unpin — decrement if positive.
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::MMU_UPDATES * 8) as i64);
+    a.cmpi(R9, 0);
+    a.jle(format!("{l}.next"));
+    a.subi(R9, 1);
+    a.store(R8, (domain::MMU_UPDATES * 8) as i64, R9);
+    a.label(format!("{l}.next"));
+    a.addi(Rcx, 8);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    ret_reg(a, Rdx);
+    efault_label(a, &l);
+}
+
+/// `xsm_op(op)`: security-module permission check — dom0 is allowed
+/// everything, others only the low op range.
+fn hc27_xsm_op(a: &mut Asm) {
+    let l = label(27);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::DOM_ID * 8) as i64);
+    a.cmpi(R9, 0);
+    a.je(format!("{l}.allow"));
+    mod_imm(a, Rcx, 8);
+    a.cmpi(Rcx, 4);
+    a.jl(format!("{l}.allow"));
+    ret_imm(a, errno::EINVAL);
+    a.label(format!("{l}.allow"));
+    ret_imm(a, 0);
+}
+
+/// `nmi_op(cb)`: register the guest NMI callback.
+fn hc28_nmi_op(a: &mut Asm) {
+    let l = label(28);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    window_check(a, Rcx, &l);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, 36 * 8, Rcx);
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `sched_op(cmd)`: yield / block / shutdown / poll — every variant ends in
+/// the scheduler.
+fn hc29_sched_op(a: &mut Asm) {
+    let l = label(29);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    a.cmpi(Rcx, 1);
+    a.je(format!("{l}.block"));
+    a.cmpi(Rcx, 2);
+    a.je(format!("{l}.shutdown"));
+    a.cmpi(Rcx, 3);
+    a.je(format!("{l}.poll"));
+    // yield (cmd 0 and anything else)
+    a.call("schedule");
+    ret_imm(a, 0);
+    a.label(format!("{l}.block"));
+    a.movi(Rbx, 0);
+    a.store(R15, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    a.store(R15, (vcpu::UPCALL_MASK * 8) as i64, Rbx);
+    a.call("schedule");
+    ret_imm(a, 0);
+    a.label(format!("{l}.shutdown"));
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.movi(Rbx, 1);
+    a.store(R8, (domain::IS_DYING * 8) as i64, Rbx);
+    a.movi(Rbx, 0);
+    a.store(R15, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    a.call("schedule");
+    ret_imm(a, 0);
+    a.label(format!("{l}.poll"));
+    // Scan this domain's event channels for pending work.
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R8, R8, (domain::EVTCHN_PTR * 8) as i64);
+    a.movi(R13, 0);
+    a.movi(R12, 0);
+    a.movi(R9, evtchn::PENDING_BIT as i64);
+    a.label(format!("{l}.pollloop"));
+    a.load(Rbx, R8, 0);
+    a.and(Rbx, R9);
+    a.add(R12, Rbx);
+    a.addi(R8, 8);
+    a.addi(R13, 1);
+    a.cmpi(R13, lay::NR_EVTCHN as i64);
+    a.jl(format!("{l}.pollloop"));
+    ret_reg(a, R12);
+}
+
+/// `callback_op(type, addr)`.
+fn hc30_callback_op(a: &mut Asm) {
+    let l = label(30);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    window_check(a, Rdx, &l);
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.other"));
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, (domain::TRAP_HANDLER * 8) as i64, Rdx);
+    ret_imm(a, 0);
+    a.label(format!("{l}.other"));
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.store(R8, 37 * 8, Rdx);
+    ret_imm(a, 0);
+    efault_label(a, &l);
+}
+
+/// `xenoprof_op(buf)`: drain 8 profile samples into the domain buffer.
+fn hc31_xenoprof_op(a: &mut Asm) {
+    let l = label(31);
+    a.global(l.clone());
+    prologue(a);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.rdtsc(); // sample timestamp (host-native tsc)
+    a.mov(Rbx, Rax);
+    a.mov(R9, R13);
+    a.shl(R9, 3);
+    a.mov(R12, R8);
+    a.add(R12, R9);
+    a.store(R12, 40 * 8, Rbx); // domain words 40..47
+    a.addi(R13, 1);
+    a.cmpi(R13, 8);
+    a.jl(format!("{l}.loop"));
+    ret_imm(a, 0);
+}
+
+/// `event_channel_op(cmd, port, data)`: the event-channel engine. The send
+/// path is the paper's Fig. 5(b) example (`evtchn_set_pending` →
+/// `vcpu_mark_events_pending`).
+fn hc32_event_channel_op(a: &mut Asm) {
+    let l = label(32);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // cmd: 0 send, 1 bind, 2 mask, 3 unmask, 4 status
+    arg(a, Rdx, 2); // port
+    arg(a, Rbx, 3); // data (bind: vcpu id)
+    a.cmpi(Rdx, lay::NR_EVTCHN as i64);
+    a.jae(format!("{l}.einval"));
+    a.assert_le(Rdx, lay::NR_EVTCHN as i64 - 1, assert_ids::EVTCHN_BOUND);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R8, R8, (domain::EVTCHN_PTR * 8) as i64);
+    a.mov(R9, Rdx);
+    a.shl(R9, 3);
+    a.add(R8, R9); // r8 = channel word address
+    a.cmpi(Rcx, 0);
+    a.je("evtchn_set_pending");
+    a.cmpi(Rcx, 1);
+    a.je(format!("{l}.bind"));
+    a.cmpi(Rcx, 2);
+    a.je(format!("{l}.mask"));
+    a.cmpi(Rcx, 3);
+    a.je(format!("{l}.unmask"));
+    // status
+    a.load(Rax, R8, 0);
+    ret_reg(a, Rax);
+
+    // --- send path (paper Fig. 5b) ---
+    a.label("evtchn_set_pending");
+    a.load(Rbx, R8, 0);
+    a.movi(R9, evtchn::PENDING_BIT as i64);
+    a.or(Rbx, R9);
+    a.store(R8, 0, Rbx);
+    a.movi(R9, evtchn::MASKED_BIT as i64);
+    a.and(R9, Rbx);
+    a.cmpi(R9, 0);
+    a.jne(format!("{l}.sent")); // masked: pending set, no upcall
+    // Bound VCPU index lives above bit 8.
+    a.shr(Rbx, 8);
+    mod_imm(a, Rbx, lay::MAX_VCPUS_PER_DOM as i64);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (domain::FIRST_VCPU * 8) as i64);
+    a.add(R9, Rbx);
+    a.movi(Rbx, (vcpu::STRIDE * 8) as i64);
+    a.mul(R9, Rbx);
+    a.movi(Rbx, vcpu::BASE as i64);
+    a.add(R9, Rbx);
+    a.label("vcpu_mark_events_pending");
+    a.movi(Rbx, 1);
+    a.store(R9, (vcpu::UPCALL_PENDING * 8) as i64, Rbx);
+    a.store(R9, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    // Kick the scheduler.
+    a.load(Rbx, Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64);
+    a.movi(R9, lay::softirq::SCHED as i64);
+    a.or(Rbx, R9);
+    a.store(Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64, Rbx);
+    a.label(format!("{l}.sent"));
+    ret_imm(a, 0);
+
+    a.label(format!("{l}.bind"));
+    mod_imm(a, Rbx, lay::MAX_VCPUS_PER_DOM as i64);
+    a.shl(Rbx, 8);
+    a.store(R8, 0, Rbx);
+    ret_imm(a, 0);
+    a.label(format!("{l}.mask"));
+    a.load(Rbx, R8, 0);
+    a.movi(R9, evtchn::MASKED_BIT as i64);
+    a.or(Rbx, R9);
+    a.store(R8, 0, Rbx);
+    ret_imm(a, 0);
+    a.label(format!("{l}.unmask"));
+    a.load(Rbx, R8, 0);
+    a.movi(R9, !(evtchn::MASKED_BIT) as i64);
+    a.and(Rbx, R9);
+    a.store(R8, 0, Rbx);
+    ret_imm(a, 0);
+    a.label(format!("{l}.einval"));
+    ret_imm(a, errno::EINVAL);
+}
+
+/// `physdev_op(cmd)`: acknowledge physical IRQs at the PIC.
+fn hc33_physdev_op(a: &mut Asm) {
+    let l = label(33);
+    a.global(l.clone());
+    prologue(a);
+    a.movi(Rcx, lay::global_addr(lay::global::IRQ_COUNT) as i64);
+    a.load(Rbx, Rcx, 0);
+    a.addi(Rbx, 1);
+    a.store(Rcx, 0, Rbx);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.out(PIC_PORT, R13);
+    a.addi(R13, 1);
+    a.cmpi(R13, 4);
+    a.jl(format!("{l}.loop"));
+    ret_imm(a, 0);
+}
+
+/// `hvm_op(cmd, param, val)`: get/set an HVM param slot.
+fn hc34_hvm_op(a: &mut Asm) {
+    let l = label(34);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1);
+    arg(a, Rdx, 2);
+    arg(a, Rbx, 3);
+    mod_imm(a, Rdx, 8);
+    a.shl(Rdx, 3);
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.add(R8, Rdx);
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.get"));
+    a.store(R8, 48 * 8, Rbx); // params at domain words 48..55
+    ret_imm(a, 0);
+    a.label(format!("{l}.get"));
+    a.load(Rax, R8, 48 * 8);
+    ret_reg(a, Rax);
+}
+
+/// `sysctl(cmd)`: system-wide statistics — sums VCPU counts over all
+/// domains.
+fn hc35_sysctl(a: &mut Asm) {
+    let l = label(35);
+    a.global(l.clone());
+    prologue(a);
+    a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
+    a.load(R8, R8, 0);
+    a.movi(R12, lay::domain_addr(0) as i64);
+    a.movi(R13, 0);
+    a.movi(Rcx, 0); // total
+    a.label(format!("{l}.loop"));
+    a.cmp(R13, R8);
+    a.jge(format!("{l}.done"));
+    a.load(Rbx, R12, (domain::NR_VCPUS * 8) as i64);
+    a.add(Rcx, Rbx);
+    a.addi(R12, (domain::STRIDE * 8) as i64);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    ret_reg(a, Rcx);
+}
+
+/// `domctl(cmd, domid)`: pause/unpause/getinfo over a looked-up domain.
+fn hc36_domctl(a: &mut Asm) {
+    let l = label(36);
+    a.global(l.clone());
+    prologue(a);
+    arg(a, Rcx, 1); // cmd: 0 pause, 1 unpause, 2 getinfo
+    arg(a, Rdx, 2); // domid
+    a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
+    a.load(R8, R8, 0);
+    a.cmp(Rdx, R8);
+    a.jae(format!("{l}.esrch"));
+    a.assert_le(Rdx, lay::MAX_DOMS as i64 - 1, assert_ids::DOM_BOUND);
+    a.movi(R12, (domain::STRIDE * 8) as i64);
+    a.mul(Rdx, R12);
+    a.movi(R12, lay::domain_addr(0) as i64);
+    a.add(R12, Rdx); // r12 = domain descriptor
+    a.cmpi(Rcx, 2);
+    a.je(format!("{l}.info"));
+    // pause/unpause: walk the domain's VCPUs setting RUNNABLE.
+    a.movi(Rbx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne(format!("{l}.setrun"));
+    a.movi(Rbx, 0);
+    a.label(format!("{l}.setrun"));
+    a.load(R8, R12, (domain::FIRST_VCPU * 8) as i64);
+    a.movi(R9, (vcpu::STRIDE * 8) as i64);
+    a.mul(R8, R9);
+    a.movi(R9, vcpu::BASE as i64);
+    a.add(R8, R9); // first VCPU descriptor
+    a.load(R9, R12, (domain::NR_VCPUS * 8) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.vloop"));
+    a.cmp(R13, R9);
+    a.jge(format!("{l}.vdone"));
+    a.store(R8, (vcpu::RUNNABLE * 8) as i64, Rbx);
+    a.addi(R8, (vcpu::STRIDE * 8) as i64);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.vloop"));
+    a.label(format!("{l}.vdone"));
+    ret_imm(a, 0);
+    a.label(format!("{l}.info"));
+    a.load(Rax, R12, (domain::NR_VCPUS * 8) as i64);
+    ret_reg(a, Rax);
+    a.label(format!("{l}.esrch"));
+    ret_imm(a, errno::ESRCH);
+}
+
+/// `kexec_op`: stub that records the request and reports ENOSYS.
+fn hc37_kexec_op(a: &mut Asm) {
+    let l = label(37);
+    a.global(l.clone());
+    prologue(a);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.movi(R9, lay::global_addr(lay::global::SCRATCH + 2) as i64);
+    a.store(R9, 0, R13);
+    a.addi(R13, 1);
+    a.cmpi(R13, 6);
+    a.jl(format!("{l}.loop"));
+    ret_imm(a, errno::ENOSYS);
+}

@@ -1,0 +1,391 @@
+//! Interrupt handlers: `do_irq` for the 16 device lines, the ten APIC-local
+//! vectors, `do_softirq` and `do_tasklet`, plus the hardware-assisted
+//! direct-exit handlers (port I/O, CPUID/RDTSC, HLT).
+//!
+//! The timer tick (`apic_00_timer`) is the hypervisor's busiest asynchronous
+//! path: it updates every domain's guest-visible time page and scans VCPU
+//! singleshot timers — which is why "time values" dominate the paper's
+//! undetected-fault breakdown (Table II): many faults land in this handler
+//! and corrupt only time data, leaving control flow and counter footprints
+//! unchanged.
+
+use crate::layout::{self as lay, domain, evtchn, pcpu, shared, vcpu};
+use sim_asm::Asm;
+use sim_machine::Reg::*;
+
+/// Label for `do_irq`; all 16 device-IRQ dispatch slots point here.
+pub const DO_IRQ: &str = "do_irq";
+/// Label for `do_softirq`.
+pub const DO_SOFTIRQ: &str = "do_softirq";
+/// Label for `do_tasklet`.
+pub const DO_TASKLET: &str = "do_tasklet";
+
+/// Names of the ten APIC handlers.
+pub const APIC_NAMES: [&str; 10] = [
+    "timer", "resched", "callfunc", "pmu", "thermal", "spurious", "error", "local_timer",
+    "tlb_flush", "wakeup",
+];
+
+/// Label of APIC handler `v`.
+pub fn apic_label(v: u8) -> String {
+    format!("apic_{:02}_{}", v, APIC_NAMES[v as usize])
+}
+
+/// Emit every interrupt-side handler.
+pub fn emit_all(a: &mut Asm) {
+    emit_do_irq(a);
+    emit_apic_timer(a);
+    emit_apic_resched(a);
+    emit_apic_callfunc(a);
+    emit_apic_pmu(a);
+    emit_apic_thermal(a);
+    emit_apic_spurious(a);
+    emit_apic_error(a);
+    emit_apic_local_timer(a);
+    emit_apic_tlb_flush(a);
+    emit_apic_wakeup(a);
+    emit_do_softirq(a);
+    emit_do_tasklet(a);
+    emit_hvm_handlers(a);
+}
+
+fn bump_global(a: &mut Asm, word: u64) {
+    a.movi(R8, lay::global_addr(word) as i64);
+    a.load(R9, R8, 0);
+    a.addi(R9, 1);
+    a.store(R8, 0, R9);
+}
+
+fn raise_softirq(a: &mut Asm, bits: u64) {
+    a.load(R9, Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64);
+    a.movi(R8, bits as i64);
+    a.or(R9, R8);
+    a.store(Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64, R9);
+}
+
+/// `do_irq`: route a device interrupt to the owning domain's event channel
+/// (the interface the paper names for "common interrupts ... do_irq()").
+fn emit_do_irq(a: &mut Asm) {
+    a.global(DO_IRQ);
+    // rdx = VMER (58..73) → IRQ line.
+    a.mov(R13, Rdx);
+    a.subi(R13, 58);
+    a.mov(R15, Rdi);
+    a.call("domain_audit"); // irq-descriptor/accounting walk
+    bump_global(a, lay::global::IRQ_COUNT);
+    // Owning domain: static round-robin IRQ routing.
+    a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
+    a.load(R8, R8, 0);
+    a.mov(R12, R13);
+    a.rem(R12, R8); // dom id
+    a.mov(R14, R12);
+    a.movi(R9, (domain::STRIDE * 8) as i64);
+    a.mul(R14, R9);
+    a.movi(R9, lay::domain_addr(0) as i64);
+    a.add(R14, R9); // r14 = domain descriptor
+    // Channel = IRQ line (device IRQs bind to low ports).
+    a.load(R11, R14, (domain::EVTCHN_PTR * 8) as i64);
+    a.mov(R9, R13);
+    a.shl(R9, 3);
+    a.add(R11, R9); // r11 = channel word
+    a.label("do_irq.set_pending");
+    a.load(Rcx, R11, 0);
+    a.movi(R9, evtchn::PENDING_BIT as i64);
+    a.or(Rcx, R9);
+    a.store(R11, 0, Rcx);
+    a.movi(R9, evtchn::MASKED_BIT as i64);
+    a.and(R9, Rcx);
+    a.cmpi(R9, 0);
+    a.jne("do_irq.done");
+    // Wake the bound VCPU.
+    a.mov(R9, Rcx);
+    a.shr(R9, 8);
+    a.movi(Rbx, lay::MAX_VCPUS_PER_DOM as i64);
+    a.rem(R9, Rbx);
+    a.load(Rbx, R14, (domain::FIRST_VCPU * 8) as i64);
+    a.add(Rbx, R9);
+    a.movi(R9, (vcpu::STRIDE * 8) as i64);
+    a.mul(Rbx, R9);
+    a.movi(R9, vcpu::BASE as i64);
+    a.add(Rbx, R9); // rbx = target VCPU
+    a.movi(R9, 1);
+    a.store(Rbx, (vcpu::UPCALL_PENDING * 8) as i64, R9);
+    a.store(Rbx, (vcpu::RUNNABLE * 8) as i64, R9);
+    raise_softirq(a, lay::softirq::SCHED);
+    a.label("do_irq.done");
+    a.ret();
+}
+
+/// APIC 0 — the periodic timer tick. Updates the wall clock, every domain's
+/// shared time page (version/system-time/TSC-stamp protocol), expires VCPU
+/// singleshot timers, and occasionally raises the scheduler softirq.
+fn emit_apic_timer(a: &mut Asm) {
+    let l = apic_label(0);
+    a.global(l.clone());
+    a.movi(R8, lay::global_addr(lay::global::WALLCLOCK) as i64);
+    a.load(Rcx, R8, 0);
+    a.addi(Rcx, 1);
+    a.store(R8, 0, Rcx); // rcx = new wallclock, kept live below
+    a.load(R9, Rbp, (pcpu::TICKS * 8) as i64);
+    a.addi(R9, 1);
+    a.store(Rbp, (pcpu::TICKS * 8) as i64, R9);
+    // Per-domain guest time pages.
+    a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
+    a.load(R8, R8, 0);
+    a.movi(R12, lay::domain_addr(0) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.dloop"));
+    a.cmp(R13, R8);
+    a.jge(format!("{l}.timers"));
+    a.load(R9, R12, (domain::SHARED_PTR * 8) as i64);
+    // version++ (odd = being updated)
+    a.load(Rbx, R9, (shared::TIME_VERSION * 8) as i64);
+    a.addi(Rbx, 1);
+    a.store(R9, (shared::TIME_VERSION * 8) as i64, Rbx);
+    // system_time = wallclock * 1000
+    a.mov(Rbx, Rcx);
+    a.movi(R11, 1000);
+    a.mul(Rbx, R11);
+    a.store(R9, (shared::SYSTEM_TIME * 8) as i64, Rbx);
+    // tsc stamp
+    a.rdtsc();
+    a.shl(Rdx, 32);
+    a.or(Rax, Rdx);
+    a.store(R9, (shared::TSC_STAMP * 8) as i64, Rax);
+    // wallclock copy + version++ (even = stable)
+    a.store(R9, (shared::WALLCLOCK * 8) as i64, Rcx);
+    a.load(Rbx, R9, (shared::TIME_VERSION * 8) as i64);
+    a.addi(Rbx, 1);
+    a.store(R9, (shared::TIME_VERSION * 8) as i64, Rbx);
+    a.addi(R12, (domain::STRIDE * 8) as i64);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.dloop"));
+    // Singleshot timer scan over all real VCPUs.
+    a.label(format!("{l}.timers"));
+    a.movi(R12, lay::vcpu_addr(0) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.vloop"));
+    a.cmpi(R13, (lay::MAX_DOMS * lay::MAX_VCPUS_PER_DOM) as i64);
+    a.jge(format!("{l}.credit"));
+    a.load(R9, R12, (vcpu::TIMER_DEADLINE * 8) as i64);
+    a.cmpi(R9, 0);
+    a.je(format!("{l}.vnext"));
+    a.cmp(R9, Rcx);
+    a.jg(format!("{l}.vnext"));
+    // Expired: fire the virtual timer event.
+    a.movi(R9, 0);
+    a.store(R12, (vcpu::TIMER_DEADLINE * 8) as i64, R9);
+    a.movi(R9, 1);
+    a.store(R12, (vcpu::UPCALL_PENDING * 8) as i64, R9);
+    a.store(R12, (vcpu::RUNNABLE * 8) as i64, R9);
+    raise_softirq(a, lay::softirq::TIMER);
+    a.label(format!("{l}.vnext"));
+    a.addi(R12, (vcpu::STRIDE * 8) as i64);
+    a.addi(R13, 1);
+    a.jmp(format!("{l}.vloop"));
+    // Credit accounting: every ~4th tick ends the running VCPU's slice.
+    a.label(format!("{l}.credit"));
+    a.noise(Rbx, 4);
+    a.cmpi(Rbx, 0);
+    a.jne(format!("{l}.done"));
+    raise_softirq(a, lay::softirq::SCHED);
+    a.label(format!("{l}.done"));
+    a.ret();
+}
+
+/// APIC 1 — reschedule IPI.
+fn emit_apic_resched(a: &mut Asm) {
+    a.global(apic_label(1));
+    raise_softirq(a, lay::softirq::SCHED);
+    a.ret();
+}
+
+/// APIC 2 — call-function IPI: run the queued cross-CPU work items.
+fn emit_apic_callfunc(a: &mut Asm) {
+    let l = apic_label(2);
+    a.global(l.clone());
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.movi(R8, lay::global_addr(lay::global::SCRATCH + 4) as i64);
+    a.load(R9, R8, 0);
+    a.add(R9, R13);
+    a.store(R8, 0, R9);
+    a.addi(R13, 1);
+    a.cmpi(R13, 4);
+    a.jl(format!("{l}.loop"));
+    a.ret();
+}
+
+/// APIC 3 — performance-counter overflow interrupt.
+fn emit_apic_pmu(a: &mut Asm) {
+    let l = apic_label(3);
+    a.global(l);
+    a.inp(Rbx, 0x61);
+    a.movi(R8, lay::global_addr(lay::global::SCRATCH + 5) as i64);
+    a.load(R9, R8, 0);
+    a.add(R9, Rbx);
+    a.store(R8, 0, R9);
+    a.ret();
+}
+
+/// APIC 4 — thermal sensor.
+fn emit_apic_thermal(a: &mut Asm) {
+    a.global(apic_label(4));
+    bump_global(a, lay::global::SCRATCH + 6);
+    a.ret();
+}
+
+/// APIC 5 — spurious interrupt: acknowledged and ignored.
+fn emit_apic_spurious(a: &mut Asm) {
+    a.global(apic_label(5));
+    a.ret();
+}
+
+/// APIC 6 — APIC error: count and acknowledge at the PIC.
+fn emit_apic_error(a: &mut Asm) {
+    a.global(apic_label(6));
+    bump_global(a, lay::global::SCRATCH + 7);
+    a.movi(R9, 0x66);
+    a.out(super::hypercalls::PIC_PORT, R9);
+    a.ret();
+}
+
+/// APIC 7 — secondary local timer: burn down the per-CPU work credit.
+fn emit_apic_local_timer(a: &mut Asm) {
+    let l = apic_label(7);
+    a.global(l.clone());
+    a.load(R9, Rbp, (pcpu::WORK * 8) as i64);
+    a.movi(R13, 0);
+    a.label(format!("{l}.loop"));
+    a.cmpi(R9, 0);
+    a.jle(format!("{l}.done"));
+    a.subi(R9, 1);
+    a.addi(R13, 1);
+    a.cmpi(R13, 2);
+    a.jl(format!("{l}.loop"));
+    a.label(format!("{l}.done"));
+    a.store(Rbp, (pcpu::WORK * 8) as i64, R9);
+    a.ret();
+}
+
+/// APIC 8 — TLB-flush IPI: invalidate 8 shootdown slots.
+fn emit_apic_tlb_flush(a: &mut Asm) {
+    let l = apic_label(8);
+    a.global(l.clone());
+    a.movi(R13, 0);
+    a.movi(R8, lay::global_addr(lay::global::SCRATCH + 8) as i64);
+    a.label(format!("{l}.loop"));
+    a.store(R8, 0, R13);
+    a.addi(R13, 1);
+    a.cmpi(R13, 8);
+    a.jl(format!("{l}.loop"));
+    a.ret();
+}
+
+/// APIC 9 — wakeup IPI: make a (load-dependent) VCPU runnable.
+fn emit_apic_wakeup(a: &mut Asm) {
+    let l = apic_label(9);
+    a.global(l);
+    a.noise(Rbx, (lay::MAX_DOMS * lay::MAX_VCPUS_PER_DOM) as u64);
+    a.movi(R9, (vcpu::STRIDE * 8) as i64);
+    a.mul(Rbx, R9);
+    a.movi(R9, vcpu::BASE as i64);
+    a.add(Rbx, R9);
+    a.movi(R9, 1);
+    a.store(Rbx, (vcpu::RUNNABLE * 8) as i64, R9);
+    a.ret();
+}
+
+/// `do_softirq`: drain the per-CPU pending bits (paper §IV category 3).
+fn emit_do_softirq(a: &mut Asm) {
+    let l = DO_SOFTIRQ;
+    a.global(l);
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.load(R12, Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64);
+    // The pending mask only ever holds the three architected bits; assert
+    // that before acting on it (boundary assertion on corrupted state).
+    a.assert_le(R12, 7, crate::assert_ids::SOFTIRQ_BOUND);
+    a.movi(R9, 0);
+    a.store(Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64, R9);
+    a.mov(Rbx, R12);
+    a.movi(R9, lay::softirq::SCHED as i64);
+    a.and(Rbx, R9);
+    a.cmpi(Rbx, 0);
+    a.je("do_softirq.timer");
+    a.call("schedule");
+    a.label("do_softirq.timer");
+    a.mov(Rbx, R12);
+    a.movi(R9, lay::softirq::TIMER as i64);
+    a.and(Rbx, R9);
+    a.cmpi(Rbx, 0);
+    a.je("do_softirq.tasklet");
+    bump_global(a, lay::global::SCRATCH + 9);
+    a.label("do_softirq.tasklet");
+    a.mov(Rbx, R12);
+    a.movi(R9, lay::softirq::TASKLET as i64);
+    a.and(Rbx, R9);
+    a.cmpi(Rbx, 0);
+    a.je("do_softirq.done");
+    a.call("do_tasklet_body");
+    a.label("do_softirq.done");
+    a.ret();
+}
+
+/// `do_tasklet` and its shared body: deferred work with a load-dependent
+/// batch size.
+fn emit_do_tasklet(a: &mut Asm) {
+    a.global(DO_TASKLET);
+    a.call("do_tasklet_body");
+    a.ret();
+    a.global("do_tasklet_body");
+    bump_global(a, lay::global::TASKLET_RUNS);
+    a.noise(R13, 8);
+    a.label("do_tasklet.loop");
+    a.cmpi(R13, 0);
+    a.je("do_tasklet.done");
+    a.movi(R8, lay::global_addr(lay::global::SCRATCH + 10) as i64);
+    a.store(R8, 0, R13);
+    a.subi(R13, 1);
+    a.jmp("do_tasklet.loop");
+    a.label("do_tasklet.done");
+    a.ret();
+}
+
+/// Hardware-assisted direct exits: port I/O, CPUID, RDTSC, HLT.
+fn emit_hvm_handlers(a: &mut Asm) {
+    // I/O read: emulate the device and hand the value to the guest. HVM
+    // exits run the device-model resume path first (audit walk).
+    a.global("hvm_io_read");
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.inp(R9, super::hypercalls::CONSOLE_PORT);
+    a.store(Rdi, 0, R9);
+    a.ret();
+    // I/O write: forward the guest's RAX to the device.
+    a.global("hvm_io_write");
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.load(R9, Rdi, 0);
+    a.out(super::hypercalls::CONSOLE_PORT, R9);
+    a.ret();
+    // CPUID exit: hardware already advanced the saved RIP.
+    a.global("hvm_cpuid");
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.call("emulate_cpuid_core");
+    a.ret();
+    a.global("hvm_rdtsc");
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.call("emulate_rdtsc_core");
+    a.ret();
+    // HLT exit: block the VCPU and pick another.
+    a.global("hvm_hlt");
+    a.mov(R15, Rdi);
+    a.call("domain_audit");
+    a.movi(R9, 0);
+    a.store(Rdi, (vcpu::RUNNABLE * 8) as i64, R9);
+    a.call("schedule");
+    a.ret();
+}

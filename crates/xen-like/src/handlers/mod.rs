@@ -1,0 +1,21 @@
+//! Hypervisor code, written in the simulated ISA.
+//!
+//! Every routine here is emitted through [`sim_asm::Asm`] into the
+//! hypervisor text region and executed instruction-by-instruction by the
+//! simulator. The register convention for handlers:
+//!
+//! | register | meaning on entry                    | must preserve? |
+//! |----------|-------------------------------------|----------------|
+//! | `rbp`    | per-PCPU block address              | yes            |
+//! | `rdi`    | current VCPU descriptor address     | no (reloaded)  |
+//! | `rsi`    | exit qualification                  | no             |
+//! | `rdx`    | dense VM-exit-reason code (VMER)    | no             |
+//!
+//! Handlers return with `ret`; the return stub then delivers pending guest
+//! events and resumes the guest.
+
+pub mod exceptions;
+pub mod hypercalls;
+pub mod irq;
+pub mod sched;
+pub mod stubs;

@@ -1,0 +1,72 @@
+//! The scheduler: a round-robin pick over the per-CPU run queue with an
+//! idle path guarded by the paper's Listing-2 assertion
+//! (`ASSERT(is_idle_vcpu(v))` before idling the physical CPU).
+
+use crate::assert_ids;
+use crate::layout::{self as lay, pcpu, runq, vcpu};
+use sim_asm::Asm;
+use sim_machine::Cond;
+use sim_machine::Reg::*;
+
+/// Emit `schedule`. Convention: `rbp` = PCPU (preserved); clobbers
+/// `rax/rbx/rcx/rdx/r8-r11`. Callers that need the current VCPU afterwards
+/// must reload it from the PCPU block.
+pub fn emit_schedule(a: &mut Asm) {
+    a.global("schedule");
+    // Global accounting.
+    a.movi(R8, lay::global_addr(lay::global::SCHED_TICKS) as i64);
+    a.load(R9, R8, 0);
+    a.addi(R9, 1);
+    a.store(R8, 0, R9);
+
+    a.load(R8, Rbp, (pcpu::RUNQ_PTR * 8) as i64);
+    a.load(R9, R8, (runq::COUNT * 8) as i64);
+    a.cmpi(R9, 0);
+    a.je("schedule.idle");
+    // Boundary assertion: occupancy can never exceed the queue capacity.
+    a.assert_le(R9, runq::MAX_ENTRIES as i64, assert_ids::RUNQ_BOUND);
+    a.load(R10, R8, (runq::CURSOR * 8) as i64);
+    a.movi(R11, 0); // slots scanned
+    a.label("schedule.scan");
+    a.cmp(R11, R9);
+    a.jge("schedule.idle");
+    // idx = (cursor + scanned) % count
+    a.mov(Rax, R10);
+    a.add(Rax, R11);
+    a.mov(Rbx, Rax);
+    a.rem(Rbx, R9);
+    a.shl(Rbx, 3);
+    a.mov(Rcx, R8);
+    a.add(Rcx, Rbx);
+    a.load(Rcx, Rcx, (runq::ENTRIES * 8) as i64); // candidate VCPU ptr
+    a.load(Rdx, Rcx, (vcpu::RUNNABLE * 8) as i64);
+    a.cmpi(Rdx, 0);
+    a.jne("schedule.found");
+    a.addi(R11, 1);
+    a.jmp("schedule.scan");
+
+    a.label("schedule.found");
+    // Advance the round-robin cursor past the chosen entry.
+    a.mov(Rax, R10);
+    a.add(Rax, R11);
+    a.addi(Rax, 1);
+    a.rem(Rax, R9);
+    a.store(R8, (runq::CURSOR * 8) as i64, Rax);
+    a.store(Rbp, (pcpu::CURRENT_VCPU * 8) as i64, Rcx);
+    a.movi(Rax, 0);
+    a.store(Rbp, (pcpu::IDLE * 8) as i64, Rax);
+    a.ret();
+
+    a.label("schedule.idle");
+    // Nothing runnable: switch to the idle VCPU. Before idling the
+    // physical CPU, verify the chosen VCPU really is the idle VCPU —
+    // the paper's Listing 2.
+    a.load(Rcx, Rbp, (pcpu::IDLE_VCPU * 8) as i64);
+    a.store(Rbp, (pcpu::CURRENT_VCPU * 8) as i64, Rcx);
+    a.load(Rdx, Rcx, (vcpu::IS_IDLE * 8) as i64);
+    a.cmpi(Rdx, 1);
+    a.assert_cond(Cond::Eq, assert_ids::IDLE_VCPU);
+    a.movi(Rax, 1);
+    a.store(Rbp, (pcpu::IDLE * 8) as i64, Rax);
+    a.ret();
+}

@@ -1,0 +1,386 @@
+//! VM-exit entry stubs, dispatch, event delivery and the return-to-guest
+//! path.
+//!
+//! These are the analogues of Xen's `entry.S`: per-CPU trampolines establish
+//! the per-CPU data pointer, the common stub saves all guest GPRs into the
+//! current VCPU's save area, dispatch indexes the handler table by the
+//! VM-exit reason, and the return stub restores guest state and executes
+//! `VMENTRY`. Faults injected while these stubs run corrupt saved or
+//! restored guest registers — the paper's hardest-to-detect "stack values"
+//! propagation channel.
+
+use crate::assert_ids;
+use crate::layout::{self as lay, pcpu, vcpu};
+use sim_asm::Asm;
+use sim_machine::machine::vmcs;
+use sim_machine::Reg::*;
+
+/// Bytes between per-CPU entry trampolines (3 instructions each).
+pub const TRAMPOLINE_STRIDE: u64 = 3 * 8;
+
+/// Emit the per-CPU entry trampolines. Must be the first thing in the image
+/// so that `host_entry == image base`.
+pub fn emit_trampolines(a: &mut Asm, nr_cpus: usize) {
+    a.global("vmexit_trampolines");
+    for cpu in 0..nr_cpus {
+        a.label(format!("vmexit_entry_cpu{cpu}"));
+        // Host RSP is already valid (loaded by hardware); stash guest r11
+        // on the host stack, establish the per-CPU pointer, and join the
+        // common path.
+        a.push(R11);
+        a.movi(R11, lay::pcpu_addr(cpu) as i64);
+        a.jmp("vmexit_common");
+    }
+}
+
+/// Emit the common exit path: save guest state, dispatch, return path.
+pub fn emit_common(a: &mut Asm) {
+    emit_vmexit_common(a);
+    emit_vmexit_return(a);
+    emit_deliver_events(a);
+    emit_domain_audit(a);
+    emit_exit_audit(a);
+    emit_update_vcpu_time(a);
+}
+
+/// `exit_audit`: the prepare-to-resume sweep Xen performs on the way back
+/// to a guest — run-queue consistency, pending-work rescan, and trap-table
+/// revalidation. Fixed-length and pointer-chained, like `domain_audit`.
+/// Convention: `rbp` = PCPU preserved; called with `rdi` = current VCPU.
+fn emit_exit_audit(a: &mut Asm) {
+    a.global("exit_audit");
+    a.movi(Rax, 0);
+    // Run-queue sweep: every slot's entry must be a VCPU descriptor whose
+    // runnable flag is boolean.
+    a.load(R8, Rbp, (pcpu::RUNQ_PTR * 8) as i64);
+    a.movi(Rcx, lay::runq::MAX_ENTRIES as i64);
+    a.mov(R9, R8);
+    a.addi(R9, (lay::runq::ENTRIES * 8) as i64);
+    a.label("exit_audit.runq");
+    a.load(Rbx, R9, 0);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("exit_audit.runq");
+    // Dispatch-table spot sweep: 32 entries re-hashed (corrupted handler
+    // pointers endanger every future activation).
+    a.movi(R9, lay::dispatch_base() as i64);
+    a.movi(Rcx, 32);
+    a.label("exit_audit.disp");
+    a.load(Rbx, R9, 0);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("exit_audit.disp");
+    // Current VCPU field sweep: fold the descriptor words (16 GPR slots +
+    // control fields) into the checksum.
+    a.mov(R9, Rdi);
+    a.movi(Rcx, 30);
+    a.label("exit_audit.vcpu");
+    a.load(Rbx, R9, 0);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("exit_audit.vcpu");
+    // Pending-softirq sanity (same invariant as do_softirq's entry check).
+    a.load(Rbx, Rbp, (pcpu::SOFTIRQ_PENDING * 8) as i64);
+    a.assert_le(Rbx, 7, assert_ids::SOFTIRQ_BOUND);
+    a.store(Rbp, (pcpu::SCRATCH0 * 8) as i64, Rax);
+    a.ret();
+}
+
+/// `domain_audit`: the validation/accounting walk every hypercall performs
+/// (Xen analogue: guest-handle copies, XSM checks, lock acquisition and
+/// per-domain accounting). Scans a load-dependent prefix of the domain's
+/// event channels and validates every VCPU's runnable flag. The walk is
+/// pointer-chained (domain → evtchn table → VCPU array), so corrupted
+/// registers inside it fault rather than silently corrupting state.
+///
+/// Convention: `rbp` = PCPU and `r15` = VCPU are preserved; everything else
+/// may be clobbered.
+fn emit_domain_audit(a: &mut Asm) {
+    a.global("domain_audit");
+    a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);
+    a.load(R9, R8, (lay::domain::EVTCHN_PTR * 8) as i64);
+    // Channel checksum over the full table. The walk is deliberately
+    // fixed-length and branch-free: legitimate jitter in the audit would
+    // widen the per-exit-reason feature envelope and mask exactly the
+    // anomalies the VM-transition detector hunts.
+    a.movi(Rcx, lay::NR_EVTCHN as i64);
+    a.movi(Rax, 0);
+    a.label("domain_audit.chan");
+    a.load(Rbx, R9, 0);
+    // A channel word encodes pending/masked bits plus a bound VCPU index:
+    // anything above the encodable range is corruption (Xen's evtchn
+    // ASSERTs).
+    a.assert_le(Rbx, ((lay::MAX_VCPUS_PER_DOM as i64 - 1) << 8) | 0xff, assert_ids::EVTCHN_STATE);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("domain_audit.chan");
+    // VCPU state validation walk.
+    a.load(Rcx, R8, (lay::domain::NR_VCPUS * 8) as i64);
+    a.load(R9, R8, (lay::domain::FIRST_VCPU * 8) as i64);
+    a.movi(Rbx, (vcpu::STRIDE * 8) as i64);
+    a.mul(R9, Rbx);
+    a.movi(Rbx, lay::vcpu::BASE as i64);
+    a.add(R9, Rbx);
+    a.label("domain_audit.vcpu");
+    a.cmpi(Rcx, 0);
+    a.je("domain_audit.grants");
+    a.load(Rbx, R9, (vcpu::RUNNABLE * 8) as i64);
+    // Critical-condition assertion: a runnable flag is strictly boolean.
+    a.assert_le(Rbx, 1, assert_ids::RUNNABLE_FLAG);
+    a.add(Rax, Rbx);
+    a.addi(R9, (vcpu::STRIDE * 8) as i64);
+    a.subi(Rcx, 1);
+    a.jmp("domain_audit.vcpu");
+    // Grant-table sweep (branch-free accumulate; Xen's maptrack audit
+    // analogue).
+    a.label("domain_audit.grants");
+    a.load(R9, R8, (lay::domain::GRANT_PTR * 8) as i64);
+    a.movi(Rcx, lay::NR_GRANTS as i64);
+    a.label("domain_audit.grant");
+    a.load(Rbx, R9, 0);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("domain_audit.grant");
+    // Shared-info page checksum (time-version protocol must be stable:
+    // an odd version here would mean a torn update).
+    a.load(R9, R8, (lay::domain::SHARED_PTR * 8) as i64);
+    a.movi(Rcx, lay::shared::STRIDE as i64);
+    a.label("domain_audit.shared");
+    a.load(Rbx, R9, 0);
+    a.add(Rax, Rbx);
+    a.addi(R9, 8);
+    a.subi(Rcx, 1);
+    a.cmpi(Rcx, 0);
+    a.jne("domain_audit.shared");
+    a.label("domain_audit.done");
+    a.store(Rbp, (pcpu::SCRATCH1 * 8) as i64, Rax);
+    a.ret();
+}
+
+/// `update_vcpu_time`: refresh the guest-visible time before resuming it —
+/// Xen's `update_vcpu_system_time` analogue, run on every return to guest.
+/// The scaled system time, the per-VCPU time slot and the TSC stamp are all
+/// staged through registers here; a bit flip in this window corrupts *only*
+/// time values, the paper's dominant undetected-fault category (Table II).
+///
+/// Convention: `rdi` = VCPU; clobbers `rax/rbx/rcx/rdx/r8/r9`.
+fn emit_update_vcpu_time(a: &mut Asm) {
+    a.global("update_vcpu_time");
+    a.load(Rcx, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    a.load(Rcx, Rcx, (lay::domain::SHARED_PTR * 8) as i64);
+    // version++ (odd: update in progress).
+    a.load(Rbx, Rcx, (lay::shared::TIME_VERSION * 8) as i64);
+    a.addi(Rbx, 1);
+    a.store(Rcx, (lay::shared::TIME_VERSION * 8) as i64, Rbx);
+    // Scaled system time, via a scale_delta-style fixed-point computation
+    // (Xen scales TSC deltas by a 32.32 multiplier): every intermediate
+    // below is time-destined data staged in registers — the exposure that
+    // makes "time values" the paper's dominant undetected category.
+    a.rdtsc();
+    a.shl(Rdx, 32);
+    a.or(Rax, Rdx);
+    a.load(R9, Rcx, (lay::shared::TSC_STAMP * 8) as i64);
+    a.mov(Rbx, Rax);
+    a.sub(Rbx, R9); // delta = tsc_now - tsc_stamp
+    // delta * mul_frac >> 32, split into high/low halves.
+    a.movi(R9, 0x9F02_25F3); // ~2.48 ns/cycle in 32.32 fixed point
+    a.mov(R8, Rbx);
+    a.shr(R8, 32);
+    a.mul(R8, R9); // high half * frac
+    a.movi(Rdx, 0xffff_ffff);
+    a.and(Rbx, Rdx);
+    a.mul(Rbx, R9); // low half * frac
+    a.shr(Rbx, 32);
+    a.add(R8, Rbx); // scaled delta (ns)
+    // system_time = wallclock * 1000 + scaled delta + per-VCPU offset.
+    a.movi(Rdx, lay::global_addr(lay::global::WALLCLOCK) as i64);
+    a.load(Rdx, Rdx, 0);
+    a.mov(Rbx, Rdx);
+    a.movi(R9, 1000);
+    a.mul(Rbx, R9);
+    a.add(R8, Rbx);
+    a.load(R9, Rdi, (vcpu::TIME_OFFSET * 8) as i64);
+    a.add(R8, R9);
+    a.store(Rcx, (lay::shared::SYSTEM_TIME * 8) as i64, R8);
+    // Per-VCPU time slot.
+    a.load(Rbx, Rdi, (vcpu::VCPU_ID * 8) as i64);
+    a.shl(Rbx, 3);
+    a.mov(R9, Rcx);
+    a.add(R9, Rbx);
+    a.store(R9, (lay::shared::VCPU_TIME * 8) as i64, R8);
+    // Wall-clock seconds / TSC stamp (pvclock protocol fields).
+    a.store(Rcx, (lay::shared::WALLCLOCK * 8) as i64, Rdx);
+    a.rdtsc();
+    a.shl(Rdx, 32);
+    a.or(Rax, Rdx);
+    a.store(Rcx, (lay::shared::TSC_STAMP * 8) as i64, Rax);
+    // version++ (even: stable).
+    a.load(Rbx, Rcx, (lay::shared::TIME_VERSION * 8) as i64);
+    a.addi(Rbx, 1);
+    a.store(Rcx, (lay::shared::TIME_VERSION * 8) as i64, Rbx);
+    a.ret();
+}
+
+fn emit_vmexit_common(a: &mut Asm) {
+    a.global("vmexit_common");
+    // r11 = PCPU pointer; guest r11 sits on the host stack.
+    a.store(R11, (pcpu::SCRATCH0 * 8) as i64, R10); // stash guest r10
+    a.load(R10, R11, (pcpu::CURRENT_VCPU * 8) as i64); // r10 = current VCPU
+
+    // Save guest GPRs into the VCPU save area (slot = register number).
+    a.store(R10, 0, Rax);
+    a.store(R10, 8, Rcx);
+    a.store(R10, 16, Rdx);
+    a.store(R10, 24, Rbx);
+    // Slot 4 (guest RSP) comes from the VMCS below.
+    a.store(R10, 40, Rbp);
+    a.store(R10, 48, Rsi);
+    a.store(R10, 56, Rdi);
+    a.store(R10, 64, R8);
+    a.store(R10, 72, R9);
+    a.load(Rax, R11, (pcpu::SCRATCH0 * 8) as i64); // guest r10
+    a.store(R10, 80, Rax);
+    a.pop(Rax); // guest r11 (pushed by the trampoline)
+    a.store(R10, 88, Rax);
+    a.store(R10, 96, R12);
+    a.store(R10, 104, R13);
+    a.store(R10, 112, R14);
+    a.store(R10, 120, R15);
+
+    // Copy hardware-saved guest RIP/RSP/RFLAGS from the VMCS.
+    a.load(Rax, R11, (pcpu::VMCS_PTR * 8) as i64);
+    a.load(Rbx, Rax, (vmcs::GUEST_RIP * 8) as i64);
+    a.store(R10, (vcpu::SAVE_RIP * 8) as i64, Rbx);
+    a.load(Rbx, Rax, (vmcs::GUEST_RSP * 8) as i64);
+    a.store(R10, 32, Rbx); // GPR slot 4 = RSP
+    a.load(Rbx, Rax, (vmcs::GUEST_RFLAGS * 8) as i64);
+    a.store(R10, (vcpu::SAVE_RFLAGS * 8) as i64, Rbx);
+
+    // Dispatch on the exit reason. The bound check is a paper-style
+    // boundary assertion: a corrupted reason would index outside the table.
+    a.load(Rbx, Rax, (vmcs::EXIT_REASON * 8) as i64);
+    a.assert_le(Rbx, (lay::dispatch_entries() - 1) as i64, assert_ids::VMER_BOUND);
+    a.mov(Rbp, R11); // rbp = PCPU (handler convention, preserved)
+    a.mov(Rdi, R10); // rdi = VCPU
+    a.load(Rsi, Rax, (vmcs::EXIT_QUAL * 8) as i64); // rsi = qualification
+    a.mov(Rdx, Rbx); // rdx = VMER code
+    a.movi(Rcx, lay::dispatch_base() as i64);
+    a.shl(Rbx, 3);
+    a.add(Rcx, Rbx);
+    a.load(Rcx, Rcx, 0);
+    a.callr(Rcx);
+    a.jmp("vmexit_return");
+}
+
+fn emit_vmexit_return(a: &mut Asm) {
+    a.global("vmexit_return");
+    // The handler may have context-switched: reload the current VCPU.
+    a.load(Rdi, Rbp, (pcpu::CURRENT_VCPU * 8) as i64);
+    // Critical-condition assertion: the current-VCPU pointer must still
+    // point into the VCPU descriptor array (catches corrupted scheduler
+    // state before we restore from a bogus save area).
+    a.mov(Rax, Rdi);
+    a.subi(Rax, lay::vcpu::BASE as i64);
+    a.assert_in_range(
+        Rax,
+        0,
+        (lay::MAX_VCPUS as i64 - 1) * (vcpu::STRIDE * 8) as i64,
+        assert_ids::CURVCPU_ALIGN,
+    );
+    // Deliver pending virtual traps/events to the guest (paper Listing 1
+    // lives inside).
+    a.call("deliver_events");
+    // Prepare-to-resume sweep and guest time refresh (Xen:
+    // update_vcpu_system_time and the exit-path consistency checks).
+    a.load(Rdi, Rbp, (pcpu::CURRENT_VCPU * 8) as i64);
+    a.call("exit_audit");
+    a.load(Rdi, Rbp, (pcpu::CURRENT_VCPU * 8) as i64);
+    a.call("update_vcpu_time");
+
+    a.load(R10, Rbp, (pcpu::CURRENT_VCPU * 8) as i64);
+    a.load(R11, Rbp, (pcpu::VMCS_PTR * 8) as i64);
+    // Publish (possibly updated) guest RIP/RSP/RFLAGS to the VMCS for the
+    // hardware VM entry.
+    a.load(Rax, R10, (vcpu::SAVE_RIP * 8) as i64);
+    a.store(R11, (vmcs::GUEST_RIP * 8) as i64, Rax);
+    a.load(Rax, R10, 32);
+    a.store(R11, (vmcs::GUEST_RSP * 8) as i64, Rax);
+    a.load(Rax, R10, (vcpu::SAVE_RFLAGS * 8) as i64);
+    a.store(R11, (vmcs::GUEST_RFLAGS * 8) as i64, Rax);
+
+    // Restore guest GPRs; r10/r11 last because they hold the base pointers.
+    a.load(Rax, R10, 0);
+    a.load(Rcx, R10, 8);
+    a.load(Rdx, R10, 16);
+    a.load(Rbx, R10, 24);
+    a.load(Rbp, R10, 40);
+    a.load(Rsi, R10, 48);
+    a.load(Rdi, R10, 56);
+    a.load(R8, R10, 64);
+    a.load(R9, R10, 72);
+    a.load(R12, R10, 96);
+    a.load(R13, R10, 104);
+    a.load(R14, R10, 112);
+    a.load(R15, R10, 120);
+    a.load(R11, R10, 88);
+    a.load(R10, R10, 80);
+    a.vmentry();
+}
+
+/// Deliver pending virtual traps to the current guest. Contains the paper's
+/// Listing-1 assertion: every delivered trap number must be `<= LAST`.
+fn emit_deliver_events(a: &mut Asm) {
+    a.global("deliver_events");
+    a.load(Rax, Rdi, (vcpu::PENDING_EVENTS * 8) as i64);
+    a.cmpi(Rax, 0);
+    a.je("deliver_events.upcall");
+    a.movi(Rcx, 0); // trap = FIRST
+    a.movi(R9, 1);
+    a.label("deliver_events.loop");
+    a.mov(Rdx, Rax);
+    a.and(Rdx, R9);
+    a.cmpi(Rdx, 0);
+    a.je("deliver_events.next");
+    // ASSERT(trap <= LAST) — Listing 1. Fires when a corrupted pending mask
+    // carries bits above the architectural trap range.
+    a.assert_le(Rcx, 19, assert_ids::TRAP_BOUND);
+    a.store(Rdi, (vcpu::LAST_TRAP * 8) as i64, Rcx);
+    a.load(Rdx, Rdi, (vcpu::EVENT_COUNT * 8) as i64);
+    a.addi(Rdx, 1);
+    a.store(Rdi, (vcpu::EVENT_COUNT * 8) as i64, Rdx);
+    a.label("deliver_events.next");
+    a.shr(Rax, 1);
+    a.addi(Rcx, 1);
+    a.cmpi(Rax, 0);
+    a.jne("deliver_events.loop");
+    a.movi(Rax, 0);
+    a.store(Rdi, (vcpu::PENDING_EVENTS * 8) as i64, Rax);
+
+    a.label("deliver_events.upcall");
+    // Event-channel upcall: mirror the pending flag into the guest-visible
+    // shared-info page unless masked.
+    a.load(Rax, Rdi, (vcpu::UPCALL_PENDING * 8) as i64);
+    a.cmpi(Rax, 0);
+    a.je("deliver_events.done");
+    a.load(Rdx, Rdi, (vcpu::UPCALL_MASK * 8) as i64);
+    a.cmpi(Rdx, 0);
+    a.jne("deliver_events.done");
+    a.load(Rdx, Rdi, (vcpu::DOM_PTR * 8) as i64);
+    a.load(Rdx, Rdx, (lay::domain::SHARED_PTR * 8) as i64);
+    a.movi(Rax, 1);
+    a.store(Rdx, (lay::shared::EVTCHN_PENDING_SEL * 8) as i64, Rax);
+    a.movi(Rax, 0);
+    a.store(Rdi, (vcpu::UPCALL_PENDING * 8) as i64, Rax);
+    a.label("deliver_events.done");
+    a.ret();
+}

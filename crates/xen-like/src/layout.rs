@@ -1,0 +1,428 @@
+//! Physical memory layout and hypervisor data-structure offsets.
+//!
+//! The hypervisor's data structures (per-physical-CPU blocks, VCPU save
+//! areas, domain descriptors, event channels, grant tables, shared-info
+//! pages, run queues) live in *simulated memory* and are accessed by
+//! *simulated loads and stores*, so injected register faults corrupt them
+//! the same way they corrupt Xen's structures. This module is the single
+//! source of truth for where everything lives.
+
+use sim_machine::exit::ExitReason;
+
+/// Maximum physical CPUs the layout reserves space for.
+pub const MAX_PCPUS: usize = 8;
+/// Maximum domains (dom0 + guests).
+pub const MAX_DOMS: usize = 8;
+/// Maximum VCPUs per domain.
+pub const MAX_VCPUS_PER_DOM: usize = 4;
+/// Total VCPU slots: real VCPUs plus one idle VCPU per physical CPU.
+pub const MAX_VCPUS: usize = MAX_DOMS * MAX_VCPUS_PER_DOM + MAX_PCPUS;
+/// Event channels per domain.
+pub const NR_EVTCHN: usize = 64;
+/// Grant-table entries per domain.
+pub const NR_GRANTS: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Physical memory map (byte addresses)
+// ---------------------------------------------------------------------------
+
+/// Hypervisor text (read-only, executable).
+pub const HV_TEXT_BASE: u64 = 0x0010_0000;
+/// Hypervisor text size in words.
+pub const HV_TEXT_WORDS: usize = 0x8000;
+
+/// Hypervisor data structures live in *sparsely mapped* regions — one per
+/// structure family, separated by large unmapped gaps — mirroring the
+/// sparse heap layout of a real hypervisor. A fault-corrupted index or
+/// pointer therefore usually lands in unmapped space and page-faults
+/// (the dominant detection channel of the paper's Fig. 8), instead of
+/// silently scribbling over a neighbouring structure.
+pub const GLOBAL_BASE: u64 = 0x0040_0000;
+/// Words in the global block.
+pub const GLOBAL_WORDS: usize = 64;
+/// Scratch block (handler work areas), deliberately separate from globals.
+pub const SCRATCH_BASE: u64 = 0x0044_0000;
+/// Words in the scratch block.
+pub const SCRATCH_WORDS: usize = 64;
+/// Dispatch table base.
+pub const DISPATCH_BASE: u64 = 0x0048_0000;
+
+/// Per-CPU host stacks.
+pub const HV_STACK_BASE: u64 = 0x0090_0000;
+/// Host stack bytes per CPU.
+pub const HV_STACK_SIZE: u64 = 0x2000;
+
+/// VMCS blocks (written by "hardware" at VM exits).
+pub const VMCS_BASE: u64 = 0x00A0_0000;
+
+/// Guest memory: domain `d` owns a window starting here.
+pub const GUEST_BASE: u64 = 0x0100_0000;
+/// Bytes per domain window.
+pub const GUEST_STRIDE: u64 = 0x0040_0000;
+/// Guest text offset within the window.
+pub const GUEST_TEXT_OFF: u64 = 0;
+/// Guest text words.
+pub const GUEST_TEXT_WORDS: usize = 0x2000;
+/// Guest data offset within the window.
+pub const GUEST_DATA_OFF: u64 = 0x0020_0000;
+/// Guest data words (stack lives at the top of this region).
+pub const GUEST_DATA_WORDS: usize = 0x4000;
+
+/// Base of domain `d`'s window.
+pub fn guest_window(dom: usize) -> u64 {
+    GUEST_BASE + dom as u64 * GUEST_STRIDE
+}
+
+/// Guest text base for domain `d`.
+pub fn guest_text(dom: usize) -> u64 {
+    guest_window(dom) + GUEST_TEXT_OFF
+}
+
+/// Guest data base for domain `d`.
+pub fn guest_data(dom: usize) -> u64 {
+    guest_window(dom) + GUEST_DATA_OFF
+}
+
+/// Initial guest stack pointer for domain `d` (top of data region).
+pub fn guest_stack_top(dom: usize) -> u64 {
+    guest_data(dom) + (GUEST_DATA_WORDS as u64) * 8
+}
+
+// ---------------------------------------------------------------------------
+// Hypervisor data-structure families (sparsely mapped regions)
+// ---------------------------------------------------------------------------
+
+/// Global words.
+pub mod global {
+    /// Number of domains.
+    pub const NUM_DOMS: u64 = 0;
+    /// Number of physical CPUs.
+    pub const NUM_PCPUS: u64 = 1;
+    /// System wall clock (incremented by the timer tick handler).
+    pub const WALLCLOCK: u64 = 2;
+    /// Global scheduler tick counter.
+    pub const SCHED_TICKS: u64 = 3;
+    /// Count of tasklets executed.
+    pub const TASKLET_RUNS: u64 = 4;
+    /// Hypercall invocation counter (accounting).
+    pub const HYPERCALL_COUNT: u64 = 5;
+    /// Interrupt counter.
+    pub const IRQ_COUNT: u64 = 6;
+    /// Scratch used by handlers.
+    pub const SCRATCH: u64 = 8;
+}
+
+
+/// Per-PCPU block: stride and field offsets (in words).
+pub mod pcpu {
+    /// Absolute base address of the PCPU array.
+    pub const BASE: u64 = 0x0050_0000;
+    /// Words per PCPU block.
+    pub const STRIDE: u64 = 32;
+    /// Address of the current VCPU's descriptor.
+    pub const CURRENT_VCPU: u64 = 0;
+    /// 1 when the CPU is running the idle VCPU.
+    pub const IDLE: u64 = 1;
+    /// Pending softirq bits (bit 0 = SCHED, 1 = TIMER, 2 = TASKLET).
+    pub const SOFTIRQ_PENDING: u64 = 2;
+    /// Local tick counter.
+    pub const TICKS: u64 = 3;
+    /// Address of this CPU's VMCS block (set at boot).
+    pub const VMCS_PTR: u64 = 4;
+    /// Address of this CPU's run queue.
+    pub const RUNQ_PTR: u64 = 5;
+    /// Scratch slot used by the exit stub to stash a guest register.
+    pub const SCRATCH0: u64 = 6;
+    /// Scratch.
+    pub const SCRATCH1: u64 = 7;
+    /// Accumulated hypercall work units (accounting).
+    pub const WORK: u64 = 8;
+    /// Address of the idle VCPU descriptor for this CPU.
+    pub const IDLE_VCPU: u64 = 9;
+}
+
+/// Softirq bit numbers.
+pub mod softirq {
+    pub const SCHED: u64 = 1 << 0;
+    pub const TIMER: u64 = 1 << 1;
+    pub const TASKLET: u64 = 1 << 2;
+}
+
+/// Per-VCPU descriptor: stride and field offsets (in words).
+pub mod vcpu {
+    /// Absolute base address of the VCPU descriptor array.
+    pub const BASE: u64 = 0x0058_0000;
+    /// Words per VCPU descriptor.
+    pub const STRIDE: u64 = 64;
+    /// Guest GPR save area: 16 words, indexed by register number.
+    pub const SAVE_GPRS: u64 = 0;
+    /// Saved guest RIP.
+    pub const SAVE_RIP: u64 = 16;
+    /// Saved guest RFLAGS.
+    pub const SAVE_RFLAGS: u64 = 17;
+    /// Owning domain id.
+    pub const DOM_ID: u64 = 18;
+    /// VCPU id within the domain.
+    pub const VCPU_ID: u64 = 19;
+    /// 1 for the per-PCPU idle VCPU.
+    pub const IS_IDLE: u64 = 20;
+    /// Pending virtual trap/event bits (one per exception vector).
+    pub const PENDING_EVENTS: u64 = 21;
+    /// 1 when runnable.
+    pub const RUNNABLE: u64 = 22;
+    /// Per-VCPU virtual-time offset added to RDTSC emulation.
+    pub const TIME_OFFSET: u64 = 23;
+    /// Singleshot timer deadline (absolute wallclock ticks; 0 = none).
+    pub const TIMER_DEADLINE: u64 = 24;
+    /// Event-channel upcall pending flag (guest visible via shared info).
+    pub const UPCALL_PENDING: u64 = 25;
+    /// Upcall mask.
+    pub const UPCALL_MASK: u64 = 26;
+    /// Address of the owning domain descriptor.
+    pub const DOM_PTR: u64 = 27;
+    /// Count of events delivered to this VCPU.
+    pub const EVENT_COUNT: u64 = 28;
+    /// Last delivered trap vector (diagnostics; also exercised by faults).
+    pub const LAST_TRAP: u64 = 29;
+}
+
+/// Per-domain descriptor.
+pub mod domain {
+    /// Absolute base address of the domain descriptor array.
+    pub const BASE: u64 = 0x0060_0000;
+    /// Words per domain descriptor.
+    pub const STRIDE: u64 = 64;
+    /// Domain id.
+    pub const DOM_ID: u64 = 0;
+    /// Number of VCPUs.
+    pub const NR_VCPUS: u64 = 1;
+    /// Address of the event-channel table.
+    pub const EVTCHN_PTR: u64 = 2;
+    /// Address of the grant table.
+    pub const GRANT_PTR: u64 = 3;
+    /// Address of the shared-info page.
+    pub const SHARED_PTR: u64 = 4;
+    /// Guest memory window base.
+    pub const MEM_BASE: u64 = 5;
+    /// Guest memory window size in bytes.
+    pub const MEM_SIZE: u64 = 6;
+    /// Global index of the domain's first VCPU descriptor.
+    pub const FIRST_VCPU: u64 = 7;
+    /// Guest kernel's registered trap handler (delivery target for
+    /// unhandled guest exceptions).
+    pub const TRAP_HANDLER: u64 = 8;
+    /// 1 while the domain is being torn down.
+    pub const IS_DYING: u64 = 9;
+    /// Pages ballooned in/out by memory_op.
+    pub const BALLOON_PAGES: u64 = 10;
+    /// Count of MMU updates applied.
+    pub const MMU_UPDATES: u64 = 11;
+    /// Virtual interrupt counter.
+    pub const VIRQ_COUNT: u64 = 12;
+}
+
+/// Event channel table: one word per channel.
+/// Bit 0 = pending, bit 1 = masked; bits 8.. = bound VCPU index.
+pub mod evtchn {
+    /// Absolute base address of the event-channel tables.
+    pub const BASE: u64 = 0x0068_0000;
+    /// Words per domain table.
+    pub const STRIDE: u64 = super::NR_EVTCHN as u64;
+    pub const PENDING_BIT: u64 = 1 << 0;
+    pub const MASKED_BIT: u64 = 1 << 1;
+}
+
+/// Grant table: one word per entry (flags in low bits, frame above).
+pub mod grant {
+    /// Absolute base address of the grant tables.
+    pub const BASE: u64 = 0x0070_0000;
+    /// Words per domain table.
+    pub const STRIDE: u64 = super::NR_GRANTS as u64;
+    pub const FLAG_READ: u64 = 1 << 0;
+    pub const FLAG_WRITE: u64 = 1 << 1;
+    pub const FLAG_INUSE: u64 = 1 << 2;
+}
+
+/// Shared-info page per domain (guest-visible: time, event masks).
+pub mod shared {
+    /// Absolute base address of the shared-info pages.
+    pub const BASE: u64 = 0x0078_0000;
+    /// Words per domain page.
+    pub const STRIDE: u64 = 32;
+    /// Wall-clock seconds copy.
+    pub const WALLCLOCK: u64 = 0;
+    /// Time version counter (even = stable, odd = being updated).
+    pub const TIME_VERSION: u64 = 1;
+    /// System time in ticks.
+    pub const SYSTEM_TIME: u64 = 2;
+    /// TSC timestamp of the last time update.
+    pub const TSC_STAMP: u64 = 3;
+    /// Global event-pending summary bit.
+    pub const EVTCHN_PENDING_SEL: u64 = 4;
+    /// Per-VCPU virtual time slots (up to MAX_VCPUS_PER_DOM).
+    pub const VCPU_TIME: u64 = 8;
+}
+
+/// Per-PCPU run queue: count at word 0, VCPU descriptor addresses after.
+pub mod runq {
+    /// Absolute base address of the run queues.
+    pub const BASE: u64 = 0x0080_0000;
+    /// Words per run queue.
+    pub const STRIDE: u64 = 16;
+    /// Number of entries.
+    pub const COUNT: u64 = 0;
+    /// Next index to run (round robin cursor).
+    pub const CURSOR: u64 = 1;
+    /// First entry.
+    pub const ENTRIES: u64 = 2;
+    /// Maximum entries per queue.
+    pub const MAX_ENTRIES: u64 = 14;
+}
+
+// ---------------------------------------------------------------------------
+// Address helpers
+// ---------------------------------------------------------------------------
+
+/// Byte address of a global word.
+pub fn global_addr(word: u64) -> u64 {
+    if word >= global::SCRATCH {
+        SCRATCH_BASE + (word - global::SCRATCH) * 8
+    } else {
+        GLOBAL_BASE + word * 8
+    }
+}
+
+/// Byte address of dispatch-table entry `vmer`.
+pub fn dispatch_entry(vmer: u16) -> u64 {
+    DISPATCH_BASE + (vmer as u64) * 8
+}
+
+/// Byte address of the dispatch table base.
+pub fn dispatch_base() -> u64 {
+    DISPATCH_BASE
+}
+
+/// Byte address of PCPU block for `cpu`.
+pub fn pcpu_addr(cpu: usize) -> u64 {
+    pcpu::BASE + (cpu as u64 * pcpu::STRIDE) * 8
+}
+
+/// Byte address of VCPU descriptor `idx` (global index).
+pub fn vcpu_addr(idx: usize) -> u64 {
+    assert!(idx < MAX_VCPUS, "vcpu index {idx} out of range");
+    vcpu::BASE + (idx as u64 * vcpu::STRIDE) * 8
+}
+
+/// Byte address of domain descriptor `dom`.
+pub fn domain_addr(dom: usize) -> u64 {
+    assert!(dom < MAX_DOMS, "domain {dom} out of range");
+    domain::BASE + (dom as u64 * domain::STRIDE) * 8
+}
+
+/// Byte address of domain `dom`'s event-channel table.
+pub fn evtchn_addr(dom: usize) -> u64 {
+    evtchn::BASE + (dom as u64 * evtchn::STRIDE) * 8
+}
+
+/// Byte address of domain `dom`'s grant table.
+pub fn grant_addr(dom: usize) -> u64 {
+    grant::BASE + (dom as u64 * grant::STRIDE) * 8
+}
+
+/// Byte address of domain `dom`'s shared-info page.
+pub fn shared_addr(dom: usize) -> u64 {
+    shared::BASE + (dom as u64 * shared::STRIDE) * 8
+}
+
+/// Byte address of CPU `cpu`'s run queue.
+pub fn runq_addr(cpu: usize) -> u64 {
+    runq::BASE + (cpu as u64 * runq::STRIDE) * 8
+}
+
+/// Span covering all hypervisor data families (diagnostics/classification).
+pub fn hv_data_span() -> (u64, u64) {
+    (GLOBAL_BASE, runq::BASE + (MAX_PCPUS as u64 * runq::STRIDE) * 8)
+}
+
+/// Global VCPU index of the idle VCPU for `cpu`.
+pub fn idle_vcpu_index(cpu: usize) -> usize {
+    MAX_DOMS * MAX_VCPUS_PER_DOM + cpu
+}
+
+/// Number of entries in the dispatch table.
+pub fn dispatch_entries() -> u16 {
+    ExitReason::VMER_COUNT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_regions_do_not_overlap_and_leave_gaps() {
+        // (base, bytes) for every mapped hypervisor-data family.
+        let spans = [
+            (GLOBAL_BASE, GLOBAL_WORDS as u64 * 8),
+            (SCRATCH_BASE, SCRATCH_WORDS as u64 * 8),
+            (DISPATCH_BASE, dispatch_entries() as u64 * 8),
+            (pcpu::BASE, MAX_PCPUS as u64 * pcpu::STRIDE * 8),
+            (vcpu::BASE, MAX_VCPUS as u64 * vcpu::STRIDE * 8),
+            (domain::BASE, MAX_DOMS as u64 * domain::STRIDE * 8),
+            (evtchn::BASE, MAX_DOMS as u64 * evtchn::STRIDE * 8),
+            (grant::BASE, MAX_DOMS as u64 * grant::STRIDE * 8),
+            (shared::BASE, MAX_DOMS as u64 * shared::STRIDE * 8),
+            (runq::BASE, MAX_PCPUS as u64 * runq::STRIDE * 8),
+        ];
+        for (i, &(a, alen)) in spans.iter().enumerate() {
+            for &(b, blen) in spans.iter().skip(i + 1) {
+                // Regions must not only be disjoint, they must leave an
+                // unmapped gap so corrupted indexes fault.
+                assert!(
+                    a + alen + 0x1000 <= b || b + blen + 0x1000 <= a,
+                    "families too close: {a:#x}+{alen:#x} vs {b:#x}+{blen:#x}"
+                );
+            }
+        }
+        let (lo, hi) = hv_data_span();
+        assert!(lo < hi);
+        assert!(hi <= HV_STACK_BASE, "data families must end below the stacks");
+    }
+
+    #[test]
+    fn vcpu_save_area_is_first_sixteen_words() {
+        assert_eq!(vcpu::SAVE_GPRS, 0);
+        assert_eq!(vcpu::SAVE_RIP, 16);
+        assert_eq!(vcpu::SAVE_RFLAGS, 17);
+    }
+
+    #[test]
+    fn guest_windows_are_disjoint() {
+        for d in 0..MAX_DOMS - 1 {
+            let end = guest_data(d) + (GUEST_DATA_WORDS as u64) * 8;
+            assert!(end <= guest_window(d + 1), "dom {d} window overflows into {}", d + 1);
+        }
+    }
+
+    #[test]
+    fn idle_vcpus_are_after_real_vcpus() {
+        assert_eq!(idle_vcpu_index(0), MAX_DOMS * MAX_VCPUS_PER_DOM);
+        assert!(idle_vcpu_index(MAX_PCPUS - 1) < MAX_VCPUS);
+    }
+
+    #[test]
+    fn runq_can_hold_all_vcpus_of_a_loaded_cpu() {
+        // Worst case we schedule every VCPU of 4 domains on one CPU in the
+        // paper's 4-VM setup: 4 doms * 1 vcpu + idle << MAX_ENTRIES.
+        assert!(runq::MAX_ENTRIES >= 8);
+        assert!(runq::ENTRIES + runq::MAX_ENTRIES <= runq::STRIDE);
+    }
+
+    #[test]
+    fn hypervisor_regions_below_guest_base() {
+        assert!(VMCS_BASE + 0x1000 < GUEST_BASE);
+        assert!(HV_STACK_BASE + MAX_PCPUS as u64 * HV_STACK_SIZE <= VMCS_BASE);
+        let (_, hv_hi) = hv_data_span();
+        assert!(hv_hi <= HV_STACK_BASE);
+        assert!(HV_TEXT_BASE + (HV_TEXT_WORDS as u64) * 8 <= GLOBAL_BASE);
+    }
+}

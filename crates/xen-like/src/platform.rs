@@ -1,0 +1,411 @@
+//! The platform: drives guests and hypervisor activations, injects
+//! asynchronous interrupts, and exposes the monitoring hook that Xentry
+//! implements.
+//!
+//! One **activation** is the unit the paper reasons about: a VM exit, a
+//! hypervisor execution, and the VM entry that resumes the guest (Fig. 2).
+//! [`Platform::run_activation`] executes exactly one of these and reports
+//! what happened; the [`Monitor`] trait receives the VM-exit and VM-entry
+//! edges — the two points where Xentry's shim intercepts Xen.
+
+use crate::layout::{self as lay, pcpu, vcpu};
+use sim_asm::Image;
+use sim_machine::exit::{NR_APIC_VECTORS, NR_DEVICE_IRQS};
+use sim_machine::prng::SplitMix64;
+use sim_machine::{CpuId, Event, Exception, ExitReason, Machine, Mode, StepOutcome};
+
+use crate::builder::{build_machine, Topology};
+
+/// Verdict returned by the monitor at VM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Execution looks correct: resume the guest.
+    Pass,
+    /// VM-transition detection flagged the execution as incorrect: do not
+    /// resume; trigger recovery.
+    Incorrect,
+}
+
+/// Observation hooks for a detection framework. The default implementations
+/// are no-ops, i.e. an unprotected hypervisor.
+pub trait Monitor {
+    /// A VM exit occurred; the hypervisor is about to run. (Xentry: start
+    /// performance counters, snapshot critical state.)
+    fn on_vm_exit(&mut self, _m: &mut Machine, _cpu: CpuId, _reason: ExitReason) {}
+
+    /// The hypervisor finished and the guest is about to resume. (Xentry:
+    /// stop counters, classify the execution.)
+    fn on_vm_entry(&mut self, _m: &mut Machine, _cpu: CpuId) -> Verdict {
+        Verdict::Pass
+    }
+
+    /// A hardware exception was raised in host mode.
+    fn on_host_exception(&mut self, _m: &mut Machine, _cpu: CpuId, _e: Exception) {}
+
+    /// A software assertion fired in host mode.
+    fn on_assert_fail(&mut self, _m: &mut Machine, _cpu: CpuId, _id: u16) {}
+}
+
+/// The unprotected baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+/// How one activation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationOutcome {
+    /// Handler completed; guest resumed.
+    Resumed,
+    /// Handler completed; the CPU went idle (no runnable VCPU).
+    WentIdle,
+    /// A hardware exception was raised during hypervisor execution (fatal
+    /// system corruption in the paper's taxonomy).
+    HostException(Exception),
+    /// A software assertion fired.
+    AssertFailed(u16),
+    /// The VM-transition detector flagged the execution; the guest was not
+    /// resumed.
+    Flagged,
+    /// The handler exceeded the watchdog budget (hang / livelock).
+    Hung,
+}
+
+impl ActivationOutcome {
+    /// Whether the platform can keep running after this outcome.
+    pub fn is_healthy(self) -> bool {
+        matches!(self, ActivationOutcome::Resumed | ActivationOutcome::WentIdle)
+    }
+}
+
+/// Record of one hypervisor activation.
+#[derive(Debug, Clone, Copy)]
+pub struct Activation {
+    pub cpu: CpuId,
+    pub reason: ExitReason,
+    /// Dynamic instructions executed in host mode.
+    pub handler_insns: u64,
+    /// Cycles spent in host mode (including world-switch costs).
+    pub handler_cycles: u64,
+    /// Cycles spent in guest mode since the previous activation on this CPU.
+    pub guest_cycles: u64,
+    pub outcome: ActivationOutcome,
+}
+
+/// Asynchronous interrupt traffic parameters, set per workload profile.
+#[derive(Debug, Clone, Copy)]
+pub struct IrqProfile {
+    /// Cycles between APIC timer ticks (0 disables the tick — only useful
+    /// in unit tests).
+    pub tick_period: u64,
+    /// Mean cycles between device interrupts (0 = no device traffic).
+    pub dev_irq_period: u64,
+}
+
+impl Default for IrqProfile {
+    fn default() -> IrqProfile {
+        // 1 kHz tick at the paper's 2.13 GHz clock.
+        IrqProfile { tick_period: 2_130_000, dev_irq_period: 0 }
+    }
+}
+
+/// The platform simulator.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pub machine: Machine,
+    pub topo: Topology,
+    pub irq: IrqProfile,
+    /// Watchdog: maximum host-mode steps per activation.
+    pub host_step_budget: u64,
+    /// Watchdog: maximum guest steps per activation window.
+    pub guest_step_budget: u64,
+    next_tick: Vec<u64>,
+    next_dev: Vec<u64>,
+    irq_rng: SplitMix64,
+    booted: Vec<bool>,
+}
+
+impl Platform {
+    /// Build a platform for the topology.
+    pub fn new(topo: Topology) -> (Platform, Image) {
+        let (machine, img) = build_machine(&topo);
+        let irq = IrqProfile::default();
+        let nr = topo.nr_cpus;
+        let p = Platform {
+            machine,
+            topo,
+            irq,
+            host_step_budget: 100_000,
+            guest_step_budget: 10_000_000,
+            next_tick: vec![0; nr],
+            next_dev: vec![0; nr],
+            irq_rng: SplitMix64::new(0x5EED_1234),
+            booted: vec![false; nr],
+        };
+        (p, img)
+    }
+
+    /// Deterministic snapshot of the full platform state.
+    pub fn snapshot(&self) -> Platform {
+        self.clone()
+    }
+
+    /// Read a PCPU field for `cpu`.
+    pub fn pcpu_field(&self, cpu: CpuId, field: u64) -> u64 {
+        self.machine.mem.peek(lay::pcpu_addr(cpu) + field * 8).expect("pcpu mapped")
+    }
+
+    /// Address of the VCPU descriptor currently scheduled on `cpu`.
+    pub fn current_vcpu_ptr(&self, cpu: CpuId) -> u64 {
+        self.pcpu_field(cpu, pcpu::CURRENT_VCPU)
+    }
+
+    /// Whether `cpu` is running its idle VCPU.
+    pub fn is_idle(&self, cpu: CpuId) -> bool {
+        self.pcpu_field(cpu, pcpu::IDLE) != 0
+    }
+
+    /// Resolve the guest mode for whatever VCPU the hypervisor scheduled on
+    /// `cpu` — the platform trusts the (possibly corrupted) scheduler state,
+    /// which is how a fault can resume the *wrong* VM.
+    fn scheduled_mode(&self, cpu: CpuId) -> Mode {
+        let vp = self.current_vcpu_ptr(cpu);
+        let dom = self.machine.mem.peek(vp + vcpu::DOM_ID * 8).unwrap_or(0) as u16;
+        let vid = self.machine.mem.peek(vp + vcpu::VCPU_ID * 8).unwrap_or(0) as u16;
+        Mode::Guest { dom, vcpu: vid }
+    }
+
+    /// Run host-mode code until the guest is entered (or something fatal
+    /// happens). Used at boot and after every VM exit.
+    fn run_host<M: Monitor>(
+        &mut self,
+        cpu: CpuId,
+        monitor: &mut M,
+    ) -> (ActivationOutcome, u64, u64) {
+        self.run_host_hooked(cpu, monitor, None, |_, _| {})
+    }
+
+    /// Like `run_host`, but invokes `hook` on the machine after `hook_at`
+    /// host-mode steps — the fault-injection entry point: the hook flips a
+    /// register bit mid-handler.
+    pub fn run_host_hooked<M: Monitor>(
+        &mut self,
+        cpu: CpuId,
+        monitor: &mut M,
+        hook_at: Option<u64>,
+        hook: impl FnOnce(&mut Machine, CpuId),
+    ) -> (ActivationOutcome, u64, u64) {
+        let insns0 = self.machine.cpu(cpu).insns_retired;
+        let cycles0 = self.machine.cpu(cpu).cycles;
+        let mut steps = 0u64;
+        let mut hook = Some(hook);
+        let outcome = loop {
+            if let Some(at) = hook_at {
+                if steps == at {
+                    if let Some(h) = hook.take() {
+                        h(&mut self.machine, cpu);
+                    }
+                }
+            }
+            if steps >= self.host_step_budget {
+                break ActivationOutcome::Hung;
+            }
+            steps += 1;
+            match self.machine.step(cpu) {
+                StepOutcome::Retired => {}
+                StepOutcome::Event(Event::VmEntry) => {
+                    match monitor.on_vm_entry(&mut self.machine, cpu) {
+                        Verdict::Pass => {
+                            let mode = self.scheduled_mode(cpu);
+                            self.machine.cpu_mut(cpu).mode = mode;
+                            if self.is_idle(cpu) {
+                                break ActivationOutcome::WentIdle;
+                            }
+                            break ActivationOutcome::Resumed;
+                        }
+                        Verdict::Incorrect => break ActivationOutcome::Flagged,
+                    }
+                }
+                StepOutcome::Event(Event::Exception(e)) => {
+                    monitor.on_host_exception(&mut self.machine, cpu, e);
+                    break ActivationOutcome::HostException(e);
+                }
+                StepOutcome::Event(Event::AssertFail { id, .. }) => {
+                    monitor.on_assert_fail(&mut self.machine, cpu, id);
+                    break ActivationOutcome::AssertFailed(id);
+                }
+                StepOutcome::Event(Event::Halt) => break ActivationOutcome::Hung,
+                StepOutcome::Event(Event::VmExit(_)) => {
+                    unreachable!("VM exit while already in host mode")
+                }
+            }
+        };
+        let c = self.machine.cpu(cpu);
+        (outcome, c.insns_retired - insns0, c.cycles - cycles0)
+    }
+
+    /// Pick the next asynchronous exit reason when a deadline fires.
+    fn async_reason(&mut self, timer: bool) -> ExitReason {
+        if timer {
+            return ExitReason::ApicInterrupt(0);
+        }
+        // Device-side traffic mix: mostly device lines, some IPIs, a few
+        // tasklets.
+        let roll = self.irq_rng.next_below(100);
+        match roll {
+            0..=59 => {
+                ExitReason::DeviceInterrupt(self.irq_rng.next_below(NR_DEVICE_IRQS as u64) as u8)
+            }
+            60..=84 => {
+                let v = 1 + self.irq_rng.next_below((NR_APIC_VECTORS - 1) as u64) as u8;
+                ExitReason::ApicInterrupt(v)
+            }
+            85..=94 => ExitReason::Tasklet,
+            _ => ExitReason::ApicInterrupt(3),
+        }
+    }
+
+    /// Boot `cpu`: run the initial return-to-guest stub so the first VCPU is
+    /// entered. Must be called once per CPU before [`Self::run_activation`].
+    pub fn boot<M: Monitor>(&mut self, cpu: CpuId, monitor: &mut M) -> ActivationOutcome {
+        assert!(!self.booted[cpu], "cpu {cpu} already booted");
+        let (outcome, _, _) = self.run_host(cpu, monitor);
+        self.booted[cpu] = true;
+        let now = self.machine.cpu(cpu).cycles;
+        self.next_tick[cpu] = now + self.irq.tick_period.max(1);
+        self.next_dev[cpu] = if self.irq.dev_irq_period > 0 {
+            now + 1 + self.irq_rng.next_below(2 * self.irq.dev_irq_period)
+        } else {
+            u64::MAX
+        };
+        outcome
+    }
+
+    /// Whether this CPU has been booted.
+    pub fn is_booted(&self, cpu: CpuId) -> bool {
+        self.booted[cpu]
+    }
+
+    /// Run exactly one activation on `cpu`: guest executes until the next VM
+    /// exit (synchronous or injected), the hypervisor handles it, the guest
+    /// resumes.
+    pub fn run_activation<M: Monitor>(&mut self, cpu: CpuId, monitor: &mut M) -> Activation {
+        let (reason, guest_cycles) = self.run_to_exit(cpu);
+        self.run_handler(cpu, reason, guest_cycles, monitor)
+    }
+
+    /// Guest phase only: run until the next VM exit and return its reason.
+    /// On return the CPU sits in host mode at its entry trampoline with the
+    /// VMCS block filled — the state the fault-injection campaign snapshots.
+    pub fn run_to_exit(&mut self, cpu: CpuId) -> (ExitReason, u64) {
+        assert!(self.booted[cpu], "boot cpu {cpu} first");
+        let guest_cycles0 = self.machine.cpu(cpu).cycles;
+
+        // Pending softirq work preempts the guest immediately: the previous
+        // handler requested follow-up processing (e.g. a scheduler pass).
+        let softirq_pending = self.pcpu_field(cpu, pcpu::SOFTIRQ_PENDING) != 0;
+
+        let reason = if softirq_pending {
+            let ev = self.machine.force_exit(cpu, ExitReason::Softirq);
+            match ev {
+                Event::VmExit(r) => r,
+                _ => unreachable!(),
+            }
+        } else if self.is_idle(cpu) {
+            // Idle CPU: fast-forward virtual time to the next interrupt.
+            let wake = self.next_tick[cpu].min(self.next_dev[cpu]);
+            let now = self.machine.cpu(cpu).cycles;
+            if wake > now {
+                self.machine.cpu_mut(cpu).cycles = wake;
+            }
+            self.fire_async(cpu)
+        } else {
+            // Run the guest until it exits or an async deadline passes.
+            let mut steps = 0u64;
+            loop {
+                let now = self.machine.cpu(cpu).cycles;
+                if now >= self.next_tick[cpu] || now >= self.next_dev[cpu] {
+                    break self.fire_async(cpu);
+                }
+                if steps >= self.guest_step_budget {
+                    // Guest runaway (should not happen with the tick armed);
+                    // treat as a forced tick.
+                    break self.fire_async(cpu);
+                }
+                steps += 1;
+                match self.machine.step(cpu) {
+                    StepOutcome::Retired => {}
+                    StepOutcome::Event(Event::VmExit(r)) => break r,
+                    StepOutcome::Event(ev) => {
+                        unreachable!("guest produced host event {ev:?}")
+                    }
+                }
+            }
+        };
+
+        let guest_cycles = self.machine.cpu(cpu).cycles.saturating_sub(guest_cycles0);
+        (reason, guest_cycles)
+    }
+
+    /// Host phase only: notify the monitor of the exit and run the handler
+    /// to VM entry (or death). Pair with [`Self::run_to_exit`].
+    pub fn run_handler<M: Monitor>(
+        &mut self,
+        cpu: CpuId,
+        reason: ExitReason,
+        guest_cycles: u64,
+        monitor: &mut M,
+    ) -> Activation {
+        self.run_handler_hooked(cpu, reason, guest_cycles, monitor, None, |_, _| {})
+    }
+
+    /// Host phase with a fault-injection hook (see
+    /// [`Self::run_host_hooked`]).
+    pub fn run_handler_hooked<M: Monitor>(
+        &mut self,
+        cpu: CpuId,
+        reason: ExitReason,
+        guest_cycles: u64,
+        monitor: &mut M,
+        hook_at: Option<u64>,
+        hook: impl FnOnce(&mut Machine, CpuId),
+    ) -> Activation {
+        monitor.on_vm_exit(&mut self.machine, cpu, reason);
+        let (outcome, handler_insns, handler_cycles) =
+            self.run_host_hooked(cpu, monitor, hook_at, hook);
+        Activation { cpu, reason, handler_insns, handler_cycles, guest_cycles, outcome }
+    }
+
+    /// Force the pending asynchronous exit whose deadline fired and re-arm
+    /// the deadline.
+    fn fire_async(&mut self, cpu: CpuId) -> ExitReason {
+        let now = self.machine.cpu(cpu).cycles;
+        let timer = self.next_tick[cpu] <= self.next_dev[cpu];
+        let reason = self.async_reason(timer);
+        if timer {
+            self.next_tick[cpu] = now + self.irq.tick_period.max(1);
+        } else {
+            let mean = self.irq.dev_irq_period.max(1);
+            self.next_dev[cpu] = now + 1 + self.irq_rng.next_below(2 * mean);
+        }
+        match self.machine.force_exit(cpu, reason) {
+            Event::VmExit(r) => r,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Run up to `n` activations on `cpu`, stopping early if the hypervisor
+    /// dies. Returns the records.
+    pub fn run<M: Monitor>(&mut self, cpu: CpuId, n: usize, monitor: &mut M) -> Vec<Activation> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let act = self.run_activation(cpu, monitor);
+            let healthy = act.outcome.is_healthy();
+            out.push(act);
+            if !healthy {
+                break;
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,253 @@
+//! Behavioural tests for the exception and interrupt paths: trap-and-emulate
+//! (#GP → CPUID/RDTSC), guest trap delivery + iret, page-fault forwarding,
+//! device IRQ routing and the softirq/scheduler machinery.
+
+use sim_asm::Asm;
+use sim_machine::{ExitReason, Machine, Reg, Vector, VirtMode};
+use xen_like::layout as lay;
+use xen_like::platform::NullMonitor;
+use xen_like::{DomainSpec, Platform, Topology};
+
+fn platform_with_guest(program: impl FnOnce(&mut Asm)) -> Platform {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Para,
+        seed: 23,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let base = lay::guest_text(0);
+    let mut a = Asm::new(base);
+    program(&mut a);
+    let img = a.assemble().expect("guest assembles");
+    plat.machine.mem.load_image(base, &img.words).unwrap();
+    plat
+}
+
+fn run_until(plat: &mut Platform, pred: impl Fn(ExitReason) -> bool, max: usize) {
+    if !plat.is_booted(0) {
+        plat.boot(0, &mut NullMonitor);
+    }
+    for _ in 0..max {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "died: {:?}", act.outcome);
+        if pred(act.reason) {
+            return;
+        }
+    }
+    panic!("condition never reached");
+}
+
+#[test]
+fn pv_rdtsc_emulation_applies_time_offset() {
+    let mut plat = platform_with_guest(|a| {
+        a.rdtsc(); // traps via #GP in PV mode
+        a.label("spin");
+        a.jmp("spin");
+    });
+    // Give the VCPU a recognizable virtual-time offset.
+    let off = 0x10_0000u64;
+    plat.machine.mem.poke(lay::vcpu_addr(0) + lay::vcpu::TIME_OFFSET * 8, off).unwrap();
+    run_until(&mut plat, |r| r == ExitReason::Exception(Vector::GeneralProtection), 10);
+    let lo = plat.machine.cpu(0).get(Reg::Rax);
+    let hi = plat.machine.cpu(0).get(Reg::Rdx);
+    let tsc = (hi << 32) | lo;
+    assert!(tsc >= off, "emulated tsc {tsc:#x} must include the offset {off:#x}");
+    // The shared-info TSC stamp was written (guest-visible time data).
+    let stamp = plat.machine.mem.peek(lay::shared_addr(0) + lay::shared::TSC_STAMP * 8).unwrap();
+    assert_ne!(stamp, 0);
+}
+
+#[test]
+fn pv_cpuid_distinct_leaves_give_distinct_outputs() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rax, 1);
+        a.cpuid();
+        a.mov(Reg::R13, Reg::Rax);
+        a.movi(Reg::Rax, 2);
+        a.cpuid();
+        a.label("spin");
+        a.jmp("spin");
+    });
+    plat.boot(0, &mut NullMonitor);
+    let mut gp = 0;
+    for _ in 0..20 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+        if act.reason == ExitReason::Exception(Vector::GeneralProtection) {
+            gp += 1;
+            if gp == 2 {
+                break;
+            }
+        }
+    }
+    assert_eq!(gp, 2, "both cpuid instructions trapped");
+    let leaf1 = plat.machine.cpu(0).get(Reg::R13);
+    let leaf2 = plat.machine.cpu(0).get(Reg::Rax);
+    assert_eq!(leaf1, Machine::cpuid_model(1)[0]);
+    assert_eq!(leaf2, Machine::cpuid_model(2)[0]);
+    assert_ne!(leaf1, leaf2);
+}
+
+#[test]
+fn guest_divide_error_is_delivered_and_counted() {
+    let mut plat = platform_with_guest(|a| {
+        // Register a trap handler that counts and irets past the fault.
+        a.lea(Reg::Rdi, "handler");
+        a.lea(Reg::Rsi, "handler");
+        a.hypercall(4);
+        a.movi(Reg::Rax, 10);
+        a.movi(Reg::Rbx, 0);
+        a.div(Reg::Rax, Reg::Rbx); // #DE
+        a.movi(Reg::R13, 0x600D); // reached after handler skips the div
+        a.label("spin");
+        a.jmp("spin");
+        a.label("handler");
+        a.movi(Reg::R9, (lay::guest_data(0) + 16 * 8) as i64);
+        a.load(Reg::R8, Reg::R9, 0);
+        a.addi(Reg::R8, 1);
+        a.store(Reg::R9, 0, Reg::R8);
+        // Skip the faulting instruction in the iret frame.
+        a.load(Reg::R8, Reg::Rsp, 0);
+        a.addi(Reg::R8, 8);
+        a.store(Reg::Rsp, 0, Reg::R8);
+        a.hypercall(23);
+    });
+    run_until(&mut plat, |r| r == ExitReason::Hypercall(23), 20);
+    // Let the guest resume past the fault.
+    for _ in 0..5 {
+        plat.run_activation(0, &mut NullMonitor);
+        if plat.machine.cpu(0).get(Reg::R13) == 0x600D {
+            break;
+        }
+    }
+    assert_eq!(plat.machine.cpu(0).get(Reg::R13), 0x600D, "guest survived the #DE");
+    let traps = plat.machine.mem.peek(lay::guest_data(0) + 16 * 8).unwrap();
+    assert_eq!(traps, 1, "exactly one trap delivered");
+    // The hypervisor recorded the delivered vector.
+    let last = plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::LAST_TRAP * 8).unwrap();
+    assert_eq!(last, Vector::DivideError as u64);
+}
+
+#[test]
+fn guest_page_fault_is_forwarded_not_fixed_up() {
+    let mut plat = platform_with_guest(|a| {
+        a.lea(Reg::Rdi, "handler");
+        a.lea(Reg::Rsi, "handler");
+        a.hypercall(4);
+        // Load from an unmapped (but in-window) address.
+        a.movi(Reg::Rbx, (lay::guest_window(0) + 0x10_0000) as i64);
+        a.load(Reg::Rax, Reg::Rbx, 0);
+        a.movi(Reg::R13, 0x60);
+        a.label("spin");
+        a.jmp("spin");
+        a.label("handler");
+        a.load(Reg::R8, Reg::Rsp, 0);
+        a.addi(Reg::R8, 8);
+        a.store(Reg::Rsp, 0, Reg::R8);
+        a.hypercall(23);
+    });
+    run_until(&mut plat, |r| r == ExitReason::Exception(Vector::PageFault), 10);
+    let fixups = plat.machine.mem.peek(lay::domain_addr(0) + 38 * 8).unwrap();
+    assert_eq!(fixups, 1, "fault accounted");
+}
+
+#[test]
+fn device_irq_sets_event_channel_and_wakes_vcpu() {
+    let mut plat = platform_with_guest(|a| {
+        a.label("spin");
+        a.movi(Reg::Rbx, 1);
+        a.jmp("spin");
+    });
+    plat.boot(0, &mut NullMonitor);
+    plat.run_activation(0, &mut NullMonitor); // settle
+    // Inject IRQ 5 directly.
+    let ev = plat.machine.force_exit(0, ExitReason::DeviceInterrupt(5));
+    assert!(matches!(ev, sim_machine::Event::VmExit(_)));
+    let act = plat.run_handler(0, ExitReason::DeviceInterrupt(5), 0, &mut NullMonitor);
+    assert!(act.outcome.is_healthy());
+    let chan = plat.machine.mem.peek(lay::evtchn_addr(0) + 5 * 8).unwrap();
+    assert_eq!(chan & lay::evtchn::PENDING_BIT, 1, "irq 5 pending on port 5");
+    let irqs = plat.machine.mem.peek(lay::global_addr(lay::global::IRQ_COUNT)).unwrap();
+    assert!(irqs >= 1);
+}
+
+#[test]
+fn softirq_exit_runs_scheduler() {
+    let mut plat = platform_with_guest(|a| {
+        a.label("spin");
+        a.movi(Reg::Rbx, 1);
+        a.jmp("spin");
+    });
+    plat.boot(0, &mut NullMonitor);
+    plat.run_activation(0, &mut NullMonitor);
+    let ticks0 = plat.machine.mem.peek(lay::global_addr(lay::global::SCHED_TICKS)).unwrap();
+    // Raise the SCHED softirq by hand; the next activation must drain it.
+    plat.machine
+        .mem
+        .poke(lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8, lay::softirq::SCHED)
+        .unwrap();
+    let act = plat.run_activation(0, &mut NullMonitor);
+    assert_eq!(act.reason, ExitReason::Softirq, "pending softirq preempts the guest");
+    let ticks1 = plat.machine.mem.peek(lay::global_addr(lay::global::SCHED_TICKS)).unwrap();
+    assert_eq!(ticks1, ticks0 + 1, "schedule() ran once");
+    let pending = plat.machine.mem.peek(lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8).unwrap();
+    assert_eq!(pending, 0, "softirq bits drained");
+}
+
+#[test]
+fn apic_timer_updates_all_time_pages() {
+    let mut plat = platform_with_guest(|a| {
+        a.label("spin");
+        a.movi(Reg::Rbx, 1);
+        a.jmp("spin");
+    });
+    plat.irq.tick_period = 30_000;
+    plat.boot(0, &mut NullMonitor);
+    run_until(&mut plat, |r| r == ExitReason::ApicInterrupt(0), 200);
+    let sh = lay::shared_addr(0);
+    let version = plat.machine.mem.peek(sh + lay::shared::TIME_VERSION * 8).unwrap();
+    assert!(version >= 2 && version % 2 == 0, "stable even time version, got {version}");
+    let systime = plat.machine.mem.peek(sh + lay::shared::SYSTEM_TIME * 8).unwrap();
+    assert!(systime >= 1000, "system time advanced: {systime}");
+}
+
+#[test]
+fn hvm_mode_io_exit_is_emulated() {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Hvm,
+        seed: 29,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let base = lay::guest_text(0);
+    let mut a = Asm::new(base);
+    a.movi(Reg::Rax, 0x41);
+    a.out(0x3f8, Reg::Rax);
+    a.inp(Reg::Rax, 0x3f8);
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    plat.machine.mem.load_image(base, &img.words).unwrap();
+    plat.boot(0, &mut NullMonitor);
+    let out0 = plat.machine.devices.out_count;
+    let mut seen_write = false;
+    let mut seen_read = false;
+    for _ in 0..20 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+        match act.reason {
+            ExitReason::IoInstruction { write: true, .. } => seen_write = true,
+            ExitReason::IoInstruction { write: false, .. } => seen_read = true,
+            _ => {}
+        }
+        if seen_write && seen_read {
+            break;
+        }
+    }
+    assert!(seen_write && seen_read, "both I/O exits observed");
+    assert!(plat.machine.devices.out_count > out0, "write reached the device model");
+}

@@ -1,0 +1,367 @@
+//! Behavioural tests for individual hypercalls: craft a guest that invokes
+//! one hypercall with controlled arguments, run the activation, and verify
+//! the architectural effects on hypervisor and guest state.
+
+use sim_asm::Asm;
+use sim_machine::{Machine, Reg, VirtMode};
+use xen_like::layout as lay;
+use xen_like::platform::NullMonitor;
+use xen_like::{DomainSpec, Platform, Topology};
+
+/// Build a single-guest platform whose DomU-0 (domain index 1... here we use
+/// domain 0 as the only domain for simplicity) runs `program`.
+fn platform_with_guest(program: impl FnOnce(&mut Asm)) -> Platform {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Para,
+        seed: 17,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let base = lay::guest_text(0);
+    let mut a = Asm::new(base);
+    program(&mut a);
+    let img = a.assemble().expect("guest assembles");
+    plat.machine.mem.load_image(base, &img.words).unwrap();
+    plat
+}
+
+/// Run activations until the guest executes `n` hypercalls, then stop.
+fn run_hypercalls(plat: &mut Platform, n: usize) {
+    plat.boot(0, &mut NullMonitor);
+    let mut seen = 0;
+    for _ in 0..200 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "activation died: {:?}", act.outcome);
+        if matches!(act.reason, sim_machine::ExitReason::Hypercall(_)) {
+            seen += 1;
+            if seen >= n {
+                return;
+            }
+        }
+    }
+    panic!("guest never executed {n} hypercalls");
+}
+
+fn guest_rax(m: &Machine) -> u64 {
+    m.cpu(0).get(Reg::Rax)
+}
+
+#[test]
+fn xen_version_returns_4_1_2() {
+    let mut plat = platform_with_guest(|a| {
+        a.hypercall(17);
+        a.jmp(lay::guest_text(0) + 8); // spin after (self-loop)
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine), 0x0004_0102);
+}
+
+#[test]
+fn ni_hypercall_returns_enosys() {
+    let mut plat = platform_with_guest(|a| {
+        a.hypercall(11);
+        a.jmp(lay::guest_text(0) + 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine) as i64, -38);
+}
+
+#[test]
+fn grant_table_op_maps_and_unmaps_entries() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0); // map
+        a.movi(Reg::Rsi, 5); // ref 5
+        a.movi(Reg::Rdx, 0x77); // frame
+        a.hypercall(20);
+        a.jmp(lay::guest_text(0) + 4 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    let entry = plat.machine.mem.peek(lay::grant_addr(0) + 5 * 8).unwrap();
+    assert_eq!(entry & lay::grant::FLAG_INUSE, lay::grant::FLAG_INUSE);
+    assert_eq!(entry >> 8, 0x77, "frame stored above the flag bits");
+    assert_eq!(guest_rax(&plat.machine), 0);
+}
+
+#[test]
+fn grant_table_op_rejects_out_of_range_ref() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0);
+        a.movi(Reg::Rsi, lay::NR_GRANTS as i64 + 3); // invalid ref
+        a.movi(Reg::Rdx, 1);
+        a.hypercall(20);
+        a.jmp(lay::guest_text(0) + 4 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine) as i64, -22, "EINVAL for bad grant ref");
+}
+
+#[test]
+fn memory_op_balloons_pages_up_and_down() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0); // increase
+        a.movi(Reg::Rsi, 10);
+        a.hypercall(12);
+        a.movi(Reg::Rdi, 1); // decrease
+        a.movi(Reg::Rsi, 4);
+        a.hypercall(12);
+        a.jmp(lay::guest_text(0) + 6 * 8);
+    });
+    run_hypercalls(&mut plat, 2);
+    let balloon =
+        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::BALLOON_PAGES * 8).unwrap();
+    assert_eq!(balloon as i64, 6, "10 up, 4 down");
+}
+
+#[test]
+fn update_va_mapping_writes_guest_word() {
+    let target = lay::guest_data(0) + 0x3000;
+    let mut plat = platform_with_guest(move |a| {
+        a.movi(Reg::Rdi, target as i64);
+        a.movi(Reg::Rsi, 0xDEAD);
+        a.hypercall(14);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(plat.machine.mem.peek(target).unwrap(), 0xDEAD);
+    let updates =
+        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8).unwrap();
+    assert!(updates >= 1);
+}
+
+#[test]
+fn update_va_mapping_rejects_foreign_address() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, lay::GLOBAL_BASE as i64); // hypervisor data!
+        a.movi(Reg::Rsi, 0xBAD);
+        a.hypercall(14);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine) as i64, -14, "EFAULT for out-of-window va");
+    assert_ne!(plat.machine.mem.peek(lay::GLOBAL_BASE).unwrap(), 0xBAD);
+}
+
+#[test]
+fn evtchn_mask_blocks_upcall_send_sets_pending() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 2); // mask
+        a.movi(Reg::Rsi, 7); // port 7
+        a.hypercall(32);
+        a.movi(Reg::Rdi, 0); // send
+        a.movi(Reg::Rsi, 7);
+        a.hypercall(32);
+        a.jmp(lay::guest_text(0) + 6 * 8);
+    });
+    run_hypercalls(&mut plat, 2);
+    let chan = plat.machine.mem.peek(lay::evtchn_addr(0) + 7 * 8).unwrap();
+    assert_eq!(chan & lay::evtchn::PENDING_BIT, 1, "pending set even when masked");
+    assert_eq!(chan & lay::evtchn::MASKED_BIT, 2, "mask still in place");
+    // Masked send must not set the upcall flag.
+    let upcall =
+        plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::UPCALL_PENDING * 8).unwrap();
+    assert_eq!(upcall, 0, "masked channel must not raise an upcall");
+}
+
+#[test]
+fn evtchn_unmask_then_send_raises_upcall_selector() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0); // send on unmasked port
+        a.movi(Reg::Rsi, 3);
+        a.hypercall(32);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    // The return-to-guest path mirrors the upcall into the shared page.
+    let sel = plat
+        .machine
+        .mem
+        .peek(lay::shared_addr(0) + lay::shared::EVTCHN_PENDING_SEL * 8)
+        .unwrap();
+    assert_eq!(sel, 1, "upcall selector set in shared info");
+}
+
+#[test]
+fn set_timer_op_arms_and_timer_tick_fires_it() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 3); // deadline: wallclock tick 3 (starts at 1)
+        a.hypercall(15);
+        a.label("spin");
+        a.movi(Reg::Rbx, 7);
+        a.jmp("spin");
+    });
+    plat.irq.tick_period = 50_000;
+    plat.boot(0, &mut NullMonitor);
+    // Run until the deadline passes.
+    for _ in 0..400 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+        let wc = plat.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+        if wc > 4 {
+            break;
+        }
+    }
+    let deadline =
+        plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::TIMER_DEADLINE * 8).unwrap();
+    assert_eq!(deadline, 0, "expired timer must be disarmed");
+}
+
+#[test]
+fn vcpu_op_is_up_reports_runnable() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 2); // is_up
+        a.movi(Reg::Rsi, 0); // vcpu 0
+        a.hypercall(24);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine), 1, "the calling vcpu is up");
+}
+
+#[test]
+fn vcpu_op_rejects_bad_vcpu_id() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 2);
+        a.movi(Reg::Rsi, 3); // domain has only 1 vcpu
+        a.hypercall(24);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine) as i64, -22);
+}
+
+#[test]
+fn console_io_writes_reach_the_device() {
+    let args = lay::guest_data(0) + 0x100;
+    let mut plat = platform_with_guest(move |a| {
+        a.movi(Reg::Rdi, 0); // write
+        a.movi(Reg::Rsi, 5); // 5 characters
+        a.movi(Reg::Rdx, args as i64);
+        a.hypercall(18);
+        a.jmp(lay::guest_text(0) + 4 * 8);
+    });
+    let before = plat.machine.devices.out_count;
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(plat.machine.devices.out_count - before, 5, "five console writes");
+    assert_eq!(guest_rax(&plat.machine), 5, "returns the count written");
+}
+
+#[test]
+fn sysctl_counts_total_vcpus() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0);
+        a.hypercall(35);
+        a.jmp(lay::guest_text(0) + 2 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(guest_rax(&plat.machine), 1, "one domain, one vcpu");
+}
+
+#[test]
+fn domctl_getinfo_and_esrch() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 2); // getinfo
+        a.movi(Reg::Rsi, 0);
+        a.hypercall(36);
+        a.mov(Reg::R13, Reg::Rax); // stash
+        a.movi(Reg::Rdi, 2);
+        a.movi(Reg::Rsi, 6); // no such domain
+        a.hypercall(36);
+        a.jmp(lay::guest_text(0) + 6 * 8);
+    });
+    run_hypercalls(&mut plat, 2);
+    assert_eq!(plat.machine.cpu(0).get(Reg::R13), 1, "getinfo returns nr_vcpus");
+    assert_eq!(guest_rax(&plat.machine) as i64, -3, "ESRCH for unknown domain");
+}
+
+#[test]
+fn set_callbacks_installs_trap_handler() {
+    let handler = lay::guest_text(0) + 0x400;
+    let mut plat = platform_with_guest(move |a| {
+        a.movi(Reg::Rdi, handler as i64);
+        a.movi(Reg::Rsi, handler as i64);
+        a.hypercall(4);
+        a.jmp(lay::guest_text(0) + 3 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    let installed =
+        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::TRAP_HANDLER * 8).unwrap();
+    assert_eq!(installed, handler);
+}
+
+#[test]
+fn stack_switch_updates_guest_rsp() {
+    let new_rsp = lay::guest_data(0) + 0x8000;
+    let mut plat = platform_with_guest(move |a| {
+        a.movi(Reg::Rdi, new_rsp as i64);
+        a.hypercall(3);
+        a.jmp(lay::guest_text(0) + 2 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    assert_eq!(plat.machine.cpu(0).rsp(), new_rsp, "guest resumed on the new stack");
+}
+
+#[test]
+fn multicall_accumulates_work_units() {
+    let args = lay::guest_data(0) + 0x100;
+    let mut plat = platform_with_guest(move |a| {
+        // Fill the batch with known sub-call numbers first.
+        a.movi(Reg::R9, args as i64);
+        a.movi(Reg::R8, 5);
+        a.store(Reg::R9, 0, Reg::R8);
+        a.store(Reg::R9, 8, Reg::R8);
+        a.movi(Reg::Rdi, args as i64);
+        a.movi(Reg::Rsi, 2);
+        a.hypercall(13);
+        a.jmp(lay::guest_text(0) + 7 * 8);
+    });
+    run_hypercalls(&mut plat, 1);
+    let work = plat.machine.mem.peek(lay::pcpu_addr(0) + lay::pcpu::WORK * 8).unwrap();
+    assert_eq!(work, 10, "two sub-calls of 5 work units each");
+}
+
+#[test]
+fn sched_op_compat_aliases_sched_op() {
+    // Hypercall 6 must behave exactly like hypercall 29 (yield).
+    let run = |nr: u8| {
+        let mut plat = platform_with_guest(move |a| {
+            a.movi(Reg::Rdi, 0);
+            a.hypercall(nr);
+            a.jmp(lay::guest_text(0) + 2 * 8);
+        });
+        run_hypercalls(&mut plat, 1);
+        guest_rax(&plat.machine)
+    };
+    assert_eq!(run(6), run(29));
+}
+
+#[test]
+fn hvm_op_param_round_trip() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 0); // set
+        a.movi(Reg::Rsi, 3); // param 3
+        a.movi(Reg::Rdx, 0xABCD);
+        a.hypercall(34);
+        a.movi(Reg::Rdi, 1); // get
+        a.movi(Reg::Rsi, 3);
+        a.hypercall(34);
+        a.jmp(lay::guest_text(0) + 7 * 8);
+    });
+    run_hypercalls(&mut plat, 2);
+    assert_eq!(guest_rax(&plat.machine), 0xABCD);
+}
+
+#[test]
+fn get_debugreg_reads_back_set_debugreg() {
+    let mut plat = platform_with_guest(|a| {
+        a.movi(Reg::Rdi, 2);
+        a.movi(Reg::Rsi, 0x5150);
+        a.hypercall(8); // set dr2
+        a.movi(Reg::Rdi, 2);
+        a.hypercall(9); // get dr2
+        a.jmp(lay::guest_text(0) + 6 * 8);
+    });
+    run_hypercalls(&mut plat, 2);
+    assert_eq!(guest_rax(&plat.machine), 0x5150);
+}

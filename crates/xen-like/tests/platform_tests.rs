@@ -1,0 +1,220 @@
+//! End-to-end platform tests: boot the hypervisor, run a real guest, and
+//! drive full activations (VM exit → handler → VM entry).
+
+use sim_asm::Asm;
+use sim_machine::{ExitReason, Machine, Mode, Reg, Vector, VirtMode};
+use xen_like::layout as lay;
+use xen_like::platform::{ActivationOutcome, NullMonitor};
+use xen_like::{DomainSpec, Platform, Topology};
+
+/// A guest that loops: ALU work, xen_version hypercall, evtchn send, cpuid.
+fn load_pv_guest(m: &mut Machine, dom: usize) {
+    let base = lay::guest_text(dom);
+    let mut a = Asm::new(base);
+    a.global("guest_entry");
+    a.movi(Reg::Rbx, 0); // iteration counter
+    a.label("loop");
+    // Some ALU work.
+    a.movi(Reg::Rcx, 7);
+    a.label("work");
+    a.addi(Reg::Rbx, 3);
+    a.subi(Reg::Rcx, 1);
+    a.cmpi(Reg::Rcx, 0);
+    a.jne("work");
+    // xen_version hypercall.
+    a.hypercall(17);
+    // event_channel_op send on port 5.
+    a.movi(Reg::Rdi, 0); // cmd = send
+    a.movi(Reg::Rsi, 5); // port
+    a.hypercall(32);
+    // cpuid with leaf 2 (PV: traps via #GP).
+    a.movi(Reg::Rax, 2);
+    a.cpuid();
+    a.jmp("loop");
+    let img = a.assemble().unwrap();
+    m.mem.load_image(base, &img.words).unwrap();
+}
+
+fn pv_platform(doms: usize) -> Platform {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }; doms],
+        virt_mode: VirtMode::Para,
+        seed: 99,
+        cycle_model: Default::default(),
+    };
+    let (mut p, _img) = Platform::new(topo);
+    for d in 0..doms {
+        load_pv_guest(&mut p.machine, d);
+    }
+    p
+}
+
+#[test]
+fn boot_enters_first_guest() {
+    let mut p = pv_platform(2);
+    let out = p.boot(0, &mut NullMonitor);
+    assert_eq!(out, ActivationOutcome::Resumed);
+    let c = p.machine.cpu(0);
+    assert_eq!(c.mode, Mode::Guest { dom: 0, vcpu: 0 });
+    assert_eq!(c.rip, lay::guest_text(0));
+}
+
+#[test]
+fn hypercall_xen_version_returns_to_guest() {
+    let mut p = pv_platform(1);
+    p.boot(0, &mut NullMonitor);
+    // First activation should be the xen_version hypercall (the guest's
+    // first exit) unless a timer fires first — run until we see it.
+    for _ in 0..50 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "unexpected outcome {:?}", act.outcome);
+        if act.reason == ExitReason::Hypercall(17) {
+            // After resume the guest's RAX holds the version.
+            assert_eq!(p.machine.cpu(0).get(Reg::Rax), 0x0004_0102);
+            assert!(act.handler_insns > 0);
+            return;
+        }
+    }
+    panic!("xen_version hypercall never observed");
+}
+
+#[test]
+fn pv_cpuid_is_emulated_to_match_hardware_model() {
+    let mut p = pv_platform(1);
+    p.boot(0, &mut NullMonitor);
+    for _ in 0..100 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "outcome {:?}", act.outcome);
+        if act.reason == ExitReason::Exception(Vector::GeneralProtection) {
+            let expect = Machine::cpuid_model(2);
+            let c = p.machine.cpu(0);
+            assert_eq!(c.get(Reg::Rax), expect[0], "emulated eax");
+            assert_eq!(c.get(Reg::Rbx), expect[1], "emulated ebx");
+            assert_eq!(c.get(Reg::Rcx), expect[2], "emulated ecx");
+            assert_eq!(c.get(Reg::Rdx), expect[3], "emulated edx");
+            return;
+        }
+    }
+    panic!("cpuid #GP exit never observed");
+}
+
+#[test]
+fn evtchn_send_sets_pending_bit() {
+    let mut p = pv_platform(1);
+    p.boot(0, &mut NullMonitor);
+    for _ in 0..50 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+        if act.reason == ExitReason::Hypercall(32) {
+            let chan = p.machine.mem.peek(lay::evtchn_addr(0) + 5 * 8).unwrap();
+            assert_eq!(chan & lay::evtchn::PENDING_BIT, 1, "port 5 pending");
+            return;
+        }
+    }
+    panic!("evtchn hypercall never observed");
+}
+
+#[test]
+fn timer_tick_advances_wallclock_and_guest_time() {
+    let mut p = pv_platform(1);
+    p.irq.tick_period = 20_000; // fast ticks for the test
+    p.boot(0, &mut NullMonitor);
+    let wc0 = p.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+    let mut ticks = 0;
+    for _ in 0..200 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "outcome {:?}", act.outcome);
+        if act.reason == ExitReason::ApicInterrupt(0) {
+            ticks += 1;
+            if ticks >= 3 {
+                break;
+            }
+        }
+    }
+    assert!(ticks >= 3, "timer never fired enough: {ticks}");
+    let wc1 = p.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+    assert!(wc1 >= wc0 + 3, "wallclock did not advance: {wc0} -> {wc1}");
+    // Guest-visible time page updated with an even (stable) version.
+    let ver = p.machine.mem.peek(lay::shared_addr(0) + lay::shared::TIME_VERSION * 8).unwrap();
+    assert!(ver > 0 && ver % 2 == 0, "time version protocol broken: {ver}");
+    let st = p.machine.mem.peek(lay::shared_addr(0) + lay::shared::SYSTEM_TIME * 8).unwrap();
+    assert!(st >= wc1 * 1000 - 2000, "system time not updated: {st}");
+}
+
+#[test]
+fn thousand_fault_free_activations_stay_healthy() {
+    let mut p = pv_platform(2);
+    p.irq.tick_period = 50_000;
+    p.irq.dev_irq_period = 120_000;
+    p.boot(0, &mut NullMonitor);
+    let acts = p.run(0, 1000, &mut NullMonitor);
+    assert_eq!(acts.len(), 1000, "hypervisor died early: {:?}", acts.last().unwrap().outcome);
+    for act in &acts {
+        assert!(act.outcome.is_healthy(), "{:?} failed: {:?}", act.reason, act.outcome);
+    }
+    // The mix should include hypercalls, exceptions (cpuid) and interrupts.
+    let hypercalls = acts.iter().filter(|a| matches!(a.reason, ExitReason::Hypercall(_))).count();
+    let exceptions = acts.iter().filter(|a| matches!(a.reason, ExitReason::Exception(_))).count();
+    let irqs = acts
+        .iter()
+        .filter(|a| {
+            matches!(a.reason, ExitReason::ApicInterrupt(_) | ExitReason::DeviceInterrupt(_))
+        })
+        .count();
+    assert!(hypercalls > 100, "hypercalls: {hypercalls}");
+    assert!(exceptions > 50, "exceptions: {exceptions}");
+    assert!(irqs > 5, "irqs: {irqs}");
+}
+
+#[test]
+fn scheduler_round_robins_two_domains_on_one_cpu() {
+    let mut p = pv_platform(2);
+    p.irq.tick_period = 20_000;
+    p.boot(0, &mut NullMonitor);
+    let mut seen_dom = [false; 2];
+    for _ in 0..2000 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "outcome {:?}", act.outcome);
+        if let Mode::Guest { dom, .. } = p.machine.cpu(0).mode {
+            seen_dom[dom as usize] = true;
+        }
+        if seen_dom[0] && seen_dom[1] {
+            return;
+        }
+    }
+    panic!("both domains never ran: {seen_dom:?}");
+}
+
+#[test]
+fn hvm_guest_cpuid_exits_and_is_emulated() {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Hvm,
+        seed: 7,
+        cycle_model: Default::default(),
+    };
+    let (mut p, _img) = Platform::new(topo);
+    load_pv_guest(&mut p.machine, 0); // same guest; cpuid now exits directly
+    p.boot(0, &mut NullMonitor);
+    for _ in 0..100 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "outcome {:?}", act.outcome);
+        if act.reason == ExitReason::CpuidExit {
+            let expect = Machine::cpuid_model(2);
+            assert_eq!(p.machine.cpu(0).get(Reg::Rax), expect[0]);
+            return;
+        }
+    }
+    panic!("cpuid exit never observed");
+}
+
+#[test]
+fn guest_cycles_accumulate_between_exits() {
+    let mut p = pv_platform(1);
+    p.boot(0, &mut NullMonitor);
+    let act = p.run_activation(0, &mut NullMonitor);
+    assert!(act.guest_cycles > 0, "guest ran before the exit");
+    assert!(act.handler_cycles > act.handler_insns, "cycles include memory costs");
+}

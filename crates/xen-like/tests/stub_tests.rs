@@ -1,0 +1,169 @@
+//! Entry/return stub correctness: the save/restore machinery must be a
+//! perfect round trip for guest register state, and the scheduler must
+//! rotate fairly — the properties the fault-injection campaign perturbs.
+
+use sim_asm::Asm;
+use sim_machine::{ExitReason, Mode, Reg, VirtMode};
+use xen_like::layout as lay;
+use xen_like::platform::NullMonitor;
+use xen_like::{DomainSpec, Platform, Topology};
+
+fn guest_with_all_registers_distinct() -> Platform {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Para,
+        seed: 77,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let base = lay::guest_text(0);
+    let mut a = Asm::new(base);
+    // Give every register (except rsp, which must stay a valid stack) a
+    // distinctive value, then hypercall and spin.
+    let regs = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+    for (i, r) in regs.iter().enumerate() {
+        a.movi(*r, 0x1111 * (i as i64 + 1));
+    }
+    a.hypercall(21); // vm_assist: does not touch guest registers besides rax
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    plat.machine.mem.load_image(base, &img.words).unwrap();
+    plat
+}
+
+/// Every guest register except RAX (the hypercall return) must survive a
+/// full exit → handler → entry round trip bit-exact.
+#[test]
+fn stubs_round_trip_all_guest_registers() {
+    let mut plat = guest_with_all_registers_distinct();
+    plat.boot(0, &mut NullMonitor);
+    // Run until the vm_assist hypercall completes.
+    for _ in 0..20 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+        if act.reason == ExitReason::Hypercall(21) {
+            break;
+        }
+    }
+    let c = plat.machine.cpu(0);
+    let expect = [
+        (Reg::Rcx, 2u64),
+        (Reg::Rdx, 3),
+        (Reg::Rbx, 4),
+        (Reg::Rbp, 5),
+        (Reg::Rsi, 6),
+        (Reg::Rdi, 7),
+        (Reg::R8, 8),
+        (Reg::R9, 9),
+        (Reg::R10, 10),
+        (Reg::R11, 11),
+        (Reg::R12, 12),
+        (Reg::R13, 13),
+        (Reg::R14, 14),
+        (Reg::R15, 15),
+    ];
+    for (r, k) in expect {
+        assert_eq!(c.get(r), 0x1111 * k, "register {r} corrupted by the stubs");
+    }
+    assert_eq!(c.get(Reg::Rax), 0, "vm_assist returns 0 in rax");
+    assert!(matches!(c.mode, Mode::Guest { dom: 0, .. }));
+}
+
+/// Two runnable VCPUs on one CPU must both receive time slices under the
+/// round-robin scheduler (driven by SCHED softirqs).
+#[test]
+fn scheduler_shares_cpu_between_vcpus() {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }, DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Para,
+        seed: 5,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    for d in 0..2 {
+        let base = lay::guest_text(d);
+        let mut a = Asm::new(base);
+        // Each guest counts bursts into its own data word and yields.
+        a.label("loop");
+        a.movi(Reg::R9, (lay::guest_data(d) + 17 * 8) as i64);
+        a.load(Reg::R8, Reg::R9, 0);
+        a.addi(Reg::R8, 1);
+        a.store(Reg::R9, 0, Reg::R8);
+        a.movi(Reg::Rdi, 0);
+        a.hypercall(29); // sched_op yield
+        a.jmp("loop");
+        let img = a.assemble().unwrap();
+        plat.machine.mem.load_image(base, &img.words).unwrap();
+    }
+    plat.boot(0, &mut NullMonitor);
+    for _ in 0..200 {
+        assert!(plat.run_activation(0, &mut NullMonitor).outcome.is_healthy());
+    }
+    let count0 = plat.machine.mem.peek(lay::guest_data(0) + 17 * 8).unwrap();
+    let count1 = plat.machine.mem.peek(lay::guest_data(1) + 17 * 8).unwrap();
+    assert!(count0 > 5, "dom0 starved: {count0}");
+    assert!(count1 > 5, "dom1 starved: {count1}");
+    let ratio = count0 as f64 / count1 as f64;
+    assert!((0.3..3.4).contains(&ratio), "unfair split: {count0} vs {count1}");
+}
+
+/// The idle path engages when no VCPU is runnable, and the CPU comes back
+/// when an interrupt wakes a VCPU.
+#[test]
+fn idle_and_wakeup_cycle() {
+    let topo = Topology {
+        nr_cpus: 1,
+        domains: vec![DomainSpec { nr_vcpus: 1 }],
+        virt_mode: VirtMode::Para,
+        seed: 13,
+        cycle_model: Default::default(),
+    };
+    let (mut plat, _) = Platform::new(topo);
+    let base = lay::guest_text(0);
+    let mut a = Asm::new(base);
+    // Arm a near-future timer, then block.
+    a.movi(Reg::Rdi, 3); // deadline at wallclock tick 3
+    a.hypercall(15);
+    a.movi(Reg::Rdi, 1); // sched_op block
+    a.hypercall(29);
+    a.movi(Reg::R13, 0xA3ACE);
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    plat.machine.mem.load_image(base, &img.words).unwrap();
+    plat.irq.tick_period = 50_000;
+    plat.boot(0, &mut NullMonitor);
+    let mut went_idle = false;
+    for _ in 0..600 {
+        let act = plat.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy(), "died: {:?}", act.outcome);
+        if plat.is_idle(0) {
+            went_idle = true;
+        }
+        if went_idle && !plat.is_idle(0) {
+            // Woken up again: the timer fired and the scheduler picked the
+            // VCPU back up.
+            return;
+        }
+    }
+    panic!("idle/wake cycle never completed (went_idle={went_idle})");
+}

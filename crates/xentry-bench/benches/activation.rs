@@ -1,0 +1,32 @@
+//! Platform throughput: wall-clock cost of one hypervisor activation
+//! (guest burst + VM exit + handler + VM entry) per workload model.
+//!
+//! This is the simulator-side counterpart of Fig. 3: benchmarks with higher
+//! activation frequencies spend proportionally more wall-clock per unit of
+//! guest work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guest_sim::{workload_platform, Benchmark};
+use sim_machine::VirtMode;
+use xen_like::NullMonitor;
+
+fn bench_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation");
+    group.sample_size(20);
+    for b in [Benchmark::Freqmine, Benchmark::Postmark, Benchmark::Bzip2] {
+        // Campaign-scaled kernels keep each iteration short.
+        let mut plat = workload_platform(b, VirtMode::Para, 2, 1, 24, 7);
+        plat.boot(1, &mut NullMonitor);
+        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &b, |bench, _| {
+            bench.iter(|| {
+                let act = plat.run_activation(1, &mut NullMonitor);
+                assert!(act.outcome.is_healthy());
+                act.handler_insns
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activation);
+criterion_main!(benches);

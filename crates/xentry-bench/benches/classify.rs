@@ -1,0 +1,50 @@
+//! VM-transition classification cost: the in-hypervisor hot-path work.
+//!
+//! The paper chose trees precisely because "the decision making process is
+//! a set of simple integer comparisons" — classification must cost tens of
+//! nanoseconds, not the microseconds an SVM would.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+use xentry::{FeatureVec, VmTransitionDetector, FEATURE_NAMES};
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(&FEATURE_NAMES);
+    for i in 0..n as u64 {
+        let vmer = i % 91;
+        let rt = 800 + (i * 37) % 900;
+        let label = if (i * 13) % 10 == 0 { Label::Incorrect } else { Label::Correct };
+        let rt = if label == Label::Incorrect { rt + 2500 } else { rt };
+        ds.push(Sample::new(vec![vmer, rt, rt / 6, rt / 5, 30 + i % 9], label));
+    }
+    ds
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    let ds = synthetic_dataset(8000);
+    let rt = DecisionTree::train(&ds, &TrainConfig::random_tree(5, 1));
+    let dt = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+    let det = VmTransitionDetector::new(rt.clone());
+    let f = FeatureVec { vmer: 17, rt: 1200, br: 200, rm: 240, wm: 33 };
+
+    group.bench_function(BenchmarkId::from_parameter("random_tree"), |b| {
+        b.iter(|| rt.classify(std::hint::black_box(&f.columns())))
+    });
+    group.bench_function(BenchmarkId::from_parameter("decision_tree"), |b| {
+        b.iter(|| dt.classify(std::hint::black_box(&f.columns())))
+    });
+    group.bench_function(BenchmarkId::from_parameter("detector_end_to_end"), |b| {
+        b.iter(|| det.classify(std::hint::black_box(&f)))
+    });
+
+    // Training cost (offline, but worth tracking).
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("train_random_tree_8k"), |b| {
+        b.iter(|| DecisionTree::train(&ds, &TrainConfig::random_tree(5, 1)).nr_nodes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

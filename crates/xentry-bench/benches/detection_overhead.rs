@@ -1,0 +1,40 @@
+//! Fig. 7 / Fig. 11 in microbenchmark form: per-activation cost of the
+//! platform under the NullMonitor baseline, the runtime-only shim, the full
+//! shim, and the full shim with recovery support. The virtual-cycle
+//! overheads these configurations charge are what the `figures` binary
+//! reports; this bench shows they also track real wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guest_sim::{workload_platform, Benchmark};
+use sim_machine::VirtMode;
+use xen_like::NullMonitor;
+use xentry::{Xentry, XentryConfig};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_overhead");
+    group.sample_size(20);
+    let b = Benchmark::Postmark; // the paper's worst-case overhead workload
+
+    group.bench_function(BenchmarkId::from_parameter("baseline"), |bench| {
+        let mut plat = workload_platform(b, VirtMode::Para, 2, 1, 24, 7);
+        plat.boot(1, &mut NullMonitor);
+        bench.iter(|| plat.run_activation(1, &mut NullMonitor).handler_cycles)
+    });
+
+    for (name, cfg) in [
+        ("runtime_only", XentryConfig::runtime_only()),
+        ("full", XentryConfig::overhead()),
+        ("full_with_recovery", XentryConfig::with_recovery()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |bench| {
+            let mut plat = workload_platform(b, VirtMode::Para, 2, 1, 24, 7);
+            let mut shim = Xentry::new(cfg, None);
+            plat.boot(1, &mut shim);
+            bench.iter(|| plat.run_activation(1, &mut shim).handler_cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

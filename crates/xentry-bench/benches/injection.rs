@@ -1,0 +1,54 @@
+//! Fault-injection throughput: cost of one complete injection experiment
+//! (snapshot + golden run + faulty run + differencing + consequence
+//! classification). The paper's 30,000-injection campaigns are only
+//! practical because this unit stays in the low milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultsim::{inject, prepare_point, CampaignConfig, InjectionSpec};
+use guest_sim::Benchmark;
+use sim_machine::cpu::FlipTarget;
+use sim_machine::Reg;
+use xentry::Xentry;
+
+fn bench_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection");
+    group.sample_size(20);
+
+    let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, 5);
+    let mut plat = faultsim::campaign_platform(&cfg, 5);
+    let mut collector = Xentry::collector();
+    plat.boot(1, &mut collector);
+    for _ in 0..40 {
+        plat.run_activation(1, &mut collector);
+    }
+    let (reason, _) = plat.run_to_exit(1);
+    let point = prepare_point(plat.clone(), 1, 1, reason, cfg.post_window, None)
+        .expect("healthy golden run");
+
+    group.bench_function(BenchmarkId::from_parameter("prepare_point"), |b| {
+        b.iter(|| {
+            prepare_point(plat.clone(), 1, 1, reason, cfg.post_window, None).is_some()
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("single_injection"), |b| {
+        let mut bit = 0u8;
+        b.iter(|| {
+            bit = bit.wrapping_add(7) % 64;
+            let spec = InjectionSpec {
+                target: FlipTarget::Gpr(Reg::Rcx),
+                bit,
+                at_step: (bit as u64 * 13) % point.golden_len.max(1),
+            };
+            inject(&point, spec, None).outcome.detected()
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("platform_snapshot"), |b| {
+        b.iter(|| plat.snapshot().machine.nr_cpus())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

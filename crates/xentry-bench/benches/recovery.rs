@@ -1,0 +1,47 @@
+//! Recovery-path microbenchmarks: the critical-state copy (the operation
+//! the paper prices at 1,900 ns) and a full detect-restore-reexecute cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultsim::{attempt_recovery, prepare_point, CampaignConfig, InjectionSpec};
+use guest_sim::Benchmark;
+use sim_machine::cpu::FlipTarget;
+use xentry::{CriticalState, Xentry};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(20);
+
+    let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, 5);
+    let mut plat = faultsim::campaign_platform(&cfg, 5);
+    let mut shim = Xentry::collector();
+    plat.boot(1, &mut shim);
+    for _ in 0..40 {
+        plat.run_activation(1, &mut shim);
+    }
+    let (reason, _) = plat.run_to_exit(1);
+
+    group.bench_function(BenchmarkId::from_parameter("critical_state_capture"), |b| {
+        b.iter(|| CriticalState::capture(&plat.machine, 1).size_words())
+    });
+
+    let snap = CriticalState::capture(&plat.machine, 1);
+    let mut scratch = plat.clone();
+    group.bench_function(BenchmarkId::from_parameter("critical_state_restore"), |b| {
+        b.iter(|| snap.restore(&mut scratch.machine))
+    });
+
+    let point = prepare_point(plat.clone(), 1, 1, reason, 6, None).expect("golden run");
+    group.bench_function(BenchmarkId::from_parameter("detect_restore_reexecute"), |b| {
+        b.iter(|| {
+            attempt_recovery(
+                &point,
+                InjectionSpec { target: FlipTarget::Rip, bit: 42, at_step: point.golden_len / 2 },
+                None,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerate every table and figure of the Xentry paper.
+//!
+//! ```text
+//! figures [--quick|--paper] [--out DIR] [experiments...]
+//!
+//! experiments: fig3 table1 ml fig7 injection fig11 ablation   (default: all)
+//!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
+//! ```
+//!
+//! Text renderings go to stdout; JSON artifacts to `--out` (default
+//! `results/`).
+
+use guest_sim::Benchmark;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use xentry_bench::pipeline::Scale;
+use xentry_bench::*;
+
+fn write_json<T: serde::Serialize>(dir: &PathBuf, name: &str, value: &T) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    eprintln!("[figures] wrote {path:?}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out = PathBuf::from("results");
+    let mut wanted: HashSet<String> = HashSet::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--paper" => scale = Scale::paper(),
+            "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
+            other if !other.starts_with("--") => {
+                wanted.insert(other.to_string());
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    let all = wanted.is_empty();
+    let want = |k: &str| all || wanted.contains(k);
+    let benchmarks = Benchmark::ALL;
+    let seed = 2014; // the paper's year, for reproducibility of artifacts
+
+    println!("== Xentry evaluation harness (scale: {scale:?}) ==\n");
+
+    if want("table1") {
+        let t1 = table1_features();
+        println!("{}", t1.render());
+        write_json(&out, "table1", &t1);
+    }
+
+    if want("fig3") {
+        let t = std::time::Instant::now();
+        let fig3 = fig3_activation_frequency(&scale, seed);
+        println!("{}", fig3.render());
+        eprintln!("[figures] fig3 took {:?}\n", t.elapsed());
+        write_json(&out, "fig3", &fig3);
+    }
+
+    // The detector is needed by the injection and recovery experiments.
+    let detector = if want("ml") || want("injection") || want("fig11") || want("extensions") {
+        let t = std::time::Instant::now();
+        let (det, ml) = ml_accuracy(&benchmarks, &scale, seed);
+        println!("{}", ml.render());
+        eprintln!("[figures] training took {:?}\n", t.elapsed());
+        write_json(&out, "ml_accuracy", &ml);
+        std::fs::create_dir_all(&out).expect("create output dir");
+        std::fs::write(out.join("detector.json"), det.to_json()).expect("write detector");
+        Some(det)
+    } else {
+        None
+    };
+
+    if want("fig7") {
+        let t = std::time::Instant::now();
+        let fig7 = fig7_overhead(&scale, seed);
+        println!("{}", fig7.render());
+        eprintln!("[figures] fig7 took {:?}\n", t.elapsed());
+        write_json(&out, "fig7", &fig7);
+    }
+
+    if want("injection") {
+        let det = detector.as_ref().expect("detector trained");
+        let t = std::time::Instant::now();
+        let inj = injection_evaluation(&benchmarks, det, &scale, seed);
+        println!("{}", inj.render_fig8());
+        println!("{}", inj.render_fig9());
+        println!("{}", inj.render_fig10());
+        println!("{}", inj.render_table2());
+        eprintln!("[figures] injection campaigns took {:?}\n", t.elapsed());
+        write_json(&out, "injection", &inj);
+    }
+
+    if want("fig11") {
+        let det = detector.as_ref().expect("detector trained");
+        let t = std::time::Instant::now();
+        let fig11 = fig11_recovery_overhead(det, &scale, seed);
+        println!("{}", fig11.render());
+        eprintln!("[figures] fig11 took {:?}\n", t.elapsed());
+        write_json(&out, "fig11", &fig11);
+    }
+
+    if want("extensions") {
+        let det = detector.as_ref();
+        let t = std::time::Instant::now();
+        let rec = recovery_feasibility(
+            &[Benchmark::Freqmine, Benchmark::Postmark],
+            det,
+            &scale,
+            seed,
+        );
+        println!("{}", rec.render());
+        write_json(&out, "ext_recovery", &rec);
+        let vuln = register_vulnerability(Benchmark::Freqmine, det, &scale, seed);
+        println!("{}", vuln.render());
+        write_json(&out, "ext_vulnerability", &vuln);
+        let forest = forest_comparison(&[Benchmark::Freqmine], &scale, seed);
+        println!("{}", forest.render());
+        write_json(&out, "ext_forest", &forest);
+        let multibit = multibit_comparison(Benchmark::Freqmine, 2, det, &scale, seed);
+        println!("{}", multibit.render());
+        write_json(&out, "ext_multibit", &multibit);
+        let envelope = envelope_comparison(&[Benchmark::Freqmine], &scale, seed);
+        println!("{}", envelope.render());
+        write_json(&out, "ext_envelope", &envelope);
+        eprintln!("[figures] extensions took {:?}\n", t.elapsed());
+    }
+
+    if want("ablation") {
+        let t = std::time::Instant::now();
+        let ab = ablations(&[Benchmark::Freqmine, Benchmark::Postmark], &scale, seed);
+        println!("{}", ab.render());
+        eprintln!("[figures] ablations took {:?}\n", t.elapsed());
+        write_json(&out, "ablation", &ab);
+    }
+
+    println!("done.");
+}

@@ -1,0 +1,176 @@
+//! The train-then-deploy pipeline shared by all evaluation experiments.
+//!
+//! Mirrors the paper's §III-B workflow: run fault-injection campaigns on
+//! the simulator to gather labeled samples, train a decision tree and a
+//! random tree offline (WEKA stand-in), compare their accuracy, and deploy
+//! the random tree (the paper selects it for its slightly higher accuracy)
+//! into the Xentry shim for the evaluation campaigns.
+
+use faultsim::{collect_correct_samples, dataset_from_records, run_campaign, CampaignConfig};
+use guest_sim::Benchmark;
+use mltree::{evaluate, ConfusionMatrix, Dataset, DecisionTree, Label, TrainConfig};
+use serde::{Deserialize, Serialize};
+use xentry::{VmTransitionDetector, FEATURE_NAMES};
+
+/// Sizing of the experiment suite.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Injections per benchmark in the training campaign.
+    pub train_injections: usize,
+    /// Fault-free samples per benchmark for the training set.
+    pub train_correct: usize,
+    /// Injections per benchmark in the evaluation campaign.
+    pub eval_injections: usize,
+    /// Repetitions of the overhead experiments (paper: 10).
+    pub overhead_runs: usize,
+    /// Guest work per overhead run, in kernel bursts.
+    pub overhead_bursts: u64,
+    /// Fig. 3: number of sampled windows.
+    pub rate_windows: usize,
+    /// Fig. 3: window length in virtual seconds.
+    pub rate_window_secs: f64,
+}
+
+impl Scale {
+    /// Fast smoke-test scale (CI-sized).
+    pub fn quick() -> Scale {
+        Scale {
+            train_injections: 1200,
+            train_correct: 1500,
+            eval_injections: 800,
+            overhead_runs: 2,
+            overhead_bursts: 600,
+            rate_windows: 6,
+            rate_window_secs: 0.004,
+        }
+    }
+
+    /// Paper-shaped scale: totals comparable to the paper's 23,400 training
+    /// and 30,000 evaluation injections across the benchmark suite.
+    pub fn paper() -> Scale {
+        Scale {
+            train_injections: 4000,
+            train_correct: 4000,
+            eval_injections: 5000,
+            overhead_runs: 10,
+            overhead_bursts: 1500,
+            rate_windows: 30,
+            rate_window_secs: 0.01,
+        }
+    }
+}
+
+/// Oversampling factor for incorrect training samples (class rebalancing;
+/// the detector must not drown the rare incorrect class).
+pub const OVERSAMPLE_INCORRECT: usize = 8;
+
+/// Outcome of model training: both trees, their test metrics, and the
+/// dataset sizes (the paper reports 12,024 training / 6,596 test samples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    pub train_samples: usize,
+    pub train_correct: usize,
+    pub train_incorrect: usize,
+    pub test_samples: usize,
+    pub random_tree: ConfusionMatrix,
+    pub decision_tree: ConfusionMatrix,
+    pub random_tree_nodes: usize,
+    pub decision_tree_nodes: usize,
+    pub random_tree_depth: usize,
+    pub decision_tree_depth: usize,
+}
+
+/// Gather a labeled dataset across benchmarks (campaign + fault-free runs).
+pub fn gather_dataset(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> Dataset {
+    let mut ds = Dataset::new(&FEATURE_NAMES);
+    for (i, &b) in benchmarks.iter().enumerate() {
+        let cfg = CampaignConfig::paper(b, scale.train_injections, seed + i as u64 * 101);
+        let res = run_campaign(&cfg, None);
+        for s in dataset_from_records(&res.records).samples {
+            ds.push(s);
+        }
+        for s in collect_correct_samples(&cfg, scale.train_correct, seed + i as u64 * 101 + 7)
+            .samples
+        {
+            ds.push(s);
+        }
+    }
+    ds
+}
+
+/// Oversample the incorrect class (training-set rebalancing).
+pub fn rebalance(train: &Dataset, factor: usize) -> Dataset {
+    let mut out = Dataset::new(&FEATURE_NAMES);
+    for s in &train.samples {
+        let n = if s.label == Label::Incorrect { factor } else { 1 };
+        for _ in 0..n {
+            out.push(s.clone());
+        }
+    }
+    out
+}
+
+/// Train both tree flavours and evaluate on a held-out split.
+pub fn train_models(ds: &Dataset, seed: u64) -> (DecisionTree, DecisionTree, TrainingReport) {
+    let (train, test) = ds.split(3);
+    let balanced = rebalance(&train, OVERSAMPLE_INCORRECT);
+    let rt = DecisionTree::train(&balanced, &TrainConfig::random_tree(ds.nr_features(), seed));
+    let dt = DecisionTree::train(&balanced, &TrainConfig::decision_tree());
+    let cm_rt = evaluate(&rt, &test);
+    let cm_dt = evaluate(&dt, &test);
+    let (c, i) = train.class_counts();
+    let report = TrainingReport {
+        train_samples: train.len(),
+        train_correct: c,
+        train_incorrect: i,
+        test_samples: test.len(),
+        random_tree: cm_rt,
+        decision_tree: cm_dt,
+        random_tree_nodes: rt.nr_nodes(),
+        decision_tree_nodes: dt.nr_nodes(),
+        random_tree_depth: rt.depth(),
+        decision_tree_depth: dt.depth(),
+    };
+    (rt, dt, report)
+}
+
+/// Full pipeline: gather, train, deploy the random tree.
+pub fn train_detector(
+    benchmarks: &[Benchmark],
+    scale: &Scale,
+    seed: u64,
+) -> (VmTransitionDetector, TrainingReport) {
+    let ds = gather_dataset(benchmarks, scale, seed);
+    let (rt, _dt, report) = train_models(&ds, seed);
+    (VmTransitionDetector::new(rt), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_trains_a_usable_detector() {
+        let scale = Scale {
+            train_injections: 700,
+            train_correct: 900,
+            ..Scale::quick()
+        };
+        let (det, report) = train_detector(&[Benchmark::Freqmine], &scale, 3);
+        assert!(report.train_samples > 700);
+        assert!(report.train_incorrect > 0, "campaign must produce incorrect samples");
+        assert!(report.random_tree.accuracy() > 0.8, "rt acc {}", report.random_tree.accuracy());
+        assert!(det.nr_nodes() > 3);
+    }
+
+    #[test]
+    fn rebalance_multiplies_only_incorrect() {
+        let mut ds = Dataset::new(&FEATURE_NAMES);
+        ds.push(mltree::Sample::new(vec![1, 2, 3, 4, 5], Label::Correct));
+        ds.push(mltree::Sample::new(vec![9, 9, 9, 9, 9], Label::Incorrect));
+        let r = rebalance(&ds, 5);
+        let (c, i) = r.class_counts();
+        assert_eq!(c, 1);
+        assert_eq!(i, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! The VM-transition detector: a trained tree deployed behind an
+//! integer-compare interface.
+
+use crate::features::{FeatureVec, FEATURE_NAMES};
+use mltree::{DecisionTree, Label};
+use serde::{Deserialize, Serialize};
+
+/// A deployable VM-transition classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmTransitionDetector {
+    tree: DecisionTree,
+}
+
+impl VmTransitionDetector {
+    /// Wrap a trained tree. The tree must have been trained on the five
+    /// Table-I features in canonical order.
+    pub fn new(tree: DecisionTree) -> VmTransitionDetector {
+        assert_eq!(
+            tree.feature_names,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            "detector tree must use the Table-I feature layout"
+        );
+        VmTransitionDetector { tree }
+    }
+
+    /// Classify one hypervisor execution.
+    pub fn classify(&self, f: &FeatureVec) -> Label {
+        self.tree.classify(&f.columns())
+    }
+
+    /// Comparisons needed to classify `f` (the in-hypervisor cost).
+    pub fn classify_cost(&self, f: &FeatureVec) -> usize {
+        self.tree.classify_cost(&f.columns())
+    }
+
+    /// Model statistics for reporting.
+    pub fn depth(&self) -> usize {
+        self.tree.depth()
+    }
+
+    /// Node count.
+    pub fn nr_nodes(&self) -> usize {
+        self.tree.nr_nodes()
+    }
+
+    /// The underlying rules (Fig. 6-style dump).
+    pub fn dump_rules(&self) -> String {
+        self.tree.dump_rules()
+    }
+
+    /// The underlying tree (used by the code generator).
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Serialize to JSON (the train-offline / deploy-in-hypervisor split).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("detector serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<VmTransitionDetector, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltree::{Dataset, Sample, TrainConfig};
+
+    fn toy_detector() -> VmTransitionDetector {
+        let mut d = Dataset::new(&FEATURE_NAMES);
+        // Executions of VMER 17 normally retire < 100 instructions;
+        // longer ones are incorrect.
+        for i in 0..50u64 {
+            d.push(Sample::new(vec![17, 40 + i % 30, 5, 3, 2], Label::Correct));
+            d.push(Sample::new(vec![17, 200 + i, 25, 9, 6], Label::Incorrect));
+        }
+        VmTransitionDetector::new(DecisionTree::train(&d, &TrainConfig::decision_tree()))
+    }
+
+    #[test]
+    fn classifies_by_learned_threshold() {
+        let det = toy_detector();
+        let ok = FeatureVec { vmer: 17, rt: 55, br: 5, rm: 3, wm: 2 };
+        let bad = FeatureVec { vmer: 17, rt: 230, br: 25, rm: 9, wm: 6 };
+        assert_eq!(det.classify(&ok), Label::Correct);
+        assert_eq!(det.classify(&bad), Label::Incorrect);
+        assert!(det.classify_cost(&ok) >= 1);
+        assert!(det.depth() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table-I feature layout")]
+    fn rejects_mismatched_feature_names() {
+        let d = Dataset::new(&["bogus"]);
+        let mut d2 = d;
+        d2.push(Sample::new(vec![1], Label::Correct));
+        d2.push(Sample::new(vec![2], Label::Incorrect));
+        let tree = DecisionTree::train(&d2, &TrainConfig::decision_tree());
+        VmTransitionDetector::new(tree);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let det = toy_detector();
+        let back = VmTransitionDetector::from_json(&det.to_json()).unwrap();
+        let f = FeatureVec { vmer: 17, rt: 230, br: 25, rm: 9, wm: 6 };
+        assert_eq!(back.classify(&f), det.classify(&f));
+    }
+}

@@ -1,0 +1,160 @@
+//! A non-ML baseline detector: per-exit-reason feature envelopes.
+//!
+//! The paper argues that identifying incorrect control flow needs a
+//! *learned* classifier rather than simple validity checks. The natural
+//! straw-man in between is an anomaly envelope: record, per VM exit reason,
+//! the min/max of each counter over fault-free executions, and flag
+//! anything outside. It needs no labeled incorrect samples (a practical
+//! advantage over the tree), but it cannot exploit cross-feature structure
+//! or tolerate rare-but-legal outliers — the comparison the `extensions`
+//! experiment quantifies.
+
+use crate::features::FeatureVec;
+use mltree::Label;
+use serde::{Deserialize, Serialize};
+use sim_machine::ExitReason;
+
+/// Per-feature \[min, max\] bounds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Bounds {
+    min: [u64; 4],
+    max: [u64; 4],
+    samples: u64,
+}
+
+impl Bounds {
+    fn new() -> Bounds {
+        Bounds { min: [u64::MAX; 4], max: [0; 4], samples: 0 }
+    }
+
+    fn absorb(&mut self, f: &FeatureVec) {
+        let cols = [f.rt, f.br, f.rm, f.wm];
+        for i in 0..4 {
+            self.min[i] = self.min[i].min(cols[i]);
+            self.max[i] = self.max[i].max(cols[i]);
+        }
+        self.samples += 1;
+    }
+
+    fn contains(&self, f: &FeatureVec, slack: u64) -> bool {
+        let cols = [f.rt, f.br, f.rm, f.wm];
+        (0..4).all(|i| {
+            cols[i].saturating_add(slack) >= self.min[i]
+                && cols[i] <= self.max[i].saturating_add(slack)
+        })
+    }
+}
+
+/// The envelope detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvelopeDetector {
+    per_vmer: Vec<Bounds>,
+    /// Tolerance added to both envelope edges (absolute counter units).
+    pub slack: u64,
+    /// Minimum fault-free samples before a VMER's envelope is trusted;
+    /// under-sampled reasons always pass (avoids FPs on rare exits).
+    pub min_samples: u64,
+}
+
+impl EnvelopeDetector {
+    /// Empty detector.
+    pub fn new(slack: u64, min_samples: u64) -> EnvelopeDetector {
+        EnvelopeDetector {
+            per_vmer: vec![Bounds::new(); ExitReason::VMER_COUNT as usize],
+            slack,
+            min_samples,
+        }
+    }
+
+    /// Learn from one fault-free execution.
+    pub fn absorb(&mut self, f: &FeatureVec) {
+        if let Some(b) = self.per_vmer.get_mut(f.vmer as usize) {
+            b.absorb(f);
+        }
+    }
+
+    /// Learn from a batch of fault-free executions.
+    pub fn train(trace: &[FeatureVec], slack: u64, min_samples: u64) -> EnvelopeDetector {
+        let mut d = EnvelopeDetector::new(slack, min_samples);
+        for f in trace {
+            d.absorb(f);
+        }
+        d
+    }
+
+    /// Classify: outside the learned envelope ⇒ incorrect.
+    pub fn classify(&self, f: &FeatureVec) -> Label {
+        match self.per_vmer.get(f.vmer as usize) {
+            Some(b) if b.samples >= self.min_samples => {
+                if b.contains(f, self.slack) {
+                    Label::Correct
+                } else {
+                    Label::Incorrect
+                }
+            }
+            // Unknown or under-sampled exit reason: fail open.
+            _ => Label::Correct,
+        }
+    }
+
+    /// Number of exit reasons with a trusted envelope.
+    pub fn trained_vmers(&self) -> usize {
+        self.per_vmer.iter().filter(|b| b.samples >= self.min_samples).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(vmer: u16, rt: u64) -> FeatureVec {
+        FeatureVec { vmer, rt, br: rt / 5, rm: rt / 4, wm: 30 }
+    }
+
+    #[test]
+    fn flags_out_of_envelope_executions() {
+        let trace: Vec<FeatureVec> = (0..50).map(|i| fv(17, 1000 + i)).collect();
+        let d = EnvelopeDetector::train(&trace, 10, 5);
+        assert_eq!(d.classify(&fv(17, 1025)), Label::Correct);
+        assert_eq!(d.classify(&fv(17, 990)), Label::Correct, "within slack");
+        assert_eq!(d.classify(&fv(17, 3000)), Label::Incorrect);
+        assert_eq!(d.classify(&fv(17, 100)), Label::Incorrect);
+    }
+
+    #[test]
+    fn undersampled_reasons_fail_open() {
+        let trace = vec![fv(5, 800)];
+        let d = EnvelopeDetector::train(&trace, 0, 5);
+        assert_eq!(d.classify(&fv(5, 99_999)), Label::Correct, "1 sample < min 5");
+        assert_eq!(d.trained_vmers(), 0);
+    }
+
+    #[test]
+    fn unknown_vmer_fails_open() {
+        let d = EnvelopeDetector::new(0, 1);
+        assert_eq!(d.classify(&fv(88, 1234)), Label::Correct);
+    }
+
+    #[test]
+    fn envelopes_are_per_reason() {
+        let mut trace = Vec::new();
+        trace.extend((0..20).map(|i| fv(17, 500 + i)));
+        trace.extend((0..20).map(|i| fv(32, 2000 + i)));
+        let d = EnvelopeDetector::train(&trace, 0, 5);
+        assert_eq!(d.trained_vmers(), 2);
+        // A value normal for vmer 32 is anomalous for vmer 17.
+        assert_eq!(d.classify(&fv(17, 2010)), Label::Incorrect);
+        assert_eq!(d.classify(&fv(32, 2010)), Label::Correct);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace: Vec<FeatureVec> = (0..30).map(|i| fv(3, 700 + i * 2)).collect();
+        let d = EnvelopeDetector::train(&trace, 5, 5);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: EnvelopeDetector = serde_json::from_str(&json).unwrap();
+        for probe in [fv(3, 710), fv(3, 7000)] {
+            assert_eq!(back.classify(&probe), d.classify(&probe));
+        }
+    }
+}

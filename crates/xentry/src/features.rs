@@ -1,0 +1,89 @@
+//! The five Table-I features of the VM-transition detector.
+//!
+//! | Feature | Source | Synonym |
+//! |---|---|---|
+//! | VM exit reason | Xentry shim | `VMER` |
+//! | # committed instructions | `INST_RETIRED` | `RT` |
+//! | # branch instructions | `BR_INST_RETIRED` | `BR` |
+//! | # read memory accesses | `MEM_INST_RETIRED.LOADS` | `RM` |
+//! | # write memory accesses | `MEM_INST_RETIRED.STORES` | `WM` |
+
+use mltree::{Label, Sample};
+use serde::{Deserialize, Serialize};
+use sim_machine::PerfCounters;
+
+/// Feature synonyms in canonical column order.
+pub const FEATURE_NAMES: [&str; 5] = ["VMER", "RT", "BR", "RM", "WM"];
+
+/// One feature vector describing a hypervisor execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureVec {
+    /// Dense VM-exit-reason code.
+    pub vmer: u16,
+    /// Retired instructions during the handler.
+    pub rt: u64,
+    /// Retired branches.
+    pub br: u64,
+    /// Memory loads.
+    pub rm: u64,
+    /// Memory stores.
+    pub wm: u64,
+}
+
+impl FeatureVec {
+    /// Assemble from the exit reason code and a stopped PMC sample.
+    pub fn from_sample(vmer: u16, s: sim_machine::perf::PerfSample) -> FeatureVec {
+        FeatureVec { vmer, rt: s.inst_retired, br: s.branches, rm: s.loads, wm: s.stores }
+    }
+
+    /// Column vector in [`FEATURE_NAMES`] order.
+    pub fn columns(&self) -> [u64; 5] {
+        [self.vmer as u64, self.rt, self.br, self.rm, self.wm]
+    }
+
+    /// Convert into a labeled training sample.
+    pub fn into_sample(self, label: Label) -> Sample {
+        Sample::new(self.columns().to_vec(), label)
+    }
+}
+
+/// Convenience: drain a PMU into a feature vector.
+pub fn collect(vmer: u16, perf: &mut PerfCounters) -> FeatureVec {
+    FeatureVec::from_sample(vmer, perf.stop())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_follow_table_one_order() {
+        let f = FeatureVec { vmer: 17, rt: 100, br: 20, rm: 30, wm: 10 };
+        assert_eq!(f.columns(), [17, 100, 20, 30, 10]);
+        assert_eq!(FEATURE_NAMES.len(), 5);
+        assert_eq!(FEATURE_NAMES[0], "VMER");
+    }
+
+    #[test]
+    fn pmu_drain_produces_features() {
+        let mut p = PerfCounters::new();
+        p.start();
+        p.record(true, 1, 0); // a branch with one load
+        p.record(false, 0, 1); // a store
+        let f = collect(42, &mut p);
+        assert_eq!(f.vmer, 42);
+        assert_eq!(f.rt, 2);
+        assert_eq!(f.br, 1);
+        assert_eq!(f.rm, 1);
+        assert_eq!(f.wm, 1);
+        assert!(!p.enabled(), "collection stops the PMU");
+    }
+
+    #[test]
+    fn sample_conversion_keeps_label() {
+        let f = FeatureVec { vmer: 1, rt: 2, br: 3, rm: 4, wm: 5 };
+        let s = f.into_sample(Label::Incorrect);
+        assert_eq!(s.features, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.label, Label::Incorrect);
+    }
+}

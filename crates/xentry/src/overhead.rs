@@ -1,0 +1,165 @@
+//! Performance-overhead measurement (Fig. 7 and Fig. 11 methodology).
+//!
+//! The paper runs each benchmark ten times on unmodified Xen and on
+//! Xen+Xentry and compares run times. We reproduce that by running the
+//! same workload (same seed, same guest program) to a fixed amount of
+//! *guest work* — a target number of completed kernel bursts — under a
+//! `NullMonitor` baseline and under the Xentry shim, and comparing the
+//! cycles consumed.
+
+use crate::shim::{Xentry, XentryConfig};
+use guest_sim::{guest_addrs, workload_platform, Benchmark};
+use sim_machine::VirtMode;
+use xen_like::{Monitor, NullMonitor, Platform};
+
+/// Result of one overhead comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadResult {
+    /// Baseline cycles to complete the work.
+    pub baseline_cycles: u64,
+    /// Cycles with the shim enabled.
+    pub shim_cycles: u64,
+    /// Relative overhead (e.g. 0.025 = 2.5%).
+    pub overhead: f64,
+}
+
+/// Run `plat` on `cpu` until domain `dom` completes `bursts` kernel bursts;
+/// returns cycles consumed. Panics if the platform dies (these are
+/// fault-free runs).
+pub fn run_until_bursts<M: Monitor>(
+    plat: &mut Platform,
+    cpu: usize,
+    dom: usize,
+    bursts: u64,
+    monitor: &mut M,
+) -> u64 {
+    let ga = guest_addrs(dom);
+    if !plat.is_booted(cpu) {
+        plat.boot(cpu, monitor);
+    }
+    let start = plat.machine.cpu(cpu).cycles;
+    loop {
+        let done = plat.machine.mem.peek(ga.iter_count).expect("guest data mapped");
+        if done >= bursts {
+            break;
+        }
+        let act = plat.run_activation(cpu, monitor);
+        assert!(act.outcome.is_healthy(), "fault-free run died: {:?}", act.outcome);
+    }
+    plat.machine.cpu(cpu).cycles - start
+}
+
+/// Parameters of one overhead experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadSetup {
+    pub benchmark: Benchmark,
+    pub mode: VirtMode,
+    /// Guest kernel scale divider (1 = paper-calibrated rates).
+    pub kernel_scale: u64,
+    /// Guest work per run, in kernel bursts.
+    pub bursts: u64,
+    pub seed: u64,
+}
+
+/// Measure overhead of `config` for one run.
+pub fn measure_overhead(setup: &OverheadSetup, config: XentryConfig) -> OverheadResult {
+    measure_overhead_with(setup, || Xentry::new(config, None))
+}
+
+/// Measure overhead with a custom shim factory (e.g. with a deployed
+/// detector so classification costs include real tree traversals).
+pub fn measure_overhead_with<F: Fn() -> Xentry>(
+    setup: &OverheadSetup,
+    make_shim: F,
+) -> OverheadResult {
+    // Dom 1 on CPU 1 (pinned), Dom0 on CPU 0 (quiescent in this setup).
+    let mut base =
+        workload_platform(setup.benchmark, setup.mode, 2, 1, setup.kernel_scale, setup.seed);
+    let baseline_cycles = run_until_bursts(&mut base, 1, 1, setup.bursts, &mut NullMonitor);
+
+    let mut plat =
+        workload_platform(setup.benchmark, setup.mode, 2, 1, setup.kernel_scale, setup.seed);
+    let mut shim = make_shim();
+    let shim_cycles = run_until_bursts(&mut plat, 1, 1, setup.bursts, &mut shim);
+
+    let overhead = shim_cycles as f64 / baseline_cycles as f64 - 1.0;
+    OverheadResult { baseline_cycles, shim_cycles, overhead }
+}
+
+/// Summary over repeated runs (the paper reports average and maximum of
+/// ten runs).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadSummary {
+    pub avg: f64,
+    pub max: f64,
+}
+
+/// Repeat the measurement `runs` times with varied seeds, one worker
+/// thread per run (runs are fully independent platforms).
+pub fn measure_overhead_repeated(
+    setup: &OverheadSetup,
+    config: XentryConfig,
+    runs: usize,
+) -> OverheadSummary {
+    let values: Vec<f64> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..runs)
+            .map(|r| {
+                let setup = OverheadSetup { seed: setup.seed + 1000 * r as u64, ..*setup };
+                s.spawn(move |_| measure_overhead(&setup, config).overhead)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("overhead run panicked")).collect()
+    })
+    .expect("overhead scope");
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    OverheadSummary { avg, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_setup(benchmark: Benchmark) -> OverheadSetup {
+        OverheadSetup {
+            benchmark,
+            mode: VirtMode::Para,
+            kernel_scale: 4,
+            bursts: 1500,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn overhead_is_small_and_positive() {
+        let r = measure_overhead(&quick_setup(Benchmark::Bzip2), XentryConfig::overhead());
+        assert!(r.overhead > 0.0, "shim work must cost something: {}", r.overhead);
+        assert!(r.overhead < 0.08, "overhead out of band: {}", r.overhead);
+    }
+
+    #[test]
+    fn runtime_only_is_cheaper_than_full() {
+        let setup = quick_setup(Benchmark::Postmark);
+        let full = measure_overhead(&setup, XentryConfig::overhead());
+        let rt = measure_overhead(&setup, XentryConfig::runtime_only());
+        assert!(
+            rt.overhead < full.overhead,
+            "runtime-only {} should undercut full {}",
+            rt.overhead,
+            full.overhead
+        );
+    }
+
+    #[test]
+    fn io_heavy_workload_pays_more_than_cpu_bound() {
+        // Fig. 7's shape: postmark (exit-hungry) worst, bzip2 best.
+        let post = measure_overhead(&quick_setup(Benchmark::Postmark), XentryConfig::overhead());
+        let bzip = measure_overhead(&quick_setup(Benchmark::Bzip2), XentryConfig::overhead());
+        assert!(
+            post.overhead > 2.0 * bzip.overhead,
+            "postmark {} should dominate bzip2 {}",
+            post.overhead,
+            bzip.overhead
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Recovery support: the §VI mechanism, made concrete.
+//!
+//! "We assume that the recovery techniques will preserve the critical
+//! hypervisor data (e.g. VCPU and domain information) and the VM exit
+//! reason by making a redundant copy at every VM exit. If there is a
+//! positive detection (correct or false), these critical data and the VM
+//! exit reason will be restored and the hypervisor execution is
+//! re-initiated."
+//!
+//! [`CriticalState`] is that redundant copy: the current VCPU descriptor,
+//! its domain descriptor, the PCPU block, the VMCS (which holds the exit
+//! reason), and the architectural register file at VM exit. Restoring it
+//! and re-entering the hypervisor at the exit trampoline re-initiates the
+//! execution — since soft errors are transient, the re-execution is
+//! fault-free. The copy is sized so its cost matches the paper's measured
+//! 1,900 ns.
+
+use serde::{Deserialize, Serialize};
+use sim_machine::{CpuId, Machine, Reg};
+use xen_like::layout as lay;
+
+/// The redundant copy captured at a VM exit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalState {
+    cpu: CpuId,
+    /// Address and contents of the current VCPU descriptor.
+    vcpu_addr: u64,
+    vcpu_words: Vec<u64>,
+    /// Address and contents of the owning domain descriptor.
+    domain_addr: u64,
+    domain_words: Vec<u64>,
+    /// The PCPU block (current-VCPU pointer, softirq bits, ...).
+    pcpu_words: Vec<u64>,
+    /// The VMCS block: guest RIP/RSP/RFLAGS + exit reason + qualification.
+    vmcs_words: Vec<u64>,
+    /// Architectural registers at exit (the guest state the entry stub is
+    /// about to save).
+    regs: [u64; 16],
+    rip: u64,
+    rflags: u64,
+}
+
+fn read_block(m: &Machine, base: u64, words: u64) -> Vec<u64> {
+    (0..words).map(|i| m.mem.peek(base + i * 8).expect("critical block mapped")).collect()
+}
+
+fn write_block(m: &mut Machine, base: u64, words: &[u64]) {
+    for (i, &w) in words.iter().enumerate() {
+        m.mem.poke(base + (i as u64) * 8, w).expect("critical block mapped");
+    }
+}
+
+impl CriticalState {
+    /// Capture the critical copy. Must be called while `cpu` sits at its VM
+    /// exit point (host entry trampoline, VMCS filled) — exactly where the
+    /// shim's `on_vm_exit` hook runs.
+    pub fn capture(m: &Machine, cpu: CpuId) -> CriticalState {
+        let pcpu_addr = lay::pcpu_addr(cpu);
+        let vcpu_addr = m.mem.peek(pcpu_addr + lay::pcpu::CURRENT_VCPU * 8).expect("pcpu mapped");
+        let domain_addr =
+            m.mem.peek(vcpu_addr + lay::vcpu::DOM_PTR * 8).expect("vcpu descriptor mapped");
+        let vmcs_addr = m.config.vmcs_field(cpu, 0);
+        let c = m.cpu(cpu);
+        let mut regs = [0u64; 16];
+        for r in Reg::ALL {
+            regs[r.index()] = c.get(r);
+        }
+        CriticalState {
+            cpu,
+            vcpu_addr,
+            vcpu_words: read_block(m, vcpu_addr, lay::vcpu::STRIDE),
+            domain_addr,
+            domain_words: read_block(m, domain_addr, lay::domain::STRIDE),
+            pcpu_words: read_block(m, pcpu_addr, lay::pcpu::STRIDE),
+            vmcs_words: read_block(m, vmcs_addr, sim_machine::VMCS_WORDS),
+            regs,
+            rip: c.rip,
+            rflags: c.rflags,
+        }
+    }
+
+    /// Restore the copy and re-position the CPU at its exit trampoline so
+    /// the hypervisor execution re-initiates from scratch.
+    pub fn restore(&self, m: &mut Machine) {
+        write_block(m, self.vcpu_addr, &self.vcpu_words);
+        write_block(m, self.domain_addr, &self.domain_words);
+        write_block(m, lay::pcpu_addr(self.cpu), &self.pcpu_words);
+        write_block(m, m.config.vmcs_field(self.cpu, 0), &self.vmcs_words);
+        let c = m.cpu_mut(self.cpu);
+        for r in Reg::ALL {
+            c.set(r, self.regs[r.index()]);
+        }
+        c.rip = self.rip;
+        c.rflags = self.rflags;
+        c.mode = sim_machine::Mode::Host;
+    }
+
+    /// The VM exit reason preserved in the copy.
+    pub fn exit_reason_code(&self) -> u16 {
+        self.vmcs_words[sim_machine::machine::vmcs::EXIT_REASON as usize] as u16
+    }
+
+    /// Size of the copy in words — what the 1,900 ns copy moves.
+    pub fn size_words(&self) -> usize {
+        self.vcpu_words.len()
+            + self.domain_words.len()
+            + self.pcpu_words.len()
+            + self.vmcs_words.len()
+            + 18
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_sim::{workload_platform, Benchmark};
+    use sim_machine::VirtMode;
+    use xen_like::NullMonitor;
+
+    fn platform_at_exit() -> (xen_like::Platform, sim_machine::ExitReason) {
+        let mut plat = workload_platform(Benchmark::Freqmine, VirtMode::Para, 2, 1, 16, 3);
+        plat.boot(1, &mut NullMonitor);
+        for _ in 0..20 {
+            assert!(plat.run_activation(1, &mut NullMonitor).outcome.is_healthy());
+        }
+        let (reason, _) = plat.run_to_exit(1);
+        (plat, reason)
+    }
+
+    #[test]
+    fn capture_preserves_exit_reason() {
+        let (plat, reason) = platform_at_exit();
+        let snap = CriticalState::capture(&plat.machine, 1);
+        assert_eq!(snap.exit_reason_code(), reason.vmer());
+        assert!(snap.size_words() > 100, "copy covers the critical structures");
+    }
+
+    #[test]
+    fn restore_undoes_corruption_and_reexecution_matches_golden() {
+        let (plat, reason) = platform_at_exit();
+        let snap = CriticalState::capture(&plat.machine, 1);
+
+        // Golden: run the handler untouched.
+        let mut golden = plat.clone();
+        let act = golden.run_handler(1, reason, 0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+
+        // Victim: corrupt critical structures mid-"handler" (simulating a
+        // detected fault), then restore and re-initiate.
+        let mut victim = plat.clone();
+        let vcpu = lay::vcpu_addr(lay::MAX_VCPUS_PER_DOM); // dom 1 vcpu 0
+        victim.machine.mem.poke(vcpu + lay::vcpu::SAVE_RIP * 8, 0xBAD_BAD).unwrap();
+        victim.machine.cpu_mut(1).set(Reg::Rax, 0xDEAD);
+        victim.machine.cpu_mut(1).rip = 0x666; // corrupted control flow
+        snap.restore(&mut victim.machine);
+
+        // The restored machine re-executes to the same state as golden.
+        let act2 = victim.run_handler(1, reason, 0, &mut NullMonitor);
+        assert!(act2.outcome.is_healthy(), "re-execution died: {:?}", act2.outcome);
+        assert_eq!(
+            victim.machine.cpu(1).rip,
+            golden.machine.cpu(1).rip,
+            "re-executed guest resume point matches golden"
+        );
+        assert_eq!(
+            victim.machine.mem.peek(vcpu + lay::vcpu::SAVE_RIP * 8).unwrap(),
+            golden.machine.mem.peek(vcpu + lay::vcpu::SAVE_RIP * 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn copy_size_is_consistent_with_1900ns() {
+        // ~170 words = ~1.4 KiB; a cached copy of that size at a few bytes
+        // per cycle is in the right regime for the paper's 1,900 ns
+        // measurement (which also includes locking and bookkeeping).
+        let (plat, _) = platform_at_exit();
+        let snap = CriticalState::capture(&plat.machine, 1);
+        assert!((100..400).contains(&snap.size_words()), "{}", snap.size_words());
+    }
+}

@@ -1,0 +1,90 @@
+//! Runtime detection: fatal-hardware-exception parsing and software
+//! assertions (§III-A).
+//!
+//! "Hardware exceptions should be parsed first to filter out non-fatal
+//! ones" — debug-class exceptions are benign even in host mode, and all
+//! *guest*-raised exceptions arrive as ordinary VM exits handled by the
+//! hypervisor, not through this parser. Everything else raised while the
+//! CPU executes hypervisor code indicates fatal system corruption.
+
+use serde::{Deserialize, Serialize};
+use sim_machine::{Exception, Vector};
+
+/// Verdict of the exception parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExceptionClass {
+    /// Legal during correct execution (single-step debug, breakpoints,
+    /// profiling NMIs): ignored by the detector.
+    Benign,
+    /// Fatal system corruption: report a detection.
+    Fatal,
+}
+
+/// Parse a host-mode hardware exception.
+pub fn classify_exception(e: &Exception) -> ExceptionClass {
+    match e.vector {
+        // Debug-class events occur during legal instrumentation.
+        Vector::Debug | Vector::Breakpoint | Vector::Nmi => ExceptionClass::Benign,
+        // Everything else in host mode is a fatal corruption indicator:
+        // invalid opcode from a corrupted RIP, page faults from corrupted
+        // pointers, #GP/#SS from corrupted descriptors, #DE from corrupted
+        // divisors, machine checks, ...
+        _ => ExceptionClass::Fatal,
+    }
+}
+
+/// The detection technique that caught a fault — the categories of Fig. 8
+/// and Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Fatal hardware exception (runtime detection).
+    HwException,
+    /// Software assertion (runtime detection).
+    SwAssertion,
+    /// VM transition detection (machine-learning classifier at VM entry).
+    VmTransition,
+}
+
+/// One positive detection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Detection {
+    pub technique: Technique,
+    /// Dynamic instruction count at detection time (for latency).
+    pub at_insns: u64,
+    /// Instructions between error activation and detection, when the
+    /// injection point is known (the paper's detection-latency metric).
+    pub latency: Option<u64>,
+    /// Details: exception vector / assertion id / classified VMER.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_machine::exception::AccessKind;
+
+    #[test]
+    fn corruption_signatures_are_fatal() {
+        for v in [
+            Vector::InvalidOpcode,
+            Vector::PageFault,
+            Vector::GeneralProtection,
+            Vector::DivideError,
+            Vector::StackFault,
+            Vector::AlignmentCheck,
+            Vector::MachineCheck,
+            Vector::DoubleFault,
+        ] {
+            let e = Exception::mem(v, 0x1000, 0xdead, AccessKind::Read);
+            assert_eq!(classify_exception(&e), ExceptionClass::Fatal, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn debug_class_is_benign() {
+        for v in [Vector::Debug, Vector::Breakpoint, Vector::Nmi] {
+            let e = Exception::at(v, 0x1000);
+            assert_eq!(classify_exception(&e), ExceptionClass::Benign, "{v:?}");
+        }
+    }
+}

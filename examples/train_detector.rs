@@ -1,0 +1,66 @@
+//! Train the VM-transition detector exactly like the paper's §III-B: run a
+//! fault-injection campaign on the simulator, label samples by golden-run
+//! differencing, train a decision tree AND a random tree, compare, and dump
+//! the deployed rules (the paper's Fig. 6).
+//!
+//! ```text
+//! cargo run --release --bin train_detector [injections]
+//! ```
+
+use faultsim::{collect_correct_samples, dataset_from_records, run_campaign, CampaignConfig};
+use guest_sim::Benchmark;
+use mltree::{evaluate, Dataset, DecisionTree, Label, TrainConfig};
+use xentry::{VmTransitionDetector, FEATURE_NAMES};
+
+fn main() {
+    let injections: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    // Phase 1: fault injections + fault-free runs -> labeled dataset.
+    println!("running {injections} training injections on the freqmine workload...");
+    let cfg = CampaignConfig::paper(Benchmark::Freqmine, injections, 42);
+    let res = run_campaign(&cfg, None);
+    let mut ds = dataset_from_records(&res.records);
+    for s in collect_correct_samples(&cfg, injections, 7).samples {
+        ds.push(s);
+    }
+    let (correct, incorrect) = ds.class_counts();
+    println!("dataset: {} samples ({correct} correct / {incorrect} incorrect)\n", ds.len());
+
+    // Phase 2: train both algorithms (the paper compares them and picks the
+    // random tree). Incorrect samples are oversampled 8x for class balance.
+    let (train, test) = ds.split(3);
+    let mut balanced = Dataset::new(&FEATURE_NAMES);
+    for s in &train.samples {
+        let k = if s.label == Label::Incorrect { 8 } else { 1 };
+        for _ in 0..k {
+            balanced.push(s.clone());
+        }
+    }
+    let random_tree = DecisionTree::train(&balanced, &TrainConfig::random_tree(5, 1));
+    let decision_tree = DecisionTree::train(&balanced, &TrainConfig::decision_tree());
+    for (name, tree) in [("random tree", &random_tree), ("decision tree", &decision_tree)] {
+        let cm = evaluate(tree, &test);
+        println!(
+            "{name:<14} accuracy {:.1}%  FP rate {:.2}%  detection rate {:.1}%  ({} nodes, depth {})",
+            100.0 * cm.accuracy(),
+            100.0 * cm.false_positive_rate(),
+            100.0 * cm.detection_rate(),
+            tree.nr_nodes(),
+            tree.depth()
+        );
+    }
+
+    // Phase 3: deploy. The detector serializes to JSON — the offline-train /
+    // in-hypervisor-deploy split of the paper's workflow.
+    let detector = VmTransitionDetector::new(random_tree);
+    let json = detector.to_json();
+    std::fs::write("detector.json", &json).expect("write detector.json");
+    println!("\ndeployed model written to detector.json ({} bytes)", json.len());
+    println!("\nFig. 6 — first rules of the deployed tree:");
+    for line in detector.dump_rules().lines().take(16) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end integration: the full paper pipeline at smoke scale.
+//!
+//! Boot the platform → run workloads → fault-injection campaign → train the
+//! VM-transition detector → deploy it → verify the deployed system detects
+//! more than the runtime-only baseline and never flags fault-free runs
+//! beyond its measured false-positive rate.
+
+use faultsim::{coverage_breakdown, dataset_from_records, run_campaign, CampaignConfig};
+use guest_sim::Benchmark;
+use mltree::{evaluate, DecisionTree, Label, TrainConfig};
+use xentry::{VmTransitionDetector, Xentry, XentryConfig, FEATURE_NAMES};
+
+fn small_campaign(seed: u64, n: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig::paper(Benchmark::Freqmine, n, seed);
+    cfg.threads = 2;
+    cfg.warmup = 30;
+    cfg
+}
+
+#[test]
+fn full_pipeline_improves_coverage() {
+    // Phase A: gather training data without a detector.
+    let cfg = small_campaign(11, 800);
+    let res = run_campaign(&cfg, None);
+    let mut ds = dataset_from_records(&res.records);
+    for s in faultsim::collect_correct_samples(&cfg, 1000, 5).samples {
+        ds.push(s);
+    }
+    let (train, test) = ds.split(3);
+    // Oversample the rare incorrect class.
+    let mut balanced = mltree::Dataset::new(&FEATURE_NAMES);
+    for s in &train.samples {
+        let k = if s.label == Label::Incorrect { 8 } else { 1 };
+        for _ in 0..k {
+            balanced.push(s.clone());
+        }
+    }
+    let tree = DecisionTree::train(&balanced, &TrainConfig::random_tree(5, 1));
+    let cm = evaluate(&tree, &test);
+    assert!(cm.accuracy() > 0.85, "tree accuracy {:.3}", cm.accuracy());
+    assert!(cm.false_positive_rate() < 0.08, "fp {:.3}", cm.false_positive_rate());
+
+    // Phase B: evaluation with and without the deployed detector.
+    let det = VmTransitionDetector::new(tree);
+    let base = run_campaign(&small_campaign(77, 800), None);
+    let with = run_campaign(&small_campaign(77, 800), Some(&det));
+    let cov_base = coverage_breakdown(&base.records);
+    let cov_with = coverage_breakdown(&with.records);
+    assert!(cov_with.vm_transition > 0, "detector caught nothing");
+    assert!(
+        cov_with.coverage() >= cov_base.coverage(),
+        "deploying the detector must not reduce coverage: {} vs {}",
+        cov_with.coverage(),
+        cov_base.coverage()
+    );
+    // Paper shape: hardware exceptions dominate both ways.
+    assert!(
+        cov_with.hw_exception * 2 > cov_with.manifested,
+        "hw exceptions should dominate: {cov_with:?}"
+    );
+}
+
+#[test]
+fn fault_free_run_with_detector_stays_healthy() {
+    // A deployed detector must not break a fault-free platform; its
+    // positives (false positives here) only cost recovery.
+    let cfg = small_campaign(3, 10);
+    let res = run_campaign(&cfg, None);
+    let mut ds = dataset_from_records(&res.records);
+    for s in faultsim::collect_correct_samples(&cfg, 600, 9).samples {
+        ds.push(s);
+    }
+    let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(5, 2));
+    let det = VmTransitionDetector::new(tree);
+
+    let mut plat = faultsim::campaign_platform(&cfg, 123);
+    let mut shim = Xentry::new(XentryConfig::overhead(), Some(det));
+    plat.boot(1, &mut shim);
+    let acts = plat.run(1, 500, &mut shim);
+    assert_eq!(acts.len(), 500, "died: {:?}", acts.last().unwrap().outcome);
+    let fp_rate = shim.positives as f64 / shim.classified.max(1) as f64;
+    assert!(fp_rate < 0.05, "fault-free positive rate too high: {fp_rate}");
+}
+
+#[test]
+fn campaign_is_deterministic_per_seed_single_threaded() {
+    let mut cfg = small_campaign(42, 60);
+    cfg.threads = 1;
+    let a = run_campaign(&cfg, None);
+    let b = run_campaign(&cfg, None);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(b.records.iter()) {
+        assert_eq!(format!("{:?}", x.outcome), format!("{:?}", y.outcome));
+        assert_eq!(x.vmer, y.vmer);
+        assert_eq!(x.bit, y.bit);
+    }
+}

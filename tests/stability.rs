@@ -1,0 +1,112 @@
+//! Long-run stability invariants.
+//!
+//! The paper's software assertions are only usable as error signals because
+//! "error-free executions should not trigger any of these assertions" —
+//! the central invariant this suite hammers: long fault-free runs across
+//! every benchmark and both virtualization modes must never fire an
+//! assertion, never take a host-mode exception, and never hang.
+
+use guest_sim::{workload_platform, Benchmark};
+use sim_machine::VirtMode;
+use xentry::{Technique, Xentry, XentryConfig};
+
+/// 4,000 activations per (benchmark, mode) with full detection attached:
+/// zero runtime-detection events allowed.
+#[test]
+fn fault_free_runs_never_trigger_runtime_detection() {
+    for mode in [VirtMode::Para, VirtMode::Hvm] {
+        for b in Benchmark::ALL {
+            let mut plat = workload_platform(b, mode, 2, 1, 16, 1234);
+            let mut shim = Xentry::new(XentryConfig::detection(), None);
+            plat.boot(1, &mut shim);
+            let acts = plat.run(1, 4000, &mut shim);
+            assert_eq!(
+                acts.len(),
+                4000,
+                "{} {mode:?}: died at {} with {:?}",
+                b.name(),
+                acts.len(),
+                acts.last().unwrap().outcome
+            );
+            let rt_detections = shim
+                .detections
+                .iter()
+                .filter(|d| {
+                    matches!(d.technique, Technique::HwException | Technique::SwAssertion)
+                })
+                .count();
+            assert_eq!(
+                rt_detections,
+                0,
+                "{} {mode:?}: runtime detection fired on a fault-free run: {:?}",
+                b.name(),
+                shim.detections
+            );
+        }
+    }
+}
+
+/// An SMP domain: two VCPUs of one guest pinned to two CPUs both make
+/// progress and the shared burst counter advances from both sides.
+#[test]
+fn smp_domain_runs_on_two_cpus() {
+    use xen_like::{DomainSpec, Topology};
+    let topo = Topology {
+        nr_cpus: 2,
+        domains: vec![xen_like::DomainSpec { nr_vcpus: 2 }],
+        virt_mode: VirtMode::Para,
+        seed: 9,
+        cycle_model: Default::default(),
+    };
+    let _ = DomainSpec { nr_vcpus: 2 }; // type in scope for clarity
+    let (mut plat, _) = xen_like::Platform::new(topo);
+    let prof = guest_sim::profile(Benchmark::Freqmine, VirtMode::Para).scaled(16);
+    guest_sim::load_workload(&mut plat.machine, 0, &prof);
+
+    let mut m0 = xen_like::NullMonitor;
+    let mut m1 = xen_like::NullMonitor;
+    plat.boot(0, &mut m0);
+    plat.boot(1, &mut m1);
+    // Interleave activations on both CPUs.
+    for _ in 0..400 {
+        let a0 = plat.run_activation(0, &mut m0);
+        assert!(a0.outcome.is_healthy(), "cpu0: {:?}", a0.outcome);
+        let a1 = plat.run_activation(1, &mut m1);
+        assert!(a1.outcome.is_healthy(), "cpu1: {:?}", a1.outcome);
+    }
+    let bursts =
+        plat.machine.mem.peek(guest_sim::guest_addrs(0).iter_count).unwrap();
+    assert!(bursts > 100, "SMP guest made too little progress: {bursts}");
+    // Both VCPUs ran guest code (their save areas differ from boot state).
+    for v in 0..2 {
+        let va = xen_like::layout::vcpu_addr(v);
+        let rip = plat.machine.mem.peek(va + xen_like::layout::vcpu::SAVE_RIP * 8).unwrap();
+        assert_ne!(
+            rip,
+            xen_like::layout::guest_text(0),
+            "vcpu {v} never advanced past its boot entry"
+        );
+    }
+}
+
+/// Device I/O accounting marches forward monotonically under load (the
+/// console stream is the externally visible output the SDC classification
+/// leans on).
+#[test]
+fn console_stream_is_monotone_under_io_load() {
+    let mut plat = workload_platform(Benchmark::Postmark, VirtMode::Para, 2, 1, 8, 3);
+    let mut shim = Xentry::collector();
+    plat.boot(1, &mut shim);
+    let mut last = plat.machine.devices.out_count;
+    let mut grew = 0;
+    for _ in 0..1500 {
+        assert!(plat.run_activation(1, &mut shim).outcome.is_healthy());
+        let now = plat.machine.devices.out_count;
+        assert!(now >= last, "device output went backwards");
+        if now > last {
+            grew += 1;
+        }
+        last = now;
+    }
+    assert!(grew > 200, "console writes too rare for postmark: {grew}");
+}
