@@ -89,7 +89,10 @@ pub fn long_latency_coverage(records: &[InjectionRecord]) -> LongLatencyCoverage
     let mut out = LongLatencyCoverage::default();
     for r in records {
         let (consequence, detected) = match &r.outcome {
-            FaultOutcome::Detected { consequence: Some(c), .. } => (*c, true),
+            FaultOutcome::Detected {
+                consequence: Some(c),
+                ..
+            } => (*c, true),
             FaultOutcome::Undetected { consequence, .. } => (*consequence, false),
             _ => continue,
         };
@@ -139,10 +142,19 @@ impl LatencyData {
 /// `same_activation_only`, restrict to detections that fired before the
 /// faulted activation's VM entry — the paper's Fig. 10 regime ("all these
 /// faults are detected before starting VM executions").
-pub fn latency_data_filtered(records: &[InjectionRecord], same_activation_only: bool) -> LatencyData {
+pub fn latency_data_filtered(
+    records: &[InjectionRecord],
+    same_activation_only: bool,
+) -> LatencyData {
     let mut d = LatencyData::default();
     for r in records {
-        if let FaultOutcome::Detected { technique, latency, same_activation, .. } = &r.outcome {
+        if let FaultOutcome::Detected {
+            technique,
+            latency,
+            same_activation,
+            ..
+        } = &r.outcome
+        {
             if same_activation_only && !same_activation {
                 continue;
             }
@@ -245,7 +257,9 @@ pub fn target_breakdown(records: &[InjectionRecord]) -> Vec<TargetRow> {
     }
     let mut rows: Vec<TargetRow> = map.into_values().collect();
     rows.sort_by(|a, b| {
-        b.manifestation_rate().partial_cmp(&a.manifestation_rate()).unwrap()
+        b.manifestation_rate()
+            .partial_cmp(&a.manifestation_rate())
+            .unwrap()
     });
     rows
 }
@@ -259,7 +273,13 @@ mod tests {
     use xentry::FeatureVec;
 
     fn rec(outcome: FaultOutcome) -> InjectionRecord {
-        let f = FeatureVec { vmer: 1, rt: 10, br: 2, rm: 3, wm: 1 };
+        let f = FeatureVec {
+            vmer: 1,
+            rt: 10,
+            br: 2,
+            rm: 3,
+            wm: 1,
+        };
         InjectionRecord {
             vmer: 1,
             target: FlipTarget::Gpr(Reg::Rax),

@@ -54,7 +54,9 @@ impl CampaignConfig {
             post_window: 6,
             kernel_scale: 24,
             seed,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -71,7 +73,11 @@ pub fn campaign_platform(cfg: &CampaignConfig, seed: u64) -> Platform {
     };
     let (mut plat, _img) = Platform::new(topo);
     let prof = profile(cfg.benchmark, cfg.mode).scaled(cfg.kernel_scale);
-    load_workload(&mut plat.machine, 0, &dom0_profile(cfg.mode).scaled(cfg.kernel_scale));
+    load_workload(
+        &mut plat.machine,
+        0,
+        &dom0_profile(cfg.mode).scaled(cfg.kernel_scale),
+    );
     load_workload(&mut plat.machine, 1, &prof);
     load_workload(&mut plat.machine, 2, &prof);
     plat.irq = IrqProfile {
@@ -98,7 +104,10 @@ impl CampaignResult {
     /// Persist the raw records as JSON (the paper's stored injection
     /// traces; downstream analysis can re-aggregate without re-running).
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, serde_json::to_string(self).expect("records serialize"))
+        std::fs::write(
+            path,
+            serde_json::to_string(self).expect("records serialize"),
+        )
     }
 
     /// Load records saved by [`CampaignResult::save_json`].
@@ -144,8 +153,7 @@ fn run_worker(
         }
         let (reason, _gc) = plat.run_to_exit(cpu);
         let at_exit = plat.clone();
-        let Some(point) = prepare_point(at_exit, cpu, 1, reason, cfg.post_window, detector)
-        else {
+        let Some(point) = prepare_point(at_exit, cpu, 1, reason, cfg.post_window, detector) else {
             // Finish this activation on the live platform and move on.
             plat.run_handler(cpu, reason, 0, &mut collector);
             continue;
@@ -175,19 +183,18 @@ pub fn run_campaign(
     let share = cfg.injections / threads;
     let extra = cfg.injections % threads;
     let mut result = CampaignResult::default();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let cfg = cfg.clone();
                 let n = share + usize::from(w < extra);
-                s.spawn(move |_| run_worker(&cfg, w, n, detector))
+                s.spawn(move || run_worker(&cfg, w, n, detector))
             })
             .collect();
         for h in handles {
             result.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("campaign scope");
+    });
     result
 }
 
@@ -248,26 +255,40 @@ pub fn multibit_study(
     detector: Option<&VmTransitionDetector>,
     seed: u64,
 ) -> (CampaignResult, CampaignResult) {
-    assert!(bits_per_fault >= 2, "use run_campaign for single-bit faults");
+    assert!(
+        bits_per_fault >= 2,
+        "use run_campaign for single-bit faults"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut plat = campaign_platform(cfg, seed);
     let cpu = 1;
     let mut collector = Xentry::collector();
     plat.boot(cpu, &mut collector);
     for _ in 0..cfg.warmup {
-        assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+        assert!(plat
+            .run_activation(cpu, &mut collector)
+            .outcome
+            .is_healthy());
     }
     let mut single = CampaignResult::default();
     let mut multi = CampaignResult::default();
     let targets = FlipTarget::all();
     while single.records.len() < injections {
         for _ in 0..cfg.stride {
-            assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+            assert!(plat
+                .run_activation(cpu, &mut collector)
+                .outcome
+                .is_healthy());
         }
         let (reason, _) = plat.run_to_exit(cpu);
-        let Some(point) =
-            crate::injection::prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
-        else {
+        let Some(point) = crate::injection::prepare_point(
+            plat.clone(),
+            cpu,
+            1,
+            reason,
+            cfg.post_window,
+            detector,
+        ) else {
             plat.run_handler(cpu, reason, 0, &mut collector);
             continue;
         };
@@ -277,7 +298,12 @@ pub fn multibit_study(
             }
             let at_step = rng.gen_range(0..point.golden_len.max(1));
             let flips: Vec<(FlipTarget, u8)> = (0..bits_per_fault)
-                .map(|_| (targets[rng.gen_range(0..targets.len())], rng.gen_range(0..64)))
+                .map(|_| {
+                    (
+                        targets[rng.gen_range(0..targets.len())],
+                        rng.gen_range(0..64),
+                    )
+                })
                 .collect();
             // Same point, same step: the 1-bit fault is the first flip of
             // the k-bit fault, so the comparison is paired.
@@ -315,7 +341,11 @@ mod tests {
         let res = run_campaign(&cfg, None);
         assert_eq!(res.records.len(), 60);
         // A healthy mix: some benign, some detected (exceptions dominate).
-        let benign = res.records.iter().filter(|r| !r.outcome.manifested()).count();
+        let benign = res
+            .records
+            .iter()
+            .filter(|r| !r.outcome.manifested())
+            .count();
         let detected = res.records.iter().filter(|r| r.outcome.detected()).count();
         assert!(benign > 0, "no benign faults in 60 injections?");
         assert!(detected > 0, "no detections in 60 injections?");
@@ -358,7 +388,10 @@ mod tests {
         let ds = dataset_from_records(&res.records);
         assert!(!ds.is_empty());
         let (correct, incorrect) = ds.class_counts();
-        assert!(correct > 0, "benign faults should contribute correct samples");
+        assert!(
+            correct > 0,
+            "benign faults should contribute correct samples"
+        );
         // Incorrect samples appear when faults slip past the handler.
         let _ = incorrect;
     }
@@ -396,8 +429,16 @@ mod tests {
         let cfg = small_cfg();
         let (single, multi) = multibit_study(&cfg, 80, 2, None, 7);
         assert_eq!(single.records.len(), multi.records.len());
-        let m1 = single.records.iter().filter(|r| r.outcome.manifested()).count();
-        let m2 = multi.records.iter().filter(|r| r.outcome.manifested()).count();
+        let m1 = single
+            .records
+            .iter()
+            .filter(|r| r.outcome.manifested())
+            .count();
+        let m2 = multi
+            .records
+            .iter()
+            .filter(|r| r.outcome.manifested())
+            .count();
         // Two simultaneous flips strictly add corruption surface; paired
         // sampling means the 2-bit campaign manifests at least ~as often.
         assert!(
@@ -413,8 +454,16 @@ mod tests {
         cfg.injections = 20;
         let a = run_campaign(&cfg, None);
         let b = run_campaign(&cfg, None);
-        let oa: Vec<_> = a.records.iter().map(|r| format!("{:?}", r.outcome)).collect();
-        let ob: Vec<_> = b.records.iter().map(|r| format!("{:?}", r.outcome)).collect();
+        let oa: Vec<_> = a
+            .records
+            .iter()
+            .map(|r| format!("{:?}", r.outcome))
+            .collect();
+        let ob: Vec<_> = b
+            .records
+            .iter()
+            .map(|r| format!("{:?}", r.outcome))
+            .collect();
         assert_eq!(oa, ob);
     }
 }

@@ -85,7 +85,11 @@ pub fn structural_corruption(golden: &Machine, faulty: &Machine, nr_doms: usize)
     }
     for cpu in 0..lay::MAX_PCPUS {
         let pa = lay::pcpu_addr(cpu);
-        for field in [lay::pcpu::VMCS_PTR, lay::pcpu::RUNQ_PTR, lay::pcpu::IDLE_VCPU] {
+        for field in [
+            lay::pcpu::VMCS_PTR,
+            lay::pcpu::RUNQ_PTR,
+            lay::pcpu::IDLE_VCPU,
+        ] {
             if differs(pa + field * 8) {
                 return true;
             }

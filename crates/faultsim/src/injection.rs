@@ -195,7 +195,10 @@ fn classify_consequence(
         return Some(Consequence::AppSdc);
     }
     if entry_diff.sites.iter().all(|s| {
-        matches!(s, DiffSite::TimeValue | DiffSite::StackOrSaveArea | DiffSite::Vmcs)
+        matches!(
+            s,
+            DiffSite::TimeValue | DiffSite::StackOrSaveArea | DiffSite::Vmcs
+        )
     }) && entry_diff.any_site(&[DiffSite::TimeValue])
     {
         // Wrong time values delivered to the guest: silent data corruption
@@ -231,7 +234,10 @@ fn categorize_undetected(
     // domains" channel.
     let stacky = [DiffSite::StackOrSaveArea, DiffSite::Vmcs];
     if diff.any_site(&[DiffSite::TimeValue])
-        && diff.sites.iter().all(|s| stacky.contains(s) || *s == DiffSite::TimeValue)
+        && diff
+            .sites
+            .iter()
+            .all(|s| stacky.contains(s) || *s == DiffSite::TimeValue)
     {
         return UndetectedCategory::TimeValues;
     }
@@ -260,7 +266,11 @@ pub fn inject_with_flips(
     detector: Option<&xentry::VmTransitionDetector>,
 ) -> InjectionRecord {
     assert!(!flips.is_empty());
-    let spec = InjectionSpec { target: flips[0].0, bit: flips[0].1, at_step };
+    let spec = InjectionSpec {
+        target: flips[0].0,
+        bit: flips[0].1,
+        at_step,
+    };
     let cpu = point.cpu;
     let nr_doms = point.at_exit.topo.domains.len();
     let mut f = point.at_exit.clone();
@@ -385,5 +395,11 @@ pub fn inject_with_flips(
     }
 
     let category = categorize_undetected(&point.golden_features, &faulty_features, &entry_diff);
-    base(FaultOutcome::Undetected { consequence, category }, Some(faulty_features))
+    base(
+        FaultOutcome::Undetected {
+            consequence,
+            category,
+        },
+        Some(faulty_features),
+    )
 }

@@ -22,14 +22,16 @@ pub mod recovery;
 
 pub use analysis::{
     coverage_breakdown, latency_data, latency_data_filtered, long_latency_coverage,
-    target_breakdown, undetected_breakdown,
-    CoverageBreakdown, LatencyData, LongLatencyCoverage, TargetRow, UndetectedBreakdown,
+    target_breakdown, undetected_breakdown, CoverageBreakdown, LatencyData, LongLatencyCoverage,
+    TargetRow, UndetectedBreakdown,
 };
 pub use campaign::{
-    campaign_platform, collect_correct_samples, dataset_from_records, multibit_study,
-    run_campaign, CampaignConfig, CampaignResult,
+    campaign_platform, collect_correct_samples, dataset_from_records, multibit_study, run_campaign,
+    CampaignConfig, CampaignResult,
 };
 pub use golden::{classify_site, diff_machines, DiffSite, StateDiff};
-pub use injection::{inject, inject_with_flips, prepare_point, InjectionPoint, InjectionRecord, InjectionSpec};
+pub use injection::{
+    inject, inject_with_flips, prepare_point, InjectionPoint, InjectionRecord, InjectionSpec,
+};
 pub use outcome::{Consequence, FaultOutcome, UndetectedCategory};
 pub use recovery::{attempt_recovery, recovery_study, RecoveryReport, RecoveryResult};

@@ -70,7 +70,10 @@ pub enum FaultOutcome {
         consequence: Option<Consequence>,
     },
     /// Undetected and harmful.
-    Undetected { consequence: Consequence, category: UndetectedCategory },
+    Undetected {
+        consequence: Consequence,
+        category: UndetectedCategory,
+    },
 }
 
 impl FaultOutcome {

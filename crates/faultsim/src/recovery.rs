@@ -138,18 +138,23 @@ pub fn recovery_study(
     let mut collector = Xentry::collector();
     plat.boot(cpu, &mut collector);
     for _ in 0..cfg.warmup {
-        assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+        assert!(plat
+            .run_activation(cpu, &mut collector)
+            .outcome
+            .is_healthy());
     }
 
     let mut report = RecoveryReport::default();
     let targets = FlipTarget::all();
     while report.injections < injections {
         for _ in 0..cfg.stride {
-            assert!(plat.run_activation(cpu, &mut collector).outcome.is_healthy());
+            assert!(plat
+                .run_activation(cpu, &mut collector)
+                .outcome
+                .is_healthy());
         }
         let (reason, _) = plat.run_to_exit(cpu);
-        let Some(point) =
-            prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
+        let Some(point) = prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
         else {
             plat.run_handler(cpu, reason, 0, &mut collector);
             continue;

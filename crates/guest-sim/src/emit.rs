@@ -79,7 +79,7 @@ fn emit_program(a: &mut Asm, dom: usize, p: &WorkloadProfile) {
     a.lea(Rdi, "trap_handler");
     a.lea(Rsi, "trap_handler");
     a.hypercall(4); // set_callbacks
-    // Initialize workload registers.
+                    // Initialize workload registers.
     a.movi(R11, 0x1234_5678);
     a.movi(R12, chase_addr as i64);
     a.movi(R13, 0x9E37_79B9);
@@ -203,7 +203,7 @@ fn emit_program(a: &mut Asm, dom: usize, p: &WorkloadProfile) {
     a.addi(R8, 8);
     a.store(Rsp, 0, R8);
     a.hypercall(23); // iret restores RIP/RFLAGS/RAX from the frame
-    // iret never returns here; if it does the guest loops safely.
+                     // iret never returns here; if it does the guest loops safely.
     a.jmp("main_loop");
 }
 
@@ -327,22 +327,32 @@ pub fn load_workload(m: &mut Machine, dom: usize, profile: &WorkloadProfile) {
     let mut a = Asm::new(base);
     emit_program(&mut a, dom, profile);
     let img = a.assemble().expect("guest program assembles");
-    assert!(img.len() <= lay::GUEST_TEXT_WORDS, "guest program too large: {}", img.len());
-    m.mem.load_image(base, &img.words).expect("guest text mapped");
+    assert!(
+        img.len() <= lay::GUEST_TEXT_WORDS,
+        "guest program too large: {}",
+        img.len()
+    );
+    m.mem
+        .load_image(base, &img.words)
+        .expect("guest text mapped");
 
     let data = lay::guest_data(dom);
     // Argument area: valid in-window pointers (used by mmu_update /
     // multicall / set_trap_table-style batch calls).
     for i in 0..64u64 {
         let target = data + (guest_layout::SCRATCH + (i % 64)) * 8;
-        m.mem.poke(data + (guest_layout::ARGS + i) * 8, target).expect("args area mapped");
+        m.mem
+            .poke(data + (guest_layout::ARGS + i) * 8, target)
+            .expect("args area mapped");
     }
     // Pointer-chase table: one full permutation cycle (stride 521 is odd,
     // hence coprime with the power-of-two length).
     let chase = data + guest_layout::CHASE * 8;
     for i in 0..guest_layout::CHASE_LEN {
         let next = (i + 521) % guest_layout::CHASE_LEN;
-        m.mem.poke(chase + i * 8, chase + next * 8).expect("chase table mapped");
+        m.mem
+            .poke(chase + i * 8, chase + next * 8)
+            .expect("chase table mapped");
     }
 }
 
@@ -360,7 +370,9 @@ mod tests {
                 let p = profile(b, mode);
                 let mut a = Asm::new(lay::guest_text(1));
                 emit_program(&mut a, 1, &p);
-                let img = a.assemble().unwrap_or_else(|e| panic!("{b:?}/{mode:?}: {e}"));
+                let img = a
+                    .assemble()
+                    .unwrap_or_else(|e| panic!("{b:?}/{mode:?}: {e}"));
                 assert!(img.len() <= lay::GUEST_TEXT_WORDS);
                 assert!(img.symbol("trap_handler").is_some());
             }
@@ -378,7 +390,11 @@ mod tests {
         };
         let (mut plat, _) = Platform::new(topo);
         let prof = profile(Benchmark::Postmark, VirtMode::Para).scaled(10);
-        load_workload(&mut plat.machine, 0, &crate::profile::dom0_profile(VirtMode::Para));
+        load_workload(
+            &mut plat.machine,
+            0,
+            &crate::profile::dom0_profile(VirtMode::Para),
+        );
         load_workload(&mut plat.machine, 1, &prof);
         plat.boot(0, &mut xen_like::NullMonitor);
         let acts = plat.run(0, 400, &mut xen_like::NullMonitor);
@@ -386,8 +402,15 @@ mod tests {
         // The guest made progress: bursts were counted and a checksum was
         // published.
         let ga = guest_addrs(1);
-        assert!(plat.machine.mem.peek(ga.iter_count).unwrap() > 0, "no bursts completed");
-        assert_ne!(plat.machine.mem.peek(ga.result).unwrap(), 0, "no checksum published");
+        assert!(
+            plat.machine.mem.peek(ga.iter_count).unwrap() > 0,
+            "no bursts completed"
+        );
+        assert_ne!(
+            plat.machine.mem.peek(ga.result).unwrap(),
+            0,
+            "no checksum published"
+        );
     }
 
     #[test]

@@ -243,7 +243,7 @@ pub fn profile(benchmark: Benchmark, mode: VirtMode) -> WorkloadProfile {
         })
         .collect();
     let dev_irq_period = match benchmark {
-        Benchmark::Postmark => 260_000,  // heavy I/O completion traffic
+        Benchmark::Postmark => 260_000, // heavy I/O completion traffic
         Benchmark::Freqmine => 420_000,
         Benchmark::X264 => 700_000,
         Benchmark::Mcf | Benchmark::Canneal => 2_600_000,

@@ -30,7 +30,11 @@ pub fn workload_platform(
     };
     let (mut plat, _img) = Platform::new(topo);
     let prof = profile(benchmark, mode).scaled(kernel_scale);
-    load_workload(&mut plat.machine, 0, &dom0_profile(mode).scaled(kernel_scale));
+    load_workload(
+        &mut plat.machine,
+        0,
+        &dom0_profile(mode).scaled(kernel_scale),
+    );
     for d in 1..=nr_guests {
         load_workload(&mut plat.machine, d, &prof);
     }
@@ -80,7 +84,10 @@ pub fn measure_activation_rate(
             count += 1;
         }
         let elapsed = (plat.machine.cpu(cpu).cycles - start) as f64 / hz;
-        out.push(RateSample { rate_hz: count as f64 / elapsed, activations: count });
+        out.push(RateSample {
+            rate_hz: count as f64 / elapsed,
+            activations: count,
+        });
     }
     out
 }
@@ -104,7 +111,13 @@ pub fn rate_stats(samples: &[RateSample]) -> RateStats {
         let idx = ((rates.len() - 1) as f64 * p).round() as usize;
         rates[idx]
     };
-    RateStats { min: rates[0], p25: q(0.25), median: q(0.5), p75: q(0.75), max: rates[rates.len() - 1] }
+    RateStats {
+        min: rates[0],
+        p25: q(0.25),
+        median: q(0.5),
+        p75: q(0.75),
+        max: rates[rates.len() - 1],
+    }
 }
 
 /// Run a platform for `n` activations with a monitor (shared helper).
@@ -126,8 +139,7 @@ mod tests {
 
     #[test]
     fn activation_rate_is_positive_and_stable() {
-        let mut plat =
-            workload_platform(Benchmark::Freqmine, VirtMode::Para, 2, 1, 4, 3);
+        let mut plat = workload_platform(Benchmark::Freqmine, VirtMode::Para, 2, 1, 4, 3);
         let samples = measure_activation_rate(&mut plat, 1, 3, 0.002);
         assert_eq!(samples.len(), 3);
         for s in &samples {
@@ -140,7 +152,10 @@ mod tests {
     fn rate_stats_ordering_holds() {
         let samples: Vec<RateSample> = [5.0, 1.0, 3.0, 2.0, 4.0]
             .iter()
-            .map(|&r| RateSample { rate_hz: r, activations: 1 })
+            .map(|&r| RateSample {
+                rate_hz: r,
+                activations: 1,
+            })
             .collect();
         let st = rate_stats(&samples);
         assert_eq!(st.min, 1.0);
@@ -162,7 +177,11 @@ mod tests {
         let bzip = rate(Benchmark::Bzip2);
         for b in [Benchmark::Freqmine, Benchmark::Postmark] {
             let r = rate(b);
-            assert!(r > 2.5 * bzip, "{} ({r:.0}/s) should dwarf bzip2 ({bzip:.0}/s)", b.name());
+            assert!(
+                r > 2.5 * bzip,
+                "{} ({r:.0}/s) should dwarf bzip2 ({bzip:.0}/s)",
+                b.name()
+            );
         }
     }
 }

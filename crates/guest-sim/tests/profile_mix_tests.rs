@@ -4,8 +4,8 @@
 
 use guest_sim::{load_workload, profile, Action, Benchmark};
 use sim_machine::{ExitReason, Vector, VirtMode};
-use xen_like::{DomainSpec, IrqProfile, NullMonitor, Platform, Topology};
 use std::collections::HashMap;
+use xen_like::{DomainSpec, IrqProfile, NullMonitor, Platform, Topology};
 
 fn run_mix(b: Benchmark, mode: VirtMode, n: usize) -> HashMap<u16, usize> {
     let topo = Topology {
@@ -17,9 +17,16 @@ fn run_mix(b: Benchmark, mode: VirtMode, n: usize) -> HashMap<u16, usize> {
     };
     let (mut plat, _) = Platform::new(topo);
     let prof = profile(b, mode).scaled(16);
-    load_workload(&mut plat.machine, 0, &guest_sim::dom0_profile(mode).scaled(16));
+    load_workload(
+        &mut plat.machine,
+        0,
+        &guest_sim::dom0_profile(mode).scaled(16),
+    );
     load_workload(&mut plat.machine, 1, &prof);
-    plat.irq = IrqProfile { tick_period: 2_130_000, dev_irq_period: prof.dev_irq_period };
+    plat.irq = IrqProfile {
+        tick_period: 2_130_000,
+        dev_irq_period: prof.dev_irq_period,
+    };
     plat.boot(1, &mut NullMonitor);
     let mut mix = HashMap::new();
     for _ in 0..n {
@@ -85,9 +92,17 @@ fn io_mix_separates_postmark_from_bzip2() {
 fn hvm_uses_direct_exits() {
     let mix = run_mix(Benchmark::Postmark, VirtMode::Hvm, 600);
     let gp = ExitReason::Exception(Vector::GeneralProtection).vmer();
-    let io_w = ExitReason::IoInstruction { port: 0, write: true }.vmer();
+    let io_w = ExitReason::IoInstruction {
+        port: 0,
+        write: true,
+    }
+    .vmer();
     let cpuid = ExitReason::CpuidExit.vmer();
-    assert_eq!(mix.get(&gp).copied().unwrap_or(0), 0, "no #GP trap-and-emulate in HVM");
+    assert_eq!(
+        mix.get(&gp).copied().unwrap_or(0),
+        0,
+        "no #GP trap-and-emulate in HVM"
+    );
     let direct = mix.get(&io_w).copied().unwrap_or(0) + mix.get(&cpuid).copied().unwrap_or(0);
     assert!(direct > 0, "HVM direct exits missing: {mix:?}");
 }
@@ -97,7 +112,14 @@ fn hvm_uses_direct_exits() {
 fn device_interrupts_flow_for_io_workloads() {
     let mix = run_mix(Benchmark::Postmark, VirtMode::Para, 1500);
     let dev_total: usize = (0..16u8)
-        .map(|i| mix.get(&ExitReason::DeviceInterrupt(i).vmer()).copied().unwrap_or(0))
+        .map(|i| {
+            mix.get(&ExitReason::DeviceInterrupt(i).vmer())
+                .copied()
+                .unwrap_or(0)
+        })
         .sum();
-    assert!(dev_total > 3, "postmark should see device IRQs: {dev_total}");
+    assert!(
+        dev_total > 3,
+        "postmark should see device IRQs: {dev_total}"
+    );
 }

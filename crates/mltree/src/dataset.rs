@@ -74,7 +74,11 @@ impl Dataset {
 
     /// Count of (correct, incorrect) samples.
     pub fn class_counts(&self) -> (usize, usize) {
-        let inc = self.samples.iter().filter(|s| s.label == Label::Incorrect).count();
+        let inc = self
+            .samples
+            .iter()
+            .filter(|s| s.label == Label::Incorrect)
+            .count();
         (self.samples.len() - inc, inc)
     }
 
@@ -82,8 +86,14 @@ impl Dataset {
     /// sample into the test set, preserving class balance roughly.
     pub fn split(&self, test_every: usize) -> (Dataset, Dataset) {
         assert!(test_every >= 2, "test_every must be >= 2");
-        let mut train = Dataset { feature_names: self.feature_names.clone(), samples: vec![] };
-        let mut test = Dataset { feature_names: self.feature_names.clone(), samples: vec![] };
+        let mut train = Dataset {
+            feature_names: self.feature_names.clone(),
+            samples: vec![],
+        };
+        let mut test = Dataset {
+            feature_names: self.feature_names.clone(),
+            samples: vec![],
+        };
         for (i, s) in self.samples.iter().enumerate() {
             if i % test_every == 0 {
                 test.samples.push(s.clone());
@@ -97,7 +107,10 @@ impl Dataset {
     /// Project the dataset onto a subset of feature columns (for the
     /// feature-ablation experiment).
     pub fn project(&self, columns: &[usize]) -> Dataset {
-        let names = columns.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let names = columns
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
         let samples = self
             .samples
             .iter()
@@ -106,7 +119,10 @@ impl Dataset {
                 label: s.label,
             })
             .collect();
-        Dataset { feature_names: names, samples }
+        Dataset {
+            feature_names: names,
+            samples,
+        }
     }
 }
 
@@ -117,7 +133,11 @@ mod tests {
     fn ds() -> Dataset {
         let mut d = Dataset::new(&["a", "b"]);
         for i in 0..10u64 {
-            let label = if i % 3 == 0 { Label::Incorrect } else { Label::Correct };
+            let label = if i % 3 == 0 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
             d.push(Sample::new(vec![i, 100 - i], label));
         }
         d

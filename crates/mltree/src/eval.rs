@@ -117,7 +117,11 @@ mod tests {
     fn perfect_separation_gives_full_accuracy() {
         let mut d = Dataset::new(&["x"]);
         for i in 0..100u64 {
-            let label = if i < 50 { Label::Correct } else { Label::Incorrect };
+            let label = if i < 50 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             d.push(Sample::new(vec![i], label));
         }
         let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
@@ -157,7 +161,11 @@ mod tests {
     fn cross_validation_pools_all_samples() {
         let mut d = Dataset::new(&["x"]);
         for i in 0..90u64 {
-            let label = if i % 2 == 0 { Label::Correct } else { Label::Incorrect };
+            let label = if i % 2 == 0 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             d.push(Sample::new(vec![i % 2 * 100 + i % 7], label));
         }
         let cm = cross_validate(&d, 5, |tr| {
@@ -173,7 +181,9 @@ mod tests {
         let mut d = Dataset::new(&["x"]);
         d.push(Sample::new(vec![1], Label::Correct));
         d.push(Sample::new(vec![2], Label::Incorrect));
-        cross_validate(&d, 1, |tr| DecisionTree::train(tr, &TrainConfig::decision_tree()));
+        cross_validate(&d, 1, |tr| {
+            DecisionTree::train(tr, &TrainConfig::decision_tree())
+        });
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl RandomForest {
         let mut trees = Vec::with_capacity(cfg.nr_trees);
         for t in 0..cfg.nr_trees {
             let mut bag = Dataset::new(
-                &data.feature_names.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+                &data
+                    .feature_names
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>(),
             );
             for _ in 0..bag_size {
                 let s: &Sample = &data.samples[rng.gen_range(0..data.len())];
@@ -72,12 +76,19 @@ impl RandomForest {
             trees.push(DecisionTree::train(&bag, &tree_cfg));
         }
         let vote_threshold = cfg.vote_threshold.unwrap_or(cfg.nr_trees / 2 + 1);
-        RandomForest { feature_names: data.feature_names.clone(), trees, vote_threshold }
+        RandomForest {
+            feature_names: data.feature_names.clone(),
+            trees,
+            vote_threshold,
+        }
     }
 
     /// Number of trees voting `Incorrect`.
     pub fn incorrect_votes(&self, features: &[u64]) -> usize {
-        self.trees.iter().filter(|t| t.classify(features) == Label::Incorrect).count()
+        self.trees
+            .iter()
+            .filter(|t| t.classify(features) == Label::Incorrect)
+            .count()
     }
 
     /// Majority-vote classification.
@@ -141,7 +152,11 @@ mod tests {
         // Noisy overlapping data: a stricter vote must not increase FP.
         let mut ds = Dataset::new(&["x"]);
         for i in 0..600u64 {
-            let label = if (i * 7) % 10 < 3 { Label::Incorrect } else { Label::Correct };
+            let label = if (i * 7) % 10 < 3 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
             ds.push(Sample::new(vec![i % 40], label));
         }
         let (train, test) = ds.split(3);

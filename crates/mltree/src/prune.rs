@@ -22,17 +22,31 @@ pub fn reduced_error_prune(tree: &DecisionTree, validation: &Dataset) -> (Decisi
     let mut root = tree.root.clone();
     let mut collapsed = 0;
     prune_node(&mut root, &refs, &mut collapsed);
-    (DecisionTree { feature_names: tree.feature_names.clone(), root }, collapsed)
+    (
+        DecisionTree {
+            feature_names: tree.feature_names.clone(),
+            root,
+        },
+        collapsed,
+    )
 }
 
 fn errors(node: &Node, samples: &[&Sample]) -> usize {
-    samples.iter().filter(|s| classify_node(node, &s.features) != s.label).count()
+    samples
+        .iter()
+        .filter(|s| classify_node(node, &s.features) != s.label)
+        .count()
 }
 
 fn classify_node(node: &Node, features: &[u64]) -> Label {
     match node {
         Node::Leaf { label, .. } => *label,
-        Node::Split { feature, threshold, left, right } => {
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             if features[*feature] <= *threshold {
                 classify_node(left, features)
             } else {
@@ -44,7 +58,9 @@ fn classify_node(node: &Node, features: &[u64]) -> Label {
 
 fn training_counts(node: &Node) -> (usize, usize) {
     match node {
-        Node::Leaf { correct, incorrect, .. } => (*correct, *incorrect),
+        Node::Leaf {
+            correct, incorrect, ..
+        } => (*correct, *incorrect),
         Node::Split { left, right, .. } => {
             let (lc, li) = training_counts(left);
             let (rc, ri) = training_counts(right);
@@ -54,21 +70,38 @@ fn training_counts(node: &Node) -> (usize, usize) {
 }
 
 fn prune_node(node: &mut Node, samples: &[&Sample], collapsed: &mut usize) {
-    let Node::Split { feature, threshold, left, right } = node else { return };
+    let Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    } = node
+    else {
+        return;
+    };
     let (feature, threshold) = (*feature, *threshold);
     // Partition the validation samples and prune the children first.
-    let (ls, rs): (Vec<&Sample>, Vec<&Sample>) =
-        samples.iter().partition(|s| s.features[feature] <= threshold);
+    let (ls, rs): (Vec<&Sample>, Vec<&Sample>) = samples
+        .iter()
+        .partition(|s| s.features[feature] <= threshold);
     prune_node(left, &ls, collapsed);
     prune_node(right, &rs, collapsed);
 
     // Would a majority leaf do at least as well here?
     let subtree_errors = errors(node, samples);
     let (c, i) = training_counts(node);
-    let leaf_label = if i > c { Label::Incorrect } else { Label::Correct };
+    let leaf_label = if i > c {
+        Label::Incorrect
+    } else {
+        Label::Correct
+    };
     let leaf_errors = samples.iter().filter(|s| s.label != leaf_label).count();
     if leaf_errors <= subtree_errors {
-        *node = Node::Leaf { label: leaf_label, correct: c, incorrect: i };
+        *node = Node::Leaf {
+            label: leaf_label,
+            correct: c,
+            incorrect: i,
+        };
         *collapsed += 1;
     }
 }
@@ -84,7 +117,11 @@ mod tests {
         let mut train = Dataset::new(&["x"]);
         let mut valid = Dataset::new(&["x"]);
         for i in 0..400u64 {
-            let clean = if i % 40 < 20 { Label::Correct } else { Label::Incorrect };
+            let clean = if i % 40 < 20 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             // 8% label noise in training only.
             let noisy = if i % 13 == 0 {
                 match clean {
@@ -112,14 +149,21 @@ mod tests {
         assert!(pruned.nr_nodes() < tree.nr_nodes());
         let before = evaluate(&tree, &valid).accuracy();
         let after = evaluate(&pruned, &valid).accuracy();
-        assert!(after >= before, "pruning must not hurt validation: {before} -> {after}");
+        assert!(
+            after >= before,
+            "pruning must not hurt validation: {before} -> {after}"
+        );
     }
 
     #[test]
     fn pruning_clean_tree_is_harmless() {
         let mut ds = Dataset::new(&["x"]);
         for i in 0..100u64 {
-            let label = if i < 50 { Label::Correct } else { Label::Incorrect };
+            let label = if i < 50 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             ds.push(Sample::new(vec![i], label));
         }
         let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());

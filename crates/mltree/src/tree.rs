@@ -18,9 +18,18 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Node {
     /// Majority-class leaf with the training counts that reached it.
-    Leaf { label: Label, correct: usize, incorrect: usize },
+    Leaf {
+        label: Label,
+        correct: usize,
+        incorrect: usize,
+    },
     /// Binary split: `features[feature] <= threshold` goes left.
-    Split { feature: usize, threshold: u64, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: u64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 impl Node {
@@ -56,13 +65,23 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// Classic decision tree.
     pub fn decision_tree() -> TrainConfig {
-        TrainConfig { max_depth: 24, min_split: 4, random_features: None, seed: 0 }
+        TrainConfig {
+            max_depth: 24,
+            min_split: 4,
+            random_features: None,
+            seed: 0,
+        }
     }
 
     /// WEKA-style random tree: `⌊log₂ F⌋ + 1` features per node.
     pub fn random_tree(nr_features: usize, seed: u64) -> TrainConfig {
         let k = (nr_features.max(1) as f64).log2().floor() as usize + 1;
-        TrainConfig { max_depth: 24, min_split: 2, random_features: Some(k.min(nr_features)), seed }
+        TrainConfig {
+            max_depth: 24,
+            min_split: 2,
+            random_features: Some(k.min(nr_features)),
+            seed,
+        }
     }
 }
 
@@ -85,7 +104,10 @@ pub fn entropy(correct: usize, incorrect: usize) -> f64 {
 }
 
 fn counts(samples: &[&Sample]) -> (usize, usize) {
-    let inc = samples.iter().filter(|s| s.label == Label::Incorrect).count();
+    let inc = samples
+        .iter()
+        .filter(|s| s.label == Label::Incorrect)
+        .count();
     (samples.len() - inc, inc)
 }
 
@@ -101,11 +123,17 @@ fn majority(correct: usize, incorrect: usize) -> Label {
 
 /// Find the best `(threshold, gain)` for one feature, or `None` when the
 /// column is constant.
-fn best_cut_for_feature(samples: &[&Sample], feature: usize, parent_entropy: f64) -> Option<(u64, f64)> {
+fn best_cut_for_feature(
+    samples: &[&Sample],
+    feature: usize,
+    parent_entropy: f64,
+) -> Option<(u64, f64)> {
     // Sort (value, is_incorrect) pairs; scan boundaries between distinct
     // values accumulating class counts — O(n log n) per feature.
-    let mut vals: Vec<(u64, bool)> =
-        samples.iter().map(|s| (s.features[feature], s.label == Label::Incorrect)).collect();
+    let mut vals: Vec<(u64, bool)> = samples
+        .iter()
+        .map(|s| (s.features[feature], s.label == Label::Incorrect))
+        .collect();
     vals.sort_unstable();
     let n = vals.len();
     let total_inc = vals.iter().filter(|v| v.1).count();
@@ -147,12 +175,12 @@ fn build(
     rng: &mut ChaCha8Rng,
 ) -> Node {
     let (correct, incorrect) = counts(&samples);
-    let leaf = || Node::Leaf { label: majority(correct, incorrect), correct, incorrect };
-    if depth >= cfg.max_depth
-        || samples.len() < cfg.min_split
-        || correct == 0
-        || incorrect == 0
-    {
+    let leaf = || Node::Leaf {
+        label: majority(correct, incorrect),
+        correct,
+        incorrect,
+    };
+    if depth >= cfg.max_depth || samples.len() < cfg.min_split || correct == 0 || incorrect == 0 {
         return leaf();
     }
     let parent_entropy = entropy(correct, incorrect);
@@ -176,13 +204,16 @@ fn build(
             }
         }
     }
-    let Some((feature, threshold, gain)) = best else { return leaf() };
+    let Some((feature, threshold, gain)) = best else {
+        return leaf();
+    };
     if gain <= 1e-12 {
         return leaf();
     }
 
-    let (left, right): (Vec<&Sample>, Vec<&Sample>) =
-        samples.into_iter().partition(|s| s.features[feature] <= threshold);
+    let (left, right): (Vec<&Sample>, Vec<&Sample>) = samples
+        .into_iter()
+        .partition(|s| s.features[feature] <= threshold);
     if left.is_empty() || right.is_empty() {
         return leaf();
     }
@@ -201,7 +232,10 @@ impl DecisionTree {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let refs: Vec<&Sample> = data.samples.iter().collect();
         let root = build(refs, 0, cfg, data.nr_features(), &mut rng);
-        DecisionTree { feature_names: data.feature_names.clone(), root }
+        DecisionTree {
+            feature_names: data.feature_names.clone(),
+            root,
+        }
     }
 
     /// Classify a feature vector — integer compares only.
@@ -210,8 +244,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { label, .. } => return *label,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -225,9 +268,18 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { .. } => return cost,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     cost += 1;
-                    node = if features[*feature] <= *threshold { left } else { right };
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -253,10 +305,21 @@ impl DecisionTree {
     fn dump_node(&self, node: &Node, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
         match node {
-            Node::Leaf { label, correct, incorrect } => {
-                out.push_str(&format!("{pad}=> {label:?} ({correct} correct / {incorrect} incorrect)\n"));
+            Node::Leaf {
+                label,
+                correct,
+                incorrect,
+            } => {
+                out.push_str(&format!(
+                    "{pad}=> {label:?} ({correct} correct / {incorrect} incorrect)\n"
+                ));
             }
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let name = &self.feature_names[*feature];
                 out.push_str(&format!("{pad}if {name} <= {threshold}:\n"));
                 self.dump_node(left, indent + 1, out);
@@ -286,7 +349,11 @@ mod tests {
         }
         let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
         match &t.root {
-            Node::Split { feature: 0, threshold, .. } => {
+            Node::Split {
+                feature: 0,
+                threshold,
+                ..
+            } => {
                 assert!(
                     (185..250).contains(threshold),
                     "cut point {threshold} should separate the classes"
@@ -327,8 +394,11 @@ mod tests {
         let mut d = Dataset::new(&["a", "b"]);
         for a in 0..20u64 {
             for b in 0..10u64 {
-                let label =
-                    if a > 10 && b <= 5 { Label::Incorrect } else { Label::Correct };
+                let label = if a > 10 && b <= 5 {
+                    Label::Incorrect
+                } else {
+                    Label::Correct
+                };
                 d.push(Sample::new(vec![a, b], label));
             }
         }
@@ -342,7 +412,11 @@ mod tests {
     #[test]
     fn random_tree_uses_log2_plus_one_features() {
         let cfg = TrainConfig::random_tree(5, 1);
-        assert_eq!(cfg.random_features, Some(3), "paper: 3 of 5 features per node");
+        assert_eq!(
+            cfg.random_features,
+            Some(3),
+            "paper: 3 of 5 features per node"
+        );
         let cfg2 = TrainConfig::random_tree(8, 1);
         assert_eq!(cfg2.random_features, Some(4));
     }
@@ -351,7 +425,11 @@ mod tests {
     fn random_tree_is_deterministic_per_seed() {
         let mut d = Dataset::new(&["a", "b", "c"]);
         for i in 0..200u64 {
-            let label = if (i * 7 + 3) % 5 < 2 { Label::Incorrect } else { Label::Correct };
+            let label = if (i * 7 + 3) % 5 < 2 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
             d.push(Sample::new(vec![i % 17, i % 23, i % 31], label));
         }
         let t1 = DecisionTree::train(&d, &TrainConfig::random_tree(3, 42));
@@ -366,7 +444,11 @@ mod tests {
     fn max_depth_is_respected() {
         let mut d = Dataset::new(&["x"]);
         for i in 0..1000u64 {
-            let label = if i % 2 == 0 { Label::Correct } else { Label::Incorrect };
+            let label = if i % 2 == 0 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             d.push(Sample::new(vec![i], label));
         }
         let mut cfg = TrainConfig::decision_tree();
@@ -379,7 +461,11 @@ mod tests {
     fn classify_cost_bounded_by_depth() {
         let mut d = Dataset::new(&["a", "b"]);
         for i in 0..100u64 {
-            let label = if i % 3 == 0 { Label::Incorrect } else { Label::Correct };
+            let label = if i % 3 == 0 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
             d.push(Sample::new(vec![i, i * 2 % 41], label));
         }
         let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
@@ -392,7 +478,11 @@ mod tests {
     fn dump_rules_mentions_feature_names() {
         let mut d = Dataset::new(&["WM", "RT"]);
         for i in 0..50u64 {
-            let label = if i < 25 { Label::Correct } else { Label::Incorrect };
+            let label = if i < 25 {
+                Label::Correct
+            } else {
+                Label::Incorrect
+            };
             d.push(Sample::new(vec![i, 500 - i], label));
         }
         let t = DecisionTree::train(&d, &TrainConfig::decision_tree());
@@ -405,7 +495,11 @@ mod tests {
     fn serde_round_trip_preserves_classification() {
         let mut d = Dataset::new(&["a"]);
         for i in 0..60u64 {
-            let label = if i > 30 { Label::Incorrect } else { Label::Correct };
+            let label = if i > 30 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
             d.push(Sample::new(vec![i], label));
         }
         let t = DecisionTree::train(&d, &TrainConfig::decision_tree());

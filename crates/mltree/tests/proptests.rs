@@ -17,7 +17,11 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
             for (features, bad) in rows {
                 ds.push(Sample::new(
                     features,
-                    if bad { Label::Incorrect } else { Label::Correct },
+                    if bad {
+                        Label::Incorrect
+                    } else {
+                        Label::Correct
+                    },
                 ));
             }
             ds

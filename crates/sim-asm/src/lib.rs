@@ -104,7 +104,10 @@ impl Image {
     /// Address of a label; panics with the label name if missing (loader
     /// convenience).
     pub fn sym(&self, name: &str) -> u64 {
-        *self.symbols.get(name).unwrap_or_else(|| panic!("undefined symbol: {name}"))
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol: {name}"))
     }
 
     /// Size in words.
@@ -131,7 +134,12 @@ impl Asm {
     /// Start assembling at byte address `base` (must be 8-aligned).
     pub fn new(base: u64) -> Asm {
         assert_eq!(base % 8, 0, "code base must be word aligned");
-        Asm { base, slots: Vec::new(), labels: HashMap::new(), unique: 0 }
+        Asm {
+            base,
+            slots: Vec::new(),
+            labels: HashMap::new(),
+            unique: 0,
+        }
     }
 
     /// Current emission address.
@@ -373,14 +381,28 @@ impl Asm {
         for slot in &self.slots {
             let insn = match slot {
                 Slot::Ready(i) => *i,
-                Slot::Jmp(t) => Insn::Jmp { target: resolve(t)? },
-                Slot::Jcc(c, t) => Insn::Jcc { cond: *c, target: resolve(t)? },
-                Slot::Call(t) => Insn::Call { target: resolve(t)? },
-                Slot::MovLabel(r, t) => Insn::MovImm { dst: *r, imm: resolve(t)? as i64 },
+                Slot::Jmp(t) => Insn::Jmp {
+                    target: resolve(t)?,
+                },
+                Slot::Jcc(c, t) => Insn::Jcc {
+                    cond: *c,
+                    target: resolve(t)?,
+                },
+                Slot::Call(t) => Insn::Call {
+                    target: resolve(t)?,
+                },
+                Slot::MovLabel(r, t) => Insn::MovImm {
+                    dst: *r,
+                    imm: resolve(t)? as i64,
+                },
             };
             words.push(insn.encode());
         }
-        Ok(Image { base: self.base, words, symbols: self.labels })
+        Ok(Image {
+            base: self.base,
+            words,
+            symbols: self.labels,
+        })
     }
 }
 
@@ -441,7 +463,10 @@ mod tests {
     fn undefined_label_is_error() {
         let mut a = Asm::new(0x1_0000);
         a.jmp("nowhere");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -539,7 +564,10 @@ mod tests {
         a.hlt();
         let img = a.assemble().unwrap();
         let mut m = machine_with(&img);
-        assert!(matches!(run(&mut m, 10), Some(Event::AssertFail { id: 11, .. })));
+        assert!(matches!(
+            run(&mut m, 10),
+            Some(Event::AssertFail { id: 11, .. })
+        ));
     }
 
     #[test]

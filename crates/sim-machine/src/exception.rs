@@ -70,7 +70,10 @@ impl Vector {
     /// Decode a vector number (values above 19 wrap to `Reserved15`, used
     /// when corrupted data is interpreted as a vector).
     pub fn from_u8(v: u8) -> Vector {
-        Vector::ALL.get(v as usize).copied().unwrap_or(Vector::Reserved15)
+        Vector::ALL
+            .get(v as usize)
+            .copied()
+            .unwrap_or(Vector::Reserved15)
     }
 
     /// Vector number.
@@ -133,12 +136,22 @@ pub struct Exception {
 impl Exception {
     /// A non-memory exception at `rip`.
     pub fn at(vector: Vector, rip: u64) -> Exception {
-        Exception { vector, rip, addr: None, access: None }
+        Exception {
+            vector,
+            rip,
+            addr: None,
+            access: None,
+        }
     }
 
     /// A memory-access exception.
     pub fn mem(vector: Vector, rip: u64, addr: u64, access: AccessKind) -> Exception {
-        Exception { vector, rip, addr: Some(addr), access: Some(access) }
+        Exception {
+            vector,
+            rip,
+            addr: Some(addr),
+            access: Some(access),
+        }
     }
 }
 

@@ -94,8 +94,14 @@ impl ExitReason {
             74..=83 => ExitReason::ApicInterrupt((code - 74) as u8),
             84 => ExitReason::Softirq,
             85 => ExitReason::Tasklet,
-            86 => ExitReason::IoInstruction { port: 0, write: false },
-            87 => ExitReason::IoInstruction { port: 0, write: true },
+            86 => ExitReason::IoInstruction {
+                port: 0,
+                write: false,
+            },
+            87 => ExitReason::IoInstruction {
+                port: 0,
+                write: true,
+            },
             88 => ExitReason::CpuidExit,
             89 => ExitReason::RdtscExit,
             90 => ExitReason::HltExit,
@@ -172,12 +178,27 @@ mod tests {
         }
         mark(&mut seen, ExitReason::Softirq);
         mark(&mut seen, ExitReason::Tasklet);
-        mark(&mut seen, ExitReason::IoInstruction { port: 0x3f8, write: false });
-        mark(&mut seen, ExitReason::IoInstruction { port: 0x3f8, write: true });
+        mark(
+            &mut seen,
+            ExitReason::IoInstruction {
+                port: 0x3f8,
+                write: false,
+            },
+        );
+        mark(
+            &mut seen,
+            ExitReason::IoInstruction {
+                port: 0x3f8,
+                write: true,
+            },
+        );
         mark(&mut seen, ExitReason::CpuidExit);
         mark(&mut seen, ExitReason::RdtscExit);
         mark(&mut seen, ExitReason::HltExit);
-        assert!(seen.iter().all(|&s| s), "every VMER code covered exactly once");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every VMER code covered exactly once"
+        );
     }
 
     fn mark(seen: &mut [bool], r: ExitReason) {
@@ -210,6 +231,9 @@ mod tests {
         );
         assert_eq!(ExitReason::Softirq.category(), ExitCategory::SoftirqTasklet);
         assert_eq!(ExitReason::Tasklet.category(), ExitCategory::SoftirqTasklet);
-        assert_eq!(ExitReason::CpuidExit.category(), ExitCategory::HardwareAssist);
+        assert_eq!(
+            ExitReason::CpuidExit.category(),
+            ExitCategory::HardwareAssist
+        );
     }
 }

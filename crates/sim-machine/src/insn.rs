@@ -169,46 +169,120 @@ impl Cond {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Insn {
     /// `dst <- imm`
-    MovImm { dst: Reg, imm: i64 },
+    MovImm {
+        dst: Reg,
+        imm: i64,
+    },
     /// `dst <- src`
-    MovReg { dst: Reg, src: Reg },
+    MovReg {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst <- mem[src + imm]`
-    Load { dst: Reg, base: Reg, off: i64 },
+    Load {
+        dst: Reg,
+        base: Reg,
+        off: i64,
+    },
     /// `mem[dst + imm] <- src`
-    Store { base: Reg, src: Reg, off: i64 },
+    Store {
+        base: Reg,
+        src: Reg,
+        off: i64,
+    },
     /// `dst <- dst op src` (wrapping)
-    Add { dst: Reg, src: Reg },
-    AddImm { dst: Reg, imm: i64 },
-    Sub { dst: Reg, src: Reg },
-    SubImm { dst: Reg, imm: i64 },
-    Mul { dst: Reg, src: Reg },
+    Add {
+        dst: Reg,
+        src: Reg,
+    },
+    AddImm {
+        dst: Reg,
+        imm: i64,
+    },
+    Sub {
+        dst: Reg,
+        src: Reg,
+    },
+    SubImm {
+        dst: Reg,
+        imm: i64,
+    },
+    Mul {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst <- dst / src`; `src == 0` raises `#DE`.
-    Div { dst: Reg, src: Reg },
+    Div {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst <- dst % src`; `src == 0` raises `#DE`.
-    Rem { dst: Reg, src: Reg },
-    And { dst: Reg, src: Reg },
-    Or { dst: Reg, src: Reg },
-    Xor { dst: Reg, src: Reg },
-    ShlImm { dst: Reg, imm: u8 },
-    ShrImm { dst: Reg, imm: u8 },
+    Rem {
+        dst: Reg,
+        src: Reg,
+    },
+    And {
+        dst: Reg,
+        src: Reg,
+    },
+    Or {
+        dst: Reg,
+        src: Reg,
+    },
+    Xor {
+        dst: Reg,
+        src: Reg,
+    },
+    ShlImm {
+        dst: Reg,
+        imm: u8,
+    },
+    ShrImm {
+        dst: Reg,
+        imm: u8,
+    },
     /// Set flags from `a - b`.
-    Cmp { a: Reg, b: Reg },
-    CmpImm { a: Reg, imm: i64 },
+    Cmp {
+        a: Reg,
+        b: Reg,
+    },
+    CmpImm {
+        a: Reg,
+        imm: i64,
+    },
     /// Set ZF/SF from `a & b`.
-    Test { a: Reg, b: Reg },
+    Test {
+        a: Reg,
+        b: Reg,
+    },
     /// Unconditional jump to absolute address `target`.
-    Jmp { target: u64 },
+    Jmp {
+        target: u64,
+    },
     /// Conditional jump.
-    Jcc { cond: Cond, target: u64 },
+    Jcc {
+        cond: Cond,
+        target: u64,
+    },
     /// Push return address, jump to `target`.
-    Call { target: u64 },
+    Call {
+        target: u64,
+    },
     /// Pop return address into `RIP`.
     Ret,
-    Push { src: Reg },
-    Pop { dst: Reg },
+    Push {
+        src: Reg,
+    },
+    Pop {
+        dst: Reg,
+    },
     /// Indirect jump through a register (dispatch tables).
-    JmpReg { target: Reg },
-    CallReg { target: Reg },
+    JmpReg {
+        target: Reg,
+    },
+    CallReg {
+        target: Reg,
+    },
     /// CPUID leaf in RAX; results written to RAX..RDX. Privileged-trapping in
     /// PV guest mode, direct-exiting in HVM guest mode, native in host mode.
     Cpuid,
@@ -216,7 +290,9 @@ pub enum Insn {
     /// mirror `Cpuid`.
     Rdtsc,
     /// Guest-only: request hypervisor service `nr`.
-    Hypercall { nr: u8 },
+    Hypercall {
+        nr: u8,
+    },
     /// Host-only: resume the guest. Guest `RIP`/`RFLAGS` are loaded by
     /// "hardware" from the per-CPU VMCS block, mirroring Intel VMX, so the
     /// exit stub must have stored the (possibly updated) values there.
@@ -225,13 +301,24 @@ pub enum Insn {
     Nop,
     /// Host-only sink for failed software assertions; `id` names the
     /// assertion site. Never reached in error-free executions.
-    AssertFail { id: u16 },
+    AssertFail {
+        id: u16,
+    },
     /// Port output: port in imm, value in `src`.
-    Out { port: u16, src: Reg },
+    Out {
+        port: u16,
+        src: Reg,
+    },
     /// Port input: port in imm, value to `dst`.
-    In { dst: Reg, port: u16 },
+    In {
+        dst: Reg,
+        port: u16,
+    },
     /// `dst <- prng() % max(imm,1)` — deterministic workload variability.
-    Noise { dst: Reg, bound: u64 },
+    Noise {
+        dst: Reg,
+        bound: u64,
+    },
 }
 
 /// Why a word failed to decode. All decode failures surface as `#UD`.
@@ -314,8 +401,16 @@ impl Insn {
         Ok(match op {
             Opcode::MovImm => MovImm { dst: rd, imm },
             Opcode::MovReg => MovReg { dst: rd, src: rs },
-            Opcode::Load => Load { dst: rd, base: rs, off: imm },
-            Opcode::Store => Store { base: rd, src: rs, off: imm },
+            Opcode::Load => Load {
+                dst: rd,
+                base: rs,
+                off: imm,
+            },
+            Opcode::Store => Store {
+                base: rd,
+                src: rs,
+                off: imm,
+            },
             Opcode::Add => Add { dst: rd, src: rs },
             Opcode::AddImm => AddImm { dst: rd, imm },
             Opcode::Sub => Sub { dst: rd, src: rs },
@@ -326,8 +421,14 @@ impl Insn {
             Opcode::And => And { dst: rd, src: rs },
             Opcode::Or => Or { dst: rd, src: rs },
             Opcode::Xor => Xor { dst: rd, src: rs },
-            Opcode::ShlImm => ShlImm { dst: rd, imm: (imm as u64 & 0x3f) as u8 },
-            Opcode::ShrImm => ShrImm { dst: rd, imm: (imm as u64 & 0x3f) as u8 },
+            Opcode::ShlImm => ShlImm {
+                dst: rd,
+                imm: (imm as u64 & 0x3f) as u8,
+            },
+            Opcode::ShrImm => ShrImm {
+                dst: rd,
+                imm: (imm as u64 & 0x3f) as u8,
+            },
             Opcode::Cmp => Cmp { a: rd, b: rs },
             Opcode::CmpImm => CmpImm { a: rd, imm },
             Opcode::Test => Test { a: rd, b: rs },
@@ -344,14 +445,27 @@ impl Insn {
             Opcode::CallReg => CallReg { target: rs },
             Opcode::Cpuid => Cpuid,
             Opcode::Rdtsc => Rdtsc,
-            Opcode::Hypercall => Hypercall { nr: (imm as u64 & 0xff) as u8 },
+            Opcode::Hypercall => Hypercall {
+                nr: (imm as u64 & 0xff) as u8,
+            },
             Opcode::VmEntry => VmEntry,
             Opcode::Hlt => Hlt,
             Opcode::Nop => Nop,
-            Opcode::AssertFail => AssertFail { id: (imm as u64 & 0xffff) as u16 },
-            Opcode::Out => Out { port: (imm as u64 & 0xffff) as u16, src: rs },
-            Opcode::In => In { dst: rd, port: (imm as u64 & 0xffff) as u16 },
-            Opcode::Noise => Noise { dst: rd, bound: imm as u64 & IMM_MASK },
+            Opcode::AssertFail => AssertFail {
+                id: (imm as u64 & 0xffff) as u16,
+            },
+            Opcode::Out => Out {
+                port: (imm as u64 & 0xffff) as u16,
+                src: rs,
+            },
+            Opcode::In => In {
+                dst: rd,
+                port: (imm as u64 & 0xffff) as u16,
+            },
+            Opcode::Noise => Noise {
+                dst: rd,
+                bound: imm as u64 & IMM_MASK,
+            },
         })
     }
 
@@ -438,28 +552,93 @@ mod tests {
     fn all_sample_insns() -> Vec<Insn> {
         use Insn::*;
         vec![
-            MovImm { dst: Reg::Rax, imm: -5 },
-            MovImm { dst: Reg::R15, imm: 0x7fff_ffff_ffff },
-            MovReg { dst: Reg::Rbx, src: Reg::Rcx },
-            Load { dst: Reg::Rdx, base: Reg::Rbp, off: -8 },
-            Store { base: Reg::Rsp, src: Reg::Rdi, off: 16 },
-            Add { dst: Reg::Rax, src: Reg::Rbx },
-            AddImm { dst: Reg::R9, imm: 1024 },
-            Sub { dst: Reg::Rsi, src: Reg::R8 },
-            SubImm { dst: Reg::R10, imm: -3 },
-            Mul { dst: Reg::Rax, src: Reg::Rcx },
-            Div { dst: Reg::Rax, src: Reg::Rcx },
-            Rem { dst: Reg::Rdx, src: Reg::Rbx },
-            And { dst: Reg::Rax, src: Reg::R11 },
-            Or { dst: Reg::Rax, src: Reg::R12 },
-            Xor { dst: Reg::Rax, src: Reg::Rax },
-            ShlImm { dst: Reg::Rcx, imm: 3 },
-            ShrImm { dst: Reg::Rcx, imm: 63 },
-            Cmp { a: Reg::Rax, b: Reg::Rbx },
-            CmpImm { a: Reg::Rax, imm: 100 },
-            Test { a: Reg::Rax, b: Reg::Rax },
+            MovImm {
+                dst: Reg::Rax,
+                imm: -5,
+            },
+            MovImm {
+                dst: Reg::R15,
+                imm: 0x7fff_ffff_ffff,
+            },
+            MovReg {
+                dst: Reg::Rbx,
+                src: Reg::Rcx,
+            },
+            Load {
+                dst: Reg::Rdx,
+                base: Reg::Rbp,
+                off: -8,
+            },
+            Store {
+                base: Reg::Rsp,
+                src: Reg::Rdi,
+                off: 16,
+            },
+            Add {
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            },
+            AddImm {
+                dst: Reg::R9,
+                imm: 1024,
+            },
+            Sub {
+                dst: Reg::Rsi,
+                src: Reg::R8,
+            },
+            SubImm {
+                dst: Reg::R10,
+                imm: -3,
+            },
+            Mul {
+                dst: Reg::Rax,
+                src: Reg::Rcx,
+            },
+            Div {
+                dst: Reg::Rax,
+                src: Reg::Rcx,
+            },
+            Rem {
+                dst: Reg::Rdx,
+                src: Reg::Rbx,
+            },
+            And {
+                dst: Reg::Rax,
+                src: Reg::R11,
+            },
+            Or {
+                dst: Reg::Rax,
+                src: Reg::R12,
+            },
+            Xor {
+                dst: Reg::Rax,
+                src: Reg::Rax,
+            },
+            ShlImm {
+                dst: Reg::Rcx,
+                imm: 3,
+            },
+            ShrImm {
+                dst: Reg::Rcx,
+                imm: 63,
+            },
+            Cmp {
+                a: Reg::Rax,
+                b: Reg::Rbx,
+            },
+            CmpImm {
+                a: Reg::Rax,
+                imm: 100,
+            },
+            Test {
+                a: Reg::Rax,
+                b: Reg::Rax,
+            },
             Jmp { target: 0x10_0000 },
-            Jcc { cond: Cond::Ne, target: 0x10_0008 },
+            Jcc {
+                cond: Cond::Ne,
+                target: 0x10_0008,
+            },
             Call { target: 0x20_0000 },
             Ret,
             Push { src: Reg::Rbp },
@@ -473,9 +652,18 @@ mod tests {
             Hlt,
             Nop,
             AssertFail { id: 7 },
-            Out { port: 0x3f8, src: Reg::Rax },
-            In { dst: Reg::Rax, port: 0x60 },
-            Noise { dst: Reg::Rcx, bound: 17 },
+            Out {
+                port: 0x3f8,
+                src: Reg::Rax,
+            },
+            In {
+                dst: Reg::Rax,
+                port: 0x60,
+            },
+            Noise {
+                dst: Reg::Rcx,
+                bound: 17,
+            },
         ]
     }
 
@@ -511,7 +699,11 @@ mod tests {
 
     #[test]
     fn negative_offsets_sign_extend() {
-        let i = Insn::Load { dst: Reg::Rax, base: Reg::Rbp, off: -64 };
+        let i = Insn::Load {
+            dst: Reg::Rax,
+            base: Reg::Rbp,
+            off: -64,
+        };
         match Insn::decode(i.encode()).unwrap() {
             Insn::Load { off, .. } => assert_eq!(off, -64),
             other => panic!("wrong decode: {other:?}"),
@@ -521,19 +713,48 @@ mod tests {
     #[test]
     fn branch_classification_matches_x86_event() {
         assert!(Insn::Jmp { target: 0 }.is_branch());
-        assert!(Insn::Jcc { cond: Cond::Eq, target: 0 }.is_branch());
+        assert!(Insn::Jcc {
+            cond: Cond::Eq,
+            target: 0
+        }
+        .is_branch());
         assert!(Insn::Ret.is_branch());
         assert!(Insn::CallReg { target: Reg::Rax }.is_branch());
-        assert!(!Insn::Add { dst: Reg::Rax, src: Reg::Rbx }.is_branch());
-        assert!(!Insn::Load { dst: Reg::Rax, base: Reg::Rbx, off: 0 }.is_branch());
+        assert!(!Insn::Add {
+            dst: Reg::Rax,
+            src: Reg::Rbx
+        }
+        .is_branch());
+        assert!(!Insn::Load {
+            dst: Reg::Rax,
+            base: Reg::Rbx,
+            off: 0
+        }
+        .is_branch());
     }
 
     #[test]
     fn memory_event_counts() {
-        assert_eq!(Insn::Load { dst: Reg::Rax, base: Reg::Rbx, off: 0 }.mem_reads(), 1);
+        assert_eq!(
+            Insn::Load {
+                dst: Reg::Rax,
+                base: Reg::Rbx,
+                off: 0
+            }
+            .mem_reads(),
+            1
+        );
         assert_eq!(Insn::Pop { dst: Reg::Rax }.mem_reads(), 1);
         assert_eq!(Insn::Ret.mem_reads(), 1);
-        assert_eq!(Insn::Store { base: Reg::Rax, src: Reg::Rbx, off: 0 }.mem_writes(), 1);
+        assert_eq!(
+            Insn::Store {
+                base: Reg::Rax,
+                src: Reg::Rbx,
+                off: 0
+            }
+            .mem_writes(),
+            1
+        );
         assert_eq!(Insn::Push { src: Reg::Rax }.mem_writes(), 1);
         assert_eq!(Insn::Call { target: 0 }.mem_writes(), 1);
         assert_eq!(Insn::Nop.mem_reads() + Insn::Nop.mem_writes(), 0);

@@ -42,7 +42,9 @@ pub use cycles::CycleModel;
 pub use exception::{Exception, Vector};
 pub use exit::ExitReason;
 pub use insn::{Cond, DecodeError, Insn, Opcode};
-pub use machine::{vmcs, Devices, Event, Machine, MachineConfig, StepOutcome, VirtMode, VMCS_WORDS};
+pub use machine::{
+    vmcs, Devices, Event, Machine, MachineConfig, StepOutcome, VirtMode, VMCS_WORDS,
+};
 pub use mem::{MemError, Memory, Perms, Region, RegionId};
 pub use perf::PerfCounters;
 pub use reg::Reg;

@@ -121,7 +121,10 @@ impl Devices {
     /// Record a port write.
     pub fn write(&mut self, port: u16, value: u64) {
         self.out_count += 1;
-        self.out_hash = Devices::mix(self.out_hash, (port as u64) << 48 | (value & 0xffff_ffff_ffff));
+        self.out_hash = Devices::mix(
+            self.out_hash,
+            (port as u64) << 48 | (value & 0xffff_ffff_ffff),
+        );
     }
 
     /// Produce a deterministic port read value (per-port stream).
@@ -190,7 +193,13 @@ impl Machine {
                 c
             })
             .collect();
-        Machine { mem, cpus, noise: SiteNoise::new(seed), devices: Devices::default(), config }
+        Machine {
+            mem,
+            cpus,
+            noise: SiteNoise::new(seed),
+            devices: Devices::default(),
+            config,
+        }
     }
 
     /// Immutable CPU access.
@@ -227,13 +236,21 @@ impl Machine {
         c.cycles += cfg.cycle_model.vm_exit;
         // VMCS writes are "microcode": they bypass page permissions but the
         // block must be mapped.
-        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RIP), guest_rip).expect("VMCS mapped");
-        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RSP), guest_rsp).expect("VMCS mapped");
-        self.mem.poke(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS), guest_rflags).expect("VMCS mapped");
+        self.mem
+            .poke(cfg.vmcs_field(cpu, vmcs::GUEST_RIP), guest_rip)
+            .expect("VMCS mapped");
+        self.mem
+            .poke(cfg.vmcs_field(cpu, vmcs::GUEST_RSP), guest_rsp)
+            .expect("VMCS mapped");
+        self.mem
+            .poke(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS), guest_rflags)
+            .expect("VMCS mapped");
         self.mem
             .poke(cfg.vmcs_field(cpu, vmcs::EXIT_REASON), reason.vmer() as u64)
             .expect("VMCS mapped");
-        self.mem.poke(cfg.vmcs_field(cpu, vmcs::EXIT_QUAL), qual).expect("VMCS mapped");
+        self.mem
+            .poke(cfg.vmcs_field(cpu, vmcs::EXIT_QUAL), qual)
+            .expect("VMCS mapped");
         Event::VmExit(reason)
     }
 
@@ -302,7 +319,9 @@ impl Machine {
         let insn = match Insn::decode(word) {
             Ok(i) => i,
             Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadOperand(_)) => {
-                return StepOutcome::Event(self.raise(cpu, Exception::at(Vector::InvalidOpcode, pc)));
+                return StepOutcome::Event(
+                    self.raise(cpu, Exception::at(Vector::InvalidOpcode, pc)),
+                );
             }
         };
         self.execute(cpu, pc, insn)
@@ -364,7 +383,10 @@ impl Machine {
         let writes = insn.mem_writes();
         let c = &mut self.cpus[cpu];
         c.perf.record(insn.is_branch(), reads, writes);
-        c.cycles += self.config.cycle_model.insn_cost(reads + writes, taken_branch);
+        c.cycles += self
+            .config
+            .cycle_model
+            .insn_cost(reads + writes, taken_branch);
         c.insns_retired += 1;
     }
 
@@ -403,7 +425,9 @@ impl Machine {
                 }
             }
             Add { dst, src } => {
-                let v = self.cpus[cpu].get(dst).wrapping_add(self.cpus[cpu].get(src));
+                let v = self.cpus[cpu]
+                    .get(dst)
+                    .wrapping_add(self.cpus[cpu].get(src));
                 self.cpus[cpu].set(dst, v);
                 Machine::set_flags_logic(&mut self.cpus[cpu], v);
             }
@@ -425,7 +449,9 @@ impl Machine {
                 self.cpus[cpu].set(dst, a.wrapping_sub(b));
             }
             Mul { dst, src } => {
-                let v = self.cpus[cpu].get(dst).wrapping_mul(self.cpus[cpu].get(src));
+                let v = self.cpus[cpu]
+                    .get(dst)
+                    .wrapping_mul(self.cpus[cpu].get(src));
                 self.cpus[cpu].set(dst, v);
             }
             Div { dst, src } => {
@@ -554,12 +580,9 @@ impl Machine {
                     self.cpus[cpu].set(Reg::Rdx, out[3]);
                 } else {
                     return match virt {
-                        VirtMode::Para => {
-                            StepOutcome::Event(self.raise(
-                                cpu,
-                                Exception::at(Vector::GeneralProtection, pc),
-                            ))
-                        }
+                        VirtMode::Para => StepOutcome::Event(
+                            self.raise(cpu, Exception::at(Vector::GeneralProtection, pc)),
+                        ),
                         VirtMode::Hvm => StepOutcome::Event(self.hw_vm_exit(
                             cpu,
                             ExitReason::CpuidExit,
@@ -604,9 +627,18 @@ impl Machine {
                     fault!(Exception::at(Vector::GeneralProtection, pc));
                 }
                 let cfg = self.config.clone();
-                let grip = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RIP)).expect("VMCS");
-                let grsp = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RSP)).expect("VMCS");
-                let gfl = self.mem.peek(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS)).expect("VMCS");
+                let grip = self
+                    .mem
+                    .peek(cfg.vmcs_field(cpu, vmcs::GUEST_RIP))
+                    .expect("VMCS");
+                let grsp = self
+                    .mem
+                    .peek(cfg.vmcs_field(cpu, vmcs::GUEST_RSP))
+                    .expect("VMCS");
+                let gfl = self
+                    .mem
+                    .peek(cfg.vmcs_field(cpu, vmcs::GUEST_RFLAGS))
+                    .expect("VMCS");
                 let c = &mut self.cpus[cpu];
                 c.rip = grip;
                 c.set(Reg::Rsp, grsp);
@@ -732,8 +764,14 @@ mod tests {
     #[test]
     fn mov_add_retires_and_counts_cycles() {
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rax, imm: 40 },
-            Insn::AddImm { dst: Reg::Rax, imm: 2 },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: 40,
+            },
+            Insn::AddImm {
+                dst: Reg::Rax,
+                imm: 2,
+            },
         ]);
         m.cpu_mut(0).perf.start();
         for o in run_steps(&mut m, 2) {
@@ -748,10 +786,24 @@ mod tests {
     #[test]
     fn load_store_round_trip_and_pmc_events() {
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rbx, imm: 0x4_0000 },
-            Insn::MovImm { dst: Reg::Rax, imm: 0x99 },
-            Insn::Store { base: Reg::Rbx, src: Reg::Rax, off: 8 },
-            Insn::Load { dst: Reg::Rcx, base: Reg::Rbx, off: 8 },
+            Insn::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x4_0000,
+            },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: 0x99,
+            },
+            Insn::Store {
+                base: Reg::Rbx,
+                src: Reg::Rax,
+                off: 8,
+            },
+            Insn::Load {
+                dst: Reg::Rcx,
+                base: Reg::Rbx,
+                off: 8,
+            },
         ]);
         m.cpu_mut(0).perf.start();
         run_steps(&mut m, 4);
@@ -764,7 +816,10 @@ mod tests {
 
     #[test]
     fn division_by_zero_raises_de_in_host() {
-        let mut m = test_machine(&[Insn::Div { dst: Reg::Rax, src: Reg::Rbx }]);
+        let mut m = test_machine(&[Insn::Div {
+            dst: Reg::Rax,
+            src: Reg::Rbx,
+        }]);
         match m.step(0) {
             StepOutcome::Event(Event::Exception(e)) => {
                 assert_eq!(e.vector, Vector::DivideError);
@@ -775,7 +830,11 @@ mod tests {
 
     #[test]
     fn unmapped_load_raises_pf_in_host() {
-        let mut m = test_machine(&[Insn::Load { dst: Reg::Rax, base: Reg::Rbx, off: 0 }]);
+        let mut m = test_machine(&[Insn::Load {
+            dst: Reg::Rax,
+            base: Reg::Rbx,
+            off: 0,
+        }]);
         // rbx == 0 → null-page access.
         match m.step(0) {
             StepOutcome::Event(Event::Exception(e)) => {
@@ -818,9 +877,15 @@ mod tests {
         let e = 0x1_0000u64;
         let mut m = test_machine(&[
             Insn::Call { target: e + 3 * 8 }, // call f
-            Insn::MovImm { dst: Reg::Rbx, imm: 7 }, // after return
+            Insn::MovImm {
+                dst: Reg::Rbx,
+                imm: 7,
+            }, // after return
             Insn::Hlt,
-            Insn::MovImm { dst: Reg::Rax, imm: 5 }, // f:
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: 5,
+            }, // f:
             Insn::Ret,
         ]);
         let outs = run_steps(&mut m, 4);
@@ -834,11 +899,26 @@ mod tests {
     fn conditional_branch_signed_semantics() {
         let e = 0x1_0000u64;
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rax, imm: -5 },
-            Insn::CmpImm { a: Reg::Rax, imm: 3 },
-            Insn::Jcc { cond: Cond::Lt, target: e + 4 * 8 },
-            Insn::MovImm { dst: Reg::Rbx, imm: 111 }, // skipped
-            Insn::MovImm { dst: Reg::Rcx, imm: 222 },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: -5,
+            },
+            Insn::CmpImm {
+                a: Reg::Rax,
+                imm: 3,
+            },
+            Insn::Jcc {
+                cond: Cond::Lt,
+                target: e + 4 * 8,
+            },
+            Insn::MovImm {
+                dst: Reg::Rbx,
+                imm: 111,
+            }, // skipped
+            Insn::MovImm {
+                dst: Reg::Rcx,
+                imm: 222,
+            },
         ]);
         run_steps(&mut m, 4);
         assert_eq!(m.cpu(0).get(Reg::Rbx), 0, "not-taken path must be skipped");
@@ -849,10 +929,22 @@ mod tests {
     fn unsigned_below_uses_carry() {
         let e = 0x1_0000u64;
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rax, imm: -5 }, // huge unsigned
-            Insn::CmpImm { a: Reg::Rax, imm: 3 },
-            Insn::Jcc { cond: Cond::B, target: e + 4 * 8 }, // NOT below
-            Insn::MovImm { dst: Reg::Rbx, imm: 1 },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: -5,
+            }, // huge unsigned
+            Insn::CmpImm {
+                a: Reg::Rax,
+                imm: 3,
+            },
+            Insn::Jcc {
+                cond: Cond::B,
+                target: e + 4 * 8,
+            }, // NOT below
+            Insn::MovImm {
+                dst: Reg::Rbx,
+                imm: 1,
+            },
             Insn::Nop,
         ]);
         run_steps(&mut m, 4);
@@ -864,7 +956,9 @@ mod tests {
         let mut m = test_machine(&[Insn::Nop]);
         // Place guest code.
         let g = 0x10_0000u64;
-        m.mem.load_image(g, &[Insn::Hypercall { nr: 29 }.encode()]).unwrap();
+        m.mem
+            .load_image(g, &[Insn::Hypercall { nr: 29 }.encode()])
+            .unwrap();
         m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
         m.cpu_mut(0).rip = g;
         m.cpu_mut(0).set(Reg::Rsp, 0x4_0000 + 512 * 8);
@@ -876,7 +970,10 @@ mod tests {
         assert_eq!(m.cpu(0).rip, m.config.host_entry);
         assert_eq!(m.cpu(0).rsp(), m.config.host_stack_top(0));
         let cfg = m.config.clone();
-        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(),
+            g + 8
+        );
         assert_eq!(
             m.mem.peek(cfg.vmcs_field(0, vmcs::EXIT_REASON)).unwrap(),
             ExitReason::Hypercall(29).vmer() as u64
@@ -913,16 +1010,25 @@ mod tests {
             other => panic!("expected cpuid exit, got {other:?}"),
         }
         let cfg = m.config.clone();
-        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(),
+            g + 8
+        );
     }
 
     #[test]
     fn vmentry_loads_guest_state_from_vmcs() {
         let mut m = test_machine(&[Insn::VmEntry]);
         let cfg = m.config.clone();
-        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RIP), 0x10_0008).unwrap();
-        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RSP), 0x4_0100).unwrap();
-        m.mem.poke(cfg.vmcs_field(0, vmcs::GUEST_RFLAGS), flags::ZF).unwrap();
+        m.mem
+            .poke(cfg.vmcs_field(0, vmcs::GUEST_RIP), 0x10_0008)
+            .unwrap();
+        m.mem
+            .poke(cfg.vmcs_field(0, vmcs::GUEST_RSP), 0x4_0100)
+            .unwrap();
+        m.mem
+            .poke(cfg.vmcs_field(0, vmcs::GUEST_RFLAGS), flags::ZF)
+            .unwrap();
         match m.step(0) {
             StepOutcome::Event(Event::VmEntry) => {}
             other => panic!("expected vmentry, got {other:?}"),
@@ -958,7 +1064,10 @@ mod tests {
     #[test]
     fn host_cpuid_rdtsc_execute_natively() {
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rax, imm: 5 },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: 5,
+            },
             Insn::Cpuid,
             Insn::Rdtsc,
         ]);
@@ -973,14 +1082,19 @@ mod tests {
     fn force_exit_records_resume_point() {
         let mut m = test_machine(&[Insn::Nop]);
         let g = 0x10_0000u64;
-        m.mem.load_image(g, &[Insn::Nop.encode(), Insn::Nop.encode()]).unwrap();
+        m.mem
+            .load_image(g, &[Insn::Nop.encode(), Insn::Nop.encode()])
+            .unwrap();
         m.cpu_mut(0).mode = Mode::Guest { dom: 2, vcpu: 1 };
         m.cpu_mut(0).rip = g;
         m.step(0); // retire first nop
         let ev = m.force_exit(0, ExitReason::DeviceInterrupt(3));
         assert_eq!(ev, Event::VmExit(ExitReason::DeviceInterrupt(3)));
         let cfg = m.config.clone();
-        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(), g + 8);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RIP)).unwrap(),
+            g + 8
+        );
     }
 
     #[test]
@@ -993,8 +1107,14 @@ mod tests {
     #[test]
     fn noise_is_deterministic_from_snapshot() {
         let prog = [
-            Insn::Noise { dst: Reg::Rax, bound: 1000 },
-            Insn::Noise { dst: Reg::Rbx, bound: 1000 },
+            Insn::Noise {
+                dst: Reg::Rax,
+                bound: 1000,
+            },
+            Insn::Noise {
+                dst: Reg::Rbx,
+                bound: 1000,
+            },
         ];
         let m0 = test_machine(&prog);
         let mut a = m0.snapshot();
@@ -1008,9 +1128,18 @@ mod tests {
     #[test]
     fn out_in_device_model_is_deterministic() {
         let mut m = test_machine(&[
-            Insn::MovImm { dst: Reg::Rax, imm: 0x55 },
-            Insn::Out { port: 0x3f8, src: Reg::Rax },
-            Insn::In { dst: Reg::Rbx, port: 0x60 },
+            Insn::MovImm {
+                dst: Reg::Rax,
+                imm: 0x55,
+            },
+            Insn::Out {
+                port: 0x3f8,
+                src: Reg::Rax,
+            },
+            Insn::In {
+                dst: Reg::Rbx,
+                port: 0x60,
+            },
         ]);
         let mut m2 = m.snapshot();
         run_steps(&mut m, 3);
@@ -1037,14 +1166,19 @@ mod tests {
     fn guest_state_saved_to_vmcs_on_exit() {
         let mut m = test_machine(&[Insn::Nop]);
         let g = 0x10_0000u64;
-        m.mem.load_image(g, &[Insn::Hypercall { nr: 0 }.encode()]).unwrap();
+        m.mem
+            .load_image(g, &[Insn::Hypercall { nr: 0 }.encode()])
+            .unwrap();
         m.cpu_mut(0).mode = Mode::Guest { dom: 1, vcpu: 0 };
         m.cpu_mut(0).rip = g;
         m.cpu_mut(0).set(Reg::Rsp, 0x1234_5678);
         m.cpu_mut(0).rflags = flags::CF | flags::SF;
         m.step(0);
         let cfg = m.config.clone();
-        assert_eq!(m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RSP)).unwrap(), 0x1234_5678);
+        assert_eq!(
+            m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RSP)).unwrap(),
+            0x1234_5678
+        );
         assert_eq!(
             m.mem.peek(cfg.vmcs_field(0, vmcs::GUEST_RFLAGS)).unwrap(),
             flags::CF | flags::SF

@@ -24,13 +24,29 @@ pub struct Perms {
 
 impl Perms {
     /// Read-only data.
-    pub const R: Perms = Perms { read: true, write: false, exec: false };
+    pub const R: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
     /// Read-write data.
-    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
     /// Executable, read-only (text sections).
-    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+    pub const RX: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
     /// Executable and writable (guest self-modifying regions; discouraged).
-    pub const RWX: Perms = Perms { read: true, write: true, exec: true };
+    pub const RWX: Perms = Perms {
+        read: true,
+        write: true,
+        exec: true,
+    };
 }
 
 /// Identifies a region for diagnostics and fault-outcome classification
@@ -99,7 +115,11 @@ impl Memory {
     /// region or the base is unaligned — memory maps are built by trusted
     /// setup code, not simulated code.
     pub fn map(&mut self, name: &str, base: u64, words: usize, perms: Perms) -> RegionId {
-        assert_eq!(base % 8, 0, "region base must be 8-aligned: {name} @ {base:#x}");
+        assert_eq!(
+            base % 8,
+            0,
+            "region base must be 8-aligned: {name} @ {base:#x}"
+        );
         assert!(words > 0, "empty region: {name}");
         let end = base + (words as u64) * 8;
         for r in &self.regions {
@@ -112,7 +132,13 @@ impl Memory {
             );
         }
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(Region { id, name: name.to_string(), base, words: vec![0; words], perms });
+        self.regions.push(Region {
+            id,
+            name: name.to_string(),
+            base,
+            words: vec![0; words],
+            perms,
+        });
         self.regions.sort_by_key(|r| r.base);
         id
     }
@@ -136,7 +162,10 @@ impl Memory {
 
     /// Region by id.
     pub fn region(&self, id: RegionId) -> &Region {
-        self.regions.iter().find(|r| r.id == id).expect("region id valid")
+        self.regions
+            .iter()
+            .find(|r| r.id == id)
+            .expect("region id valid")
     }
 
     /// Region lookup by name (setup/diagnostics).
@@ -268,33 +297,48 @@ mod tests {
     fn unmapped_access_faults() {
         let m = mem();
         assert_eq!(m.read(0x0).unwrap_err(), MemError::Unmapped { addr: 0 });
-        assert_eq!(m.read(0x9000).unwrap_err(), MemError::Unmapped { addr: 0x9000 });
+        assert_eq!(
+            m.read(0x9000).unwrap_err(),
+            MemError::Unmapped { addr: 0x9000 }
+        );
     }
 
     #[test]
     fn write_to_text_is_protection_fault() {
         let mut m = mem();
-        assert_eq!(m.write(0x1000, 1).unwrap_err(), MemError::Protection { addr: 0x1000 });
+        assert_eq!(
+            m.write(0x1000, 1).unwrap_err(),
+            MemError::Protection { addr: 0x1000 }
+        );
     }
 
     #[test]
     fn fetch_from_data_is_protection_fault() {
         let m = mem();
-        assert_eq!(m.fetch(0x2000).unwrap_err(), MemError::Protection { addr: 0x2000 });
+        assert_eq!(
+            m.fetch(0x2000).unwrap_err(),
+            MemError::Protection { addr: 0x2000 }
+        );
         assert!(m.fetch(0x1008).is_ok());
     }
 
     #[test]
     fn unaligned_access_faults() {
         let m = mem();
-        assert_eq!(m.read(0x2001).unwrap_err(), MemError::Unaligned { addr: 0x2001 });
+        assert_eq!(
+            m.read(0x2001).unwrap_err(),
+            MemError::Unaligned { addr: 0x2001 }
+        );
     }
 
     #[test]
     fn read_only_region_rejects_writes_allows_reads() {
         let mut m = mem();
         assert!(m.read(0x3000).is_ok());
-        assert_eq!(m.write(0x3000, 5).unwrap_err(), MemError::Protection { addr: 0x3000 });
+        assert_eq!(
+            m.write(0x3000, 5).unwrap_err(),
+            MemError::Protection { addr: 0x3000 }
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ fn mix3(a: u64, b: u64, c: u64) -> u64 {
 impl SiteNoise {
     /// Seeded source.
     pub fn new(seed: u64) -> SiteNoise {
-        SiteNoise { seed, counters: HashMap::new() }
+        SiteNoise {
+            seed,
+            counters: HashMap::new(),
+        }
     }
 
     /// Next value for the site at `rip`, uniform in `[0, bound)`
@@ -165,7 +168,9 @@ mod site_tests {
     fn different_seeds_differ() {
         let mut a = SiteNoise::new(1);
         let mut b = SiteNoise::new(2);
-        let same = (0..32).filter(|_| a.next_at(0x10, 1 << 30) == b.next_at(0x10, 1 << 30)).count();
+        let same = (0..32)
+            .filter(|_| a.next_at(0x10, 1 << 30) == b.next_at(0x10, 1 << 30))
+            .count();
         assert!(same < 2);
     }
 

@@ -25,10 +25,19 @@ fn run_compare(a: u64, b: u64, cond: Cond) -> bool {
     mem.map("vmcs", 0x10000, 8, Perms::RW);
     // cmp rax, rbx ; jcc taken -> rcx = 1 ; hlt
     let prog = [
-        Insn::Cmp { a: Reg::Rax, b: Reg::Rbx },
-        Insn::Jcc { cond, target: 0x1000 + 3 * 8 },
-        Insn::Hlt,                                  // not taken
-        Insn::MovImm { dst: Reg::Rcx, imm: 1 },     // taken
+        Insn::Cmp {
+            a: Reg::Rax,
+            b: Reg::Rbx,
+        },
+        Insn::Jcc {
+            cond,
+            target: 0x1000 + 3 * 8,
+        },
+        Insn::Hlt, // not taken
+        Insn::MovImm {
+            dst: Reg::Rcx,
+            imm: 1,
+        }, // taken
         Insn::Hlt,
     ];
     let words: Vec<u64> = prog.iter().map(|i| i.encode()).collect();

@@ -24,9 +24,16 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         (arb_reg(), arb_imm()).prop_map(|(dst, imm)| Insn::MovImm { dst, imm }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovReg { dst, src }),
-        (arb_reg(), arb_reg(), arb_imm()).prop_map(|(dst, base, off)| Insn::Load { dst, base, off }),
-        (arb_reg(), arb_reg(), arb_imm())
-            .prop_map(|(base, src, off)| Insn::Store { base, src, off }),
+        (arb_reg(), arb_reg(), arb_imm()).prop_map(|(dst, base, off)| Insn::Load {
+            dst,
+            base,
+            off
+        }),
+        (arb_reg(), arb_reg(), arb_imm()).prop_map(|(base, src, off)| Insn::Store {
+            base,
+            src,
+            off
+        }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Add { dst, src }),
         (arb_reg(), arb_imm()).prop_map(|(dst, imm)| Insn::AddImm { dst, imm }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Sub { dst, src }),

@@ -129,8 +129,18 @@ pub fn build_machine(topo: &Topology) -> (Machine, Image) {
     // with unmapped gaps between them (see `layout`): corrupted indexes and
     // pointers fault instead of silently hitting a neighbour structure.
     mem.map("hv.global", lay::GLOBAL_BASE, lay::GLOBAL_WORDS, Perms::RW);
-    mem.map("hv.scratch", lay::SCRATCH_BASE, lay::SCRATCH_WORDS, Perms::RW);
-    mem.map("hv.dispatch", lay::DISPATCH_BASE, lay::dispatch_entries() as usize, Perms::RW);
+    mem.map(
+        "hv.scratch",
+        lay::SCRATCH_BASE,
+        lay::SCRATCH_WORDS,
+        Perms::RW,
+    );
+    mem.map(
+        "hv.dispatch",
+        lay::DISPATCH_BASE,
+        lay::dispatch_entries() as usize,
+        Perms::RW,
+    );
     mem.map(
         "hv.pcpu",
         lay::pcpu::BASE,
@@ -186,10 +196,21 @@ pub fn build_machine(topo: &Topology) -> (Machine, Image) {
         Perms::RW,
     );
     for d in 0..topo.domains.len() {
-        mem.map(&format!("dom{d}.text"), lay::guest_text(d), lay::GUEST_TEXT_WORDS, Perms::RX);
-        mem.map(&format!("dom{d}.data"), lay::guest_data(d), lay::GUEST_DATA_WORDS, Perms::RW);
+        mem.map(
+            &format!("dom{d}.text"),
+            lay::guest_text(d),
+            lay::GUEST_TEXT_WORDS,
+            Perms::RX,
+        );
+        mem.map(
+            &format!("dom{d}.data"),
+            lay::guest_data(d),
+            lay::GUEST_DATA_WORDS,
+            Perms::RW,
+        );
     }
-    mem.load_image(img.base, &img.words).expect("hypervisor text loads");
+    mem.load_image(img.base, &img.words)
+        .expect("hypervisor text loads");
 
     let config = MachineConfig {
         nr_cpus: topo.nr_cpus,
@@ -225,8 +246,16 @@ fn init_data(m: &mut Machine, topo: &Topology, img: &Image) {
     };
 
     // Globals.
-    poke(m, lay::global_addr(lay::global::NUM_DOMS), topo.domains.len() as u64);
-    poke(m, lay::global_addr(lay::global::NUM_PCPUS), topo.nr_cpus as u64);
+    poke(
+        m,
+        lay::global_addr(lay::global::NUM_DOMS),
+        topo.domains.len() as u64,
+    );
+    poke(
+        m,
+        lay::global_addr(lay::global::NUM_PCPUS),
+        topo.nr_cpus as u64,
+    );
     poke(m, lay::global_addr(lay::global::WALLCLOCK), 1);
 
     // Dispatch table.
@@ -260,7 +289,11 @@ fn init_data(m: &mut Machine, topo: &Topology, img: &Image) {
             poke(m, va + vcpu::VCPU_ID * 8, v as u64);
             poke(m, va + vcpu::RUNNABLE * 8, 1);
             poke(m, va + vcpu::DOM_PTR * 8, da);
-            poke(m, va + vcpu::TIME_OFFSET * 8, (d as u64) * 0x1_0000 + v as u64 * 0x100);
+            poke(
+                m,
+                va + vcpu::TIME_OFFSET * 8,
+                (d as u64) * 0x1_0000 + v as u64 * 0x100,
+            );
         }
         first_vcpu += lay::MAX_VCPUS_PER_DOM; // descriptors are strided per domain
     }
@@ -305,17 +338,29 @@ fn init_data(m: &mut Machine, topo: &Topology, img: &Image) {
         let pa = lay::pcpu_addr(cpu);
         poke(m, pa + pcpu::VMCS_PTR * 8, m.config.vmcs_field(cpu, 0));
         poke(m, pa + pcpu::RUNQ_PTR * 8, lay::runq_addr(cpu));
-        poke(m, pa + pcpu::IDLE_VCPU * 8, lay::vcpu_addr(lay::idle_vcpu_index(cpu)));
+        poke(
+            m,
+            pa + pcpu::IDLE_VCPU * 8,
+            lay::vcpu_addr(lay::idle_vcpu_index(cpu)),
+        );
         match assigned_first[cpu] {
             Some(v) => {
                 poke(m, pa + pcpu::CURRENT_VCPU * 8, v);
                 poke(m, pa + pcpu::IDLE * 8, 0);
                 // Cursor starts past entry 0 so the first schedule() call
                 // rotates fairly.
-                poke(m, lay::runq_addr(cpu) + runq::CURSOR * 8, 1 % counts[cpu].max(1));
+                poke(
+                    m,
+                    lay::runq_addr(cpu) + runq::CURSOR * 8,
+                    1 % counts[cpu].max(1),
+                );
             }
             None => {
-                poke(m, pa + pcpu::CURRENT_VCPU * 8, lay::vcpu_addr(lay::idle_vcpu_index(cpu)));
+                poke(
+                    m,
+                    pa + pcpu::CURRENT_VCPU * 8,
+                    lay::vcpu_addr(lay::idle_vcpu_index(cpu)),
+                );
                 poke(m, pa + pcpu::IDLE * 8, 1);
             }
         }
@@ -331,13 +376,22 @@ mod tests {
         let img = build_image(4);
         // Spot-check the symbol families.
         for n in 0..NR_HYPERCALLS {
-            assert!(img.symbol(&hypercalls::label(n)).is_some(), "missing hypercall {n}");
+            assert!(
+                img.symbol(&hypercalls::label(n)).is_some(),
+                "missing hypercall {n}"
+            );
         }
         for v in 0..20u8 {
-            assert!(img.symbol(&exceptions::label(v)).is_some(), "missing exception {v}");
+            assert!(
+                img.symbol(&exceptions::label(v)).is_some(),
+                "missing exception {v}"
+            );
         }
         for v in 0..NR_APIC_VECTORS {
-            assert!(img.symbol(&irq::apic_label(v)).is_some(), "missing apic {v}");
+            assert!(
+                img.symbol(&irq::apic_label(v)).is_some(),
+                "missing apic {v}"
+            );
         }
         assert!(img.symbol("vmexit_common").is_some());
         assert!(img.symbol("vmexit_return").is_some());
@@ -352,7 +406,11 @@ mod tests {
         // The paper quotes ~2,000 LoC for Xentry and a much larger Xen; our
         // handler catalogue should be in the thousands of instructions.
         let img = build_image(4);
-        assert!(img.len() > 1000, "suspiciously small hypervisor: {} words", img.len());
+        assert!(
+            img.len() > 1000,
+            "suspiciously small hypervisor: {} words",
+            img.len()
+        );
         assert!(img.len() <= lay::HV_TEXT_WORDS);
     }
 
@@ -373,7 +431,10 @@ mod tests {
     fn machine_builds_with_initialized_structures() {
         let topo = Topology::paper_fault_injection(42);
         let (m, img) = build_machine(&topo);
-        assert_eq!(m.mem.peek(lay::global_addr(lay::global::NUM_DOMS)).unwrap(), 3);
+        assert_eq!(
+            m.mem.peek(lay::global_addr(lay::global::NUM_DOMS)).unwrap(),
+            3
+        );
         // Dispatch entry 17 (xen_version) points at its handler.
         assert_eq!(
             m.mem.peek(lay::dispatch_entry(17)).unwrap(),
@@ -382,7 +443,10 @@ mod tests {
         // VCPU 0 of dom 1 was initialized.
         let va = lay::vcpu_addr(lay::MAX_VCPUS_PER_DOM);
         assert_eq!(m.mem.peek(va + vcpu::DOM_ID * 8).unwrap(), 1);
-        assert_eq!(m.mem.peek(va + vcpu::SAVE_RIP * 8).unwrap(), lay::guest_text(1));
+        assert_eq!(
+            m.mem.peek(va + vcpu::SAVE_RIP * 8).unwrap(),
+            lay::guest_text(1)
+        );
         // CPU 0 boots at the return stub.
         assert_eq!(m.cpu(0).rip, img.sym("vmexit_return"));
     }

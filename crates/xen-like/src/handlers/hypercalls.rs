@@ -616,7 +616,10 @@ fn hc20_grant_table_op(a: &mut Asm) {
     a.jne(format!("{l}.unmap"));
     // map: flags = INUSE|RW, frame stored above bit 8.
     a.shl(Rbx, 8);
-    a.addi(Rbx, (grant::FLAG_INUSE | grant::FLAG_READ | grant::FLAG_WRITE) as i64);
+    a.addi(
+        Rbx,
+        (grant::FLAG_INUSE | grant::FLAG_READ | grant::FLAG_WRITE) as i64,
+    );
     a.store(R8, 0, Rbx);
     // Copy a 4-word payload through the hypervisor scratch window (grant
     // copy traffic).
@@ -673,8 +676,8 @@ fn hc22_update_va_mapping_otherdomain(a: &mut Asm) {
     a.movi(R8, lay::global_addr(lay::global::NUM_DOMS) as i64);
     a.load(R8, R8, 0);
     a.rem(Rbx, R8); // clamp domid
-    // Scan the domain table for the id (linear search as in Xen's
-    // rcu_lock_domain_by_id).
+                    // Scan the domain table for the id (linear search as in Xen's
+                    // rcu_lock_domain_by_id).
     a.movi(R12, lay::domain_addr(0) as i64);
     a.movi(R13, 0);
     a.label(format!("{l}.scan"));
@@ -747,7 +750,11 @@ fn hc24_vcpu_op(a: &mut Asm) {
     a.load(R9, R8, (domain::NR_VCPUS * 8) as i64);
     a.cmp(Rdx, R9);
     a.jae(format!("{l}.einval"));
-    a.assert_le(Rdx, lay::MAX_VCPUS_PER_DOM as i64 - 1, assert_ids::VCPU_BOUND);
+    a.assert_le(
+        Rdx,
+        lay::MAX_VCPUS_PER_DOM as i64 - 1,
+        assert_ids::VCPU_BOUND,
+    );
     // target = vcpu_base + (first_vcpu + vcpuid) * stride
     a.load(R9, R8, (domain::FIRST_VCPU * 8) as i64);
     a.add(R9, Rdx);
@@ -1022,7 +1029,7 @@ fn hc32_event_channel_op(a: &mut Asm) {
     a.and(R9, Rbx);
     a.cmpi(R9, 0);
     a.jne(format!("{l}.sent")); // masked: pending set, no upcall
-    // Bound VCPU index lives above bit 8.
+                                // Bound VCPU index lives above bit 8.
     a.shr(Rbx, 8);
     mod_imm(a, Rbx, lay::MAX_VCPUS_PER_DOM as i64);
     a.load(R8, R15, (vcpu::DOM_PTR * 8) as i64);

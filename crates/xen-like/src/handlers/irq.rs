@@ -22,8 +22,16 @@ pub const DO_TASKLET: &str = "do_tasklet";
 
 /// Names of the ten APIC handlers.
 pub const APIC_NAMES: [&str; 10] = [
-    "timer", "resched", "callfunc", "pmu", "thermal", "spurious", "error", "local_timer",
-    "tlb_flush", "wakeup",
+    "timer",
+    "resched",
+    "callfunc",
+    "pmu",
+    "thermal",
+    "spurious",
+    "error",
+    "local_timer",
+    "tlb_flush",
+    "wakeup",
 ];
 
 /// Label of APIC handler `v`.
@@ -83,7 +91,7 @@ fn emit_do_irq(a: &mut Asm) {
     a.mul(R14, R9);
     a.movi(R9, lay::domain_addr(0) as i64);
     a.add(R14, R9); // r14 = domain descriptor
-    // Channel = IRQ line (device IRQs bind to low ports).
+                    // Channel = IRQ line (device IRQs bind to low ports).
     a.load(R11, R14, (domain::EVTCHN_PTR * 8) as i64);
     a.mov(R9, R13);
     a.shl(R9, 3);

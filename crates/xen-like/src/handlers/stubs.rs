@@ -116,7 +116,11 @@ fn emit_domain_audit(a: &mut Asm) {
     // A channel word encodes pending/masked bits plus a bound VCPU index:
     // anything above the encodable range is corruption (Xen's evtchn
     // ASSERTs).
-    a.assert_le(Rbx, ((lay::MAX_VCPUS_PER_DOM as i64 - 1) << 8) | 0xff, assert_ids::EVTCHN_STATE);
+    a.assert_le(
+        Rbx,
+        ((lay::MAX_VCPUS_PER_DOM as i64 - 1) << 8) | 0xff,
+        assert_ids::EVTCHN_STATE,
+    );
     a.add(Rax, Rbx);
     a.addi(R9, 8);
     a.subi(Rcx, 1);
@@ -192,7 +196,7 @@ fn emit_update_vcpu_time(a: &mut Asm) {
     a.load(R9, Rcx, (lay::shared::TSC_STAMP * 8) as i64);
     a.mov(Rbx, Rax);
     a.sub(Rbx, R9); // delta = tsc_now - tsc_stamp
-    // delta * mul_frac >> 32, split into high/low halves.
+                    // delta * mul_frac >> 32, split into high/low halves.
     a.movi(R9, 0x9F02_25F3); // ~2.48 ns/cycle in 32.32 fixed point
     a.mov(R8, Rbx);
     a.shr(R8, 32);
@@ -202,7 +206,7 @@ fn emit_update_vcpu_time(a: &mut Asm) {
     a.mul(Rbx, R9); // low half * frac
     a.shr(Rbx, 32);
     a.add(R8, Rbx); // scaled delta (ns)
-    // system_time = wallclock * 1000 + scaled delta + per-VCPU offset.
+                    // system_time = wallclock * 1000 + scaled delta + per-VCPU offset.
     a.movi(Rdx, lay::global_addr(lay::global::WALLCLOCK) as i64);
     a.load(Rdx, Rdx, 0);
     a.mov(Rbx, Rdx);
@@ -269,7 +273,11 @@ fn emit_vmexit_common(a: &mut Asm) {
     // Dispatch on the exit reason. The bound check is a paper-style
     // boundary assertion: a corrupted reason would index outside the table.
     a.load(Rbx, Rax, (vmcs::EXIT_REASON * 8) as i64);
-    a.assert_le(Rbx, (lay::dispatch_entries() - 1) as i64, assert_ids::VMER_BOUND);
+    a.assert_le(
+        Rbx,
+        (lay::dispatch_entries() - 1) as i64,
+        assert_ids::VMER_BOUND,
+    );
     a.mov(Rbp, R11); // rbp = PCPU (handler convention, preserved)
     a.mov(Rdi, R10); // rdi = VCPU
     a.load(Rsi, Rax, (vmcs::EXIT_QUAL * 8) as i64); // rsi = qualification

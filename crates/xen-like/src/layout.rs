@@ -112,7 +112,6 @@ pub mod global {
     pub const SCRATCH: u64 = 8;
 }
 
-
 /// Per-PCPU block: stride and field offsets (in words).
 pub mod pcpu {
     /// Absolute base address of the PCPU array.
@@ -341,7 +340,10 @@ pub fn runq_addr(cpu: usize) -> u64 {
 
 /// Span covering all hypervisor data families (diagnostics/classification).
 pub fn hv_data_span() -> (u64, u64) {
-    (GLOBAL_BASE, runq::BASE + (MAX_PCPUS as u64 * runq::STRIDE) * 8)
+    (
+        GLOBAL_BASE,
+        runq::BASE + (MAX_PCPUS as u64 * runq::STRIDE) * 8,
+    )
 }
 
 /// Global VCPU index of the idle VCPU for `cpu`.
@@ -385,7 +387,10 @@ mod tests {
         }
         let (lo, hi) = hv_data_span();
         assert!(lo < hi);
-        assert!(hi <= HV_STACK_BASE, "data families must end below the stacks");
+        assert!(
+            hi <= HV_STACK_BASE,
+            "data families must end below the stacks"
+        );
     }
 
     #[test]
@@ -399,7 +404,11 @@ mod tests {
     fn guest_windows_are_disjoint() {
         for d in 0..MAX_DOMS - 1 {
             let end = guest_data(d) + (GUEST_DATA_WORDS as u64) * 8;
-            assert!(end <= guest_window(d + 1), "dom {d} window overflows into {}", d + 1);
+            assert!(
+                end <= guest_window(d + 1),
+                "dom {d} window overflows into {}",
+                d + 1
+            );
         }
     }
 

@@ -74,7 +74,10 @@ pub enum ActivationOutcome {
 impl ActivationOutcome {
     /// Whether the platform can keep running after this outcome.
     pub fn is_healthy(self) -> bool {
-        matches!(self, ActivationOutcome::Resumed | ActivationOutcome::WentIdle)
+        matches!(
+            self,
+            ActivationOutcome::Resumed | ActivationOutcome::WentIdle
+        )
     }
 }
 
@@ -105,7 +108,10 @@ pub struct IrqProfile {
 impl Default for IrqProfile {
     fn default() -> IrqProfile {
         // 1 kHz tick at the paper's 2.13 GHz clock.
-        IrqProfile { tick_period: 2_130_000, dev_irq_period: 0 }
+        IrqProfile {
+            tick_period: 2_130_000,
+            dev_irq_period: 0,
+        }
     }
 }
 
@@ -152,7 +158,10 @@ impl Platform {
 
     /// Read a PCPU field for `cpu`.
     pub fn pcpu_field(&self, cpu: CpuId, field: u64) -> u64 {
-        self.machine.mem.peek(lay::pcpu_addr(cpu) + field * 8).expect("pcpu mapped")
+        self.machine
+            .mem
+            .peek(lay::pcpu_addr(cpu) + field * 8)
+            .expect("pcpu mapped")
     }
 
     /// Address of the VCPU descriptor currently scheduled on `cpu`.
@@ -373,7 +382,14 @@ impl Platform {
         monitor.on_vm_exit(&mut self.machine, cpu, reason);
         let (outcome, handler_insns, handler_cycles) =
             self.run_host_hooked(cpu, monitor, hook_at, hook);
-        Activation { cpu, reason, handler_insns, handler_cycles, guest_cycles, outcome }
+        Activation {
+            cpu,
+            reason,
+            handler_insns,
+            handler_cycles,
+            guest_cycles,
+            outcome,
+        }
     }
 
     /// Force the pending asynchronous exit whose deadline fired and re-arm

@@ -48,14 +48,28 @@ fn pv_rdtsc_emulation_applies_time_offset() {
     });
     // Give the VCPU a recognizable virtual-time offset.
     let off = 0x10_0000u64;
-    plat.machine.mem.poke(lay::vcpu_addr(0) + lay::vcpu::TIME_OFFSET * 8, off).unwrap();
-    run_until(&mut plat, |r| r == ExitReason::Exception(Vector::GeneralProtection), 10);
+    plat.machine
+        .mem
+        .poke(lay::vcpu_addr(0) + lay::vcpu::TIME_OFFSET * 8, off)
+        .unwrap();
+    run_until(
+        &mut plat,
+        |r| r == ExitReason::Exception(Vector::GeneralProtection),
+        10,
+    );
     let lo = plat.machine.cpu(0).get(Reg::Rax);
     let hi = plat.machine.cpu(0).get(Reg::Rdx);
     let tsc = (hi << 32) | lo;
-    assert!(tsc >= off, "emulated tsc {tsc:#x} must include the offset {off:#x}");
+    assert!(
+        tsc >= off,
+        "emulated tsc {tsc:#x} must include the offset {off:#x}"
+    );
     // The shared-info TSC stamp was written (guest-visible time data).
-    let stamp = plat.machine.mem.peek(lay::shared_addr(0) + lay::shared::TSC_STAMP * 8).unwrap();
+    let stamp = plat
+        .machine
+        .mem
+        .peek(lay::shared_addr(0) + lay::shared::TSC_STAMP * 8)
+        .unwrap();
     assert_ne!(stamp, 0);
 }
 
@@ -122,11 +136,19 @@ fn guest_divide_error_is_delivered_and_counted() {
             break;
         }
     }
-    assert_eq!(plat.machine.cpu(0).get(Reg::R13), 0x600D, "guest survived the #DE");
+    assert_eq!(
+        plat.machine.cpu(0).get(Reg::R13),
+        0x600D,
+        "guest survived the #DE"
+    );
     let traps = plat.machine.mem.peek(lay::guest_data(0) + 16 * 8).unwrap();
     assert_eq!(traps, 1, "exactly one trap delivered");
     // The hypervisor recorded the delivered vector.
-    let last = plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::LAST_TRAP * 8).unwrap();
+    let last = plat
+        .machine
+        .mem
+        .peek(lay::vcpu_addr(0) + lay::vcpu::LAST_TRAP * 8)
+        .unwrap();
     assert_eq!(last, Vector::DivideError as u64);
 }
 
@@ -148,7 +170,11 @@ fn guest_page_fault_is_forwarded_not_fixed_up() {
         a.store(Reg::Rsp, 0, Reg::R8);
         a.hypercall(23);
     });
-    run_until(&mut plat, |r| r == ExitReason::Exception(Vector::PageFault), 10);
+    run_until(
+        &mut plat,
+        |r| r == ExitReason::Exception(Vector::PageFault),
+        10,
+    );
     let fixups = plat.machine.mem.peek(lay::domain_addr(0) + 38 * 8).unwrap();
     assert_eq!(fixups, 1, "fault accounted");
 }
@@ -162,14 +188,22 @@ fn device_irq_sets_event_channel_and_wakes_vcpu() {
     });
     plat.boot(0, &mut NullMonitor);
     plat.run_activation(0, &mut NullMonitor); // settle
-    // Inject IRQ 5 directly.
+                                              // Inject IRQ 5 directly.
     let ev = plat.machine.force_exit(0, ExitReason::DeviceInterrupt(5));
     assert!(matches!(ev, sim_machine::Event::VmExit(_)));
     let act = plat.run_handler(0, ExitReason::DeviceInterrupt(5), 0, &mut NullMonitor);
     assert!(act.outcome.is_healthy());
     let chan = plat.machine.mem.peek(lay::evtchn_addr(0) + 5 * 8).unwrap();
-    assert_eq!(chan & lay::evtchn::PENDING_BIT, 1, "irq 5 pending on port 5");
-    let irqs = plat.machine.mem.peek(lay::global_addr(lay::global::IRQ_COUNT)).unwrap();
+    assert_eq!(
+        chan & lay::evtchn::PENDING_BIT,
+        1,
+        "irq 5 pending on port 5"
+    );
+    let irqs = plat
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::IRQ_COUNT))
+        .unwrap();
     assert!(irqs >= 1);
 }
 
@@ -182,17 +216,36 @@ fn softirq_exit_runs_scheduler() {
     });
     plat.boot(0, &mut NullMonitor);
     plat.run_activation(0, &mut NullMonitor);
-    let ticks0 = plat.machine.mem.peek(lay::global_addr(lay::global::SCHED_TICKS)).unwrap();
+    let ticks0 = plat
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::SCHED_TICKS))
+        .unwrap();
     // Raise the SCHED softirq by hand; the next activation must drain it.
     plat.machine
         .mem
-        .poke(lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8, lay::softirq::SCHED)
+        .poke(
+            lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8,
+            lay::softirq::SCHED,
+        )
         .unwrap();
     let act = plat.run_activation(0, &mut NullMonitor);
-    assert_eq!(act.reason, ExitReason::Softirq, "pending softirq preempts the guest");
-    let ticks1 = plat.machine.mem.peek(lay::global_addr(lay::global::SCHED_TICKS)).unwrap();
+    assert_eq!(
+        act.reason,
+        ExitReason::Softirq,
+        "pending softirq preempts the guest"
+    );
+    let ticks1 = plat
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::SCHED_TICKS))
+        .unwrap();
     assert_eq!(ticks1, ticks0 + 1, "schedule() ran once");
-    let pending = plat.machine.mem.peek(lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8).unwrap();
+    let pending = plat
+        .machine
+        .mem
+        .peek(lay::pcpu_addr(0) + lay::pcpu::SOFTIRQ_PENDING * 8)
+        .unwrap();
     assert_eq!(pending, 0, "softirq bits drained");
 }
 
@@ -207,9 +260,20 @@ fn apic_timer_updates_all_time_pages() {
     plat.boot(0, &mut NullMonitor);
     run_until(&mut plat, |r| r == ExitReason::ApicInterrupt(0), 200);
     let sh = lay::shared_addr(0);
-    let version = plat.machine.mem.peek(sh + lay::shared::TIME_VERSION * 8).unwrap();
-    assert!(version >= 2 && version % 2 == 0, "stable even time version, got {version}");
-    let systime = plat.machine.mem.peek(sh + lay::shared::SYSTEM_TIME * 8).unwrap();
+    let version = plat
+        .machine
+        .mem
+        .peek(sh + lay::shared::TIME_VERSION * 8)
+        .unwrap();
+    assert!(
+        version >= 2 && version % 2 == 0,
+        "stable even time version, got {version}"
+    );
+    let systime = plat
+        .machine
+        .mem
+        .peek(sh + lay::shared::SYSTEM_TIME * 8)
+        .unwrap();
     assert!(systime >= 1000, "system time advanced: {systime}");
 }
 
@@ -249,5 +313,8 @@ fn hvm_mode_io_exit_is_emulated() {
         }
     }
     assert!(seen_write && seen_read, "both I/O exits observed");
-    assert!(plat.machine.devices.out_count > out0, "write reached the device model");
+    assert!(
+        plat.machine.devices.out_count > out0,
+        "write reached the device model"
+    );
 }

@@ -33,7 +33,11 @@ fn run_hypercalls(plat: &mut Platform, n: usize) {
     let mut seen = 0;
     for _ in 0..200 {
         let act = plat.run_activation(0, &mut NullMonitor);
-        assert!(act.outcome.is_healthy(), "activation died: {:?}", act.outcome);
+        assert!(
+            act.outcome.is_healthy(),
+            "activation died: {:?}",
+            act.outcome
+        );
         if matches!(act.reason, sim_machine::ExitReason::Hypercall(_)) {
             seen += 1;
             if seen >= n {
@@ -94,7 +98,11 @@ fn grant_table_op_rejects_out_of_range_ref() {
         a.jmp(lay::guest_text(0) + 4 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    assert_eq!(guest_rax(&plat.machine) as i64, -22, "EINVAL for bad grant ref");
+    assert_eq!(
+        guest_rax(&plat.machine) as i64,
+        -22,
+        "EINVAL for bad grant ref"
+    );
 }
 
 #[test]
@@ -109,8 +117,11 @@ fn memory_op_balloons_pages_up_and_down() {
         a.jmp(lay::guest_text(0) + 6 * 8);
     });
     run_hypercalls(&mut plat, 2);
-    let balloon =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::BALLOON_PAGES * 8).unwrap();
+    let balloon = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::BALLOON_PAGES * 8)
+        .unwrap();
     assert_eq!(balloon as i64, 6, "10 up, 4 down");
 }
 
@@ -125,8 +136,11 @@ fn update_va_mapping_writes_guest_word() {
     });
     run_hypercalls(&mut plat, 1);
     assert_eq!(plat.machine.mem.peek(target).unwrap(), 0xDEAD);
-    let updates =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8).unwrap();
+    let updates = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8)
+        .unwrap();
     assert!(updates >= 1);
 }
 
@@ -139,7 +153,11 @@ fn update_va_mapping_rejects_foreign_address() {
         a.jmp(lay::guest_text(0) + 3 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    assert_eq!(guest_rax(&plat.machine) as i64, -14, "EFAULT for out-of-window va");
+    assert_eq!(
+        guest_rax(&plat.machine) as i64,
+        -14,
+        "EFAULT for out-of-window va"
+    );
     assert_ne!(plat.machine.mem.peek(lay::GLOBAL_BASE).unwrap(), 0xBAD);
 }
 
@@ -156,11 +174,18 @@ fn evtchn_mask_blocks_upcall_send_sets_pending() {
     });
     run_hypercalls(&mut plat, 2);
     let chan = plat.machine.mem.peek(lay::evtchn_addr(0) + 7 * 8).unwrap();
-    assert_eq!(chan & lay::evtchn::PENDING_BIT, 1, "pending set even when masked");
+    assert_eq!(
+        chan & lay::evtchn::PENDING_BIT,
+        1,
+        "pending set even when masked"
+    );
     assert_eq!(chan & lay::evtchn::MASKED_BIT, 2, "mask still in place");
     // Masked send must not set the upcall flag.
-    let upcall =
-        plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::UPCALL_PENDING * 8).unwrap();
+    let upcall = plat
+        .machine
+        .mem
+        .peek(lay::vcpu_addr(0) + lay::vcpu::UPCALL_PENDING * 8)
+        .unwrap();
     assert_eq!(upcall, 0, "masked channel must not raise an upcall");
 }
 
@@ -197,13 +222,20 @@ fn set_timer_op_arms_and_timer_tick_fires_it() {
     for _ in 0..400 {
         let act = plat.run_activation(0, &mut NullMonitor);
         assert!(act.outcome.is_healthy());
-        let wc = plat.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+        let wc = plat
+            .machine
+            .mem
+            .peek(lay::global_addr(lay::global::WALLCLOCK))
+            .unwrap();
         if wc > 4 {
             break;
         }
     }
-    let deadline =
-        plat.machine.mem.peek(lay::vcpu_addr(0) + lay::vcpu::TIMER_DEADLINE * 8).unwrap();
+    let deadline = plat
+        .machine
+        .mem
+        .peek(lay::vcpu_addr(0) + lay::vcpu::TIMER_DEADLINE * 8)
+        .unwrap();
     assert_eq!(deadline, 0, "expired timer must be disarmed");
 }
 
@@ -243,7 +275,11 @@ fn console_io_writes_reach_the_device() {
     });
     let before = plat.machine.devices.out_count;
     run_hypercalls(&mut plat, 1);
-    assert_eq!(plat.machine.devices.out_count - before, 5, "five console writes");
+    assert_eq!(
+        plat.machine.devices.out_count - before,
+        5,
+        "five console writes"
+    );
     assert_eq!(guest_rax(&plat.machine), 5, "returns the count written");
 }
 
@@ -271,8 +307,16 @@ fn domctl_getinfo_and_esrch() {
         a.jmp(lay::guest_text(0) + 6 * 8);
     });
     run_hypercalls(&mut plat, 2);
-    assert_eq!(plat.machine.cpu(0).get(Reg::R13), 1, "getinfo returns nr_vcpus");
-    assert_eq!(guest_rax(&plat.machine) as i64, -3, "ESRCH for unknown domain");
+    assert_eq!(
+        plat.machine.cpu(0).get(Reg::R13),
+        1,
+        "getinfo returns nr_vcpus"
+    );
+    assert_eq!(
+        guest_rax(&plat.machine) as i64,
+        -3,
+        "ESRCH for unknown domain"
+    );
 }
 
 #[test]
@@ -285,8 +329,11 @@ fn set_callbacks_installs_trap_handler() {
         a.jmp(lay::guest_text(0) + 3 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    let installed =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::TRAP_HANDLER * 8).unwrap();
+    let installed = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::TRAP_HANDLER * 8)
+        .unwrap();
     assert_eq!(installed, handler);
 }
 
@@ -299,7 +346,11 @@ fn stack_switch_updates_guest_rsp() {
         a.jmp(lay::guest_text(0) + 2 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    assert_eq!(plat.machine.cpu(0).rsp(), new_rsp, "guest resumed on the new stack");
+    assert_eq!(
+        plat.machine.cpu(0).rsp(),
+        new_rsp,
+        "guest resumed on the new stack"
+    );
 }
 
 #[test]
@@ -317,7 +368,11 @@ fn multicall_accumulates_work_units() {
         a.jmp(lay::guest_text(0) + 7 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    let work = plat.machine.mem.peek(lay::pcpu_addr(0) + lay::pcpu::WORK * 8).unwrap();
+    let work = plat
+        .machine
+        .mem
+        .peek(lay::pcpu_addr(0) + lay::pcpu::WORK * 8)
+        .unwrap();
     assert_eq!(work, 10, "two sub-calls of 5 work units each");
 }
 

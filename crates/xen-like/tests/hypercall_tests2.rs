@@ -20,7 +20,10 @@ fn platform_with_guest(nr_doms: usize, program: impl FnOnce(&mut Asm)) -> Platfo
     let mut a = Asm::new(lay::guest_text(0));
     program(&mut a);
     let img = a.assemble().expect("guest assembles");
-    plat.machine.mem.load_image(lay::guest_text(0), &img.words).unwrap();
+    plat.machine
+        .mem
+        .load_image(lay::guest_text(0), &img.words)
+        .unwrap();
     plat
 }
 
@@ -54,8 +57,11 @@ fn set_trap_table_installs_last_valid_entry() {
     plat.machine.mem.poke(table, handler_a).unwrap();
     plat.machine.mem.poke(table + 5 * 8, handler_b).unwrap();
     run_hypercalls(&mut plat, 1);
-    let installed =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::TRAP_HANDLER * 8).unwrap();
+    let installed = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::TRAP_HANDLER * 8)
+        .unwrap();
     assert_eq!(installed, handler_b, "last non-zero entry wins");
 }
 
@@ -69,13 +75,26 @@ fn mmu_update_counts_valid_requests_only() {
         a.jmp(lay::guest_text(0) + 3 * 8);
     });
     // Two valid in-window targets, one foreign (hypervisor!) target.
-    plat.machine.mem.poke(reqs, lay::guest_data(0) + 0x100).unwrap();
-    plat.machine.mem.poke(reqs + 8, lay::guest_data(0) + 0x200).unwrap();
+    plat.machine
+        .mem
+        .poke(reqs, lay::guest_data(0) + 0x100)
+        .unwrap();
+    plat.machine
+        .mem
+        .poke(reqs + 8, lay::guest_data(0) + 0x200)
+        .unwrap();
     plat.machine.mem.poke(reqs + 16, lay::GLOBAL_BASE).unwrap();
     run_hypercalls(&mut plat, 1);
-    assert_eq!(plat.machine.cpu(0).get(Reg::Rax), 2, "only in-window updates applied");
-    let updates =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8).unwrap();
+    assert_eq!(
+        plat.machine.cpu(0).get(Reg::Rax),
+        2,
+        "only in-window updates applied"
+    );
+    let updates = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8)
+        .unwrap();
     assert_eq!(updates, 2);
 }
 
@@ -152,7 +171,11 @@ fn set_segment_base_round_trips_through_vcpu_words() {
         a.jmp(lay::guest_text(0) + 3 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    let stored = plat.machine.mem.peek(lay::vcpu_addr(0) + (40 + 2) * 8).unwrap();
+    let stored = plat
+        .machine
+        .mem
+        .peek(lay::vcpu_addr(0) + (40 + 2) * 8)
+        .unwrap();
     assert_eq!(stored, base);
 }
 
@@ -170,8 +193,11 @@ fn mmuext_op_pin_and_unpin_balance() {
         plat.machine.mem.poke(ops + (i as u64) * 8, *op).unwrap();
     }
     run_hypercalls(&mut plat, 1);
-    let updates =
-        plat.machine.mem.peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8).unwrap();
+    let updates = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + lay::domain::MMU_UPDATES * 8)
+        .unwrap();
     assert_eq!(updates, 2, "3 pins - 1 unpin");
 }
 
@@ -199,8 +225,14 @@ fn nmi_op_and_callback_op_register_handlers() {
         a.jmp(lay::guest_text(0) + 5 * 8);
     });
     run_hypercalls(&mut plat, 2);
-    assert_eq!(plat.machine.mem.peek(lay::domain_addr(0) + 36 * 8).unwrap(), cb);
-    assert_eq!(plat.machine.mem.peek(lay::domain_addr(0) + 37 * 8).unwrap(), cb);
+    assert_eq!(
+        plat.machine.mem.peek(lay::domain_addr(0) + 36 * 8).unwrap(),
+        cb
+    );
+    assert_eq!(
+        plat.machine.mem.peek(lay::domain_addr(0) + 37 * 8).unwrap(),
+        cb
+    );
 }
 
 #[test]
@@ -236,7 +268,11 @@ fn domctl_pause_and_unpause_toggle_runnable() {
     for _ in 0..300 {
         let act = plat.run_activation(0, &mut NullMonitor);
         assert!(act.outcome.is_healthy());
-        let runnable = plat.machine.mem.peek(dom1_vcpu + lay::vcpu::RUNNABLE * 8).unwrap();
+        let runnable = plat
+            .machine
+            .mem
+            .peek(dom1_vcpu + lay::vcpu::RUNNABLE * 8)
+            .unwrap();
         if runnable == 0 {
             saw_paused = true;
         }
@@ -254,7 +290,11 @@ fn platform_op_publishes_wallclock_to_shared_info() {
         a.jmp(lay::guest_text(0) + 2 * 8);
     });
     run_hypercalls(&mut plat, 1);
-    let wc = plat.machine.mem.peek(lay::shared_addr(0) + lay::shared::WALLCLOCK * 8).unwrap();
+    let wc = plat
+        .machine
+        .mem
+        .peek(lay::shared_addr(0) + lay::shared::WALLCLOCK * 8)
+        .unwrap();
     assert!(wc >= 1, "wallclock copied to the shared page: {wc}");
 }
 
@@ -293,8 +333,11 @@ fn update_va_mapping_otherdomain_reaches_target_window() {
     });
     run_hypercalls(&mut plat, 1);
     assert_eq!(plat.machine.mem.peek(target).unwrap(), 0xF00D);
-    let updates =
-        plat.machine.mem.peek(lay::domain_addr(1) + lay::domain::MMU_UPDATES * 8).unwrap();
+    let updates = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(1) + lay::domain::MMU_UPDATES * 8)
+        .unwrap();
     assert_eq!(updates, 1, "foreign domain's counter bumped");
 }
 
@@ -311,6 +354,10 @@ fn set_gdt_caches_frames_in_domain_scratch() {
     plat.machine.mem.poke(frames + 8, 0xBBB).unwrap();
     run_hypercalls(&mut plat, 1);
     // Slot 32 + (1 % 8) holds the second frame.
-    let cached = plat.machine.mem.peek(lay::domain_addr(0) + (32 + 1) * 8).unwrap();
+    let cached = plat
+        .machine
+        .mem
+        .peek(lay::domain_addr(0) + (32 + 1) * 8)
+        .unwrap();
     assert_eq!(cached, 0xBBB);
 }

@@ -68,7 +68,11 @@ fn hypercall_xen_version_returns_to_guest() {
     // first exit) unless a timer fires first — run until we see it.
     for _ in 0..50 {
         let act = p.run_activation(0, &mut NullMonitor);
-        assert!(act.outcome.is_healthy(), "unexpected outcome {:?}", act.outcome);
+        assert!(
+            act.outcome.is_healthy(),
+            "unexpected outcome {:?}",
+            act.outcome
+        );
         if act.reason == ExitReason::Hypercall(17) {
             // After resume the guest's RAX holds the version.
             assert_eq!(p.machine.cpu(0).get(Reg::Rax), 0x0004_0102);
@@ -120,7 +124,11 @@ fn timer_tick_advances_wallclock_and_guest_time() {
     let mut p = pv_platform(1);
     p.irq.tick_period = 20_000; // fast ticks for the test
     p.boot(0, &mut NullMonitor);
-    let wc0 = p.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+    let wc0 = p
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::WALLCLOCK))
+        .unwrap();
     let mut ticks = 0;
     for _ in 0..200 {
         let act = p.run_activation(0, &mut NullMonitor);
@@ -133,12 +141,27 @@ fn timer_tick_advances_wallclock_and_guest_time() {
         }
     }
     assert!(ticks >= 3, "timer never fired enough: {ticks}");
-    let wc1 = p.machine.mem.peek(lay::global_addr(lay::global::WALLCLOCK)).unwrap();
+    let wc1 = p
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::WALLCLOCK))
+        .unwrap();
     assert!(wc1 >= wc0 + 3, "wallclock did not advance: {wc0} -> {wc1}");
     // Guest-visible time page updated with an even (stable) version.
-    let ver = p.machine.mem.peek(lay::shared_addr(0) + lay::shared::TIME_VERSION * 8).unwrap();
-    assert!(ver > 0 && ver % 2 == 0, "time version protocol broken: {ver}");
-    let st = p.machine.mem.peek(lay::shared_addr(0) + lay::shared::SYSTEM_TIME * 8).unwrap();
+    let ver = p
+        .machine
+        .mem
+        .peek(lay::shared_addr(0) + lay::shared::TIME_VERSION * 8)
+        .unwrap();
+    assert!(
+        ver > 0 && ver % 2 == 0,
+        "time version protocol broken: {ver}"
+    );
+    let st = p
+        .machine
+        .mem
+        .peek(lay::shared_addr(0) + lay::shared::SYSTEM_TIME * 8)
+        .unwrap();
     assert!(st >= wc1 * 1000 - 2000, "system time not updated: {st}");
 }
 
@@ -149,17 +172,36 @@ fn thousand_fault_free_activations_stay_healthy() {
     p.irq.dev_irq_period = 120_000;
     p.boot(0, &mut NullMonitor);
     let acts = p.run(0, 1000, &mut NullMonitor);
-    assert_eq!(acts.len(), 1000, "hypervisor died early: {:?}", acts.last().unwrap().outcome);
+    assert_eq!(
+        acts.len(),
+        1000,
+        "hypervisor died early: {:?}",
+        acts.last().unwrap().outcome
+    );
     for act in &acts {
-        assert!(act.outcome.is_healthy(), "{:?} failed: {:?}", act.reason, act.outcome);
+        assert!(
+            act.outcome.is_healthy(),
+            "{:?} failed: {:?}",
+            act.reason,
+            act.outcome
+        );
     }
     // The mix should include hypercalls, exceptions (cpuid) and interrupts.
-    let hypercalls = acts.iter().filter(|a| matches!(a.reason, ExitReason::Hypercall(_))).count();
-    let exceptions = acts.iter().filter(|a| matches!(a.reason, ExitReason::Exception(_))).count();
+    let hypercalls = acts
+        .iter()
+        .filter(|a| matches!(a.reason, ExitReason::Hypercall(_)))
+        .count();
+    let exceptions = acts
+        .iter()
+        .filter(|a| matches!(a.reason, ExitReason::Exception(_)))
+        .count();
     let irqs = acts
         .iter()
         .filter(|a| {
-            matches!(a.reason, ExitReason::ApicInterrupt(_) | ExitReason::DeviceInterrupt(_))
+            matches!(
+                a.reason,
+                ExitReason::ApicInterrupt(_) | ExitReason::DeviceInterrupt(_)
+            )
         })
         .count();
     assert!(hypercalls > 100, "hypercalls: {hypercalls}");
@@ -216,5 +258,8 @@ fn guest_cycles_accumulate_between_exits() {
     p.boot(0, &mut NullMonitor);
     let act = p.run_activation(0, &mut NullMonitor);
     assert!(act.guest_cycles > 0, "guest ran before the exit");
-    assert!(act.handler_cycles > act.handler_insns, "cycles include memory costs");
+    assert!(
+        act.handler_cycles > act.handler_insns,
+        "cycles include memory costs"
+    );
 }

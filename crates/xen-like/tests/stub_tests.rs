@@ -116,14 +116,20 @@ fn scheduler_shares_cpu_between_vcpus() {
     }
     plat.boot(0, &mut NullMonitor);
     for _ in 0..200 {
-        assert!(plat.run_activation(0, &mut NullMonitor).outcome.is_healthy());
+        assert!(plat
+            .run_activation(0, &mut NullMonitor)
+            .outcome
+            .is_healthy());
     }
     let count0 = plat.machine.mem.peek(lay::guest_data(0) + 17 * 8).unwrap();
     let count1 = plat.machine.mem.peek(lay::guest_data(1) + 17 * 8).unwrap();
     assert!(count0 > 5, "dom0 starved: {count0}");
     assert!(count1 > 5, "dom1 starved: {count1}");
     let ratio = count0 as f64 / count1 as f64;
-    assert!((0.3..3.4).contains(&ratio), "unfair split: {count0} vs {count1}");
+    assert!(
+        (0.3..3.4).contains(&ratio),
+        "unfair split: {count0} vs {count1}"
+    );
 }
 
 /// The idle path engages when no VCPU is runnable, and the CPU comes back

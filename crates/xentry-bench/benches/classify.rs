@@ -13,9 +13,20 @@ fn synthetic_dataset(n: usize) -> Dataset {
     for i in 0..n as u64 {
         let vmer = i % 91;
         let rt = 800 + (i * 37) % 900;
-        let label = if (i * 13) % 10 == 0 { Label::Incorrect } else { Label::Correct };
-        let rt = if label == Label::Incorrect { rt + 2500 } else { rt };
-        ds.push(Sample::new(vec![vmer, rt, rt / 6, rt / 5, 30 + i % 9], label));
+        let label = if (i * 13) % 10 == 0 {
+            Label::Incorrect
+        } else {
+            Label::Correct
+        };
+        let rt = if label == Label::Incorrect {
+            rt + 2500
+        } else {
+            rt
+        };
+        ds.push(Sample::new(
+            vec![vmer, rt, rt / 6, rt / 5, 30 + i % 9],
+            label,
+        ));
     }
     ds
 }
@@ -26,7 +37,13 @@ fn bench_classify(c: &mut Criterion) {
     let rt = DecisionTree::train(&ds, &TrainConfig::random_tree(5, 1));
     let dt = DecisionTree::train(&ds, &TrainConfig::decision_tree());
     let det = VmTransitionDetector::new(rt.clone());
-    let f = FeatureVec { vmer: 17, rt: 1200, br: 200, rm: 240, wm: 33 };
+    let f = FeatureVec {
+        vmer: 17,
+        rt: 1200,
+        br: 200,
+        rm: 240,
+        wm: 33,
+    };
 
     group.bench_function(BenchmarkId::from_parameter("random_tree"), |b| {
         b.iter(|| rt.classify(std::hint::black_box(&f.columns())))

@@ -1,0 +1,95 @@
+//! Fleet service micro- and macro-benchmarks: queue ops, single-record
+//! ingest, and end-to-end replay throughput across 8 shards.
+//!
+//! The macro bench is the acceptance gate for the serving layer: one
+//! replayed burst across 8 shards must sustain over a million
+//! classifications per second in release mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xentry_fleet::{
+    replay, FleetConfig, FleetService, MpmcQueue, NullSink, ReplayConfig, TelemetryRecord,
+};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_queue");
+    let q: MpmcQueue<TelemetryRecord> = MpmcQueue::with_capacity(4096);
+    let rec = TelemetryRecord::new(
+        1,
+        0,
+        7,
+        xentry::FeatureVec {
+            vmer: 17,
+            rt: 120,
+            br: 14,
+            rm: 22,
+            wm: 9,
+        },
+    );
+    group.bench_function(BenchmarkId::from_parameter("push_pop"), |b| {
+        b.iter(|| {
+            q.push(std::hint::black_box(rec)).unwrap();
+            q.pop().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_ingest");
+    let det = replay::synthetic_detector(1);
+    let svc = FleetService::start(FleetConfig::default(), det, Arc::new(NullSink));
+    let f = xentry::FeatureVec {
+        vmer: 17,
+        rt: 120,
+        br: 14,
+        rm: 22,
+        wm: 9,
+    };
+    let mut seq = 0u64;
+    group.bench_function(BenchmarkId::from_parameter("ingest_one"), |b| {
+        b.iter(|| {
+            seq += 1;
+            // Drops count as completed ingests: the hot path must not
+            // block either way.
+            svc.ingest(std::hint::black_box(seq as u32 % 64), 0, seq, f)
+        })
+    });
+    group.finish();
+    svc.shutdown();
+}
+
+fn bench_replay_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_replay");
+    group.sample_size(10);
+    let trace = replay::synthetic_trace(16_384, 7);
+    group.bench_function(BenchmarkId::from_parameter("replay_8x8_50k"), |b| {
+        b.iter(|| {
+            let det = replay::synthetic_detector(1);
+            let svc = FleetService::start(
+                FleetConfig {
+                    shards: 8,
+                    ..FleetConfig::default()
+                },
+                det,
+                Arc::new(NullSink),
+            );
+            let rep = replay::replay(
+                &svc,
+                &trace,
+                &ReplayConfig {
+                    hosts: 8,
+                    records_per_host: 50_000 / 8,
+                    rate_per_host: 0.0,
+                },
+            );
+            let snap = svc.shutdown();
+            assert_eq!(snap.classified, rep.accepted);
+            snap.classified
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_ingest, bench_replay_throughput);
+criterion_main!(benches);

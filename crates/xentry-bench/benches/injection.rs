@@ -26,9 +26,7 @@ fn bench_injection(c: &mut Criterion) {
         .expect("healthy golden run");
 
     group.bench_function(BenchmarkId::from_parameter("prepare_point"), |b| {
-        b.iter(|| {
-            prepare_point(plat.clone(), 1, 1, reason, cfg.post_window, None).is_some()
-        })
+        b.iter(|| prepare_point(plat.clone(), 1, 1, reason, cfg.post_window, None).is_some())
     });
 
     group.bench_function(BenchmarkId::from_parameter("single_injection"), |b| {

@@ -31,15 +31,22 @@ fn bench_recovery(c: &mut Criterion) {
     });
 
     let point = prepare_point(plat.clone(), 1, 1, reason, 6, None).expect("golden run");
-    group.bench_function(BenchmarkId::from_parameter("detect_restore_reexecute"), |b| {
-        b.iter(|| {
-            attempt_recovery(
-                &point,
-                InjectionSpec { target: FlipTarget::Rip, bit: 42, at_step: point.golden_len / 2 },
-                None,
-            )
-        })
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter("detect_restore_reexecute"),
+        |b| {
+            b.iter(|| {
+                attempt_recovery(
+                    &point,
+                    InjectionSpec {
+                        target: FlipTarget::Rip,
+                        bit: 42,
+                        at_step: point.golden_len / 2,
+                    },
+                    None,
+                )
+            })
+        },
+    );
     group.finish();
 }
 

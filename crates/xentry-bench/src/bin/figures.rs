@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--quick|--paper] [--out DIR] [experiments...]
 //!
-//! experiments: fig3 table1 ml fig7 injection fig11 ablation   (default: all)
+//! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet   (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
 //! ```
 //!
@@ -63,7 +63,12 @@ fn main() {
     }
 
     // The detector is needed by the injection and recovery experiments.
-    let detector = if want("ml") || want("injection") || want("fig11") || want("extensions") {
+    let detector = if want("ml")
+        || want("injection")
+        || want("fig11")
+        || want("extensions")
+        || want("fleet")
+    {
         let t = std::time::Instant::now();
         let (det, ml) = ml_accuracy(&benchmarks, &scale, seed);
         println!("{}", ml.render());
@@ -129,6 +134,14 @@ fn main() {
         println!("{}", envelope.render());
         write_json(&out, "ext_envelope", &envelope);
         eprintln!("[figures] extensions took {:?}\n", t.elapsed());
+    }
+
+    if want("fleet") {
+        let t = std::time::Instant::now();
+        let fleet = fleet_experiment(detector.as_ref(), &scale, seed);
+        println!("{}", fleet.render());
+        eprintln!("[figures] fleet took {:?}\n", t.elapsed());
+        write_json(&out, "fleet", &fleet);
     }
 
     if want("ablation") {

@@ -2,8 +2,9 @@
 //! returns a serializable report with a `render()` that prints the same
 //! rows/series the paper reports.
 
-use crate::pipeline::{gather_dataset, rebalance, train_models, Scale, TrainingReport,
-    OVERSAMPLE_INCORRECT};
+use crate::pipeline::{
+    gather_dataset, rebalance, train_models, Scale, TrainingReport, OVERSAMPLE_INCORRECT,
+};
 use faultsim::{
     coverage_breakdown, latency_data_filtered, long_latency_coverage, run_campaign,
     undetected_breakdown, CampaignConfig, CoverageBreakdown, LatencyData, LongLatencyCoverage,
@@ -15,8 +16,8 @@ use serde::{Deserialize, Serialize};
 use sim_machine::VirtMode;
 use std::fmt::Write as _;
 use xentry::{
-    measure_overhead_repeated, OverheadSetup, OverheadSummary, VmTransitionDetector,
-    XentryConfig, FEATURE_NAMES,
+    measure_overhead_repeated, OverheadSetup, OverheadSummary, VmTransitionDetector, XentryConfig,
+    FEATURE_NAMES,
 };
 
 fn pct(x: f64) -> String {
@@ -73,12 +74,24 @@ pub fn fig3_activation_frequency(scale: &Scale, seed: u64) -> Fig3Report {
 impl Fig3Report {
     pub fn render(&self) -> String {
         let mut s = String::new();
-        writeln!(s, "Fig. 3 — hypervisor activation frequency (activations/s)").unwrap();
-        writeln!(s, "{:<10} {:<5} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "benchmark", "mode", "min", "p25", "median", "p75", "max").unwrap();
+        writeln!(
+            s,
+            "Fig. 3 — hypervisor activation frequency (activations/s)"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<10} {:<5} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "benchmark", "mode", "min", "p25", "median", "p75", "max"
+        )
+        .unwrap();
         for r in &self.rows {
-            writeln!(s, "{:<10} {:<5} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
-                r.benchmark, r.mode, r.min, r.p25, r.median, r.p75, r.max).unwrap();
+            writeln!(
+                s,
+                "{:<10} {:<5} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                r.benchmark, r.mode, r.min, r.p25, r.median, r.p75, r.max
+            )
+            .unwrap();
         }
         s.push_str("paper shape: PV 5K-100K/s (freqmine peak ~650K/s); HVM mostly 2K-10K/s\n");
         s
@@ -98,14 +111,21 @@ pub struct Table1Report {
 /// Enumerate Table I.
 pub fn table1_features() -> Table1Report {
     let rows = [
-        ("VM exit reason", "Xentry shim (VMCS exit-reason field)", "VMER"),
+        (
+            "VM exit reason",
+            "Xentry shim (VMCS exit-reason field)",
+            "VMER",
+        ),
         ("# of committed instructions", "INST_RETIRED", "RT"),
         ("# of branch instructions", "BR_INST_RETIRED", "BR"),
         ("# of read memory access", "MEM_INST_RETIRED.LOADS", "RM"),
         ("# of write memory access", "MEM_INST_RETIRED.STORES", "WM"),
     ];
     Table1Report {
-        features: rows.iter().map(|(a, b, c)| (a.to_string(), b.to_string(), c.to_string())).collect(),
+        features: rows
+            .iter()
+            .map(|(a, b, c)| (a.to_string(), b.to_string(), c.to_string()))
+            .collect(),
     }
 }
 
@@ -137,7 +157,11 @@ pub struct MlAccuracyReport {
 }
 
 /// Train both tree algorithms on multi-benchmark campaign data.
-pub fn ml_accuracy(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> (VmTransitionDetector, MlAccuracyReport) {
+pub fn ml_accuracy(
+    benchmarks: &[Benchmark],
+    scale: &Scale,
+    seed: u64,
+) -> (VmTransitionDetector, MlAccuracyReport) {
     let ds = gather_dataset(benchmarks, scale, seed);
     let (rt, _dt, training) = train_models(&ds, seed);
     let cv = mltree::cross_validate(&ds, 5, |train| {
@@ -162,18 +186,48 @@ impl MlAccuracyReport {
     pub fn render(&self) -> String {
         let t = &self.training;
         let mut s = String::from("SIII-B — VM transition classifier accuracy\n");
-        writeln!(s, "training set: {} samples ({} correct / {} incorrect), test: {}",
-            t.train_samples, t.train_correct, t.train_incorrect, t.test_samples).unwrap();
-        writeln!(s, "random tree:   accuracy {}  FP rate {}  ({} nodes, depth {})",
-            pct(t.random_tree.accuracy()), pct(t.random_tree.false_positive_rate()),
-            t.random_tree_nodes, t.random_tree_depth).unwrap();
-        writeln!(s, "decision tree: accuracy {}  FP rate {}  ({} nodes, depth {})",
-            pct(t.decision_tree.accuracy()), pct(t.decision_tree.false_positive_rate()),
-            t.decision_tree_nodes, t.decision_tree_depth).unwrap();
-        writeln!(s, "5-fold CV:     accuracy {}  FP rate {}",
-            pct(self.cv_accuracy), pct(self.cv_fp_rate)).unwrap();
-        writeln!(s, "paper: random tree 98.6%, decision tree 96.1%, FP rate 0.7%").unwrap();
-        writeln!(s, "\nFig. 6 — sample of the deployed rules:\n{}", self.sample_rules).unwrap();
+        writeln!(
+            s,
+            "training set: {} samples ({} correct / {} incorrect), test: {}",
+            t.train_samples, t.train_correct, t.train_incorrect, t.test_samples
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "random tree:   accuracy {}  FP rate {}  ({} nodes, depth {})",
+            pct(t.random_tree.accuracy()),
+            pct(t.random_tree.false_positive_rate()),
+            t.random_tree_nodes,
+            t.random_tree_depth
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "decision tree: accuracy {}  FP rate {}  ({} nodes, depth {})",
+            pct(t.decision_tree.accuracy()),
+            pct(t.decision_tree.false_positive_rate()),
+            t.decision_tree_nodes,
+            t.decision_tree_depth
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "5-fold CV:     accuracy {}  FP rate {}",
+            pct(self.cv_accuracy),
+            pct(self.cv_fp_rate)
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "paper: random tree 98.6%, decision tree 96.1%, FP rate 0.7%"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "\nFig. 6 — sample of the deployed rules:\n{}",
+            self.sample_rules
+        )
+        .unwrap();
         s
     }
 }
@@ -204,11 +258,11 @@ pub struct Fig7Report {
 pub fn fig7_overhead(scale: &Scale, seed: u64) -> Fig7Report {
     // Each benchmark is independent: run them on worker threads (each
     // worker further parallelizes its repeated runs).
-    let rows: Vec<OverheadRow> = crossbeam::thread::scope(|s| {
+    let rows: Vec<OverheadRow> = std::thread::scope(|s| {
         let handles: Vec<_> = Benchmark::ALL
             .into_iter()
             .map(|b| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let setup = OverheadSetup {
                         benchmark: b,
                         mode: VirtMode::Para,
@@ -236,9 +290,11 @@ pub fn fig7_overhead(scale: &Scale, seed: u64) -> Fig7Report {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fig7 worker")).collect()
-    })
-    .expect("fig7 scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig7 worker"))
+            .collect()
+    });
     let avg_full = rows.iter().map(|r| r.full_avg).sum::<f64>() / rows.len() as f64;
     Fig7Report { rows, avg_full }
 }
@@ -246,12 +302,23 @@ pub fn fig7_overhead(scale: &Scale, seed: u64) -> Fig7Report {
 impl Fig7Report {
     pub fn render(&self) -> String {
         let mut s = String::from("Fig. 7 — normalized performance overhead of Xentry\n");
-        writeln!(s, "{:<10} {:>14} {:>14} {:>14} {:>14}",
-            "benchmark", "runtime avg", "runtime max", "full avg", "full max").unwrap();
+        writeln!(
+            s,
+            "{:<10} {:>14} {:>14} {:>14} {:>14}",
+            "benchmark", "runtime avg", "runtime max", "full avg", "full max"
+        )
+        .unwrap();
         for r in &self.rows {
-            writeln!(s, "{:<10} {:>14} {:>14} {:>14} {:>14}",
-                r.benchmark, pct(r.runtime_only_avg), pct(r.runtime_only_max),
-                pct(r.full_avg), pct(r.full_max)).unwrap();
+            writeln!(
+                s,
+                "{:<10} {:>14} {:>14} {:>14} {:>14}",
+                r.benchmark,
+                pct(r.runtime_only_avg),
+                pct(r.runtime_only_max),
+                pct(r.full_avg),
+                pct(r.full_max)
+            )
+            .unwrap();
         }
         writeln!(s, "average full overhead: {}", pct(self.avg_full)).unwrap();
         s.push_str("paper shape: avg 2.5%; bzip2 lowest (0.19%); postmark highest (max 11.7%)\n");
@@ -307,37 +374,74 @@ pub fn injection_evaluation(
 impl InjectionReport {
     /// Fig. 8 rendering.
     pub fn render_fig8(&self) -> String {
-        let mut s = String::from("Fig. 8 — overall detection results (fraction of manifested faults)\n");
-        writeln!(s, "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
-            "benchmark", "manifested", "hw-exc", "sw-asrt", "vm-trans", "undetected", "coverage").unwrap();
+        let mut s =
+            String::from("Fig. 8 — overall detection results (fraction of manifested faults)\n");
+        writeln!(
+            s,
+            "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
+            "benchmark", "manifested", "hw-exc", "sw-asrt", "vm-trans", "undetected", "coverage"
+        )
+        .unwrap();
         for (name, b) in &self.per_benchmark {
-            writeln!(s, "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
-                name, b.manifested, pct(b.fraction(b.hw_exception)),
-                pct(b.fraction(b.sw_assertion)), pct(b.fraction(b.vm_transition)),
-                pct(b.fraction(b.undetected)), pct(b.coverage())).unwrap();
+            writeln!(
+                s,
+                "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
+                name,
+                b.manifested,
+                pct(b.fraction(b.hw_exception)),
+                pct(b.fraction(b.sw_assertion)),
+                pct(b.fraction(b.vm_transition)),
+                pct(b.fraction(b.undetected)),
+                pct(b.coverage())
+            )
+            .unwrap();
         }
         let o = &self.overall;
-        writeln!(s, "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
-            "AVG", o.manifested, pct(o.fraction(o.hw_exception)),
-            pct(o.fraction(o.sw_assertion)), pct(o.fraction(o.vm_transition)),
-            pct(o.fraction(o.undetected)), pct(o.coverage())).unwrap();
-        writeln!(s, "({} total injections; {} manifested)", self.total_injections, o.manifested).unwrap();
-        s.push_str("paper: avg coverage 97.6% (up to 99.4%); hw 85.1%, sw 5.2%, vm-transition 6.9%\n");
+        writeln!(
+            s,
+            "{:<10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>9}",
+            "AVG",
+            o.manifested,
+            pct(o.fraction(o.hw_exception)),
+            pct(o.fraction(o.sw_assertion)),
+            pct(o.fraction(o.vm_transition)),
+            pct(o.fraction(o.undetected)),
+            pct(o.coverage())
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "({} total injections; {} manifested)",
+            self.total_injections, o.manifested
+        )
+        .unwrap();
+        s.push_str(
+            "paper: avg coverage 97.6% (up to 99.4%); hw 85.1%, sw 5.2%, vm-transition 6.9%\n",
+        );
         s
     }
 
     /// Fig. 9 rendering.
     pub fn render_fig9(&self) -> String {
         let ll = &self.long_latency;
-        let mut s = String::from("Fig. 9 — detection coverage of long-latency errors by consequence\n");
+        let mut s =
+            String::from("Fig. 9 — detection coverage of long-latency errors by consequence\n");
         for (name, row, paper) in [
             ("APP SDC", ll.app_sdc, "92.6%"),
             ("APP crash", ll.app_crash, "96.8%"),
             ("All VM failure", ll.all_vm, "(high)"),
             ("One VM failure", ll.one_vm, "(high)"),
         ] {
-            writeln!(s, "{:<16} detected {:>4}/{:<4} = {:>6}   (paper: {})",
-                name, row.detected, row.total, pct(row.rate()), paper).unwrap();
+            writeln!(
+                s,
+                "{:<16} detected {:>4}/{:<4} = {:>6}   (paper: {})",
+                name,
+                row.detected,
+                row.total,
+                pct(row.rate()),
+                paper
+            )
+            .unwrap();
         }
         s
     }
@@ -345,23 +449,44 @@ impl InjectionReport {
     /// Fig. 10 rendering: CDF of detection latency by technique.
     pub fn render_fig10(&self) -> String {
         let mut s = String::from(
-            "Fig. 10 — CDF of detection latency (instructions; detections before VM entry)\n");
+            "Fig. 10 — CDF of detection latency (instructions; detections before VM entry)\n",
+        );
         let d = &self.latency_same_activation;
-        writeln!(s, "{:>8} {:>12} {:>12} {:>12}", "latency", "hw-exc", "sw-asrt", "vm-trans").unwrap();
-        for x in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1500, 2000, 3000] {
-            writeln!(s, "{:>8} {:>12} {:>12} {:>12}", x,
+        writeln!(
+            s,
+            "{:>8} {:>12} {:>12} {:>12}",
+            "latency", "hw-exc", "sw-asrt", "vm-trans"
+        )
+        .unwrap();
+        for x in [
+            100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1500, 2000, 3000,
+        ] {
+            writeln!(
+                s,
+                "{:>8} {:>12} {:>12} {:>12}",
+                x,
                 pct(LatencyData::cdf(&d.hw_exception, x)),
                 pct(LatencyData::cdf(&d.sw_assertion, x)),
-                pct(LatencyData::cdf(&d.vm_transition, x))).unwrap();
+                pct(LatencyData::cdf(&d.vm_transition, x))
+            )
+            .unwrap();
         }
-        writeln!(s, "p95: hw {}  sw {}  vm {}",
+        writeln!(
+            s,
+            "p95: hw {}  sw {}  vm {}",
             LatencyData::percentile(&d.hw_exception, 95.0),
             LatencyData::percentile(&d.sw_assertion, 95.0),
-            LatencyData::percentile(&d.vm_transition, 95.0)).unwrap();
-        writeln!(s, "late (post-entry) detections: hw {}  sw {}  vm {}",
+            LatencyData::percentile(&d.vm_transition, 95.0)
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "late (post-entry) detections: hw {}  sw {}  vm {}",
             self.latency_all.hw_exception.len() - d.hw_exception.len(),
             self.latency_all.sw_assertion.len() - d.sw_assertion.len(),
-            self.latency_all.vm_transition.len() - d.vm_transition.len()).unwrap();
+            self.latency_all.vm_transition.len() - d.vm_transition.len()
+        )
+        .unwrap();
         s.push_str("paper shape: hw/sw latencies shortest; 95% of vm-transition detections < 700 instructions\n(our handlers run ~2-3x longer than Xen's hot paths, which scales the x-axis accordingly)\n");
         s
     }
@@ -370,10 +495,21 @@ impl InjectionReport {
     pub fn render_table2(&self) -> String {
         let u = &self.undetected;
         let mut s = String::from("Table II — undetected faults by corruption site\n");
-        writeln!(s, "{:<14} {:<14} {:<14} {:<14}", "Mis-Classify", "Stack Values", "Time Values", "Other Values").unwrap();
-        writeln!(s, "{:<14} {:<14} {:<14} {:<14}",
-            pct(u.fraction(u.mis_classified)), pct(u.fraction(u.stack_values)),
-            pct(u.fraction(u.time_values)), pct(u.fraction(u.other_values))).unwrap();
+        writeln!(
+            s,
+            "{:<14} {:<14} {:<14} {:<14}",
+            "Mis-Classify", "Stack Values", "Time Values", "Other Values"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<14} {:<14} {:<14} {:<14}",
+            pct(u.fraction(u.mis_classified)),
+            pct(u.fraction(u.stack_values)),
+            pct(u.fraction(u.time_values)),
+            pct(u.fraction(u.other_values))
+        )
+        .unwrap();
         writeln!(s, "({} undetected faults total)", u.total).unwrap();
         s.push_str("paper: 10% / 20% / 53% / 17%\n");
         s
@@ -408,12 +544,12 @@ pub fn fig11_recovery_overhead(
     seed: u64,
 ) -> Fig11Report {
     // One worker per (benchmark, repetition): all runs are independent.
-    let mut results: Vec<(usize, f64)> = crossbeam::thread::scope(|sc| {
+    let mut results: Vec<(usize, f64)> = std::thread::scope(|sc| {
         let mut handles = Vec::new();
         for (bi, b) in Benchmark::ALL.into_iter().enumerate() {
             for r in 0..scale.overhead_runs {
                 let det = detector.clone();
-                handles.push(sc.spawn(move |_| {
+                handles.push(sc.spawn(move || {
                     let setup = OverheadSetup {
                         benchmark: b,
                         mode: VirtMode::Para,
@@ -428,19 +564,28 @@ pub fn fig11_recovery_overhead(
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("fig11 run")).collect()
-    })
-    .expect("fig11 scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig11 run"))
+            .collect()
+    });
     results.sort_by_key(|(bi, _)| *bi);
     let rows: Vec<RecoveryRow> = Benchmark::ALL
         .into_iter()
         .enumerate()
         .map(|(bi, b)| {
-            let values: Vec<f64> =
-                results.iter().filter(|(i, _)| *i == bi).map(|(_, v)| *v).collect();
+            let values: Vec<f64> = results
+                .iter()
+                .filter(|(i, _)| *i == bi)
+                .map(|(_, v)| *v)
+                .collect();
             let avg = values.iter().sum::<f64>() / values.len().max(1) as f64;
             let max = values.iter().cloned().fold(f64::MIN, f64::max);
-            RecoveryRow { benchmark: b.name().to_string(), avg, max }
+            RecoveryRow {
+                benchmark: b.name().to_string(),
+                avg,
+                max,
+            }
         })
         .collect();
     let avg = rows.iter().map(|r| r.avg).sum::<f64>() / rows.len() as f64;
@@ -452,7 +597,14 @@ impl Fig11Report {
         let mut s = String::from("Fig. 11 — recovery overhead with false-positive cases\n");
         writeln!(s, "{:<10} {:>10} {:>10}", "benchmark", "avg", "max").unwrap();
         for r in &self.rows {
-            writeln!(s, "{:<10} {:>10} {:>10}", r.benchmark, pct(r.avg), pct(r.max)).unwrap();
+            writeln!(
+                s,
+                "{:<10} {:>10} {:>10}",
+                r.benchmark,
+                pct(r.avg),
+                pct(r.max)
+            )
+            .unwrap();
         }
         writeln!(s, "average: {}", pct(self.avg)).unwrap();
         s.push_str("paper: avg 2.7%; mcf/bzip2 ~1.6%; postmark highest (6.3%)\n");
@@ -515,7 +667,11 @@ pub fn ablations(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> Ablation
         size_sweep.push((frac, evaluate(&tree, &test).accuracy()));
     }
 
-    AblationReport { feature_drop, depth_sweep, size_sweep }
+    AblationReport {
+        feature_drop,
+        depth_sweep,
+        size_sweep,
+    }
 }
 
 impl AblationReport {

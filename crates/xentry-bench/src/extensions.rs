@@ -15,8 +15,10 @@ use faultsim::{
     CampaignConfig, CoverageBreakdown, RecoveryReport, TargetRow,
 };
 use guest_sim::Benchmark;
-use mltree::{evaluate, evaluate_forest, ConfusionMatrix, DecisionTree, ForestConfig,
-    RandomForest, TrainConfig};
+use mltree::{
+    evaluate, evaluate_forest, ConfusionMatrix, DecisionTree, ForestConfig, RandomForest,
+    TrainConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use xentry::VmTransitionDetector;
@@ -42,7 +44,12 @@ pub fn recovery_feasibility(
     for (i, &b) in benchmarks.iter().enumerate() {
         let mut cfg = CampaignConfig::paper(b, scale.eval_injections, seed + i as u64);
         cfg.warmup = 40;
-        let report = recovery_study(&cfg, scale.eval_injections / 2, detector, seed + 31 + i as u64);
+        let report = recovery_study(
+            &cfg,
+            scale.eval_injections / 2,
+            detector,
+            seed + 31 + i as u64,
+        );
         per_benchmark.push((b.name().to_string(), report));
     }
     RecoveryStudyReport { per_benchmark }
@@ -51,13 +58,27 @@ pub fn recovery_feasibility(
 impl RecoveryStudyReport {
     pub fn render(&self) -> String {
         let mut s = String::from(
-            "Extension — recovery feasibility (restore critical copy + re-execute on detection)\n");
-        writeln!(s, "{:<10} {:>10} {:>9} {:>9} {:>9} {:>7} {:>9}",
-            "benchmark", "injections", "attempts", "survived", "residual", "failed", "survival").unwrap();
+            "Extension — recovery feasibility (restore critical copy + re-execute on detection)\n",
+        );
+        writeln!(
+            s,
+            "{:<10} {:>10} {:>9} {:>9} {:>9} {:>7} {:>9}",
+            "benchmark", "injections", "attempts", "survived", "residual", "failed", "survival"
+        )
+        .unwrap();
         for (name, r) in &self.per_benchmark {
-            writeln!(s, "{:<10} {:>10} {:>9} {:>9} {:>9} {:>7} {:>9}",
-                name, r.injections, r.attempted, r.survived, r.residual, r.failed_again,
-                pct(r.survival_rate())).unwrap();
+            writeln!(
+                s,
+                "{:<10} {:>10} {:>9} {:>9} {:>9} {:>7} {:>9}",
+                name,
+                r.injections,
+                r.attempted,
+                r.survived,
+                r.residual,
+                r.failed_again,
+                pct(r.survival_rate())
+            )
+            .unwrap();
         }
         s.push_str("(paper SVI models the cost of this mechanism; this study executes it)\n");
         s
@@ -88,22 +109,43 @@ pub fn forest_comparison(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> 
         let cm = evaluate_forest(&forest, &test);
         forests.push((nr_trees, threshold, cm, forest.nr_nodes()));
     }
-    ForestReport { tree: tree_cm, forests }
+    ForestReport {
+        tree: tree_cm,
+        forests,
+    }
 }
 
 impl ForestReport {
     pub fn render(&self) -> String {
-        let mut s = String::from("Extension — random forest vs single random tree (SVIII direction)\n");
-        writeln!(s, "{:<22} {:>9} {:>9} {:>9} {:>9}",
-            "model", "accuracy", "FP rate", "recall", "nodes").unwrap();
-        writeln!(s, "{:<22} {:>9} {:>9} {:>9} {:>9}", "single random tree",
-            pct(self.tree.accuracy()), pct(self.tree.false_positive_rate()),
-            pct(self.tree.detection_rate()), "-").unwrap();
+        let mut s =
+            String::from("Extension — random forest vs single random tree (SVIII direction)\n");
+        writeln!(
+            s,
+            "{:<22} {:>9} {:>9} {:>9} {:>9}",
+            "model", "accuracy", "FP rate", "recall", "nodes"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<22} {:>9} {:>9} {:>9} {:>9}",
+            "single random tree",
+            pct(self.tree.accuracy()),
+            pct(self.tree.false_positive_rate()),
+            pct(self.tree.detection_rate()),
+            "-"
+        )
+        .unwrap();
         for (n, t, cm, nodes) in &self.forests {
-            writeln!(s, "{:<22} {:>9} {:>9} {:>9} {:>9}",
+            writeln!(
+                s,
+                "{:<22} {:>9} {:>9} {:>9} {:>9}",
                 format!("forest {n} trees, vote {t}"),
-                pct(cm.accuracy()), pct(cm.false_positive_rate()),
-                pct(cm.detection_rate()), nodes).unwrap();
+                pct(cm.accuracy()),
+                pct(cm.false_positive_rate()),
+                pct(cm.detection_rate()),
+                nodes
+            )
+            .unwrap();
         }
         s
     }
@@ -124,18 +166,32 @@ pub fn register_vulnerability(
 ) -> VulnerabilityReport {
     let cfg = CampaignConfig::paper(benchmark, scale.eval_injections * 2, seed);
     let res = run_campaign(&cfg, detector);
-    VulnerabilityReport { rows: target_breakdown(&res.records) }
+    VulnerabilityReport {
+        rows: target_breakdown(&res.records),
+    }
 }
 
 impl VulnerabilityReport {
     pub fn render(&self) -> String {
-        let mut s = String::from("Extension — per-register vulnerability (flip target -> outcome)\n");
-        writeln!(s, "{:<8} {:>10} {:>11} {:>12} {:>11}",
-            "target", "injections", "manifested", "manif. rate", "escape rate").unwrap();
+        let mut s =
+            String::from("Extension — per-register vulnerability (flip target -> outcome)\n");
+        writeln!(
+            s,
+            "{:<8} {:>10} {:>11} {:>12} {:>11}",
+            "target", "injections", "manifested", "manif. rate", "escape rate"
+        )
+        .unwrap();
         for r in &self.rows {
-            writeln!(s, "{:<8} {:>10} {:>11} {:>12} {:>11}",
-                r.target, r.injections, r.manifested,
-                pct(r.manifestation_rate()), pct(r.escape_rate())).unwrap();
+            writeln!(
+                s,
+                "{:<8} {:>10} {:>11} {:>12} {:>11}",
+                r.target,
+                r.injections,
+                r.manifested,
+                pct(r.manifestation_rate()),
+                pct(r.escape_rate())
+            )
+            .unwrap();
         }
         s
     }
@@ -187,23 +243,43 @@ pub fn envelope_comparison(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -
         }
         envelopes.push((slack, cm, env.trained_vmers()));
     }
-    EnvelopeReport { tree: tree_cm, envelopes }
+    EnvelopeReport {
+        tree: tree_cm,
+        envelopes,
+    }
 }
 
 impl EnvelopeReport {
     pub fn render(&self) -> String {
         let mut s = String::from(
             "Extension — learned tree vs per-VMER min/max envelope baseline
-");
-        writeln!(s, "{:<22} {:>9} {:>9} {:>9}", "model", "accuracy", "FP rate", "recall").unwrap();
-        writeln!(s, "{:<22} {:>9} {:>9} {:>9}", "random tree",
-            pct(self.tree.accuracy()), pct(self.tree.false_positive_rate()),
-            pct(self.tree.detection_rate())).unwrap();
+",
+        );
+        writeln!(
+            s,
+            "{:<22} {:>9} {:>9} {:>9}",
+            "model", "accuracy", "FP rate", "recall"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<22} {:>9} {:>9} {:>9}",
+            "random tree",
+            pct(self.tree.accuracy()),
+            pct(self.tree.false_positive_rate()),
+            pct(self.tree.detection_rate())
+        )
+        .unwrap();
         for (slack, cm, vmers) in &self.envelopes {
-            writeln!(s, "{:<22} {:>9} {:>9} {:>9}   ({vmers} trained reasons)",
+            writeln!(
+                s,
+                "{:<22} {:>9} {:>9} {:>9}   ({vmers} trained reasons)",
                 format!("envelope slack {slack}"),
-                pct(cm.accuracy()), pct(cm.false_positive_rate()),
-                pct(cm.detection_rate())).unwrap();
+                pct(cm.accuracy()),
+                pct(cm.false_positive_rate()),
+                pct(cm.detection_rate())
+            )
+            .unwrap();
         }
         s
     }
@@ -242,10 +318,22 @@ impl MultibitReport {
 ",
             self.bits
         );
-        writeln!(s, "{:<12} {:>11} {:>9} {:>11}", "fault model", "manifested", "coverage", "undetected").unwrap();
+        writeln!(
+            s,
+            "{:<12} {:>11} {:>9} {:>11}",
+            "fault model", "manifested", "coverage", "undetected"
+        )
+        .unwrap();
         for (name, b) in [("1-bit", &self.single), ("k-bit", &self.multi)] {
-            writeln!(s, "{:<12} {:>11} {:>9} {:>11}",
-                name, b.manifested, pct(b.coverage()), pct(b.fraction(b.undetected))).unwrap();
+            writeln!(
+                s,
+                "{:<12} {:>11} {:>9} {:>11}",
+                name,
+                b.manifested,
+                pct(b.coverage()),
+                pct(b.fraction(b.undetected))
+            )
+            .unwrap();
         }
         s
     }
@@ -257,7 +345,10 @@ mod tests {
 
     #[test]
     fn recovery_feasibility_renders() {
-        let scale = Scale { eval_injections: 80, ..Scale::quick() };
+        let scale = Scale {
+            eval_injections: 80,
+            ..Scale::quick()
+        };
         let rep = recovery_feasibility(&[Benchmark::Freqmine], None, &scale, 3);
         assert_eq!(rep.per_benchmark.len(), 1);
         let text = rep.render();
@@ -267,9 +358,16 @@ mod tests {
 
     #[test]
     fn vulnerability_rip_is_highly_manifesting() {
-        let scale = Scale { eval_injections: 150, ..Scale::quick() };
+        let scale = Scale {
+            eval_injections: 150,
+            ..Scale::quick()
+        };
         let rep = register_vulnerability(Benchmark::Freqmine, None, &scale, 5);
-        let rip = rep.rows.iter().find(|r| r.target == "rip").expect("rip row");
+        let rip = rep
+            .rows
+            .iter()
+            .find(|r| r.target == "rip")
+            .expect("rip row");
         // An instruction-pointer flip is live by definition.
         assert!(
             rip.manifestation_rate() > 0.5,

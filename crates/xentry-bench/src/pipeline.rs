@@ -89,8 +89,8 @@ pub fn gather_dataset(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> Dat
         for s in dataset_from_records(&res.records).samples {
             ds.push(s);
         }
-        for s in collect_correct_samples(&cfg, scale.train_correct, seed + i as u64 * 101 + 7)
-            .samples
+        for s in
+            collect_correct_samples(&cfg, scale.train_correct, seed + i as u64 * 101 + 7).samples
         {
             ds.push(s);
         }
@@ -102,7 +102,11 @@ pub fn gather_dataset(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> Dat
 pub fn rebalance(train: &Dataset, factor: usize) -> Dataset {
     let mut out = Dataset::new(&FEATURE_NAMES);
     for s in &train.samples {
-        let n = if s.label == Label::Incorrect { factor } else { 1 };
+        let n = if s.label == Label::Incorrect {
+            factor
+        } else {
+            1
+        };
         for _ in 0..n {
             out.push(s.clone());
         }
@@ -158,8 +162,15 @@ mod tests {
         };
         let (det, report) = train_detector(&[Benchmark::Freqmine], &scale, 3);
         assert!(report.train_samples > 700);
-        assert!(report.train_incorrect > 0, "campaign must produce incorrect samples");
-        assert!(report.random_tree.accuracy() > 0.8, "rt acc {}", report.random_tree.accuracy());
+        assert!(
+            report.train_incorrect > 0,
+            "campaign must produce incorrect samples"
+        );
+        assert!(
+            report.random_tree.accuracy() > 0.8,
+            "rt acc {}",
+            report.random_tree.accuracy()
+        );
         assert!(det.nr_nodes() > 3);
     }
 

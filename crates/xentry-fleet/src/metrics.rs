@@ -1,0 +1,270 @@
+//! Lock-free service metrics: counters and log2-bucket latency
+//! histograms, exportable as a JSON snapshot (`results/service.json`).
+//!
+//! Everything here is plain relaxed atomics — metrics must never
+//! introduce synchronization on the classify hot path. Snapshots are
+//! racy-consistent, which is the correct tradeoff for monitoring.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// Histogram over `u64` values with power-of-two bucket edges: bucket `i`
+/// holds values in `[2^(i-1), 2^i)` (bucket 0 holds 0 and 1).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn index(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1)
+    }
+
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Racy-consistent snapshot of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot::from_counts(counts)
+    }
+}
+
+/// Exported histogram: counts plus derived percentiles. Percentile values
+/// are the upper edge of the bucket containing the target rank, i.e. an
+/// upper bound tight to within 2x.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max_bucket_ns: u64,
+    /// Non-empty buckets as `(upper_edge, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn from_counts(counts: Vec<u64>) -> HistogramSnapshot {
+        let total: u64 = counts.iter().sum();
+        let edge = |i: usize| -> u64 {
+            if i >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            }
+        };
+        let percentile = |p: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = ((total as f64) * p).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return edge(i);
+                }
+            }
+            edge(BUCKETS - 1)
+        };
+        let max_bucket_ns = counts.iter().rposition(|&c| c > 0).map(edge).unwrap_or(0);
+        HistogramSnapshot {
+            count: total,
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+            max_bucket_ns,
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (edge(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// Per-shard counters.
+#[derive(Default)]
+pub struct ShardMetrics {
+    pub classified: AtomicU64,
+    pub incorrect: AtomicU64,
+    pub dropped: AtomicU64,
+    pub batches: AtomicU64,
+}
+
+/// All service metrics. One instance shared by every producer and worker.
+pub struct Metrics {
+    /// Records accepted into a queue.
+    pub ingested: AtomicU64,
+    /// Records rejected because the target shard queue was full.
+    pub dropped: AtomicU64,
+    /// Model hot swaps performed.
+    pub swaps: AtomicU64,
+    /// Incident dumps emitted (one per Incorrect verdict).
+    pub incidents: AtomicU64,
+    /// Time a record waited in its shard queue (ns).
+    pub queue_latency: Histogram,
+    /// Time to classify one record (ns).
+    pub classify_latency: Histogram,
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl Metrics {
+    pub fn new(nr_shards: usize) -> Metrics {
+        Metrics {
+            ingested: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            incidents: AtomicU64::new(0),
+            queue_latency: Histogram::default(),
+            classify_latency: Histogram::default(),
+            shards: (0..nr_shards).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    pub fn total_classified(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.classified.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Per-shard slice of a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    pub classified: u64,
+    pub incorrect: u64,
+    pub dropped: u64,
+    pub batches: u64,
+}
+
+/// JSON-exportable view of the whole service, written to
+/// `results/service.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Nanoseconds since the service started.
+    pub uptime_ns: u64,
+    pub model_version: u64,
+    pub model_fingerprint: u64,
+    pub ingested: u64,
+    pub classified: u64,
+    pub dropped: u64,
+    pub incorrect: u64,
+    pub incidents: u64,
+    pub swaps: u64,
+    /// classified / uptime, in records per second.
+    pub throughput_per_sec: f64,
+    pub queue_latency: HistogramSnapshot,
+    pub classify_latency: HistogramSnapshot,
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Write to `<dir>/service.json`, creating `dir` if needed.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("service.json");
+        std::fs::write(&path, self.to_json_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 0);
+        assert_eq!(Histogram::index(2), 1);
+        assert_eq!(Histogram::index(3), 1);
+        assert_eq!(Histogram::index(4), 2);
+        assert_eq!(Histogram::index(1024), 10);
+        assert_eq!(Histogram::index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket 6, edge 127
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 16, edge 131071
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 127);
+        assert_eq!(s.p90, 127);
+        assert_eq!(s.p99, 131_071);
+        assert_eq!(s.max_bucket_ns, 131_071);
+        assert_eq!(s.buckets.len(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.max_bucket_ns, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = Histogram::default();
+        h.record(5);
+        h.record(5000);
+        let snap = ServiceSnapshot {
+            uptime_ns: 1_000_000_000,
+            model_version: 2,
+            model_fingerprint: 99,
+            ingested: 10,
+            classified: 9,
+            dropped: 1,
+            incorrect: 3,
+            incidents: 3,
+            swaps: 1,
+            throughput_per_sec: 9.0,
+            queue_latency: h.snapshot(),
+            classify_latency: Histogram::default().snapshot(),
+            shards: vec![ShardSnapshot {
+                shard: 0,
+                classified: 9,
+                incorrect: 3,
+                dropped: 1,
+                batches: 2,
+            }],
+        };
+        let back: ServiceSnapshot = serde_json::from_str(&snap.to_json_pretty()).unwrap();
+        assert_eq!(back.classified, 9);
+        assert_eq!(back.queue_latency.count, 2);
+        assert_eq!(back.shards[0].incorrect, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Atomic model hot-swap.
+//!
+//! The service must be able to load a newly trained `detector.json`
+//! mid-flight without pausing classification. The design is an epoch
+//! counter over a mutex-guarded `Arc`:
+//!
+//! * publishing a model takes the mutex (cold path, once per swap),
+//!   replaces the `Arc`, then bumps the epoch with `Release`;
+//! * every shard worker keeps a [`ModelCache`] — a clone of the `Arc`
+//!   plus the epoch it was read at — and revalidates with a single
+//!   `Acquire` load per batch. The mutex is only touched when the epoch
+//!   actually moved, so the steady-state hot path never contends.
+//!
+//! Readers therefore see either the old or the new model, never a torn
+//! state, and every verdict records which version classified it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xentry::VmTransitionDetector;
+
+/// A deployed detector plus its identity.
+#[derive(Debug)]
+pub struct VersionedModel {
+    /// Monotone version: 1 for the model the service started with, +1 per
+    /// hot swap.
+    pub version: u64,
+    /// [`VmTransitionDetector::fingerprint`] of the tree.
+    pub fingerprint: u64,
+    pub detector: VmTransitionDetector,
+}
+
+/// Shared slot holding the current model.
+pub struct ModelSlot {
+    epoch: AtomicU64,
+    current: Mutex<Arc<VersionedModel>>,
+}
+
+impl ModelSlot {
+    /// Install the initial model as version 1.
+    pub fn new(detector: VmTransitionDetector) -> ModelSlot {
+        let vm = Arc::new(VersionedModel {
+            version: 1,
+            fingerprint: detector.fingerprint(),
+            detector,
+        });
+        ModelSlot {
+            epoch: AtomicU64::new(1),
+            current: Mutex::new(vm),
+        }
+    }
+
+    /// Publish a new model; returns its version. Callers racing here
+    /// serialize on the mutex; readers are never blocked.
+    pub fn publish(&self, detector: VmTransitionDetector) -> u64 {
+        let mut guard = self.current.lock().expect("model slot poisoned");
+        let version = guard.version + 1;
+        *guard = Arc::new(VersionedModel {
+            version,
+            fingerprint: detector.fingerprint(),
+            detector,
+        });
+        // Release pairs with the Acquire in `epoch()`: a reader that sees
+        // the new epoch will also see the new Arc through the mutex.
+        self.epoch.store(version, Ordering::Release);
+        version
+    }
+
+    /// Current epoch (== current model version).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clone the current model handle (cold path).
+    pub fn load(&self) -> Arc<VersionedModel> {
+        Arc::clone(&self.current.lock().expect("model slot poisoned"))
+    }
+}
+
+/// Per-worker cached handle, revalidated with one atomic load.
+pub struct ModelCache {
+    epoch: u64,
+    model: Arc<VersionedModel>,
+}
+
+impl ModelCache {
+    pub fn new(slot: &ModelSlot) -> ModelCache {
+        ModelCache {
+            epoch: slot.epoch(),
+            model: slot.load(),
+        }
+    }
+
+    /// The current model; refreshes from `slot` only when the epoch moved.
+    pub fn get(&mut self, slot: &ModelSlot) -> &Arc<VersionedModel> {
+        let e = slot.epoch();
+        if e != self.epoch {
+            self.model = slot.load();
+            self.epoch = e;
+        }
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+    use xentry::{FeatureVec, FEATURE_NAMES};
+
+    fn detector(split: u64) -> VmTransitionDetector {
+        let mut d = Dataset::new(&FEATURE_NAMES);
+        for i in 0..40u64 {
+            d.push(Sample::new(
+                vec![17, split / 2 + i % 10, 5, 3, 2],
+                Label::Correct,
+            ));
+            d.push(Sample::new(
+                vec![17, split * 2 + i, 25, 9, 6],
+                Label::Incorrect,
+            ));
+        }
+        VmTransitionDetector::new(DecisionTree::train(&d, &TrainConfig::decision_tree()))
+    }
+
+    #[test]
+    fn publish_bumps_version_and_swaps_tree() {
+        let slot = ModelSlot::new(detector(100));
+        let mut cache = ModelCache::new(&slot);
+        assert_eq!(cache.get(&slot).version, 1);
+        let f1 = cache.get(&slot).fingerprint;
+
+        let v = slot.publish(detector(1000));
+        assert_eq!(v, 2);
+        let m = cache.get(&slot);
+        assert_eq!(m.version, 2);
+        assert_ne!(
+            m.fingerprint, f1,
+            "different tree must fingerprint differently"
+        );
+    }
+
+    #[test]
+    fn cache_refreshes_only_on_epoch_change() {
+        let slot = ModelSlot::new(detector(100));
+        let mut cache = ModelCache::new(&slot);
+        let p1 = Arc::as_ptr(cache.get(&slot));
+        let p2 = Arc::as_ptr(cache.get(&slot));
+        assert_eq!(p1, p2, "no swap: cache must hand back the same Arc");
+        slot.publish(detector(500));
+        let p3 = Arc::as_ptr(cache.get(&slot));
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_versions() {
+        let slot = Arc::new(ModelSlot::new(detector(100)));
+        let f = FeatureVec {
+            vmer: 17,
+            rt: 60,
+            br: 5,
+            rm: 3,
+            wm: 2,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let slot = Arc::clone(&slot);
+                s.spawn(move || {
+                    let mut cache = ModelCache::new(&slot);
+                    let mut last = 0;
+                    for _ in 0..10_000 {
+                        let m = cache.get(&slot);
+                        assert!(m.version >= last, "versions must be monotone per reader");
+                        last = m.version;
+                        // The handle must always be a complete model.
+                        let _ = m.detector.classify(&f);
+                    }
+                });
+            }
+            let slot2 = Arc::clone(&slot);
+            s.spawn(move || {
+                for i in 0..20 {
+                    slot2.publish(detector(100 + i * 37));
+                }
+            });
+        });
+        assert_eq!(slot.epoch(), 21);
+    }
+}

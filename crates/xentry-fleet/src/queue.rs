@@ -1,0 +1,252 @@
+//! Bounded lock-free MPMC queue (Vyukov's array-based design).
+//!
+//! The ingest side of the fleet service must never block the shim hot
+//! path: `push` is wait-free in the uncontended case, lock-free under
+//! contention, and returns the record to the caller when the queue is
+//! full so the service can count the drop and move on. All slot storage
+//! is allocated once at construction; steady-state operation performs no
+//! allocation.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads a hot atomic to its own cache line to avoid false sharing between
+/// the producer and consumer cursors.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// Sequence stamp: `pos` when the slot is free for the producer at
+    /// `pos`, `pos + 1` once filled (ready for the consumer at `pos`),
+    /// and `pos + capacity` after the consumer frees it for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded multi-producer multi-consumer queue with power-of-two capacity.
+pub struct MpmcQueue<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Allocate a queue with `capacity` slots (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> MpmcQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf: Vec<Slot<T>> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Approximate number of queued items (racy, for metrics only).
+    pub fn len(&self) -> usize {
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// True when no items are visible (racy, for idle checks).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue. Returns `Err(value)` when the queue is full
+    /// so the caller decides the degradation policy (count + drop).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // The slot has not been freed by the consumer one lap
+                // behind: the queue is full.
+                return Err(value);
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain any items still in flight so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = MpmcQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99), "ninth push must report full");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let q = MpmcQueue::<u32>::with_capacity(1000);
+        assert_eq!(q.capacity(), 1024);
+        let q = MpmcQueue::<u32>::with_capacity(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let q = MpmcQueue::with_capacity(4);
+        for lap in 0u64..1000 {
+            for i in 0..4 {
+                q.push(lap * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 20_000;
+        let q = Arc::new(MpmcQueue::with_capacity(256));
+        let sum = Arc::new(AtomicU64::new(0));
+        let got = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                let got = Arc::clone(&got);
+                s.spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        got.fetch_add(1, Ordering::Relaxed);
+                    } else if got.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
+                        break;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(got.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Probe(Arc<AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let q = MpmcQueue::with_capacity(8);
+            for _ in 0..5 {
+                q.push(Probe(Arc::clone(&counter))).map_err(|_| ()).unwrap();
+            }
+            let _ = q.pop();
+        }
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            5,
+            "all probes dropped exactly once"
+        );
+    }
+}

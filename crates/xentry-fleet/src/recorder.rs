@@ -1,0 +1,217 @@
+//! Per-host flight recorder.
+//!
+//! Each shard worker keeps a small ring buffer of the last `N`
+//! activations per host it serves. When the deployed model classifies an
+//! activation as `Incorrect`, the ring is dumped into an [`IncidentDump`]
+//! — the fleet-level analogue of the post-mortem trace inspection in
+//! `examples/post_mortem.rs`: the investigator gets the suspect
+//! activation plus the activations that led up to it, tagged with the
+//! model version that raised the alarm.
+
+use crate::record::{HostId, TelemetryRecord};
+use mltree::Label;
+use serde::{Deserialize, Serialize};
+
+/// One remembered activation (record + its verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedActivation {
+    pub seq: u64,
+    pub vcpu: u32,
+    pub features: xentry::FeatureVec,
+    pub label: Label,
+    pub model_version: u64,
+}
+
+/// Fixed-depth ring of recent activations for one host.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    depth: usize,
+    ring: Vec<RecordedActivation>,
+    next: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(depth: usize) -> FlightRecorder {
+        let depth = depth.max(1);
+        FlightRecorder {
+            depth,
+            ring: Vec::with_capacity(depth),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Remember one classified activation.
+    pub fn push(&mut self, rec: &TelemetryRecord, label: Label, model_version: u64) {
+        let entry = RecordedActivation {
+            seq: rec.seq,
+            vcpu: rec.vcpu,
+            features: rec.features,
+            label,
+            model_version,
+        };
+        if self.ring.len() < self.depth {
+            self.ring.push(entry);
+        } else {
+            self.ring[self.next] = entry;
+        }
+        self.next = (self.next + 1) % self.depth;
+        self.total += 1;
+    }
+
+    /// Activations seen so far (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Recent activations, oldest first.
+    pub fn recent(&self) -> Vec<RecordedActivation> {
+        if self.ring.len() < self.depth {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.depth);
+            out.extend_from_slice(&self.ring[self.next..]);
+            out.extend_from_slice(&self.ring[..self.next]);
+            out
+        }
+    }
+
+    /// Dump the ring on an incident. The trigger is the last pushed entry.
+    pub fn dump(&self, host: HostId) -> IncidentDump {
+        let recent = self.recent();
+        let trigger = *recent.last().expect("dump after at least one push");
+        IncidentDump {
+            host,
+            trigger,
+            recent,
+            total_seen: self.total,
+        }
+    }
+}
+
+/// Everything an investigator needs about one `Incorrect` verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentDump {
+    pub host: HostId,
+    /// The activation that tripped the detector.
+    pub trigger: RecordedActivation,
+    /// Last `N` activations on this host, oldest first (includes the
+    /// trigger as the final entry).
+    pub recent: Vec<RecordedActivation>,
+    /// Total activations this host had reported when the incident fired.
+    pub total_seen: u64,
+}
+
+impl IncidentDump {
+    /// Human-readable post-mortem block (mirrors the `post_mortem`
+    /// example's trace dump).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "incident: host {} vcpu {} seq {} (model v{})",
+            self.host, self.trigger.vcpu, self.trigger.seq, self.trigger.model_version
+        );
+        let f = &self.trigger.features;
+        let _ = writeln!(
+            out,
+            "  trigger features: vmer={} rt={} br={} rm={} wm={}",
+            f.vmer, f.rt, f.br, f.rm, f.wm
+        );
+        let _ = writeln!(
+            out,
+            "  last {} activations (oldest first):",
+            self.recent.len()
+        );
+        for a in &self.recent {
+            let mark = if a.label == Label::Incorrect {
+                " <-- INCORRECT"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    seq {:>8} vmer={:<3} rt={:<8} br={:<6} rm={:<6} wm={:<6}{}",
+                a.seq,
+                a.features.vmer,
+                a.features.rt,
+                a.features.br,
+                a.features.rm,
+                a.features.wm,
+                mark
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xentry::FeatureVec;
+
+    fn rec(seq: u64) -> TelemetryRecord {
+        TelemetryRecord::new(
+            7,
+            0,
+            seq,
+            FeatureVec {
+                vmer: 17,
+                rt: seq,
+                br: 1,
+                rm: 1,
+                wm: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn ring_keeps_last_n_in_order() {
+        let mut fr = FlightRecorder::new(4);
+        for seq in 0..10 {
+            fr.push(&rec(seq), Label::Correct, 1);
+        }
+        let recent = fr.recent();
+        assert_eq!(
+            recent.iter().map(|a| a.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(fr.total(), 10);
+    }
+
+    #[test]
+    fn partial_ring_dumps_what_exists() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(&rec(1), Label::Correct, 1);
+        fr.push(&rec(2), Label::Incorrect, 1);
+        let dump = fr.dump(7);
+        assert_eq!(dump.host, 7);
+        assert_eq!(dump.trigger.seq, 2);
+        assert_eq!(dump.trigger.label, Label::Incorrect);
+        assert_eq!(dump.recent.len(), 2);
+        assert_eq!(dump.total_seen, 2);
+    }
+
+    #[test]
+    fn render_flags_the_trigger() {
+        let mut fr = FlightRecorder::new(4);
+        fr.push(&rec(5), Label::Correct, 2);
+        fr.push(&rec(6), Label::Incorrect, 2);
+        let text = fr.dump(3).render();
+        assert!(text.contains("host 3"), "{text}");
+        assert!(text.contains("model v2"), "{text}");
+        assert!(text.contains("<-- INCORRECT"), "{text}");
+    }
+
+    #[test]
+    fn dump_serializes() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(&rec(1), Label::Incorrect, 1);
+        let json = serde_json::to_string(&fr.dump(9)).unwrap();
+        let back: IncidentDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.host, 9);
+        assert_eq!(back.trigger.seq, 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! The fleet service: bounded ingest queues in front of sharded batch
+//! classification workers, with atomic model hot-swap and a metrics
+//! snapshot exporter.
+//!
+//! Degradation policy: ingest never blocks. A record whose shard queue is
+//! full is dropped and counted (globally and per shard); the shim hot
+//! path on the reporting host pays one failed CAS loop at worst. This is
+//! the right tradeoff for soft-error telemetry — a lost sample costs a
+//! little detection coverage, a blocked VM entry costs guest latency.
+
+use crate::metrics::{Metrics, ServiceSnapshot, ShardSnapshot};
+use crate::model::ModelSlot;
+use crate::queue::MpmcQueue;
+use crate::record::{FleetVerdict, HostId, TelemetryRecord};
+use crate::recorder::IncidentDump;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use xentry::{FeatureVec, VmTransitionDetector};
+
+/// Service sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of classification workers (hosts shard as `host % shards`).
+    pub shards: usize,
+    /// Per-shard queue capacity (rounded up to a power of two).
+    pub queue_capacity: usize,
+    /// Max records a worker claims per batch.
+    pub batch: usize,
+    /// Flight-recorder depth per host.
+    pub recorder_depth: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 8,
+            queue_capacity: 8192,
+            batch: 64,
+            recorder_depth: 32,
+        }
+    }
+}
+
+/// Receives classification results. Implementations must be cheap and
+/// thread-safe: calls come from every shard worker.
+pub trait VerdictSink: Send + Sync {
+    fn on_verdict(&self, _verdict: &FleetVerdict) {}
+    /// Called with the per-host flight-recorder dump on every `Incorrect`
+    /// verdict.
+    fn on_incident(&self, _dump: &IncidentDump) {}
+}
+
+/// Discards verdicts (metrics still count everything).
+pub struct NullSink;
+
+impl VerdictSink for NullSink {}
+
+/// Collects verdicts and incidents in memory (tests, small replays).
+#[derive(Default)]
+pub struct CollectSink {
+    pub verdicts: Mutex<Vec<FleetVerdict>>,
+    pub incidents: Mutex<Vec<IncidentDump>>,
+}
+
+impl VerdictSink for CollectSink {
+    fn on_verdict(&self, verdict: &FleetVerdict) {
+        self.verdicts.lock().expect("sink poisoned").push(*verdict);
+    }
+
+    fn on_incident(&self, dump: &IncidentDump) {
+        self.incidents
+            .lock()
+            .expect("sink poisoned")
+            .push(dump.clone());
+    }
+}
+
+/// State shared between the service handle and its workers.
+pub(crate) struct Shared {
+    pub(crate) cfg: FleetConfig,
+    pub(crate) queues: Vec<MpmcQueue<TelemetryRecord>>,
+    pub(crate) model: ModelSlot,
+    pub(crate) metrics: Metrics,
+    pub(crate) stop: AtomicBool,
+    pub(crate) sink: Arc<dyn VerdictSink>,
+    start: Instant,
+}
+
+impl Shared {
+    /// Nanoseconds since service start (monotonic).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// Handle to a running fleet service.
+pub struct FleetService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FleetService {
+    /// Start `cfg.shards` workers classifying with `detector` (deployed
+    /// as model version 1).
+    pub fn start(
+        cfg: FleetConfig,
+        detector: VmTransitionDetector,
+        sink: Arc<dyn VerdictSink>,
+    ) -> FleetService {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.batch >= 1, "need a positive batch size");
+        let shared = Arc::new(Shared {
+            cfg,
+            queues: (0..cfg.shards)
+                .map(|_| MpmcQueue::with_capacity(cfg.queue_capacity))
+                .collect(),
+            model: ModelSlot::new(detector),
+            metrics: Metrics::new(cfg.shards),
+            stop: AtomicBool::new(false),
+            sink,
+            start: Instant::now(),
+        });
+        let workers = (0..cfg.shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fleet-shard-{shard}"))
+                    .spawn(move || crate::shard::run_worker(shared, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        FleetService { shared, workers }
+    }
+
+    /// Report one activation. Non-blocking and allocation-free: returns
+    /// `false` (and counts a drop) when the target shard queue is full.
+    pub fn ingest(&self, host: HostId, vcpu: u32, seq: u64, features: FeatureVec) -> bool {
+        self.ingest_record(TelemetryRecord::new(host, vcpu, seq, features))
+    }
+
+    /// [`FleetService::ingest`] with a caller-built record.
+    pub fn ingest_record(&self, mut rec: TelemetryRecord) -> bool {
+        let shard = rec.host as usize % self.shared.cfg.shards;
+        rec.enqueued_ns = self.shared.now_ns();
+        match self.shared.queues[shard].push(rec) {
+            Ok(()) => {
+                self.shared.metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.shared.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.shards[shard]
+                    .dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Atomically deploy a new model mid-flight; returns its version.
+    /// In-flight batches finish under the old model; the next batch on
+    /// every shard classifies under the new one.
+    pub fn hot_swap(&self, detector: VmTransitionDetector) -> u64 {
+        let v = self.shared.model.publish(detector);
+        self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    /// Version of the currently deployed model.
+    pub fn model_version(&self) -> u64 {
+        self.shared.model.epoch()
+    }
+
+    /// Racy-consistent metrics snapshot.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let m = &self.shared.metrics;
+        let model = self.shared.model.load();
+        let uptime_ns = self.shared.now_ns().max(1);
+        let classified = m.total_classified();
+        ServiceSnapshot {
+            uptime_ns,
+            model_version: model.version,
+            model_fingerprint: model.fingerprint,
+            ingested: m.ingested.load(Ordering::Relaxed),
+            classified,
+            dropped: m.dropped.load(Ordering::Relaxed),
+            incorrect: m
+                .shards
+                .iter()
+                .map(|s| s.incorrect.load(Ordering::Relaxed))
+                .sum(),
+            incidents: m.incidents.load(Ordering::Relaxed),
+            swaps: m.swaps.load(Ordering::Relaxed),
+            throughput_per_sec: classified as f64 * 1e9 / uptime_ns as f64,
+            queue_latency: m.queue_latency.snapshot(),
+            classify_latency: m.classify_latency.snapshot(),
+            shards: m
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardSnapshot {
+                    shard: i,
+                    classified: s.classified.load(Ordering::Relaxed),
+                    incorrect: s.incorrect.load(Ordering::Relaxed),
+                    dropped: s.dropped.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop ingesting, drain every queue, join the workers, and return
+    /// the final snapshot. Every record accepted before shutdown is
+    /// classified.
+    pub fn shutdown(mut self) -> ServiceSnapshot {
+        self.shared.stop.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            w.join().expect("shard worker panicked");
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+    use xentry::FEATURE_NAMES;
+
+    /// Detector: rt >= ~2*base on vmer 17 is Incorrect.
+    fn detector(base: u64) -> VmTransitionDetector {
+        let mut d = Dataset::new(&FEATURE_NAMES);
+        for i in 0..40u64 {
+            d.push(Sample::new(
+                vec![17, base + i % 10, 5, 3, 2],
+                Label::Correct,
+            ));
+            d.push(Sample::new(
+                vec![17, base * 4 + i, 25, 9, 6],
+                Label::Incorrect,
+            ));
+        }
+        VmTransitionDetector::new(DecisionTree::train(&d, &TrainConfig::decision_tree()))
+    }
+
+    fn ok_features(base: u64) -> FeatureVec {
+        FeatureVec {
+            vmer: 17,
+            rt: base,
+            br: 5,
+            rm: 3,
+            wm: 2,
+        }
+    }
+
+    fn bad_features(base: u64) -> FeatureVec {
+        FeatureVec {
+            vmer: 17,
+            rt: base * 4 + 5,
+            br: 25,
+            rm: 9,
+            wm: 6,
+        }
+    }
+
+    #[test]
+    fn classifies_everything_accepted() {
+        let sink = Arc::new(CollectSink::default());
+        let cfg = FleetConfig {
+            shards: 2,
+            queue_capacity: 1024,
+            batch: 16,
+            recorder_depth: 8,
+        };
+        let svc = FleetService::start(cfg, detector(100), Arc::clone(&sink) as _);
+        let mut accepted = 0u64;
+        for host in 0..4u32 {
+            for seq in 0..200u64 {
+                let f = if seq == 77 {
+                    bad_features(100)
+                } else {
+                    ok_features(100)
+                };
+                if svc.ingest(host, 0, seq, f) {
+                    accepted += 1;
+                }
+            }
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.ingested, accepted);
+        assert_eq!(snap.classified, accepted, "shutdown must drain the queues");
+        assert_eq!(snap.incorrect, 4, "one planted anomaly per host");
+        assert_eq!(snap.incidents, 4);
+        assert_eq!(sink.verdicts.lock().unwrap().len(), accepted as usize);
+        let incidents = sink.incidents.lock().unwrap();
+        assert_eq!(incidents.len(), 4);
+        for dump in incidents.iter() {
+            assert_eq!(dump.trigger.seq, 77);
+            assert_eq!(dump.trigger.label, Label::Incorrect);
+            assert!(dump.recent.len() <= 8);
+            // The ring holds the activations leading up to the trigger.
+            assert_eq!(dump.recent.last().unwrap().seq, 77);
+        }
+    }
+
+    #[test]
+    fn full_queue_drops_are_counted_not_blocking() {
+        // One shard, tiny queue, and a service whose worker is saturated:
+        // excess ingests must return false immediately.
+        let cfg = FleetConfig {
+            shards: 1,
+            queue_capacity: 4,
+            batch: 4,
+            recorder_depth: 4,
+        };
+        let svc = FleetService::start(cfg, detector(100), Arc::new(NullSink));
+        let mut dropped = 0u64;
+        let mut accepted = 0u64;
+        // Push much faster than one worker can classify at times; with a
+        // 4-slot queue some pushes must fail.
+        for seq in 0..200_000u64 {
+            if svc.ingest(0, 0, seq, ok_features(100)) {
+                accepted += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.ingested, accepted);
+        assert_eq!(snap.dropped, dropped);
+        assert_eq!(snap.classified, accepted);
+        assert!(
+            dropped > 0,
+            "a 4-slot queue cannot absorb an unthrottled burst"
+        );
+        assert_eq!(snap.shards[0].dropped, dropped);
+    }
+
+    #[test]
+    fn hot_swap_versions_verdicts() {
+        let sink = Arc::new(CollectSink::default());
+        let cfg = FleetConfig {
+            shards: 1,
+            queue_capacity: 1024,
+            batch: 8,
+            recorder_depth: 4,
+        };
+        let svc = FleetService::start(cfg, detector(100), Arc::clone(&sink) as _);
+        for seq in 0..50u64 {
+            assert!(svc.ingest(0, 0, seq, ok_features(100)));
+        }
+        // Wait until the first wave is classified so versions are clean.
+        while svc.snapshot().classified < 50 {
+            std::thread::yield_now();
+        }
+        let v2 = svc.hot_swap(detector(100));
+        assert_eq!(v2, 2);
+        assert_eq!(svc.model_version(), 2);
+        for seq in 50..100u64 {
+            assert!(svc.ingest(0, 0, seq, ok_features(100)));
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.model_version, 2);
+        let verdicts = sink.verdicts.lock().unwrap();
+        for v in verdicts.iter() {
+            let expect = if v.seq < 50 { 1 } else { 2 };
+            assert_eq!(
+                v.model_version, expect,
+                "seq {} classified under v{}, expected v{}",
+                v.seq, v.model_version, expect
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_latency_histograms() {
+        let cfg = FleetConfig {
+            shards: 2,
+            queue_capacity: 256,
+            batch: 8,
+            recorder_depth: 4,
+        };
+        let svc = FleetService::start(cfg, detector(100), Arc::new(NullSink));
+        for seq in 0..500u64 {
+            svc.ingest((seq % 5) as u32, 0, seq, ok_features(100));
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.queue_latency.count, snap.classified);
+        assert_eq!(snap.classify_latency.count, snap.classified);
+        assert!(snap.queue_latency.p99 >= snap.queue_latency.p50);
+        assert!(snap.throughput_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Shard worker: drains one queue in batches, classifies with the cached
+//! model, maintains per-host flight recorders, and reports verdicts.
+//!
+//! Hosts are statically sharded (`host % nr_shards`), so every host's
+//! records are classified by exactly one worker; the flight recorders can
+//! therefore live in worker-local state with no locking at all.
+
+use crate::model::ModelCache;
+use crate::record::{FleetVerdict, HostId, TelemetryRecord};
+use crate::recorder::FlightRecorder;
+use crate::service::Shared;
+use mltree::Label;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Spin this many empty polls before yielding, and yield this many before
+/// sleeping: keeps latency low under load without burning an idle core.
+const SPIN_POLLS: u32 = 64;
+const YIELD_POLLS: u32 = 256;
+
+pub(crate) fn run_worker(shared: Arc<Shared>, shard: usize) {
+    let queue = &shared.queues[shard];
+    let mut cache = ModelCache::new(&shared.model);
+    let mut recorders: HashMap<HostId, FlightRecorder> = HashMap::new();
+    let mut batch: Vec<TelemetryRecord> = Vec::with_capacity(shared.cfg.batch);
+    let mut idle: u32 = 0;
+    loop {
+        batch.clear();
+        while batch.len() < shared.cfg.batch {
+            match queue.pop() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            // Drain-then-exit: producers stop ingesting before `stop` is
+            // set, so an empty queue after observing `stop` is final.
+            if shared.stop.load(Ordering::Acquire) && queue.is_empty() {
+                return;
+            }
+            idle += 1;
+            if idle < SPIN_POLLS {
+                std::hint::spin_loop();
+            } else if idle < YIELD_POLLS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            continue;
+        }
+        idle = 0;
+        // One epoch check per batch: the hot-swap cost on this path is a
+        // single Acquire load.
+        let model = Arc::clone(cache.get(&shared.model));
+        let shard_metrics = &shared.metrics.shards[shard];
+        let dequeued_ns = shared.now_ns();
+        for rec in &batch {
+            shared
+                .metrics
+                .queue_latency
+                .record(dequeued_ns.saturating_sub(rec.enqueued_ns));
+            let t0 = Instant::now();
+            let label = model.detector.classify(&rec.features);
+            shared
+                .metrics
+                .classify_latency
+                .record(t0.elapsed().as_nanos() as u64);
+            shard_metrics.classified.fetch_add(1, Ordering::Relaxed);
+            let recorder = recorders
+                .entry(rec.host)
+                .or_insert_with(|| FlightRecorder::new(shared.cfg.recorder_depth));
+            recorder.push(rec, label, model.version);
+            let verdict = FleetVerdict {
+                host: rec.host,
+                vcpu: rec.vcpu,
+                seq: rec.seq,
+                label,
+                model_version: model.version,
+                model_fingerprint: model.fingerprint,
+            };
+            shared.sink.on_verdict(&verdict);
+            if label == Label::Incorrect {
+                shard_metrics.incorrect.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incidents.fetch_add(1, Ordering::Relaxed);
+                shared.sink.on_incident(&recorder.dump(rec.host));
+            }
+        }
+        shard_metrics.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -17,7 +17,10 @@ impl VmTransitionDetector {
     pub fn new(tree: DecisionTree) -> VmTransitionDetector {
         assert_eq!(
             tree.feature_names,
-            FEATURE_NAMES.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            FEATURE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
             "detector tree must use the Table-I feature layout"
         );
         VmTransitionDetector { tree }
@@ -62,6 +65,21 @@ impl VmTransitionDetector {
     pub fn from_json(s: &str) -> Result<VmTransitionDetector, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Stable 64-bit fingerprint of the deployed model (FNV-1a over the
+    /// canonical JSON form). Two detectors with identical trees fingerprint
+    /// identically across processes; fleet verdicts carry this so any
+    /// classification can be traced back to the exact model that made it.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.to_json().as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -83,8 +101,20 @@ mod tests {
     #[test]
     fn classifies_by_learned_threshold() {
         let det = toy_detector();
-        let ok = FeatureVec { vmer: 17, rt: 55, br: 5, rm: 3, wm: 2 };
-        let bad = FeatureVec { vmer: 17, rt: 230, br: 25, rm: 9, wm: 6 };
+        let ok = FeatureVec {
+            vmer: 17,
+            rt: 55,
+            br: 5,
+            rm: 3,
+            wm: 2,
+        };
+        let bad = FeatureVec {
+            vmer: 17,
+            rt: 230,
+            br: 25,
+            rm: 9,
+            wm: 6,
+        };
         assert_eq!(det.classify(&ok), Label::Correct);
         assert_eq!(det.classify(&bad), Label::Incorrect);
         assert!(det.classify_cost(&ok) >= 1);
@@ -106,7 +136,13 @@ mod tests {
     fn json_round_trip() {
         let det = toy_detector();
         let back = VmTransitionDetector::from_json(&det.to_json()).unwrap();
-        let f = FeatureVec { vmer: 17, rt: 230, br: 25, rm: 9, wm: 6 };
+        let f = FeatureVec {
+            vmer: 17,
+            rt: 230,
+            br: 25,
+            rm: 9,
+            wm: 6,
+        };
         assert_eq!(back.classify(&f), det.classify(&f));
     }
 }

@@ -24,14 +24,18 @@ struct Bounds {
 
 impl Bounds {
     fn new() -> Bounds {
-        Bounds { min: [u64::MAX; 4], max: [0; 4], samples: 0 }
+        Bounds {
+            min: [u64::MAX; 4],
+            max: [0; 4],
+            samples: 0,
+        }
     }
 
     fn absorb(&mut self, f: &FeatureVec) {
         let cols = [f.rt, f.br, f.rm, f.wm];
-        for i in 0..4 {
-            self.min[i] = self.min[i].min(cols[i]);
-            self.max[i] = self.max[i].max(cols[i]);
+        for (i, col) in cols.into_iter().enumerate() {
+            self.min[i] = self.min[i].min(col);
+            self.max[i] = self.max[i].max(col);
         }
         self.samples += 1;
     }
@@ -99,7 +103,10 @@ impl EnvelopeDetector {
 
     /// Number of exit reasons with a trusted envelope.
     pub fn trained_vmers(&self) -> usize {
-        self.per_vmer.iter().filter(|b| b.samples >= self.min_samples).count()
+        self.per_vmer
+            .iter()
+            .filter(|b| b.samples >= self.min_samples)
+            .count()
     }
 }
 
@@ -108,7 +115,13 @@ mod tests {
     use super::*;
 
     fn fv(vmer: u16, rt: u64) -> FeatureVec {
-        FeatureVec { vmer, rt, br: rt / 5, rm: rt / 4, wm: 30 }
+        FeatureVec {
+            vmer,
+            rt,
+            br: rt / 5,
+            rm: rt / 4,
+            wm: 30,
+        }
     }
 
     #[test]
@@ -125,7 +138,11 @@ mod tests {
     fn undersampled_reasons_fail_open() {
         let trace = vec![fv(5, 800)];
         let d = EnvelopeDetector::train(&trace, 0, 5);
-        assert_eq!(d.classify(&fv(5, 99_999)), Label::Correct, "1 sample < min 5");
+        assert_eq!(
+            d.classify(&fv(5, 99_999)),
+            Label::Correct,
+            "1 sample < min 5"
+        );
         assert_eq!(d.trained_vmers(), 0);
     }
 

@@ -33,7 +33,13 @@ pub struct FeatureVec {
 impl FeatureVec {
     /// Assemble from the exit reason code and a stopped PMC sample.
     pub fn from_sample(vmer: u16, s: sim_machine::perf::PerfSample) -> FeatureVec {
-        FeatureVec { vmer, rt: s.inst_retired, br: s.branches, rm: s.loads, wm: s.stores }
+        FeatureVec {
+            vmer,
+            rt: s.inst_retired,
+            br: s.branches,
+            rm: s.loads,
+            wm: s.stores,
+        }
     }
 
     /// Column vector in [`FEATURE_NAMES`] order.
@@ -58,7 +64,13 @@ mod tests {
 
     #[test]
     fn columns_follow_table_one_order() {
-        let f = FeatureVec { vmer: 17, rt: 100, br: 20, rm: 30, wm: 10 };
+        let f = FeatureVec {
+            vmer: 17,
+            rt: 100,
+            br: 20,
+            rm: 30,
+            wm: 10,
+        };
         assert_eq!(f.columns(), [17, 100, 20, 30, 10]);
         assert_eq!(FEATURE_NAMES.len(), 5);
         assert_eq!(FEATURE_NAMES[0], "VMER");
@@ -81,7 +93,13 @@ mod tests {
 
     #[test]
     fn sample_conversion_keeps_label() {
-        let f = FeatureVec { vmer: 1, rt: 2, br: 3, rm: 4, wm: 5 };
+        let f = FeatureVec {
+            vmer: 1,
+            rt: 2,
+            br: 3,
+            rm: 4,
+            wm: 5,
+        };
         let s = f.into_sample(Label::Incorrect);
         assert_eq!(s.features, vec![1, 2, 3, 4, 5]);
         assert_eq!(s.label, Label::Incorrect);

@@ -39,12 +39,20 @@ pub fn run_until_bursts<M: Monitor>(
     }
     let start = plat.machine.cpu(cpu).cycles;
     loop {
-        let done = plat.machine.mem.peek(ga.iter_count).expect("guest data mapped");
+        let done = plat
+            .machine
+            .mem
+            .peek(ga.iter_count)
+            .expect("guest data mapped");
         if done >= bursts {
             break;
         }
         let act = plat.run_activation(cpu, monitor);
-        assert!(act.outcome.is_healthy(), "fault-free run died: {:?}", act.outcome);
+        assert!(
+            act.outcome.is_healthy(),
+            "fault-free run died: {:?}",
+            act.outcome
+        );
     }
     plat.machine.cpu(cpu).cycles - start
 }
@@ -73,17 +81,33 @@ pub fn measure_overhead_with<F: Fn() -> Xentry>(
     make_shim: F,
 ) -> OverheadResult {
     // Dom 1 on CPU 1 (pinned), Dom0 on CPU 0 (quiescent in this setup).
-    let mut base =
-        workload_platform(setup.benchmark, setup.mode, 2, 1, setup.kernel_scale, setup.seed);
+    let mut base = workload_platform(
+        setup.benchmark,
+        setup.mode,
+        2,
+        1,
+        setup.kernel_scale,
+        setup.seed,
+    );
     let baseline_cycles = run_until_bursts(&mut base, 1, 1, setup.bursts, &mut NullMonitor);
 
-    let mut plat =
-        workload_platform(setup.benchmark, setup.mode, 2, 1, setup.kernel_scale, setup.seed);
+    let mut plat = workload_platform(
+        setup.benchmark,
+        setup.mode,
+        2,
+        1,
+        setup.kernel_scale,
+        setup.seed,
+    );
     let mut shim = make_shim();
     let shim_cycles = run_until_bursts(&mut plat, 1, 1, setup.bursts, &mut shim);
 
     let overhead = shim_cycles as f64 / baseline_cycles as f64 - 1.0;
-    OverheadResult { baseline_cycles, shim_cycles, overhead }
+    OverheadResult {
+        baseline_cycles,
+        shim_cycles,
+        overhead,
+    }
 }
 
 /// Summary over repeated runs (the paper reports average and maximum of
@@ -101,16 +125,21 @@ pub fn measure_overhead_repeated(
     config: XentryConfig,
     runs: usize,
 ) -> OverheadSummary {
-    let values: Vec<f64> = crossbeam::thread::scope(|s| {
+    let values: Vec<f64> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..runs)
             .map(|r| {
-                let setup = OverheadSetup { seed: setup.seed + 1000 * r as u64, ..*setup };
-                s.spawn(move |_| measure_overhead(&setup, config).overhead)
+                let setup = OverheadSetup {
+                    seed: setup.seed + 1000 * r as u64,
+                    ..*setup
+                };
+                s.spawn(move || measure_overhead(&setup, config).overhead)
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("overhead run panicked")).collect()
-    })
-    .expect("overhead scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overhead run panicked"))
+            .collect()
+    });
     let avg = values.iter().sum::<f64>() / values.len() as f64;
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     OverheadSummary { avg, max }
@@ -133,7 +162,11 @@ mod tests {
     #[test]
     fn overhead_is_small_and_positive() {
         let r = measure_overhead(&quick_setup(Benchmark::Bzip2), XentryConfig::overhead());
-        assert!(r.overhead > 0.0, "shim work must cost something: {}", r.overhead);
+        assert!(
+            r.overhead > 0.0,
+            "shim work must cost something: {}",
+            r.overhead
+        );
         assert!(r.overhead < 0.08, "overhead out of band: {}", r.overhead);
     }
 

@@ -41,12 +41,16 @@ pub struct CriticalState {
 }
 
 fn read_block(m: &Machine, base: u64, words: u64) -> Vec<u64> {
-    (0..words).map(|i| m.mem.peek(base + i * 8).expect("critical block mapped")).collect()
+    (0..words)
+        .map(|i| m.mem.peek(base + i * 8).expect("critical block mapped"))
+        .collect()
 }
 
 fn write_block(m: &mut Machine, base: u64, words: &[u64]) {
     for (i, &w) in words.iter().enumerate() {
-        m.mem.poke(base + (i as u64) * 8, w).expect("critical block mapped");
+        m.mem
+            .poke(base + (i as u64) * 8, w)
+            .expect("critical block mapped");
     }
 }
 
@@ -56,9 +60,14 @@ impl CriticalState {
     /// shim's `on_vm_exit` hook runs.
     pub fn capture(m: &Machine, cpu: CpuId) -> CriticalState {
         let pcpu_addr = lay::pcpu_addr(cpu);
-        let vcpu_addr = m.mem.peek(pcpu_addr + lay::pcpu::CURRENT_VCPU * 8).expect("pcpu mapped");
-        let domain_addr =
-            m.mem.peek(vcpu_addr + lay::vcpu::DOM_PTR * 8).expect("vcpu descriptor mapped");
+        let vcpu_addr = m
+            .mem
+            .peek(pcpu_addr + lay::pcpu::CURRENT_VCPU * 8)
+            .expect("pcpu mapped");
+        let domain_addr = m
+            .mem
+            .peek(vcpu_addr + lay::vcpu::DOM_PTR * 8)
+            .expect("vcpu descriptor mapped");
         let vmcs_addr = m.config.vmcs_field(cpu, 0);
         let c = m.cpu(cpu);
         let mut regs = [0u64; 16];
@@ -121,7 +130,10 @@ mod tests {
         let mut plat = workload_platform(Benchmark::Freqmine, VirtMode::Para, 2, 1, 16, 3);
         plat.boot(1, &mut NullMonitor);
         for _ in 0..20 {
-            assert!(plat.run_activation(1, &mut NullMonitor).outcome.is_healthy());
+            assert!(plat
+                .run_activation(1, &mut NullMonitor)
+                .outcome
+                .is_healthy());
         }
         let (reason, _) = plat.run_to_exit(1);
         (plat, reason)
@@ -132,7 +144,10 @@ mod tests {
         let (plat, reason) = platform_at_exit();
         let snap = CriticalState::capture(&plat.machine, 1);
         assert_eq!(snap.exit_reason_code(), reason.vmer());
-        assert!(snap.size_words() > 100, "copy covers the critical structures");
+        assert!(
+            snap.size_words() > 100,
+            "copy covers the critical structures"
+        );
     }
 
     #[test]
@@ -149,22 +164,38 @@ mod tests {
         // detected fault), then restore and re-initiate.
         let mut victim = plat.clone();
         let vcpu = lay::vcpu_addr(lay::MAX_VCPUS_PER_DOM); // dom 1 vcpu 0
-        victim.machine.mem.poke(vcpu + lay::vcpu::SAVE_RIP * 8, 0xBAD_BAD).unwrap();
+        victim
+            .machine
+            .mem
+            .poke(vcpu + lay::vcpu::SAVE_RIP * 8, 0xBAD_BAD)
+            .unwrap();
         victim.machine.cpu_mut(1).set(Reg::Rax, 0xDEAD);
         victim.machine.cpu_mut(1).rip = 0x666; // corrupted control flow
         snap.restore(&mut victim.machine);
 
         // The restored machine re-executes to the same state as golden.
         let act2 = victim.run_handler(1, reason, 0, &mut NullMonitor);
-        assert!(act2.outcome.is_healthy(), "re-execution died: {:?}", act2.outcome);
+        assert!(
+            act2.outcome.is_healthy(),
+            "re-execution died: {:?}",
+            act2.outcome
+        );
         assert_eq!(
             victim.machine.cpu(1).rip,
             golden.machine.cpu(1).rip,
             "re-executed guest resume point matches golden"
         );
         assert_eq!(
-            victim.machine.mem.peek(vcpu + lay::vcpu::SAVE_RIP * 8).unwrap(),
-            golden.machine.mem.peek(vcpu + lay::vcpu::SAVE_RIP * 8).unwrap()
+            victim
+                .machine
+                .mem
+                .peek(vcpu + lay::vcpu::SAVE_RIP * 8)
+                .unwrap(),
+            golden
+                .machine
+                .mem
+                .peek(vcpu + lay::vcpu::SAVE_RIP * 8)
+                .unwrap()
         );
     }
 
@@ -175,6 +206,10 @@ mod tests {
         // measurement (which also includes locking and bookkeeping).
         let (plat, _) = platform_at_exit();
         let snap = CriticalState::capture(&plat.machine, 1);
-        assert!((100..400).contains(&snap.size_words()), "{}", snap.size_words());
+        assert!(
+            (100..400).contains(&snap.size_words()),
+            "{}",
+            snap.size_words()
+        );
     }
 }

@@ -81,7 +81,10 @@ impl XentryConfig {
 
     /// Full framework, overhead-measurement mode (fault-free runs).
     pub fn overhead() -> XentryConfig {
-        XentryConfig { continue_after_positive: true, ..XentryConfig::detection() }
+        XentryConfig {
+            continue_after_positive: true,
+            ..XentryConfig::detection()
+        }
     }
 
     /// Runtime detection only (the shaded bars of Fig. 7).
@@ -95,7 +98,10 @@ impl XentryConfig {
 
     /// Overhead mode plus recovery support (Fig. 11).
     pub fn with_recovery() -> XentryConfig {
-        XentryConfig { recovery_support: true, ..XentryConfig::overhead() }
+        XentryConfig {
+            recovery_support: true,
+            ..XentryConfig::overhead()
+        }
     }
 }
 
@@ -164,7 +170,12 @@ impl Xentry {
     fn record_detection(&mut self, m: &Machine, cpu: CpuId, technique: Technique, detail: String) {
         let at = m.cpu(cpu).insns_retired;
         let latency = self.injection_mark.map(|mark| at.saturating_sub(mark));
-        self.detections.push(Detection { technique, at_insns: at, latency, detail });
+        self.detections.push(Detection {
+            technique,
+            at_insns: at,
+            latency,
+            detail,
+        });
     }
 
     /// Whether any detection fired since the last reset.
@@ -261,7 +272,12 @@ impl Monitor for Xentry {
             return;
         }
         let name = xen_like::assert_ids::name(id);
-        self.record_detection(m, cpu, Technique::SwAssertion, format!("assert {id} ({name})"));
+        self.record_detection(
+            m,
+            cpu,
+            Technique::SwAssertion,
+            format!("assert {id} ({name})"),
+        );
     }
 }
 
@@ -312,7 +328,11 @@ mod tests {
         plat.run(0, 500, &mut shim);
         // xen_version (17) is much shorter than event_channel_op (32).
         let rt_of = |vmer: u16| -> Vec<u64> {
-            shim.trace.iter().filter(|f| f.vmer == vmer).map(|f| f.rt).collect()
+            shim.trace
+                .iter()
+                .filter(|f| f.vmer == vmer)
+                .map(|f| f.rt)
+                .collect()
         };
         let v17 = rt_of(17);
         let v32 = rt_of(32);
@@ -350,8 +370,14 @@ mod tests {
         plat.run(0, 100, &mut shim);
         let per_act = shim.added_cycles as f64 / 101.0;
         let ceiling = (2 * ShimCosts::default().intercept) as f64 * 1.2;
-        assert!(per_act <= ceiling, "runtime-only cost {per_act} > {ceiling}");
-        assert!(shim.trace.is_empty(), "no feature collection without transition detection");
+        assert!(
+            per_act <= ceiling,
+            "runtime-only cost {per_act} > {ceiling}"
+        );
+        assert!(
+            shim.trace.is_empty(),
+            "no feature collection without transition detection"
+        );
     }
 
     #[test]
@@ -379,15 +405,23 @@ mod tests {
             .mem
             .poke(pa + lay::pcpu::IDLE_VCPU * 8, lay::vcpu_addr(0)) // not an idle vcpu
             .unwrap();
-        plat.machine.mem.poke(lay::runq_addr(0) + lay::runq::COUNT * 8, 0).unwrap();
+        plat.machine
+            .mem
+            .poke(lay::runq_addr(0) + lay::runq::COUNT * 8, 0)
+            .unwrap();
         plat.machine
             .mem
             .poke(pa + lay::pcpu::SOFTIRQ_PENDING * 8, lay::softirq::SCHED)
             .unwrap();
         let act = plat.run_activation(0, &mut shim);
-        assert!(!act.outcome.is_healthy(), "assertion should stop the activation");
         assert!(
-            shim.detections.iter().any(|d| d.technique == Technique::SwAssertion),
+            !act.outcome.is_healthy(),
+            "assertion should stop the activation"
+        );
+        assert!(
+            shim.detections
+                .iter()
+                .any(|d| d.technique == Technique::SwAssertion),
             "expected an assertion detection, got {:?}",
             shim.detections
         );

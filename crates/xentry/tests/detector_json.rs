@@ -1,0 +1,159 @@
+//! Serialization contract of the deployed detector: `from_json` must
+//! reject anything that is not a well-formed integer-threshold tree, and
+//! `to_json ∘ from_json` must preserve classification everywhere.
+
+use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+use xentry::{FeatureVec, VmTransitionDetector, FEATURE_NAMES};
+
+fn trained_detector() -> VmTransitionDetector {
+    let mut d = Dataset::new(&FEATURE_NAMES);
+    for i in 0..200u64 {
+        let vmer = 10 + i % 5;
+        d.push(Sample::new(
+            vec![vmer, 50 + i % 40, 6 + i % 4, 8, 4],
+            Label::Correct,
+        ));
+        d.push(Sample::new(
+            vec![vmer, 600 + i, 60 + i % 9, 90, 50],
+            Label::Incorrect,
+        ));
+    }
+    VmTransitionDetector::new(DecisionTree::train(&d, &TrainConfig::decision_tree()))
+}
+
+#[test]
+fn rejects_malformed_json() {
+    for bad in [
+        "",
+        "{",
+        "not json at all",
+        "{\"tree\":",
+        "[1,2",
+        "{\"tree\" \"x\"}",
+    ] {
+        assert!(
+            VmTransitionDetector::from_json(bad).is_err(),
+            "malformed input accepted: {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn rejects_wrong_schema() {
+    let cases = [
+        // Valid JSON, wrong shape entirely.
+        "42",
+        "[]",
+        "{}",
+        "{\"detector\": {}}",
+        // Right outer key, wrong inner shape.
+        "{\"tree\": {\"feature_names\": [\"VMER\"]}}",
+        "{\"tree\": {\"feature_names\": [\"VMER\"], \"root\": {\"Branch\": {}}}}",
+        // Leaf with a label that is not a Label variant.
+        "{\"tree\": {\"feature_names\": [\"VMER\",\"RT\",\"BR\",\"RM\",\"WM\"], \
+          \"root\": {\"Leaf\": {\"label\": \"Maybe\", \"correct\": 1, \"incorrect\": 0}}}}",
+        // Split missing its right child.
+        "{\"tree\": {\"feature_names\": [\"VMER\",\"RT\",\"BR\",\"RM\",\"WM\"], \
+          \"root\": {\"Split\": {\"feature\": 0, \"threshold\": 5, \
+          \"left\": {\"Leaf\": {\"label\": \"Correct\", \"correct\": 1, \"incorrect\": 0}}}}}}",
+    ];
+    for bad in cases {
+        assert!(
+            VmTransitionDetector::from_json(bad).is_err(),
+            "wrong schema accepted: {bad}"
+        );
+    }
+}
+
+#[test]
+fn rejects_float_thresholds() {
+    // The in-hypervisor classifier is integer-only by design (§III-B:
+    // "a set of simple integer comparisons"); a model exported with
+    // fractional thresholds must not deploy.
+    let json = trained_detector().to_json();
+    assert!(
+        json.contains("\"threshold\":"),
+        "fixture must contain thresholds: {json}"
+    );
+    let with_floats = json.replacen("\"threshold\":", "\"threshold\":0.5, \"ignored\":", 1);
+    // Guard the rewrite actually produced a float where a u64 belongs.
+    assert_ne!(json, with_floats);
+    assert!(
+        VmTransitionDetector::from_json(&with_floats).is_err(),
+        "float threshold deployed: {with_floats}"
+    );
+
+    // Same for a fractional feature index.
+    let with_float_feature = json.replacen("\"feature\":", "\"feature\":1.5, \"ignored\":", 1);
+    assert_ne!(json, with_float_feature);
+    assert!(VmTransitionDetector::from_json(&with_float_feature).is_err());
+}
+
+#[test]
+fn round_trip_preserves_classification_on_feature_grid() {
+    let det = trained_detector();
+    let back = VmTransitionDetector::from_json(&det.to_json()).expect("round trip parses");
+    assert_eq!(
+        det.fingerprint(),
+        back.fingerprint(),
+        "canonical JSON must be stable"
+    );
+
+    // Sample the feature space on a grid that straddles every learned
+    // threshold region: small/medium/large per counter, every VMER the
+    // training set saw plus unseen ones.
+    let grid = [0u64, 1, 40, 55, 100, 300, 600, 650, 1000, 10_000];
+    let mut checked = 0u64;
+    for vmer in [0u16, 10, 11, 12, 13, 14, 99] {
+        for &rt in &grid {
+            for &br in &[0u64, 6, 60, 500] {
+                for &rm in &[0u64, 8, 90] {
+                    for &wm in &[0u64, 4, 50] {
+                        let f = FeatureVec {
+                            vmer,
+                            rt,
+                            br,
+                            rm,
+                            wm,
+                        };
+                        assert_eq!(
+                            det.classify(&f),
+                            back.classify(&f),
+                            "round-trip classification diverged at {f:?}"
+                        );
+                        assert_eq!(det.classify_cost(&f), back.classify_cost(&f));
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 7 * 10 * 4 * 3 * 3);
+    // Both labels must occur on the grid or the test proves nothing.
+    let labels: std::collections::HashSet<_> = (0..grid.len())
+        .map(|i| {
+            det.classify(&FeatureVec {
+                vmer: 12,
+                rt: grid[i],
+                br: 6,
+                rm: 8,
+                wm: 4,
+            })
+        })
+        .collect();
+    assert_eq!(labels.len(), 2, "grid must straddle the decision boundary");
+}
+
+#[test]
+fn deployed_artifact_from_results_dir_parses_if_present() {
+    // The campaign pipeline's artifact must always deserialize with the
+    // current schema (guards against silent format drift).
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/detector.json");
+    if let Ok(json) = std::fs::read_to_string(path) {
+        let det = VmTransitionDetector::from_json(&json).expect("shipped detector.json parses");
+        assert!(det.nr_nodes() >= 1);
+        // Canonical re-serialization round-trips.
+        let back = VmTransitionDetector::from_json(&det.to_json()).unwrap();
+        assert_eq!(det.fingerprint(), back.fingerprint());
+    }
+}

@@ -26,22 +26,68 @@ fn main() {
     // Freeze the platform at the next VM exit and prepare the golden runs.
     let (reason, _) = platform.run_to_exit(1);
     let point = prepare_point(platform, 1, 1, reason, 6, None).expect("golden run");
-    println!("injection point: {} (handler runs {} instructions fault-free)", reason, point.golden_len);
+    println!(
+        "injection point: {} (handler runs {} instructions fault-free)",
+        reason, point.golden_len
+    );
     println!("golden features: {:?}\n", point.golden_features);
 
     // A gallery of representative faults.
     let cases = [
-        ("RIP bit 40 (lands in unmapped space)", FlipTarget::Rip, 40u8, point.golden_len / 2),
-        ("RIP bit 4 (lands on a nearby instruction)", FlipTarget::Rip, 4, point.golden_len / 2),
-        ("RSP bit 35 (stack accesses fault)", FlipTarget::Gpr(Reg::Rsp), 35, 5),
-        ("RAX bit 3 early in the handler", FlipTarget::Gpr(Reg::Rax), 3, 2),
-        ("R9 bit 12 mid-handler (pointer walk)", FlipTarget::Gpr(Reg::R9), 12, point.golden_len / 3),
-        ("RFLAGS bit 6 (zero flag) mid-handler", FlipTarget::Rflags, 6, point.golden_len / 3),
-        ("R12 bit 50 late (dead register)", FlipTarget::Gpr(Reg::R12), 50, point.golden_len - 5),
+        (
+            "RIP bit 40 (lands in unmapped space)",
+            FlipTarget::Rip,
+            40u8,
+            point.golden_len / 2,
+        ),
+        (
+            "RIP bit 4 (lands on a nearby instruction)",
+            FlipTarget::Rip,
+            4,
+            point.golden_len / 2,
+        ),
+        (
+            "RSP bit 35 (stack accesses fault)",
+            FlipTarget::Gpr(Reg::Rsp),
+            35,
+            5,
+        ),
+        (
+            "RAX bit 3 early in the handler",
+            FlipTarget::Gpr(Reg::Rax),
+            3,
+            2,
+        ),
+        (
+            "R9 bit 12 mid-handler (pointer walk)",
+            FlipTarget::Gpr(Reg::R9),
+            12,
+            point.golden_len / 3,
+        ),
+        (
+            "RFLAGS bit 6 (zero flag) mid-handler",
+            FlipTarget::Rflags,
+            6,
+            point.golden_len / 3,
+        ),
+        (
+            "R12 bit 50 late (dead register)",
+            FlipTarget::Gpr(Reg::R12),
+            50,
+            point.golden_len - 5,
+        ),
     ];
 
     for (desc, target, bit, at_step) in cases {
-        let rec = inject(&point, InjectionSpec { target, bit, at_step }, None);
+        let rec = inject(
+            &point,
+            InjectionSpec {
+                target,
+                bit,
+                at_step,
+            },
+            None,
+        );
         let verdict = match &rec.outcome {
             FaultOutcome::Benign => "benign (not activated / masked)".to_string(),
             FaultOutcome::MaskedAfterEntry => "masked after VM entry".to_string(),

@@ -39,7 +39,10 @@ fn main() {
     for a in &activations {
         let label = match a.reason {
             ExitReason::Hypercall(n) => {
-                format!("hypercall {n:2} ({})", xen_like::handlers::hypercalls::NAMES[n as usize])
+                format!(
+                    "hypercall {n:2} ({})",
+                    xen_like::handlers::hypercalls::NAMES[n as usize]
+                )
             }
             other => format!("{other}"),
         };
@@ -47,15 +50,26 @@ fn main() {
         e.0 += 1;
         e.1 += a.handler_insns;
     }
-    println!("{:<38} {:>7} {:>12}", "VM exit reason", "count", "avg insns");
+    println!(
+        "{:<38} {:>7} {:>12}",
+        "VM exit reason", "count", "avg insns"
+    );
     let mut rows: Vec<_> = by_reason.into_iter().collect();
     rows.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
     for (reason, (count, insns)) in rows {
-        println!("{:<38} {:>7} {:>12.0}", reason, count, insns as f64 / count as f64);
+        println!(
+            "{:<38} {:>7} {:>12.0}",
+            reason,
+            count,
+            insns as f64 / count as f64
+        );
     }
 
     // The shim collected one feature vector per activation.
-    println!("\nlast feature vector (Table I): {:?}", xentry.last_features().unwrap());
+    println!(
+        "\nlast feature vector (Table I): {:?}",
+        xentry.last_features().unwrap()
+    );
     println!(
         "shim overhead charged: {} cycles over {} activations",
         xentry.added_cycles,

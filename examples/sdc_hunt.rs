@@ -39,8 +39,10 @@ fn main() {
             balanced.push(s.clone());
         }
     }
-    let detector =
-        VmTransitionDetector::new(DecisionTree::train(&balanced, &TrainConfig::random_tree(5, 1)));
+    let detector = VmTransitionDetector::new(DecisionTree::train(
+        &balanced,
+        &TrainConfig::random_tree(5, 1),
+    ));
 
     // Evaluation campaign with the detector deployed.
     println!("evaluation campaign ({injections} injections)...\n");
@@ -52,10 +54,18 @@ fn main() {
     let mut slipped = Vec::new();
     for r in &eval.records {
         match &r.outcome {
-            FaultOutcome::Detected { consequence: Some(Consequence::AppSdc), technique, latency, .. } => {
+            FaultOutcome::Detected {
+                consequence: Some(Consequence::AppSdc),
+                technique,
+                latency,
+                ..
+            } => {
                 stopped.push((r.target.name(), r.bit, *technique, *latency));
             }
-            FaultOutcome::Undetected { consequence: Consequence::AppSdc, category } => {
+            FaultOutcome::Undetected {
+                consequence: Consequence::AppSdc,
+                category,
+            } => {
                 slipped.push((r.target.name(), r.bit, *category));
             }
             _ => {}

@@ -27,7 +27,10 @@ fn main() {
         ds.push(s);
     }
     let (correct, incorrect) = ds.class_counts();
-    println!("dataset: {} samples ({correct} correct / {incorrect} incorrect)\n", ds.len());
+    println!(
+        "dataset: {} samples ({correct} correct / {incorrect} incorrect)\n",
+        ds.len()
+    );
 
     // Phase 2: train both algorithms (the paper compares them and picks the
     // random tree). Incorrect samples are oversampled 8x for class balance.
@@ -41,7 +44,10 @@ fn main() {
     }
     let random_tree = DecisionTree::train(&balanced, &TrainConfig::random_tree(5, 1));
     let decision_tree = DecisionTree::train(&balanced, &TrainConfig::decision_tree());
-    for (name, tree) in [("random tree", &random_tree), ("decision tree", &decision_tree)] {
+    for (name, tree) in [
+        ("random tree", &random_tree),
+        ("decision tree", &decision_tree),
+    ] {
         let cm = evaluate(tree, &test);
         println!(
             "{name:<14} accuracy {:.1}%  FP rate {:.2}%  detection rate {:.1}%  ({} nodes, depth {})",
@@ -58,7 +64,10 @@ fn main() {
     let detector = VmTransitionDetector::new(random_tree);
     let json = detector.to_json();
     std::fs::write("detector.json", &json).expect("write detector.json");
-    println!("\ndeployed model written to detector.json ({} bytes)", json.len());
+    println!(
+        "\ndeployed model written to detector.json ({} bytes)",
+        json.len()
+    );
     println!("\nFig. 6 — first rules of the deployed tree:");
     for line in detector.dump_rules().lines().take(16) {
         println!("  {line}");

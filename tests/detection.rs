@@ -28,12 +28,24 @@ fn rip_high_bit_flip_is_caught_by_hardware_exception() {
     // Flipping a high RIP bit lands in unmapped space: fetch fault.
     let rec = inject(
         &point,
-        InjectionSpec { target: FlipTarget::Rip, bit: 40, at_step: point.golden_len / 2 },
+        InjectionSpec {
+            target: FlipTarget::Rip,
+            bit: 40,
+            at_step: point.golden_len / 2,
+        },
         None,
     );
     match rec.outcome {
-        FaultOutcome::Detected { technique: Technique::HwException, latency, same_activation, .. } => {
-            assert!(latency <= 2, "fetch fault fires on the next instruction: {latency}");
+        FaultOutcome::Detected {
+            technique: Technique::HwException,
+            latency,
+            same_activation,
+            ..
+        } => {
+            assert!(
+                latency <= 2,
+                "fetch fault fires on the next instruction: {latency}"
+            );
             assert!(same_activation);
         }
         other => panic!("expected hw-exception detection, got {other:?}"),
@@ -78,7 +90,11 @@ fn latency_is_measured_from_injection_point() {
     // A flip at step k detected at step k+d must report roughly d.
     let rec = inject(
         &point,
-        InjectionSpec { target: FlipTarget::Rip, bit: 45, at_step: 10 },
+        InjectionSpec {
+            target: FlipTarget::Rip,
+            bit: 45,
+            at_step: 10,
+        },
         None,
     );
     if let FaultOutcome::Detected { latency, .. } = rec.outcome {
@@ -111,7 +127,11 @@ fn stack_pointer_flips_mostly_fault() {
     for bit in [30u8, 35, 40, 45, 50] {
         let rec = inject(
             &point,
-            InjectionSpec { target: FlipTarget::Gpr(Reg::Rsp), bit, at_step: 5 },
+            InjectionSpec {
+                target: FlipTarget::Gpr(Reg::Rsp),
+                bit,
+                at_step: 5,
+            },
             None,
         );
         trials += 1;

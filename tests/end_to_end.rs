@@ -38,7 +38,11 @@ fn full_pipeline_improves_coverage() {
     let tree = DecisionTree::train(&balanced, &TrainConfig::random_tree(5, 1));
     let cm = evaluate(&tree, &test);
     assert!(cm.accuracy() > 0.85, "tree accuracy {:.3}", cm.accuracy());
-    assert!(cm.false_positive_rate() < 0.08, "fp {:.3}", cm.false_positive_rate());
+    assert!(
+        cm.false_positive_rate() < 0.08,
+        "fp {:.3}",
+        cm.false_positive_rate()
+    );
 
     // Phase B: evaluation with and without the deployed detector.
     let det = VmTransitionDetector::new(tree);
@@ -79,7 +83,10 @@ fn fault_free_run_with_detector_stays_healthy() {
     let acts = plat.run(1, 500, &mut shim);
     assert_eq!(acts.len(), 500, "died: {:?}", acts.last().unwrap().outcome);
     let fp_rate = shim.positives as f64 / shim.classified.max(1) as f64;
-    assert!(fp_rate < 0.05, "fault-free positive rate too high: {fp_rate}");
+    assert!(
+        fp_rate < 0.05,
+        "fault-free positive rate too high: {fp_rate}"
+    );
 }
 
 #[test]

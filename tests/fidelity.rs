@@ -37,7 +37,11 @@ fn io_workloads_dominate_pv_activation_rates() {
     };
     let hot = rate(Benchmark::Postmark).max(rate(Benchmark::Freqmine));
     for b in [Benchmark::Mcf, Benchmark::Bzip2, Benchmark::Canneal] {
-        assert!(hot > 2.0 * rate(b), "I/O workloads should dwarf {}", b.name());
+        assert!(
+            hot > 2.0 * rate(b),
+            "I/O workloads should dwarf {}",
+            b.name()
+        );
     }
 }
 
@@ -79,8 +83,14 @@ fn runtime_only_cheaper_than_full() {
     let rt = measure_overhead(&setup, XentryConfig::runtime_only()).overhead;
     let full = measure_overhead(&setup, XentryConfig::overhead()).overhead;
     let recovery = measure_overhead(&setup, XentryConfig::with_recovery()).overhead;
-    assert!(rt < full, "runtime-only {rt} should be cheaper than full {full}");
-    assert!(full < recovery, "recovery support {recovery} must cost more than full {full}");
+    assert!(
+        rt < full,
+        "runtime-only {rt} should be cheaper than full {full}"
+    );
+    assert!(
+        full < recovery,
+        "recovery support {recovery} must cost more than full {full}"
+    );
 }
 
 /// §VI: the recovery-state copy is the paper's measured 1,900 ns ≈ 4,047
@@ -88,7 +98,11 @@ fn runtime_only_cheaper_than_full() {
 #[test]
 fn recovery_copy_cost_matches_paper_measurement() {
     let costs = xentry::ShimCosts::default();
-    assert!((4000..4100).contains(&costs.state_copy), "state copy {}", costs.state_copy);
+    assert!(
+        (4000..4100).contains(&costs.state_copy),
+        "state copy {}",
+        costs.state_copy
+    );
     let model = sim_machine::CycleModel::default();
     assert_eq!(model.ns_to_cycles(1_900), costs.state_copy);
 }

@@ -18,10 +18,7 @@ use sim_machine::{ExitReason, Reg};
 use xentry::Xentry;
 
 /// Drive the platform to an exit matching `want`, and prepare the point.
-fn point_for_reason(
-    want: ExitReason,
-    seed: u64,
-) -> Option<faultsim::InjectionPoint> {
+fn point_for_reason(want: ExitReason, seed: u64) -> Option<faultsim::InjectionPoint> {
     let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, seed);
     let mut plat = faultsim::campaign_platform(&cfg, seed);
     let mut shim = Xentry::collector();
@@ -48,7 +45,11 @@ fn fig5a_corrupted_loop_counter_changes_instruction_count() {
         for bit in [0u8, 1, 2] {
             let rec = inject(
                 &point,
-                InjectionSpec { target: FlipTarget::Gpr(Reg::R13), bit, at_step: at },
+                InjectionSpec {
+                    target: FlipTarget::Gpr(Reg::R13),
+                    bit,
+                    at_step: at,
+                },
                 None,
             );
             let Some(f) = rec.features else { continue };
@@ -62,7 +63,10 @@ fn fig5a_corrupted_loop_counter_changes_instruction_count() {
             }
         }
     }
-    assert!(witnessed, "no loop-counter corruption produced Fig. 5(a) behaviour");
+    assert!(
+        witnessed,
+        "no loop-counter corruption produced Fig. 5(a) behaviour"
+    );
 }
 
 /// Fig. 5(b): flip a branch-condition register right before the
@@ -77,7 +81,11 @@ fn fig5b_corrupted_branch_condition_takes_other_valid_path() {
         // r9 carries the masked-bit test inside evtchn_set_pending.
         let rec = inject(
             &point,
-            InjectionSpec { target: FlipTarget::Gpr(Reg::R9), bit: 1, at_step: at },
+            InjectionSpec {
+                target: FlipTarget::Gpr(Reg::R9),
+                bit: 1,
+                at_step: at,
+            },
             None,
         );
         match &rec.outcome {
@@ -109,7 +117,11 @@ fn fig5b_zero_flag_flip_is_valid_but_incorrect() {
         let rec = inject(
             &point,
             // Bit 6 = ZF: every flip lands between some cmp and its jcc.
-            InjectionSpec { target: FlipTarget::Rflags, bit: 6, at_step: at },
+            InjectionSpec {
+                target: FlipTarget::Rflags,
+                bit: 6,
+                at_step: at,
+            },
             None,
         );
         if rec.outcome.manifested() {

@@ -31,9 +31,7 @@ fn fault_free_runs_never_trigger_runtime_detection() {
             let rt_detections = shim
                 .detections
                 .iter()
-                .filter(|d| {
-                    matches!(d.technique, Technique::HwException | Technique::SwAssertion)
-                })
+                .filter(|d| matches!(d.technique, Technique::HwException | Technique::SwAssertion))
                 .count();
             assert_eq!(
                 rt_detections,
@@ -74,13 +72,20 @@ fn smp_domain_runs_on_two_cpus() {
         let a1 = plat.run_activation(1, &mut m1);
         assert!(a1.outcome.is_healthy(), "cpu1: {:?}", a1.outcome);
     }
-    let bursts =
-        plat.machine.mem.peek(guest_sim::guest_addrs(0).iter_count).unwrap();
+    let bursts = plat
+        .machine
+        .mem
+        .peek(guest_sim::guest_addrs(0).iter_count)
+        .unwrap();
     assert!(bursts > 100, "SMP guest made too little progress: {bursts}");
     // Both VCPUs ran guest code (their save areas differ from boot state).
     for v in 0..2 {
         let va = xen_like::layout::vcpu_addr(v);
-        let rip = plat.machine.mem.peek(va + xen_like::layout::vcpu::SAVE_RIP * 8).unwrap();
+        let rip = plat
+            .machine
+            .mem
+            .peek(va + xen_like::layout::vcpu::SAVE_RIP * 8)
+            .unwrap();
         assert_ne!(
             rip,
             xen_like::layout::guest_text(0),

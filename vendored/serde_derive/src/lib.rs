@@ -1,0 +1,476 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset. Parses the item's token stream directly (no `syn`/`quote`, which
+//! are unavailable offline) and emits impls of the value-model traits.
+//!
+//! Supported shapes — everything this repository derives:
+//! named/tuple/unit structs and enums with unit, newtype, tuple and struct
+//! variants (externally tagged, matching real serde's JSON output).
+//! Generic types and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields (count only; types are irrelevant to codegen).
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.pos += 1; // [...]
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.pos += 1; // pub(crate)
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume tokens until a top-level `,` (consumed) or the end. Commas
+    /// nested in generic arguments (`HashMap<u16, u64>`) are skipped by
+    /// tracking `<`/`>` depth; `->` in fn-pointer types is consumed whole
+    /// so its `>` does not perturb the count.
+    fn skip_until_comma(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    ',' if depth == 0 => return,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    '-' => {
+                        if let Some(TokenTree::Punct(q)) = self.peek() {
+                            if q.as_char() == '>' {
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let Some(TokenTree::Ident(_)) = c.peek() else {
+            break;
+        };
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        c.skip_until_comma();
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        c.skip_until_comma();
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let Some(TokenTree::Ident(_)) = c.peek() else {
+            break;
+        };
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Optional explicit discriminant, then the separating comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![{}]),",
+                            obj_entry(vn, "::serde::Serialize::to_value(x0)")
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![{}]),",
+                                binds.join(", "),
+                                obj_entry(
+                                    vn,
+                                    &format!(
+                                        "::serde::Value::Array(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    obj_entry(f, &format!("::serde::Serialize::to_value({f})"))
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![{}]),",
+                                fs.join(", "),
+                                obj_entry(
+                                    vn,
+                                    &format!(
+                                        "::serde::Value::Object(::std::vec![{}])",
+                                        entries.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match __v {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"null\", \"{name}\", other)),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", \"{name}\", __v))?;\n\
+                         if __a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"{name}: expected {n} elements, got {{}}\", \
+                                 __a.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__obj, \"{f}\", \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", \"{name}\", __v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let ctx = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __a = __inner.as_array().ok_or_else(|| \
+                                         ::serde::Error::expected(\"array\", \"{ctx}\", __inner))?;\n\
+                                     if __a.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::msg(\
+                                             ::std::format!(\"{ctx}: expected {n} elements, \
+                                             got {{}}\", __a.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::field(__obj, \"{f}\", \"{ctx}\")?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __obj = __inner.as_object().ok_or_else(|| \
+                                         ::serde::Error::expected(\"object\", \"{ctx}\", __inner))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {units}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\"unknown {name} variant \
+                                         {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"enum\", \"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
