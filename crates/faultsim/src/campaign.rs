@@ -245,6 +245,19 @@ pub fn dataset_from_records(records: &[InjectionRecord]) -> Dataset {
     ds
 }
 
+/// Re-classify the feature vectors of recorded injections against a
+/// detector, pooling a confusion matrix versus the trace-analysis ground
+/// truth ([`dataset_from_records`] labels). Runs the compiled batch path,
+/// so post-campaign what-if evaluation of candidate models costs one
+/// arena sweep instead of a boxed walk per record.
+pub fn evaluate_detector_on_records(
+    detector: &VmTransitionDetector,
+    records: &[InjectionRecord],
+) -> mltree::ConfusionMatrix {
+    let ds = dataset_from_records(records);
+    mltree::evaluate_compiled(detector.compiled(), &ds)
+}
+
 /// Multi-bit-upset comparison: run parallel single-bit and k-bit campaigns
 /// from the same trace and compare manifestation and coverage — the
 /// beyond-ECC scenario the paper motivates in §V-B.
@@ -394,6 +407,26 @@ mod tests {
         );
         // Incorrect samples appear when faults slip past the handler.
         let _ = incorrect;
+    }
+
+    #[test]
+    fn batch_reevaluation_matches_per_record_classify() {
+        let cfg = small_cfg();
+        let res = run_campaign(&cfg, None);
+        let ds = dataset_from_records(&res.records);
+        let tree = mltree::DecisionTree::train(&ds, &mltree::TrainConfig::decision_tree());
+        let det = VmTransitionDetector::new(tree);
+        let cm = evaluate_detector_on_records(&det, &res.records);
+        assert_eq!(cm.total(), ds.len());
+        // The batch path must agree with classifying each record alone.
+        let mut expect = mltree::ConfusionMatrix::default();
+        for r in &res.records {
+            if let Some(f) = r.features {
+                let actual = ds.samples[expect.total()].label;
+                expect.record(actual, det.classify(&f));
+            }
+        }
+        assert_eq!(cm, expect);
     }
 
     #[test]

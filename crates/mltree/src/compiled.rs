@@ -1,0 +1,607 @@
+//! Compiled flat-arena inference: the deployable form of a trained model.
+//!
+//! The boxed [`Node`] tree is ideal for training, pruning and rule dumps,
+//! but classifying with it chases one heap pointer per level — a cache
+//! miss per comparison on the VM-entry hot path the paper fights to keep
+//! near-zero. [`CompiledTree`] flattens the splits into a contiguous arena
+//! of fixed-size records laid out in preorder (each split's left child is
+//! the next record), so the common short path walks forward through memory
+//! the prefetcher already has. Leaves are not stored at all: a child
+//! reference with [`LEAF_BIT`] set *is* the verdict.
+//!
+//! ```text
+//!  CompiledNode (repr C, 24 bytes):
+//!  ┌───────────────┬────────┬────────┬─────────┬─────┐
+//!  │ threshold u64 │ left   │ right  │ feature │ pad │
+//!  │               │ u32    │ u32    │ u8      │     │
+//!  └───────────────┴────────┴────────┴─────────┴─────┘
+//!  child ref: bit31 = leaf flag, bit0 = label (1 ⇒ Incorrect),
+//!             otherwise an arena index (preorder: left == self + 1)
+//! ```
+//!
+//! [`CompiledForest`] concatenates every tree's arena into one allocation
+//! and keeps per-tree root references, so an ensemble walk touches a
+//! single slab. Single-sample forest classification early-exits as soon
+//! as the vote threshold is decided either way; batch classification
+//! accumulates votes for a chunk of samples in a fixed array, tree by
+//! tree, so each tree's arena region is streamed once per chunk.
+//!
+//! Batch classification ([`CompiledTree::classify_batch`]) walks eight
+//! samples in branchless lockstep (`walk_lanes`): per-sample branches
+//! mispredict ~50% on real trees and each flush discards the other
+//! samples' in-flight loads, while eight independent dependency chains
+//! advanced by `cmov` keep that many cache misses overlapped. Finished
+//! lanes idle on their leaf reference until the round count (the tree
+//! depth) expires.
+//!
+//! [`Node`]: crate::tree::Node
+
+use crate::dataset::Label;
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// Child-reference tag: set ⇒ the reference is a leaf verdict, not an
+/// arena index. Bit 0 then carries the label (1 ⇒ `Incorrect`).
+pub const LEAF_BIT: u32 = 1 << 31;
+
+/// Encode a leaf verdict as a child reference.
+#[inline]
+const fn leaf_ref(label: Label) -> u32 {
+    LEAF_BIT
+        | match label {
+            Label::Correct => 0,
+            Label::Incorrect => 1,
+        }
+}
+
+/// Decode a leaf reference back into a label.
+#[inline]
+const fn leaf_label(r: u32) -> Label {
+    if r & 1 == 1 {
+        Label::Incorrect
+    } else {
+        Label::Correct
+    }
+}
+
+/// One split record in the arena. `#[repr(C)]` keeps the layout fixed:
+/// 8 (threshold) + 4 + 4 (children) + 1 (feature) + 7 pad = 24 bytes, so
+/// two to three records share a cache line instead of one ~60-byte boxed
+/// `Node::Split` allocation per miss.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledNode {
+    /// `features[feature] <= threshold` goes left.
+    pub threshold: u64,
+    /// Left child reference (arena index or [`LEAF_BIT`]-tagged verdict).
+    pub left: u32,
+    /// Right child reference.
+    pub right: u32,
+    /// Feature column index (Table-I layouts have 5; 255 is plenty).
+    pub feature: u8,
+}
+
+/// Keep the child select a real conditional branch. LLVM if-converts the
+/// two register moves into a `cmov`/indexed load, which chains every
+/// level's load behind the previous compare — the walk becomes one long
+/// serial dependency and loses the speculation that makes tree descent
+/// fast. An empty asm block in one arm forces a branch, so the predictor
+/// can run ahead and issue the next level's load speculatively.
+#[inline(always)]
+fn branch_barrier() {
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    // SAFETY: empty asm, no operands, no memory or flag effects.
+    unsafe {
+        std::arch::asm!("", options(nostack, preserves_flags));
+    }
+}
+
+/// Start pulling the record at reference `r` (leaf tags mask to index 0/1,
+/// a harmless in-arena touch) into cache before the walk knows it needs
+/// it. The left child is the next record — the hardware streamer already
+/// has it — but the right child is an arbitrary index whose miss would
+/// otherwise serialize the walk; issuing the prefetch before the compare
+/// resolves overlaps that miss with the branch.
+#[inline(always)]
+fn prefetch_ref(nodes: &[CompiledNode], r: u32) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never dereferences; any address is architecturally
+    // safe, and this one stays within (or one element past) the arena.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            nodes.as_ptr().wrapping_add((r & !LEAF_BIT) as usize) as *const i8,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (nodes, r);
+}
+
+/// Walk the arena from `r` until a leaf reference; returns that reference.
+///
+/// # Safety
+/// Every non-leaf reference reachable from `r` must be a valid arena index
+/// (guaranteed by [`emit`]) and `features` must cover every `feature`
+/// index stored in the arena — callers check `features.len() >= arity`
+/// once, so the per-level loads can skip bounds checks on the chain.
+#[inline]
+unsafe fn walk(nodes: &[CompiledNode], mut r: u32, features: &[u64]) -> u32 {
+    while r & LEAF_BIT == 0 {
+        let n = *nodes.get_unchecked(r as usize);
+        prefetch_ref(nodes, n.right);
+        if *features.get_unchecked(n.feature as usize) <= n.threshold {
+            r = n.left;
+        } else {
+            branch_barrier();
+            r = n.right;
+        }
+    }
+    r
+}
+
+/// How many independent walks the batch walker advances in lockstep. One
+/// walk is a serial load chain (each level's address depends on the
+/// previous compare), so a lone walk runs at cache latency per level;
+/// eight chains overlap their misses and keep the load ports busy.
+const LANES: usize = 8;
+
+/// Advance [`LANES`] independent walks one level per round for `depth`
+/// rounds, branchlessly: lanes that reached a leaf keep re-selecting their
+/// verdict reference. No data-dependent branches means no pipeline
+/// flushes, which is what lets the chains actually overlap.
+///
+/// # Safety
+/// Same contract as [`walk`] for every lane's reference and feature slice.
+#[inline]
+unsafe fn walk_lanes(
+    nodes: &[CompiledNode],
+    refs: &mut [u32; LANES],
+    feats: &[&[u64]; LANES],
+    depth: usize,
+) {
+    if nodes.is_empty() {
+        return; // every root reference is already a tagged verdict
+    }
+    let last = nodes.len() - 1;
+    for _ in 0..depth {
+        for lane in 0..LANES {
+            let r = refs[lane];
+            // Leaf-tagged lanes read a real record and discard the result.
+            let n = *nodes.get_unchecked(((r & !LEAF_BIT) as usize).min(last));
+            let f = *feats[lane].get_unchecked(n.feature as usize);
+            let next = if f <= n.threshold { n.left } else { n.right };
+            refs[lane] = if r & LEAF_BIT == 0 { next } else { r };
+        }
+    }
+}
+
+/// Like [`walk`] but counts the comparisons performed.
+///
+/// # Safety
+/// Same contract as [`walk`].
+#[inline]
+unsafe fn walk_cost(nodes: &[CompiledNode], mut r: u32, features: &[u64]) -> usize {
+    let mut cost = 0;
+    while r & LEAF_BIT == 0 {
+        let n = *nodes.get_unchecked(r as usize);
+        cost += 1;
+        if *features.get_unchecked(n.feature as usize) <= n.threshold {
+            r = n.left;
+        } else {
+            branch_barrier();
+            r = n.right;
+        }
+    }
+    cost
+}
+
+/// Emit `node`'s splits into `nodes` in preorder; returns the reference
+/// that reaches the subtree (an index, or a tagged verdict for a leaf).
+fn emit(node: &Node, nodes: &mut Vec<CompiledNode>) -> u32 {
+    match node {
+        Node::Leaf { label, .. } => leaf_ref(*label),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            assert!(*feature < 256, "feature index {feature} exceeds u8 arena");
+            let idx = u32::try_from(nodes.len()).expect("arena exceeds u32 indices");
+            assert!(idx & LEAF_BIT == 0, "arena exceeds leaf-taggable indices");
+            nodes.push(CompiledNode {
+                threshold: *threshold,
+                left: 0,
+                right: 0,
+                feature: *feature as u8,
+            });
+            // Preorder: the left subtree lands at idx + 1, so the hot
+            // "<= threshold" path is a sequential read.
+            let l = emit(left, nodes);
+            let r = emit(right, nodes);
+            nodes[idx as usize].left = l;
+            nodes[idx as usize].right = r;
+            idx
+        }
+    }
+}
+
+/// Highest feature index used by any record, plus one — the minimum
+/// feature-slice length a walk may be given. Checked once per call so the
+/// per-level loads can go unchecked.
+fn arena_arity(nodes: &[CompiledNode]) -> usize {
+    nodes
+        .iter()
+        .map(|n| n.feature as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// A [`DecisionTree`] compiled into a flat split arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTree {
+    nodes: Vec<CompiledNode>,
+    /// Root reference: index 0 for any tree with at least one split, a
+    /// tagged verdict for a single-leaf tree.
+    root: u32,
+    depth: usize,
+    /// Minimum feature-slice length a classify call must provide.
+    arity: usize,
+}
+
+impl CompiledTree {
+    /// Flatten a trained tree. Pure layout transformation — verdicts and
+    /// costs are bit-identical to the boxed walker by construction (and by
+    /// the proptest in `tests/compiled_equivalence.rs`).
+    pub fn compile(tree: &DecisionTree) -> CompiledTree {
+        let mut nodes = Vec::with_capacity(tree.nr_nodes() / 2 + 1);
+        let root = emit(&tree.root, &mut nodes);
+        CompiledTree {
+            arity: arena_arity(&nodes),
+            nodes,
+            root,
+            depth: tree.depth(),
+        }
+    }
+
+    /// Classify one feature vector — same contract as
+    /// [`DecisionTree::classify`].
+    #[inline]
+    pub fn classify(&self, features: &[u64]) -> Label {
+        assert!(features.len() >= self.arity, "feature vector too short");
+        // SAFETY: emit() produced only in-arena indices; arity checked.
+        leaf_label(unsafe { walk(&self.nodes, self.root, features) })
+    }
+
+    /// Comparisons performed — same contract as
+    /// [`DecisionTree::classify_cost`].
+    #[inline]
+    pub fn classify_cost(&self, features: &[u64]) -> usize {
+        assert!(features.len() >= self.arity, "feature vector too short");
+        // SAFETY: emit() produced only in-arena indices; arity checked.
+        unsafe { walk_cost(&self.nodes, self.root, features) }
+    }
+
+    /// Classify a batch, one verdict per input row. Full groups of
+    /// `LANES` rows walk the arena in lockstep so their load chains
+    /// overlap; the tail falls back to the single-sample walker. Accepts
+    /// `[u64; 5]` rows (the Table-I layout), slices, or anything
+    /// slice-like.
+    pub fn classify_batch<I: AsRef<[u64]>>(&self, inputs: &[I], out: &mut [Label]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "classify_batch: inputs and out must have equal length"
+        );
+        let mut groups_in = inputs.chunks_exact(LANES);
+        let mut groups_out = out.chunks_exact_mut(LANES);
+        for (gi, go) in (&mut groups_in).zip(&mut groups_out) {
+            let feats: [&[u64]; LANES] = std::array::from_fn(|k| gi[k].as_ref());
+            for f in &feats {
+                assert!(f.len() >= self.arity, "feature vector too short");
+            }
+            let mut refs = [self.root; LANES];
+            // SAFETY: emit() produced only in-arena indices; arity checked.
+            unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.depth) };
+            for (o, r) in go.iter_mut().zip(refs) {
+                *o = leaf_label(r);
+            }
+        }
+        for (f, o) in groups_in
+            .remainder()
+            .iter()
+            .zip(groups_out.into_remainder())
+        {
+            let f = f.as_ref();
+            assert!(f.len() >= self.arity, "feature vector too short");
+            // SAFETY: emit() produced only in-arena indices; arity checked.
+            *o = leaf_label(unsafe { walk(&self.nodes, self.root, f) });
+        }
+    }
+
+    /// Split records in the arena (the boxed tree's `nr_nodes` counts
+    /// leaves too; here leaves cost zero bytes).
+    pub fn nr_splits(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum comparisons on any path.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Arena bytes actually touched by walks.
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<CompiledNode>()
+    }
+}
+
+/// How many samples a forest batch scores per vote-array refill.
+const BATCH_CHUNK: usize = 64;
+
+/// A [`RandomForest`] compiled into one shared arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledForest {
+    nodes: Vec<CompiledNode>,
+    /// One root reference per tree, into the shared arena.
+    roots: Vec<u32>,
+    vote_threshold: usize,
+    /// Minimum feature-slice length a classify call must provide.
+    arity: usize,
+    /// Deepest member tree — the lockstep round count for batch walks.
+    max_depth: usize,
+}
+
+impl CompiledForest {
+    /// Flatten every tree into a single contiguous arena.
+    pub fn compile(forest: &RandomForest) -> CompiledForest {
+        let mut nodes = Vec::new();
+        let roots = forest
+            .trees
+            .iter()
+            .map(|t| emit(&t.root, &mut nodes))
+            .collect();
+        CompiledForest {
+            arity: arena_arity(&nodes),
+            nodes,
+            roots,
+            vote_threshold: forest.vote_threshold,
+            max_depth: forest.trees.iter().map(|t| t.depth()).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of trees voting `Incorrect` — same contract as
+    /// [`RandomForest::incorrect_votes`] (always walks every tree).
+    pub fn incorrect_votes(&self, features: &[u64]) -> usize {
+        assert!(features.len() >= self.arity, "feature vector too short");
+        self.roots
+            .iter()
+            // SAFETY: emit() produced only in-arena indices; arity checked.
+            .filter(|&&r| leaf_label(unsafe { walk(&self.nodes, r, features) }) == Label::Incorrect)
+            .count()
+    }
+
+    /// Majority-vote classification, early-exiting as soon as the verdict
+    /// is decided: either the threshold is reached, or the remaining trees
+    /// cannot reach it. The label is provably identical to counting every
+    /// vote, which the equivalence proptest checks.
+    pub fn classify(&self, features: &[u64]) -> Label {
+        assert!(features.len() >= self.arity, "feature vector too short");
+        let total = self.roots.len();
+        let mut votes = 0usize;
+        for (i, &r) in self.roots.iter().enumerate() {
+            // SAFETY: emit() produced only in-arena indices; arity checked.
+            if leaf_label(unsafe { walk(&self.nodes, r, features) }) == Label::Incorrect {
+                votes += 1;
+                if votes >= self.vote_threshold {
+                    return Label::Incorrect;
+                }
+            }
+            let remaining = total - i - 1;
+            if votes + remaining < self.vote_threshold {
+                return Label::Correct;
+            }
+        }
+        Label::Correct
+    }
+
+    /// Total comparisons across *all* trees — same contract as
+    /// [`RandomForest::classify_cost`], so no early exit here.
+    pub fn classify_cost(&self, features: &[u64]) -> usize {
+        assert!(features.len() >= self.arity, "feature vector too short");
+        self.roots
+            .iter()
+            // SAFETY: emit() produced only in-arena indices; arity checked.
+            .map(|&r| unsafe { walk_cost(&self.nodes, r, features) })
+            .sum()
+    }
+
+    /// Batch classification: votes for a chunk of samples accumulate in a
+    /// fixed array while the trees are walked in arena order, so each
+    /// tree's records are streamed once per chunk instead of once per
+    /// sample. Within a tree, samples advance in lockstep groups of
+    /// `LANES` so their load chains overlap. Full-count voting — the
+    /// label equals the early-exiting [`CompiledForest::classify`] by the
+    /// same threshold argument.
+    pub fn classify_batch<I: AsRef<[u64]>>(&self, inputs: &[I], out: &mut [Label]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "classify_batch: inputs and out must have equal length"
+        );
+        let thr = self.vote_threshold as u32;
+        for (chunk_in, chunk_out) in inputs.chunks(BATCH_CHUNK).zip(out.chunks_mut(BATCH_CHUNK)) {
+            let mut votes = [0u32; BATCH_CHUNK];
+            let votes = &mut votes[..chunk_in.len()];
+            for &root in &self.roots {
+                let mut groups_in = chunk_in.chunks_exact(LANES);
+                let mut groups_votes = votes.chunks_exact_mut(LANES);
+                for (gi, gv) in (&mut groups_in).zip(&mut groups_votes) {
+                    let feats: [&[u64]; LANES] = std::array::from_fn(|k| gi[k].as_ref());
+                    for f in &feats {
+                        assert!(f.len() >= self.arity, "feature vector too short");
+                    }
+                    let mut refs = [root; LANES];
+                    // SAFETY: emit() produced in-arena indices; arity checked.
+                    unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.max_depth) };
+                    for (v, r) in gv.iter_mut().zip(refs) {
+                        *v += (leaf_label(r) == Label::Incorrect) as u32;
+                    }
+                }
+                for (f, v) in groups_in
+                    .remainder()
+                    .iter()
+                    .zip(groups_votes.into_remainder())
+                {
+                    let f = f.as_ref();
+                    assert!(f.len() >= self.arity, "feature vector too short");
+                    // SAFETY: emit() produced in-arena indices; arity checked.
+                    *v += (leaf_label(unsafe { walk(&self.nodes, root, f) }) == Label::Incorrect)
+                        as u32;
+                }
+            }
+            for (o, &v) in chunk_out.iter_mut().zip(votes.iter()) {
+                *o = if v >= thr {
+                    Label::Incorrect
+                } else {
+                    Label::Correct
+                };
+            }
+        }
+    }
+
+    /// Trees in the ensemble.
+    pub fn nr_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Split records across all trees.
+    pub fn nr_splits(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Votes required for an `Incorrect` verdict.
+    pub fn vote_threshold(&self) -> usize {
+        self.vote_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Sample};
+    use crate::forest::ForestConfig;
+    use crate::tree::TrainConfig;
+
+    fn mixed_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(&["a", "b", "c"]);
+        for i in 0..n as u64 {
+            let label = if (i * 13 + 5) % 7 < 2 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
+            ds.push(Sample::new(vec![i % 31, (i * 3) % 53, i % 11], label));
+        }
+        ds
+    }
+
+    #[test]
+    fn record_layout_is_24_bytes() {
+        assert_eq!(std::mem::size_of::<CompiledNode>(), 24);
+    }
+
+    #[test]
+    fn compiled_tree_matches_boxed_on_training_data() {
+        let ds = mixed_dataset(300);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        assert_eq!(compiled.depth(), tree.depth());
+        for s in &ds.samples {
+            assert_eq!(compiled.classify(&s.features), tree.classify(&s.features));
+            assert_eq!(
+                compiled.classify_cost(&s.features),
+                tree.classify_cost(&s.features)
+            );
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles_to_empty_arena() {
+        let mut ds = Dataset::new(&["x"]);
+        for i in 0..10u64 {
+            ds.push(Sample::new(vec![i], Label::Incorrect));
+        }
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        assert_eq!(compiled.nr_splits(), 0);
+        assert_eq!(compiled.classify(&[5]), Label::Incorrect);
+        assert_eq!(compiled.classify_cost(&[5]), 0);
+    }
+
+    #[test]
+    fn preorder_left_child_is_next_record() {
+        let ds = mixed_dataset(300);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        assert!(compiled.nr_splits() > 1, "need a multi-split tree");
+        for (i, n) in compiled.nodes.iter().enumerate() {
+            if n.left & LEAF_BIT == 0 {
+                assert_eq!(n.left as usize, i + 1, "left child must follow its parent");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_sample() {
+        let ds = mixed_dataset(200);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        let rows: Vec<&[u64]> = ds.samples.iter().map(|s| s.features.as_slice()).collect();
+        let mut out = vec![Label::Correct; rows.len()];
+        compiled.classify_batch(&rows, &mut out);
+        for (s, o) in ds.samples.iter().zip(out) {
+            assert_eq!(o, compiled.classify(&s.features));
+        }
+    }
+
+    #[test]
+    fn compiled_forest_matches_boxed() {
+        let ds = mixed_dataset(240);
+        let forest = RandomForest::train(&ds, &ForestConfig::default_random_forest(3, 17));
+        let compiled = CompiledForest::compile(&forest);
+        assert_eq!(compiled.nr_trees(), forest.trees.len());
+        let mut out = vec![Label::Correct; ds.len()];
+        let rows: Vec<&[u64]> = ds.samples.iter().map(|s| s.features.as_slice()).collect();
+        compiled.classify_batch(&rows, &mut out);
+        for (s, o) in ds.samples.iter().zip(out) {
+            assert_eq!(compiled.classify(&s.features), forest.classify(&s.features));
+            assert_eq!(o, forest.classify(&s.features));
+            assert_eq!(
+                compiled.incorrect_votes(&s.features),
+                forest.incorrect_votes(&s.features)
+            );
+            assert_eq!(
+                compiled.classify_cost(&s.features),
+                forest.classify_cost(&s.features)
+            );
+        }
+    }
+
+    #[test]
+    fn forest_early_exit_agrees_with_full_count_at_extreme_thresholds() {
+        let ds = mixed_dataset(240);
+        for threshold in [1, 8, 15] {
+            let mut cfg = ForestConfig::default_random_forest(3, 23);
+            cfg.vote_threshold = Some(threshold);
+            let forest = RandomForest::train(&ds, &cfg);
+            let compiled = CompiledForest::compile(&forest);
+            for s in &ds.samples {
+                assert_eq!(
+                    compiled.classify(&s.features),
+                    forest.classify(&s.features),
+                    "threshold {threshold}"
+                );
+            }
+        }
+    }
+}

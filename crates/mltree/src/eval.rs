@@ -5,6 +5,7 @@
 //! 0.7% false-positive rate (correct executions flagged as incorrect) that
 //! feeds the recovery-overhead estimate of Fig. 11.
 
+use crate::compiled::CompiledTree;
 use crate::dataset::{Dataset, Label};
 use crate::tree::DecisionTree;
 
@@ -68,11 +69,19 @@ impl ConfusionMatrix {
     }
 }
 
-/// Evaluate a tree on a test set.
+/// Evaluate a tree on a test set (compiles once, classifies in batch).
 pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> ConfusionMatrix {
+    evaluate_compiled(&tree.compile(), test)
+}
+
+/// Evaluate an already-compiled tree on a test set via the batch path.
+pub fn evaluate_compiled(tree: &CompiledTree, test: &Dataset) -> ConfusionMatrix {
+    let rows: Vec<&[u64]> = test.samples.iter().map(|s| s.features.as_slice()).collect();
+    let mut predicted = vec![Label::Correct; rows.len()];
+    tree.classify_batch(&rows, &mut predicted);
     let mut cm = ConfusionMatrix::default();
-    for s in &test.samples {
-        cm.record(s.label, tree.classify(&s.features));
+    for (s, p) in test.samples.iter().zip(predicted) {
+        cm.record(s.label, p);
     }
     cm
 }
@@ -100,9 +109,11 @@ pub fn cross_validate(
             }
         }
         let tree = train(&tr);
-        for s in &te.samples {
-            pooled.record(s.label, tree.classify(&s.features));
-        }
+        let fold_cm = evaluate(&tree, &te);
+        pooled.true_positive += fold_cm.true_positive;
+        pooled.false_positive += fold_cm.false_positive;
+        pooled.true_negative += fold_cm.true_negative;
+        pooled.false_negative += fold_cm.false_negative;
     }
     pooled
 }

@@ -44,43 +44,106 @@ impl ForestConfig {
 }
 
 /// A trained forest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RandomForest {
     pub feature_names: Vec<String>,
     pub trees: Vec<DecisionTree>,
     pub vote_threshold: usize,
 }
 
+/// Per-tree bagging seed: splitmix64 over the forest seed and tree index.
+/// Each tree owns an independent RNG stream, so the model is a pure
+/// function of `(data, cfg)` no matter how trees are scheduled across
+/// threads — parallel training is bit-identical to serial by construction.
+fn bag_seed(forest_seed: u64, tree: u64) -> u64 {
+    let mut z = forest_seed.wrapping_add((tree + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bag and train tree `t` of the forest.
+fn train_one(data: &Dataset, cfg: &ForestConfig, bag_size: usize, t: usize) -> DecisionTree {
+    let mut rng = ChaCha8Rng::seed_from_u64(bag_seed(cfg.seed, t as u64));
+    let mut bag = Dataset::new(
+        &data
+            .feature_names
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+    );
+    for _ in 0..bag_size {
+        let s: &Sample = &data.samples[rng.gen_range(0..data.len())];
+        bag.push(s.clone());
+    }
+    let mut tree_cfg = cfg.tree;
+    tree_cfg.seed = cfg.seed.wrapping_add(t as u64 * 0x9E37_79B9);
+    DecisionTree::train(&bag, &tree_cfg)
+}
+
 impl RandomForest {
-    /// Train by bagging.
+    /// Train by bagging, using every available core. Identical output to
+    /// [`RandomForest::train_with_threads`] at any thread count.
     pub fn train(data: &Dataset, cfg: &ForestConfig) -> RandomForest {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RandomForest::train_with_threads(data, cfg, threads)
+    }
+
+    /// Train by bagging on `threads` worker threads. Tree `t` always draws
+    /// its bag from its own seeded stream (`bag_seed`) and trains with
+    /// its own perturbed tree seed, so the resulting forest is
+    /// bit-identical regardless of `threads` (1 == serial).
+    pub fn train_with_threads(data: &Dataset, cfg: &ForestConfig, threads: usize) -> RandomForest {
         assert!(cfg.nr_trees >= 1);
         assert!(!data.is_empty());
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        assert!(threads >= 1, "need at least one training thread");
         let bag_size = (data.len() * cfg.bag_permille / 1000).max(2);
-        let mut trees = Vec::with_capacity(cfg.nr_trees);
-        for t in 0..cfg.nr_trees {
-            let mut bag = Dataset::new(
-                &data
-                    .feature_names
-                    .iter()
-                    .map(|s| s.as_str())
-                    .collect::<Vec<_>>(),
-            );
-            for _ in 0..bag_size {
-                let s: &Sample = &data.samples[rng.gen_range(0..data.len())];
-                bag.push(s.clone());
+        let threads = threads.min(cfg.nr_trees);
+        let trees: Vec<DecisionTree> = if threads == 1 {
+            (0..cfg.nr_trees)
+                .map(|t| train_one(data, cfg, bag_size, t))
+                .collect()
+        } else {
+            // Stride-partition tree indices across workers; reassemble in
+            // index order so the output order matches serial training.
+            let mut slots: Vec<Option<DecisionTree>> = vec![None; cfg.nr_trees];
+            let done: Vec<Vec<(usize, DecisionTree)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        s.spawn(move || {
+                            (w..cfg.nr_trees)
+                                .step_by(threads)
+                                .map(|t| (t, train_one(data, cfg, bag_size, t)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("forest training worker panicked"))
+                    .collect()
+            });
+            for (t, tree) in done.into_iter().flatten() {
+                slots[t] = Some(tree);
             }
-            let mut tree_cfg = cfg.tree;
-            tree_cfg.seed = cfg.seed.wrapping_add(t as u64 * 0x9E37_79B9);
-            trees.push(DecisionTree::train(&bag, &tree_cfg));
-        }
+            slots
+                .into_iter()
+                .map(|t| t.expect("tree trained"))
+                .collect()
+        };
         let vote_threshold = cfg.vote_threshold.unwrap_or(cfg.nr_trees / 2 + 1);
         RandomForest {
             feature_names: data.feature_names.clone(),
             trees,
             vote_threshold,
         }
+    }
+
+    /// Flatten into the shared-arena form used on the deployment hot path.
+    pub fn compile(&self) -> crate::compiled::CompiledForest {
+        crate::compiled::CompiledForest::compile(self)
     }
 
     /// Number of trees voting `Incorrect`.
@@ -111,11 +174,15 @@ impl RandomForest {
     }
 }
 
-/// Evaluate a forest on a test set.
+/// Evaluate a forest on a test set (compiles once, classifies in batch).
 pub fn evaluate_forest(forest: &RandomForest, test: &Dataset) -> crate::eval::ConfusionMatrix {
+    let compiled = forest.compile();
+    let rows: Vec<&[u64]> = test.samples.iter().map(|s| s.features.as_slice()).collect();
+    let mut predicted = vec![Label::Correct; rows.len()];
+    compiled.classify_batch(&rows, &mut predicted);
     let mut cm = crate::eval::ConfusionMatrix::default();
-    for s in &test.samples {
-        cm.record(s.label, forest.classify(&s.features));
+    for (s, p) in test.samples.iter().zip(predicted) {
+        cm.record(s.label, p);
     }
     cm
 }
@@ -185,6 +252,21 @@ mod tests {
         for s in &ds.samples {
             assert_eq!(a.classify(&s.features), b.classify(&s.features));
         }
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_serial() {
+        let ds = separable_dataset(300);
+        let cfg = ForestConfig::default_random_forest(2, 29);
+        let serial = RandomForest::train_with_threads(&ds, &cfg, 1);
+        for threads in [2, 3, 8, 64] {
+            let parallel = RandomForest::train_with_threads(&ds, &cfg, threads);
+            assert_eq!(
+                serial, parallel,
+                "threads={threads} must not change the model"
+            );
+        }
+        assert_eq!(serial, RandomForest::train(&ds, &cfg));
     }
 
     #[test]

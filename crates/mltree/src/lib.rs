@@ -12,17 +12,23 @@
 //!   split (3 of the 5 Xentry features, as the paper states);
 //! * [`tree::DecisionTree::classify`] — pure integer-threshold traversal
 //!   suitable for the hypervisor hot path;
+//! * [`compiled::CompiledTree`] / [`compiled::CompiledForest`] — the
+//!   deployment form: boxed nodes flattened into a contiguous preorder
+//!   arena with an iterative walker and a batch API, bit-identical to the
+//!   boxed walkers but without a pointer chase per level;
 //! * [`eval`] — accuracy, confusion matrices and the false-positive rate
 //!   the paper's recovery-overhead estimate depends on (0.7%).
 
+pub mod compiled;
 pub mod dataset;
 pub mod eval;
 pub mod forest;
 pub mod prune;
 pub mod tree;
 
+pub use compiled::{CompiledForest, CompiledNode, CompiledTree, LEAF_BIT};
 pub use dataset::{Dataset, Label, Sample};
-pub use eval::{cross_validate, evaluate, ConfusionMatrix};
+pub use eval::{cross_validate, evaluate, evaluate_compiled, ConfusionMatrix};
 pub use forest::{evaluate_forest, ForestConfig, RandomForest};
 pub use prune::reduced_error_prune;
 pub use tree::{DecisionTree, Node, TrainConfig};

@@ -34,26 +34,8 @@ pub fn reduced_error_prune(tree: &DecisionTree, validation: &Dataset) -> (Decisi
 fn errors(node: &Node, samples: &[&Sample]) -> usize {
     samples
         .iter()
-        .filter(|s| classify_node(node, &s.features) != s.label)
+        .filter(|s| node.classify(&s.features) != s.label)
         .count()
-}
-
-fn classify_node(node: &Node, features: &[u64]) -> Label {
-    match node {
-        Node::Leaf { label, .. } => *label,
-        Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
-        } => {
-            if features[*feature] <= *threshold {
-                classify_node(left, features)
-            } else {
-                classify_node(right, features)
-            }
-        }
-    }
 }
 
 fn training_counts(node: &Node) -> (usize, usize) {

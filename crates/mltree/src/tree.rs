@@ -33,6 +33,53 @@ pub enum Node {
 }
 
 impl Node {
+    /// Classify a feature vector — the single shared traversal every
+    /// boxed-walker caller (tree, forest voting, pruning) goes through.
+    pub fn classify(&self, features: &[u64]) -> Label {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Comparisons performed to classify `features`.
+    pub fn classify_cost(&self, features: &[u64]) -> usize {
+        let mut node = self;
+        let mut cost = 0;
+        loop {
+            match node {
+                Node::Leaf { .. } => return cost,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cost += 1;
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
     fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 0,
@@ -86,7 +133,7 @@ impl TrainConfig {
 }
 
 /// A trained classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionTree {
     pub feature_names: Vec<String>,
     pub root: Node,
@@ -240,49 +287,18 @@ impl DecisionTree {
 
     /// Classify a feature vector — integer compares only.
     pub fn classify(&self, features: &[u64]) -> Label {
-        let mut node = &self.root;
-        loop {
-            match node {
-                Node::Leaf { label, .. } => return *label,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    node = if features[*feature] <= *threshold {
-                        left
-                    } else {
-                        right
-                    };
-                }
-            }
-        }
+        self.root.classify(features)
     }
 
     /// Number of comparisons performed to classify `features` (the
     /// per-VM-entry cost the overhead model charges).
     pub fn classify_cost(&self, features: &[u64]) -> usize {
-        let mut node = &self.root;
-        let mut cost = 0;
-        loop {
-            match node {
-                Node::Leaf { .. } => return cost,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    cost += 1;
-                    node = if features[*feature] <= *threshold {
-                        left
-                    } else {
-                        right
-                    };
-                }
-            }
-        }
+        self.root.classify_cost(features)
+    }
+
+    /// Flatten into the arena form used on the deployment hot path.
+    pub fn compile(&self) -> crate::compiled::CompiledTree {
+        crate::compiled::CompiledTree::compile(self)
     }
 
     /// Maximum depth.

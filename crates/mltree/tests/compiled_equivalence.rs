@@ -1,0 +1,119 @@
+//! Property-based equivalence: the compiled arena engine must be
+//! bit-identical to the boxed walkers — same verdicts, same costs — on
+//! randomized trees, forests and inputs. The compiled form is what ships
+//! on the VM-entry hot path, so "fast" is only admissible as "fast and
+//! provably the same function".
+
+use mltree::{
+    CompiledForest, CompiledTree, Dataset, DecisionTree, ForestConfig, Label, RandomForest, Sample,
+    TrainConfig,
+};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // 2-4 features, 20-200 samples, values in a modest range.
+    (2usize..5, 20usize..200).prop_flat_map(|(nf, ns)| {
+        proptest::collection::vec(
+            (proptest::collection::vec(0u64..1000, nf), any::<bool>()),
+            ns,
+        )
+        .prop_map(move |rows| {
+            let names: Vec<String> = (0..nf).map(|i| format!("f{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let mut ds = Dataset::new(&name_refs);
+            for (features, bad) in rows {
+                ds.push(Sample::new(
+                    features,
+                    if bad {
+                        Label::Incorrect
+                    } else {
+                        Label::Correct
+                    },
+                ));
+            }
+            ds
+        })
+    })
+}
+
+/// Probe vectors resized to the dataset's feature count: a mix of
+/// in-distribution values and extremes the training data never saw.
+fn probes(ds: &Dataset, raw: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let nf = ds.nr_features();
+    let mut out: Vec<Vec<u64>> = raw
+        .iter()
+        .map(|p| {
+            let mut p = p.clone();
+            p.resize(nf, 0);
+            p
+        })
+        .collect();
+    out.push(vec![0; nf]);
+    out.push(vec![u64::MAX; nf]);
+    out.extend(ds.samples.iter().map(|s| s.features.clone()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CompiledTree::classify and classify_cost match the boxed walker on
+    /// every probe, and the batch path matches the single-sample path.
+    #[test]
+    fn compiled_tree_is_bit_identical(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..12),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let compiled = CompiledTree::compile(&tree);
+        let inputs = probes(&ds, &raw);
+        let mut batch = vec![Label::Correct; inputs.len()];
+        compiled.classify_batch(&inputs, &mut batch);
+        for (f, b) in inputs.iter().zip(batch) {
+            prop_assert_eq!(compiled.classify(f), tree.classify(f));
+            prop_assert_eq!(compiled.classify_cost(f), tree.classify_cost(f));
+            prop_assert_eq!(b, tree.classify(f));
+        }
+        prop_assert_eq!(compiled.depth(), tree.depth());
+    }
+
+    /// CompiledForest verdicts, vote counts and costs match the boxed
+    /// forest for arbitrary vote thresholds (including ones the early
+    /// exit hits on the first or last tree), and the chunked batch path
+    /// matches single-sample classification.
+    #[test]
+    fn compiled_forest_is_bit_identical(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        nr_trees in 1usize..9,
+        threshold in 1usize..10,
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..8),
+    ) {
+        let mut cfg = ForestConfig::default_random_forest(ds.nr_features(), seed);
+        cfg.nr_trees = nr_trees;
+        cfg.vote_threshold = Some(threshold.min(nr_trees + 1));
+        let forest = RandomForest::train(&ds, &cfg);
+        let compiled = CompiledForest::compile(&forest);
+        let inputs = probes(&ds, &raw);
+        let mut batch = vec![Label::Correct; inputs.len()];
+        compiled.classify_batch(&inputs, &mut batch);
+        for (f, b) in inputs.iter().zip(batch) {
+            prop_assert_eq!(compiled.classify(f), forest.classify(f));
+            prop_assert_eq!(compiled.incorrect_votes(f), forest.incorrect_votes(f));
+            prop_assert_eq!(compiled.classify_cost(f), forest.classify_cost(f));
+            prop_assert_eq!(b, forest.classify(f));
+        }
+    }
+
+    /// Training the same forest config on any thread count yields the
+    /// same compiled arena (parallel training is bit-identical).
+    #[test]
+    fn parallel_forest_compiles_identically(ds in arb_dataset(), seed in any::<u64>()) {
+        let cfg = ForestConfig::default_random_forest(ds.nr_features(), seed);
+        let serial = RandomForest::train_with_threads(&ds, &cfg, 1);
+        let parallel = RandomForest::train_with_threads(&ds, &cfg, 4);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(CompiledForest::compile(&serial), CompiledForest::compile(&parallel));
+    }
+}

@@ -5,28 +5,26 @@
 //! nanoseconds, not the microseconds an SVM would.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+use mltree::{Dataset, DecisionTree, ForestConfig, Label, RandomForest, Sample, TrainConfig};
 use xentry::{FeatureVec, VmTransitionDetector, FEATURE_NAMES};
 
+/// Table-I-shaped counters with a labeling rule that interacts all five
+/// features, so training yields a deployment-scale tree (thousands of
+/// splits) instead of a one-cut toy. Matches `inference::bench_dataset`.
 fn synthetic_dataset(n: usize) -> Dataset {
     let mut ds = Dataset::new(&FEATURE_NAMES);
     for i in 0..n as u64 {
-        let vmer = i % 91;
-        let rt = 800 + (i * 37) % 900;
-        let label = if (i * 13) % 10 == 0 {
+        let vmer = (i * 7919) % 91;
+        let rt = 60 + (i * 2_654_435_761) % 3940;
+        let br = rt / 6 + (i * 97) % 40;
+        let rm = rt / 5 + (i * 193) % 60;
+        let wm = 4 + (i * 389) % 120;
+        let label = if (vmer * 31 + rt * 7 + br * 13 + rm * 3 + wm) % 11 < 3 {
             Label::Incorrect
         } else {
             Label::Correct
         };
-        let rt = if label == Label::Incorrect {
-            rt + 2500
-        } else {
-            rt
-        };
-        ds.push(Sample::new(
-            vec![vmer, rt, rt / 6, rt / 5, 30 + i % 9],
-            label,
-        ));
+        ds.push(Sample::new(vec![vmer, rt, br, rm, wm], label));
     }
     ds
 }
@@ -37,22 +35,92 @@ fn bench_classify(c: &mut Criterion) {
     let rt = DecisionTree::train(&ds, &TrainConfig::random_tree(5, 1));
     let dt = DecisionTree::train(&ds, &TrainConfig::decision_tree());
     let det = VmTransitionDetector::new(rt.clone());
-    let f = FeatureVec {
-        vmer: 17,
-        rt: 1200,
-        br: 200,
-        rm: 240,
-        wm: 33,
-    };
+
+    // Single-sample cases sweep a pool of varied rows: a fixed input lets
+    // the branch predictor memorize one root-to-leaf path and makes every
+    // walker look identical.
+    let rows: Vec<[u64; 5]> = ds
+        .samples
+        .iter()
+        .take(1024)
+        .map(|s| {
+            [
+                s.features[0],
+                s.features[1],
+                s.features[2],
+                s.features[3],
+                s.features[4],
+            ]
+        })
+        .collect();
+    let feature_vecs: Vec<FeatureVec> = rows
+        .iter()
+        .map(|r| FeatureVec {
+            vmer: r[0] as u16,
+            rt: r[1],
+            br: r[2],
+            rm: r[3],
+            wm: r[4],
+        })
+        .collect();
+    let mut labels = vec![Label::Correct; rows.len()];
+    let mut i = 0usize;
 
     group.bench_function(BenchmarkId::from_parameter("random_tree"), |b| {
-        b.iter(|| rt.classify(std::hint::black_box(&f.columns())))
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            rt.classify(std::hint::black_box(&rows[i]))
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("decision_tree"), |b| {
-        b.iter(|| dt.classify(std::hint::black_box(&f.columns())))
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            dt.classify(std::hint::black_box(&rows[i]))
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("detector_end_to_end"), |b| {
-        b.iter(|| det.classify(std::hint::black_box(&f)))
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            det.classify(std::hint::black_box(&feature_vecs[i]))
+        })
+    });
+
+    // The compiled arena engine: single-sample, then batch over the same
+    // pool (single-row batches would just measure dispatch).
+    let compiled = rt.compile();
+    group.bench_function(BenchmarkId::from_parameter("compiled_tree"), |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            compiled.classify(std::hint::black_box(&rows[i]))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("compiled_batch_1k"), |b| {
+        b.iter(|| {
+            compiled.classify_batch(std::hint::black_box(&rows), &mut labels);
+            labels[0]
+        })
+    });
+
+    // Forest: boxed voting vs the shared-arena early-exit walker.
+    let forest = RandomForest::train(&ds, &ForestConfig::default_random_forest(5, 1));
+    let cforest = forest.compile();
+    group.bench_function(BenchmarkId::from_parameter("forest_boxed"), |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            forest.classify(std::hint::black_box(&rows[i]))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("forest_compiled"), |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            cforest.classify(std::hint::black_box(&rows[i]))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("forest_batch_1k"), |b| {
+        b.iter(|| {
+            cforest.classify_batch(std::hint::black_box(&rows), &mut labels);
+            labels[0]
+        })
     });
 
     // Training cost (offline, but worth tracking).
@@ -60,6 +128,14 @@ fn bench_classify(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("train_random_tree_8k"), |b| {
         b.iter(|| DecisionTree::train(&ds, &TrainConfig::random_tree(5, 1)).nr_nodes())
     });
+    group.bench_function(
+        BenchmarkId::from_parameter("train_forest_15x8k_parallel"),
+        |b| {
+            b.iter(|| {
+                RandomForest::train(&ds, &ForestConfig::default_random_forest(5, 1)).nr_nodes()
+            })
+        },
+    );
     group.finish();
 }
 

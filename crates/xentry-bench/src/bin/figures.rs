@@ -3,8 +3,11 @@
 //! ```text
 //! figures [--quick|--paper] [--out DIR] [experiments...]
 //!
-//! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet   (default: all)
+//! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet inference
+//!                                                            (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
+//!   "inference" also mirrors its JSON to the repo-root
+//!   `BENCH_inference.json` perf-trajectory file.
 //! ```
 //!
 //! Text renderings go to stdout; JSON artifacts to `--out` (default
@@ -142,6 +145,21 @@ fn main() {
         println!("{}", fleet.render());
         eprintln!("[figures] fleet took {:?}\n", t.elapsed());
         write_json(&out, "fleet", &fleet);
+    }
+
+    if want("inference") {
+        let t = std::time::Instant::now();
+        let inf = inference_experiment(&scale, seed);
+        println!("{}", inf.render());
+        eprintln!("[figures] inference took {:?}\n", t.elapsed());
+        write_json(&out, "inference", &inf);
+        // Mirror to the repo root: the committed perf-trajectory record.
+        std::fs::write(
+            "BENCH_inference.json",
+            serde_json::to_string_pretty(&inf).unwrap(),
+        )
+        .expect("write BENCH_inference.json");
+        eprintln!("[figures] wrote \"BENCH_inference.json\"");
     }
 
     if want("ablation") {

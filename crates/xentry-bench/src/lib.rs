@@ -13,6 +13,7 @@
 //! | Fig. 11 recovery overhead | [`experiments::fig11_recovery_overhead`] |
 //! | feature/depth/size ablations | [`experiments::ablations`] |
 //! | fleet serving throughput (extension) | [`fleet::fleet_experiment`] |
+//! | compiled-inference trajectory (extension) | [`inference::inference_experiment`] |
 //!
 //! The `figures` binary drives them all and writes JSON artifacts alongside
 //! the rendered text.
@@ -20,11 +21,13 @@
 pub mod experiments;
 pub mod extensions;
 pub mod fleet;
+pub mod inference;
 pub mod pipeline;
 
 pub use experiments::*;
 pub use extensions::*;
 pub use fleet::{fleet_experiment, FleetReport};
+pub use inference::{inference_experiment, InferenceReport};
 pub use pipeline::{
     gather_dataset, rebalance, train_detector, train_models, Scale, TrainingReport,
 };

@@ -13,6 +13,11 @@
 //!
 //! Readers therefore see either the old or the new model, never a torn
 //! state, and every verdict records which version classified it.
+//!
+//! The compiled inference arena and the cached fingerprint both live
+//! *inside* [`VmTransitionDetector`] (built by its constructor), so a
+//! swap atomically replaces tree, arena and fingerprint together — a
+//! reader can never pair an old arena with a new fingerprint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

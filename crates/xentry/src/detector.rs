@@ -2,18 +2,57 @@
 //! integer-compare interface.
 
 use crate::features::{FeatureVec, FEATURE_NAMES};
-use mltree::{DecisionTree, Label};
-use serde::{Deserialize, Serialize};
+use mltree::{CompiledTree, DecisionTree, Label};
+use serde::{Deserialize, Serialize, Value};
+
+/// Samples per stack-resident column chunk in [`classify_batch`].
+///
+/// [`classify_batch`]: VmTransitionDetector::classify_batch
+const BATCH_CHUNK: usize = 64;
 
 /// A deployable VM-transition classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Construction compiles the boxed tree into a flat arena
+/// ([`CompiledTree`]) and caches the model fingerprint; the hot-path
+/// entry points ([`classify`], [`classify_cost`], [`classify_batch`])
+/// only ever touch the compiled form. The boxed tree is retained for
+/// training-side work: rule dumps, pruning and the code generator.
+///
+/// [`classify`]: VmTransitionDetector::classify
+/// [`classify_cost`]: VmTransitionDetector::classify_cost
+/// [`classify_batch`]: VmTransitionDetector::classify_batch
+#[derive(Debug, Clone)]
 pub struct VmTransitionDetector {
     tree: DecisionTree,
+    compiled: CompiledTree,
+    fingerprint: u64,
+}
+
+/// The wire form: `{"tree": <DecisionTree>}`, the shape the derive used
+/// to produce, so `results/detector.json` artifacts parse unchanged.
+fn wire_value(tree: &DecisionTree) -> Value {
+    Value::Object(vec![("tree".to_string(), tree.to_value())])
+}
+
+/// FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 impl VmTransitionDetector {
     /// Wrap a trained tree. The tree must have been trained on the five
-    /// Table-I features in canonical order.
+    /// Table-I features in canonical order. Compiles the arena form and
+    /// computes the fingerprint once, here; both are immutable for the
+    /// detector's lifetime (a fleet hot-swap installs a whole new
+    /// detector, so the compiled model and fingerprint swap atomically
+    /// with it).
     pub fn new(tree: DecisionTree) -> VmTransitionDetector {
         assert_eq!(
             tree.feature_names,
@@ -23,17 +62,47 @@ impl VmTransitionDetector {
                 .collect::<Vec<_>>(),
             "detector tree must use the Table-I feature layout"
         );
-        VmTransitionDetector { tree }
+        let compiled = tree.compile();
+        let json = serde_json::to_string(&wire_value(&tree)).expect("detector serializes");
+        let fingerprint = fnv1a(json.as_bytes());
+        VmTransitionDetector {
+            tree,
+            compiled,
+            fingerprint,
+        }
     }
 
     /// Classify one hypervisor execution.
     pub fn classify(&self, f: &FeatureVec) -> Label {
-        self.tree.classify(&f.columns())
+        self.compiled.classify(&f.columns())
     }
 
     /// Comparisons needed to classify `f` (the in-hypervisor cost).
     pub fn classify_cost(&self, f: &FeatureVec) -> usize {
-        self.tree.classify_cost(&f.columns())
+        self.compiled.classify_cost(&f.columns())
+    }
+
+    /// Classify a batch of executions, one verdict per input. Feature
+    /// columns are staged through a fixed stack chunk, so the only
+    /// allocation is the caller's `out` buffer.
+    pub fn classify_batch(&self, fs: &[FeatureVec], out: &mut [Label]) {
+        assert_eq!(
+            fs.len(),
+            out.len(),
+            "classify_batch: inputs and out must have equal length"
+        );
+        let mut cols = [[0u64; 5]; BATCH_CHUNK];
+        for (fch, och) in fs.chunks(BATCH_CHUNK).zip(out.chunks_mut(BATCH_CHUNK)) {
+            for (c, f) in cols.iter_mut().zip(fch.iter()) {
+                *c = f.columns();
+            }
+            self.compiled.classify_batch(&cols[..fch.len()], och);
+        }
+    }
+
+    /// The compiled arena the hot path runs on.
+    pub fn compiled(&self) -> &CompiledTree {
+        &self.compiled
     }
 
     /// Model statistics for reporting.
@@ -67,18 +136,41 @@ impl VmTransitionDetector {
     }
 
     /// Stable 64-bit fingerprint of the deployed model (FNV-1a over the
-    /// canonical JSON form). Two detectors with identical trees fingerprint
-    /// identically across processes; fleet verdicts carry this so any
-    /// classification can be traced back to the exact model that made it.
+    /// canonical JSON form, computed once at construction). Two detectors
+    /// with identical trees fingerprint identically across processes;
+    /// fleet verdicts carry this so any classification can be traced back
+    /// to the exact model that made it.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        for b in self.to_json().as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(PRIME);
+        self.fingerprint
+    }
+}
+
+impl Serialize for VmTransitionDetector {
+    fn to_value(&self) -> Value {
+        // Only the tree crosses the wire; the arena and fingerprint are
+        // derived state, rebuilt by `new` on the other side.
+        wire_value(&self.tree)
+    }
+}
+
+impl Deserialize for VmTransitionDetector {
+    fn from_value(v: &Value) -> Result<VmTransitionDetector, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "VmTransitionDetector", v))?;
+        let tree: DecisionTree = serde::field(obj, "tree", "VmTransitionDetector")?;
+        if tree.feature_names
+            != FEATURE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        {
+            return Err(serde::Error::msg(format!(
+                "detector tree must use the Table-I feature layout, got {:?}",
+                tree.feature_names
+            )));
         }
-        h
+        Ok(VmTransitionDetector::new(tree))
     }
 }
 
@@ -130,6 +222,35 @@ mod tests {
         d2.push(Sample::new(vec![2], Label::Incorrect));
         let tree = DecisionTree::train(&d2, &TrainConfig::decision_tree());
         VmTransitionDetector::new(tree);
+    }
+
+    #[test]
+    fn batch_matches_single_sample() {
+        let det = toy_detector();
+        // More than one chunk's worth, straddling the chunk boundary.
+        let fs: Vec<FeatureVec> = (0..150u64)
+            .map(|i| FeatureVec {
+                vmer: 17,
+                rt: 30 + i * 2,
+                br: (i % 30) as u64,
+                rm: i % 11,
+                wm: i % 7,
+            })
+            .collect();
+        let mut out = vec![Label::Correct; fs.len()];
+        det.classify_batch(&fs, &mut out);
+        for (f, o) in fs.iter().zip(out) {
+            assert_eq!(o, det.classify(f));
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_json_hash() {
+        // The cached fingerprint must equal FNV-1a over the wire JSON —
+        // the contract the pre-cache implementation established.
+        let det = toy_detector();
+        assert_eq!(det.fingerprint(), super::fnv1a(det.to_json().as_bytes()));
+        assert_eq!(det.fingerprint(), det.clone().fingerprint());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! Every label it emits must be bit-identical to calling
 //! `VmTransitionDetector::classify` directly on the same feature vector
 //! with the detector version stamped on the verdict — including for
-//! records classified while a hot-swap was in flight.
+//! records classified while a hot-swap was in flight. Shard workers
+//! classify their drained queue through the compiled batch path, so these
+//! tests also pin batch == single-sample == boxed-walker equivalence at
+//! fleet scale.
 //!
 //! The replay driver walks the trace deterministically (host `h` sends
 //! `trace[(h * 7919 + i) % len]` as seq `i`), so the test can recompute
@@ -81,6 +84,15 @@ fn fleet_verdicts_match_direct_classify() {
             v.host,
             v.seq
         );
+        // Triangulate: the batch-classified verdict must also match the
+        // boxed (uncompiled) walker on the retained training-side tree.
+        assert_eq!(
+            v.label,
+            det.tree().classify(&f.columns()),
+            "host {} seq {} diverged from the boxed walker",
+            v.host,
+            v.seq
+        );
         if v.label == Label::Incorrect {
             incorrect += 1;
         }
@@ -97,6 +109,12 @@ fn fleet_verdicts_match_direct_classify_across_hot_swap() {
     let d1 = replay::synthetic_detector(1);
     let d2 = aggressive_detector();
     assert_ne!(d1.fingerprint(), d2.fingerprint());
+    // The swap path ships detectors as JSON: the rebuilt detector (tree +
+    // recompiled arena + recomputed fingerprint) must be indistinguishable
+    // from the original, so a swap can never pair an arena with the wrong
+    // fingerprint.
+    let rebuilt = VmTransitionDetector::from_json(&d2.to_json()).unwrap();
+    assert_eq!(rebuilt.fingerprint(), d2.fingerprint());
 
     let sink = Arc::new(CollectSink::default());
     let cfg = FleetConfig {
@@ -147,6 +165,14 @@ fn fleet_verdicts_match_direct_classify_across_hot_swap() {
             v.label,
             model.classify(&f),
             "host {} seq {} diverged under model v{}",
+            v.host,
+            v.seq,
+            v.model_version
+        );
+        assert_eq!(
+            v.label,
+            model.tree().classify(&f.columns()),
+            "host {} seq {} diverged from the boxed walker under model v{}",
             v.host,
             v.seq,
             v.model_version

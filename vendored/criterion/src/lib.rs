@@ -59,18 +59,28 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     sample_count: usize,
+    smoke: bool,
 }
 
 impl Bencher {
-    fn new(sample_count: usize) -> Bencher {
+    fn new(sample_count: usize, smoke: bool) -> Bencher {
         Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
             sample_count,
+            smoke,
         }
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            // `--test` mode: prove the benchmark compiles and runs, skip
+            // calibration and timing entirely (CI's perf-rot guard).
+            black_box(f());
+            self.iters_per_sample = 1;
+            self.samples.clear();
+            return;
+        }
         // Calibrate the iteration count so one sample takes ~2 ms.
         let mut iters: u64 = 1;
         loop {
@@ -96,6 +106,10 @@ impl Bencher {
     }
 
     fn report(&self, id: &str) {
+        if self.smoke {
+            println!("{id:<40} ok (smoke)");
+            return;
+        }
         if self.samples.is_empty() {
             println!("{id:<40} (no samples)");
             return;
@@ -135,11 +149,17 @@ fn fmt_ns(ns: f64) -> String {
 /// Top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            // `cargo bench ... -- --test` runs each benchmark body once
+            // with no timing, like real criterion's test mode.
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -165,7 +185,7 @@ impl Criterion {
         mut f: F,
     ) -> &mut Criterion {
         let id = id.into();
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.smoke);
         f(&mut b);
         b.report(&id.to_string());
         self
@@ -195,7 +215,7 @@ impl BenchmarkGroup<'_> {
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        let mut b = Bencher::new(samples);
+        let mut b = Bencher::new(samples, self.criterion.smoke);
         f(&mut b);
         b.report(&format!("{}/{}", self.name, id));
     }
