@@ -333,7 +333,193 @@ impl CompiledTree {
     pub fn arena_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<CompiledNode>()
     }
+
+    /// Defined (non-padding) bits per arena record, the coordinate space
+    /// of [`CompiledTree::flip_bit`].
+    pub const NODE_BITS: usize = 136;
+
+    /// Total defined bits in the arena — the fault space a soft error in
+    /// the deployed model slab could hit.
+    pub fn logical_bits(&self) -> usize {
+        self.nodes.len() * Self::NODE_BITS
+    }
+
+    /// Flip one bit of one arena record, in the logical field layout
+    /// `[threshold:64 | left:32 | right:32 | feature:8]` (136 bits per
+    /// record, padding excluded). This is the chaos-injection entry point:
+    /// it models a soft error striking the deployed model's memory, the
+    /// same single-bit-flip fault model `faultsim::injection` applies to
+    /// architectural register state. The corrupted arena is exactly what
+    /// [`CompiledTree::validate`] and the fleet's canary swap validation
+    /// exist to catch — never deploy one.
+    pub fn flip_bit(&mut self, bit: usize) {
+        assert!(bit < self.logical_bits(), "bit {bit} outside the arena");
+        let node = &mut self.nodes[bit / Self::NODE_BITS];
+        match bit % Self::NODE_BITS {
+            b @ 0..=63 => node.threshold ^= 1u64 << b,
+            b @ 64..=95 => node.left ^= 1u32 << (b - 64),
+            b @ 96..=127 => node.right ^= 1u32 << (b - 96),
+            b => node.feature ^= 1u8 << (b - 128),
+        }
+    }
+
+    /// Structural integrity check over the arena — the deploy-time gate
+    /// in front of the `unsafe` unchecked walkers.
+    ///
+    /// [`emit`] guarantees these invariants by construction; a bit flip in
+    /// a stored child reference or feature index silently breaks them, and
+    /// the unchecked walk would then read out of bounds. `validate`
+    /// re-proves, in O(arena):
+    ///
+    /// * every child reference is either a well-formed leaf tag (only the
+    ///   label bit set below [`LEAF_BIT`]) or an in-bounds index;
+    /// * every index reference points strictly forward (preorder), so
+    ///   walks terminate and the arena is acyclic;
+    /// * every feature index is below the recorded arity, so walks stay
+    ///   inside the feature slice;
+    /// * the recorded depth matches the longest root path — the lockstep
+    ///   batch walker runs exactly `depth` rounds, so an understated depth
+    ///   would truncate walks (wrong verdicts, not UB).
+    ///
+    /// Semantic corruption (a flipped threshold or swapped children) keeps
+    /// the structure valid; catching it takes canary classification
+    /// against a reference walker, which is the fleet model-swap layer's
+    /// job.
+    pub fn validate(&self) -> Result<(), ArenaFault> {
+        let check_ref = |parent: usize, r: u32| -> Result<(), ArenaFault> {
+            if r & LEAF_BIT != 0 {
+                if r & !(LEAF_BIT | 1) != 0 {
+                    return Err(ArenaFault::MalformedLeaf {
+                        parent,
+                        reference: r,
+                    });
+                }
+            } else if r as usize >= self.nodes.len() {
+                return Err(ArenaFault::OutOfBounds {
+                    parent,
+                    reference: r,
+                });
+            } else if r as usize <= parent {
+                return Err(ArenaFault::BackwardEdge {
+                    parent,
+                    reference: r,
+                });
+            }
+            Ok(())
+        };
+        if self.nodes.is_empty() {
+            if self.root & LEAF_BIT == 0 || self.root & !(LEAF_BIT | 1) != 0 {
+                return Err(ArenaFault::MalformedLeaf {
+                    parent: 0,
+                    reference: self.root,
+                });
+            }
+            return Ok(());
+        }
+        if self.root != 0 {
+            // emit() always lands the first split at index 0.
+            return Err(ArenaFault::BadRoot {
+                reference: self.root,
+            });
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            check_ref(i, n.left)?;
+            check_ref(i, n.right)?;
+            if n.feature as usize >= self.arity {
+                return Err(ArenaFault::FeatureOutOfRange {
+                    parent: i,
+                    feature: n.feature,
+                    arity: self.arity,
+                });
+            }
+        }
+        // Forward-only references make the arena a DAG over increasing
+        // indices, so one pass in index order computes the longest
+        // root-to-leaf path without recursion.
+        let mut path_len = vec![0usize; self.nodes.len()];
+        let mut max_depth = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let here = path_len[i] + 1; // comparisons on paths through i
+            for r in [n.left, n.right] {
+                if r & LEAF_BIT != 0 {
+                    max_depth = max_depth.max(here);
+                } else {
+                    let c = r as usize;
+                    path_len[c] = path_len[c].max(here);
+                }
+            }
+        }
+        if max_depth != self.depth {
+            return Err(ArenaFault::DepthMismatch {
+                recorded: self.depth,
+                actual: max_depth,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Why [`CompiledTree::validate`] rejected an arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaFault {
+    /// A leaf-tagged reference carries bits other than the label bit.
+    MalformedLeaf { parent: usize, reference: u32 },
+    /// An index reference points past the end of the arena.
+    OutOfBounds { parent: usize, reference: u32 },
+    /// An index reference points at or before its parent (cycle risk).
+    BackwardEdge { parent: usize, reference: u32 },
+    /// The root reference is not record 0 of a non-empty arena.
+    BadRoot { reference: u32 },
+    /// A record's feature index exceeds the recorded arity.
+    FeatureOutOfRange {
+        parent: usize,
+        feature: u8,
+        arity: usize,
+    },
+    /// The recorded depth disagrees with the longest root path.
+    DepthMismatch { recorded: usize, actual: usize },
+}
+
+impl std::fmt::Display for ArenaFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaFault::MalformedLeaf { parent, reference } => {
+                write!(
+                    f,
+                    "record {parent}: malformed leaf reference {reference:#010x}"
+                )
+            }
+            ArenaFault::OutOfBounds { parent, reference } => {
+                write!(
+                    f,
+                    "record {parent}: child reference {reference} out of bounds"
+                )
+            }
+            ArenaFault::BackwardEdge { parent, reference } => {
+                write!(f, "record {parent}: backward child reference {reference}")
+            }
+            ArenaFault::BadRoot { reference } => {
+                write!(f, "root reference {reference:#010x} is not record 0")
+            }
+            ArenaFault::FeatureOutOfRange {
+                parent,
+                feature,
+                arity,
+            } => write!(
+                f,
+                "record {parent}: feature index {feature} outside arity {arity}"
+            ),
+            ArenaFault::DepthMismatch { recorded, actual } => {
+                write!(
+                    f,
+                    "recorded depth {recorded} != actual longest path {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaFault {}
 
 /// How many samples a forest batch scores per vote-array refill.
 const BATCH_CHUNK: usize = 64;
@@ -522,6 +708,69 @@ mod tests {
                 compiled.classify_cost(&s.features),
                 tree.classify_cost(&s.features)
             );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_trained_arena() {
+        for n in [20, 100, 300] {
+            let ds = mixed_dataset(n);
+            let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+            CompiledTree::compile(&tree).validate().unwrap();
+        }
+        // Single-leaf arena too.
+        let mut ds = Dataset::new(&["x"]);
+        for i in 0..4u64 {
+            ds.push(Sample::new(vec![i], Label::Correct));
+        }
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        CompiledTree::compile(&tree).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_reference_and_feature_flips() {
+        let ds = mixed_dataset(300);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        assert!(compiled.nr_splits() > 3, "need a multi-split tree");
+
+        // A high bit flipped into a child index sends it out of bounds
+        // (or turns it into a malformed leaf tag).
+        let mut corrupt = compiled.clone();
+        corrupt.flip_bit(64 + 30); // record 0, left reference bit 30
+        assert!(corrupt.validate().is_err(), "{:?}", corrupt.validate());
+
+        // A feature-index flip escapes the arity.
+        let mut corrupt = compiled.clone();
+        corrupt.flip_bit(128 + 7); // record 0, feature bit 7
+        assert!(matches!(
+            corrupt.validate(),
+            Err(ArenaFault::FeatureOutOfRange { .. })
+        ));
+
+        // Structural validation is deliberately blind to threshold flips —
+        // the canary layer owns those.
+        let mut corrupt = compiled.clone();
+        corrupt.flip_bit(63); // record 0, threshold high bit
+        corrupt.validate().unwrap();
+        let diverged = ds
+            .samples
+            .iter()
+            .any(|s| corrupt.classify(&s.features) != compiled.classify(&s.features));
+        assert!(diverged, "a threshold high-bit flip must change verdicts");
+    }
+
+    #[test]
+    fn flip_bit_round_trips() {
+        let ds = mixed_dataset(120);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        for bit in [0, 63, 64, 95, 96, 127, 128, 135] {
+            let mut c = compiled.clone();
+            c.flip_bit(bit);
+            assert_ne!(c.nodes[0], compiled.nodes[0], "bit {bit} must land");
+            c.flip_bit(bit);
+            assert_eq!(c, compiled, "double flip of bit {bit} must restore");
         }
     }
 

@@ -26,7 +26,7 @@ pub mod forest;
 pub mod prune;
 pub mod tree;
 
-pub use compiled::{CompiledForest, CompiledNode, CompiledTree, LEAF_BIT};
+pub use compiled::{ArenaFault, CompiledForest, CompiledNode, CompiledTree, LEAF_BIT};
 pub use dataset::{Dataset, Label, Sample};
 pub use eval::{cross_validate, evaluate, evaluate_compiled, ConfusionMatrix};
 pub use forest::{evaluate_forest, ForestConfig, RandomForest};

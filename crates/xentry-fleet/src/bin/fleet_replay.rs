@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! cargo run --release --bin fleet-replay -- [--quick] [--hosts N]
-//!     [--shards K] [--records N] [--rate R] [--swap] [--workload]
-//!     [--detector PATH] [--out DIR]
+//!     [--shards K] [--records N] [--rate R] [--swap] [--chaos]
+//!     [--workload] [--detector PATH] [--out DIR]
 //! ```
 //!
 //! Replays activation traces from `--hosts` simulated platform instances
 //! into a `--shards`-way service, optionally hot-swapping the model
 //! mid-replay, then writes the metrics snapshot to `<out>/service.json`.
+//!
+//! With `--chaos` the replay instead runs the service-level chaos
+//! harness ([`xentry_fleet::chaos`]): panicking detectors, corrupted
+//! candidate arenas, stalled shards, and queue saturation are injected
+//! into the live replay, the recovery invariants are checked, and the
+//! process exits nonzero if any were violated.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use xentry::VmTransitionDetector;
-use xentry_fleet::{replay, FleetConfig, FleetService, NullSink, ReplayConfig};
+use xentry_fleet::{replay, ChaosConfig, FleetConfig, FleetService, NullSink, ReplayConfig};
 
 struct Args {
     hosts: usize,
@@ -24,6 +30,7 @@ struct Args {
     queue_capacity: usize,
     batch: usize,
     swap: bool,
+    chaos: bool,
     trace: TraceSource,
     detector: Option<PathBuf>,
     out: PathBuf,
@@ -50,6 +57,7 @@ impl Default for Args {
             queue_capacity: 8192,
             batch: 64,
             swap: false,
+            chaos: false,
             trace: TraceSource::Auto,
             detector: None,
             out: PathBuf::from("results"),
@@ -98,6 +106,7 @@ fn parse_args() -> Args {
             }
             "--batch" => args.batch = value("size").parse().unwrap_or_else(|_| die("bad --batch")),
             "--swap" => args.swap = true,
+            "--chaos" => args.chaos = true,
             "--workload" => args.trace = TraceSource::Workload,
             "--synthetic" => args.trace = TraceSource::Synthetic,
             "--detector" => args.detector = Some(PathBuf::from(value("path"))),
@@ -105,7 +114,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "fleet-replay [--quick] [--hosts N] [--shards K] [--records N] \
-                     [--rate R] [--queue-capacity N] [--batch N] [--swap] \
+                     [--rate R] [--queue-capacity N] [--batch N] [--swap] [--chaos] \
                      [--workload | --synthetic] [--detector PATH] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -166,8 +175,51 @@ fn load_detector(args: &Args) -> (VmTransitionDetector, &'static str) {
     (det, "synthetic")
 }
 
+/// `--chaos`: run the chaos harness instead of a plain replay. The
+/// harness owns its own (synthetic-reference) service so every injected
+/// fault has a reference classifier to check verdict parity against.
+fn run_chaos_mode(args: &Args) -> ! {
+    // Injected detector panics are expected and caught by the
+    // supervisor; keep them to one line so the report stays readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().cloned();
+        match msg.as_deref() {
+            Some(m) if m.starts_with("chaos: injected") => eprintln!("[failpoint] {m}"),
+            _ => default_hook(info),
+        }
+    }));
+    let cfg = ChaosConfig {
+        hosts: args.hosts,
+        records_per_host: args.records_per_host,
+        shards: args.shards,
+        rate_per_host: if args.rate_per_host > 0.0 {
+            args.rate_per_host
+        } else {
+            10_000.0
+        },
+        ..ChaosConfig::default()
+    };
+    println!(
+        "chaos run: {} records x {} hosts into {} shards at {}/s/host...",
+        cfg.records_per_host, cfg.hosts, cfg.shards, cfg.rate_per_host
+    );
+    let report = xentry_fleet::run_chaos(&cfg);
+    let path = report
+        .snapshot
+        .write(&args.out)
+        .expect("write service.json");
+    println!();
+    print!("{}", report.render());
+    println!("snapshot:   {}", path.display());
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos_mode(&args);
+    }
     let (detector, source) = load_detector(&args);
     // A retrained model for the mid-replay swap: JSON round-trip of the
     // deployed one, so behavior is identical but the deployment epoch
@@ -191,6 +243,7 @@ fn main() {
         queue_capacity: args.queue_capacity,
         batch: args.batch,
         recorder_depth: 32,
+        ..FleetConfig::default()
     };
     let svc = FleetService::start(cfg, detector, Arc::new(NullSink));
     let replay_cfg = ReplayConfig {

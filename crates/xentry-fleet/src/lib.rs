@@ -35,6 +35,19 @@
 //!   verdict, fleet-scale analogue of `examples/post_mortem.rs`.
 //! * **Metrics are lock-free** ([`metrics`]): relaxed counters and log2
 //!   latency histograms, exported as `results/service.json`.
+//! * **Workers are supervised** ([`supervisor`]): a panicking worker is
+//!   restarted with capped backoff and its abandoned in-flight records
+//!   counted (`ingested == classified + lost` after a drained shutdown);
+//!   a stalled worker is superseded by the heartbeat watchdog. Repeated
+//!   panics escalate to an automatic model rollback, then to degraded
+//!   (envelope-fallback) mode with tagged verdicts.
+//! * **Deploys are validated** ([`model`]): [`ModelSlot::publish_validated`]
+//!   gates candidates behind structural arena checks plus a fingerprinted
+//!   golden-vector canary, and retains the previous epoch for rollback.
+//! * **The claims are chaos-tested** ([`chaos`]): failpoints inject
+//!   panicking detectors, bit-flipped candidate arenas, stalled shards,
+//!   and queue saturation into a live replay, and [`chaos::run_chaos`]
+//!   asserts the recovery invariants.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -49,6 +62,7 @@
 //! assert_eq!(snapshot.classified, report.accepted);
 //! ```
 
+pub mod chaos;
 pub mod metrics;
 pub mod model;
 pub mod queue;
@@ -57,12 +71,14 @@ pub mod recorder;
 pub mod replay;
 pub mod service;
 mod shard;
+mod supervisor;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, Failpoints};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, ServiceSnapshot, ShardSnapshot};
-pub use model::{ModelCache, ModelSlot, VersionedModel};
+pub use model::{GoldenSet, ModelCache, ModelSlot, SwapError, VersionedModel};
 pub use queue::MpmcQueue;
-pub use record::{FleetVerdict, HostId, TelemetryRecord};
-pub use recorder::{FlightRecorder, IncidentDump, RecordedActivation};
+pub use record::{FleetVerdict, HostId, TelemetryRecord, VerdictSource};
+pub use recorder::{DumpBudget, FlightRecorder, IncidentDump, RecordedActivation};
 pub use replay::{replay, ReplayConfig, ReplayReport};
 pub use service::{CollectSink, FleetConfig, FleetService, NullSink, VerdictSink};
 

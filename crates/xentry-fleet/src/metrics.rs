@@ -108,6 +108,11 @@ pub struct ShardMetrics {
     pub incorrect: AtomicU64,
     pub dropped: AtomicU64,
     pub batches: AtomicU64,
+    /// Records lost to worker panics (claimed but never classified).
+    pub lost: AtomicU64,
+    /// Worker restarts on this shard (panic recoveries + stall
+    /// replacements).
+    pub restarts: AtomicU64,
 }
 
 /// All service metrics. One instance shared by every producer and worker.
@@ -118,8 +123,25 @@ pub struct Metrics {
     pub dropped: AtomicU64,
     /// Model hot swaps performed.
     pub swaps: AtomicU64,
-    /// Incident dumps emitted (one per Incorrect verdict).
+    /// Hot-swap candidates rejected by validation (structural arena fault
+    /// or canary divergence).
+    pub swap_rejections: AtomicU64,
+    /// Model rollbacks to the previous epoch (operator- or
+    /// supervisor-initiated).
+    pub rollbacks: AtomicU64,
+    /// Worker restarts fleet-wide (panic recoveries + stall replacements).
+    pub restarts: AtomicU64,
+    /// Stalled shards detected by the heartbeat watchdog.
+    pub stalls: AtomicU64,
+    /// Times the service entered degraded (envelope-fallback) mode.
+    pub degraded_entries: AtomicU64,
+    /// Verdicts produced by the degraded envelope fallback.
+    pub degraded_verdicts: AtomicU64,
+    /// Incident dumps emitted (one per Incorrect verdict, minus
+    /// rate-limited suppressions).
     pub incidents: AtomicU64,
+    /// Incident dumps suppressed by the per-host rate limiter.
+    pub suppressed_incidents: AtomicU64,
     /// Time a record waited in its shard queue (ns).
     pub queue_latency: Histogram,
     /// Time to classify one record (ns).
@@ -133,7 +155,14 @@ impl Metrics {
             ingested: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            swap_rejections: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            degraded_verdicts: AtomicU64::new(0),
             incidents: AtomicU64::new(0),
+            suppressed_incidents: AtomicU64::new(0),
             queue_latency: Histogram::default(),
             classify_latency: Histogram::default(),
             shards: (0..nr_shards).map(|_| ShardMetrics::default()).collect(),
@@ -146,6 +175,13 @@ impl Metrics {
             .map(|s| s.classified.load(Ordering::Relaxed))
             .sum()
     }
+
+    pub fn total_lost(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lost.load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 /// Per-shard slice of a snapshot.
@@ -156,6 +192,8 @@ pub struct ShardSnapshot {
     pub incorrect: u64,
     pub dropped: u64,
     pub batches: u64,
+    pub lost: u64,
+    pub restarts: u64,
 }
 
 /// JSON-exportable view of the whole service, written to
@@ -169,9 +207,25 @@ pub struct ServiceSnapshot {
     pub ingested: u64,
     pub classified: u64,
     pub dropped: u64,
+    /// Records claimed by a worker that panicked before classifying them.
+    /// `ingested == classified + lost` after a drained shutdown.
+    pub lost: u64,
     pub incorrect: u64,
     pub incidents: u64,
+    /// Incident dumps suppressed by the per-host rate limiter.
+    pub suppressed_incidents: u64,
     pub swaps: u64,
+    pub swap_rejections: u64,
+    pub rollbacks: u64,
+    /// Worker restarts (panic recoveries + stall replacements).
+    pub restarts: u64,
+    /// Stalls detected by the heartbeat watchdog.
+    pub stalls: u64,
+    /// True while the service is in degraded (envelope-fallback) mode.
+    pub degraded: bool,
+    pub degraded_entries: u64,
+    /// Verdicts produced by the degraded envelope fallback.
+    pub degraded_verdicts: u64,
     /// classified / uptime, in records per second.
     pub throughput_per_sec: f64,
     pub queue_latency: HistogramSnapshot,
@@ -246,25 +300,45 @@ mod tests {
             model_version: 2,
             model_fingerprint: 99,
             ingested: 10,
-            classified: 9,
+            classified: 8,
             dropped: 1,
+            lost: 1,
             incorrect: 3,
-            incidents: 3,
+            incidents: 2,
+            suppressed_incidents: 1,
             swaps: 1,
+            swap_rejections: 1,
+            rollbacks: 1,
+            restarts: 2,
+            stalls: 1,
+            degraded: true,
+            degraded_entries: 1,
+            degraded_verdicts: 4,
             throughput_per_sec: 9.0,
             queue_latency: h.snapshot(),
             classify_latency: Histogram::default().snapshot(),
             shards: vec![ShardSnapshot {
                 shard: 0,
-                classified: 9,
+                classified: 8,
                 incorrect: 3,
                 dropped: 1,
                 batches: 2,
+                lost: 1,
+                restarts: 2,
             }],
         };
         let back: ServiceSnapshot = serde_json::from_str(&snap.to_json_pretty()).unwrap();
-        assert_eq!(back.classified, 9);
+        assert_eq!(back.classified, 8);
         assert_eq!(back.queue_latency.count, 2);
         assert_eq!(back.shards[0].incorrect, 3);
+        assert_eq!(back.lost, 1);
+        assert_eq!(back.suppressed_incidents, 1);
+        assert_eq!(back.swap_rejections, 1);
+        assert_eq!(back.rollbacks, 1);
+        assert_eq!(back.restarts, 2);
+        assert_eq!(back.stalls, 1);
+        assert!(back.degraded);
+        assert_eq!(back.degraded_verdicts, 4);
+        assert_eq!(back.shards[0].restarts, 2);
     }
 }

@@ -90,6 +90,66 @@ impl FlightRecorder {
     }
 }
 
+/// Token bucket bounding incident-dump emission for one host.
+///
+/// An `Incorrect` verdict clones the host's whole flight-recorder ring
+/// into an [`IncidentDump`]. During an error storm — a genuinely broken
+/// host, or a miscalibrated model flagging everything — that is an
+/// allocation per record, fleet-wide, forever. The bucket lets `burst`
+/// dumps through back-to-back (real incidents cluster), then refills at
+/// `per_sec`; everything beyond is suppressed and counted. Suppression
+/// loses *dumps*, never verdicts: the `Incorrect` label, the incident
+/// counter, and the ring itself are untouched, so the next allowed dump
+/// still carries the latest context.
+#[derive(Debug, Clone)]
+pub struct DumpBudget {
+    burst: u64,
+    /// Nanoseconds per replenished token; 0 disables limiting.
+    refill_interval_ns: u64,
+    tokens: u64,
+    last_refill_ns: u64,
+}
+
+impl DumpBudget {
+    /// Allow `burst` dumps at once, refilling at `per_sec` tokens/second.
+    /// `burst == 0` disables limiting entirely (every dump allowed).
+    pub fn new(burst: u64, per_sec: u64) -> DumpBudget {
+        DumpBudget {
+            burst,
+            refill_interval_ns: if burst == 0 || per_sec == 0 {
+                0
+            } else {
+                1_000_000_000 / per_sec.min(1_000_000_000)
+            },
+            tokens: burst,
+            last_refill_ns: 0,
+        }
+    }
+
+    /// Spend one token if available. `now_ns` is any monotone clock (the
+    /// service's `now_ns`); only differences matter.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        if self.burst == 0 {
+            return true;
+        }
+        let elapsed = now_ns.saturating_sub(self.last_refill_ns);
+        if let Some(earned) = elapsed.checked_div(self.refill_interval_ns) {
+            if earned > 0 {
+                self.tokens = (self.tokens + earned).min(self.burst);
+                // Advance by whole tokens only, so fractional refill time
+                // is never discarded.
+                self.last_refill_ns += earned * self.refill_interval_ns;
+            }
+        }
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Everything an investigator needs about one `Incorrect` verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IncidentDump {
@@ -203,6 +263,40 @@ mod tests {
         assert!(text.contains("host 3"), "{text}");
         assert!(text.contains("model v2"), "{text}");
         assert!(text.contains("<-- INCORRECT"), "{text}");
+    }
+
+    #[test]
+    fn dump_budget_limits_bursts_and_refills() {
+        let mut b = DumpBudget::new(3, 10); // 3 burst, one token per 100 ms
+        let t0 = 5_000_000_000u64;
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0), "burst exhausted");
+        assert!(!b.try_take(t0 + 99_000_000), "no token before 100 ms");
+        assert!(b.try_take(t0 + 100_000_000), "one token after 100 ms");
+        assert!(!b.try_take(t0 + 100_000_000));
+        // A long quiet period refills to the cap, not beyond.
+        assert!(b.try_take(t0 + 60_000_000_000));
+        assert!(b.try_take(t0 + 60_000_000_000));
+        assert!(b.try_take(t0 + 60_000_000_000));
+        assert!(!b.try_take(t0 + 60_000_000_000), "cap is the burst size");
+    }
+
+    #[test]
+    fn dump_budget_zero_burst_is_unlimited() {
+        let mut b = DumpBudget::new(0, 0);
+        for i in 0..10_000u64 {
+            assert!(b.try_take(i));
+        }
+    }
+
+    #[test]
+    fn dump_budget_without_refill_is_a_lifetime_cap() {
+        let mut b = DumpBudget::new(2, 0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(u64::MAX / 2));
+        assert!(!b.try_take(u64::MAX));
     }
 
     #[test]

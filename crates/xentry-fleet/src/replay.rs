@@ -248,6 +248,7 @@ mod tests {
             queue_capacity: 4096,
             batch: 32,
             recorder_depth: 8,
+            ..FleetConfig::default()
         };
         let svc = crate::FleetService::start(cfg, synthetic_detector(1), Arc::clone(&sink) as _);
         let trace = synthetic_trace(2048, 5);
@@ -274,6 +275,7 @@ mod tests {
             queue_capacity: 1024,
             batch: 16,
             recorder_depth: 4,
+            ..FleetConfig::default()
         };
         let svc = crate::FleetService::start(cfg, synthetic_detector(1), Arc::new(crate::NullSink));
         let trace = synthetic_trace(256, 5);

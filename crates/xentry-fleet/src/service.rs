@@ -7,19 +7,32 @@
 //! path on the reporting host pays one failed CAS loop at worst. This is
 //! the right tradeoff for soft-error telemetry — a lost sample costs a
 //! little detection coverage, a blocked VM entry costs guest latency.
+//!
+//! Fault policy (see [`crate::supervisor`]): workers run supervised.
+//! A panicking worker is restarted with capped backoff and its abandoned
+//! in-flight records are counted as `lost`; a stalled worker is
+//! superseded by the heartbeat watchdog. Repeated panics escalate to an
+//! automatic model rollback and then to degraded mode, where workers
+//! classify with self-trained runtime envelopes (verdicts tagged
+//! [`VerdictSource::DegradedEnvelope`]) instead of silently dropping
+//! records.
+//!
+//! [`VerdictSource::DegradedEnvelope`]: crate::record::VerdictSource
 
+use crate::chaos::Failpoints;
 use crate::metrics::{Metrics, ServiceSnapshot, ShardSnapshot};
-use crate::model::ModelSlot;
+use crate::model::{lock_recovering, GoldenSet, ModelSlot, SwapError};
 use crate::queue::MpmcQueue;
 use crate::record::{FleetVerdict, HostId, TelemetryRecord};
 use crate::recorder::IncidentDump;
+use crate::supervisor::Supervision;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use xentry::{FeatureVec, VmTransitionDetector};
 
-/// Service sizing.
+/// Service sizing and fault-tolerance policy.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
     /// Number of classification workers (hosts shard as `host % shards`).
@@ -30,6 +43,26 @@ pub struct FleetConfig {
     pub batch: usize,
     /// Flight-recorder depth per host.
     pub recorder_depth: usize,
+    /// Base restart delay after a worker panic; doubles per consecutive
+    /// panic up to `restart_backoff_cap_ms`.
+    pub restart_backoff_ms: u64,
+    pub restart_backoff_cap_ms: u64,
+    /// Heartbeat age after which the watchdog declares a shard stalled
+    /// and spawns a replacement worker. 0 disables the watchdog.
+    pub stall_timeout_ms: u64,
+    /// Consecutive panics on one shard before the supervisor rolls the
+    /// model back to the previous epoch (once per epoch). 0 disables.
+    pub rollback_after: u32,
+    /// Consecutive panics on one shard before the service enters
+    /// degraded (envelope-fallback) mode. 0 disables.
+    pub degrade_after: u32,
+    /// Incident-dump rate limit per host: dumps allowed back-to-back.
+    /// 0 disables limiting.
+    pub incident_burst: u64,
+    /// Incident-dump refill rate per host, dumps/second.
+    pub incident_per_sec: u64,
+    /// Golden canary vectors captured at start for swap validation.
+    pub golden_vectors: usize,
 }
 
 impl Default for FleetConfig {
@@ -39,16 +72,26 @@ impl Default for FleetConfig {
             queue_capacity: 8192,
             batch: 64,
             recorder_depth: 32,
+            restart_backoff_ms: 1,
+            restart_backoff_cap_ms: 100,
+            stall_timeout_ms: 500,
+            rollback_after: 2,
+            degrade_after: 4,
+            incident_burst: 32,
+            incident_per_sec: 10,
+            golden_vectors: 128,
         }
     }
 }
 
 /// Receives classification results. Implementations must be cheap and
-/// thread-safe: calls come from every shard worker.
+/// thread-safe: calls come from every shard worker. A sink that panics
+/// does not take the service down — the supervisor restarts the worker
+/// and counts the abandoned batch as lost.
 pub trait VerdictSink: Send + Sync {
     fn on_verdict(&self, _verdict: &FleetVerdict) {}
     /// Called with the per-host flight-recorder dump on every `Incorrect`
-    /// verdict.
+    /// verdict (minus rate-limited suppressions).
     fn on_incident(&self, _dump: &IncidentDump) {}
 }
 
@@ -58,6 +101,8 @@ pub struct NullSink;
 impl VerdictSink for NullSink {}
 
 /// Collects verdicts and incidents in memory (tests, small replays).
+/// Locking is poison-tolerant: a panic elsewhere in a worker never
+/// wedges collection.
 #[derive(Default)]
 pub struct CollectSink {
     pub verdicts: Mutex<Vec<FleetVerdict>>,
@@ -66,14 +111,11 @@ pub struct CollectSink {
 
 impl VerdictSink for CollectSink {
     fn on_verdict(&self, verdict: &FleetVerdict) {
-        self.verdicts.lock().expect("sink poisoned").push(*verdict);
+        lock_recovering(&self.verdicts).push(*verdict);
     }
 
     fn on_incident(&self, dump: &IncidentDump) {
-        self.incidents
-            .lock()
-            .expect("sink poisoned")
-            .push(dump.clone());
+        lock_recovering(&self.incidents).push(dump.clone());
     }
 }
 
@@ -82,7 +124,12 @@ pub(crate) struct Shared {
     pub(crate) cfg: FleetConfig,
     pub(crate) queues: Vec<MpmcQueue<TelemetryRecord>>,
     pub(crate) model: ModelSlot,
+    /// Canary vectors + expected labels for validated swaps; re-captured
+    /// whenever the deployed model legitimately changes.
+    pub(crate) golden: Mutex<GoldenSet>,
     pub(crate) metrics: Metrics,
+    pub(crate) supervision: Supervision,
+    pub(crate) failpoints: Failpoints,
     pub(crate) stop: AtomicBool,
     pub(crate) sink: Arc<dyn VerdictSink>,
     start: Instant,
@@ -93,6 +140,42 @@ impl Shared {
     pub(crate) fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
     }
+
+    /// Re-capture the golden set's expected labels under the currently
+    /// deployed model (after a relaxed-gate swap or a rollback).
+    pub(crate) fn refresh_golden_from_current(&self) {
+        let model = self.model.load();
+        let mut golden = lock_recovering(&self.golden);
+        *golden = golden.recapture(&model.detector);
+    }
+}
+
+/// Deterministic canary probes spanning the feature space: the synthetic
+/// VMER profiles plus order-of-magnitude outliers on every counter, so a
+/// corrupted arena has to survive both subtrees of most splits to slip
+/// past validation.
+fn golden_probe_vectors(n: usize) -> Vec<FeatureVec> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let vmers = [17u16, 32, 40, 8, 0, 63];
+    (0..n.max(16))
+        .map(|_| {
+            let vmer = vmers[(next() % vmers.len() as u64) as usize];
+            let mag = 1u64 << (next() % 11);
+            FeatureVec {
+                vmer,
+                rt: 30 + next() % (60 * mag),
+                br: 3 + next() % (10 * mag),
+                rm: 4 + next() % (20 * mag),
+                wm: 2 + next() % (12 * mag),
+            }
+        })
+        .collect()
 }
 
 /// Handle to a running fleet service.
@@ -102,8 +185,8 @@ pub struct FleetService {
 }
 
 impl FleetService {
-    /// Start `cfg.shards` workers classifying with `detector` (deployed
-    /// as model version 1).
+    /// Start `cfg.shards` supervised workers classifying with `detector`
+    /// (deployed as model version 1), plus the heartbeat watchdog.
     pub fn start(
         cfg: FleetConfig,
         detector: VmTransitionDetector,
@@ -111,26 +194,37 @@ impl FleetService {
     ) -> FleetService {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.batch >= 1, "need a positive batch size");
+        let golden = GoldenSet::capture(&detector, golden_probe_vectors(cfg.golden_vectors));
         let shared = Arc::new(Shared {
             cfg,
             queues: (0..cfg.shards)
                 .map(|_| MpmcQueue::with_capacity(cfg.queue_capacity))
                 .collect(),
             model: ModelSlot::new(detector),
+            golden: Mutex::new(golden),
             metrics: Metrics::new(cfg.shards),
+            supervision: Supervision::new(cfg.shards),
+            failpoints: Failpoints::new(cfg.shards),
             stop: AtomicBool::new(false),
             sink,
             start: Instant::now(),
         });
-        let workers = (0..cfg.shards)
+        let mut workers: Vec<JoinHandle<()>> = (0..cfg.shards)
             .map(|shard| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{shard}"))
-                    .spawn(move || crate::shard::run_worker(shared, shard))
+                    .spawn(move || crate::supervisor::run_supervised(shared, shard))
                     .expect("spawn shard worker")
             })
             .collect();
+        let wd_shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name("fleet-watchdog".into())
+                .spawn(move || crate::supervisor::run_watchdog(wd_shared))
+                .expect("spawn watchdog"),
+        );
         FleetService { shared, workers }
     }
 
@@ -162,15 +256,98 @@ impl FleetService {
     /// Atomically deploy a new model mid-flight; returns its version.
     /// In-flight batches finish under the old model; the next batch on
     /// every shard classifies under the new one.
+    ///
+    /// This path trusts the caller — the candidate must come straight
+    /// from `VmTransitionDetector::new`. Anything loaded from disk or a
+    /// network belongs behind [`FleetService::hot_swap_validated`].
     pub fn hot_swap(&self, detector: VmTransitionDetector) -> u64 {
         let v = self.shared.model.publish(detector);
         self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        self.shared.refresh_golden_from_current();
         v
+    }
+
+    /// Validate `detector` (structural arena integrity plus canary
+    /// classification of the golden set — strict label parity with the
+    /// incumbent when `require_parity`), then deploy it. A rejected
+    /// candidate never reaches the slot: the incumbent keeps serving,
+    /// which *is* the rollback, and the rejection is counted.
+    pub fn hot_swap_validated(
+        &self,
+        detector: VmTransitionDetector,
+        require_parity: bool,
+    ) -> Result<u64, SwapError> {
+        let mut golden = lock_recovering(&self.shared.golden);
+        match self
+            .shared
+            .model
+            .publish_validated(detector, &golden, require_parity)
+        {
+            Ok(v) => {
+                let model = self.shared.model.load();
+                *golden = golden.recapture(&model.detector);
+                self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            Err(e) => {
+                self.shared
+                    .metrics
+                    .swap_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back to the previous epoch's model (republished under a fresh
+    /// version). Returns the new version, or `None` when nothing is
+    /// retained. The supervisor calls the same slot operation
+    /// automatically after `rollback_after` consecutive panics.
+    pub fn rollback_model(&self) -> Option<u64> {
+        let v = self.shared.model.rollback()?;
+        self.shared
+            .metrics
+            .rollbacks
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.refresh_golden_from_current();
+        Some(v)
     }
 
     /// Version of the currently deployed model.
     pub fn model_version(&self) -> u64 {
         self.shared.model.epoch()
+    }
+
+    /// Fingerprint of the currently deployed model.
+    pub fn model_fingerprint(&self) -> u64 {
+        self.shared.model.load().fingerprint
+    }
+
+    /// Identity of the canary gate deployments are validated against.
+    pub fn golden_fingerprint(&self) -> u64 {
+        lock_recovering(&self.shared.golden).fingerprint()
+    }
+
+    /// True while the service is serving envelope-fallback verdicts.
+    pub fn degraded(&self) -> bool {
+        self.shared.supervision.degraded.load(Ordering::Acquire)
+    }
+
+    /// Operator acknowledgment: leave degraded mode and reset the
+    /// consecutive-panic counters (the next panic storm can re-enter).
+    pub fn exit_degraded(&self) {
+        for s in &self.shared.supervision.shards {
+            s.consecutive_panics.store(0, Ordering::Relaxed);
+        }
+        self.shared
+            .supervision
+            .degraded
+            .store(false, Ordering::Release);
+    }
+
+    /// Chaos-testing failpoints (inert until armed).
+    pub fn failpoints(&self) -> &Failpoints {
+        &self.shared.failpoints
     }
 
     /// Racy-consistent metrics snapshot.
@@ -186,13 +363,22 @@ impl FleetService {
             ingested: m.ingested.load(Ordering::Relaxed),
             classified,
             dropped: m.dropped.load(Ordering::Relaxed),
+            lost: m.total_lost(),
             incorrect: m
                 .shards
                 .iter()
                 .map(|s| s.incorrect.load(Ordering::Relaxed))
                 .sum(),
             incidents: m.incidents.load(Ordering::Relaxed),
+            suppressed_incidents: m.suppressed_incidents.load(Ordering::Relaxed),
             swaps: m.swaps.load(Ordering::Relaxed),
+            swap_rejections: m.swap_rejections.load(Ordering::Relaxed),
+            rollbacks: m.rollbacks.load(Ordering::Relaxed),
+            restarts: m.restarts.load(Ordering::Relaxed),
+            stalls: m.stalls.load(Ordering::Relaxed),
+            degraded: self.degraded(),
+            degraded_entries: m.degraded_entries.load(Ordering::Relaxed),
+            degraded_verdicts: m.degraded_verdicts.load(Ordering::Relaxed),
             throughput_per_sec: classified as f64 * 1e9 / uptime_ns as f64,
             queue_latency: m.queue_latency.snapshot(),
             classify_latency: m.classify_latency.snapshot(),
@@ -206,6 +392,8 @@ impl FleetService {
                     incorrect: s.incorrect.load(Ordering::Relaxed),
                     dropped: s.dropped.load(Ordering::Relaxed),
                     batches: s.batches.load(Ordering::Relaxed),
+                    lost: s.lost.load(Ordering::Relaxed),
+                    restarts: s.restarts.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -213,11 +401,12 @@ impl FleetService {
 
     /// Stop ingesting, drain every queue, join the workers, and return
     /// the final snapshot. Every record accepted before shutdown is
-    /// classified.
+    /// either classified or (if a worker panicked mid-batch) counted in
+    /// `lost`: `ingested == classified + lost` holds on the result.
     pub fn shutdown(mut self) -> ServiceSnapshot {
         self.shared.stop.store(true, Ordering::Release);
         for w in self.workers.drain(..) {
-            w.join().expect("shard worker panicked");
+            w.join().expect("supervisor thread panicked");
         }
         self.snapshot()
     }
@@ -235,7 +424,9 @@ impl Drop for FleetService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::VerdictSource;
     use mltree::{Dataset, DecisionTree, Label, Sample, TrainConfig};
+    use std::sync::atomic::AtomicU64;
     use xentry::FEATURE_NAMES;
 
     /// Detector: rt >= ~2*base on vmer 17 is Incorrect.
@@ -282,6 +473,7 @@ mod tests {
             queue_capacity: 1024,
             batch: 16,
             recorder_depth: 8,
+            ..FleetConfig::default()
         };
         let svc = FleetService::start(cfg, detector(100), Arc::clone(&sink) as _);
         let mut accepted = 0u64;
@@ -300,9 +492,15 @@ mod tests {
         let snap = svc.shutdown();
         assert_eq!(snap.ingested, accepted);
         assert_eq!(snap.classified, accepted, "shutdown must drain the queues");
+        assert_eq!(snap.lost, 0);
         assert_eq!(snap.incorrect, 4, "one planted anomaly per host");
         assert_eq!(snap.incidents, 4);
-        assert_eq!(sink.verdicts.lock().unwrap().len(), accepted as usize);
+        assert_eq!(snap.suppressed_incidents, 0);
+        assert!(!snap.degraded);
+        let verdicts = sink.verdicts.lock().unwrap();
+        assert_eq!(verdicts.len(), accepted as usize);
+        assert!(verdicts.iter().all(|v| v.source == VerdictSource::Model));
+        drop(verdicts);
         let incidents = sink.incidents.lock().unwrap();
         assert_eq!(incidents.len(), 4);
         for dump in incidents.iter() {
@@ -323,6 +521,7 @@ mod tests {
             queue_capacity: 4,
             batch: 4,
             recorder_depth: 4,
+            ..FleetConfig::default()
         };
         let svc = FleetService::start(cfg, detector(100), Arc::new(NullSink));
         let mut dropped = 0u64;
@@ -355,6 +554,7 @@ mod tests {
             queue_capacity: 1024,
             batch: 8,
             recorder_depth: 4,
+            ..FleetConfig::default()
         };
         let svc = FleetService::start(cfg, detector(100), Arc::clone(&sink) as _);
         for seq in 0..50u64 {
@@ -391,6 +591,7 @@ mod tests {
             queue_capacity: 256,
             batch: 8,
             recorder_depth: 4,
+            ..FleetConfig::default()
         };
         let svc = FleetService::start(cfg, detector(100), Arc::new(NullSink));
         for seq in 0..500u64 {
@@ -401,5 +602,140 @@ mod tests {
         assert_eq!(snap.classify_latency.count, snap.classified);
         assert!(snap.queue_latency.p99 >= snap.queue_latency.p50);
         assert!(snap.throughput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn validated_swap_counts_rejections_and_keeps_serving() {
+        let svc = FleetService::start(
+            FleetConfig {
+                shards: 1,
+                queue_capacity: 256,
+                batch: 8,
+                recorder_depth: 4,
+                ..FleetConfig::default()
+            },
+            detector(100),
+            Arc::new(NullSink),
+        );
+        let golden_before = svc.golden_fingerprint();
+
+        // Structurally corrupt candidate: rejected, slot untouched.
+        let mut corrupt = detector(100);
+        corrupt.chaos_flip_arena_bit(64 + 20);
+        assert!(svc.hot_swap_validated(corrupt, false).is_err());
+        assert_eq!(svc.model_version(), 1);
+        assert_eq!(svc.golden_fingerprint(), golden_before);
+
+        // Clean redeploy passes the strict gate and bumps the version.
+        let redeploy = VmTransitionDetector::from_json(&detector(100).to_json()).unwrap();
+        assert_eq!(svc.hot_swap_validated(redeploy, true).unwrap(), 2);
+
+        // Service still classifies after all of the above.
+        for seq in 0..50u64 {
+            assert!(svc.ingest(0, 0, seq, ok_features(100)));
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.classified, 50);
+        assert_eq!(snap.swap_rejections, 1);
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.model_version, 2);
+    }
+
+    #[test]
+    fn rollback_restores_previous_fingerprint() {
+        let d1 = detector(100);
+        let d2 = detector(900);
+        let f1 = d1.fingerprint();
+        let svc = FleetService::start(
+            FleetConfig {
+                shards: 1,
+                queue_capacity: 256,
+                batch: 8,
+                recorder_depth: 4,
+                ..FleetConfig::default()
+            },
+            d1,
+            Arc::new(NullSink),
+        );
+        assert_eq!(svc.rollback_model(), None, "nothing to roll back yet");
+        svc.hot_swap(d2);
+        assert_eq!(svc.rollback_model(), Some(3));
+        assert_eq!(svc.model_fingerprint(), f1);
+        let snap = svc.shutdown();
+        assert_eq!(snap.rollbacks, 1);
+        assert_eq!(snap.model_version, 3);
+    }
+
+    /// Panics on the first verdict it sees, then collects normally.
+    struct PanicOnceSink {
+        panicked: AtomicBool,
+        seen: AtomicU64,
+    }
+
+    impl VerdictSink for PanicOnceSink {
+        fn on_verdict(&self, _v: &FleetVerdict) {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                panic!("sink exploded on purpose");
+            }
+            self.seen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn panicking_sink_cannot_take_down_the_service() {
+        let sink = Arc::new(PanicOnceSink {
+            panicked: AtomicBool::new(false),
+            seen: AtomicU64::new(0),
+        });
+        let cfg = FleetConfig {
+            shards: 1,
+            queue_capacity: 2048,
+            batch: 16,
+            recorder_depth: 4,
+            restart_backoff_ms: 1,
+            restart_backoff_cap_ms: 4,
+            ..FleetConfig::default()
+        };
+        let svc = FleetService::start(cfg, detector(100), Arc::clone(&sink) as _);
+        let mut accepted = 0u64;
+        for seq in 0..1000u64 {
+            if svc.ingest(0, 0, seq, ok_features(100)) {
+                accepted += 1;
+            }
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.ingested, accepted);
+        assert_eq!(snap.restarts, 1, "exactly one panic, one restart");
+        assert!(snap.lost >= 1, "the abandoned batch must be accounted");
+        assert!(snap.lost <= cfg.batch as u64);
+        assert_eq!(
+            snap.classified + snap.lost,
+            accepted,
+            "no record may vanish unaccounted"
+        );
+        assert_eq!(sink.seen.load(Ordering::Relaxed), snap.classified);
+    }
+
+    #[test]
+    fn collect_sink_recovers_from_poisoned_lock() {
+        let sink = Arc::new(CollectSink::default());
+        let sink2 = Arc::clone(&sink);
+        // Poison the verdict mutex the way a panicking consumer would.
+        let _ = std::thread::spawn(move || {
+            let _guard = sink2.verdicts.lock().unwrap();
+            panic!("poison the sink");
+        })
+        .join();
+        assert!(sink.verdicts.is_poisoned());
+        sink.on_verdict(&FleetVerdict {
+            host: 1,
+            vcpu: 0,
+            seq: 1,
+            label: Label::Correct,
+            model_version: 1,
+            model_fingerprint: 0,
+            source: VerdictSource::Model,
+        });
+        assert_eq!(lock_recovering(&sink.verdicts).len(), 1);
     }
 }

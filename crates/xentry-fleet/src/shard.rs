@@ -3,33 +3,64 @@
 //!
 //! Hosts are statically sharded (`host % nr_shards`), so every host's
 //! records are classified by exactly one worker; the flight recorders can
-//! therefore live in worker-local state with no locking at all.
+//! therefore live in worker-local state with no locking at all. (A
+//! replacement worker spawned after a stall starts with fresh recorders
+//! and a fresh envelope — worker-local context is the price of lock-free
+//! recording, and it rebuilds within one recorder depth of traffic.)
+//!
+//! The worker cooperates with [`crate::supervisor`] through three cheap
+//! per-loop signals: it re-checks its shard *generation* (a moved
+//! generation means a replacement owns the queue — finish the in-flight
+//! batch, then exit), stores a *heartbeat* timestamp, and keeps the
+//! supervisor's *in-flight* counter equal to the number of claimed but
+//! not-yet-classified records so a panic loses nothing silently.
 
 use crate::model::ModelCache;
-use crate::record::{FleetVerdict, HostId, TelemetryRecord};
-use crate::recorder::FlightRecorder;
+use crate::record::{FleetVerdict, HostId, TelemetryRecord, VerdictSource};
+use crate::recorder::{DumpBudget, FlightRecorder};
 use crate::service::Shared;
+use crate::supervisor::WorkerExit;
 use mltree::Label;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use xentry::FeatureVec;
+use xentry::{EnvelopeDetector, FeatureVec};
 
 /// Spin this many empty polls before yielding, and yield this many before
 /// sleeping: keeps latency low under load without burning an idle core.
 const SPIN_POLLS: u32 = 64;
 const YIELD_POLLS: u32 = 256;
 
-pub(crate) fn run_worker(shared: Arc<Shared>, shard: usize) {
+/// Degraded-mode fallback tuning: absolute slack around the learned
+/// per-VMER bounds, and samples per VMER before the envelope trusts
+/// itself (under-sampled reasons fail open).
+const ENVELOPE_SLACK: u64 = 8;
+const ENVELOPE_MIN_SAMPLES: u64 = 32;
+
+pub(crate) fn run_worker(
+    shared: &Arc<Shared>,
+    shard: usize,
+    my_gen: u64,
+    inflight: &AtomicU64,
+) -> WorkerExit {
     let queue = &shared.queues[shard];
+    let sup = &shared.supervision.shards[shard];
     let mut cache = ModelCache::new(&shared.model);
-    let mut recorders: HashMap<HostId, FlightRecorder> = HashMap::new();
+    let mut recorders: HashMap<HostId, (FlightRecorder, DumpBudget)> = HashMap::new();
+    // Degraded-mode fallback: a runtime envelope learned online from
+    // activations the model approved. If the model path becomes unusable
+    // the shard keeps serving (weaker, tagged) verdicts from this.
+    let mut envelope = EnvelopeDetector::new(ENVELOPE_SLACK, ENVELOPE_MIN_SAMPLES);
     let mut batch: Vec<TelemetryRecord> = Vec::with_capacity(shared.cfg.batch);
     let mut features: Vec<FeatureVec> = Vec::with_capacity(shared.cfg.batch);
     let mut labels: Vec<Label> = Vec::with_capacity(shared.cfg.batch);
     let mut idle: u32 = 0;
     loop {
+        if sup.gen.load(Ordering::Acquire) != my_gen {
+            return WorkerExit::Superseded;
+        }
+        sup.heartbeat_ns.store(shared.now_ns(), Ordering::Relaxed);
         batch.clear();
         while batch.len() < shared.cfg.batch {
             match queue.pop() {
@@ -41,7 +72,7 @@ pub(crate) fn run_worker(shared: Arc<Shared>, shard: usize) {
             // Drain-then-exit: producers stop ingesting before `stop` is
             // set, so an empty queue after observing `stop` is final.
             if shared.stop.load(Ordering::Acquire) && queue.is_empty() {
-                return;
+                return WorkerExit::Stopped;
             }
             idle += 1;
             if idle < SPIN_POLLS {
@@ -54,31 +85,62 @@ pub(crate) fn run_worker(shared: Arc<Shared>, shard: usize) {
             continue;
         }
         idle = 0;
+        // Everything claimed from here on is visible to the supervisor:
+        // if this worker dies mid-batch, exactly `inflight` records are
+        // accounted as lost.
+        inflight.store(batch.len() as u64, Ordering::Relaxed);
+        if let Some(stall) = shared.failpoints.take_stall(shard) {
+            // Injected stall: sleep without heartbeating, which is
+            // exactly what a wedged worker looks like to the watchdog.
+            std::thread::sleep(stall);
+        }
         // One epoch check per batch: the hot-swap cost on this path is a
         // single Acquire load.
         let model = Arc::clone(cache.get(&shared.model));
         let shard_metrics = &shared.metrics.shards[shard];
         let dequeued_ns = shared.now_ns();
-        // One compiled-arena batch call classifies the whole drain; the
-        // per-record latency histogram is preserved by amortizing the
-        // batch walk over its records.
         features.clear();
         features.extend(batch.iter().map(|r| r.features));
         labels.clear();
         labels.resize(batch.len(), Label::Correct);
+        let degraded = shared.supervision.degraded.load(Ordering::Relaxed);
         let t0 = Instant::now();
-        model.detector.classify_batch(&features, &mut labels);
+        let source = if degraded {
+            for (f, l) in features.iter().zip(labels.iter_mut()) {
+                *l = envelope.classify(f);
+            }
+            VerdictSource::DegradedEnvelope
+        } else {
+            // The panic failpoint models a fault on the model/classify
+            // path, so it sits inside the non-degraded branch — degraded
+            // mode is precisely the state that routes around it.
+            shared.failpoints.maybe_panic(shard);
+            // One compiled-arena batch call classifies the whole drain;
+            // the per-record latency histogram is preserved by amortizing
+            // the batch walk over its records.
+            model.detector.classify_batch(&features, &mut labels);
+            VerdictSource::Model
+        };
         let per_record_ns = t0.elapsed().as_nanos() as u64 / batch.len() as u64;
+        if degraded {
+            shared
+                .metrics
+                .degraded_verdicts
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        let mut remaining = batch.len() as u64;
         for (rec, &label) in batch.iter().zip(labels.iter()) {
             shared
                 .metrics
                 .queue_latency
                 .record(dequeued_ns.saturating_sub(rec.enqueued_ns));
             shared.metrics.classify_latency.record(per_record_ns);
-            shard_metrics.classified.fetch_add(1, Ordering::Relaxed);
-            let recorder = recorders
-                .entry(rec.host)
-                .or_insert_with(|| FlightRecorder::new(shared.cfg.recorder_depth));
+            let (recorder, budget) = recorders.entry(rec.host).or_insert_with(|| {
+                (
+                    FlightRecorder::new(shared.cfg.recorder_depth),
+                    DumpBudget::new(shared.cfg.incident_burst, shared.cfg.incident_per_sec),
+                )
+            });
             recorder.push(rec, label, model.version);
             let verdict = FleetVerdict {
                 host: rec.host,
@@ -87,14 +149,36 @@ pub(crate) fn run_worker(shared: Arc<Shared>, shard: usize) {
                 label,
                 model_version: model.version,
                 model_fingerprint: model.fingerprint,
+                source,
             };
             shared.sink.on_verdict(&verdict);
             if label == Label::Incorrect {
                 shard_metrics.incorrect.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.incidents.fetch_add(1, Ordering::Relaxed);
-                shared.sink.on_incident(&recorder.dump(rec.host));
+                if budget.try_take(shared.now_ns()) {
+                    shared.metrics.incidents.fetch_add(1, Ordering::Relaxed);
+                    shared.sink.on_incident(&recorder.dump(rec.host));
+                } else {
+                    shared
+                        .metrics
+                        .suppressed_incidents
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            } else if source == VerdictSource::Model {
+                // Feed the degraded-mode fallback from model-approved
+                // activations only.
+                envelope.absorb(&rec.features);
             }
+            // A record counts as classified only once its sink calls
+            // returned; until then it stays in `inflight` so a panic in
+            // the sink is charged to `lost`, never dropped silently.
+            remaining -= 1;
+            inflight.store(remaining, Ordering::Relaxed);
+            shard_metrics.classified.fetch_add(1, Ordering::Relaxed);
         }
         shard_metrics.batches.fetch_add(1, Ordering::Relaxed);
+        if sup.consecutive_panics.load(Ordering::Relaxed) != 0 {
+            // A fully classified batch ends the panic streak.
+            sup.consecutive_panics.store(0, Ordering::Relaxed);
+        }
     }
 }

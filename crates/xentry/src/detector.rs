@@ -105,6 +105,34 @@ impl VmTransitionDetector {
         &self.compiled
     }
 
+    /// Structural integrity check of the compiled arena — the deploy-time
+    /// gate the fleet's validated hot-swap runs before publishing a
+    /// detector ([`CompiledTree::validate`]). A detector built by [`new`]
+    /// always passes; a corrupted arena (bit flip in the model slab) can
+    /// fail, and executing one through the unchecked walkers would be UB.
+    ///
+    /// [`new`]: VmTransitionDetector::new
+    pub fn validate(&self) -> Result<(), mltree::ArenaFault> {
+        self.compiled.validate()
+    }
+
+    /// Chaos-injection entry point: flip one bit of the compiled arena,
+    /// leaving the boxed tree and cached fingerprint untouched — exactly
+    /// the state a soft error in the deployed model's memory produces.
+    /// The result is for feeding *into* validation gates (swap canaries,
+    /// the fleet chaos harness), never for classifying with.
+    pub fn chaos_flip_arena_bit(&mut self, bit: usize) {
+        self.compiled.flip_bit(bit);
+    }
+
+    /// Defined bit count of the compiled arena (the
+    /// [`chaos_flip_arena_bit`] fault space).
+    ///
+    /// [`chaos_flip_arena_bit`]: VmTransitionDetector::chaos_flip_arena_bit
+    pub fn arena_logical_bits(&self) -> usize {
+        self.compiled.logical_bits()
+    }
+
     /// Model statistics for reporting.
     pub fn depth(&self) -> usize {
         self.tree.depth()

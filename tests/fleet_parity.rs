@@ -50,6 +50,7 @@ fn fleet_verdicts_match_direct_classify() {
         queue_capacity: 1 << 15,
         batch: 32,
         recorder_depth: 8,
+        ..FleetConfig::default()
     };
     let svc = FleetService::start(cfg, det.clone(), Arc::clone(&sink) as _);
 
@@ -122,6 +123,7 @@ fn fleet_verdicts_match_direct_classify_across_hot_swap() {
         queue_capacity: 1 << 15,
         batch: 16,
         recorder_depth: 8,
+        ..FleetConfig::default()
     };
     let svc = FleetService::start(cfg, d1.clone(), Arc::clone(&sink) as _);
 
@@ -202,4 +204,103 @@ fn fleet_verdicts_match_direct_classify_across_hot_swap() {
         disagreements > 100,
         "models disagree on only {disagreements} records"
     );
+}
+
+/// Block until the service has drained everything it accepted so far.
+fn drain(svc: &FleetService) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let snap = svc.snapshot();
+        if snap.classified + snap.lost == snap.ingested {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "service failed to drain: {} classified + {} lost of {} ingested",
+            snap.classified,
+            snap.lost,
+            snap.ingested
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn rollback_restores_verdict_parity_with_pre_swap_model() {
+    let d1 = replay::synthetic_detector(1);
+    let d2 = aggressive_detector();
+    assert_ne!(d1.fingerprint(), d2.fingerprint());
+
+    let sink = Arc::new(CollectSink::default());
+    let cfg = FleetConfig {
+        shards: 2,
+        queue_capacity: 1 << 15,
+        batch: 16,
+        recorder_depth: 8,
+        ..FleetConfig::default()
+    };
+    let svc = FleetService::start(cfg, d1.clone(), Arc::clone(&sink) as _);
+
+    let trace = replay::synthetic_trace(2048, 31);
+    let wave = ReplayConfig {
+        hosts: 2,
+        records_per_host: 1500,
+        rate_per_host: 0.0,
+    };
+
+    // Wave 1 under the original model; drain so the deploy boundary is
+    // crisp and every wave maps 1:1 to a model version.
+    assert_eq!(replay::replay(&svc, &trace, &wave).rejected, 0);
+    drain(&svc);
+
+    // The aggressive model fails the strict canary (it relabels the
+    // golden vectors captured under d1), but a relaxed deploy accepts it:
+    // structurally sound, self-consistent, just different behavior.
+    assert!(svc.hot_swap_validated(d2.clone(), true).is_err());
+    assert_eq!(svc.hot_swap_validated(d2.clone(), false).unwrap(), 2);
+    assert_eq!(svc.model_fingerprint(), d2.fingerprint());
+
+    // Wave 2 under the replacement.
+    assert_eq!(replay::replay(&svc, &trace, &wave).rejected, 0);
+    drain(&svc);
+
+    // Roll back: a fresh epoch republishing the pre-swap detector.
+    assert_eq!(svc.rollback_model(), Some(3));
+    assert_eq!(svc.model_fingerprint(), d1.fingerprint());
+
+    // Wave 3 must classify exactly like the pre-swap model again.
+    assert_eq!(replay::replay(&svc, &trace, &wave).rejected, 0);
+    let snap = svc.shutdown();
+    assert_eq!(snap.classified, 9000);
+    assert_eq!(snap.lost, 0);
+    assert_eq!(snap.swaps, 1);
+    assert_eq!(snap.swap_rejections, 1);
+    assert_eq!(snap.rollbacks, 1);
+    assert_eq!(snap.model_version, 3);
+    assert_eq!(snap.model_fingerprint, d1.fingerprint());
+
+    let verdicts = sink.verdicts.lock().unwrap();
+    assert_eq!(verdicts.len(), 9000);
+    let mut by_version = [0u64; 3];
+    for v in verdicts.iter() {
+        let model = match v.model_version {
+            1 | 3 => &d1, // version 3 is the rollback epoch of d1
+            2 => &d2,
+            other => panic!("verdict stamped with unknown model version {other}"),
+        };
+        assert_eq!(v.model_fingerprint, model.fingerprint());
+        let f = replayed_features(&trace, v.host, v.seq);
+        assert_eq!(
+            v.label,
+            model.classify(&f),
+            "host {} seq {} diverged under model v{}",
+            v.host,
+            v.seq,
+            v.model_version
+        );
+        by_version[(v.model_version - 1) as usize] += 1;
+    }
+    // Drained wave boundaries: each wave classified entirely under its
+    // own version, and the rollback epoch really served traffic.
+    assert_eq!(by_version, [3000, 3000, 3000]);
 }
