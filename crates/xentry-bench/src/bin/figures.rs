@@ -3,8 +3,8 @@
 //! ```text
 //! figures [--quick|--paper] [--out DIR] [experiments...]
 //!
-//! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet inference
-//!                                                            (default: all)
+//! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
+//!              overhead inference                            (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
 //!   "inference" also mirrors its JSON to the repo-root
 //!   `BENCH_inference.json` perf-trajectory file.
@@ -22,7 +22,9 @@ use xentry_bench::*;
 fn write_json<T: serde::Serialize>(dir: &PathBuf, name: &str, value: &T) {
     std::fs::create_dir_all(dir).expect("create output dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+    // Atomic (temp + rename): an interrupted run never leaves a torn
+    // artifact that a later plotting/CI step would half-parse.
+    xentry_fleet::write_atomic(&path, &serde_json::to_string_pretty(value).unwrap())
         .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
     eprintln!("[figures] wrote {path:?}");
 }
@@ -145,6 +147,14 @@ fn main() {
         println!("{}", fleet.render());
         eprintln!("[figures] fleet took {:?}\n", t.elapsed());
         write_json(&out, "fleet", &fleet);
+    }
+
+    if want("overhead") {
+        let t = std::time::Instant::now();
+        let oh = overhead_experiment(&scale, seed);
+        println!("{}\n", oh.render());
+        eprintln!("[figures] overhead took {:?}\n", t.elapsed());
+        write_json(&out, "overhead", &oh);
     }
 
     if want("inference") {

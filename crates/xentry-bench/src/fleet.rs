@@ -1,12 +1,16 @@
 //! Fleet-serving experiment: drive the `xentry-fleet` service with a
 //! replayed trace and report aggregate throughput, drop accounting and
 //! latency percentiles (the serving-side numbers the paper's single-host
-//! evaluation cannot show).
+//! evaluation cannot show), plus the observability-layer overhead figure
+//! (the fleet-side analogue of the paper's Table II cost accounting).
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use xentry::VmTransitionDetector;
-use xentry_fleet::{replay, FleetConfig, FleetService, NullSink, ReplayConfig, ServiceSnapshot};
+use xentry_fleet::{
+    measure_overhead, replay, FleetConfig, FleetService, NullSink, OverheadConfig, OverheadReport,
+    ReplayConfig, ServiceSnapshot,
+};
 
 use crate::pipeline::Scale;
 
@@ -103,9 +107,34 @@ impl FleetReport {
     }
 }
 
+/// Measure the flight-trace layer's cost on the serving hot path: best
+/// untraced leg vs. best traced leg over identical replays, reported as
+/// throughput regression plus ns- and cycles-per-classification (the
+/// Table-II shape for the fleet's own observability).
+pub fn overhead_experiment(scale: &Scale, seed: u64) -> OverheadReport {
+    measure_overhead(&OverheadConfig {
+        records_per_host: (scale.eval_injections * 30).max(10_000),
+        seed,
+        ..OverheadConfig::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overhead_experiment_reports_both_arms() {
+        let mut scale = Scale::quick();
+        scale.eval_injections = 10;
+        let rep = overhead_experiment(&scale, 5);
+        assert!(rep.legs.iter().any(|l| l.traced));
+        assert!(rep.legs.iter().any(|l| !l.traced));
+        assert!(rep.baseline_throughput > 0.0);
+        let back: OverheadReport =
+            serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
+        assert_eq!(back.legs.len(), rep.legs.len());
+    }
 
     #[test]
     fn synthetic_fleet_experiment_runs() {

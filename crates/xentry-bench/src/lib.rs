@@ -26,7 +26,7 @@ pub mod pipeline;
 
 pub use experiments::*;
 pub use extensions::*;
-pub use fleet::{fleet_experiment, FleetReport};
+pub use fleet::{fleet_experiment, overhead_experiment, FleetReport};
 pub use inference::{inference_experiment, InferenceReport};
 pub use pipeline::{
     gather_dataset, rebalance, train_detector, train_models, Scale, TrainingReport,

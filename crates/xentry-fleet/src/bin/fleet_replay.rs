@@ -4,11 +4,26 @@
 //! cargo run --release --bin fleet-replay -- [--quick] [--hosts N]
 //!     [--shards K] [--records N] [--rate R] [--swap] [--chaos]
 //!     [--workload] [--detector PATH] [--out DIR]
+//!     [--serve ADDR] [--self-scrape] [--trace-depth N] [--trace-overhead]
 //! ```
 //!
 //! Replays activation traces from `--hosts` simulated platform instances
 //! into a `--shards`-way service, optionally hot-swapping the model
-//! mid-replay, then writes the metrics snapshot to `<out>/service.json`.
+//! mid-replay, then writes the metrics snapshot to `<out>/service.json`
+//! and the flight trace to `<out>/trace.json` (open it in any Chrome
+//! trace viewer, e.g. `ui.perfetto.dev`).
+//!
+//! `--serve ADDR` additionally exposes `/metrics` (Prometheus text
+//! exposition), `/healthz` and `/trace` on `ADDR` for the lifetime of the
+//! replay (`curl :9184/metrics`). `--self-scrape` scrapes that endpoint
+//! in-process while the service is live, asserts the exposition parses
+//! and the key per-shard/per-epoch series are present, and exits nonzero
+//! on any violation — the CI smoke gate.
+//!
+//! `--trace-overhead` skips the plain replay and instead runs the
+//! alternating traced/untraced self-accounting measurement
+//! ([`xentry_fleet::overhead`]), writing `<out>/overhead.json`; exits
+//! nonzero if the overhead misses the <3% budget.
 //!
 //! With `--chaos` the replay instead runs the service-level chaos
 //! harness ([`xentry_fleet::chaos`]): panicking detectors, corrupted
@@ -20,7 +35,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use xentry::VmTransitionDetector;
-use xentry_fleet::{replay, ChaosConfig, FleetConfig, FleetService, NullSink, ReplayConfig};
+use xentry_fleet::{
+    replay, ChaosConfig, FleetConfig, FleetService, NullSink, OverheadConfig, ReplayConfig,
+    SpanKind,
+};
 
 struct Args {
     hosts: usize,
@@ -34,6 +52,10 @@ struct Args {
     trace: TraceSource,
     detector: Option<PathBuf>,
     out: PathBuf,
+    serve: Option<String>,
+    self_scrape: bool,
+    trace_depth: usize,
+    trace_overhead: bool,
 }
 
 /// Where replayed activations come from. `Auto` pairs the trace with the
@@ -61,6 +83,10 @@ impl Default for Args {
             trace: TraceSource::Auto,
             detector: None,
             out: PathBuf::from("results"),
+            serve: None,
+            self_scrape: false,
+            trace_depth: FleetConfig::default().trace_depth,
+            trace_overhead: false,
         }
     }
 }
@@ -111,11 +137,20 @@ fn parse_args() -> Args {
             "--synthetic" => args.trace = TraceSource::Synthetic,
             "--detector" => args.detector = Some(PathBuf::from(value("path"))),
             "--out" => args.out = PathBuf::from(value("dir")),
+            "--serve" => args.serve = Some(value("addr")),
+            "--self-scrape" => args.self_scrape = true,
+            "--trace-depth" => {
+                args.trace_depth = value("events")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --trace-depth"))
+            }
+            "--trace-overhead" => args.trace_overhead = true,
             "--help" | "-h" => {
                 println!(
                     "fleet-replay [--quick] [--hosts N] [--shards K] [--records N] \
                      [--rate R] [--queue-capacity N] [--batch N] [--swap] [--chaos] \
-                     [--workload | --synthetic] [--detector PATH] [--out DIR]"
+                     [--workload | --synthetic] [--detector PATH] [--out DIR] \
+                     [--serve ADDR] [--self-scrape] [--trace-depth N] [--trace-overhead]"
                 );
                 std::process::exit(0);
             }
@@ -215,10 +250,83 @@ fn run_chaos_mode(args: &Args) -> ! {
     std::process::exit(if report.is_clean() { 0 } else { 1 });
 }
 
+/// `--trace-overhead`: measure the observability layer's own cost
+/// instead of running a plain replay. Exits nonzero when the measured
+/// throughput regression misses the <3% budget.
+fn run_overhead_mode(args: &Args) -> ! {
+    let cfg = OverheadConfig {
+        shards: args.shards,
+        hosts: args.hosts,
+        records_per_host: args.records_per_host,
+        trace_depth: args.trace_depth.max(2),
+        ..OverheadConfig::default()
+    };
+    println!(
+        "overhead run: {} pairs of untraced/traced legs, {} records x {} hosts \
+         into {} shards each...",
+        cfg.pairs, cfg.records_per_host, cfg.hosts, cfg.shards
+    );
+    let report = xentry_fleet::measure_overhead(&cfg);
+    let path = report.write(&args.out).expect("write overhead.json");
+    println!("{}", report.render());
+    println!("overhead:   {}", path.display());
+    std::process::exit(if report.within_budget { 0 } else { 1 });
+}
+
+/// `--self-scrape`: hit the live scrape endpoint in-process and assert
+/// the exposition is parseable and the key series exist. Any failure
+/// kills the run — this is the CI gate on the telemetry surface.
+fn self_scrape(addr: std::net::SocketAddr, shards: usize) {
+    let (status, health) =
+        xentry_fleet::http_get(addr, "/healthz").unwrap_or_else(|e| die(&format!("/healthz: {e}")));
+    if status != 200 || !health.contains("\"status\"") {
+        die(&format!("/healthz unhealthy: {status} {health}"));
+    }
+    let (status, body) =
+        xentry_fleet::http_get(addr, "/metrics").unwrap_or_else(|e| die(&format!("/metrics: {e}")));
+    if status != 200 {
+        die(&format!("/metrics returned {status}"));
+    }
+    let samples = xentry_fleet::parse_exposition(&body)
+        .unwrap_or_else(|e| die(&format!("/metrics exposition does not parse: {e}")));
+    let series = |name: &str| samples.iter().filter(|(n, _, _)| n == name).count();
+    for required in [
+        "xentry_fleet_ingested_total",
+        "xentry_fleet_classified_total",
+        "xentry_fleet_trace_events_total",
+        "xentry_fleet_queue_latency_ns_bucket",
+        "xentry_fleet_queue_latency_ns_sum",
+        "xentry_fleet_queue_latency_ns_count",
+        "xentry_fleet_classify_latency_ns_count",
+    ] {
+        if series(required) == 0 {
+            die(&format!("/metrics is missing series {required}"));
+        }
+    }
+    if series("xentry_fleet_shard_classified_total") != shards {
+        die(&format!(
+            "expected one xentry_fleet_shard_classified_total sample per shard ({shards}), got {}",
+            series("xentry_fleet_shard_classified_total")
+        ));
+    }
+    if series("xentry_fleet_epoch_verdicts_total") == 0 {
+        die("no per-epoch verdict series yet — scrape raced the first batch?");
+    }
+    println!(
+        "self-scrape: /metrics ok ({} samples, {} shard series, {} epoch series), /healthz ok",
+        samples.len(),
+        series("xentry_fleet_shard_classified_total"),
+        series("xentry_fleet_epoch_verdicts_total"),
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
         run_chaos_mode(&args);
+    }
+    if args.trace_overhead {
+        run_overhead_mode(&args);
     }
     let (detector, source) = load_detector(&args);
     // A retrained model for the mid-replay swap: JSON round-trip of the
@@ -243,9 +351,25 @@ fn main() {
         queue_capacity: args.queue_capacity,
         batch: args.batch,
         recorder_depth: 32,
+        trace_depth: args.trace_depth,
         ..FleetConfig::default()
     };
     let svc = FleetService::start(cfg, detector, Arc::new(NullSink));
+    // `--self-scrape` without `--serve` binds an ephemeral local port.
+    let serve_addr = args
+        .serve
+        .clone()
+        .or_else(|| args.self_scrape.then(|| "127.0.0.1:0".to_string()));
+    let telemetry = serve_addr.map(|addr| {
+        let server = svc
+            .serve_telemetry(addr.as_str())
+            .unwrap_or_else(|e| die(&format!("--serve {addr}: {e}")));
+        println!(
+            "telemetry:  http://{}/metrics (also /healthz, /trace)",
+            server.addr()
+        );
+        server
+    });
     let replay_cfg = ReplayConfig {
         hosts: args.hosts,
         records_per_host: args.records_per_host,
@@ -282,8 +406,49 @@ fn main() {
         report
     });
 
+    // Scrape while the service is still live (the endpoint serves the
+    // running counters, not a post-mortem).
+    if args.self_scrape {
+        let server = telemetry.as_ref().expect("self-scrape started a server");
+        self_scrape(server.addr(), args.shards);
+    }
+
+    let tracer = svc.tracer();
     let snapshot = svc.shutdown();
     let path = snapshot.write(&args.out).expect("write service.json");
+
+    // Post-join the rings are quiescent: export the flight trace and
+    // verify at least one record's full ingest -> classify -> verdict
+    // chain survived ring overflow.
+    let trace_path = args.out.join("trace.json");
+    xentry_fleet::write_atomic(&trace_path, &tracer.export_chrome()).expect("write trace.json");
+    let chain_id = {
+        let events = tracer.events();
+        let mut batch_seen = false;
+        let mut ingest = std::collections::HashSet::new();
+        let mut chain = 0u64;
+        for e in &events {
+            match e.kind {
+                SpanKind::BatchClassify => batch_seen = true,
+                SpanKind::Ingest if e.trace_id != 0 => {
+                    ingest.insert(e.trace_id);
+                }
+                SpanKind::Verdict if chain == 0 && ingest.contains(&e.trace_id) => {
+                    chain = e.trace_id;
+                }
+                _ => {}
+            }
+        }
+        if batch_seen {
+            chain
+        } else {
+            0
+        }
+    };
+    if tracer.enabled() && chain_id == 0 {
+        die("trace.json covers no complete ingest->classify->verdict chain");
+    }
+    drop(telemetry);
 
     let secs = report.wall_ns as f64 / 1e9;
     println!();
@@ -309,5 +474,14 @@ fn main() {
         snapshot.classify_latency.p50,
         snapshot.classify_latency.p99,
     );
+    if tracer.enabled() {
+        println!(
+            "trace:      {} events ({} overflowed), chain verified for trace id {} -> {}",
+            snapshot.trace_events,
+            snapshot.trace_dropped,
+            chain_id,
+            trace_path.display(),
+        );
+    }
     println!("snapshot:   {}", path.display());
 }

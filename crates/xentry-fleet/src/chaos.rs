@@ -305,6 +305,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         incident_burst: 32,
         incident_per_sec: 50,
         golden_vectors: 128,
+        trace_depth: 8192,
     };
     let sink = Arc::new(CollectSink::default());
     let svc = FleetService::start(fleet_cfg, reference.clone(), Arc::clone(&sink) as _);

@@ -44,6 +44,14 @@
 //! * **Deploys are validated** ([`model`]): [`ModelSlot::publish_validated`]
 //!   gates candidates behind structural arena checks plus a fingerprinted
 //!   golden-vector canary, and retains the previous epoch for rollback.
+//! * **Observability is always-on** ([`trace`], [`telemetry`]): lock-free
+//!   per-shard flight-trace rings record span events (ingest, queue wait,
+//!   batch classify, verdict, hot swap, restart, degrade) keyed by a
+//!   per-record trace id that flows into verdicts and incident dumps;
+//!   rings export as Chrome trace-event JSON (`results/trace.json`), and
+//!   a std-`TcpListener` scrape endpoint serves Prometheus exposition
+//!   (`/metrics`), liveness (`/healthz`) and the trace (`/trace`). The
+//!   layer's own cost is measured, not guessed ([`overhead`]).
 //! * **The claims are chaos-tested** ([`chaos`]): failpoints inject
 //!   panicking detectors, bit-flipped candidate arenas, stalled shards,
 //!   and queue saturation into a live replay, and [`chaos::run_chaos`]
@@ -65,6 +73,7 @@
 pub mod chaos;
 pub mod metrics;
 pub mod model;
+pub mod overhead;
 pub mod queue;
 pub mod record;
 pub mod recorder;
@@ -72,14 +81,24 @@ pub mod replay;
 pub mod service;
 mod shard;
 mod supervisor;
+pub mod telemetry;
+pub mod trace;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, Failpoints};
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, ServiceSnapshot, ShardSnapshot};
+pub use metrics::{
+    EpochVerdicts, Histogram, HistogramSnapshot, Metrics, ServiceSnapshot, ShardSnapshot,
+};
 pub use model::{GoldenSet, ModelCache, ModelSlot, SwapError, VersionedModel};
+pub use overhead::{measure_overhead, OverheadConfig, OverheadLeg, OverheadReport};
 pub use queue::MpmcQueue;
 pub use record::{FleetVerdict, HostId, TelemetryRecord, VerdictSource};
 pub use recorder::{DumpBudget, FlightRecorder, IncidentDump, RecordedActivation};
 pub use replay::{replay, ReplayConfig, ReplayReport};
 pub use service::{CollectSink, FleetConfig, FleetService, NullSink, VerdictSink};
+pub use telemetry::{
+    escape_label_value, http_get, parse_exposition, render_prometheus, write_atomic,
+    TelemetryServer,
+};
+pub use trace::{SpanKind, TraceEvent, TraceRing, Tracer};
 
 pub use xentry::VmTransitionDetector;

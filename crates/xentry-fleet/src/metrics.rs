@@ -5,21 +5,29 @@
 //! introduce synchronization on the classify hot path. Snapshots are
 //! racy-consistent, which is the correct tradeoff for monitoring.
 
+use crate::model::lock_recovering;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const BUCKETS: usize = 64;
 
 /// Histogram over `u64` values with power-of-two bucket edges: bucket `i`
-/// holds values in `[2^(i-1), 2^i)` (bucket 0 holds 0 and 1).
+/// holds values in `[2^(i-1), 2^i)` (bucket 0 holds 0 and 1). The exact
+/// running sum is kept alongside the buckets so exports can report a true
+/// mean (and Prometheus exposition a correct `_sum`), not a bucket-edge
+/// approximation.
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
         }
     }
 }
@@ -33,6 +41,7 @@ impl Histogram {
 
     pub fn record(&self, value: u64) {
         self.buckets[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// Racy-consistent snapshot of the bucket counts.
@@ -42,7 +51,7 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        HistogramSnapshot::from_counts(counts)
+        HistogramSnapshot::from_counts(counts, self.sum.load(Ordering::Relaxed))
     }
 }
 
@@ -52,6 +61,8 @@ impl Histogram {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     pub count: u64,
+    /// Exact sum of all recorded values (not bucket-approximated).
+    pub sum: u64,
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
@@ -61,7 +72,7 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    fn from_counts(counts: Vec<u64>) -> HistogramSnapshot {
+    fn from_counts(counts: Vec<u64>, sum: u64) -> HistogramSnapshot {
         let total: u64 = counts.iter().sum();
         let edge = |i: usize| -> u64 {
             if i >= 63 {
@@ -87,6 +98,7 @@ impl HistogramSnapshot {
         let max_bucket_ns = counts.iter().rposition(|&c| c > 0).map(edge).unwrap_or(0);
         HistogramSnapshot {
             count: total,
+            sum,
             p50: percentile(0.50),
             p90: percentile(0.90),
             p99: percentile(0.99),
@@ -146,6 +158,11 @@ pub struct Metrics {
     pub queue_latency: Histogram,
     /// Time to classify one record (ns).
     pub classify_latency: Histogram,
+    /// Verdicts per model epoch (the version stamped on the verdict).
+    /// Updated once per classified batch, so the mutex is off the
+    /// per-record hot path; drives the `epoch` label of the scrape
+    /// endpoint's verdict series.
+    pub epoch_verdicts: Mutex<BTreeMap<u64, u64>>,
     pub shards: Vec<ShardMetrics>,
 }
 
@@ -165,8 +182,24 @@ impl Metrics {
             suppressed_incidents: AtomicU64::new(0),
             queue_latency: Histogram::default(),
             classify_latency: Histogram::default(),
+            epoch_verdicts: Mutex::new(BTreeMap::new()),
             shards: (0..nr_shards).map(|_| ShardMetrics::default()).collect(),
         }
+    }
+
+    /// Credit `n` verdicts to model `epoch` (called once per batch).
+    pub fn count_epoch_verdicts(&self, epoch: u64, n: u64) {
+        *lock_recovering(&self.epoch_verdicts)
+            .entry(epoch)
+            .or_insert(0) += n;
+    }
+
+    /// Per-epoch verdict counts, ascending by epoch.
+    pub fn epoch_verdicts_sorted(&self) -> Vec<EpochVerdicts> {
+        lock_recovering(&self.epoch_verdicts)
+            .iter()
+            .map(|(&epoch, &verdicts)| EpochVerdicts { epoch, verdicts })
+            .collect()
     }
 
     pub fn total_classified(&self) -> u64 {
@@ -194,6 +227,13 @@ pub struct ShardSnapshot {
     pub batches: u64,
     pub lost: u64,
     pub restarts: u64,
+}
+
+/// Verdict count attributed to one model epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochVerdicts {
+    pub epoch: u64,
+    pub verdicts: u64,
 }
 
 /// JSON-exportable view of the whole service, written to
@@ -228,8 +268,15 @@ pub struct ServiceSnapshot {
     pub degraded_verdicts: u64,
     /// classified / uptime, in records per second.
     pub throughput_per_sec: f64,
+    /// Flight-trace events recorded since start (including ones since
+    /// overwritten by ring overflow). 0 when tracing is disabled.
+    pub trace_events: u64,
+    /// Flight-trace events lost to ring overflow — exact.
+    pub trace_dropped: u64,
     pub queue_latency: HistogramSnapshot,
     pub classify_latency: HistogramSnapshot,
+    /// Verdicts per model epoch, ascending.
+    pub epoch_verdicts: Vec<EpochVerdicts>,
     pub shards: Vec<ShardSnapshot>,
 }
 
@@ -238,11 +285,13 @@ impl ServiceSnapshot {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
 
-    /// Write to `<dir>/service.json`, creating `dir` if needed.
+    /// Write to `<dir>/service.json`, creating `dir` if needed. The write
+    /// is atomic (temp file + rename), so a killed run never leaves a
+    /// torn snapshot for partial readers to misparse.
     pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("service.json");
-        std::fs::write(&path, self.to_json_pretty())?;
+        crate::telemetry::write_atomic(&path, &self.to_json_pretty())?;
         Ok(path)
     }
 }
@@ -273,6 +322,7 @@ mod tests {
         }
         let s = h.snapshot();
         assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 100 + 10 * 100_000, "sum is exact, not bucketed");
         assert_eq!(s.p50, 127);
         assert_eq!(s.p90, 127);
         assert_eq!(s.p99, 131_071);
@@ -284,6 +334,7 @@ mod tests {
     fn empty_histogram_snapshot_is_zero() {
         let s = Histogram::default().snapshot();
         assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
         assert_eq!(s.p50, 0);
         assert_eq!(s.p99, 0);
         assert_eq!(s.max_bucket_ns, 0);
@@ -315,8 +366,20 @@ mod tests {
             degraded_entries: 1,
             degraded_verdicts: 4,
             throughput_per_sec: 9.0,
+            trace_events: 20,
+            trace_dropped: 5,
             queue_latency: h.snapshot(),
             classify_latency: Histogram::default().snapshot(),
+            epoch_verdicts: vec![
+                EpochVerdicts {
+                    epoch: 1,
+                    verdicts: 5,
+                },
+                EpochVerdicts {
+                    epoch: 2,
+                    verdicts: 3,
+                },
+            ],
             shards: vec![ShardSnapshot {
                 shard: 0,
                 classified: 8,
@@ -329,7 +392,12 @@ mod tests {
         };
         let back: ServiceSnapshot = serde_json::from_str(&snap.to_json_pretty()).unwrap();
         assert_eq!(back.classified, 8);
+        assert_eq!(back.trace_events, 20);
+        assert_eq!(back.trace_dropped, 5);
+        assert_eq!(back.epoch_verdicts.len(), 2);
+        assert_eq!(back.epoch_verdicts[1].epoch, 2);
         assert_eq!(back.queue_latency.count, 2);
+        assert_eq!(back.queue_latency.sum, 5005);
         assert_eq!(back.shards[0].incorrect, 3);
         assert_eq!(back.lost, 1);
         assert_eq!(back.suppressed_incidents, 1);

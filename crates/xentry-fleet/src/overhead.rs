@@ -1,0 +1,305 @@
+//! Overhead self-accounting: measure what the observability layer costs
+//! instead of asserting it is cheap.
+//!
+//! The paper's Table II reports Xentry's detection overhead in cycles on
+//! the hypervisor hot path; DETOx (PAPERS.md) argues detector
+//! configurations must be *costed by measurement*. This module applies
+//! both to the fleet's own tracing layer: it replays the same synthetic
+//! workload through two otherwise-identical services — flight tracing
+//! disabled (`trace_depth = 0`, the rings never exist) and enabled — and
+//! reports the throughput delta, nanoseconds-per-classification from the
+//! exact histogram sums, and cycles-per-classification via a calibrated
+//! TSC on x86_64.
+//!
+//! Methodology: legs alternate untraced/traced (`N` pairs) and each arm
+//! keeps its best leg. Best-of-N against best-of-N compares the two
+//! configurations at their least-perturbed, which is the honest way to
+//! isolate a small constant cost from scheduler noise on a shared CI
+//! box; mean-of-N would mostly measure that noise. Queues are sized to
+//! accept every offered record, so both arms classify the identical
+//! count and the wall clock measures the drain (where tracing cost
+//! lands) rather than shedding behavior at saturation. The budget
+//! target is <3% throughput regression (`results/overhead.json`).
+
+use crate::replay::{self, ReplayConfig};
+use crate::service::{FleetConfig, FleetService, NullSink};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shape of one overhead measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadConfig {
+    /// Shards per service instance.
+    pub shards: usize,
+    /// Sender threads per leg.
+    pub hosts: usize,
+    /// Records each sender replays per leg.
+    pub records_per_host: usize,
+    /// Untraced/traced leg pairs; each arm reports its best leg.
+    pub pairs: usize,
+    /// Ring depth for the traced legs.
+    pub trace_depth: usize,
+    /// Seed for the synthetic trace and detector.
+    pub seed: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> OverheadConfig {
+        OverheadConfig {
+            shards: 4,
+            hosts: 4,
+            records_per_host: 100_000,
+            pairs: 3,
+            trace_depth: 8192,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured replay leg.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadLeg {
+    /// Whether flight tracing was enabled for this leg.
+    pub traced: bool,
+    pub classified: u64,
+    /// Wall time of replay + drained shutdown.
+    pub wall_ns: u64,
+    /// classified / wall, records per second.
+    pub throughput_per_sec: f64,
+    /// Mean classify cost from the exact histogram sum (not bucketed).
+    pub ns_per_classification: f64,
+    /// `ns_per_classification` in TSC cycles (0 when no TSC available).
+    pub cycles_per_classification: f64,
+    pub trace_events: u64,
+    pub trace_dropped: u64,
+}
+
+/// The Table-II-shaped result written to `results/overhead.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Every leg, in execution order (untraced/traced alternating).
+    pub legs: Vec<OverheadLeg>,
+    /// Best untraced throughput (records/second).
+    pub baseline_throughput: f64,
+    /// Best traced throughput (records/second).
+    pub traced_throughput: f64,
+    /// Throughput cost of tracing, percent (negative = within noise,
+    /// traced arm won).
+    pub overhead_pct: f64,
+    /// Mean classify cost, best traced leg, nanoseconds.
+    pub ns_per_classification: f64,
+    /// Mean classify cost, best traced leg, TSC cycles (0 off-x86).
+    pub cycles_per_classification: f64,
+    /// Calibrated TSC frequency (0 when unavailable).
+    pub tsc_hz: f64,
+    /// The <3% acceptance target.
+    pub budget_pct: f64,
+    /// `overhead_pct < budget_pct`.
+    pub within_budget: bool,
+}
+
+impl OverheadReport {
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("overhead report serializes")
+    }
+
+    /// Write to `<dir>/overhead.json` (atomic temp-file + rename).
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("overhead.json");
+        crate::telemetry::write_atomic(&path, &self.to_json_pretty())?;
+        Ok(path)
+    }
+
+    /// One-paragraph human summary (the `--trace-overhead` console line).
+    pub fn render(&self) -> String {
+        format!(
+            "trace overhead: baseline {:.0}/s, traced {:.0}/s => {:+.2}% \
+             (budget {:.1}%, {}); classify {:.0} ns/record ({:.0} cycles)",
+            self.baseline_throughput,
+            self.traced_throughput,
+            self.overhead_pct,
+            self.budget_pct,
+            if self.within_budget {
+                "within budget"
+            } else {
+                "OVER BUDGET"
+            },
+            self.ns_per_classification,
+            self.cycles_per_classification,
+        )
+    }
+}
+
+/// Read the CPU timestamp counter, if this architecture has one we know.
+#[cfg(target_arch = "x86_64")]
+fn rdtsc() -> u64 {
+    // Safe on every x86_64 this crate targets; the intrinsic has no
+    // preconditions beyond the architecture itself.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn rdtsc() -> u64 {
+    0
+}
+
+/// Calibrate TSC frequency against the monotonic clock (~20 ms spin).
+/// Returns 0 when the architecture has no TSC.
+pub fn calibrate_tsc_hz() -> f64 {
+    let c0 = rdtsc();
+    if c0 == 0 && rdtsc() == 0 {
+        return 0.0;
+    }
+    let t0 = Instant::now();
+    while t0.elapsed().as_millis() < 20 {
+        std::hint::spin_loop();
+    }
+    let cycles = rdtsc().saturating_sub(c0);
+    let ns = t0.elapsed().as_nanos() as f64;
+    cycles as f64 * 1e9 / ns
+}
+
+fn run_leg(cfg: &OverheadConfig, traced: bool, tsc_hz: f64) -> OverheadLeg {
+    // Size the queues to accept every record: with drops out of the
+    // picture both arms classify the identical count, so throughput
+    // compares like with like and the wall clock measures the drain —
+    // the path the tracing cost actually lands on — instead of a noisy
+    // ingest/shed storm at saturation.
+    let hosts_per_shard = cfg.hosts.div_ceil(cfg.shards.max(1));
+    let fleet_cfg = FleetConfig {
+        shards: cfg.shards,
+        queue_capacity: (cfg.records_per_host * hosts_per_shard).next_power_of_two(),
+        trace_depth: if traced { cfg.trace_depth } else { 0 },
+        ..FleetConfig::default()
+    };
+    let detector = replay::synthetic_detector(cfg.seed);
+    let trace = replay::synthetic_trace(8192, cfg.seed ^ 0x0ead);
+    let svc = FleetService::start(fleet_cfg, detector, Arc::new(NullSink));
+    let t0 = Instant::now();
+    replay::replay(
+        &svc,
+        &trace,
+        &ReplayConfig {
+            hosts: cfg.hosts,
+            records_per_host: cfg.records_per_host,
+            rate_per_host: 0.0,
+        },
+    );
+    let snap = svc.shutdown();
+    // Wall covers replay through drained shutdown so the traced arm also
+    // pays for its ring writes on the tail of the queue backlog.
+    let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    let ns_per = if snap.classify_latency.count > 0 {
+        snap.classify_latency.sum as f64 / snap.classify_latency.count as f64
+    } else {
+        0.0
+    };
+    OverheadLeg {
+        traced,
+        classified: snap.classified,
+        wall_ns,
+        throughput_per_sec: snap.classified as f64 * 1e9 / wall_ns as f64,
+        ns_per_classification: ns_per,
+        cycles_per_classification: ns_per * tsc_hz / 1e9,
+        trace_events: snap.trace_events,
+        trace_dropped: snap.trace_dropped,
+    }
+}
+
+/// Run the alternating-leg measurement and build the report.
+pub fn measure_overhead(cfg: &OverheadConfig) -> OverheadReport {
+    assert!(cfg.pairs >= 1, "need at least one untraced/traced pair");
+    let tsc_hz = calibrate_tsc_hz();
+    let mut legs = Vec::with_capacity(cfg.pairs * 2);
+    for _ in 0..cfg.pairs {
+        legs.push(run_leg(cfg, false, tsc_hz));
+        legs.push(run_leg(cfg, true, tsc_hz));
+    }
+    let best = |traced: bool| -> &OverheadLeg {
+        legs.iter()
+            .filter(|l| l.traced == traced)
+            .max_by(|a, b| {
+                a.throughput_per_sec
+                    .partial_cmp(&b.throughput_per_sec)
+                    .expect("throughput is finite")
+            })
+            .expect("both arms ran")
+    };
+    let baseline = best(false);
+    let traced = best(true);
+    let overhead_pct = (baseline.throughput_per_sec - traced.throughput_per_sec)
+        / baseline.throughput_per_sec
+        * 100.0;
+    let budget_pct = 3.0;
+    OverheadReport {
+        baseline_throughput: baseline.throughput_per_sec,
+        traced_throughput: traced.throughput_per_sec,
+        overhead_pct,
+        ns_per_classification: traced.ns_per_classification,
+        cycles_per_classification: traced.cycles_per_classification,
+        tsc_hz,
+        budget_pct,
+        within_budget: overhead_pct < budget_pct,
+        legs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_measurement_produces_consistent_report() {
+        let report = measure_overhead(&OverheadConfig {
+            shards: 2,
+            hosts: 2,
+            records_per_host: 2_000,
+            pairs: 1,
+            trace_depth: 1024,
+            seed: 7,
+        });
+        assert_eq!(report.legs.len(), 2);
+        assert!(!report.legs[0].traced && report.legs[1].traced);
+        assert_eq!(
+            report.legs[0].trace_events, 0,
+            "untraced leg records nothing"
+        );
+        assert!(report.legs[1].trace_events > 0, "traced leg records spans");
+        assert!(report.baseline_throughput > 0.0);
+        assert!(report.traced_throughput > 0.0);
+        assert!(report.overhead_pct.is_finite());
+        // cycles and ns agree through the calibrated frequency.
+        if report.tsc_hz > 0.0 {
+            let implied_ns = report.cycles_per_classification / report.tsc_hz * 1e9;
+            assert!((implied_ns - report.ns_per_classification).abs() < 1.0);
+        }
+        let text = report.render();
+        assert!(text.contains("trace overhead"), "{text}");
+    }
+
+    #[test]
+    fn report_round_trips_and_writes_atomically() {
+        let report = OverheadReport {
+            legs: vec![],
+            baseline_throughput: 1000.0,
+            traced_throughput: 990.0,
+            overhead_pct: 1.0,
+            ns_per_classification: 120.0,
+            cycles_per_classification: 360.0,
+            tsc_hz: 3e9,
+            budget_pct: 3.0,
+            within_budget: true,
+        };
+        let back: OverheadReport = serde_json::from_str(&report.to_json_pretty()).unwrap();
+        assert!(back.within_budget);
+        let dir = std::env::temp_dir().join(format!("xentry-overhead-{}", std::process::id()));
+        let path = report.write(&dir).unwrap();
+        assert!(path.ends_with("overhead.json"));
+        let reread: OverheadReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(reread.budget_pct, 3.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -24,18 +24,26 @@ pub struct TelemetryRecord {
     /// Nanoseconds since service start at enqueue time (stamped by the
     /// service on ingest; senders leave it 0).
     pub enqueued_ns: u64,
+    /// Flight-trace id (stamped by the service on ingest; senders leave
+    /// it 0, and it stays 0 when tracing is disabled). Flows unchanged
+    /// into the record's [`FleetVerdict`] and, for `Incorrect` verdicts,
+    /// its incident dump — the link from any verdict back to the causal
+    /// span chain in `results/trace.json`.
+    pub trace_id: u64,
     /// The five Table-I features of the activation.
     pub features: FeatureVec,
 }
 
 impl TelemetryRecord {
-    /// Build a record; `enqueued_ns` is stamped later by the service.
+    /// Build a record; `enqueued_ns` and `trace_id` are stamped later by
+    /// the service.
     pub fn new(host: HostId, vcpu: u32, seq: u64, features: FeatureVec) -> TelemetryRecord {
         TelemetryRecord {
             host,
             vcpu,
             seq,
             enqueued_ns: 0,
+            trace_id: 0,
             features,
         }
     }
@@ -75,6 +83,9 @@ pub struct FleetVerdict {
     pub model_fingerprint: u64,
     /// Detection path that produced the label.
     pub source: VerdictSource,
+    /// Flight-trace id carried from the record that produced this verdict
+    /// (0 when tracing is disabled).
+    pub trace_id: u64,
 }
 
 #[cfg(test)]
@@ -84,8 +95,9 @@ mod tests {
     #[test]
     fn records_are_small_and_copyable() {
         // The ingest hot path copies records by value into queue slots;
-        // keep them register-friendly.
-        assert!(std::mem::size_of::<TelemetryRecord>() <= 64);
+        // keep them register-friendly (identity + stamps + trace id in
+        // one line, features spilling into a second).
+        assert!(std::mem::size_of::<TelemetryRecord>() <= 72);
         let r = TelemetryRecord::new(
             3,
             1,
@@ -113,6 +125,7 @@ mod tests {
             model_version: 3,
             model_fingerprint: 0xdead,
             source: VerdictSource::Model,
+            trace_id: 41,
         };
         let s = serde_json::to_string(&v).unwrap();
         assert!(s.contains("\"model_version\":3"), "{s}");

@@ -9,6 +9,7 @@
 //! model version that raised the alarm.
 
 use crate::record::{HostId, TelemetryRecord};
+use crate::trace::TraceEvent;
 use mltree::Label;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +21,9 @@ pub struct RecordedActivation {
     pub features: xentry::FeatureVec,
     pub label: Label,
     pub model_version: u64,
+    /// Flight-trace id stamped on the record at ingest (0 when tracing
+    /// is disabled).
+    pub trace_id: u64,
 }
 
 /// Fixed-depth ring of recent activations for one host.
@@ -50,6 +54,7 @@ impl FlightRecorder {
             features: rec.features,
             label,
             model_version,
+            trace_id: rec.trace_id,
         };
         if self.ring.len() < self.depth {
             self.ring.push(entry);
@@ -79,13 +84,23 @@ impl FlightRecorder {
 
     /// Dump the ring on an incident. The trigger is the last pushed entry.
     pub fn dump(&self, host: HostId) -> IncidentDump {
+        self.dump_with_trace(host, Vec::new())
+    }
+
+    /// [`FlightRecorder::dump`] with the shard's trailing flight-trace
+    /// events attached, so the dump carries the causal event chain
+    /// (queue waits, batch spans, control events) around the trigger —
+    /// not just the per-host activation history.
+    pub fn dump_with_trace(&self, host: HostId, trace: Vec<TraceEvent>) -> IncidentDump {
         let recent = self.recent();
         let trigger = *recent.last().expect("dump after at least one push");
         IncidentDump {
             host,
+            trace_id: trigger.trace_id,
             trigger,
             recent,
             total_seen: self.total,
+            trace,
         }
     }
 }
@@ -154,6 +169,9 @@ impl DumpBudget {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IncidentDump {
     pub host: HostId,
+    /// Flight-trace id of the trigger record — the key for finding its
+    /// span chain in `results/trace.json` (0 when tracing is disabled).
+    pub trace_id: u64,
     /// The activation that tripped the detector.
     pub trigger: RecordedActivation,
     /// Last `N` activations on this host, oldest first (includes the
@@ -161,6 +179,10 @@ pub struct IncidentDump {
     pub recent: Vec<RecordedActivation>,
     /// Total activations this host had reported when the incident fired.
     pub total_seen: u64,
+    /// Trailing flight-trace events from the trigger's shard at dump
+    /// time, oldest first (empty when tracing is disabled or the dump
+    /// came from the traceless [`FlightRecorder::dump`]).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl IncidentDump {
@@ -174,6 +196,14 @@ impl IncidentDump {
             "incident: host {} vcpu {} seq {} (model v{})",
             self.host, self.trigger.vcpu, self.trigger.seq, self.trigger.model_version
         );
+        if self.trace_id != 0 {
+            let _ = writeln!(
+                out,
+                "  trace id {} ({} shard trace events attached)",
+                self.trace_id,
+                self.trace.len()
+            );
+        }
         let f = &self.trigger.features;
         let _ = writeln!(
             out,
@@ -307,5 +337,32 @@ mod tests {
         let back: IncidentDump = serde_json::from_str(&json).unwrap();
         assert_eq!(back.host, 9);
         assert_eq!(back.trigger.seq, 1);
+        assert_eq!(back.trace_id, 0, "traceless dump carries no id");
+        assert!(back.trace.is_empty());
+    }
+
+    #[test]
+    fn dump_with_trace_links_trigger_id_and_events() {
+        use crate::trace::{SpanKind, TraceEvent};
+        let mut fr = FlightRecorder::new(2);
+        let mut r = rec(3);
+        r.trace_id = 77;
+        fr.push(&r, Label::Incorrect, 1);
+        let events = vec![TraceEvent {
+            ts_ns: 10,
+            dur_ns: 5,
+            trace_id: 77,
+            kind: SpanKind::Verdict,
+            arg: 1,
+            lane: 0,
+        }];
+        let dump = fr.dump_with_trace(7, events);
+        assert_eq!(dump.trace_id, 77, "dump keys on the trigger's trace id");
+        assert_eq!(dump.trace.len(), 1);
+        let text = dump.render();
+        assert!(text.contains("trace id 77"), "{text}");
+        let back: IncidentDump =
+            serde_json::from_str(&serde_json::to_string(&dump).unwrap()).unwrap();
+        assert_eq!(back.trace[0].trace_id, 77);
     }
 }

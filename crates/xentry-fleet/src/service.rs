@@ -26,6 +26,9 @@ use crate::queue::MpmcQueue;
 use crate::record::{FleetVerdict, HostId, TelemetryRecord};
 use crate::recorder::IncidentDump;
 use crate::supervisor::Supervision;
+use crate::telemetry::TelemetryServer;
+use crate::trace::{SpanKind, Tracer};
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,6 +66,16 @@ pub struct FleetConfig {
     pub incident_per_sec: u64,
     /// Golden canary vectors captured at start for swap validation.
     pub golden_vectors: usize,
+    /// Flight-trace ring depth per lane (a worker lane and an ingest
+    /// lane per shard plus one control lane; rounded up to a power of
+    /// two). Shard queues are FIFO, so the newest-retained ingest spans
+    /// and the newest-retained verdict spans always overlap regardless
+    /// of depth; the default keeps each lane's ring small enough to
+    /// stay cache-resident on its writer (the dominant term of the
+    /// always-on tracing cost) while retaining thousands of records of
+    /// context per shard for incident dumps.
+    /// 0 disables tracing entirely (no rings, ids stay 0).
+    pub trace_depth: usize,
 }
 
 impl Default for FleetConfig {
@@ -80,6 +93,7 @@ impl Default for FleetConfig {
             incident_burst: 32,
             incident_per_sec: 10,
             golden_vectors: 128,
+            trace_depth: 8192,
         }
     }
 }
@@ -132,6 +146,9 @@ pub(crate) struct Shared {
     pub(crate) failpoints: Failpoints,
     pub(crate) stop: AtomicBool,
     pub(crate) sink: Arc<dyn VerdictSink>,
+    /// Flight tracer: one ring per shard plus a control lane. Always
+    /// present; inert (zero rings, zero cost) when `trace_depth` is 0.
+    pub(crate) tracer: Arc<Tracer>,
     start: Instant,
 }
 
@@ -147,6 +164,65 @@ impl Shared {
         let model = self.model.load();
         let mut golden = lock_recovering(&self.golden);
         *golden = golden.recapture(&model.detector);
+    }
+
+    /// True while the service is serving envelope-fallback verdicts.
+    pub(crate) fn degraded(&self) -> bool {
+        self.supervision.degraded.load(Ordering::Acquire)
+    }
+
+    /// Racy-consistent metrics snapshot. Lives on `Shared` (not the
+    /// service handle) so the telemetry scrape endpoint can build one
+    /// from its own `Arc<Shared>` without holding the handle.
+    pub(crate) fn snapshot(&self) -> ServiceSnapshot {
+        let m = &self.metrics;
+        let model = self.model.load();
+        let uptime_ns = self.now_ns().max(1);
+        let classified = m.total_classified();
+        ServiceSnapshot {
+            uptime_ns,
+            model_version: model.version,
+            model_fingerprint: model.fingerprint,
+            ingested: m.ingested.load(Ordering::Relaxed),
+            classified,
+            dropped: m.dropped.load(Ordering::Relaxed),
+            lost: m.total_lost(),
+            incorrect: m
+                .shards
+                .iter()
+                .map(|s| s.incorrect.load(Ordering::Relaxed))
+                .sum(),
+            incidents: m.incidents.load(Ordering::Relaxed),
+            suppressed_incidents: m.suppressed_incidents.load(Ordering::Relaxed),
+            swaps: m.swaps.load(Ordering::Relaxed),
+            swap_rejections: m.swap_rejections.load(Ordering::Relaxed),
+            rollbacks: m.rollbacks.load(Ordering::Relaxed),
+            restarts: m.restarts.load(Ordering::Relaxed),
+            stalls: m.stalls.load(Ordering::Relaxed),
+            degraded: self.degraded(),
+            degraded_entries: m.degraded_entries.load(Ordering::Relaxed),
+            degraded_verdicts: m.degraded_verdicts.load(Ordering::Relaxed),
+            throughput_per_sec: classified as f64 * 1e9 / uptime_ns as f64,
+            trace_events: self.tracer.total_events(),
+            trace_dropped: self.tracer.total_dropped(),
+            queue_latency: m.queue_latency.snapshot(),
+            classify_latency: m.classify_latency.snapshot(),
+            epoch_verdicts: m.epoch_verdicts_sorted(),
+            shards: m
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardSnapshot {
+                    shard: i,
+                    classified: s.classified.load(Ordering::Relaxed),
+                    incorrect: s.incorrect.load(Ordering::Relaxed),
+                    dropped: s.dropped.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    lost: s.lost.load(Ordering::Relaxed),
+                    restarts: s.restarts.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -207,6 +283,7 @@ impl FleetService {
             failpoints: Failpoints::new(cfg.shards),
             stop: AtomicBool::new(false),
             sink,
+            tracer: Arc::new(Tracer::new(cfg.shards, cfg.trace_depth)),
             start: Instant::now(),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..cfg.shards)
@@ -238,16 +315,40 @@ impl FleetService {
     pub fn ingest_record(&self, mut rec: TelemetryRecord) -> bool {
         let shard = rec.host as usize % self.shared.cfg.shards;
         rec.enqueued_ns = self.shared.now_ns();
+        rec.trace_id = self.shared.tracer.next_id(shard);
         match self.shared.queues[shard].push(rec) {
             Ok(()) => {
                 self.shared.metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                self.shared.tracer.record(
+                    self.shared.tracer.ingest_lane(shard),
+                    SpanKind::Ingest,
+                    rec.enqueued_ns,
+                    0,
+                    rec.trace_id,
+                    rec.host as u64,
+                );
                 true
             }
             Err(_) => {
-                self.shared.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                let nth = self.shared.metrics.dropped.fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.shards[shard]
                     .dropped
                     .fetch_add(1, Ordering::Relaxed);
+                // Drop spans are sampled 1-in-64: a saturated queue sheds
+                // records far faster than it classifies them, and one span
+                // per rejection would evict the accepted records' ingest
+                // spans from the ring. Exact drop counts live in the
+                // metrics; the ring only needs evidence of the shedding.
+                if nth.is_multiple_of(64) {
+                    self.shared.tracer.record(
+                        self.shared.tracer.ingest_lane(shard),
+                        SpanKind::Drop,
+                        rec.enqueued_ns,
+                        0,
+                        rec.trace_id,
+                        rec.host as u64,
+                    );
+                }
                 false
             }
         }
@@ -264,6 +365,9 @@ impl FleetService {
         let v = self.shared.model.publish(detector);
         self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
         self.shared.refresh_golden_from_current();
+        self.shared
+            .tracer
+            .record_control(SpanKind::HotSwap, self.shared.now_ns(), v);
         v
     }
 
@@ -287,6 +391,9 @@ impl FleetService {
                 let model = self.shared.model.load();
                 *golden = golden.recapture(&model.detector);
                 self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .tracer
+                    .record_control(SpanKind::HotSwap, self.shared.now_ns(), v);
                 Ok(v)
             }
             Err(e) => {
@@ -294,6 +401,11 @@ impl FleetService {
                     .metrics
                     .swap_rejections
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.tracer.record_control(
+                    SpanKind::SwapRejected,
+                    self.shared.now_ns(),
+                    self.shared.model.epoch(),
+                );
                 Err(e)
             }
         }
@@ -310,6 +422,9 @@ impl FleetService {
             .rollbacks
             .fetch_add(1, Ordering::Relaxed);
         self.shared.refresh_golden_from_current();
+        self.shared
+            .tracer
+            .record_control(SpanKind::Rollback, self.shared.now_ns(), v);
         Some(v)
     }
 
@@ -339,10 +454,16 @@ impl FleetService {
         for s in &self.shared.supervision.shards {
             s.consecutive_panics.store(0, Ordering::Relaxed);
         }
-        self.shared
+        let was_degraded = self
+            .shared
             .supervision
             .degraded
-            .store(false, Ordering::Release);
+            .swap(false, Ordering::Release);
+        if was_degraded {
+            self.shared
+                .tracer
+                .record_control(SpanKind::Recover, self.shared.now_ns(), 0);
+        }
     }
 
     /// Chaos-testing failpoints (inert until armed).
@@ -350,53 +471,27 @@ impl FleetService {
         &self.shared.failpoints
     }
 
+    /// The flight tracer (trace-id source + Chrome export). Returned as
+    /// an `Arc` so callers can export after [`FleetService::shutdown`]
+    /// consumes the handle — post-join the rings are quiescent and the
+    /// export is exact.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
+    /// Start the telemetry scrape endpoint (`/metrics`, `/healthz`,
+    /// `/trace`) on `addr`; port 0 picks a free port. The server lives
+    /// until its handle is dropped or [`TelemetryServer::shutdown`] —
+    /// it holds its own `Arc` to the shared state, so it may outlive
+    /// this service handle (scraping a shut-down service just serves
+    /// the final counters).
+    pub fn serve_telemetry(&self, addr: impl ToSocketAddrs) -> std::io::Result<TelemetryServer> {
+        TelemetryServer::start(Arc::clone(&self.shared), addr)
+    }
+
     /// Racy-consistent metrics snapshot.
     pub fn snapshot(&self) -> ServiceSnapshot {
-        let m = &self.shared.metrics;
-        let model = self.shared.model.load();
-        let uptime_ns = self.shared.now_ns().max(1);
-        let classified = m.total_classified();
-        ServiceSnapshot {
-            uptime_ns,
-            model_version: model.version,
-            model_fingerprint: model.fingerprint,
-            ingested: m.ingested.load(Ordering::Relaxed),
-            classified,
-            dropped: m.dropped.load(Ordering::Relaxed),
-            lost: m.total_lost(),
-            incorrect: m
-                .shards
-                .iter()
-                .map(|s| s.incorrect.load(Ordering::Relaxed))
-                .sum(),
-            incidents: m.incidents.load(Ordering::Relaxed),
-            suppressed_incidents: m.suppressed_incidents.load(Ordering::Relaxed),
-            swaps: m.swaps.load(Ordering::Relaxed),
-            swap_rejections: m.swap_rejections.load(Ordering::Relaxed),
-            rollbacks: m.rollbacks.load(Ordering::Relaxed),
-            restarts: m.restarts.load(Ordering::Relaxed),
-            stalls: m.stalls.load(Ordering::Relaxed),
-            degraded: self.degraded(),
-            degraded_entries: m.degraded_entries.load(Ordering::Relaxed),
-            degraded_verdicts: m.degraded_verdicts.load(Ordering::Relaxed),
-            throughput_per_sec: classified as f64 * 1e9 / uptime_ns as f64,
-            queue_latency: m.queue_latency.snapshot(),
-            classify_latency: m.classify_latency.snapshot(),
-            shards: m
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(i, s)| ShardSnapshot {
-                    shard: i,
-                    classified: s.classified.load(Ordering::Relaxed),
-                    incorrect: s.incorrect.load(Ordering::Relaxed),
-                    dropped: s.dropped.load(Ordering::Relaxed),
-                    batches: s.batches.load(Ordering::Relaxed),
-                    lost: s.lost.load(Ordering::Relaxed),
-                    restarts: s.restarts.load(Ordering::Relaxed),
-                })
-                .collect(),
-        }
+        self.shared.snapshot()
     }
 
     /// Stop ingesting, drain every queue, join the workers, and return
@@ -735,6 +830,7 @@ mod tests {
             model_version: 1,
             model_fingerprint: 0,
             source: VerdictSource::Model,
+            trace_id: 0,
         });
         assert_eq!(lock_recovering(&sink.verdicts).len(), 1);
     }

@@ -20,6 +20,7 @@ use crate::record::{FleetVerdict, HostId, TelemetryRecord, VerdictSource};
 use crate::recorder::{DumpBudget, FlightRecorder};
 use crate::service::Shared;
 use crate::supervisor::WorkerExit;
+use crate::trace::SpanKind;
 use mltree::Label;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,12 +105,15 @@ pub(crate) fn run_worker(
         labels.clear();
         labels.resize(batch.len(), Label::Correct);
         let degraded = shared.supervision.degraded.load(Ordering::Relaxed);
-        let t0 = Instant::now();
-        let source = if degraded {
+        let (source, batch_ns) = if degraded {
+            let t0 = Instant::now();
             for (f, l) in features.iter().zip(labels.iter_mut()) {
                 *l = envelope.classify(f);
             }
-            VerdictSource::DegradedEnvelope
+            (
+                VerdictSource::DegradedEnvelope,
+                t0.elapsed().as_nanos() as u64,
+            )
         } else {
             // The panic failpoint models a fault on the model/classify
             // path, so it sits inside the non-degraded branch — degraded
@@ -117,11 +121,26 @@ pub(crate) fn run_worker(
             shared.failpoints.maybe_panic(shard);
             // One compiled-arena batch call classifies the whole drain;
             // the per-record latency histogram is preserved by amortizing
-            // the batch walk over its records.
-            model.detector.classify_batch(&features, &mut labels);
-            VerdictSource::Model
+            // the batch walk over its records. The detector's own timed
+            // span hook measures the arena walk and nothing else.
+            let span = model.detector.classify_batch_timed(&features, &mut labels);
+            (VerdictSource::Model, span.elapsed_ns)
         };
-        let per_record_ns = t0.elapsed().as_nanos() as u64 / batch.len() as u64;
+        let per_record_ns = batch_ns / batch.len() as u64;
+        // One batch-level span covering the classify call itself, plus
+        // per-epoch verdict attribution — both once per batch, off the
+        // per-record path.
+        shared.tracer.record(
+            shard,
+            SpanKind::BatchClassify,
+            dequeued_ns,
+            batch_ns,
+            0,
+            batch.len() as u64,
+        );
+        shared
+            .metrics
+            .count_epoch_verdicts(model.version, batch.len() as u64);
         if degraded {
             shared
                 .metrics
@@ -130,11 +149,30 @@ pub(crate) fn run_worker(
         }
         let mut remaining = batch.len() as u64;
         for (rec, &label) in batch.iter().zip(labels.iter()) {
-            shared
-                .metrics
-                .queue_latency
-                .record(dequeued_ns.saturating_sub(rec.enqueued_ns));
+            let queue_wait_ns = dequeued_ns.saturating_sub(rec.enqueued_ns);
+            shared.metrics.queue_latency.record(queue_wait_ns);
             shared.metrics.classify_latency.record(per_record_ns);
+            // Two spans per record close the ingest→classify→verdict
+            // chain for this trace id: the wait in the shard queue and
+            // the verdict itself (arg bit 0 = Incorrect, bit 1 =
+            // degraded-envelope source).
+            shared.tracer.record(
+                shard,
+                SpanKind::QueueWait,
+                rec.enqueued_ns,
+                queue_wait_ns,
+                rec.trace_id,
+                rec.host as u64,
+            );
+            shared.tracer.record(
+                shard,
+                SpanKind::Verdict,
+                dequeued_ns,
+                per_record_ns,
+                rec.trace_id,
+                (label == Label::Incorrect) as u64
+                    | (((source == VerdictSource::DegradedEnvelope) as u64) << 1),
+            );
             let (recorder, budget) = recorders.entry(rec.host).or_insert_with(|| {
                 (
                     FlightRecorder::new(shared.cfg.recorder_depth),
@@ -150,13 +188,18 @@ pub(crate) fn run_worker(
                 model_version: model.version,
                 model_fingerprint: model.fingerprint,
                 source,
+                trace_id: rec.trace_id,
             };
             shared.sink.on_verdict(&verdict);
             if label == Label::Incorrect {
                 shard_metrics.incorrect.fetch_add(1, Ordering::Relaxed);
                 if budget.try_take(shared.now_ns()) {
                     shared.metrics.incidents.fetch_add(1, Ordering::Relaxed);
-                    shared.sink.on_incident(&recorder.dump(rec.host));
+                    // The dump carries this shard's trailing trace events
+                    // so an incident is debuggable from the dump alone.
+                    shared.sink.on_incident(
+                        &recorder.dump_with_trace(rec.host, shared.tracer.tail(shard, 32)),
+                    );
                 } else {
                     shared
                         .metrics

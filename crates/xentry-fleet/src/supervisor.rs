@@ -33,6 +33,7 @@
 //! replacement, so nothing is lost and nothing classifies twice.
 
 use crate::service::Shared;
+use crate::trace::SpanKind;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -123,6 +124,9 @@ fn on_worker_panic(shared: &Arc<Shared>, shard: usize, inflight: &AtomicU64) -> 
     }
     m.restarts.fetch_add(1, Ordering::Relaxed);
     m.shards[shard].restarts.fetch_add(1, Ordering::Relaxed);
+    shared
+        .tracer
+        .record_control(SpanKind::Restart, shared.now_ns(), shard as u64);
     let sup = &shared.supervision;
     let consecutive = sup.shards[shard]
         .consecutive_panics
@@ -141,6 +145,9 @@ fn on_worker_panic(shared: &Arc<Shared>, shard: usize, inflight: &AtomicU64) -> 
                 sup.rolled_back_epoch.fetch_max(v, Ordering::AcqRel);
                 m.rollbacks.fetch_add(1, Ordering::Relaxed);
                 shared.refresh_golden_from_current();
+                shared
+                    .tracer
+                    .record_control(SpanKind::Rollback, shared.now_ns(), v);
             }
         }
     }
@@ -154,6 +161,9 @@ fn on_worker_panic(shared: &Arc<Shared>, shard: usize, inflight: &AtomicU64) -> 
         && !sup.degraded.swap(true, Ordering::AcqRel)
     {
         m.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        shared
+            .tracer
+            .record_control(SpanKind::Degrade, shared.now_ns(), consecutive as u64);
     }
     consecutive
 }
@@ -213,6 +223,9 @@ pub(crate) fn run_watchdog(shared: Arc<Shared>) {
             shared.metrics.shards[shard]
                 .restarts
                 .fetch_add(1, Ordering::Relaxed);
+            shared
+                .tracer
+                .record_control(SpanKind::Stall, now, shard as u64);
             let shared2 = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("fleet-shard-{shard}-r"))

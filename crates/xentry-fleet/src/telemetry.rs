@@ -1,0 +1,653 @@
+//! Scrapeable telemetry: Prometheus text exposition, a health probe, and
+//! the Chrome-trace export, served over a plain `std::net::TcpListener`.
+//!
+//! The fleet's metrics were previously observable only as an end-of-run
+//! JSON snapshot; none of the paper's live questions (detection latency
+//! per VM exit, classifier overhead on the hot path, verdict provenance)
+//! were answerable on a running service. This module exposes them the
+//! way production fleets are actually watched:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4) derived
+//!   from the same [`Metrics`] the JSON snapshot uses, with per-shard,
+//!   per-epoch and per-verdict-source labels and real `_bucket`/`_sum`/
+//!   `_count` histograms;
+//! * `GET /healthz` — liveness + degraded-mode flag as a one-line JSON
+//!   object;
+//! * `GET /trace` — the flight tracer's rings as Chrome trace-event JSON
+//!   (same payload `fleet-replay` writes to `results/trace.json`).
+//!
+//! No HTTP library, no async runtime: one accept loop on a nonblocking
+//! listener, one short-lived thread per server (not per connection — a
+//! scrape endpoint serves one scraper, not the internet). Everything a
+//! handler reads is a racy-consistent snapshot, so a scrape never touches
+//! the classify hot path.
+//!
+//! [`Metrics`]: crate::metrics::Metrics
+
+use crate::metrics::ServiceSnapshot;
+use crate::service::Shared;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Atomic result writes
+// ---------------------------------------------------------------------------
+
+/// Write `contents` to `path` atomically: the bytes go to a temp file in
+/// the same directory, which is then renamed over the target. A reader
+/// (or a kill signal) can never observe a half-written `results/*.json`;
+/// it sees the old file or the new one, nothing in between.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
+    let tmp: PathBuf = {
+        let mut name = std::ffi::OsString::from(".");
+        name.push(file_name);
+        name.push(format!(".tmp.{}", std::process::id()));
+        match dir {
+            Some(d) => d.join(name),
+            None => PathBuf::from(name),
+        }
+    };
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote and newline must be escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` the way Prometheus clients expect: `+Inf`-style
+/// specials never occur here, so plain shortest-repr formatting is fine,
+/// but integral values drop the fractional point for stability.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    fn new() -> Exposition {
+        Exposition {
+            out: String::with_capacity(4096),
+        }
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out
+                    .push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    fn scalar(&mut self, name: &str, kind: &str, help: &str, value: f64) {
+        self.header(name, kind, help);
+        self.sample(name, &[], value);
+    }
+
+    fn histogram(&mut self, name: &str, help: &str, h: &crate::metrics::HistogramSnapshot) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for &(edge, count) in &h.buckets {
+            cumulative += count;
+            // The top log2 bucket's edge is u64::MAX; fold it into +Inf
+            // rather than printing an 20-digit le no scraper can bucket.
+            if edge == u64::MAX {
+                continue;
+            }
+            self.sample(
+                &format!("{name}_bucket"),
+                &[("le", format!("{edge}"))],
+                cumulative as f64,
+            );
+        }
+        self.sample(
+            &format!("{name}_bucket"),
+            &[("le", "+Inf".to_string())],
+            h.count as f64,
+        );
+        self.sample(&format!("{name}_sum"), &[], h.sum as f64);
+        self.sample(&format!("{name}_count"), &[], h.count as f64);
+    }
+}
+
+/// Render a [`ServiceSnapshot`] as Prometheus text exposition (0.0.4).
+/// Pure and deterministic — series order is fixed — so the format is
+/// golden-testable.
+pub fn render_prometheus(s: &ServiceSnapshot) -> String {
+    let mut e = Exposition::new();
+    let p = |n: &str| format!("xentry_fleet_{n}");
+
+    e.scalar(
+        &p("uptime_seconds"),
+        "gauge",
+        "Seconds since the service started.",
+        s.uptime_ns as f64 / 1e9,
+    );
+    e.header(
+        &p("model_info"),
+        "gauge",
+        "Deployed model identity (constant 1; identity in labels).",
+    );
+    e.sample(
+        &p("model_info"),
+        &[
+            ("version", format!("{}", s.model_version)),
+            ("fingerprint", format!("{:016x}", s.model_fingerprint)),
+        ],
+        1.0,
+    );
+    e.scalar(
+        &p("degraded"),
+        "gauge",
+        "1 while serving envelope-fallback verdicts, else 0.",
+        if s.degraded { 1.0 } else { 0.0 },
+    );
+    e.scalar(
+        &p("throughput_per_sec"),
+        "gauge",
+        "Classified records per second since start.",
+        s.throughput_per_sec,
+    );
+
+    for (name, help, v) in [
+        (
+            "ingested_total",
+            "Records accepted into a shard queue.",
+            s.ingested,
+        ),
+        (
+            "dropped_total",
+            "Records rejected because the shard queue was full.",
+            s.dropped,
+        ),
+        (
+            "classified_total",
+            "Records classified (all shards).",
+            s.classified,
+        ),
+        (
+            "lost_total",
+            "Records claimed by a worker that panicked before classifying them.",
+            s.lost,
+        ),
+        (
+            "incorrect_total",
+            "Verdicts labelled Incorrect.",
+            s.incorrect,
+        ),
+        ("incidents_total", "Incident dumps emitted.", s.incidents),
+        (
+            "suppressed_incidents_total",
+            "Incident dumps suppressed by the per-host rate limiter.",
+            s.suppressed_incidents,
+        ),
+        ("swaps_total", "Model hot swaps performed.", s.swaps),
+        (
+            "swap_rejections_total",
+            "Hot-swap candidates rejected by validation.",
+            s.swap_rejections,
+        ),
+        (
+            "rollbacks_total",
+            "Model rollbacks to the previous epoch.",
+            s.rollbacks,
+        ),
+        (
+            "restarts_total",
+            "Worker restarts (panic recoveries + stall replacements).",
+            s.restarts,
+        ),
+        (
+            "stalls_total",
+            "Stalled shards detected by the heartbeat watchdog.",
+            s.stalls,
+        ),
+        (
+            "degraded_entries_total",
+            "Times the service entered degraded mode.",
+            s.degraded_entries,
+        ),
+        (
+            "trace_events_total",
+            "Flight-trace events recorded since start.",
+            s.trace_events,
+        ),
+        (
+            "trace_dropped_total",
+            "Flight-trace events lost to ring overflow.",
+            s.trace_dropped,
+        ),
+    ] {
+        e.scalar(&p(name), "counter", help, v as f64);
+    }
+
+    e.header(
+        &p("verdicts_total"),
+        "counter",
+        "Verdicts by detection path.",
+    );
+    e.sample(
+        &p("verdicts_total"),
+        &[("source", "model".to_string())],
+        s.classified.saturating_sub(s.degraded_verdicts) as f64,
+    );
+    e.sample(
+        &p("verdicts_total"),
+        &[("source", "degraded_envelope".to_string())],
+        s.degraded_verdicts as f64,
+    );
+
+    e.header(
+        &p("epoch_verdicts_total"),
+        "counter",
+        "Verdicts produced under each model epoch.",
+    );
+    for ev in &s.epoch_verdicts {
+        e.sample(
+            &p("epoch_verdicts_total"),
+            &[("epoch", format!("{}", ev.epoch))],
+            ev.verdicts as f64,
+        );
+    }
+
+    for (name, help, get) in [
+        (
+            "shard_classified_total",
+            "Records classified by one shard.",
+            (|sh| sh.classified) as fn(&crate::metrics::ShardSnapshot) -> u64,
+        ),
+        (
+            "shard_incorrect_total",
+            "Incorrect verdicts on one shard.",
+            |sh| sh.incorrect,
+        ),
+        (
+            "shard_dropped_total",
+            "Full-queue drops on one shard.",
+            |sh| sh.dropped,
+        ),
+        (
+            "shard_batches_total",
+            "Batches classified by one shard.",
+            |sh| sh.batches,
+        ),
+        (
+            "shard_lost_total",
+            "Records lost to worker panics on one shard.",
+            |sh| sh.lost,
+        ),
+        (
+            "shard_restarts_total",
+            "Worker restarts on one shard.",
+            |sh| sh.restarts,
+        ),
+    ] {
+        e.header(&p(name), "counter", help);
+        for sh in &s.shards {
+            e.sample(
+                &p(name),
+                &[("shard", format!("{}", sh.shard))],
+                get(sh) as f64,
+            );
+        }
+    }
+
+    e.histogram(
+        &p("queue_latency_ns"),
+        "Time a record waited in its shard queue, nanoseconds.",
+        &s.queue_latency,
+    );
+    e.histogram(
+        &p("classify_latency_ns"),
+        "Time to classify one record, nanoseconds.",
+        &s.classify_latency,
+    );
+    e.out
+}
+
+/// One parsed exposition sample: metric name, labels, value.
+pub type Sample = (String, Vec<(String, String)>, f64);
+
+/// Minimal parser for the Prometheus text format — the shapes
+/// [`render_prometheus`] emits, which is also what the CI self-scrape and
+/// the golden tests validate against. Returns every sample or a
+/// line-numbered error.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", ln + 1);
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`"))?;
+        let value: f64 = value.parse().map_err(|_| err("unparseable sample value"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let mut labels = Vec::new();
+                let mut remaining = body;
+                while !remaining.is_empty() {
+                    let (k, rest) = remaining
+                        .split_once("=\"")
+                        .ok_or_else(|| err("label without `=\"`"))?;
+                    // Find the closing quote, honouring backslash escapes.
+                    let mut end = None;
+                    let mut escaped = false;
+                    for (i, c) in rest.char_indices() {
+                        match (escaped, c) {
+                            (true, _) => escaped = false,
+                            (false, '\\') => escaped = true,
+                            (false, '"') => {
+                                end = Some(i);
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let end = end.ok_or_else(|| err("unterminated label value"))?;
+                    let raw = &rest[..end];
+                    let unescaped = raw
+                        .replace("\\n", "\n")
+                        .replace("\\\"", "\"")
+                        .replace("\\\\", "\\");
+                    labels.push((k.to_string(), unescaped));
+                    remaining = rest[end + 1..].trim_start_matches(',');
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("invalid metric name"));
+        }
+        out.push((name, labels, value));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The scrape server
+// ---------------------------------------------------------------------------
+
+/// `/healthz` payload: enough for a probe to decide liveness and whether
+/// the fleet is serving full-strength verdicts.
+fn healthz_json(s: &ServiceSnapshot) -> String {
+    format!(
+        "{{\"status\":\"{}\",\"uptime_ns\":{},\"model_version\":{},\"classified\":{},\"degraded\":{}}}",
+        if s.degraded { "degraded" } else { "ok" },
+        s.uptime_ns,
+        s.model_version,
+        s.classified,
+        s.degraded,
+    )
+}
+
+/// Handle to the scrape endpoint serving `/metrics`, `/healthz` and
+/// `/trace` for one [`FleetService`]. Dropping (or [`shutdown`]) stops
+/// the accept loop and joins the server thread.
+///
+/// [`FleetService`]: crate::service::FleetService
+/// [`shutdown`]: TelemetryServer::shutdown
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// serve the shared state's telemetry until shutdown.
+    pub(crate) fn start(
+        shared: Arc<Shared>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fleet-telemetry".into())
+            .spawn(move || accept_loop(listener, shared, stop2))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection, served inline: a scrape
+                // endpoint's concurrency is one Prometheus server.
+                let _ = serve_connection(stream, &shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // The request line is all we route on; one read is enough for any
+    // real scraper's header block.
+    let mut buf = [0u8; 2048];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(path)) => Some(path.to_string()),
+                _ => None,
+            }
+        })
+        .unwrap_or_default();
+    let (status, content_type, body) = match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&shared.snapshot()),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            healthz_json(&shared.snapshot()),
+        ),
+        "/trace" => ("200 OK", "application/json", shared.tracer.export_chrome()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /healthz or /trace\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// A scrape client (tests, CI self-scrape)
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP/1.1 GET against a [`TelemetryServer`] (or anything
+/// speaking close-delimited HTTP). Returns `(status_code, body)`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed HTTP status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_escape_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            escape_label_value("q\"\\\n"),
+            "q\\\"\\\\\\n",
+            "all three specials in one value"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_escaped_labels() {
+        let text = "m{k=\"a\\\"b\\\\c\\nd\",s=\"0\"} 42\n";
+        let samples = parse_exposition(text).unwrap();
+        assert_eq!(samples.len(), 1);
+        let (name, labels, value) = &samples[0];
+        assert_eq!(name, "m");
+        assert_eq!(labels[0], ("k".to_string(), "a\"b\\c\nd".to_string()));
+        assert_eq!(labels[1], ("s".to_string(), "0".to_string()));
+        assert_eq!(*value, 42.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("m{unterminated=\"x 1\n").is_err());
+        assert!(parse_exposition("bad-name 1\n").is_err());
+        assert!(parse_exposition("# comments pass\n\nok 1\n").is_ok());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("xentry-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fmt_value_keeps_integers_exact() {
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(1.5), "1.5");
+    }
+}

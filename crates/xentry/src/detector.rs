@@ -10,6 +10,27 @@ use serde::{Deserialize, Serialize, Value};
 /// [`classify_batch`]: VmTransitionDetector::classify_batch
 const BATCH_CHUNK: usize = 64;
 
+/// Measurement of one [`classify_batch_timed`] call: the span a flight
+/// tracer records for the batch.
+///
+/// [`classify_batch_timed`]: VmTransitionDetector::classify_batch_timed
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSpan {
+    /// Records classified in the batch.
+    pub records: usize,
+    /// Wall time of the compiled-arena walk, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl BatchSpan {
+    /// Amortized per-record cost (0 for an empty batch).
+    pub fn per_record_ns(&self) -> u64 {
+        self.elapsed_ns
+            .checked_div(self.records as u64)
+            .unwrap_or(0)
+    }
+}
+
 /// A deployable VM-transition classifier.
 ///
 /// Construction compiles the boxed tree into a flat arena
@@ -97,6 +118,24 @@ impl VmTransitionDetector {
                 *c = f.columns();
             }
             self.compiled.classify_batch(&cols[..fch.len()], och);
+        }
+    }
+
+    /// [`classify_batch`] wrapped in a measured span: classifies the
+    /// batch and returns what a flight tracer needs to record it — the
+    /// record count and the wall time of the compiled-arena walk itself,
+    /// excluding any caller-side staging. This is the detector-level
+    /// span hook the fleet's observability layer consumes; keeping the
+    /// timing here means the traced cost is the classify call and
+    /// nothing else.
+    ///
+    /// [`classify_batch`]: VmTransitionDetector::classify_batch
+    pub fn classify_batch_timed(&self, fs: &[FeatureVec], out: &mut [Label]) -> BatchSpan {
+        let t0 = std::time::Instant::now();
+        self.classify_batch(fs, out);
+        BatchSpan {
+            records: fs.len(),
+            elapsed_ns: t0.elapsed().as_nanos() as u64,
         }
     }
 
@@ -270,6 +309,32 @@ mod tests {
         for (f, o) in fs.iter().zip(out) {
             assert_eq!(o, det.classify(f));
         }
+    }
+
+    #[test]
+    fn timed_batch_matches_untimed_and_measures() {
+        let det = toy_detector();
+        let fs: Vec<FeatureVec> = (0..100u64)
+            .map(|i| FeatureVec {
+                vmer: 17,
+                rt: 30 + i * 3,
+                br: i % 20,
+                rm: i % 5,
+                wm: i % 3,
+            })
+            .collect();
+        let mut plain = vec![Label::Correct; fs.len()];
+        det.classify_batch(&fs, &mut plain);
+        let mut timed = vec![Label::Correct; fs.len()];
+        let span = det.classify_batch_timed(&fs, &mut timed);
+        assert_eq!(plain, timed, "the span wrapper must not change verdicts");
+        assert_eq!(span.records, fs.len());
+        assert!(span.per_record_ns() <= span.elapsed_ns);
+        let empty = BatchSpan {
+            records: 0,
+            elapsed_ns: 0,
+        };
+        assert_eq!(empty.per_record_ns(), 0);
     }
 
     #[test]

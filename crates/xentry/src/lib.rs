@@ -48,7 +48,7 @@ pub mod runtime;
 pub mod shim;
 
 pub use codegen::{compile_detector, emit_tree};
-pub use detector::VmTransitionDetector;
+pub use detector::{BatchSpan, VmTransitionDetector};
 pub use envelope::EnvelopeDetector;
 pub use features::{FeatureVec, FEATURE_NAMES};
 pub use overhead::{
