@@ -36,7 +36,10 @@ pub struct InjectionSpec {
 }
 
 /// A reusable injection point: the platform frozen at a VM exit, plus the
-/// golden reference runs.
+/// golden reference runs. Only the *observables* of the golden post window
+/// are kept (burst count, checksum, trap count) — not the post-window
+/// platform itself, which would triple the memory held per point for state
+/// the consequence classifier never word-compares.
 #[derive(Debug, Clone)]
 pub struct InjectionPoint {
     /// Platform state at the VM exit (host entry, VMCS filled).
@@ -49,10 +52,8 @@ pub struct InjectionPoint {
     pub golden_len: u64,
     /// Fault-free feature vector.
     pub golden_features: FeatureVec,
-    /// Golden platform advanced `post_window` activations past VM entry.
-    pub golden_post: Platform,
-    /// Benchmark-guest burst count in the golden post state (alignment
-    /// target for consequence runs).
+    /// Benchmark-guest burst count `post_window` activations past VM entry
+    /// in the golden run (alignment target for consequence runs).
     pub golden_post_bursts: u64,
     /// Benchmark-guest checksum at that burst count.
     pub golden_post_result: u64,
@@ -62,6 +63,45 @@ pub struct InjectionPoint {
     pub dom: usize,
     /// Activations in the post window.
     pub post_window: usize,
+}
+
+impl InjectionPoint {
+    /// The scalar description of this point, as recorded by the campaign's
+    /// golden pass. Together with a checkpoint-restored platform it is
+    /// enough to rebuild the point via [`prepare_point_forked`] without
+    /// re-running the post window.
+    pub fn meta(&self, ordinal: usize, skipped_before: usize) -> PointMeta {
+        PointMeta {
+            ordinal,
+            reason: self.reason,
+            skipped_before,
+            golden_len: self.golden_len,
+            golden_features: self.golden_features,
+            golden_post_bursts: self.golden_post_bursts,
+            golden_post_result: self.golden_post_result,
+            golden_post_traps: self.golden_post_traps,
+        }
+    }
+}
+
+/// Scalar record of one golden injection point, produced once by the
+/// campaign's golden pass and replayed by every checkpoint fork. Carrying
+/// the golden post-window observables here is what lets the fork skip the
+/// post window entirely.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PointMeta {
+    /// Valid-point ordinal along the golden walk (keys the spec schedule).
+    pub ordinal: usize,
+    pub reason: ExitReason,
+    /// Invalid walk iterations skipped immediately before this point; the
+    /// fork replays them so the platform evolution matches the golden pass
+    /// step for step.
+    pub skipped_before: usize,
+    pub golden_len: u64,
+    pub golden_features: FeatureVec,
+    pub golden_post_bursts: u64,
+    pub golden_post_result: u64,
+    pub golden_post_traps: u64,
 }
 
 /// Outcome of one injection, with everything the campaign aggregates.
@@ -127,13 +167,65 @@ pub fn prepare_point(
         golden_entry,
         golden_len: act.handler_insns,
         golden_features,
-        golden_post: post,
         golden_post_bursts,
         golden_post_result,
         golden_post_traps,
         dom,
         post_window,
     })
+}
+
+/// Rebuild an injection point from a checkpoint-forked platform positioned
+/// at the same VM exit the golden pass recorded as `meta`. Re-runs only the
+/// golden *handler* (needed for the entry-state reference); the post-window
+/// observables come from `meta`, so the fork skips `post_window`
+/// activations per point — the bulk of [`prepare_point`]'s cost.
+///
+/// # Panics
+/// If the replayed handler diverges from the golden pass (wrong health,
+/// length or features). The platform is deterministic, so divergence means
+/// the fork was started from the wrong state — never continue silently.
+pub fn prepare_point_forked(
+    at_exit: Platform,
+    cpu: CpuId,
+    dom: usize,
+    post_window: usize,
+    meta: &PointMeta,
+    detector: Option<&xentry::VmTransitionDetector>,
+) -> InjectionPoint {
+    let mut golden = at_exit.clone();
+    let mut shim = shim_for(detector);
+    let act = golden.run_handler(cpu, meta.reason, 0, &mut shim);
+    assert!(
+        act.outcome.is_healthy(),
+        "forked golden handler died at point {}: {:?}",
+        meta.ordinal,
+        act.outcome
+    );
+    assert_eq!(
+        act.handler_insns, meta.golden_len,
+        "forked golden handler length diverged at point {}",
+        meta.ordinal
+    );
+    let golden_features = shim.last_features().expect("golden features collected");
+    assert_eq!(
+        golden_features, meta.golden_features,
+        "forked golden features diverged at point {}",
+        meta.ordinal
+    );
+    InjectionPoint {
+        at_exit,
+        cpu,
+        reason: meta.reason,
+        golden_entry: golden,
+        golden_len: meta.golden_len,
+        golden_features,
+        golden_post_bursts: meta.golden_post_bursts,
+        golden_post_result: meta.golden_post_result,
+        golden_post_traps: meta.golden_post_traps,
+        dom,
+        post_window,
+    }
 }
 
 /// Consequence classification by running the faulty machine forward until
@@ -183,10 +275,12 @@ fn classify_consequence(
         return Some(Consequence::AppSdc);
     }
     // Structural invariants (pointers, descriptors, dispatch table) can be
-    // compared even though the two machines are not activation-aligned;
-    // volatile accounting counters cannot, so the classification relies on
+    // compared even though the two machines are not activation-aligned —
+    // those words are constant during normal operation, so the golden entry
+    // state is as valid a reference as any later golden state; volatile
+    // accounting counters cannot, so the classification relies on
     // observables plus this check.
-    if crate::golden::structural_corruption(&point.golden_post.machine, &f.machine, nr_doms) {
+    if crate::golden::structural_corruption(&point.golden_entry.machine, &f.machine, nr_doms) {
         return Some(Consequence::AllVmFailure);
     }
     // Entry-aligned evidence: wrong bytes already reached a device, or the

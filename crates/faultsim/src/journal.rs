@@ -1,0 +1,113 @@
+//! Campaign journaling: crash-safe persistence of completed work chunks.
+//!
+//! A campaign is divided into checkpoint-aligned chunks (see
+//! [`crate::campaign`]); after each chunk completes, the journal is
+//! rewritten atomically (temp file + rename, so a kill mid-write leaves
+//! either the old journal or the new one, never a torn file). A restarted
+//! campaign with the same configuration loads the journal and recomputes
+//! only the missing chunks — the engine is deterministic, so the resumed
+//! result is bit-identical to an uninterrupted run.
+
+use crate::injection::InjectionRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, then
+/// rename over the destination. Readers never observe a partial file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// On-disk record of a partially completed campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignJournal {
+    /// Fingerprint of the [`crate::CampaignConfig`] that produced the
+    /// chunks (stable across processes — see `CampaignConfig::digest`). A
+    /// journal from a different configuration is ignored, not resumed.
+    pub config_digest: u64,
+    /// Total chunks the campaign will produce when complete.
+    pub chunks_total: usize,
+    /// Completed chunks, keyed by chunk index.
+    pub chunks: BTreeMap<usize, Vec<InjectionRecord>>,
+}
+
+impl CampaignJournal {
+    /// Fresh journal for a campaign.
+    pub fn new(config_digest: u64, chunks_total: usize) -> CampaignJournal {
+        CampaignJournal {
+            config_digest,
+            chunks_total,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Load a journal, returning `None` when the file is absent, unreadable
+    /// or does not match the expected configuration — in every such case
+    /// the campaign simply starts from scratch.
+    pub fn load_matching(
+        path: &Path,
+        config_digest: u64,
+        chunks_total: usize,
+    ) -> Option<CampaignJournal> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let j: CampaignJournal = serde_json::from_str(&text).ok()?;
+        (j.config_digest == config_digest && j.chunks_total == chunks_total).then_some(j)
+    }
+
+    /// Persist atomically.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_atomic(
+            path,
+            serde_json::to_string(self)
+                .expect("journal serializes")
+                .as_bytes(),
+        )
+    }
+
+    /// Whether every chunk is present.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.len() == self.chunks_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("xentry_journal_test");
+        let path = dir.join("j.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn journal_round_trip_and_mismatch_rejection() {
+        let dir = std::env::temp_dir().join("xentry_journal_rt");
+        let path = dir.join("campaign.journal");
+        let mut j = CampaignJournal::new(0xABCD, 3);
+        j.chunks.insert(1, Vec::new());
+        j.save(&path).unwrap();
+        let back = CampaignJournal::load_matching(&path, 0xABCD, 3).unwrap();
+        assert_eq!(back.chunks.len(), 1);
+        assert!(back.chunks.contains_key(&1));
+        assert!(!back.is_complete());
+        // Wrong digest or chunk count → treated as absent.
+        assert!(CampaignJournal::load_matching(&path, 0xABCE, 3).is_none());
+        assert!(CampaignJournal::load_matching(&path, 0xABCD, 4).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -10,13 +10,17 @@
 //!
 //! * [`injection`] — one fault: snapshot → golden run → flip → compare.
 //! * [`golden`] — machine differencing and corruption-site attribution.
-//! * [`campaign`] — parallel campaigns over workload traces.
+//! * [`checkpoint`] — delta-compressed checkpoint chains over the golden run.
+//! * [`journal`] — crash-safe persistence of completed campaign chunks.
+//! * [`campaign`] — checkpoint-forked, deterministic, resumable campaigns.
 //! * [`analysis`] — the aggregations behind Fig. 8/9/10 and Table II.
 
 pub mod analysis;
 pub mod campaign;
+pub mod checkpoint;
 pub mod golden;
 pub mod injection;
+pub mod journal;
 pub mod outcome;
 pub mod recovery;
 
@@ -26,12 +30,16 @@ pub use analysis::{
     TargetRow, UndetectedBreakdown,
 };
 pub use campaign::{
-    campaign_platform, collect_correct_samples, dataset_from_records, multibit_study, run_campaign,
-    CampaignConfig, CampaignResult,
+    campaign_platform, collect_correct_samples, dataset_from_records, evaluate_detector_on_records,
+    golden_trace, multibit_study, run_campaign, run_campaign_from_boot, run_campaign_resumable,
+    run_campaign_with, CampaignConfig, CampaignResult, CampaignRun, GoldenTrace,
 };
+pub use checkpoint::{CheckpointStats, CheckpointStore};
 pub use golden::{classify_site, diff_machines, DiffSite, StateDiff};
 pub use injection::{
-    inject, inject_with_flips, prepare_point, InjectionPoint, InjectionRecord, InjectionSpec,
+    inject, inject_with_flips, prepare_point, prepare_point_forked, InjectionPoint,
+    InjectionRecord, InjectionSpec, PointMeta,
 };
+pub use journal::{write_atomic, CampaignJournal};
 pub use outcome::{Consequence, FaultOutcome, UndetectedCategory};
 pub use recovery::{attempt_recovery, recovery_study, RecoveryReport, RecoveryResult};

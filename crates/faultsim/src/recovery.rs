@@ -96,7 +96,10 @@ pub fn attempt_recovery(
     if f.machine.mem.peek(ga.result).unwrap_or(0) != point.golden_post_result {
         return Some(RecoveryResult::Residual(Consequence::AppSdc));
     }
-    if crate::golden::structural_corruption(&point.golden_post.machine, &f.machine, nr_doms) {
+    // Structural invariant words are constant during normal operation, so
+    // the golden entry state serves as the reference (the point no longer
+    // carries a full post-window platform).
+    if crate::golden::structural_corruption(&point.golden_entry.machine, &f.machine, nr_doms) {
         return Some(RecoveryResult::Residual(Consequence::AllVmFailure));
     }
     Some(RecoveryResult::Survived)

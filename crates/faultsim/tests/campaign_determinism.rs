@@ -1,0 +1,90 @@
+//! The determinism contract of the campaign engine: for a fixed seed the
+//! campaign result is a pure function of the configuration — thread count
+//! must not change a byte, and an interrupted + resumed campaign must be
+//! indistinguishable from an uninterrupted one.
+
+use faultsim::campaign::{run_campaign_resumable, CampaignRun};
+use faultsim::{run_campaign, CampaignConfig, CampaignResult};
+use guest_sim::Benchmark;
+
+fn cfg(threads: usize) -> CampaignConfig {
+    let mut c = CampaignConfig::paper(Benchmark::Canneal, 72, 23);
+    c.warmup = 30;
+    c.threads = threads;
+    c
+}
+
+fn result_json(res: &CampaignResult) -> String {
+    serde_json::to_string(res).expect("campaign result serializes")
+}
+
+#[test]
+fn thread_count_never_changes_a_byte() {
+    let baseline = result_json(&run_campaign(&cfg(1), None));
+    for threads in [4, 16] {
+        let got = result_json(&run_campaign(&cfg(threads), None));
+        assert_eq!(
+            got, baseline,
+            "threads={threads} produced a different campaign result"
+        );
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_the_identical_result() {
+    let c = cfg(2);
+    let dir = std::env::temp_dir().join("xentry_campaign_determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = dir.join("campaign.journal");
+
+    // A straight run is the reference.
+    let fresh = result_json(&run_campaign(&c, None));
+
+    // Kill the campaign after the first chunk...
+    let first = run_campaign_resumable(&c, None, &journal, Some(1)).unwrap();
+    match first {
+        CampaignRun::Interrupted {
+            chunks_done,
+            chunks_total,
+        } => {
+            assert!(chunks_done >= 1);
+            assert!(chunks_done < chunks_total);
+        }
+        CampaignRun::Complete(_) => panic!("stop_after_chunks=1 should interrupt"),
+    }
+    assert!(journal.exists(), "interrupt must leave a journal behind");
+
+    // ...and resume: same bytes as the uninterrupted run.
+    match run_campaign_resumable(&c, None, &journal, None).unwrap() {
+        CampaignRun::Complete(res) => assert_eq!(result_json(&res), fresh),
+        CampaignRun::Interrupted { .. } => panic!("resume did not complete"),
+    }
+
+    // A third invocation short-circuits off the complete journal.
+    match run_campaign_resumable(&c, None, &journal, Some(0)).unwrap() {
+        CampaignRun::Complete(res) => assert_eq!(result_json(&res), fresh),
+        CampaignRun::Interrupted { .. } => panic!("complete journal should short-circuit"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_journal_from_a_different_config_is_ignored() {
+    let a = cfg(2);
+    let mut b = cfg(2);
+    b.seed += 1;
+    let dir = std::env::temp_dir().join("xentry_campaign_stale_journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = dir.join("campaign.journal");
+
+    // Leave a partial journal for config `a`...
+    let _ = run_campaign_resumable(&a, None, &journal, Some(1)).unwrap();
+    // ...then run config `b` against the same path: it must start from
+    // scratch and still match a fresh `b` campaign.
+    let fresh_b = result_json(&run_campaign(&b, None));
+    match run_campaign_resumable(&b, None, &journal, None).unwrap() {
+        CampaignRun::Complete(res) => assert_eq!(result_json(&res), fresh_b),
+        CampaignRun::Interrupted { .. } => panic!("resume did not complete"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

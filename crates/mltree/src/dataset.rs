@@ -72,6 +72,18 @@ impl Dataset {
         self.samples.push(sample);
     }
 
+    /// Bulk-append samples, validating each width once up front. The
+    /// campaign pipeline funnels tens of thousands of samples through this
+    /// path; reserving avoids per-sample growth.
+    pub fn extend_samples(&mut self, samples: impl IntoIterator<Item = Sample>) {
+        let it = samples.into_iter();
+        let (lo, _) = it.size_hint();
+        self.samples.reserve(lo);
+        for s in it {
+            self.push(s);
+        }
+    }
+
     /// Count of (correct, incorrect) samples.
     pub fn class_counts(&self) -> (usize, usize) {
         let inc = self

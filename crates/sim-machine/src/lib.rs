@@ -43,9 +43,10 @@ pub use exception::{Exception, Vector};
 pub use exit::ExitReason;
 pub use insn::{Cond, DecodeError, Insn, Opcode};
 pub use machine::{
-    vmcs, Devices, Event, Machine, MachineConfig, StepOutcome, VirtMode, VMCS_WORDS,
+    vmcs, Devices, Event, Machine, MachineConfig, MachineDelta, StepOutcome, VirtMode, VMCS_WORDS,
 };
-pub use mem::{MemError, Memory, Perms, Region, RegionId};
-pub use perf::PerfCounters;
+pub use mem::{MemError, Memory, MemoryDelta, Perms, Region, RegionId};
+pub use perf::{PerfCounters, PerfSample};
+pub use prng::fold64;
 pub use reg::Reg;
 pub use trace::{step_traced, TraceEntry, TraceRing};

@@ -56,7 +56,7 @@ pub enum VirtMode {
 }
 
 /// Static machine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Number of logical CPUs.
     pub nr_cpus: usize,
@@ -165,8 +165,32 @@ pub enum Event {
     Halt,
 }
 
+/// Sparse difference between two [`Machine`] states that descend from one
+/// boot image. CPU, device and noise state are small and copied whole; the
+/// memory image — the bulk of a snapshot — is delta-compressed. Used by the
+/// fault-injection campaign's checkpoint chain, where consecutive
+/// checkpoints share almost the entire memory image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDelta {
+    /// Full CPU states (a handful of registers each).
+    pub cpus: Vec<Cpu>,
+    /// Full noise-source state (seed + per-site counters).
+    pub noise: SiteNoise,
+    /// Full device state.
+    pub devices: Devices,
+    /// Sparse memory difference.
+    pub mem: crate::mem::MemoryDelta,
+}
+
+impl MachineDelta {
+    /// Number of memory words carried by this delta.
+    pub fn mem_words(&self) -> usize {
+        self.mem.len()
+    }
+}
+
 /// The simulated machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Machine {
     /// Physical memory.
     pub mem: Memory,
@@ -220,6 +244,76 @@ impl Machine {
     /// Snapshot the whole machine (for golden-run differencing).
     pub fn snapshot(&self) -> Machine {
         self.clone()
+    }
+
+    /// Delta-compress `self` against `base` (an earlier state of the same
+    /// booted machine). `base.apply_delta(&d)` reproduces `self` exactly.
+    pub fn delta_against(&self, base: &Machine) -> MachineDelta {
+        debug_assert_eq!(self.config, base.config, "deltas cross machine configs");
+        MachineDelta {
+            cpus: self.cpus.clone(),
+            noise: self.noise.clone(),
+            devices: self.devices.clone(),
+            mem: self.mem.delta_from(&base.mem),
+        }
+    }
+
+    /// Apply a delta produced by [`Machine::delta_against`] whose base was
+    /// this exact state, advancing `self` to the recorded state.
+    pub fn apply_delta(&mut self, delta: &MachineDelta) {
+        self.cpus = delta.cpus.clone();
+        self.noise = delta.noise.clone();
+        self.devices = delta.devices.clone();
+        self.mem.apply_delta(&delta.mem);
+    }
+
+    /// Deterministic digest of the complete dynamic state: CPUs (registers,
+    /// flags, mode, PMU, cycle and instruction counters), memory image,
+    /// noise streams and device state. Two machines with equal digests are
+    /// indistinguishable to simulated code; the campaign determinism and
+    /// snapshot round-trip tests compare these. HashMap-backed state (noise
+    /// counters, per-port IN sequences) is folded in sorted key order.
+    pub fn state_digest(&self) -> u64 {
+        use crate::prng::fold64;
+        let mut h = fold64(0x006d_6163_6869_6e65, self.cpus.len() as u64); // "machine"
+        for c in &self.cpus {
+            for &r in &c.regs {
+                h = fold64(h, r);
+            }
+            h = fold64(h, c.rip);
+            h = fold64(h, c.rflags);
+            h = fold64(
+                h,
+                match c.mode {
+                    Mode::Host => u64::MAX,
+                    Mode::Guest { dom, vcpu } => (dom as u64) << 16 | vcpu as u64,
+                },
+            );
+            let s = c.perf.sample();
+            h = fold64(h, c.perf.enabled() as u64);
+            h = fold64(h, s.inst_retired);
+            h = fold64(h, s.branches);
+            h = fold64(h, s.loads);
+            h = fold64(h, s.stores);
+            h = fold64(h, c.cycles);
+            h = fold64(h, c.insns_retired);
+        }
+        h = fold64(h, self.mem.digest());
+        h = self.noise.fold_digest(h);
+        h = fold64(h, self.devices.out_count);
+        h = fold64(h, self.devices.out_hash);
+        let mut ports: Vec<(u16, u64)> = self
+            .devices
+            .in_counts
+            .iter()
+            .map(|(&p, &c)| (p, c))
+            .collect();
+        ports.sort_unstable();
+        for (p, c) in ports {
+            h = fold64(h, p as u64);
+            h = fold64(h, c);
+        }
+        h
     }
 
     /// Perform the hardware part of a VM exit on `cpu`: fill the VMCS block,

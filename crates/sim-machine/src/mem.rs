@@ -55,7 +55,7 @@ impl Perms {
 pub struct RegionId(pub u32);
 
 /// A contiguous mapped range of words.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Region {
     pub id: RegionId,
     /// Human-readable name ("hv.text", "dom1.data", ...).
@@ -91,10 +91,32 @@ pub enum MemError {
 }
 
 /// The physical memory map.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Memory {
     /// Regions sorted by base address.
     regions: Vec<Region>,
+}
+
+/// Sparse word-level difference between two memory images that share one
+/// region layout (same regions, bases, sizes). Campaign checkpoints only
+/// ever diff descendants of a single boot image, whose layout is fixed at
+/// load time, so the delta never needs to describe mapping changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryDelta {
+    /// `(region index, word index, new value)` for every word that differs.
+    pub words: Vec<(u32, u32, u64)>,
+}
+
+impl MemoryDelta {
+    /// Number of changed words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the two images were identical.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
 }
 
 /// Kind of access being performed, for permission checks.
@@ -272,6 +294,61 @@ impl Memory {
         }
         Ok(())
     }
+
+    /// Sparse difference of `self` against `base`. Both images must share
+    /// one region layout (checkpoints of a single boot image always do).
+    ///
+    /// # Panics
+    /// If the layouts differ — that would mean the delta silently dropped
+    /// state, which a checkpoint store must never do.
+    pub fn delta_from(&self, base: &Memory) -> MemoryDelta {
+        assert_eq!(
+            self.regions.len(),
+            base.regions.len(),
+            "memory delta requires an identical region layout"
+        );
+        let mut words = Vec::new();
+        for (ridx, (cur, old)) in self.regions.iter().zip(&base.regions).enumerate() {
+            assert!(
+                cur.base == old.base && cur.words.len() == old.words.len(),
+                "region {} layout changed between checkpoints",
+                cur.name
+            );
+            for (widx, (&c, &o)) in cur.words.iter().zip(&old.words).enumerate() {
+                if c != o {
+                    words.push((ridx as u32, widx as u32, c));
+                }
+            }
+        }
+        MemoryDelta { words }
+    }
+
+    /// Apply a delta produced by [`Memory::delta_from`] against this exact
+    /// image, replaying the recorded word changes in place.
+    pub fn apply_delta(&mut self, delta: &MemoryDelta) {
+        for &(ridx, widx, value) in &delta.words {
+            self.regions[ridx as usize].words[widx as usize] = value;
+        }
+    }
+
+    /// Deterministic 64-bit digest of the full image (layout + contents).
+    /// Stable across processes and Rust releases; used by the snapshot
+    /// round-trip tests and the campaign determinism harness.
+    pub fn digest(&self) -> u64 {
+        use crate::prng::fold64;
+        let mut h = fold64(0x6d65_6d6f_7279, self.regions.len() as u64);
+        for r in &self.regions {
+            h = fold64(h, r.base);
+            h = fold64(h, r.words.len() as u64);
+            for b in r.name.bytes() {
+                h = fold64(h, b as u64);
+            }
+            for &w in &r.words {
+                h = fold64(h, w);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -380,5 +457,47 @@ mod tests {
         m.load_image(0x1000, &[1, 2, 3]).unwrap();
         assert_eq!(m.fetch(0x1000).unwrap(), 1);
         assert_eq!(m.fetch(0x1010).unwrap(), 3);
+    }
+
+    #[test]
+    fn delta_round_trip_restores_exact_image() {
+        let base = mem();
+        let mut cur = base.clone();
+        cur.write(0x2008, 7).unwrap();
+        cur.write(0x2078, 0xdead).unwrap();
+        cur.poke(0x1000, 99).unwrap();
+        let d = cur.delta_from(&base);
+        assert_eq!(d.len(), 3);
+        let mut rebuilt = base.clone();
+        rebuilt.apply_delta(&d);
+        assert_eq!(rebuilt, cur);
+        assert_eq!(rebuilt.digest(), cur.digest());
+    }
+
+    #[test]
+    fn delta_of_identical_images_is_empty() {
+        let m = mem();
+        assert!(m.delta_from(&m.clone()).is_empty());
+    }
+
+    #[test]
+    fn digest_tracks_content_and_layout() {
+        let a = mem();
+        let mut b = mem();
+        assert_eq!(a.digest(), b.digest());
+        b.poke(0x2000, 1).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        let mut c = Memory::new();
+        c.map("other", 0x1000, 16, Perms::RX);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical region layout")]
+    fn delta_rejects_layout_mismatch() {
+        let a = mem();
+        let mut b = Memory::new();
+        b.map("text", 0x1000, 16, Perms::RX);
+        let _ = a.delta_from(&b);
     }
 }

@@ -48,6 +48,12 @@ impl SplitMix64 {
         let b = bound.max(1);
         self.next_u64() % b
     }
+
+    /// Raw generator state (snapshot digests; the stream is a pure function
+    /// of this value).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +109,22 @@ mod tests {
     }
 }
 
+/// Fold one value into a running 64-bit digest (SplitMix-style finalizer).
+///
+/// This is the one mixing function used by every state digest in the
+/// workspace (memory images, machine state, campaign-config fingerprints).
+/// It is deliberately *not* `std::hash::DefaultHasher`, whose output is not
+/// guaranteed stable across Rust releases — digests written into campaign
+/// journals must stay comparable across binaries.
+pub fn fold64(h: u64, v: u64) -> u64 {
+    let mut z = h
+        .rotate_left(25)
+        .wrapping_add(v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Per-site noise source: every `NOISE` instruction address owns an
 /// independent deterministic stream.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +156,20 @@ impl SiteNoise {
         let v = mix3(self.seed, rip, *c);
         *c += 1;
         v % bound.max(1)
+    }
+
+    /// Fold the noise state into a running digest. The counter map is
+    /// HashMap-backed, so entries are folded in sorted key order to keep the
+    /// digest independent of insertion history and hasher randomization.
+    pub fn fold_digest(&self, mut h: u64) -> u64 {
+        h = fold64(h, self.seed);
+        let mut sites: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        sites.sort_unstable();
+        for (rip, count) in sites {
+            h = fold64(h, rip);
+            h = fold64(h, count);
+        }
+        h
     }
 }
 

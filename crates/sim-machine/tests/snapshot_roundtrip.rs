@@ -1,0 +1,190 @@
+//! Snapshot round-trip properties: the campaign engine's checkpoint
+//! forking is only sound if a restored snapshot is *indistinguishable*
+//! from the machine that produced it. For arbitrary straight-line
+//! programs (arithmetic, memory traffic, port I/O, workload noise) we
+//! check that snapshot → continue → restore → re-run reproduces the
+//! original continuation cycle-for-cycle — registers, memory digest,
+//! performance counters and step outcomes — and that the sparse
+//! [`sim_machine::MachineDelta`] reproduces the exact same state as a
+//! full snapshot.
+
+use proptest::prelude::*;
+use sim_machine::{
+    CycleModel, Insn, Machine, MachineConfig, Memory, Perms, Reg, StepOutcome, VirtMode,
+};
+
+const TEXT: u64 = 0x1000;
+const DATA: u64 = 0x9000;
+const DATA_WORDS: u64 = 64;
+
+/// Base register pinned to the data region; generated instructions never
+/// write it, so loads and stores always hit mapped, aligned memory.
+const BASE: u8 = 15;
+
+fn build_machine(prog: &[Insn], seed: u64) -> Machine {
+    let cfg = MachineConfig {
+        nr_cpus: 1,
+        host_entry: TEXT,
+        host_entry_stride: 0,
+        host_stack_base: 0x2_0000,
+        host_stack_size: 0x800,
+        vmcs_base: 0x3_0000,
+        virt_mode: VirtMode::Para,
+        cycle_model: CycleModel::default(),
+    };
+    let mut mem = Memory::new();
+    mem.map("text", TEXT, prog.len() + 1, Perms::RX);
+    mem.map("data", DATA, DATA_WORDS as usize, Perms::RW);
+    mem.map("stack", 0x2_0000, 0x100, Perms::RW);
+    mem.map("vmcs", 0x3_0000, 16, Perms::RW);
+    let mut words: Vec<u64> = prog.iter().map(|i| i.encode()).collect();
+    words.push(Insn::Hlt.encode());
+    mem.load_image(TEXT, &words).unwrap();
+    let mut m = Machine::new(cfg, mem, seed);
+    m.cpu_mut(0).set(Reg::from_index(BASE), DATA);
+    m
+}
+
+/// A destination register that is not the pinned data base.
+fn arb_dst() -> impl Strategy<Value = Reg> {
+    (0u8..BASE).prop_map(Reg::from_index)
+}
+
+fn arb_src() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_index)
+}
+
+/// Instructions that cannot fault in host mode with the base register
+/// pinned: arithmetic, aligned in-bounds memory traffic, port I/O and
+/// the per-site workload-noise source.
+fn arb_straightline_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_dst(), -4096i64..4096).prop_map(|(dst, imm)| Insn::MovImm { dst, imm }),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Insn::MovReg { dst, src }),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Insn::Add { dst, src }),
+        (arb_dst(), -4096i64..4096).prop_map(|(dst, imm)| Insn::AddImm { dst, imm }),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Insn::Sub { dst, src }),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Insn::Mul { dst, src }),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Insn::Xor { dst, src }),
+        (arb_dst(), 0u8..64).prop_map(|(dst, imm)| Insn::ShlImm { dst, imm }),
+        (arb_dst(), 0u8..64).prop_map(|(dst, imm)| Insn::ShrImm { dst, imm }),
+        (arb_src(), arb_src()).prop_map(|(a, b)| Insn::Cmp { a, b }),
+        (arb_src(), -4096i64..4096).prop_map(|(a, imm)| Insn::CmpImm { a, imm }),
+        (arb_dst(), 0u64..DATA_WORDS).prop_map(|(dst, w)| Insn::Load {
+            dst,
+            base: Reg::from_index(BASE),
+            off: (w * 8) as i64,
+        }),
+        (arb_src(), 0u64..DATA_WORDS).prop_map(|(src, w)| Insn::Store {
+            base: Reg::from_index(BASE),
+            src,
+            off: (w * 8) as i64,
+        }),
+        (any::<u16>(), arb_src()).prop_map(|(port, src)| Insn::Out { port, src }),
+        (arb_dst(), any::<u16>()).prop_map(|(dst, port)| Insn::In { dst, port }),
+        (arb_dst(), 1u64..100_000).prop_map(|(dst, bound)| Insn::Noise { dst, bound }),
+        Just(Insn::Nop),
+    ]
+}
+
+/// Everything an observer could compare after one step.
+#[derive(Debug, PartialEq)]
+struct StepObs {
+    outcome: StepOutcome,
+    regs: [u64; 16],
+    rip: u64,
+    rflags: u64,
+    cycles: u64,
+    insns_retired: u64,
+    perf: sim_machine::PerfSample,
+    mem_digest: u64,
+    state_digest: u64,
+}
+
+fn observe(m: &Machine, outcome: StepOutcome) -> StepObs {
+    let c = m.cpu(0);
+    StepObs {
+        outcome,
+        regs: c.regs,
+        rip: c.rip,
+        rflags: c.rflags,
+        cycles: c.cycles,
+        insns_retired: c.insns_retired,
+        perf: c.perf.sample(),
+        mem_digest: m.mem.digest(),
+        state_digest: m.state_digest(),
+    }
+}
+
+fn run_observed(m: &mut Machine, steps: usize) -> Vec<StepObs> {
+    (0..steps)
+        .map(|_| {
+            let o = m.step(0);
+            observe(m, o)
+        })
+        .collect()
+}
+
+proptest! {
+    /// snapshot → continue → restore → re-run: the restored machine's
+    /// continuation must match the original cycle-for-cycle, and both
+    /// must match a fresh machine run straight through.
+    #[test]
+    fn snapshot_restore_rerun_matches_cycle_for_cycle(
+        prog in proptest::collection::vec(arb_straightline_insn(), 1..40),
+        seed in any::<u64>(),
+        cut in 0usize..40,
+    ) {
+        let cut = cut % (prog.len() + 1);
+        let mut live = build_machine(&prog, seed);
+        for _ in 0..cut {
+            live.step(0);
+        }
+        let snap = live.snapshot();
+        prop_assert_eq!(snap.state_digest(), live.state_digest());
+
+        // Continue the live machine to completion (past Hlt is fine —
+        // the observation captures whatever the step produced).
+        let rest = prog.len() + 1 - cut;
+        let live_obs = run_observed(&mut live, rest);
+
+        // Restore and re-run: every observable matches at every step.
+        let mut restored = snap.clone();
+        let re_obs = run_observed(&mut restored, rest);
+        prop_assert_eq!(&re_obs, &live_obs);
+
+        // A fresh machine run straight through agrees too (the snapshot
+        // didn't perturb the original execution).
+        let mut fresh = build_machine(&prog, seed);
+        let fresh_obs = run_observed(&mut fresh, prog.len() + 1);
+        prop_assert_eq!(&fresh_obs[cut..], &live_obs[..]);
+    }
+
+    /// The sparse delta reproduces exactly the state a full snapshot
+    /// holds: `base.apply_delta(later.delta_against(base))` is `later`.
+    #[test]
+    fn delta_round_trip_reproduces_full_snapshot(
+        prog in proptest::collection::vec(arb_straightline_insn(), 1..40),
+        seed in any::<u64>(),
+        cut in 0usize..40,
+    ) {
+        let cut = cut % (prog.len() + 1);
+        let mut m = build_machine(&prog, seed);
+        for _ in 0..cut {
+            m.step(0);
+        }
+        let base = m.snapshot();
+        for _ in cut..prog.len() + 1 {
+            m.step(0);
+        }
+        let delta = m.delta_against(&base);
+        let mut rebuilt = base.clone();
+        rebuilt.apply_delta(&delta);
+        prop_assert_eq!(rebuilt.state_digest(), m.state_digest());
+        prop_assert_eq!(rebuilt.mem.digest(), m.mem.digest());
+        prop_assert!(rebuilt == m, "delta round trip diverged");
+        // The delta is sparse: it never carries more words than the
+        // program could have written.
+        prop_assert!(delta.mem_words() <= prog.len() + 1);
+    }
+}

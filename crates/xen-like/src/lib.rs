@@ -30,5 +30,6 @@ pub mod platform;
 
 pub use builder::{build_image, build_machine, DomainSpec, Topology};
 pub use platform::{
-    Activation, ActivationOutcome, IrqProfile, Monitor, NullMonitor, Platform, Verdict,
+    Activation, ActivationOutcome, IrqProfile, Monitor, NullMonitor, Platform, PlatformDelta,
+    Verdict,
 };

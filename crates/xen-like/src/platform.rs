@@ -11,8 +11,8 @@
 use crate::layout::{self as lay, pcpu, vcpu};
 use sim_asm::Image;
 use sim_machine::exit::{NR_APIC_VECTORS, NR_DEVICE_IRQS};
-use sim_machine::prng::SplitMix64;
-use sim_machine::{CpuId, Event, Exception, ExitReason, Machine, Mode, StepOutcome};
+use sim_machine::prng::{fold64, SplitMix64};
+use sim_machine::{CpuId, Event, Exception, ExitReason, Machine, MachineDelta, Mode, StepOutcome};
 
 use crate::builder::{build_machine, Topology};
 
@@ -115,6 +115,27 @@ impl Default for IrqProfile {
     }
 }
 
+/// Delta-compressed difference between two [`Platform`] states descended
+/// from one boot. The machine part (dominated by the memory image) is
+/// sparse; the scheduler part is tiny and copied whole. Static
+/// configuration (topology, IRQ profile, step budgets) is assumed shared
+/// with the base and not recorded.
+#[derive(Debug, Clone)]
+pub struct PlatformDelta {
+    machine: MachineDelta,
+    next_tick: Vec<u64>,
+    next_dev: Vec<u64>,
+    irq_rng: SplitMix64,
+    booted: Vec<bool>,
+}
+
+impl PlatformDelta {
+    /// Number of memory words carried (checkpoint sizing diagnostics).
+    pub fn mem_words(&self) -> usize {
+        self.machine.mem_words()
+    }
+}
+
 /// The platform simulator.
 #[derive(Debug, Clone)]
 pub struct Platform {
@@ -154,6 +175,49 @@ impl Platform {
     /// Deterministic snapshot of the full platform state.
     pub fn snapshot(&self) -> Platform {
         self.clone()
+    }
+
+    /// Delta-compress `self` against an earlier state of the same booted
+    /// platform. Covers the private scheduler state (interrupt deadlines,
+    /// IRQ randomness, boot flags) that a bare [`Machine`] delta would miss
+    /// — forgetting it would silently shift every asynchronous interrupt
+    /// after a checkpoint restore.
+    pub fn delta_against(&self, base: &Platform) -> PlatformDelta {
+        PlatformDelta {
+            machine: self.machine.delta_against(&base.machine),
+            next_tick: self.next_tick.clone(),
+            next_dev: self.next_dev.clone(),
+            irq_rng: self.irq_rng,
+            booted: self.booted.clone(),
+        }
+    }
+
+    /// Apply a delta produced by [`Platform::delta_against`] whose base was
+    /// this exact state.
+    pub fn apply_delta(&mut self, delta: &PlatformDelta) {
+        self.machine.apply_delta(&delta.machine);
+        self.next_tick = delta.next_tick.clone();
+        self.next_dev = delta.next_dev.clone();
+        self.irq_rng = delta.irq_rng;
+        self.booted = delta.booted.clone();
+    }
+
+    /// Deterministic digest of the complete dynamic state: the machine plus
+    /// the scheduler's interrupt deadlines and randomness. Two platforms
+    /// with equal digests evolve identically under the same driver calls.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = fold64(0x706c_6174, self.machine.state_digest());
+        for &t in &self.next_tick {
+            h = fold64(h, t);
+        }
+        for &d in &self.next_dev {
+            h = fold64(h, d);
+        }
+        h = fold64(h, self.irq_rng.state());
+        for &b in &self.booted {
+            h = fold64(h, b as u64);
+        }
+        h
     }
 
     /// Read a PCPU field for `cpu`.

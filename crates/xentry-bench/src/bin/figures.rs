@@ -4,10 +4,10 @@
 //! figures [--quick|--paper] [--out DIR] [experiments...]
 //!
 //! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
-//!              overhead inference                            (default: all)
+//!              overhead inference campaign                   (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
-//!   "inference" also mirrors its JSON to the repo-root
-//!   `BENCH_inference.json` perf-trajectory file.
+//!   "inference" and "campaign" also mirror their JSON to the repo-root
+//!   `BENCH_inference.json` / `BENCH_campaign.json` perf-trajectory files.
 //! ```
 //!
 //! Text renderings go to stdout; JSON artifacts to `--out` (default
@@ -170,6 +170,21 @@ fn main() {
         )
         .expect("write BENCH_inference.json");
         eprintln!("[figures] wrote \"BENCH_inference.json\"");
+    }
+
+    if want("campaign") {
+        let t = std::time::Instant::now();
+        let camp = campaign_experiment(&scale, seed);
+        println!("{}", camp.render());
+        eprintln!("[figures] campaign took {:?}\n", t.elapsed());
+        write_json(&out, "campaign", &camp);
+        // Mirror to the repo root: the committed perf-trajectory record.
+        std::fs::write(
+            "BENCH_campaign.json",
+            serde_json::to_string_pretty(&camp).unwrap(),
+        )
+        .expect("write BENCH_campaign.json");
+        eprintln!("[figures] wrote \"BENCH_campaign.json\"");
     }
 
     if want("ablation") {

@@ -1,0 +1,192 @@
+//! Campaign-engine throughput: checkpoint forking vs from-boot replay,
+//! the measured numbers behind `BENCH_campaign.json`.
+//!
+//! The tentpole claim — forking each injection from a delta-compressed
+//! checkpoint of the golden execution instead of replaying from boot — is
+//! recorded here, not assumed: the same configuration is driven through
+//! both engines, the outputs are compared record-for-record, and the
+//! wall-clock ratio is written to `results/campaign.json` (mirrored to
+//! the repo-root `BENCH_campaign.json`). The report also verifies the
+//! determinism and resume guarantees end-to-end so the perf artifact
+//! doubles as a correctness receipt.
+
+use faultsim::campaign::{
+    golden_trace, run_campaign_from_boot, run_campaign_resumable, run_campaign_with,
+    CampaignConfig, CampaignRun,
+};
+use faultsim::checkpoint::CheckpointStats;
+use guest_sim::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::pipeline::Scale;
+
+/// The measured campaign-engine record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignBenchReport {
+    pub benchmark: String,
+    pub injections: usize,
+    pub checkpoint_interval: usize,
+    /// Wall-clock seconds for the from-boot baseline (one full boot +
+    /// warmup + walk per injection), serial.
+    pub from_boot_secs: f64,
+    pub from_boot_inj_per_sec: f64,
+    /// Wall-clock seconds for the checkpoint-forked engine with
+    /// `threads = 1` (golden trace + forks): the algorithmic speedup,
+    /// with parallelism factored out.
+    pub forked_serial_secs: f64,
+    pub forked_serial_inj_per_sec: f64,
+    /// The headline: from-boot time over forked serial time.
+    pub speedup_serial: f64,
+    /// Forked engine at the configured thread count, for the absolute
+    /// campaign throughput the figures harness actually enjoys.
+    pub forked_parallel_threads: usize,
+    pub forked_parallel_secs: f64,
+    pub forked_parallel_inj_per_sec: f64,
+    pub speedup_parallel: f64,
+    /// Checkpoint-chain sizing from the golden trace.
+    pub checkpoint_stats: CheckpointStats,
+    pub compression_ratio: f64,
+    /// Every record of the forked run matched the from-boot run.
+    pub equivalent_to_from_boot: bool,
+    /// `threads` ∈ {1, 4} produced byte-identical result JSON.
+    pub deterministic_across_threads: bool,
+    /// An interrupted resumable run, resumed, matched an uninterrupted one.
+    pub resume_identical: bool,
+}
+
+/// Run the campaign-engine benchmark. The from-boot baseline replays the
+/// whole execution per injection, so the injection count is kept modest
+/// at quick scale; paper scale (`overhead_runs > 5`) sizes it up.
+pub fn campaign_experiment(scale: &Scale, seed: u64) -> CampaignBenchReport {
+    let injections = if scale.overhead_runs > 5 { 400 } else { 120 };
+    let benchmark = Benchmark::Freqmine;
+    let mut cfg = CampaignConfig::paper(benchmark, injections, seed);
+    cfg.threads = 1;
+
+    // From-boot baseline (serial by construction).
+    let t = Instant::now();
+    let boot_res = run_campaign_from_boot(&cfg, None);
+    let from_boot_secs = t.elapsed().as_secs_f64();
+
+    // Forked engine, serial: golden trace + checkpoint forks.
+    let t = Instant::now();
+    let trace = golden_trace(&cfg, None);
+    let forked_res = run_campaign_with(&cfg, &trace, None);
+    let forked_serial_secs = t.elapsed().as_secs_f64();
+    let stats = trace.checkpoint_stats();
+
+    let equivalent =
+        serde_json::to_string(&boot_res).unwrap() == serde_json::to_string(&forked_res).unwrap();
+
+    // Forked engine at full parallelism.
+    let mut par_cfg = cfg.clone();
+    par_cfg.threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let t = Instant::now();
+    let par_trace = golden_trace(&par_cfg, None);
+    let par_res = run_campaign_with(&par_cfg, &par_trace, None);
+    let forked_parallel_secs = t.elapsed().as_secs_f64();
+
+    // Determinism: thread count must not change a single byte.
+    let mut four = cfg.clone();
+    four.threads = 4;
+    let four_res = run_campaign_with(&four, &par_trace, None);
+    let deterministic = serde_json::to_string(&par_res).unwrap()
+        == serde_json::to_string(&forked_res).unwrap()
+        && serde_json::to_string(&four_res).unwrap() == serde_json::to_string(&forked_res).unwrap();
+
+    // Resume: stop after one chunk, restart, compare to the straight run.
+    let dir = std::env::temp_dir().join(format!("xentry_campaign_bench_{seed}"));
+    let journal = dir.join("campaign.journal");
+    let _ = std::fs::remove_file(&journal);
+    let first = run_campaign_resumable(&cfg, None, &journal, Some(1)).expect("journal I/O");
+    let interrupted = matches!(first, CampaignRun::Interrupted { .. });
+    let resumed = run_campaign_resumable(&cfg, None, &journal, None).expect("journal I/O");
+    let resume_identical = interrupted
+        && match resumed {
+            CampaignRun::Complete(res) => {
+                serde_json::to_string(&res).unwrap() == serde_json::to_string(&forked_res).unwrap()
+            }
+            CampaignRun::Interrupted { .. } => false,
+        };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CampaignBenchReport {
+        benchmark: format!("{benchmark:?}"),
+        injections,
+        checkpoint_interval: cfg.checkpoint_interval,
+        from_boot_secs,
+        from_boot_inj_per_sec: injections as f64 / from_boot_secs.max(1e-9),
+        forked_serial_secs,
+        forked_serial_inj_per_sec: injections as f64 / forked_serial_secs.max(1e-9),
+        speedup_serial: from_boot_secs / forked_serial_secs.max(1e-9),
+        forked_parallel_threads: par_cfg.threads,
+        forked_parallel_secs,
+        forked_parallel_inj_per_sec: injections as f64 / forked_parallel_secs.max(1e-9),
+        speedup_parallel: from_boot_secs / forked_parallel_secs.max(1e-9),
+        compression_ratio: stats.compression_ratio(),
+        checkpoint_stats: stats,
+        equivalent_to_from_boot: equivalent,
+        deterministic_across_threads: deterministic,
+        resume_identical,
+    }
+}
+
+impl CampaignBenchReport {
+    pub fn render(&self) -> String {
+        format!(
+            "Campaign engine ({} injections on {}, checkpoint interval {})\n\
+             ------------------------------------------------------------\n\
+             from-boot replay       {:>8.2} s {:>10.1} inj/s\n\
+             checkpoint fork (1 th) {:>8.2} s {:>10.1} inj/s   {:>6.1}x\n\
+             checkpoint fork ({:>2} th) {:>7.2} s {:>10.1} inj/s   {:>6.1}x\n\
+             checkpoints {} (delta compression {:.0}x: {} full words, {} delta words)\n\
+             equivalent to from-boot: {}  deterministic across threads: {}  resume identical: {}\n",
+            self.injections,
+            self.benchmark,
+            self.checkpoint_interval,
+            self.from_boot_secs,
+            self.from_boot_inj_per_sec,
+            self.forked_serial_secs,
+            self.forked_serial_inj_per_sec,
+            self.speedup_serial,
+            self.forked_parallel_threads,
+            self.forked_parallel_secs,
+            self.forked_parallel_inj_per_sec,
+            self.speedup_parallel,
+            self.checkpoint_stats.checkpoints,
+            self.compression_ratio,
+            self.checkpoint_stats.full_mem_words,
+            self.checkpoint_stats.delta_mem_words,
+            self.equivalent_to_from_boot,
+            self.deterministic_across_threads,
+            self.resume_identical,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_experiment_verifies_all_claims() {
+        let scale = Scale::quick();
+        let rep = campaign_experiment(&scale, 21);
+        assert!(rep.equivalent_to_from_boot, "{rep:?}");
+        assert!(rep.deterministic_across_threads, "{rep:?}");
+        assert!(rep.resume_identical, "{rep:?}");
+        assert!(
+            rep.speedup_serial >= 5.0,
+            "checkpoint forking should beat from-boot replay by >= 5x: {rep:?}"
+        );
+        assert!(rep.compression_ratio > 1.0);
+        let text = rep.render();
+        assert!(text.contains("from-boot replay"), "{text}");
+        let back: CampaignBenchReport =
+            serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
+        assert_eq!(back.injections, rep.injections);
+    }
+}

@@ -14,16 +14,19 @@
 //! | feature/depth/size ablations | [`experiments::ablations`] |
 //! | fleet serving throughput (extension) | [`fleet::fleet_experiment`] |
 //! | compiled-inference trajectory (extension) | [`inference::inference_experiment`] |
+//! | campaign-engine throughput (extension) | [`campaign::campaign_experiment`] |
 //!
 //! The `figures` binary drives them all and writes JSON artifacts alongside
 //! the rendered text.
 
+pub mod campaign;
 pub mod experiments;
 pub mod extensions;
 pub mod fleet;
 pub mod inference;
 pub mod pipeline;
 
+pub use campaign::{campaign_experiment, CampaignBenchReport};
 pub use experiments::*;
 pub use extensions::*;
 pub use fleet::{fleet_experiment, overhead_experiment, FleetReport};

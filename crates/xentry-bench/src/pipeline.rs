@@ -6,7 +6,7 @@
 //! the random tree (the paper selects it for its slightly higher accuracy)
 //! into the Xentry shim for the evaluation campaigns.
 
-use faultsim::{collect_correct_samples, dataset_from_records, run_campaign, CampaignConfig};
+use faultsim::{dataset_from_records, golden_trace, run_campaign_with, CampaignConfig};
 use guest_sim::Benchmark;
 use mltree::{evaluate, ConfusionMatrix, Dataset, DecisionTree, Label, TrainConfig};
 use serde::{Deserialize, Serialize};
@@ -81,19 +81,19 @@ pub struct TrainingReport {
 }
 
 /// Gather a labeled dataset across benchmarks (campaign + fault-free runs).
+///
+/// One golden trace is walked per benchmark and shared by both halves of
+/// the dataset: the checkpoint-forked campaign supplies the labeled fault
+/// samples, and the same trace's fault-free feature stream supplies the
+/// correct samples — no second fault-free execution per benchmark.
 pub fn gather_dataset(benchmarks: &[Benchmark], scale: &Scale, seed: u64) -> Dataset {
     let mut ds = Dataset::new(&FEATURE_NAMES);
     for (i, &b) in benchmarks.iter().enumerate() {
         let cfg = CampaignConfig::paper(b, scale.train_injections, seed + i as u64 * 101);
-        let res = run_campaign(&cfg, None);
-        for s in dataset_from_records(&res.records).samples {
-            ds.push(s);
-        }
-        for s in
-            collect_correct_samples(&cfg, scale.train_correct, seed + i as u64 * 101 + 7).samples
-        {
-            ds.push(s);
-        }
+        let trace = golden_trace(&cfg, None);
+        let res = run_campaign_with(&cfg, &trace, None);
+        ds.extend_samples(dataset_from_records(&res.records).samples);
+        ds.extend_samples(trace.correct_samples(scale.train_correct).samples);
     }
     ds
 }

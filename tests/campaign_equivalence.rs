@@ -1,0 +1,108 @@
+//! Checkpoint-fork equivalence: the forked engine must reproduce the
+//! from-boot engine exactly — same injections, same outcome for every
+//! record — and both must match a golden corpus committed under
+//! `tests/golden/`, so any future drift in the walk, the spec schedule
+//! or the outcome taxonomy is caught as a diff against a pinned file.
+//!
+//! Regenerate the corpus (after an *intentional* engine change) with:
+//!
+//! ```text
+//! XENTRY_UPDATE_GOLDEN=1 cargo test -p xentry-integration-tests \
+//!     --test campaign_equivalence
+//! ```
+
+use faultsim::campaign::{golden_trace, run_campaign_from_boot, run_campaign_with};
+use faultsim::{CampaignConfig, InjectionRecord};
+use guest_sim::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+fn corpus_cfg() -> CampaignConfig {
+    let mut c = CampaignConfig::paper(Benchmark::Freqmine, 48, 2014);
+    c.warmup = 30;
+    c.threads = 2;
+    c
+}
+
+/// One corpus row: the spec that was injected and everything the engine
+/// concluded about it. `FaultOutcome` serializes latency and consequence
+/// fields too, so the pin covers the full outcome class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CorpusRecord {
+    vmer: u16,
+    target: String,
+    bit: u8,
+    at_step: u64,
+    outcome: faultsim::FaultOutcome,
+}
+
+fn corpus_of(records: &[InjectionRecord]) -> Vec<CorpusRecord> {
+    records
+        .iter()
+        .map(|r| CorpusRecord {
+            vmer: r.vmer,
+            target: format!("{:?}", r.target),
+            bit: r.bit,
+            at_step: r.at_step,
+            outcome: r.outcome.clone(),
+        })
+        .collect()
+}
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/campaign_corpus.json")
+}
+
+#[test]
+fn forked_engine_matches_from_boot_and_the_golden_corpus() {
+    let cfg = corpus_cfg();
+
+    // Checkpoint-forked run.
+    let trace = golden_trace(&cfg, None);
+    let forked = run_campaign_with(&cfg, &trace, None);
+    assert_eq!(forked.records.len(), cfg.injections);
+
+    // From-boot reference: every injection replayed from a fresh boot.
+    let boot = run_campaign_from_boot(&cfg, None);
+    assert_eq!(
+        serde_json::to_string(&boot).unwrap(),
+        serde_json::to_string(&forked).unwrap(),
+        "checkpoint forking changed the campaign result"
+    );
+
+    // Every outcome class from the from-boot campaign appears with the
+    // same count in the forked one (implied by the byte equality above,
+    // asserted separately so a future relaxation of the byte check still
+    // guards the class distribution).
+    let class = |rs: &[InjectionRecord]| {
+        let mut m = std::collections::BTreeMap::new();
+        for r in rs {
+            *m.entry(format!("{:?}", std::mem::discriminant(&r.outcome)))
+                .or_insert(0usize) += 1;
+        }
+        m
+    };
+    assert_eq!(class(&boot.records), class(&forked.records));
+
+    // Pin against the committed corpus.
+    let got = corpus_of(&forked.records);
+    let path = corpus_path();
+    if std::env::var("XENTRY_UPDATE_GOLDEN").is_ok() {
+        faultsim::write_atomic(
+            &path,
+            serde_json::to_string_pretty(&got).unwrap().as_bytes(),
+        )
+        .unwrap();
+        eprintln!("regenerated {path:?}");
+        return;
+    }
+    let want: Vec<CorpusRecord> = serde_json::from_str(
+        &std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden corpus {path:?}: {e}")),
+    )
+    .expect("golden corpus parses");
+    assert_eq!(got.len(), want.len(), "corpus length changed");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g, w, "corpus record {i} diverged");
+    }
+}
