@@ -4,10 +4,13 @@
 //! figures [--quick|--paper] [--out DIR] [experiments...]
 //!
 //! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
-//!              overhead inference campaign                   (default: all)
+//!              overhead inference campaign distributed      (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
 //!   "inference" and "campaign" also mirror their JSON to the repo-root
 //!   `BENCH_inference.json` / `BENCH_campaign.json` perf-trajectory files.
+//!   "distributed" spawns a loopback multi-process fleet (re-executing
+//!   this binary as the host-agent child image) and records the
+//!   wire-level accounting/convergence receipt.
 //! ```
 //!
 //! Text renderings go to stdout; JSON artifacts to `--out` (default
@@ -30,6 +33,12 @@ fn write_json<T: serde::Serialize>(dir: &PathBuf, name: &str, value: &T) {
 }
 
 fn main() {
+    // Child hook for the distributed experiment: `run_distributed`
+    // re-executes this binary with the wire-host sentinel as argv[1],
+    // and the child must short-circuit before any argument parsing.
+    if xentry_wire::maybe_child_main() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
     let mut out = PathBuf::from("results");
@@ -185,6 +194,24 @@ fn main() {
         )
         .expect("write BENCH_campaign.json");
         eprintln!("[figures] wrote \"BENCH_campaign.json\"");
+    }
+
+    if want("distributed") {
+        let t = std::time::Instant::now();
+        // Quick-profile fleet either way: the experiment's subject is
+        // the wire protocol (kill drill, reconnect, model push), not
+        // record volume, so the paper scale gains nothing by inflating
+        // the replay.
+        let mut cfg = xentry_wire::DistributedConfig::quick(4);
+        cfg.out = out.clone();
+        let report = xentry_wire::run_distributed(&cfg).expect("distributed fleet run");
+        println!("{}", report.render());
+        eprintln!("[figures] distributed took {:?}\n", t.elapsed());
+        write_json(&out, "distributed", &report);
+        assert!(
+            report.is_clean(),
+            "distributed receipt must show exact accounting and model convergence"
+        );
     }
 
     if want("ablation") {

@@ -73,6 +73,7 @@
 pub mod chaos;
 pub mod metrics;
 pub mod model;
+pub mod net;
 pub mod overhead;
 pub mod queue;
 pub mod record;
@@ -88,7 +89,8 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport, Failpoints};
 pub use metrics::{
     EpochVerdicts, Histogram, HistogramSnapshot, Metrics, ServiceSnapshot, ShardSnapshot,
 };
-pub use model::{GoldenSet, ModelCache, ModelSlot, SwapError, VersionedModel};
+pub use model::{lock_recovering, GoldenSet, ModelCache, ModelSlot, SwapError, VersionedModel};
+pub use net::{http_get, HttpServer};
 pub use overhead::{measure_overhead, OverheadConfig, OverheadLeg, OverheadReport};
 pub use queue::MpmcQueue;
 pub use record::{FleetVerdict, HostId, TelemetryRecord, VerdictSource};
@@ -96,7 +98,7 @@ pub use recorder::{DumpBudget, FlightRecorder, IncidentDump, RecordedActivation}
 pub use replay::{replay, ReplayConfig, ReplayReport};
 pub use service::{CollectSink, FleetConfig, FleetService, NullSink, VerdictSink};
 pub use telemetry::{
-    escape_label_value, http_get, parse_exposition, render_prometheus, write_atomic,
+    escape_label_value, parse_exposition, render_prometheus, write_atomic, Exposition,
     TelemetryServer,
 };
 pub use trace::{SpanKind, TraceEvent, TraceRing, Tracer};

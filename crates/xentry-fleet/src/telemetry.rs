@@ -25,14 +25,16 @@
 //! [`Metrics`]: crate::metrics::Metrics
 
 use crate::metrics::ServiceSnapshot;
+use crate::net::{not_found, HttpServer};
 use crate::service::Shared;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+
+// The GET client lives in [`crate::net`] now (shared with the wire
+// layer); re-exported here so existing `telemetry::http_get` callers and
+// the crate-root export keep working.
+pub use crate::net::http_get;
 
 // ---------------------------------------------------------------------------
 // Atomic result writes
@@ -96,23 +98,34 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
-struct Exposition {
+/// Incremental builder for the Prometheus text format. Public so other
+/// exposition surfaces (the wire-layer aggregator's `/metrics`) emit the
+/// exact same shapes this module's golden tests pin down.
+pub struct Exposition {
     out: String,
 }
 
+impl Default for Exposition {
+    fn default() -> Exposition {
+        Exposition::new()
+    }
+}
+
 impl Exposition {
-    fn new() -> Exposition {
+    pub fn new() -> Exposition {
         Exposition {
             out: String::with_capacity(4096),
         }
     }
 
-    fn header(&mut self, name: &str, kind: &str, help: &str) {
+    /// Emit the `# HELP` / `# TYPE` header pair for a metric family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
         self.out
             .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
     }
 
-    fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
         self.out.push_str(name);
         if !labels.is_empty() {
             self.out.push('{');
@@ -130,9 +143,15 @@ impl Exposition {
         self.out.push('\n');
     }
 
-    fn scalar(&mut self, name: &str, kind: &str, help: &str, value: f64) {
+    /// Header plus a single unlabelled sample.
+    pub fn scalar(&mut self, name: &str, kind: &str, help: &str, value: f64) {
         self.header(name, kind, help);
         self.sample(name, &[], value);
+    }
+
+    /// The rendered exposition so far.
+    pub fn finish(self) -> String {
+        self.out
     }
 
     fn histogram(&mut self, name: &str, help: &str, h: &crate::metrics::HistogramSnapshot) {
@@ -353,7 +372,7 @@ pub fn render_prometheus(s: &ServiceSnapshot) -> String {
         "Time to classify one record, nanoseconds.",
         &s.classify_latency,
     );
-    e.out
+    e.finish()
 }
 
 /// One parsed exposition sample: metric name, labels, value.
@@ -444,14 +463,13 @@ fn healthz_json(s: &ServiceSnapshot) -> String {
 
 /// Handle to the scrape endpoint serving `/metrics`, `/healthz` and
 /// `/trace` for one [`FleetService`]. Dropping (or [`shutdown`]) stops
-/// the accept loop and joins the server thread.
+/// the accept loop and joins the server thread. The transport is the
+/// shared [`crate::net::HttpServer`]; this wrapper only owns the routes.
 ///
 /// [`FleetService`]: crate::service::FleetService
 /// [`shutdown`]: TelemetryServer::shutdown
 pub struct TelemetryServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl TelemetryServer {
@@ -461,132 +479,32 @@ impl TelemetryServer {
         shared: Arc<Shared>,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<TelemetryServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("fleet-telemetry".into())
-            .spawn(move || accept_loop(listener, shared, stop2))?;
-        Ok(TelemetryServer {
-            addr,
-            stop,
-            handle: Some(handle),
-        })
+        let server = HttpServer::start(addr, "fleet-telemetry", move |path| match path {
+            "/metrics" => Some((
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(&shared.snapshot()),
+            )),
+            "/healthz" => Some((
+                "200 OK",
+                "application/json",
+                healthz_json(&shared.snapshot()),
+            )),
+            "/trace" => Some(("200 OK", "application/json", shared.tracer.export_chrome())),
+            _ => Some(not_found("/metrics, /healthz or /trace")),
+        })?;
+        Ok(TelemetryServer { server })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
     /// Stop accepting and join the server thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
+    pub fn shutdown(self) {
+        self.server.shutdown();
     }
-
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for TelemetryServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // One request per connection, served inline: a scrape
-                // endpoint's concurrency is one Prometheus server.
-                let _ = serve_connection(stream, &shared);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // The request line is all we route on; one read is enough for any
-    // real scraper's header block.
-    let mut buf = [0u8; 2048];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|line| {
-            let mut parts = line.split_whitespace();
-            match (parts.next(), parts.next()) {
-                (Some("GET"), Some(path)) => Some(path.to_string()),
-                _ => None,
-            }
-        })
-        .unwrap_or_default();
-    let (status, content_type, body) = match path.split('?').next().unwrap_or("") {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            render_prometheus(&shared.snapshot()),
-        ),
-        "/healthz" => (
-            "200 OK",
-            "application/json",
-            healthz_json(&shared.snapshot()),
-        ),
-        "/trace" => ("200 OK", "application/json", shared.tracer.export_chrome()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz or /trace\n".to_string(),
-        ),
-    };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
-}
-
-// ---------------------------------------------------------------------------
-// A scrape client (tests, CI self-scrape)
-// ---------------------------------------------------------------------------
-
-/// Minimal HTTP/1.1 GET against a [`TelemetryServer`] (or anything
-/// speaking close-delimited HTTP). Returns `(status_code, body)`.
-pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
-    )?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::other("malformed HTTP status line"))?;
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
 }
 
 #[cfg(test)]

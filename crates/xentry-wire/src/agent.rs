@@ -1,0 +1,376 @@
+//! Host agent: the wire-side companion of a local `FleetService`.
+//!
+//! One background thread per host maintains a session to the upstream
+//! aggregator and, inside it, streams accounting summaries:
+//!
+//! ```text
+//!          connect          HelloAck(credits)
+//!  [backoff] ───► [hello sent] ───────► [streaming] ──► Bye on shutdown
+//!      ▲               │ timeout            │ io error
+//!      └───────────────┴────────────────────┘
+//!        sleep min(base * 2^n, cap), counters keep accumulating
+//! ```
+//!
+//! * **Credit-based backpressure**: each `Summary` consumes one credit;
+//!   the aggregator returns credits as it absorbs them. Out of credit,
+//!   the agent skips the tick (counted `throttled`) and heartbeats so
+//!   liveness is still visible upstream.
+//! * **Sequence-numbered sessions**: summaries carry a per-incarnation
+//!   sequence number the aggregator uses to discard stale duplicates
+//!   after a reconnect.
+//! * **Counters outlive sessions**: summaries report the service's
+//!   *cumulative* counters, so a reconnect needs no replay of missed
+//!   ticks — the next summary supersedes everything lost with the
+//!   session.
+//! * **Model admission**: a `ModelPublish` from upstream goes through
+//!   `hot_swap_validated` (structural + canary gate). Rejection keeps
+//!   the incumbent serving — that *is* the local rollback — and reports
+//!   the divergence upstream as a `ModelStatus`.
+
+use crate::frame::{Frame, FrameReader, HostCounters, SummaryFrame};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xentry::VmTransitionDetector;
+use xentry_fleet::{lock_recovering, FleetService, ServiceSnapshot};
+
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Wire identity; must match a host declared in the topology.
+    pub host_id: u32,
+    /// Monotonic per-process-lifetime counter: a restarted host connects
+    /// with a higher incarnation, telling the aggregator to retire the
+    /// previous incarnation's window.
+    pub incarnation: u64,
+    /// Aggregator address, e.g. `127.0.0.1:9190`.
+    pub aggregator: String,
+    /// How often a summary is offered (credit permitting).
+    pub summary_interval: Duration,
+    /// Heartbeat cadence while throttled or idle.
+    pub heartbeat_interval: Duration,
+    /// Reconnect backoff: base doubles per consecutive failure up to cap.
+    pub reconnect_base: Duration,
+    pub reconnect_cap: Duration,
+    /// Socket read timeout — also the agent loop's tick granularity.
+    pub read_timeout: Duration,
+}
+
+impl AgentConfig {
+    pub fn new(host_id: u32, aggregator: impl Into<String>) -> AgentConfig {
+        AgentConfig {
+            host_id,
+            incarnation: 1,
+            aggregator: aggregator.into(),
+            summary_interval: Duration::from_millis(20),
+            heartbeat_interval: Duration::from_millis(100),
+            reconnect_base: Duration::from_millis(20),
+            reconnect_cap: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Observable agent state, also the agent's contribution to the child
+/// report in distributed replays.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct AgentStatus {
+    pub connected: bool,
+    /// Successful sessions (first connect included).
+    pub sessions: u64,
+    /// Sessions after the first — the reconnect count.
+    pub reconnects: u64,
+    pub summaries_sent: u64,
+    /// Summary ticks skipped for lack of credit.
+    pub throttled: u64,
+    pub credits: u32,
+    pub last_seq: u64,
+    /// Highest epoch admitted from upstream (0 = still on the locally
+    /// deployed model).
+    pub model_epoch: u64,
+    pub model_fingerprint: u64,
+    pub models_admitted: u64,
+    pub models_rejected: u64,
+}
+
+struct AgentShared {
+    service: Arc<FleetService>,
+    status: Mutex<AgentStatus>,
+    stop: AtomicBool,
+}
+
+/// Handle to the agent thread. Dropping without [`HostAgent::shutdown`]
+/// stops the thread without the closing `Bye` (a dirty disconnect the
+/// aggregator will reconcile).
+pub struct HostAgent {
+    shared: Arc<AgentShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HostAgent {
+    pub fn start(service: Arc<FleetService>, cfg: AgentConfig) -> HostAgent {
+        let shared = Arc::new(AgentShared {
+            service,
+            status: Mutex::new(AgentStatus::default()),
+            stop: AtomicBool::new(false),
+        });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("wire-agent-{}", cfg.host_id))
+            .spawn(move || run(&shared2, &cfg))
+            .expect("spawn agent thread");
+        HostAgent {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    pub fn status(&self) -> AgentStatus {
+        lock_recovering(&self.shared.status).clone()
+    }
+
+    /// Stop the agent: the session loop sends a final `Bye` carrying the
+    /// settled counters, then the thread exits.
+    pub fn shutdown(mut self) -> AgentStatus {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.status()
+    }
+}
+
+impl Drop for HostAgent {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn counters_from(s: &ServiceSnapshot) -> HostCounters {
+    HostCounters {
+        ingested: s.ingested,
+        classified: s.classified,
+        lost: s.lost,
+        dropped: s.dropped,
+        incorrect: s.incorrect,
+        in_flight: s.ingested.saturating_sub(s.classified + s.lost),
+    }
+}
+
+fn run(shared: &AgentShared, cfg: &AgentConfig) {
+    let mut backoff = cfg.reconnect_base;
+    // The summary sequence is owned by the agent, not the session: it
+    // keeps climbing across reconnects so the aggregator can order
+    // summaries from different sessions of one incarnation.
+    let mut seq: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match session(shared, cfg, &mut seq) {
+            Ok(()) => return, // clean Bye sent
+            Err(_) => {
+                {
+                    let mut st = lock_recovering(&shared.status);
+                    st.connected = false;
+                    st.credits = 0;
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.reconnect_cap);
+            }
+        }
+    }
+}
+
+/// One connect-to-disconnect session. Returns `Ok` only on a clean
+/// shutdown (Bye sent); any error sends control back to the reconnect
+/// loop.
+fn session(shared: &AgentShared, cfg: &AgentConfig, seq: &mut u64) -> io::Result<()> {
+    let mut stream = TcpStream::connect(&cfg.aggregator)?;
+    xentry_fleet::net::configure_stream(
+        &stream,
+        Some(cfg.read_timeout),
+        Some(Duration::from_secs(2)),
+    )?;
+    let mut reader = FrameReader::new();
+
+    // `model_epoch` on the wire is the *aggregator's* epoch namespace:
+    // 0 until this host admits a pushed model, never the local model
+    // version (the two counters are unrelated).
+    let (admitted_epoch, admitted_fp) = {
+        let st = lock_recovering(&shared.status);
+        (st.model_epoch, st.model_fingerprint)
+    };
+    let snapshot = shared.service.snapshot();
+    crate::frame::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            host: cfg.host_id,
+            incarnation: cfg.incarnation,
+            last_seq: *seq,
+            model_epoch: admitted_epoch,
+            model_fingerprint: admitted_fp,
+        },
+    )?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut credits = match reader.poll_until(&mut stream, deadline)? {
+        Frame::HelloAck { credits, .. } => credits,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {other:?}"),
+            ))
+        }
+    };
+    {
+        let mut st = lock_recovering(&shared.status);
+        st.connected = true;
+        st.sessions += 1;
+        if st.sessions > 1 {
+            st.reconnects += 1;
+        }
+        st.credits = credits;
+    }
+
+    let mut last_summary = Instant::now() - cfg.summary_interval;
+    let mut last_heartbeat = Instant::now();
+    // Baselines for the per-summary delta windows.
+    let mut window_classified = snapshot.classified;
+    let mut window_incorrect = snapshot.incorrect;
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            let s = shared.service.snapshot();
+            crate::frame::write_frame(
+                &mut stream,
+                &Frame::Bye {
+                    counters: counters_from(&s),
+                },
+            )?;
+            lock_recovering(&shared.status).connected = false;
+            return Ok(());
+        }
+
+        // Drain whatever the aggregator sent; poll() blocks up to the
+        // read timeout, which paces this loop.
+        while let Some(frame) = reader.poll(&mut stream)? {
+            match frame {
+                Frame::Credit { grant } => {
+                    credits = credits.saturating_add(grant);
+                    lock_recovering(&shared.status).credits = credits;
+                }
+                Frame::ModelPublish {
+                    epoch,
+                    fingerprint,
+                    json,
+                } => {
+                    let reply = admit_model(shared, epoch, fingerprint, &json);
+                    crate::frame::write_frame(&mut stream, &reply)?;
+                }
+                Frame::Heartbeat { .. } | Frame::HelloAck { .. } => {}
+                // Aggregator-bound frames echoed back would be a peer
+                // bug; ignore rather than kill the session.
+                _ => {}
+            }
+        }
+
+        if last_summary.elapsed() >= cfg.summary_interval {
+            if credits > 0 {
+                let s = shared.service.snapshot();
+                let (admitted_epoch, admitted_fp) = {
+                    let st = lock_recovering(&shared.status);
+                    (st.model_epoch, st.model_fingerprint)
+                };
+                *seq += 1;
+                crate::frame::write_frame(
+                    &mut stream,
+                    &Frame::Summary(SummaryFrame {
+                        seq: *seq,
+                        counters: counters_from(&s),
+                        model_epoch: admitted_epoch,
+                        model_fingerprint: admitted_fp,
+                        window_classified: s.classified.saturating_sub(window_classified),
+                        window_incorrect: s.incorrect.saturating_sub(window_incorrect),
+                        queue_p99_ns: s.queue_latency.p99,
+                        classify_p99_ns: s.classify_latency.p99,
+                    }),
+                )?;
+                window_classified = s.classified;
+                window_incorrect = s.incorrect;
+                credits -= 1;
+                last_summary = Instant::now();
+                let mut st = lock_recovering(&shared.status);
+                st.summaries_sent += 1;
+                st.credits = credits;
+                st.last_seq = *seq;
+            } else {
+                lock_recovering(&shared.status).throttled += 1;
+            }
+        }
+        if last_heartbeat.elapsed() >= cfg.heartbeat_interval {
+            crate::frame::write_frame(&mut stream, &Frame::Heartbeat { sent_ns: 0 })?;
+            last_heartbeat = Instant::now();
+        }
+    }
+}
+
+/// Gate a pushed model through the local validated-swap canary. Never
+/// touches the serving slot on failure: the incumbent keeps serving,
+/// which is the local rollback.
+fn admit_model(shared: &AgentShared, epoch: u64, fingerprint: u64, json: &str) -> Frame {
+    {
+        let st = lock_recovering(&shared.status);
+        if epoch <= st.model_epoch {
+            // Already admitted (the aggregator re-pushes on reconnect).
+            return Frame::ModelStatus {
+                epoch,
+                fingerprint,
+                admitted: true,
+                detail: "already admitted".to_string(),
+            };
+        }
+    }
+    let reject = |detail: String| {
+        let mut st = lock_recovering(&shared.status);
+        st.models_rejected += 1;
+        Frame::ModelStatus {
+            epoch,
+            fingerprint,
+            admitted: false,
+            detail,
+        }
+    };
+    let detector = match VmTransitionDetector::from_json(json) {
+        Ok(d) => d,
+        Err(e) => return reject(format!("undecodable model: {e}")),
+    };
+    if detector.fingerprint() != fingerprint {
+        return reject(format!(
+            "fingerprint mismatch: advertised {fingerprint:016x}, decoded {:016x}",
+            detector.fingerprint()
+        ));
+    }
+    match shared.service.hot_swap_validated(detector, false) {
+        Ok(version) => {
+            let mut st = lock_recovering(&shared.status);
+            st.model_epoch = epoch;
+            st.model_fingerprint = fingerprint;
+            st.models_admitted += 1;
+            Frame::ModelStatus {
+                epoch,
+                fingerprint,
+                admitted: true,
+                detail: format!("deployed as local version {version}"),
+            }
+        }
+        Err(e) => reject(format!("canary rejected swap, incumbent retained: {e}")),
+    }
+}

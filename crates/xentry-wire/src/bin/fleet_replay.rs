@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release --bin fleet-replay -- [--quick] [--hosts N]
 //!     [--shards K] [--records N] [--rate R] [--swap] [--chaos]
-//!     [--workload] [--detector PATH] [--out DIR]
+//!     [--workload] [--detector PATH] [--out DIR] [--distributed N]
 //!     [--serve ADDR] [--self-scrape] [--trace-depth N] [--trace-overhead]
 //! ```
 //!
@@ -24,6 +24,14 @@
 //! alternating traced/untraced self-accounting measurement
 //! ([`xentry_fleet::overhead`]), writing `<out>/overhead.json`; exits
 //! nonzero if the overhead misses the <3% budget.
+//!
+//! `--distributed N` spawns N host-agent child processes (this same
+//! binary re-executed) plus an in-process aggregator on 127.0.0.1, runs
+//! the loopback distributed replay — including a forced kill/restart of
+//! host 0 and a wire-propagated model epoch — self-scrapes the
+//! aggregator's `/metrics`, and writes the receipt to
+//! `<out>/distributed.json`. Exits nonzero unless the fleet-wide
+//! accounting identity is exact and the model converged on every host.
 //!
 //! With `--chaos` the replay instead runs the service-level chaos
 //! harness ([`xentry_fleet::chaos`]): panicking detectors, corrupted
@@ -56,6 +64,8 @@ struct Args {
     self_scrape: bool,
     trace_depth: usize,
     trace_overhead: bool,
+    distributed: Option<usize>,
+    quick: bool,
 }
 
 /// Where replayed activations come from. `Auto` pairs the trace with the
@@ -87,6 +97,8 @@ impl Default for Args {
             self_scrape: false,
             trace_depth: FleetConfig::default().trace_depth,
             trace_overhead: false,
+            distributed: None,
+            quick: false,
         }
     }
 }
@@ -104,6 +116,14 @@ fn parse_args() -> Args {
                 args.hosts = 4;
                 args.shards = 4;
                 args.records_per_host = 50_000;
+                args.quick = true;
+            }
+            "--distributed" => {
+                args.distributed = Some(
+                    value("host count")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --distributed")),
+                )
             }
             "--hosts" => {
                 args.hosts = value("count")
@@ -150,7 +170,8 @@ fn parse_args() -> Args {
                     "fleet-replay [--quick] [--hosts N] [--shards K] [--records N] \
                      [--rate R] [--queue-capacity N] [--batch N] [--swap] [--chaos] \
                      [--workload | --synthetic] [--detector PATH] [--out DIR] \
-                     [--serve ADDR] [--self-scrape] [--trace-depth N] [--trace-overhead]"
+                     [--distributed N] [--serve ADDR] [--self-scrape] \
+                     [--trace-depth N] [--trace-overhead]"
                 );
                 std::process::exit(0);
             }
@@ -320,8 +341,51 @@ fn self_scrape(addr: std::net::SocketAddr, shards: usize) {
     );
 }
 
+/// `--distributed N`: hand the run to the multi-process loopback
+/// harness, with this binary re-executed as the host-child image.
+fn run_distributed_mode(args: &Args) -> ! {
+    let n = args.distributed.unwrap_or(4);
+    if n == 0 {
+        die("--distributed needs at least 1 host");
+    }
+    let mut cfg = xentry_wire::DistributedConfig::quick(n);
+    if !args.quick {
+        cfg.records_per_host = args.records_per_host;
+        cfg.rate_per_host = args.rate_per_host;
+        cfg.shards_per_host = args.shards;
+    }
+    cfg.out = args.out.clone();
+    println!(
+        "distributed replay: {n} host processes x {} records at {}/s, \
+         {} shards each; kill/restart host {:?}, model push {}",
+        cfg.records_per_host,
+        cfg.rate_per_host,
+        cfg.shards_per_host,
+        cfg.kill_restart_host,
+        cfg.publish_model,
+    );
+    let report = xentry_wire::run_distributed(&cfg)
+        .unwrap_or_else(|e| die(&format!("distributed run: {e}")));
+    let path = report.write(&cfg.out).expect("write distributed.json");
+    println!();
+    print!("{}", report.render());
+    println!(
+        "scrape:     /metrics ok={} ({} samples, {} host series)",
+        report.scrape.ok, report.scrape.samples, report.scrape.host_series
+    );
+    println!("receipt:    {}", path.display());
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn main() {
+    // Re-executed as a distributed host child? Run that and exit.
+    if xentry_wire::maybe_child_main() {
+        return;
+    }
     let args = parse_args();
+    if args.distributed.is_some() {
+        run_distributed_mode(&args);
+    }
     if args.chaos {
         run_chaos_mode(&args);
     }

@@ -1,0 +1,176 @@
+//! Golden test for the aggregator's Prometheus exposition — the
+//! fleet-rollup counters and per-host `up`/`last_seen`/`reconnects`
+//! series are a wire contract with external scrapers, pinned
+//! byte-for-byte just like the per-service exposition golden in
+//! `xentry-fleet`. A diff here is a scraper-visible format change;
+//! update the golden only deliberately.
+
+use xentry_fleet::parse_exposition;
+use xentry_wire::aggregator::{AggregatorSnapshot, FleetRollup, HostSnapshot};
+use xentry_wire::{render_aggregator_prometheus, HostCounters};
+
+/// A fully deterministic merged-fleet snapshot: one live host, one host
+/// that died dirty and was reconciled, a published model only one of
+/// them admitted.
+fn fixture() -> AggregatorSnapshot {
+    AggregatorSnapshot {
+        uptime_ns: 3_000_000_000,
+        published_epoch: 2,
+        published_fingerprint: 0x00ab_cdef_0123_4567,
+        hosts: vec![
+            HostSnapshot {
+                id: 0,
+                name: "host0".to_string(),
+                up: true,
+                clean_bye: false,
+                sessions: 1,
+                reconnects: 0,
+                last_seen_age_ns: 40_000_000,
+                incarnation: 1,
+                last_seq: 52,
+                counters: HostCounters {
+                    ingested: 1200,
+                    classified: 1180,
+                    lost: 5,
+                    dropped: 3,
+                    incorrect: 2,
+                    in_flight: 15,
+                },
+                reconciled_lost: 0,
+                model_epoch: 2,
+                model_fingerprint: 0x00ab_cdef_0123_4567,
+                divergences: 0,
+                queue_p99_ns: 2048,
+                classify_p99_ns: 8192,
+            },
+            HostSnapshot {
+                id: 1,
+                name: "host1".to_string(),
+                up: false,
+                clean_bye: false,
+                sessions: 3,
+                reconnects: 2,
+                last_seen_age_ns: 1_500_000_000,
+                incarnation: 2,
+                last_seq: 17,
+                counters: HostCounters {
+                    ingested: 800,
+                    classified: 760,
+                    lost: 40,
+                    dropped: 1,
+                    incorrect: 0,
+                    in_flight: 0,
+                },
+                reconciled_lost: 33,
+                model_epoch: 0,
+                model_fingerprint: 0,
+                divergences: 1,
+                queue_p99_ns: 4096,
+                classify_p99_ns: 16_384,
+            },
+        ],
+        fleet: FleetRollup {
+            hosts_configured: 2,
+            hosts_up: 1,
+            ingested: 2000,
+            classified: 1940,
+            lost: 45,
+            dropped: 4,
+            incorrect: 2,
+            in_flight: 15,
+            reconciled_lost: 33,
+            sessions: 4,
+            reconnects: 2,
+            summaries: 69,
+            credits_granted: 69,
+            rejected_connections: 1,
+            identity_violations: 0,
+            model_divergences: 1,
+        },
+    }
+}
+
+const GOLDEN: &str = include_str!("exposition_golden.txt");
+
+#[test]
+fn aggregator_exposition_matches_golden_byte_for_byte() {
+    let rendered = render_aggregator_prometheus(&fixture());
+    if rendered != GOLDEN {
+        for (i, (a, b)) in rendered.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(a, b, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            GOLDEN.lines().count(),
+            "same lines but different line count"
+        );
+        panic!("rendered exposition differs from golden");
+    }
+}
+
+#[test]
+fn aggregator_exposition_parses_and_covers_the_fleet() {
+    let s = fixture();
+    let rendered = render_aggregator_prometheus(&s);
+    let samples = parse_exposition(&rendered).expect("exposition parses");
+    let series = |name: &str| {
+        samples
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .collect::<Vec<_>>()
+    };
+
+    // One sample per configured host on every per-host series.
+    for per_host in [
+        "xentry_agg_host_up",
+        "xentry_agg_host_last_seen_seconds",
+        "xentry_agg_host_reconnects_total",
+        "xentry_agg_host_ingested_total",
+        "xentry_agg_host_classified_total",
+        "xentry_agg_host_lost_total",
+        "xentry_agg_host_in_flight",
+        "xentry_agg_host_model_epoch",
+        "xentry_agg_host_divergences_total",
+    ] {
+        assert_eq!(series(per_host).len(), 2, "{per_host}");
+    }
+
+    // The host label selects the right host.
+    let host1_up = samples
+        .iter()
+        .find(|(n, labels, _)| {
+            n == "xentry_agg_host_up" && labels.contains(&("host".to_string(), "host1".to_string()))
+        })
+        .expect("host1 up series");
+    assert_eq!(host1_up.2, 0.0);
+
+    // Fleet rollups agree with the snapshot, and the identity gauge
+    // reflects the (here: holding) accounting identity.
+    assert_eq!(series("xentry_agg_ingested_total")[0].2, 2000.0);
+    assert_eq!(series("xentry_agg_reconnects_total")[0].2, 2.0);
+    assert_eq!(series("xentry_agg_reconciled_lost_total")[0].2, 33.0);
+    assert_eq!(series("xentry_agg_accounting_identity")[0].2, 1.0);
+    assert!(s.accounting_identity());
+
+    // model_info carries epoch + fingerprint as labels.
+    let info = series("xentry_agg_model_info");
+    assert_eq!(info.len(), 1);
+    assert!(info[0].1.contains(&("epoch".to_string(), "2".to_string())));
+    assert!(info[0]
+        .1
+        .contains(&("fingerprint".to_string(), "00abcdef01234567".to_string())));
+}
+
+#[test]
+fn broken_identity_shows_in_the_gauge() {
+    let mut s = fixture();
+    s.fleet.lost -= 1; // now ingested != classified + lost + in_flight
+    assert!(!s.accounting_identity());
+    let rendered = render_aggregator_prometheus(&s);
+    let samples = parse_exposition(&rendered).expect("parses");
+    let gauge = samples
+        .iter()
+        .find(|(n, _, _)| n == "xentry_agg_accounting_identity")
+        .expect("identity gauge");
+    assert_eq!(gauge.2, 0.0);
+}

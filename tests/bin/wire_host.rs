@@ -1,0 +1,15 @@
+//! Host-agent child image for the distributed integration test.
+//!
+//! `tests/fleet_distributed.rs` points `DistributedConfig::child_exe`
+//! at this binary (via `CARGO_BIN_EXE_wire-host`); all the real logic
+//! lives in `xentry_wire::distributed`.
+
+fn main() {
+    if !xentry_wire::maybe_child_main() {
+        eprintln!(
+            "wire-host is the distributed-replay child image; \
+             it only runs when spawned by xentry_wire::run_distributed"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Loopback distributed integration test: real processes, real sockets.
+//!
+//! `run_distributed` spawns host-agent child processes (the `wire-host`
+//! bin of this package) plus an in-process aggregator, SIGKILLs one
+//! host mid-run and restarts it with a higher incarnation, and
+//! publishes a retrained model epoch over the wire. The assertions here
+//! are the ISSUE's acceptance criteria verbatim: the fleet-wide
+//! accounting identity is exact across the kill/reconnect, and the
+//! pushed epoch is admitted through `hot_swap_validated` on every
+//! surviving host.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use xentry_wire::{run_distributed, DistributedConfig};
+
+fn test_config(hosts: usize, out: &str) -> DistributedConfig {
+    let mut cfg = DistributedConfig::quick(hosts);
+    // Smaller than the CLI quick run — CI test budget — but still
+    // throttled enough that the kill lands mid-replay.
+    cfg.records_per_host = 12_000;
+    cfg.rate_per_host = 12_000.0;
+    cfg.child_exe = PathBuf::from(env!("CARGO_BIN_EXE_wire-host"));
+    cfg.timeout = Duration::from_secs(90);
+    cfg.out = std::env::temp_dir().join(out);
+    cfg
+}
+
+#[test]
+fn distributed_replay_survives_kill_and_converges() {
+    let cfg = test_config(3, "xentry-wire-distributed");
+    let report = run_distributed(&cfg).expect("distributed run completes");
+
+    // --- Accounting identity, exact, across a forced kill/reconnect.
+    let fleet = &report.aggregator.fleet;
+    assert_eq!(
+        fleet.ingested,
+        fleet.classified + fleet.lost,
+        "fleet-wide ingested == classified + lost must be exact"
+    );
+    assert_eq!(fleet.in_flight, 0, "finalization closes every window");
+    assert!(report.accounting.identity_exact);
+    assert_eq!(fleet.identity_violations, 0);
+
+    // --- The kill/reconnect actually happened and was reconciled.
+    let killed = report.killed_host.expect("drill configured");
+    let victim = report
+        .aggregator
+        .hosts
+        .iter()
+        .find(|h| h.id == killed)
+        .expect("victim tracked");
+    assert!(victim.sessions >= 2, "victim reconnected");
+    assert!(
+        victim.incarnation >= 2,
+        "victim restarted as a new incarnation"
+    );
+    assert!(fleet.reconnects >= 1);
+    // The SIGKILLed incarnation sent no Bye: whatever its last summary
+    // held in flight was folded into lost, not silently dropped.
+    assert_eq!(
+        victim.counters.ingested,
+        victim.counters.classified + victim.counters.lost
+    );
+
+    // --- Model epoch propagated and admitted on every host.
+    assert!(report.model.published_epoch > 0);
+    assert!(
+        report.model.converged,
+        "every host admitted the pushed epoch"
+    );
+    assert_eq!(report.model.hosts_converged, report.model.hosts_total);
+    for host in &report.aggregator.hosts {
+        assert_eq!(host.model_epoch, report.aggregator.published_epoch);
+        assert_eq!(
+            host.model_fingerprint,
+            report.aggregator.published_fingerprint
+        );
+        assert!(host.clean_bye, "every final incarnation exited cleanly");
+    }
+    // Admission went through hot_swap_validated on each child (the
+    // agent counts them), and none diverged.
+    assert_eq!(fleet.model_divergences, 0);
+    for child in report
+        .children
+        .iter()
+        .filter(|c| c.agent.model_epoch == report.model.published_epoch)
+    {
+        assert!(child.agent.models_admitted >= 1);
+    }
+    assert!(
+        report
+            .children
+            .iter()
+            .all(|c| c.agent.model_epoch == report.model.published_epoch),
+        "every surviving child converged on the published epoch"
+    );
+
+    // --- Receipts: the scrape worked and the JSON receipt landed.
+    assert!(report.scrape.ok, "mid-run /metrics self-scrape");
+    assert_eq!(report.scrape.host_series, 3);
+    let path = report.write(&cfg.out).expect("write receipt");
+    let json = std::fs::read_to_string(path).expect("receipt readable");
+    assert!(json.contains("\"identity_exact\": true"));
+    assert!(report.is_clean());
+}
+
+#[test]
+fn distributed_replay_without_drills_is_exact_too() {
+    let mut cfg = test_config(2, "xentry-wire-distributed-plain");
+    cfg.records_per_host = 6_000;
+    cfg.rate_per_host = 0.0; // unthrottled: fastest possible run
+    cfg.kill_restart_host = None;
+    cfg.publish_model = false;
+    let report = run_distributed(&cfg).expect("plain run completes");
+    let fleet = &report.aggregator.fleet;
+    assert_eq!(fleet.ingested, fleet.classified + fleet.lost);
+    assert_eq!(fleet.reconciled_lost, 0, "clean Byes strand nothing");
+    assert_eq!(fleet.sessions, 2);
+    assert_eq!(fleet.reconnects, 0);
+    assert!(report.children.iter().all(|c| c.drained));
+    assert!(report.is_clean());
+}
