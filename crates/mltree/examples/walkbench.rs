@@ -1,0 +1,128 @@
+//! Kernel iteration harness: per-kernel, per-layout ns/classify on a
+//! detector-shaped workload (many models round-robined over a sample
+//! pool, batches of 64), without booting the full xentry-bench
+//! pipeline. Used to tune the `mltree::simd` kernels; the committed
+//! perf numbers come from `figures -- inference`.
+//!
+//! ```text
+//! cargo run --release -p mltree --example walkbench [models] [pool]
+//! ```
+
+use mltree::{BatchWalker, CompiledTree, Dataset, DecisionTree, Label, Sample, TrainConfig};
+
+const ARITY: usize = 5;
+const BATCH: usize = 64;
+
+fn synth_dataset(n: usize, salt: u64) -> Dataset {
+    let mut ds = Dataset::new(&["a", "b", "c", "d", "e"]);
+    let mut x = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..n {
+        let f: Vec<u64> = (0..ARITY).map(|_| next() % 997).collect();
+        let label = if (f[0] * 3 + f[1] * 7 + f[2] * 11 + next() % 200) % 13 < 4 {
+            Label::Incorrect
+        } else {
+            Label::Correct
+        };
+        ds.push(Sample::new(f, label));
+    }
+    ds
+}
+
+fn measure(name: &str, trees: &[CompiledTree], pool: &[[u64; ARITY]], walker: BatchWalker) {
+    let mut out = [Label::Correct; BATCH];
+    let mut best = f64::INFINITY;
+    let rounds = 9;
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let mut n = 0usize;
+        for (i, batch) in pool.chunks(BATCH).enumerate() {
+            let tree = &trees[i % trees.len()];
+            tree.classify_batch_with(walker, batch, &mut out[..batch.len()]);
+            n += batch.len();
+            sink += (out[0] == Label::Incorrect) as usize;
+        }
+        let ns = t.elapsed().as_nanos() as f64 / n as f64;
+        best = best.min(ns);
+    }
+    std::hint::black_box(sink);
+    println!("{name:>28}  {best:7.2} ns/classify  {:>10.0}/s", 1e9 / best);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let models: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(128);
+    let pool_n: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(8192);
+
+    let trees: Vec<DecisionTree> = (0..models)
+        .map(|m| {
+            let ds = synth_dataset(6000, m as u64 + 1);
+            DecisionTree::train(&ds, &TrainConfig::decision_tree())
+        })
+        .collect();
+    let compiled: Vec<CompiledTree> = trees.iter().map(CompiledTree::compile).collect();
+    let pool: Vec<[u64; ARITY]> = {
+        let ds = synth_dataset(pool_n, 4242);
+        ds.samples
+            .iter()
+            .map(|s| std::array::from_fn(|f| s.features[f]))
+            .collect()
+    };
+
+    let splits: usize = compiled.iter().map(|c| c.nr_splits()).sum();
+    let depth = compiled.iter().map(|c| c.depth()).max().unwrap_or(0);
+    let bytes: usize = compiled.iter().map(|c| c.arena_bytes()).sum();
+    let cost: usize = compiled
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            pool.iter()
+                .skip(i % 8)
+                .step_by(8)
+                .map(|r| c.classify_cost(r))
+                .sum::<usize>()
+        })
+        .sum();
+    println!(
+        "{models} models, {} splits avg, depth<= {depth}, {:.1} KiB total, avg path {:.1}",
+        splits / models,
+        bytes as f64 / 1024.0,
+        cost as f64 / (models as f64 * (pool.len() / 8) as f64)
+    );
+    println!("auto kernel: {}", mltree::active_kernel_name());
+
+    // Profile each tree on its own traffic slice, then re-lay.
+    let profiled: Vec<CompiledTree> = compiled
+        .iter()
+        .map(|c| {
+            let mut p = mltree::TreeProfile::for_tree(c);
+            for row in pool.iter().take(1024) {
+                p.record(c, row);
+            }
+            c.reorder_profiled(&p)
+        })
+        .collect();
+    let hot: usize = profiled.iter().map(|c| c.hot_prefix_bytes()).sum();
+    println!(
+        "profiled hot prefix: {:.1} KiB of {:.1} KiB",
+        hot as f64 / 1024.0,
+        bytes as f64 / 1024.0
+    );
+
+    for (layout, trees) in [("preorder", &compiled), ("profiled", &profiled)] {
+        for walker in [
+            BatchWalker::Scalar,
+            BatchWalker::Avx2,
+            BatchWalker::Avx512,
+            BatchWalker::Auto,
+        ] {
+            measure(&format!("{layout}/{walker:?}"), trees, &pool, walker);
+        }
+    }
+}

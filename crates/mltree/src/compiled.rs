@@ -26,18 +26,34 @@
 //! accumulates votes for a chunk of samples in a fixed array, tree by
 //! tree, so each tree's arena region is streamed once per chunk.
 //!
-//! Batch classification ([`CompiledTree::classify_batch`]) walks eight
-//! samples in branchless lockstep (`walk_lanes`): per-sample branches
-//! mispredict ~50% on real trees and each flush discards the other
-//! samples' in-flight loads, while eight independent dependency chains
-//! advanced by `cmov` keep that many cache misses overlapped. Finished
-//! lanes idle on their leaf reference until the round count (the tree
-//! depth) expires.
+//! Batch classification ([`CompiledTree::classify_batch`]) walks many
+//! samples in branchless lockstep: per-sample branches mispredict ~50%
+//! on real trees and each flush discards the other samples' in-flight
+//! loads, while independent dependency chains keep that many cache
+//! misses overlapped. The lockstep round itself is vectorized in
+//! [`crate::simd`]. At compile time each tree also builds a *packed
+//! shadow arena* there — one u64 per split, leaves self-looping — and
+//! any chunk whose runtime feature values fit 12 bits (Xentry's
+//! counters always do; checked per chunk, exact by construction) walks
+//! it at one gather plus a few ALU ops per 8-lane group per level.
+//! Chunks outside that envelope take the tagged wide kernels over the
+//! 24-byte records. Kernels (AVX-512 / AVX2 / portable scalar oracle)
+//! are selectable per call through
+//! [`CompiledTree::classify_batch_with`]; short tail groups are padded
+//! to full width by replicating the last row, so every batch size stays
+//! on the wide path.
+//!
+//! Arenas can additionally be laid out *profile-guided*: see
+//! [`crate::layout`] for [`CompiledTree::compile_profiled`], which
+//! re-emits the records hot-path-first from harvested branch counts.
 //!
 //! [`Node`]: crate::tree::Node
 
 use crate::dataset::Label;
 use crate::forest::RandomForest;
+use crate::simd::{
+    self, BatchWalker, LaneCols, PackedArena, LANES, MAX_SIMD_ARITY, PACKED_CHUNK, WIDTH,
+};
 use crate::tree::{DecisionTree, Node};
 
 /// Child-reference tag: set ⇒ the reference is a leaf verdict, not an
@@ -56,7 +72,7 @@ const fn leaf_ref(label: Label) -> u32 {
 
 /// Decode a leaf reference back into a label.
 #[inline]
-const fn leaf_label(r: u32) -> Label {
+pub(crate) const fn leaf_label(r: u32) -> Label {
     if r & 1 == 1 {
         Label::Incorrect
     } else {
@@ -79,6 +95,10 @@ pub struct CompiledNode {
     pub right: u32,
     /// Feature column index (Table-I layouts have 5; 255 is plenty).
     pub feature: u8,
+    /// Explicit (zeroed) tail padding. The SIMD walkers gather the
+    /// feature field as a whole 64-bit word at record offset 16, so the
+    /// bytes after `feature` must be initialized, not compiler padding.
+    pub pad: [u8; 7],
 }
 
 /// Keep the child select a real conditional branch. LLVM if-converts the
@@ -138,16 +158,15 @@ unsafe fn walk(nodes: &[CompiledNode], mut r: u32, features: &[u64]) -> u32 {
     r
 }
 
-/// How many independent walks the batch walker advances in lockstep. One
-/// walk is a serial load chain (each level's address depends on the
-/// previous compare), so a lone walk runs at cache latency per level;
-/// eight chains overlap their misses and keep the load ports busy.
-const LANES: usize = 8;
-
 /// Advance [`LANES`] independent walks one level per round for `depth`
 /// rounds, branchlessly: lanes that reached a leaf keep re-selecting their
 /// verdict reference. No data-dependent branches means no pipeline
 /// flushes, which is what lets the chains actually overlap.
+///
+/// This is the *wide-arity* path: each lane carries its own feature
+/// slice, so there is no bound on the feature count. Models with arity
+/// ≤ [`MAX_SIMD_ARITY`] take the vector kernels in [`crate::simd`]
+/// instead.
 ///
 /// # Safety
 /// Same contract as [`walk`] for every lane's reference and feature slice.
@@ -213,6 +232,7 @@ fn emit(node: &Node, nodes: &mut Vec<CompiledNode>) -> u32 {
                 left: 0,
                 right: 0,
                 feature: *feature as u8,
+                pad: [0; 7],
             });
             // Preorder: the left subtree lands at idx + 1, so the hot
             // "<= threshold" path is a sequential read.
@@ -239,13 +259,21 @@ fn arena_arity(nodes: &[CompiledNode]) -> usize {
 /// A [`DecisionTree`] compiled into a flat split arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledTree {
-    nodes: Vec<CompiledNode>,
+    pub(crate) nodes: Vec<CompiledNode>,
     /// Root reference: index 0 for any tree with at least one split, a
     /// tagged verdict for a single-leaf tree.
-    root: u32,
-    depth: usize,
+    pub(crate) root: u32,
+    pub(crate) depth: usize,
     /// Minimum feature-slice length a classify call must provide.
-    arity: usize,
+    pub(crate) arity: usize,
+    /// Records in the profile-weighted hot prefix of the arena (the
+    /// leading run covering ≥90% of observed split visits). For an
+    /// unprofiled layout this is the whole arena — no claim is made.
+    pub(crate) hot_prefix: usize,
+    /// One-u64-per-split shadow arena for the gather-once batch kernels
+    /// (see [`crate::simd`]); `None` when the model is outside the packed
+    /// envelope. Derived from `nodes` — rebuilt on every arena mutation.
+    pub(crate) packed: Option<PackedArena>,
 }
 
 impl CompiledTree {
@@ -257,6 +285,8 @@ impl CompiledTree {
         let root = emit(&tree.root, &mut nodes);
         CompiledTree {
             arity: arena_arity(&nodes),
+            hot_prefix: nodes.len(),
+            packed: PackedArena::build(&nodes, arena_arity(&nodes)),
             nodes,
             root,
             depth: tree.depth(),
@@ -281,40 +311,188 @@ impl CompiledTree {
         unsafe { walk_cost(&self.nodes, self.root, features) }
     }
 
-    /// Classify a batch, one verdict per input row. Full groups of
-    /// `LANES` rows walk the arena in lockstep so their load chains
-    /// overlap; the tail falls back to the single-sample walker. Accepts
-    /// `[u64; 5]` rows (the Table-I layout), slices, or anything
+    /// Classify a batch, one verdict per input row, with the widest
+    /// batch-walk kernel the CPU supports. Groups of `LANES` rows walk
+    /// the arena in lockstep so their load chains overlap; the final
+    /// short group is padded to full width by replicating the last row,
+    /// so fleet drain batches and campaign tails stay on the fast path.
+    /// Accepts `[u64; 5]` rows (the Table-I layout), slices, or anything
     /// slice-like.
     pub fn classify_batch<I: AsRef<[u64]>>(&self, inputs: &[I], out: &mut [Label]) {
+        self.classify_batch_with(BatchWalker::Auto, inputs, out);
+    }
+
+    /// [`CompiledTree::classify_batch`] with an explicit kernel choice —
+    /// benchmarks pin kernels with this, and the equivalence suite uses
+    /// [`BatchWalker::Scalar`] as the oracle against the vector paths.
+    pub fn classify_batch_with<I: AsRef<[u64]>>(
+        &self,
+        walker: BatchWalker,
+        inputs: &[I],
+        out: &mut [Label],
+    ) {
         assert_eq!(
             inputs.len(),
             out.len(),
             "classify_batch: inputs and out must have equal length"
         );
-        let mut groups_in = inputs.chunks_exact(LANES);
-        let mut groups_out = out.chunks_exact_mut(LANES);
-        for (gi, go) in (&mut groups_in).zip(&mut groups_out) {
-            let feats: [&[u64]; LANES] = std::array::from_fn(|k| gi[k].as_ref());
-            for f in &feats {
-                assert!(f.len() >= self.arity, "feature vector too short");
+        if inputs.is_empty() {
+            return;
+        }
+        for f in inputs {
+            assert!(f.as_ref().len() >= self.arity, "feature vector too short");
+        }
+        if self.nodes.is_empty() {
+            // Single-leaf tree: the root reference is the verdict.
+            out.fill(leaf_label(self.root));
+            return;
+        }
+        if let Some(pa) = &self.packed {
+            // Packed fast path: one gather per level per 8-lane group,
+            // exact whenever the chunk's feature values fit 12 bits —
+            // chunks that don't drop to the tagged kernels below.
+            let kernel = simd::resolve(walker);
+            let root = pa.entry(self.root);
+            let mut fps = [0u64; PACKED_CHUNK];
+            let mut refs = [0u32; PACKED_CHUNK];
+            for (gi, go) in inputs
+                .chunks(PACKED_CHUNK)
+                .zip(out.chunks_mut(PACKED_CHUNK))
+            {
+                if let Some(lanes) = simd::stage_packed(gi, self.arity, &mut fps) {
+                    refs[..lanes].fill(root);
+                    // SAFETY: packed references are in-bounds by
+                    // construction; kernel came from resolve().
+                    unsafe {
+                        simd::walk_packed(kernel, pa, &mut refs[..lanes], &fps[..lanes], self.depth)
+                    };
+                    for (o, &r) in go.iter_mut().zip(refs.iter()) {
+                        *o = pa.label(r);
+                    }
+                } else {
+                    self.classify_batch_tagged(kernel, gi, go);
+                }
             }
-            let mut refs = [self.root; LANES];
-            // SAFETY: emit() produced only in-arena indices; arity checked.
-            unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.depth) };
+            return;
+        }
+        if self.arity <= MAX_SIMD_ARITY {
+            self.classify_batch_tagged(simd::resolve(walker), inputs, out);
+        } else {
+            // Wide-arity models: per-lane feature slices, scalar lockstep.
+            for (gi, go) in inputs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+                // Pad short groups by replicating the last row's slice.
+                let feats: [&[u64]; LANES] =
+                    std::array::from_fn(|k| gi[k.min(gi.len() - 1)].as_ref());
+                let mut refs = [self.root; LANES];
+                // SAFETY: emit() produced only in-arena indices; arity checked.
+                unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.depth) };
+                for (o, r) in go.iter_mut().zip(refs) {
+                    *o = leaf_label(r);
+                }
+            }
+        }
+    }
+
+    /// Classify `n` rows produced on demand by `row(i)` — the
+    /// staging-fused batch entry. Rows are packed straight into the
+    /// kernel's per-lane feature words, so a caller whose records live
+    /// in a different shape (the detector's `FeatureVec`) pays one read
+    /// of its fields per record instead of a row-array copy plus a
+    /// re-read. Verdicts are identical to materializing the rows and
+    /// calling [`CompiledTree::classify_batch`]. `row` is invoked only
+    /// with indices in `0..n` (each possibly more than once), which
+    /// callers may rely on to skip their own bounds checks.
+    pub fn classify_batch_rows<const A: usize>(
+        &self,
+        walker: BatchWalker,
+        n: usize,
+        row: impl Fn(usize) -> [u64; A],
+        out: &mut [Label],
+    ) {
+        assert_eq!(n, out.len(), "classify_batch_rows: n and out must agree");
+        assert!(A >= self.arity, "feature rows too short");
+        if n == 0 {
+            return;
+        }
+        if self.nodes.is_empty() {
+            out.fill(leaf_label(self.root));
+            return;
+        }
+        if let Some(pa) = &self.packed {
+            let kernel = simd::resolve(walker);
+            let root = pa.entry(self.root);
+            let mut fps = [0u64; PACKED_CHUNK];
+            let mut refs = [0u32; PACKED_CHUNK];
+            for (start, go) in (0..n)
+                .step_by(PACKED_CHUNK)
+                .zip(out.chunks_mut(PACKED_CHUNK))
+            {
+                let len = go.len();
+                // Exact-arity rows stage through the const-unrolled
+                // packer; over-wide rows only pack their leading arity
+                // fields (trailing features are never compared).
+                let staged = if self.arity == A {
+                    simd::stage_packed_const::<A>(len, |k| row(start + k), &mut fps)
+                } else {
+                    simd::stage_packed_with(len, |k| row(start + k), self.arity, &mut fps)
+                };
+                if let Some(lanes) = staged {
+                    refs[..lanes].fill(root);
+                    // SAFETY: packed references are in-bounds by
+                    // construction; kernel came from resolve().
+                    unsafe {
+                        simd::walk_packed(kernel, pa, &mut refs[..lanes], &fps[..lanes], self.depth)
+                    };
+                    for (o, &r) in go.iter_mut().zip(refs.iter()) {
+                        *o = pa.label(r);
+                    }
+                } else {
+                    // Oversized values in this chunk: materialize it and
+                    // take the exact tagged path.
+                    let mut rows = [[0u64; A]; PACKED_CHUNK];
+                    for (k, slot) in rows.iter_mut().enumerate().take(len) {
+                        *slot = row(start + k);
+                    }
+                    self.classify_batch_tagged(kernel, &rows[..len], go);
+                }
+            }
+            return;
+        }
+        // No packed shadow: materialize chunks and take the generic path.
+        let mut rows = [[0u64; A]; PACKED_CHUNK];
+        for (start, go) in (0..n)
+            .step_by(PACKED_CHUNK)
+            .zip(out.chunks_mut(PACKED_CHUNK))
+        {
+            let len = go.len();
+            for (k, slot) in rows.iter_mut().enumerate().take(len) {
+                *slot = row(start + k);
+            }
+            self.classify_batch_with(walker, &rows[..len], go);
+        }
+    }
+
+    /// The tagged-arena vector path: exact for any u64 feature values.
+    /// Serves models without a packed shadow and packed-envelope chunks
+    /// whose runtime values overflow 12 bits.
+    fn classify_batch_tagged<I: AsRef<[u64]>>(
+        &self,
+        kernel: simd::Kernel,
+        inputs: &[I],
+        out: &mut [Label],
+    ) {
+        debug_assert!(self.arity <= MAX_SIMD_ARITY && !self.nodes.is_empty());
+        let mut cols = [LaneCols::zeroed(), LaneCols::zeroed()];
+        for (gi, go) in inputs.chunks(WIDTH).zip(out.chunks_mut(WIDTH)) {
+            simd::fill_pair(&mut cols, gi, self.arity);
+            let mut refs = [self.root; WIDTH];
+            // SAFETY: emit()/reorder produced only in-arena indices;
+            // arity (≤ MAX_SIMD_ARITY) and column coverage checked by the
+            // caller.
+            unsafe { simd::walk_wide(kernel, &self.nodes, &mut refs, &cols, self.depth) };
             for (o, r) in go.iter_mut().zip(refs) {
                 *o = leaf_label(r);
             }
-        }
-        for (f, o) in groups_in
-            .remainder()
-            .iter()
-            .zip(groups_out.into_remainder())
-        {
-            let f = f.as_ref();
-            assert!(f.len() >= self.arity, "feature vector too short");
-            // SAFETY: emit() produced only in-arena indices; arity checked.
-            *o = leaf_label(unsafe { walk(&self.nodes, self.root, f) });
         }
     }
 
@@ -332,6 +510,17 @@ impl CompiledTree {
     /// Arena bytes actually touched by walks.
     pub fn arena_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<CompiledNode>()
+    }
+
+    /// Bytes of the profile-weighted hot prefix: the leading run of
+    /// records that covered ≥90% of split visits when the arena was
+    /// re-laid out by [`CompiledTree::reorder_profiled`]. For an
+    /// unprofiled arena this equals [`CompiledTree::arena_bytes`] —
+    /// nothing is claimed about residency. Exported as a fleet gauge so
+    /// operators can see how much of the model the cache must hold to
+    /// serve the common path.
+    pub fn hot_prefix_bytes(&self) -> usize {
+        self.hot_prefix * std::mem::size_of::<CompiledNode>()
     }
 
     /// Defined (non-padding) bits per arena record, the coordinate space
@@ -361,6 +550,10 @@ impl CompiledTree {
             b @ 96..=127 => node.right ^= 1u32 << (b - 96),
             b => node.feature ^= 1u8 << (b - 128),
         }
+        // Re-derive the packed shadow so the corruption is visible on the
+        // fast path too — a fault that only struck a stale copy would
+        // vanish instead of being caught by validate()/canary layers.
+        self.packed = PackedArena::build(&self.nodes, self.arity);
     }
 
     /// Structural integrity check over the arena — the deploy-time gate
@@ -535,6 +728,8 @@ pub struct CompiledForest {
     arity: usize,
     /// Deepest member tree — the lockstep round count for batch walks.
     max_depth: usize,
+    /// Packed shadow of the shared arena (see [`CompiledTree`]).
+    packed: Option<PackedArena>,
 }
 
 impl CompiledForest {
@@ -548,6 +743,7 @@ impl CompiledForest {
             .collect();
         CompiledForest {
             arity: arena_arity(&nodes),
+            packed: PackedArena::build(&nodes, arena_arity(&nodes)),
             nodes,
             roots,
             vote_threshold: forest.vote_threshold,
@@ -605,52 +801,134 @@ impl CompiledForest {
     /// fixed array while the trees are walked in arena order, so each
     /// tree's records are streamed once per chunk instead of once per
     /// sample. Within a tree, samples advance in lockstep groups of
-    /// `LANES` so their load chains overlap. Full-count voting — the
+    /// `LANES` on the widest kernel the CPU supports (short tail groups
+    /// padded by replicating the last row). Full-count voting — the
     /// label equals the early-exiting [`CompiledForest::classify`] by the
     /// same threshold argument.
     pub fn classify_batch<I: AsRef<[u64]>>(&self, inputs: &[I], out: &mut [Label]) {
+        self.classify_batch_with(BatchWalker::Auto, inputs, out);
+    }
+
+    /// [`CompiledForest::classify_batch`] with an explicit kernel choice
+    /// (see [`CompiledTree::classify_batch_with`]).
+    pub fn classify_batch_with<I: AsRef<[u64]>>(
+        &self,
+        walker: BatchWalker,
+        inputs: &[I],
+        out: &mut [Label],
+    ) {
         assert_eq!(
             inputs.len(),
             out.len(),
             "classify_batch: inputs and out must have equal length"
         );
+        for f in inputs {
+            assert!(f.as_ref().len() >= self.arity, "feature vector too short");
+        }
         let thr = self.vote_threshold as u32;
+        let verdict = |v: u32| {
+            if v >= thr {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            }
+        };
+        if self.nodes.is_empty() {
+            // Every tree is a single leaf: one vote count fits all rows.
+            let votes = self
+                .roots
+                .iter()
+                .filter(|&&r| leaf_label(r) == Label::Incorrect)
+                .count() as u32;
+            out.fill(verdict(votes));
+            return;
+        }
+        let wide = self.arity > MAX_SIMD_ARITY;
+        let kernel = simd::resolve(walker);
+        // Feature columns for each lane-pair group of the chunk, staged
+        // once and reused across every tree of the ensemble.
+        let mut cols: Vec<[LaneCols; 2]> = Vec::new();
+        let mut fps = [0u64; PACKED_CHUNK];
+        let mut refs = [0u32; PACKED_CHUNK];
         for (chunk_in, chunk_out) in inputs.chunks(BATCH_CHUNK).zip(out.chunks_mut(BATCH_CHUNK)) {
             let mut votes = [0u32; BATCH_CHUNK];
             let votes = &mut votes[..chunk_in.len()];
-            for &root in &self.roots {
-                let mut groups_in = chunk_in.chunks_exact(LANES);
-                let mut groups_votes = votes.chunks_exact_mut(LANES);
-                for (gi, gv) in (&mut groups_in).zip(&mut groups_votes) {
-                    let feats: [&[u64]; LANES] = std::array::from_fn(|k| gi[k].as_ref());
-                    for f in &feats {
-                        assert!(f.len() >= self.arity, "feature vector too short");
+            // Packed fast path: feature words staged once per chunk and
+            // reused across every tree; chunks whose values overflow 12
+            // bits drop to the exact tagged kernels below.
+            if let Some(pa) = &self.packed {
+                if let Some(lanes) = simd::stage_packed(chunk_in, self.arity, &mut fps) {
+                    for &root in &self.roots {
+                        refs[..lanes].fill(pa.entry(root));
+                        // SAFETY: packed references are in-bounds by
+                        // construction; kernel came from resolve().
+                        unsafe {
+                            simd::walk_packed(
+                                kernel,
+                                pa,
+                                &mut refs[..lanes],
+                                &fps[..lanes],
+                                self.max_depth,
+                            )
+                        };
+                        for (v, &r) in votes.iter_mut().zip(refs.iter()) {
+                            *v += pa.vote(r);
+                        }
                     }
-                    let mut refs = [root; LANES];
-                    // SAFETY: emit() produced in-arena indices; arity checked.
-                    unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.max_depth) };
-                    for (v, r) in gv.iter_mut().zip(refs) {
-                        *v += (leaf_label(r) == Label::Incorrect) as u32;
+                    for (o, &v) in chunk_out.iter_mut().zip(votes.iter()) {
+                        *o = verdict(v);
                     }
+                    continue;
                 }
-                for (f, v) in groups_in
-                    .remainder()
-                    .iter()
-                    .zip(groups_votes.into_remainder())
+            }
+            if !wide {
+                cols.clear();
+                for gi in chunk_in.chunks(WIDTH) {
+                    let mut c = [LaneCols::zeroed(), LaneCols::zeroed()];
+                    simd::fill_pair(&mut c, gi, self.arity);
+                    cols.push(c);
+                }
+            }
+            for &root in &self.roots {
+                for (g, (gi, gv)) in chunk_in
+                    .chunks(WIDTH)
+                    .zip(votes.chunks_mut(WIDTH))
+                    .enumerate()
                 {
-                    let f = f.as_ref();
-                    assert!(f.len() >= self.arity, "feature vector too short");
-                    // SAFETY: emit() produced in-arena indices; arity checked.
-                    *v += (leaf_label(unsafe { walk(&self.nodes, root, f) }) == Label::Incorrect)
-                        as u32;
+                    if wide {
+                        for (li, lv) in gi.chunks(LANES).zip(gv.chunks_mut(LANES)) {
+                            // Pad short groups by replicating the last slice.
+                            let feats: [&[u64]; LANES] =
+                                std::array::from_fn(|k| li[k.min(li.len() - 1)].as_ref());
+                            let mut refs = [root; LANES];
+                            // SAFETY: emit() produced in-arena indices; arity
+                            // checked once over the whole batch above.
+                            unsafe { walk_lanes(&self.nodes, &mut refs, &feats, self.max_depth) };
+                            for (v, r) in lv.iter_mut().zip(refs) {
+                                *v += (leaf_label(r) == Label::Incorrect) as u32;
+                            }
+                        }
+                    } else {
+                        let mut refs = [root; WIDTH];
+                        // SAFETY: as above, plus arity ≤ MAX_SIMD_ARITY so
+                        // the staged columns cover every feature index.
+                        unsafe {
+                            simd::walk_wide(
+                                kernel,
+                                &self.nodes,
+                                &mut refs,
+                                &cols[g],
+                                self.max_depth,
+                            )
+                        };
+                        for (v, r) in gv.iter_mut().zip(refs) {
+                            *v += (leaf_label(r) == Label::Incorrect) as u32;
+                        }
+                    }
                 }
             }
             for (o, &v) in chunk_out.iter_mut().zip(votes.iter()) {
-                *o = if v >= thr {
-                    Label::Incorrect
-                } else {
-                    Label::Correct
-                };
+                *o = verdict(v);
             }
         }
     }

@@ -1,0 +1,370 @@
+//! Profile-guided arena layout: re-emit a compiled tree hot-path-first.
+//!
+//! [`CompiledTree::compile`] lays records out in preorder — the *left*
+//! child is always the next record, regardless of which child real
+//! traffic actually takes. [`TreeProfile`] harvests per-split branch
+//! counts from representative feature vectors (fleet verdict traffic,
+//! campaign datasets), and [`CompiledTree::reorder_profiled`] re-emits
+//! the arena in **hot-first depth-first order**: at every split the
+//! *most-taken* child is placed adjacent to its parent and its whole
+//! subtree before the cold sibling's. Two effects:
+//!
+//! * the common path through the tree becomes a forward streak through
+//!   memory (the prefetcher's favourite access pattern), independent of
+//!   whether it zig-zags left/right logically;
+//! * the hot records of *all* top levels cluster into a contiguous
+//!   prefix of the arena — [`CompiledTree::hot_prefix_bytes`] reports
+//!   how many leading bytes covered ≥90% of observed split visits, i.e.
+//!   how little of the model the cache must keep resident to serve the
+//!   common path.
+//!
+//! The reorder is a pure permutation: thresholds, feature indices and
+//! tree *shape* are untouched, so verdicts are bit-identical (proptest
+//! in `tests/compiled_equivalence.rs`) and the re-laid arena still
+//! passes [`CompiledTree::validate`] — hot-first DFS preserves the
+//! forward-reference invariant (children always land after parents).
+//! Because the boxed [`DecisionTree`] is unchanged, a profiled model
+//! has the same serialized form and fingerprint as the original, so
+//! fleet hot-swap canary validation passes without special-casing.
+
+use crate::compiled::{CompiledNode, CompiledTree, LEAF_BIT};
+use crate::tree::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of observed split visits the leading arena records must
+/// cover to count as the hot prefix.
+const HOT_VISIT_FRACTION: f64 = 0.90;
+
+/// Per-split branch counts for one compiled tree, indexed by arena
+/// record. The serializable profile format: harvested online (fleet
+/// verdict traffic), merged across shards, and fed back into
+/// [`CompiledTree::compile_profiled`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeProfile {
+    /// Times each split's `<= threshold` (left) branch was taken.
+    pub taken_left: Vec<u64>,
+    /// Times each split's right branch was taken.
+    pub taken_right: Vec<u64>,
+}
+
+impl TreeProfile {
+    /// An empty (all-zero) profile shaped for `tree`'s arena.
+    pub fn for_tree(tree: &CompiledTree) -> TreeProfile {
+        TreeProfile {
+            taken_left: vec![0; tree.nr_splits()],
+            taken_right: vec![0; tree.nr_splits()],
+        }
+    }
+
+    /// Splits this profile covers — must equal the arena's `nr_splits`.
+    pub fn len(&self) -> usize {
+        self.taken_left.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.taken_left.is_empty()
+    }
+
+    /// Record one classification's path through `tree`. A checked walk —
+    /// profiling runs off the hot path, so it pays for bounds checks.
+    pub fn record(&mut self, tree: &CompiledTree, features: &[u64]) {
+        assert_eq!(
+            self.len(),
+            tree.nr_splits(),
+            "profile shaped for another arena"
+        );
+        let mut r = tree.root;
+        while r & LEAF_BIT == 0 {
+            let n = &tree.nodes[r as usize];
+            if features[n.feature as usize] <= n.threshold {
+                self.taken_left[r as usize] += 1;
+                r = n.left;
+            } else {
+                self.taken_right[r as usize] += 1;
+                r = n.right;
+            }
+        }
+    }
+
+    /// Record a whole batch of feature rows.
+    pub fn record_batch<I: AsRef<[u64]>>(&mut self, tree: &CompiledTree, inputs: &[I]) {
+        for f in inputs {
+            self.record(tree, f.as_ref());
+        }
+    }
+
+    /// Merge counts harvested elsewhere (another shard, another epoch).
+    pub fn merge(&mut self, other: &TreeProfile) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "profiles shaped for different arenas"
+        );
+        for (a, b) in self.taken_left.iter_mut().zip(&other.taken_left) {
+            *a += b;
+        }
+        for (a, b) in self.taken_right.iter_mut().zip(&other.taken_right) {
+            *a += b;
+        }
+    }
+
+    /// Total times record `i` was visited (both branches).
+    pub fn visits(&self, i: usize) -> u64 {
+        self.taken_left[i] + self.taken_right[i]
+    }
+
+    /// Total split visits across the whole arena.
+    pub fn total_visits(&self) -> u64 {
+        self.taken_left.iter().chain(&self.taken_right).sum()
+    }
+}
+
+impl CompiledTree {
+    /// Compile `tree` and immediately lay its arena out hot-path-first
+    /// from `profile` — the entry point fleet hot-swap publishes.
+    pub fn compile_profiled(tree: &DecisionTree, profile: &TreeProfile) -> CompiledTree {
+        CompiledTree::compile(tree).reorder_profiled(profile)
+    }
+
+    /// Re-emit this arena in hot-first depth-first order: at every split
+    /// the most-taken child (ties go left, matching preorder) is placed
+    /// at the next record and its subtree emitted before the cold
+    /// sibling's. Pure permutation — same splits, same verdicts, same
+    /// depth; passes [`CompiledTree::validate`].
+    pub fn reorder_profiled(&self, profile: &TreeProfile) -> CompiledTree {
+        assert_eq!(
+            profile.len(),
+            self.nr_splits(),
+            "profile shaped for another arena"
+        );
+        if self.nodes.is_empty() {
+            return self.clone();
+        }
+        // Hot-first DFS over old indices. The explicit stack pops the
+        // hot child immediately after its parent (pushed last), and the
+        // cold subtree only after the hot subtree exhausts — exactly
+        // recursion order, without recursion.
+        let mut order: Vec<u32> = Vec::with_capacity(self.nodes.len());
+        let mut new_of: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut stack: Vec<u32> = vec![self.root];
+        while let Some(old) = stack.pop() {
+            new_of[old as usize] = order.len() as u32;
+            order.push(old);
+            let n = &self.nodes[old as usize];
+            let (hot, cold) =
+                if profile.taken_left[old as usize] >= profile.taken_right[old as usize] {
+                    (n.left, n.right)
+                } else {
+                    (n.right, n.left)
+                };
+            if cold & LEAF_BIT == 0 {
+                stack.push(cold);
+            }
+            if hot & LEAF_BIT == 0 {
+                stack.push(hot);
+            }
+        }
+        debug_assert_eq!(order.len(), self.nodes.len(), "arena must be a tree");
+        let remap = |r: u32| {
+            if r & LEAF_BIT != 0 {
+                r
+            } else {
+                new_of[r as usize]
+            }
+        };
+        let nodes: Vec<CompiledNode> = order
+            .iter()
+            .map(|&old| {
+                let n = &self.nodes[old as usize];
+                CompiledNode {
+                    threshold: n.threshold,
+                    left: remap(n.left),
+                    right: remap(n.right),
+                    feature: n.feature,
+                    pad: [0; 7],
+                }
+            })
+            .collect();
+        // Hot prefix: shortest leading run of (re-laid) records covering
+        // HOT_VISIT_FRACTION of all observed visits. With no traffic at
+        // all, claim nothing: the whole arena is the prefix.
+        let total = profile.total_visits();
+        let hot_prefix = if total == 0 {
+            nodes.len()
+        } else {
+            let need = (total as f64 * HOT_VISIT_FRACTION).ceil() as u64;
+            let mut covered = 0u64;
+            let mut prefix = nodes.len();
+            for (i, &old) in order.iter().enumerate() {
+                covered += profile.visits(old as usize);
+                if covered >= need {
+                    prefix = i + 1;
+                    break;
+                }
+            }
+            prefix
+        };
+        CompiledTree {
+            packed: crate::simd::PackedArena::build(&nodes, self.arity),
+            nodes,
+            root: 0,
+            depth: self.depth,
+            arity: self.arity,
+            hot_prefix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Label, Sample};
+    use crate::tree::{DecisionTree, TrainConfig};
+
+    fn skewed_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(&["a", "b", "c"]);
+        for i in 0..n as u64 {
+            let label = if (i * 7 + 3) % 11 < 3 {
+                Label::Incorrect
+            } else {
+                Label::Correct
+            };
+            ds.push(Sample::new(vec![i % 37, (i * 5) % 41, i % 13], label));
+        }
+        ds
+    }
+
+    fn trained() -> (Dataset, CompiledTree) {
+        let ds = skewed_dataset(400);
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        (ds, CompiledTree::compile(&tree))
+    }
+
+    #[test]
+    fn reorder_preserves_verdicts_and_validates() {
+        let (ds, compiled) = trained();
+        assert!(compiled.nr_splits() > 3, "need a multi-split tree");
+        let mut profile = TreeProfile::for_tree(&compiled);
+        for s in &ds.samples {
+            profile.record(&compiled, &s.features);
+        }
+        let hot = compiled.reorder_profiled(&profile);
+        hot.validate().unwrap();
+        assert_eq!(hot.nr_splits(), compiled.nr_splits());
+        assert_eq!(hot.depth(), compiled.depth());
+        for s in &ds.samples {
+            assert_eq!(hot.classify(&s.features), compiled.classify(&s.features));
+            assert_eq!(
+                hot.classify_cost(&s.features),
+                compiled.classify_cost(&s.features)
+            );
+        }
+    }
+
+    #[test]
+    fn hot_child_is_adjacent_to_parent() {
+        let (ds, compiled) = trained();
+        let mut profile = TreeProfile::for_tree(&compiled);
+        profile.record_batch(
+            &compiled,
+            &ds.samples.iter().map(|s| &s.features).collect::<Vec<_>>(),
+        );
+        let hot = compiled.reorder_profiled(&profile);
+        // Re-harvest on the re-laid arena so counts index its records.
+        let mut hp = TreeProfile::for_tree(&hot);
+        for s in &ds.samples {
+            hp.record(&hot, &s.features);
+        }
+        for (i, n) in hot.nodes.iter().enumerate() {
+            let (hot_child, _) = if hp.taken_left[i] >= hp.taken_right[i] {
+                (n.left, n.right)
+            } else {
+                (n.right, n.left)
+            };
+            if hot_child & LEAF_BIT == 0 {
+                assert_eq!(
+                    hot_child as usize,
+                    i + 1,
+                    "record {i}: most-taken child must be adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_prefix_shrinks_under_skewed_traffic() {
+        let (_, compiled) = trained();
+        assert_eq!(
+            compiled.hot_prefix_bytes(),
+            compiled.arena_bytes(),
+            "unprofiled arena claims nothing"
+        );
+        // Hammer one path: replay a single row many times.
+        let row = [1u64, 2, 3];
+        let mut profile = TreeProfile::for_tree(&compiled);
+        for _ in 0..1000 {
+            profile.record(&compiled, &row);
+        }
+        let hot = compiled.reorder_profiled(&profile);
+        hot.validate().unwrap();
+        assert!(
+            hot.hot_prefix_bytes() < hot.arena_bytes(),
+            "single-path traffic must concentrate the hot prefix ({} < {})",
+            hot.hot_prefix_bytes(),
+            hot.arena_bytes()
+        );
+        assert_eq!(hot.classify(&row), compiled.classify(&row));
+    }
+
+    #[test]
+    fn empty_profile_reorder_is_identity_permutation_safe() {
+        let (ds, compiled) = trained();
+        let profile = TreeProfile::for_tree(&compiled);
+        let re = compiled.reorder_profiled(&profile);
+        re.validate().unwrap();
+        // Zero counts tie everywhere; ties go left — preorder restored.
+        assert_eq!(re, compiled);
+        for s in &ds.samples {
+            assert_eq!(re.classify(&s.features), compiled.classify(&s.features));
+        }
+    }
+
+    #[test]
+    fn profile_merge_and_serde_round_trip() {
+        let (ds, compiled) = trained();
+        let mut a = TreeProfile::for_tree(&compiled);
+        let mut b = TreeProfile::for_tree(&compiled);
+        let half = ds.samples.len() / 2;
+        for s in &ds.samples[..half] {
+            a.record(&compiled, &s.features);
+        }
+        for s in &ds.samples[half..] {
+            b.record(&compiled, &s.features);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut whole = TreeProfile::for_tree(&compiled);
+        for s in &ds.samples {
+            whole.record(&compiled, &s.features);
+        }
+        assert_eq!(merged, whole);
+        let json = serde_json::to_string(&whole).unwrap();
+        let back: TreeProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, whole);
+    }
+
+    #[test]
+    fn single_leaf_tree_reorders_to_itself() {
+        let mut ds = Dataset::new(&["x"]);
+        for i in 0..6u64 {
+            ds.push(Sample::new(vec![i], Label::Correct));
+        }
+        let tree = DecisionTree::train(&ds, &TrainConfig::decision_tree());
+        let compiled = CompiledTree::compile(&tree);
+        assert_eq!(compiled.nr_splits(), 0);
+        let profile = TreeProfile::for_tree(&compiled);
+        let re = compiled.reorder_profiled(&profile);
+        assert_eq!(re, compiled);
+        assert_eq!(re.classify(&[3]), Label::Correct);
+    }
+}

@@ -23,12 +23,16 @@ pub mod compiled;
 pub mod dataset;
 pub mod eval;
 pub mod forest;
+pub mod layout;
 pub mod prune;
+pub mod simd;
 pub mod tree;
 
 pub use compiled::{ArenaFault, CompiledForest, CompiledNode, CompiledTree, LEAF_BIT};
 pub use dataset::{Dataset, Label, Sample};
 pub use eval::{cross_validate, evaluate, evaluate_compiled, ConfusionMatrix};
 pub use forest::{evaluate_forest, ForestConfig, RandomForest};
+pub use layout::TreeProfile;
 pub use prune::reduced_error_prune;
+pub use simd::{active_kernel_name, BatchWalker};
 pub use tree::{DecisionTree, Node, TrainConfig};

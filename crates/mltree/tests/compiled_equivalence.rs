@@ -5,16 +5,56 @@
 //! provably the same function".
 
 use mltree::{
-    CompiledForest, CompiledTree, Dataset, DecisionTree, ForestConfig, Label, RandomForest, Sample,
-    TrainConfig,
+    BatchWalker, CompiledForest, CompiledTree, Dataset, DecisionTree, ForestConfig, Label,
+    RandomForest, Sample, TrainConfig, TreeProfile,
 };
 use proptest::prelude::*;
+
+/// Every kernel the batch entry can dispatch to. Requesting a width the
+/// CPU lacks falls back to the next narrower kernel, so iterating all of
+/// these is safe on any host — on AVX-512 hardware it covers the packed
+/// zmm, packed ymm and scalar lockstep walkers plus the calibrated
+/// `Auto` pick.
+const WALKERS: [BatchWalker; 4] = [
+    BatchWalker::Scalar,
+    BatchWalker::Avx2,
+    BatchWalker::Avx512,
+    BatchWalker::Auto,
+];
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     // 2-4 features, 20-200 samples, values in a modest range.
     (2usize..5, 20usize..200).prop_flat_map(|(nf, ns)| {
         proptest::collection::vec(
             (proptest::collection::vec(0u64..1000, nf), any::<bool>()),
+            ns,
+        )
+        .prop_map(move |rows| {
+            let names: Vec<String> = (0..nf).map(|i| format!("f{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let mut ds = Dataset::new(&name_refs);
+            for (features, bad) in rows {
+                ds.push(Sample::new(
+                    features,
+                    if bad {
+                        Label::Incorrect
+                    } else {
+                        Label::Correct
+                    },
+                ));
+            }
+            ds
+        })
+    })
+}
+
+/// Like [`arb_dataset`] but with feature values drawn from the full u64
+/// range, so trained thresholds routinely exceed the packed walker's
+/// 12-bit envelope (0xFFF) and its saturation path gets real coverage.
+fn arb_wide_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 20usize..120).prop_flat_map(|(nf, ns)| {
+        proptest::collection::vec(
+            (proptest::collection::vec(any::<u64>(), nf), any::<bool>()),
             ns,
         )
         .prop_map(move |rows| {
@@ -115,5 +155,222 @@ proptest! {
         let parallel = RandomForest::train_with_threads(&ds, &cfg, 4);
         prop_assert_eq!(&serial, &parallel);
         prop_assert_eq!(CompiledForest::compile(&serial), CompiledForest::compile(&parallel));
+    }
+
+    /// Every vector kernel is bit-identical to the scalar lockstep
+    /// oracle, on full batches and on every short tail (1..=9 rows) —
+    /// tails are where lane padding and the parked-lane logic live.
+    #[test]
+    fn every_batch_walker_matches_the_scalar_oracle(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..12),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let compiled = CompiledTree::compile(&tree);
+        let inputs = probes(&ds, &raw);
+        let mut oracle = vec![Label::Correct; inputs.len()];
+        compiled.classify_batch_with(BatchWalker::Scalar, &inputs, &mut oracle);
+        for (f, o) in inputs.iter().zip(&oracle) {
+            prop_assert_eq!(*o, tree.classify(f));
+        }
+        for walker in WALKERS {
+            let mut got = vec![Label::Correct; inputs.len()];
+            compiled.classify_batch_with(walker, &inputs, &mut got);
+            prop_assert_eq!(&got, &oracle);
+            for tail in 1..inputs.len().min(10) {
+                let mut t = vec![Label::Correct; tail];
+                compiled.classify_batch_with(walker, &inputs[..tail], &mut t);
+                prop_assert_eq!(&t[..], &oracle[..tail]);
+            }
+        }
+    }
+
+    /// The packed 12-bit envelope's edges are exact under every kernel:
+    /// arenas whose thresholds exceed 0xFFF (saturated at pack time) must
+    /// still verdict correctly for in-envelope inputs, and chunks holding
+    /// any out-of-envelope value (4096, u64::MAX) must drop to the exact
+    /// tagged kernels without disturbing their neighbours.
+    #[test]
+    fn packed_envelope_edges_match_the_boxed_walker(
+        ds in arb_wide_dataset(),
+        seed in any::<u64>(),
+        small in proptest::collection::vec(proptest::collection::vec(0u64..4096, 4), 1..8),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let compiled = CompiledTree::compile(&tree);
+        let nf = ds.nr_features();
+        // First 64 rows stay inside the envelope, so chunk 0 is
+        // guaranteed to take the packed path against saturated
+        // thresholds; the rows after it force fallback chunks.
+        let mut inputs: Vec<Vec<u64>> = (0..64)
+            .map(|i| {
+                let mut p = small[i % small.len()].clone();
+                p.resize(nf, 0);
+                if i == 0 {
+                    p.fill(0xFFF); // largest in-envelope value
+                }
+                p
+            })
+            .collect();
+        inputs.push(vec![4096; nf]); // smallest out-of-envelope value
+        inputs.push(vec![u64::MAX; nf]);
+        inputs.extend(ds.samples.iter().map(|s| s.features.clone()));
+        for walker in WALKERS {
+            let mut got = vec![Label::Correct; inputs.len()];
+            compiled.classify_batch_with(walker, &inputs, &mut got);
+            for (f, b) in inputs.iter().zip(got) {
+                prop_assert_eq!(b, tree.classify(f));
+            }
+        }
+    }
+
+    /// Profile-guided re-layout is a pure permutation: the re-laid arena
+    /// passes `validate()`, keeps depth and split count, and verdicts on
+    /// every kernel are bit-identical to the original — for a harvested
+    /// profile and for the degenerate all-zero one.
+    #[test]
+    fn profiled_relayout_is_a_pure_permutation(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..8),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let compiled = CompiledTree::compile(&tree);
+        let traffic: Vec<Vec<u64>> = ds.samples.iter().map(|s| s.features.clone()).collect();
+        let mut profile = TreeProfile::for_tree(&compiled);
+        profile.record_batch(&compiled, &traffic);
+        let inputs = probes(&ds, &raw);
+        for relaid in [
+            compiled.reorder_profiled(&profile),
+            compiled.reorder_profiled(&TreeProfile::for_tree(&compiled)),
+            CompiledTree::compile_profiled(&tree, &profile),
+        ] {
+            prop_assert!(relaid.validate().is_ok());
+            prop_assert_eq!(relaid.depth(), compiled.depth());
+            prop_assert_eq!(relaid.nr_splits(), compiled.nr_splits());
+            prop_assert_eq!(relaid.arena_bytes(), compiled.arena_bytes());
+            prop_assert!(relaid.hot_prefix_bytes() <= relaid.arena_bytes());
+            for walker in WALKERS {
+                let mut got = vec![Label::Correct; inputs.len()];
+                relaid.classify_batch_with(walker, &inputs, &mut got);
+                for (f, b) in inputs.iter().zip(got) {
+                    prop_assert_eq!(b, tree.classify(f));
+                }
+            }
+            for f in &inputs {
+                prop_assert_eq!(relaid.classify(f), tree.classify(f));
+                prop_assert_eq!(relaid.classify_cost(f), compiled.classify_cost(f));
+            }
+        }
+    }
+
+    /// The staging-fused row entry ([`CompiledTree::classify_batch_rows`])
+    /// is bit-identical to materializing the rows and calling
+    /// `classify_batch`, on every kernel and every tail length. Rows are
+    /// padded to a fixed width of 4, so datasets with arity 4 exercise
+    /// the const-unrolled packer and narrower ones the runtime-arity
+    /// packer; probe rows holding u64::MAX exercise the
+    /// materialize-and-fall-back chunk path.
+    #[test]
+    fn classify_batch_rows_matches_materialized_batches(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..12),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let compiled = CompiledTree::compile(&tree);
+        let inputs = probes(&ds, &raw);
+        let rows: Vec<[u64; 4]> = inputs
+            .iter()
+            .map(|p| {
+                let mut r = [0u64; 4];
+                for (d, s) in r.iter_mut().zip(p) {
+                    *d = *s;
+                }
+                r
+            })
+            .collect();
+        let mut expect = vec![Label::Correct; inputs.len()];
+        compiled.classify_batch(&inputs, &mut expect);
+        for walker in WALKERS {
+            let mut got = vec![Label::Correct; rows.len()];
+            compiled.classify_batch_rows::<4>(walker, rows.len(), |i| rows[i], &mut got);
+            prop_assert_eq!(&got, &expect);
+            for tail in 1..rows.len().min(10) {
+                let mut t = vec![Label::Correct; tail];
+                compiled.classify_batch_rows::<4>(walker, tail, |i| rows[i], &mut t);
+                prop_assert_eq!(&t[..], &expect[..tail]);
+            }
+        }
+        // Zero rows is a no-op, not a panic.
+        compiled.classify_batch_rows::<4>(BatchWalker::Auto, 0, |i| rows[i], &mut []);
+    }
+
+    /// An injected single-bit fault stays visible on the batch fast path:
+    /// either `validate()` rejects the corrupted arena at the deploy
+    /// gate, or — for semantic corruption that keeps the structure valid
+    /// — every batch kernel computes the same (corrupted) function as
+    /// the checked single-sample walk, so the canary layer sees the flip
+    /// regardless of which path classified. A stale packed shadow would
+    /// fail exactly this. Flipping the same bit twice restores the arena
+    /// bit-for-bit, packed shadow included.
+    #[test]
+    fn flipped_bits_stay_visible_on_the_batch_path(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        bitsel in any::<u64>(),
+    ) {
+        let tree = DecisionTree::train(&ds, &TrainConfig::random_tree(ds.nr_features(), seed));
+        let pristine = CompiledTree::compile(&tree);
+        prop_assume!(pristine.nr_splits() > 0);
+        let inputs = probes(&ds, &[]);
+        let mut corrupt = pristine.clone();
+        let bit = (bitsel as usize) % pristine.logical_bits();
+        corrupt.flip_bit(bit);
+        if corrupt.validate().is_ok() {
+            let single: Vec<Label> = inputs.iter().map(|f| corrupt.classify(f)).collect();
+            for walker in WALKERS {
+                let mut got = vec![Label::Correct; inputs.len()];
+                corrupt.classify_batch_with(walker, &inputs, &mut got);
+                prop_assert_eq!(&got, &single);
+            }
+        }
+        corrupt.flip_bit(bit);
+        prop_assert_eq!(&corrupt, &pristine);
+        // A high bit flipped into record 0's left reference makes it
+        // neither a well-formed leaf tag nor an in-bounds index — the
+        // deploy gate must always catch it.
+        let mut oob = pristine.clone();
+        oob.flip_bit(64 + 30);
+        prop_assert!(oob.validate().is_err());
+    }
+
+    /// The forest batch path agrees with the boxed forest under every
+    /// kernel, including on short tails.
+    #[test]
+    fn forest_batch_walkers_match_the_boxed_forest(
+        ds in arb_dataset(),
+        seed in any::<u64>(),
+        nr_trees in 1usize..6,
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 4), 1..6),
+    ) {
+        let mut cfg = ForestConfig::default_random_forest(ds.nr_features(), seed);
+        cfg.nr_trees = nr_trees;
+        let forest = RandomForest::train(&ds, &cfg);
+        let compiled = CompiledForest::compile(&forest);
+        let inputs = probes(&ds, &raw);
+        for walker in WALKERS {
+            let mut got = vec![Label::Correct; inputs.len()];
+            compiled.classify_batch_with(walker, &inputs, &mut got);
+            for (f, b) in inputs.iter().zip(&got) {
+                prop_assert_eq!(*b, forest.classify(f));
+            }
+            for tail in 1..inputs.len().min(6) {
+                let mut t = vec![Label::Correct; tail];
+                compiled.classify_batch_with(walker, &inputs[..tail], &mut t);
+                prop_assert_eq!(&t[..], &got[..tail]);
+            }
+        }
     }
 }

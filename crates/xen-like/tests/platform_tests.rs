@@ -154,7 +154,7 @@ fn timer_tick_advances_wallclock_and_guest_time() {
         .peek(lay::shared_addr(0) + lay::shared::TIME_VERSION * 8)
         .unwrap();
     assert!(
-        ver > 0 && ver % 2 == 0,
+        ver > 0 && ver.is_multiple_of(2),
         "time version protocol broken: {ver}"
     );
     let st = p

@@ -1,16 +1,22 @@
 //! Regenerate every table and figure of the Xentry paper.
 //!
 //! ```text
-//! figures [--quick|--paper] [--out DIR] [experiments...]
+//! figures [--quick|--paper] [--out DIR] [--perf-guard] [experiments...]
 //!
 //! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
-//!              overhead inference campaign distributed      (default: all)
+//!              overhead inference campaign distributed layout
+//!                                                           (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
 //!   "inference" and "campaign" also mirror their JSON to the repo-root
 //!   `BENCH_inference.json` / `BENCH_campaign.json` perf-trajectory files.
 //!   "distributed" spawns a loopback multi-process fleet (re-executing
 //!   this binary as the host-agent child image) and records the
 //!   wire-level accounting/convergence receipt.
+//!   "layout" records the profile-guided arena relayout's byte maps and
+//!   measured delta (`results/layout.json`).
+//!   --perf-guard (with "inference") compares the fresh detector_batch
+//!   number against the committed BENCH_inference.json before the mirror
+//!   overwrite and exits non-zero on a >25% regression — the CI gate.
 //! ```
 //!
 //! Text renderings go to stdout; JSON artifacts to `--out` (default
@@ -32,6 +38,64 @@ fn write_json<T: serde::Serialize>(dir: &PathBuf, name: &str, value: &T) {
     eprintln!("[figures] wrote {path:?}");
 }
 
+/// CI perf-regression gate: compare the fresh `detector_batch`
+/// ns/classify against the committed `BENCH_inference.json` and abort on
+/// a >25% regression. The committed file is parsed as untyped JSON so an
+/// older schema (missing fields, different case list) still yields its
+/// baseline; a missing file or case just skips the guard with a note —
+/// a fresh checkout must not fail CI.
+fn guard_detector_batch(fresh: &InferenceReport) {
+    const CASE: &str = "detector_batch";
+    const TOLERANCE: f64 = 1.25;
+    let committed = match std::fs::read_to_string("BENCH_inference.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[figures] perf-guard: no committed BENCH_inference.json ({e}); skipping");
+            return;
+        }
+    };
+    let value: serde_json::Value = match serde_json::from_str(&committed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[figures] perf-guard: committed baseline unparseable ({e}); skipping");
+            return;
+        }
+    };
+    let as_f64 = |v: &serde_json::Value| match v {
+        serde_json::Value::Float(f) => Some(*f),
+        serde_json::Value::UInt(n) => Some(*n as f64),
+        serde_json::Value::Int(n) => Some(*n as f64),
+        _ => None,
+    };
+    let baseline = value
+        .get("cases")
+        .and_then(|c| c.as_array())
+        .into_iter()
+        .flatten()
+        .find(|c| matches!(c.get("name"), Some(serde_json::Value::Str(s)) if s == CASE))
+        .and_then(|c| c.get("ns_per_classify"))
+        .and_then(as_f64);
+    let Some(baseline) = baseline else {
+        eprintln!("[figures] perf-guard: committed baseline has no {CASE} case; skipping");
+        return;
+    };
+    let now = fresh
+        .cases
+        .iter()
+        .find(|c| c.name == CASE)
+        .map(|c| c.ns_per_classify)
+        .expect("fresh report always carries detector_batch");
+    eprintln!(
+        "[figures] perf-guard: {CASE} {now:.1} ns vs committed {baseline:.1} ns \
+         (limit {:.1} ns)",
+        baseline * TOLERANCE
+    );
+    assert!(
+        now <= baseline * TOLERANCE,
+        "perf-guard: {CASE} regressed >25%: {now:.1} ns vs committed {baseline:.1} ns"
+    );
+}
+
 fn main() {
     // Child hook for the distributed experiment: `run_distributed`
     // re-executes this binary with the wire-host sentinel as argv[1],
@@ -42,6 +106,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
     let mut out = PathBuf::from("results");
+    let mut perf_guard = false;
     let mut wanted: HashSet<String> = HashSet::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,6 +114,7 @@ fn main() {
             "--quick" => scale = Scale::quick(),
             "--paper" => scale = Scale::paper(),
             "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
+            "--perf-guard" => perf_guard = true,
             other if !other.starts_with("--") => {
                 wanted.insert(other.to_string());
             }
@@ -156,6 +222,10 @@ fn main() {
         println!("{}", fleet.render());
         eprintln!("[figures] fleet took {:?}\n", t.elapsed());
         write_json(&out, "fleet", &fleet);
+        // The raw service snapshot as its own artifact: the shape
+        // operators scrape, with the model gauges and per-shard counters.
+        let path = fleet.snapshot.write(&out).expect("write service.json");
+        eprintln!("[figures] wrote {path:?}");
     }
 
     if want("overhead") {
@@ -172,6 +242,12 @@ fn main() {
         println!("{}", inf.render());
         eprintln!("[figures] inference took {:?}\n", t.elapsed());
         write_json(&out, "inference", &inf);
+        // The perf-regression gate reads the *committed* trajectory file
+        // before the mirror below overwrites it. Parsed as a generic
+        // value so the guard keeps working across report-schema changes.
+        if perf_guard {
+            guard_detector_batch(&inf);
+        }
         // Mirror to the repo root: the committed perf-trajectory record.
         std::fs::write(
             "BENCH_inference.json",
@@ -179,6 +255,14 @@ fn main() {
         )
         .expect("write BENCH_inference.json");
         eprintln!("[figures] wrote \"BENCH_inference.json\"");
+    }
+
+    if want("layout") {
+        let t = std::time::Instant::now();
+        let lay = layout_experiment(&scale, seed);
+        println!("{}", lay.render());
+        eprintln!("[figures] layout took {:?}\n", t.elapsed());
+        write_json(&out, "layout", &lay);
     }
 
     if want("campaign") {

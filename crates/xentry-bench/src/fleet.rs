@@ -22,20 +22,32 @@ pub struct FleetReport {
     pub model_source: String,
     pub hosts: usize,
     pub shards: usize,
+    /// Classified records per second on each shard over the replay wall
+    /// clock — the per-worker view of the inference engine's throughput.
+    pub per_shard_throughput: Vec<f64>,
     pub replay: replay::ReplayReport,
     pub snapshot: ServiceSnapshot,
 }
 
 /// Run the fleet service over a replayed trace. With a campaign-trained
 /// `detector`, replays real platform activations; otherwise pairs the
-/// synthetic detector with the synthetic distribution.
+/// synthetic detector with the synthetic distribution. The deployed
+/// model is re-laid out hot-path-first from a profile harvested over the
+/// replay trace, published through the validated hot-swap gate — the
+/// full profile-guided pipeline, measured end-to-end.
 pub fn fleet_experiment(
     detector: Option<&VmTransitionDetector>,
     scale: &Scale,
     seed: u64,
 ) -> FleetReport {
     let hosts = 8;
-    let shards = 8;
+    // One worker per available core, capped at the historical 8: more
+    // shards than cores measures thread oversubscription, not the
+    // classify path.
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     // Enough records to measure steady-state throughput; scales with the
     // evaluation campaign size so `--paper` runs longer.
     let records_per_host = (scale.eval_injections * 60).max(20_000);
@@ -54,7 +66,13 @@ pub fn fleet_experiment(
         shards,
         ..FleetConfig::default()
     };
+    // Same tree, same fingerprint, hot-first arena: the profiled
+    // relayout must clear the strict-parity swap gate by construction.
+    let profile = det.harvest_profile(&trace);
+    let profiled = det.with_profiled_layout(&profile);
     let svc = FleetService::start(cfg, det, Arc::new(NullSink));
+    svc.hot_swap_validated(profiled, true)
+        .expect("profiled relayout passes the swap gate");
     let rep = replay::replay(
         &svc,
         &trace,
@@ -65,10 +83,17 @@ pub fn fleet_experiment(
         },
     );
     let snapshot = svc.shutdown();
+    let wall_secs = (rep.wall_ns.max(1)) as f64 / 1e9;
+    let per_shard_throughput = snapshot
+        .shards
+        .iter()
+        .map(|s| s.classified as f64 / wall_secs)
+        .collect();
     FleetReport {
         model_source: model_source.to_string(),
         hosts,
         shards,
+        per_shard_throughput,
         replay: rep,
         snapshot,
     }
@@ -78,13 +103,14 @@ impl FleetReport {
     pub fn render(&self) -> String {
         let s = &self.snapshot;
         let secs = self.replay.wall_ns as f64 / 1e9;
-        format!(
+        let mut out = format!(
             "Fleet serving ({} model, {} hosts -> {} shards)\n\
              ------------------------------------------------\n\
              offered     {:>12.0} records/s ({} sent in {:.2}s)\n\
              classified  {:>12.0} records/s ({} total)\n\
              dropped     {:>12} ({:.2}% of offered)\n\
              incorrect   {:>12} ({} incident dumps)\n\
+             model       {} B arena, {} B hot prefix, {} splits\n\
              queue lat   p50 {} ns, p99 {} ns\n\
              classify    p50 {} ns, p99 {} ns\n",
             self.model_source,
@@ -99,11 +125,18 @@ impl FleetReport {
             100.0 * s.dropped as f64 / self.replay.sent.max(1) as f64,
             s.incorrect,
             s.incidents,
+            s.model_arena_bytes,
+            s.model_hot_prefix_bytes,
+            s.model_nr_splits,
             s.queue_latency.p50,
             s.queue_latency.p99,
             s.classify_latency.p50,
             s.classify_latency.p99,
-        )
+        );
+        for (i, t) in self.per_shard_throughput.iter().enumerate() {
+            out.push_str(&format!("shard {i:<5} {t:>12.0} records/s\n"));
+        }
+        out
     }
 }
 
@@ -144,8 +177,17 @@ mod tests {
         assert_eq!(rep.model_source, "synthetic");
         assert_eq!(rep.snapshot.classified, rep.replay.accepted);
         assert!(rep.snapshot.throughput_per_sec > 0.0);
+        // The profiled relayout deployed through the validated swap gate
+        // and its hot prefix is a strict subset of the arena.
+        assert_eq!(rep.snapshot.swaps, 1);
+        assert_eq!(rep.snapshot.swap_rejections, 0);
+        assert!(rep.snapshot.model_arena_bytes > 0);
+        assert!(rep.snapshot.model_hot_prefix_bytes <= rep.snapshot.model_arena_bytes);
+        assert_eq!(rep.per_shard_throughput.len(), rep.shards);
+        assert!(rep.per_shard_throughput.iter().sum::<f64>() > 0.0);
         let text = rep.render();
         assert!(text.contains("classified"), "{text}");
+        assert!(text.contains("shard 0"), "{text}");
         // Round-trips through JSON for the figures artifact.
         let back: FleetReport =
             serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();

@@ -45,6 +45,10 @@ pub struct InferenceReport {
     /// Samples classified per measurement round.
     pub pool: usize,
     pub rounds: usize,
+    /// Batch-walk kernel the calibration race picked for `Auto` on this
+    /// host ("scalar", "avx2", "avx512") — the one every `_batch` case
+    /// except `detector_batch_scalar` ran on.
+    pub kernel: String,
     pub cases: Vec<InferenceCase>,
     /// Compiled single-sample throughput over boxed single-sample. This
     /// walk is latency-bound — one dependent load chain per level for
@@ -92,7 +96,7 @@ fn case(name: &str, ns: f64) -> InferenceCase {
 /// tree (thousands of splits, depth near the cap) rather than a one-cut
 /// toy — the regime where walker memory behaviour actually matters.
 /// `salt` varies the rule per model so the fleet holds distinct trees.
-fn bench_dataset(n: usize, salt: u64) -> Dataset {
+pub(crate) fn bench_dataset(n: usize, salt: u64) -> Dataset {
     let mut ds = Dataset::new(&FEATURE_NAMES);
     for i in 0..n as u64 {
         let vmer = (i * 7919) % 91;
@@ -217,6 +221,39 @@ pub fn inference_experiment(scale: &Scale, seed: u64) -> InferenceReport {
         }
         labels.iter().filter(|&&l| l == Label::Incorrect).count() as u64
     });
+    // Same sweep pinned to the scalar lockstep kernel: the vector
+    // speedup isolated from everything else in the path.
+    let detector_batch_scalar_ns = measure(rounds, POOL, || {
+        for (m, (fs, ls)) in features
+            .chunks(per_model)
+            .zip(labels.chunks_mut(per_model))
+            .enumerate()
+        {
+            detectors[m & mask].classify_batch_with(mltree::BatchWalker::Scalar, fs, ls);
+        }
+        labels.iter().filter(|&&l| l == Label::Incorrect).count() as u64
+    });
+    // Profile each model over its own traffic slice and re-lay its arena
+    // hot-path-first — the full profile-guided pipeline, measured on the
+    // same sweep the plain detector_batch case runs.
+    let profiled: Vec<VmTransitionDetector> = detectors
+        .iter()
+        .enumerate()
+        .map(|(m, det)| {
+            let slice = &features[(m * per_model) % POOL..][..per_model];
+            det.with_profiled_layout(&det.harvest_profile(slice))
+        })
+        .collect();
+    let detector_batch_profiled_ns = measure(rounds, POOL, || {
+        for (m, (fs, ls)) in features
+            .chunks(per_model)
+            .zip(labels.chunks_mut(per_model))
+            .enumerate()
+        {
+            profiled[m & mask].classify_batch(fs, ls);
+        }
+        labels.iter().filter(|&&l| l == Label::Incorrect).count() as u64
+    });
     let forest_boxed_ns = measure(rounds, POOL, || {
         rows.iter()
             .map(|r| (forest.classify(std::hint::black_box(r)) == Label::Incorrect) as u64)
@@ -239,6 +276,7 @@ pub fn inference_experiment(scale: &Scale, seed: u64) -> InferenceReport {
         forest_trees: forest.trees.len(),
         pool: POOL,
         rounds,
+        kernel: mltree::active_kernel_name().to_string(),
         compiled_speedup_vs_boxed: boxed_ns / compiled_ns.max(1e-3),
         batch_speedup_vs_boxed: boxed_ns / batch_ns.max(1e-3),
         batch_speedup_vs_single: compiled_ns / batch_ns.max(1e-3),
@@ -249,6 +287,8 @@ pub fn inference_experiment(scale: &Scale, seed: u64) -> InferenceReport {
             case("tree_compiled_batch", batch_ns),
             case("detector_single", detector_ns),
             case("detector_batch", detector_batch_ns),
+            case("detector_batch_scalar", detector_batch_scalar_ns),
+            case("detector_batch_profiled", detector_batch_profiled_ns),
             case("forest_boxed", forest_boxed_ns),
             case("forest_compiled", forest_compiled_ns),
             case("forest_compiled_batch", forest_batch_ns),
@@ -260,12 +300,13 @@ impl InferenceReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "Inference engine ({} models round-robin, tree depth {}, {} nodes each; \
-             forest of {} trees; best of {} rounds x {} samples)\n\
+             forest of {} trees; kernel {}; best of {} rounds x {} samples)\n\
              --------------------------------------------------------------------\n",
             self.models,
             self.tree_depth,
             self.tree_nodes,
             self.forest_trees,
+            self.kernel,
             self.rounds,
             self.pool
         );
@@ -298,11 +339,17 @@ mod tests {
         let mut scale = Scale::quick();
         scale.overhead_runs = 1; // minimum rounds: keep the test snappy
         let rep = inference_experiment(&scale, 7);
-        assert_eq!(rep.cases.len(), 8);
+        assert_eq!(rep.cases.len(), 10);
         assert!(rep.cases.iter().all(|c| c.ns_per_classify > 0.0));
         assert!(rep.compiled_speedup_vs_boxed > 0.0);
+        assert!(
+            ["scalar", "avx2", "avx512"].contains(&rep.kernel.as_str()),
+            "{}",
+            rep.kernel
+        );
         let text = rep.render();
         assert!(text.contains("tree_compiled_batch"), "{text}");
+        assert!(text.contains("detector_batch_profiled"), "{text}");
         let back: InferenceReport =
             serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
         assert_eq!(back.cases.len(), rep.cases.len());

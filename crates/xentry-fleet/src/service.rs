@@ -183,6 +183,9 @@ impl Shared {
             uptime_ns,
             model_version: model.version,
             model_fingerprint: model.fingerprint,
+            model_arena_bytes: model.detector.arena_bytes() as u64,
+            model_nr_splits: model.detector.nr_splits() as u64,
+            model_hot_prefix_bytes: model.detector.hot_prefix_bytes() as u64,
             ingested: m.ingested.load(Ordering::Relaxed),
             classified,
             dropped: m.dropped.load(Ordering::Relaxed),
@@ -734,6 +737,56 @@ mod tests {
         assert_eq!(snap.swap_rejections, 1);
         assert_eq!(snap.swaps, 1);
         assert_eq!(snap.model_version, 2);
+    }
+
+    #[test]
+    fn profiled_relayout_swaps_validated_and_updates_gauges() {
+        let det = detector(100);
+        let svc = FleetService::start(
+            FleetConfig {
+                shards: 1,
+                queue_capacity: 256,
+                batch: 8,
+                recorder_depth: 4,
+                ..FleetConfig::default()
+            },
+            det.clone(),
+            Arc::new(NullSink),
+        );
+        let before = svc.snapshot();
+        assert_eq!(before.model_arena_bytes, det.arena_bytes() as u64);
+        assert_eq!(before.model_nr_splits, det.nr_splits() as u64);
+        // Unprofiled layout claims nothing: hot prefix == whole arena.
+        assert_eq!(before.model_hot_prefix_bytes, before.model_arena_bytes);
+
+        // Harvest a skewed profile (mostly healthy traffic) and publish
+        // the hot-first relayout through the strict-parity gate — same
+        // tree, same fingerprint, so it must pass by construction.
+        let traffic: Vec<FeatureVec> = (0..200)
+            .map(|i| {
+                if i % 10 == 9 {
+                    bad_features(100)
+                } else {
+                    ok_features(100 + i % 7)
+                }
+            })
+            .collect();
+        let profiled = det.with_profiled_layout(&det.harvest_profile(&traffic));
+        assert_eq!(svc.hot_swap_validated(profiled, true).unwrap(), 2);
+
+        for seq in 0..50u64 {
+            assert!(svc.ingest(0, 0, seq, ok_features(100)));
+        }
+        let snap = svc.shutdown();
+        assert_eq!(snap.classified, 50);
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.swap_rejections, 0);
+        assert_eq!(snap.model_fingerprint, det.fingerprint());
+        assert_eq!(snap.model_arena_bytes, before.model_arena_bytes);
+        // The profiled layout's hot prefix is a (non-empty) subset of
+        // the arena, and the gauge tracks the deployed model.
+        assert!(snap.model_hot_prefix_bytes > 0);
+        assert!(snap.model_hot_prefix_bytes <= snap.model_arena_bytes);
     }
 
     #[test]

@@ -207,6 +207,24 @@ pub fn render_prometheus(s: &ServiceSnapshot) -> String {
         1.0,
     );
     e.scalar(
+        &p("model_arena_bytes"),
+        "gauge",
+        "Bytes of the deployed model's compiled split arena.",
+        s.model_arena_bytes as f64,
+    );
+    e.scalar(
+        &p("model_nr_splits"),
+        "gauge",
+        "Split records in the deployed model's arena.",
+        s.model_nr_splits as f64,
+    );
+    e.scalar(
+        &p("model_hot_prefix_bytes"),
+        "gauge",
+        "Bytes of the profile-weighted hot prefix covering >=90% of split visits.",
+        s.model_hot_prefix_bytes as f64,
+    );
+    e.scalar(
         &p("degraded"),
         "gauge",
         "1 while serving envelope-fallback verdicts, else 0.",

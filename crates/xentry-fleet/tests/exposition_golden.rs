@@ -22,6 +22,9 @@ fn fixture() -> ServiceSnapshot {
         uptime_ns: 2_000_000_000,
         model_version: 3,
         model_fingerprint: 0xabcd_1234_5678_9e0f,
+        model_arena_bytes: 65536,
+        model_nr_splits: 2048,
+        model_hot_prefix_bytes: 12288,
         ingested: 1000,
         classified: 990,
         dropped: 7,

@@ -5,11 +5,6 @@ use crate::features::{FeatureVec, FEATURE_NAMES};
 use mltree::{CompiledTree, DecisionTree, Label};
 use serde::{Deserialize, Serialize, Value};
 
-/// Samples per stack-resident column chunk in [`classify_batch`].
-///
-/// [`classify_batch`]: VmTransitionDetector::classify_batch
-const BATCH_CHUNK: usize = 64;
-
 /// Measurement of one [`classify_batch_timed`] call: the span a flight
 /// tracer records for the batch.
 ///
@@ -107,18 +102,38 @@ impl VmTransitionDetector {
     /// columns are staged through a fixed stack chunk, so the only
     /// allocation is the caller's `out` buffer.
     pub fn classify_batch(&self, fs: &[FeatureVec], out: &mut [Label]) {
+        self.classify_batch_with(mltree::BatchWalker::Auto, fs, out);
+    }
+
+    /// [`classify_batch`] with an explicit kernel choice — benchmarks
+    /// pin kernels with this to attribute throughput to a specific
+    /// walker; production callers should stay on the calibrated default.
+    ///
+    /// [`classify_batch`]: VmTransitionDetector::classify_batch
+    pub fn classify_batch_with(
+        &self,
+        walker: mltree::BatchWalker,
+        fs: &[FeatureVec],
+        out: &mut [Label],
+    ) {
         assert_eq!(
             fs.len(),
             out.len(),
             "classify_batch: inputs and out must have equal length"
         );
-        let mut cols = [[0u64; 5]; BATCH_CHUNK];
-        for (fch, och) in fs.chunks(BATCH_CHUNK).zip(out.chunks_mut(BATCH_CHUNK)) {
-            for (c, f) in cols.iter_mut().zip(fch.iter()) {
-                *c = f.columns();
-            }
-            self.compiled.classify_batch(&cols[..fch.len()], och);
-        }
+        // Staging-fused: the compiled tree packs each record's columns
+        // straight into its kernel feature words, so there is no
+        // intermediate row array — one read of the FeatureVec fields per
+        // record, and the only allocation is the caller's `out` buffer.
+        let base = fs.as_ptr();
+        self.compiled.classify_batch_rows(
+            walker,
+            fs.len(),
+            // SAFETY: classify_batch_rows documents it only passes
+            // indices in 0..fs.len().
+            |i| unsafe { (*base.add(i)).columns() },
+            out,
+        );
     }
 
     /// [`classify_batch`] wrapped in a measured span: classifies the
@@ -142,6 +157,35 @@ impl VmTransitionDetector {
     /// The compiled arena the hot path runs on.
     pub fn compiled(&self) -> &CompiledTree {
         &self.compiled
+    }
+
+    /// Harvest a branch-probability profile from observed verdict
+    /// traffic: one checked walk per record, counting which side of each
+    /// split was taken. The result feeds
+    /// [`with_profiled_layout`](VmTransitionDetector::with_profiled_layout);
+    /// profiles harvested against the *same arena layout* can be
+    /// [merged](mltree::TreeProfile::merge) across shards before
+    /// re-laying out.
+    pub fn harvest_profile(&self, traffic: &[FeatureVec]) -> mltree::TreeProfile {
+        let mut profile = mltree::TreeProfile::for_tree(&self.compiled);
+        for f in traffic {
+            profile.record(&self.compiled, &f.columns());
+        }
+        profile
+    }
+
+    /// The same model with its arena re-laid out hot-path-first from
+    /// `profile` (see [`mltree::TreeProfile`]): identical tree, identical
+    /// verdicts, identical fingerprint — so a fleet hot-swap publishing
+    /// the profiled detector passes the canary gate by construction —
+    /// but the hot path's records now sit in a contiguous prefix
+    /// ([`CompiledTree::hot_prefix_bytes`]) the cache can actually hold.
+    pub fn with_profiled_layout(&self, profile: &mltree::TreeProfile) -> VmTransitionDetector {
+        VmTransitionDetector {
+            compiled: self.compiled.reorder_profiled(profile),
+            tree: self.tree.clone(),
+            fingerprint: self.fingerprint,
+        }
     }
 
     /// Structural integrity check of the compiled arena — the deploy-time
@@ -180,6 +224,26 @@ impl VmTransitionDetector {
     /// Node count.
     pub fn nr_nodes(&self) -> usize {
         self.tree.nr_nodes()
+    }
+
+    /// Bytes of the compiled split arena the hot path walks — the
+    /// model's cache footprint, exported as a fleet gauge.
+    pub fn arena_bytes(&self) -> usize {
+        self.compiled.arena_bytes()
+    }
+
+    /// Split records in the compiled arena (leaves cost zero bytes).
+    pub fn nr_splits(&self) -> usize {
+        self.compiled.nr_splits()
+    }
+
+    /// Bytes of the profile-weighted hot prefix — what the cache must
+    /// hold to serve ≥90% of split visits after
+    /// [`with_profiled_layout`](VmTransitionDetector::with_profiled_layout);
+    /// equals [`arena_bytes`](VmTransitionDetector::arena_bytes) for an
+    /// unprofiled layout.
+    pub fn hot_prefix_bytes(&self) -> usize {
+        self.compiled.hot_prefix_bytes()
     }
 
     /// The underlying rules (Fig. 6-style dump).
@@ -299,7 +363,7 @@ mod tests {
             .map(|i| FeatureVec {
                 vmer: 17,
                 rt: 30 + i * 2,
-                br: (i % 30) as u64,
+                br: i % 30,
                 rm: i % 11,
                 wm: i % 7,
             })
@@ -335,6 +399,37 @@ mod tests {
             elapsed_ns: 0,
         };
         assert_eq!(empty.per_record_ns(), 0);
+    }
+
+    #[test]
+    fn profiled_layout_preserves_verdicts_and_fingerprint() {
+        let det = toy_detector();
+        let traffic: Vec<FeatureVec> = (0..200u64)
+            .map(|i| FeatureVec {
+                vmer: 17,
+                rt: 30 + (i * 7) % 250,
+                br: i % 30,
+                rm: i % 11,
+                wm: i % 7,
+            })
+            .collect();
+        let profile = det.harvest_profile(&traffic);
+        assert!(
+            det.compiled().nr_splits() == 0 || profile.total_visits() > 0,
+            "traffic must hit splits"
+        );
+        let hot = det.with_profiled_layout(&profile);
+        hot.validate().unwrap();
+        assert_eq!(hot.fingerprint(), det.fingerprint(), "same model, same id");
+        assert!(hot.compiled().hot_prefix_bytes() <= hot.compiled().arena_bytes());
+        let mut want = vec![Label::Correct; traffic.len()];
+        let mut got = vec![Label::Correct; traffic.len()];
+        det.classify_batch(&traffic, &mut want);
+        hot.classify_batch(&traffic, &mut got);
+        assert_eq!(want, got, "re-layout must not change verdicts");
+        for f in &traffic {
+            assert_eq!(hot.classify(f), det.classify(f));
+        }
     }
 
     #[test]
