@@ -38,6 +38,8 @@ use crate::injection::{
     InjectionRecord, InjectionSpec, PointMeta,
 };
 use crate::journal::CampaignJournal;
+use crate::policy::HmTable;
+use crate::recovery::{detect_fault, recover_detected, PolicyRecovery, RecoverySpec};
 use guest_sim::{dom0_profile, load_workload, profile, Benchmark};
 use mltree::{Dataset, Label};
 use rand::{Rng, SeedableRng};
@@ -599,6 +601,248 @@ pub fn run_campaign_from_boot(
     CampaignResult { records }
 }
 
+// ---------------------------------------------------------------------------
+// Recovery phase: detected injections driven through health-monitor policies
+// ---------------------------------------------------------------------------
+
+/// One injection driven through every policy table under comparison.
+/// Detection precedes policy, so a single detection verdict fans out to
+/// one ladder run per table — whole policy tables compare head-to-head
+/// on identical faults in one campaign.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryRecord {
+    /// Golden point ordinal the fault was injected at.
+    pub ordinal: usize,
+    /// The injected fault.
+    pub spec: RecoverySpec,
+    /// Ladder outcome per policy table, in the order the tables were
+    /// passed to the campaign. `None` = the fault was not detected
+    /// (recovery never triggered; identical across tables).
+    pub per_policy: Vec<Option<PolicyRecovery>>,
+}
+
+/// Records of a recovery campaign, in injection order.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryCampaignResult {
+    pub records: Vec<RecoveryRecord>,
+}
+
+/// Stable fingerprint of a recovery campaign: the base configuration
+/// plus every policy table under comparison. A journal written under a
+/// different policy set is ignored, not resumed.
+pub fn recovery_campaign_digest(cfg: &CampaignConfig, tables: &[HmTable]) -> u64 {
+    let mut h = fold64(0x7265_6356, cfg.digest());
+    for t in tables {
+        h = fold64(h, t.digest());
+    }
+    h
+}
+
+/// The recovery campaign's spec schedule: the architectural flips of
+/// [`specs_at`] with every third injection redirected into a
+/// hypervisor-private memory word — the latent-corruption class that
+/// separates the microreboot tier from re-execution (the critical-state
+/// copy cannot heal it).
+///
+/// Memory flips land with `at_step: 0`: unlike a register flip, which
+/// only matters while the value is live in the handler, a memory strike
+/// persists from whenever it happened until the word is next read, so
+/// the natural model is "already corrupted at handler entry". Region
+/// and word choice are importance-sampled toward frequently-read state:
+/// the dispatch table (consumed on every single exit) draws three of
+/// every eight memory strikes, and half of those hit the in-flight
+/// exit's own entry — the one word this handler is guaranteed to
+/// consume. A uniformly random word in a multi-KB region is almost
+/// never read and therefore benign by construction — sampling only
+/// those would measure nothing, the standard argument for targeted
+/// fault injection.
+///
+/// A pure function of (seed, ordinal, vmer) — all reproduced
+/// identically by the golden pass and every checkpoint fork — so both
+/// campaign determinism properties are preserved.
+fn recovery_specs_at(
+    cfg: &CampaignConfig,
+    ordinal: usize,
+    golden_len: u64,
+    vmer: u16,
+) -> Vec<RecoverySpec> {
+    let regs = specs_at(cfg, ordinal, golden_len);
+    let mut rng = ChaCha8Rng::seed_from_u64(fold64(cfg.seed, 0x4856_4d45 ^ ordinal as u64));
+    let dispatch = xen_like::MICROREBOOT_PRIVATE_REGIONS
+        .iter()
+        .position(|n| *n == "hv.dispatch")
+        .expect("dispatch region listed") as u8;
+    regs.into_iter()
+        .enumerate()
+        .map(|(k, s)| {
+            if k % 3 == 2 {
+                // 3/8 dispatch, the rest uniform over the other regions.
+                let roll = rng.gen_range(0..8u8);
+                let region = match roll {
+                    0..=2 => dispatch,
+                    3 => 0, // hv.global
+                    4 => 1, // hv.scratch
+                    5 => 3, // hv.pcpu
+                    6 => 4, // hv.runq
+                    _ => 5, // hv.stacks
+                };
+                let hot = rng.gen_range(0..2u8) == 0;
+                let word = if region == dispatch && hot {
+                    vmer
+                } else {
+                    rng.gen_range(0..256)
+                };
+                RecoverySpec::HvMem {
+                    region,
+                    word,
+                    bit: rng.gen_range(0..64),
+                    at_step: 0,
+                }
+            } else {
+                RecoverySpec::Reg(s)
+            }
+        })
+        .collect()
+}
+
+fn recovery_chunk(
+    cfg: &CampaignConfig,
+    trace: &GoldenTrace,
+    chunk: usize,
+    detector: Option<&VmTransitionDetector>,
+    tables: &[HmTable],
+) -> Vec<RecoveryRecord> {
+    replay_chunk(cfg, trace, chunk, detector, |point, meta| {
+        recovery_specs_at(cfg, meta.ordinal, point.golden_len, point.reason.vmer())
+            .into_iter()
+            .map(|spec| {
+                let per_policy = match detect_fault(point, spec, detector) {
+                    None => tables.iter().map(|_| None).collect(),
+                    Some(fault) => tables
+                        .iter()
+                        .map(|t| Some(recover_detected(&fault, point, t)))
+                        .collect(),
+                };
+                RecoveryRecord {
+                    ordinal: meta.ordinal,
+                    spec,
+                    per_policy,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Run the recovery phase against an already-walked golden trace.
+/// Deterministic: records depend only on the configuration and the
+/// tables, never on `threads`.
+pub fn run_recovery_campaign_with(
+    cfg: &CampaignConfig,
+    trace: &GoldenTrace,
+    detector: Option<&VmTransitionDetector>,
+    tables: &[HmTable],
+) -> RecoveryCampaignResult {
+    let ids: Vec<usize> = (0..cfg.nr_chunks()).collect();
+    let collected = Mutex::new(BTreeMap::new());
+    run_chunks(
+        cfg.threads,
+        &ids,
+        None,
+        &collected,
+        &|chunk| recovery_chunk(cfg, trace, chunk, detector, tables),
+        &|_| {},
+    );
+    let chunks = collected.into_inner().expect("chunk map lock");
+    RecoveryCampaignResult {
+        records: chunks.into_values().flatten().collect(),
+    }
+}
+
+/// Run a recovery campaign: golden pass once, then checkpoint-forked
+/// injections, each detected fault driven through every policy table.
+pub fn run_recovery_campaign(
+    cfg: &CampaignConfig,
+    detector: Option<&VmTransitionDetector>,
+    tables: &[HmTable],
+) -> RecoveryCampaignResult {
+    if cfg.injections == 0 {
+        return RecoveryCampaignResult::default();
+    }
+    let trace = golden_trace(cfg, detector);
+    run_recovery_campaign_with(cfg, &trace, detector, tables)
+}
+
+/// How a resumable recovery campaign invocation ended.
+#[derive(Debug, Clone)]
+pub enum RecoveryCampaignRun {
+    /// Every chunk is done; bit-identical to an uninterrupted
+    /// [`run_recovery_campaign`] with the same configuration and tables.
+    Complete(RecoveryCampaignResult),
+    /// Stopped early (`stop_after_chunks`); progress is in the journal.
+    Interrupted {
+        chunks_done: usize,
+        chunks_total: usize,
+    },
+}
+
+/// [`run_recovery_campaign`] with crash-safe progress journaling — the
+/// recovery-phase counterpart of [`run_campaign_resumable`], sharing the
+/// same chunk queue, journal format and determinism guarantees.
+pub fn run_recovery_campaign_resumable(
+    cfg: &CampaignConfig,
+    detector: Option<&VmTransitionDetector>,
+    tables: &[HmTable],
+    journal_path: &Path,
+    stop_after_chunks: Option<usize>,
+) -> std::io::Result<RecoveryCampaignRun> {
+    if cfg.injections == 0 {
+        return Ok(RecoveryCampaignRun::Complete(
+            RecoveryCampaignResult::default(),
+        ));
+    }
+    let digest = recovery_campaign_digest(cfg, tables);
+    let chunks_total = cfg.nr_chunks();
+    let journal: CampaignJournal<RecoveryRecord> =
+        CampaignJournal::load_matching(journal_path, digest, chunks_total)
+            .unwrap_or_else(|| CampaignJournal::new(digest, chunks_total));
+    if journal.is_complete() {
+        return Ok(RecoveryCampaignRun::Complete(RecoveryCampaignResult {
+            records: journal.chunks.into_values().flatten().collect(),
+        }));
+    }
+    let trace = golden_trace(cfg, detector);
+    let pending: Vec<usize> = (0..chunks_total)
+        .filter(|c| !journal.chunks.contains_key(c))
+        .collect();
+    let collected = Mutex::new(journal.chunks);
+    run_chunks(
+        cfg.threads,
+        &pending,
+        stop_after_chunks,
+        &collected,
+        &|chunk| recovery_chunk(cfg, &trace, chunk, detector, tables),
+        &|map| {
+            let j = CampaignJournal {
+                config_digest: digest,
+                chunks_total,
+                chunks: map.clone(),
+            };
+            j.save(journal_path).expect("journal write");
+        },
+    );
+    let chunks = collected.into_inner().expect("chunk map lock");
+    if chunks.len() == chunks_total {
+        Ok(RecoveryCampaignRun::Complete(RecoveryCampaignResult {
+            records: chunks.into_values().flatten().collect(),
+        }))
+    } else {
+        Ok(RecoveryCampaignRun::Interrupted {
+            chunks_done: chunks.len(),
+            chunks_total,
+        })
+    }
+}
+
 /// Collect `n` fault-free feature samples (label `Correct`) from a
 /// campaign-shaped platform seeded independently of the campaign. When the
 /// campaign's own golden trace is at hand, prefer
@@ -742,6 +986,43 @@ mod tests {
         c.warmup = 30;
         c.post_window = 4;
         c
+    }
+
+    #[test]
+    fn recovery_campaign_tiered_beats_reexecute_only() {
+        use crate::policy::RecoveryOutcome;
+        let cfg = small_cfg();
+        let tables = [HmTable::reexecute_only(), HmTable::tiered()];
+        let res = run_recovery_campaign(&cfg, None, &tables);
+        assert_eq!(res.records.len(), 60);
+        let recovered = |idx: usize| {
+            res.records
+                .iter()
+                .filter_map(|r| r.per_policy[idx].as_ref())
+                .filter(|p| matches!(p.outcome, RecoveryOutcome::Recovered { .. }))
+                .count()
+        };
+        let detected = res
+            .records
+            .iter()
+            .filter(|r| r.per_policy[0].is_some())
+            .count();
+        assert!(detected > 10, "too few detections: {detected}");
+        // The microreboot tier closes faults re-execution leaves residual.
+        assert!(
+            recovered(1) >= recovered(0),
+            "tiered ({}) worse than reexec-only ({})",
+            recovered(1),
+            recovered(0)
+        );
+        // Every ladder terminated within its proven bound.
+        for r in &res.records {
+            for (p, t) in r.per_policy.iter().zip(&tables) {
+                if let Some(p) = p {
+                    assert!(p.steps.len() <= t.max_attempts() as usize);
+                }
+            }
+        }
     }
 
     #[test]

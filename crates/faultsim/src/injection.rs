@@ -26,7 +26,7 @@ use xen_like::{ActivationOutcome, Platform};
 use xentry::{FeatureVec, Xentry, XentryConfig};
 
 /// One fault to inject.
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InjectionSpec {
     pub target: FlipTarget,
     pub bit: u8,

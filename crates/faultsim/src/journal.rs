@@ -9,7 +9,7 @@
 //! result is bit-identical to an uninterrupted run.
 
 use crate::injection::InjectionRecord;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
@@ -27,9 +27,12 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// On-disk record of a partially completed campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct CampaignJournal {
+/// On-disk record of a partially completed campaign, generic over the
+/// per-injection record type: classification campaigns journal
+/// [`InjectionRecord`]s, recovery campaigns journal
+/// [`crate::campaign::RecoveryRecord`]s.
+#[derive(Debug, Clone)]
+pub struct CampaignJournal<R = InjectionRecord> {
     /// Fingerprint of the [`crate::CampaignConfig`] that produced the
     /// chunks (stable across processes — see `CampaignConfig::digest`). A
     /// journal from a different configuration is ignored, not resumed.
@@ -37,12 +40,37 @@ pub struct CampaignJournal {
     /// Total chunks the campaign will produce when complete.
     pub chunks_total: usize,
     /// Completed chunks, keyed by chunk index.
-    pub chunks: BTreeMap<usize, Vec<InjectionRecord>>,
+    pub chunks: BTreeMap<usize, Vec<R>>,
 }
 
-impl CampaignJournal {
+// The vendored serde derive does not support generic types, so the
+// journal lowers itself through the value data model by hand.
+impl<R: Serialize> Serialize for CampaignJournal<R> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("config_digest".into(), self.config_digest.to_value()),
+            ("chunks_total".into(), self.chunks_total.to_value()),
+            ("chunks".into(), self.chunks.to_value()),
+        ])
+    }
+}
+
+impl<R: Deserialize> Deserialize for CampaignJournal<R> {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "CampaignJournal", v))?;
+        Ok(CampaignJournal {
+            config_digest: serde::field(obj, "config_digest", "CampaignJournal")?,
+            chunks_total: serde::field(obj, "chunks_total", "CampaignJournal")?,
+            chunks: serde::field(obj, "chunks", "CampaignJournal")?,
+        })
+    }
+}
+
+impl<R: Serialize + Deserialize> CampaignJournal<R> {
     /// Fresh journal for a campaign.
-    pub fn new(config_digest: u64, chunks_total: usize) -> CampaignJournal {
+    pub fn new(config_digest: u64, chunks_total: usize) -> CampaignJournal<R> {
         CampaignJournal {
             config_digest,
             chunks_total,
@@ -57,9 +85,9 @@ impl CampaignJournal {
         path: &Path,
         config_digest: u64,
         chunks_total: usize,
-    ) -> Option<CampaignJournal> {
+    ) -> Option<CampaignJournal<R>> {
         let text = std::fs::read_to_string(path).ok()?;
-        let j: CampaignJournal = serde_json::from_str(&text).ok()?;
+        let j: CampaignJournal<R> = serde_json::from_str(&text).ok()?;
         (j.config_digest == config_digest && j.chunks_total == chunks_total).then_some(j)
     }
 
@@ -98,16 +126,16 @@ mod tests {
     fn journal_round_trip_and_mismatch_rejection() {
         let dir = std::env::temp_dir().join("xentry_journal_rt");
         let path = dir.join("campaign.journal");
-        let mut j = CampaignJournal::new(0xABCD, 3);
+        let mut j: CampaignJournal = CampaignJournal::new(0xABCD, 3);
         j.chunks.insert(1, Vec::new());
         j.save(&path).unwrap();
-        let back = CampaignJournal::load_matching(&path, 0xABCD, 3).unwrap();
+        let back: CampaignJournal = CampaignJournal::load_matching(&path, 0xABCD, 3).unwrap();
         assert_eq!(back.chunks.len(), 1);
         assert!(back.chunks.contains_key(&1));
         assert!(!back.is_complete());
         // Wrong digest or chunk count → treated as absent.
-        assert!(CampaignJournal::load_matching(&path, 0xABCE, 3).is_none());
-        assert!(CampaignJournal::load_matching(&path, 0xABCD, 4).is_none());
+        assert!(CampaignJournal::<InjectionRecord>::load_matching(&path, 0xABCE, 3).is_none());
+        assert!(CampaignJournal::<InjectionRecord>::load_matching(&path, 0xABCD, 4).is_none());
         let _ = std::fs::remove_dir_all(dir);
     }
 }

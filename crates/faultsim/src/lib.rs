@@ -22,6 +22,7 @@ pub mod golden;
 pub mod injection;
 pub mod journal;
 pub mod outcome;
+pub mod policy;
 pub mod recovery;
 
 pub use analysis::{
@@ -31,8 +32,10 @@ pub use analysis::{
 };
 pub use campaign::{
     campaign_platform, collect_correct_samples, dataset_from_records, evaluate_detector_on_records,
-    golden_trace, multibit_study, run_campaign, run_campaign_from_boot, run_campaign_resumable,
-    run_campaign_with, CampaignConfig, CampaignResult, CampaignRun, GoldenTrace,
+    golden_trace, multibit_study, recovery_campaign_digest, run_campaign, run_campaign_from_boot,
+    run_campaign_resumable, run_campaign_with, run_recovery_campaign,
+    run_recovery_campaign_resumable, run_recovery_campaign_with, CampaignConfig, CampaignResult,
+    CampaignRun, GoldenTrace, RecoveryCampaignResult, RecoveryCampaignRun, RecoveryRecord,
 };
 pub use checkpoint::{CheckpointStats, CheckpointStore};
 pub use golden::{classify_site, diff_machines, DiffSite, StateDiff};
@@ -42,4 +45,10 @@ pub use injection::{
 };
 pub use journal::{write_atomic, CampaignJournal};
 pub use outcome::{Consequence, FaultOutcome, UndetectedCategory};
-pub use recovery::{attempt_recovery, recovery_study, RecoveryReport, RecoveryResult};
+pub use policy::{
+    run_ladder, EscalationStep, HmRule, HmTable, RecoveryAction, RecoveryOutcome, TierResult,
+};
+pub use recovery::{
+    attempt_recovery, detect_fault, ignore_recovery, microreboot_recovery, recover_detected,
+    recover_with_policy, DetectedFault, PolicyRecovery, RecoverySpec,
+};

@@ -1,235 +1,469 @@
-//! Recovery feasibility study — completing the paper's §VI sketch.
+//! Recovery tier primitives — completing the paper's §VI sketch and
+//! extending it with a ReHype-style hypervisor microreboot.
 //!
 //! The paper measures the *cost* of recovery (copy 1,900 ns, re-execute)
-//! but leaves the mechanism as future work. This module closes the loop:
-//! when a fault is detected before VM entry, restore the critical-state
-//! copy taken at the VM exit, re-initiate the hypervisor execution (the
-//! fault was transient, so the re-execution is clean), and verify the
-//! system actually converges to a correct state.
+//! but leaves the mechanism as future work. This module provides the
+//! mechanisms the [`crate::policy`] health-monitor ladder drives:
+//!
+//! * [`detect_fault`] — run the faulted handler in detection mode and
+//!   capture the platform at the moment of detection;
+//! * [`attempt_recovery`] — the `ReExecute` tier: restore the
+//!   critical-state copy taken at the VM exit and re-initiate the
+//!   hypervisor execution;
+//! * [`microreboot_recovery`] — the `Microreboot` tier: restore the
+//!   critical copy, then reboot the hypervisor in place from the boot
+//!   image ([`xen_like::Platform::microreboot`]), losing the in-flight
+//!   exit but healing corruption *outside* the critical copy;
+//! * [`recover_with_policy`] — detection plus the full escalation
+//!   ladder for one injection, under a given [`HmTable`].
 
-use crate::injection::{prepare_point, InjectionPoint, InjectionSpec};
+use crate::injection::{InjectionPoint, InjectionSpec};
 use crate::outcome::Consequence;
+use crate::policy::{
+    run_ladder, EscalationStep, HmTable, RecoveryAction, RecoveryOutcome, TierResult,
+};
 use guest_sim::guest_addrs;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use sim_machine::cpu::FlipTarget;
-use xen_like::ActivationOutcome;
-use xentry::{CriticalState, VmTransitionDetector, Xentry, XentryConfig};
+use sim_machine::{CpuId, Machine};
+use xen_like::{ActivationOutcome, MicrorebootReport, Platform, MICROREBOOT_PRIVATE_REGIONS};
+use xentry::{CriticalState, Technique, VmTransitionDetector, Xentry, XentryConfig};
 
-/// What happened when we recovered from a detected fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RecoveryResult {
-    /// Re-execution completed and the system state converged: the guest
-    /// makes progress with the correct results.
-    Survived,
-    /// Re-execution completed but left observable divergence (corruption
-    /// outside the critical copy survived the restore).
-    Residual(Consequence),
-    /// The re-executed handler failed again (corruption outside the
-    /// critical copy broke the hypervisor itself).
-    FailedAgain,
+/// The recovery campaign's fault model. The paper's §V-B architectural
+/// register flips are joined by bit flips in hypervisor-private memory
+/// words: the critical-state copy restores registers and per-VCPU state
+/// on re-execution, but corruption that already sits in
+/// hypervisor-private memory survives the copy — that latent class is
+/// exactly what motivates the microreboot tier, which reinitializes
+/// those regions from the boot image.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoverySpec {
+    /// Single architectural register bit flip (the paper's model).
+    Reg(InjectionSpec),
+    /// Bit flip in hypervisor-private memory: word `word` (modulo the
+    /// region length) of `MICROREBOOT_PRIVATE_REGIONS[region]`, applied
+    /// after `at_step` retired host instructions.
+    HvMem {
+        region: u8,
+        word: u16,
+        bit: u8,
+        at_step: u64,
+    },
 }
 
-/// Attempt detection + recovery for one injection. `None` when the fault
-/// was not detected within the activation (recovery never triggers).
-pub fn attempt_recovery(
+impl RecoverySpec {
+    /// Host-instruction offset at which the flip lands.
+    pub fn at_step(&self) -> u64 {
+        match *self {
+            RecoverySpec::Reg(s) => s.at_step,
+            RecoverySpec::HvMem { at_step, .. } => at_step,
+        }
+    }
+
+    /// Fault-model class label for reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            RecoverySpec::Reg(_) => "reg",
+            RecoverySpec::HvMem { .. } => "hv-mem",
+        }
+    }
+
+    /// Apply the flip to the running machine (the injection hook body).
+    pub fn apply(&self, m: &mut Machine, cpu: CpuId) {
+        match *self {
+            RecoverySpec::Reg(s) => m.cpu_mut(cpu).flip_bit(s.target, s.bit),
+            RecoverySpec::HvMem {
+                region, word, bit, ..
+            } => {
+                let name = MICROREBOOT_PRIVATE_REGIONS
+                    [region as usize % MICROREBOOT_PRIVATE_REGIONS.len()];
+                let r = m.mem.region_by_name(name).expect("private region mapped");
+                let idx = word as usize % r.words.len();
+                let (addr, cur) = (r.base + idx as u64 * 8, r.words[idx]);
+                // poke is privileged: region write permissions are the
+                // guest/host boundary, not a shield against particle hits.
+                m.mem
+                    .poke(addr, cur ^ (1u64 << (bit & 63)))
+                    .expect("private word writable");
+            }
+        }
+    }
+}
+
+/// A fault that was detected before VM entry: the faulted platform at
+/// the moment of detection plus the critical-state copy taken at the VM
+/// exit (before the fault), i.e. everything a recovery tier needs.
+#[derive(Debug, Clone)]
+pub struct DetectedFault {
+    /// Platform state at the moment the detection fired (corrupted).
+    pub plat: Platform,
+    /// Critical-state copy captured at the VM exit, pre-fault.
+    pub snapshot: CriticalState,
+    /// Which detection technique fired.
+    pub technique: Technique,
+    /// CPU the fault was injected on.
+    pub cpu: usize,
+    /// The fault itself (the `Ignore` tier replays it).
+    pub spec: RecoverySpec,
+}
+
+/// Inject `spec` into the activation at `point` with detection enabled.
+/// `None` when the fault is not detected within the activation (it may
+/// be benign or a latent SDC — recovery never triggers either way).
+pub fn detect_fault(
     point: &InjectionPoint,
-    spec: InjectionSpec,
+    spec: RecoverySpec,
     detector: Option<&VmTransitionDetector>,
-) -> Option<RecoveryResult> {
+) -> Option<DetectedFault> {
     let cpu = point.cpu;
-    let nr_doms = point.at_exit.topo.domains.len();
     let mut f = point.at_exit.clone();
     // The shim's recovery support: critical copy at the VM exit.
     let snapshot = CriticalState::capture(&f.machine, cpu);
 
     // Detection mode: a positive verdict stops the activation.
     let mut shim = Xentry::new(XentryConfig::detection(), detector.cloned());
-    let (target, bit) = (spec.target, spec.bit);
     let act = f.run_handler_hooked(
         cpu,
         point.reason,
         0,
         &mut shim,
-        Some(spec.at_step),
-        move |m, c| m.cpu_mut(c).flip_bit(target, bit),
+        Some(spec.at_step()),
+        move |m, c| spec.apply(m, c),
     );
-    match act.outcome {
+    let technique = match act.outcome {
         ActivationOutcome::Resumed | ActivationOutcome::WentIdle => return None, // undetected
         ActivationOutcome::Hung => return None, // no detection signal to act on
-        ActivationOutcome::HostException(_)
-        | ActivationOutcome::AssertFailed(_)
-        | ActivationOutcome::Flagged => {}
-    }
+        ActivationOutcome::HostException(_) => Technique::HwException,
+        ActivationOutcome::AssertFailed(_) => Technique::SwAssertion,
+        ActivationOutcome::Flagged => Technique::VmTransition,
+    };
+    Some(DetectedFault {
+        plat: f,
+        snapshot,
+        technique,
+        cpu,
+        spec,
+    })
+}
 
-    // Positive detection: restore the critical copy and re-initiate.
-    snapshot.restore(&mut f.machine);
+/// The `Ignore` tier: no recovery action. The detection is logged and
+/// the system runs its course — realized by replaying the injection in
+/// continue-after-positive mode (the activation the detection would have
+/// stopped completes, fault and all) and classifying what the platform
+/// converges to. This is the detection-without-recovery baseline every
+/// recovery policy is measured against.
+pub fn ignore_recovery(fault: &DetectedFault, point: &InjectionPoint) -> TierResult {
+    let cpu = fault.cpu;
+    let spec = fault.spec;
+    let mut f = point.at_exit.clone();
+    let mut shim = Xentry::new(XentryConfig::overhead(), None);
+    let act = f.run_handler_hooked(
+        cpu,
+        point.reason,
+        0,
+        &mut shim,
+        Some(spec.at_step()),
+        move |m, c| spec.apply(m, c),
+    );
+    if !act.outcome.is_healthy() {
+        return TierResult::HypervisorDead;
+    }
     let mut clean = Xentry::new(XentryConfig::overhead(), None);
-    let act2 = f.run_handler(cpu, point.reason, 0, &mut clean);
-    if !act2.outcome.is_healthy() {
-        return Some(RecoveryResult::FailedAgain);
-    }
+    convergence(&mut f, point, &mut clean, 1)
+}
 
-    // Converged? Drive the guest to the golden burst target and compare the
-    // observables (the re-execution draws fresh workload randomness, so a
-    // word-for-word state diff would be over-strict).
+/// Drive the recovered platform forward and check convergence with the
+/// golden run. The re-execution draws fresh workload randomness, so a
+/// word-for-word state diff would be over-strict; instead compare the
+/// guest observables (burst progress, traps, result) and the structural
+/// invariants. `budget_scale` widens the catch-up window on retries.
+fn convergence(
+    f: &mut Platform,
+    point: &InjectionPoint,
+    shim: &mut Xentry,
+    budget_scale: u64,
+) -> TierResult {
+    let cpu = point.cpu;
+    let nr_doms = point.at_exit.topo.domains.len();
     let ga = guest_addrs(point.dom);
-    let budget = (point.post_window * 4).max(8);
+    let budget = (point.post_window as u64 * 4).max(8) * budget_scale.max(1);
     for _ in 0..budget {
         let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
         if bursts >= point.golden_post_bursts {
             break;
         }
-        let a = f.run_activation(cpu, &mut clean);
+        let a = f.run_activation(cpu, shim);
         if !a.outcome.is_healthy() {
-            return Some(RecoveryResult::FailedAgain);
+            return TierResult::HypervisorDead;
         }
     }
     let bursts = f.machine.mem.peek(ga.iter_count).unwrap_or(0);
     if bursts < point.golden_post_bursts {
-        return Some(RecoveryResult::Residual(Consequence::OneVmFailure));
+        return TierResult::Residual(Consequence::OneVmFailure);
     }
     if f.machine.mem.peek(ga.trap_count).unwrap_or(0) > point.golden_post_traps {
-        return Some(RecoveryResult::Residual(Consequence::AppCrash));
+        return TierResult::Residual(Consequence::AppCrash);
     }
     if f.machine.mem.peek(ga.result).unwrap_or(0) != point.golden_post_result {
-        return Some(RecoveryResult::Residual(Consequence::AppSdc));
+        return TierResult::Residual(Consequence::AppSdc);
     }
     // Structural invariant words are constant during normal operation, so
     // the golden entry state serves as the reference (the point no longer
     // carries a full post-window platform).
     if crate::golden::structural_corruption(&point.golden_entry.machine, &f.machine, nr_doms) {
-        return Some(RecoveryResult::Residual(Consequence::AllVmFailure));
+        return TierResult::Residual(Consequence::AllVmFailure);
     }
-    Some(RecoveryResult::Survived)
+    TierResult::Converged
 }
 
-/// Aggregated recovery study.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct RecoveryReport {
-    /// Injections performed.
-    pub injections: usize,
-    /// Faults detected within the activation (recovery attempts).
-    pub attempted: usize,
-    pub survived: usize,
-    pub residual: usize,
-    pub failed_again: usize,
-}
-
-impl RecoveryReport {
-    /// Fraction of recovery attempts that fully converged.
-    pub fn survival_rate(&self) -> f64 {
-        if self.attempted == 0 {
-            return 0.0;
-        }
-        self.survived as f64 / self.attempted as f64
+/// The `ReExecute` tier (the paper's §VI sketch): restore the critical
+/// copy and re-run the faulted handler from the VM exit. Returns the
+/// tier result plus the simulated cycles the attempt cost (handler
+/// re-execution; the restore copy itself is the paper's 1,900 ns).
+pub fn attempt_recovery(
+    fault: &DetectedFault,
+    point: &InjectionPoint,
+    attempt: u32,
+) -> (TierResult, u64) {
+    let cpu = fault.cpu;
+    let mut f = fault.plat.clone();
+    fault.snapshot.restore(&mut f.machine);
+    let mut clean = Xentry::new(XentryConfig::overhead(), None);
+    let act = f.run_handler(cpu, point.reason, 0, &mut clean);
+    let cycles = act.handler_cycles;
+    if !act.outcome.is_healthy() {
+        return (TierResult::HypervisorDead, cycles);
     }
+    (
+        convergence(&mut f, point, &mut clean, attempt as u64),
+        cycles,
+    )
 }
 
-/// Run a recovery study: inject faults along a workload trace and attempt
-/// recovery for every detection.
-pub fn recovery_study(
-    cfg: &crate::campaign::CampaignConfig,
-    injections: usize,
+/// The `Microreboot` tier, ReHype's sequence: reinitialize
+/// hypervisor-private state from the boot image
+/// ([`xen_like::Platform::microreboot_restore`]), then restore the
+/// critical copy — which re-positions the CPU at the pending VM exit —
+/// and re-service that exit on the healed hypervisor. The guest never
+/// observes a dropped exit; what the reboot costs is the discarded
+/// private state (the report's accounting) plus the reboot scan and the
+/// handler re-execution cycles.
+pub fn microreboot_recovery(
+    fault: &DetectedFault,
+    point: &InjectionPoint,
+    attempt: u32,
+) -> (TierResult, MicrorebootReport) {
+    let cpu = fault.cpu;
+    let mut f = fault.plat.clone();
+    // Order matters: the reboot wipes hv.pcpu to its boot image; the
+    // critical copy then rebuilds the pending exit's context on top.
+    let mut report = f.microreboot_restore(cpu);
+    fault.snapshot.restore(&mut f.machine);
+    let mut clean = Xentry::new(XentryConfig::overhead(), None);
+    let act = f.run_handler(cpu, point.reason, 0, &mut clean);
+    report.cycles += act.handler_cycles;
+    if !act.outcome.is_healthy() {
+        return (TierResult::HypervisorDead, report);
+    }
+    (
+        convergence(&mut f, point, &mut clean, attempt as u64),
+        report,
+    )
+}
+
+/// Full recovery record for one detected injection under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRecovery {
+    /// Detection technique that triggered the ladder.
+    pub technique: Technique,
+    /// Final verdict of the escalation ladder.
+    pub outcome: RecoveryOutcome,
+    /// Audit trail: every tier attempt the ladder took.
+    pub steps: Vec<EscalationStep>,
+    /// Simulated cycles spent in `ReExecute` attempts.
+    pub reexec_cycles: u64,
+    /// Simulated cycles spent in `Microreboot` attempts.
+    pub microreboot_cycles: u64,
+    /// Hypervisor-private words discarded by the last microreboot (0 if
+    /// the reboot tier never ran).
+    pub words_lost: usize,
+}
+
+/// Inject one fault and, if detected, drive it through `table`'s
+/// escalation ladder. `None` when the fault was not detected (recovery
+/// never triggers).
+pub fn recover_with_policy(
+    point: &InjectionPoint,
+    spec: RecoverySpec,
     detector: Option<&VmTransitionDetector>,
-    seed: u64,
-) -> RecoveryReport {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut plat = crate::campaign::campaign_platform(cfg, seed);
-    let cpu = 1;
-    let mut collector = Xentry::collector();
-    plat.boot(cpu, &mut collector);
-    for _ in 0..cfg.warmup {
-        assert!(plat
-            .run_activation(cpu, &mut collector)
-            .outcome
-            .is_healthy());
-    }
+    table: &HmTable,
+) -> Option<PolicyRecovery> {
+    let fault = detect_fault(point, spec, detector)?;
+    Some(recover_detected(&fault, point, table))
+}
 
-    let mut report = RecoveryReport::default();
-    let targets = FlipTarget::all();
-    while report.injections < injections {
-        for _ in 0..cfg.stride {
-            assert!(plat
-                .run_activation(cpu, &mut collector)
-                .outcome
-                .is_healthy());
-        }
-        let (reason, _) = plat.run_to_exit(cpu);
-        let Some(point) = prepare_point(plat.clone(), cpu, 1, reason, cfg.post_window, detector)
-        else {
-            plat.run_handler(cpu, reason, 0, &mut collector);
-            continue;
-        };
-        for _ in 0..cfg.per_point {
-            if report.injections >= injections {
-                break;
+/// Drive an already-detected fault through `table`'s escalation ladder.
+/// Detection is policy-independent, so campaigns comparing several
+/// tables detect once and call this per table.
+pub fn recover_detected(
+    fault: &DetectedFault,
+    point: &InjectionPoint,
+    table: &HmTable,
+) -> PolicyRecovery {
+    let mut reexec_cycles = 0u64;
+    let mut microreboot_cycles = 0u64;
+    let mut words_lost = 0usize;
+    let (outcome, steps) = run_ladder(
+        table,
+        fault.technique,
+        None,
+        |action, attempt| match action {
+            RecoveryAction::ReExecute => {
+                let (r, cycles) = attempt_recovery(fault, point, attempt);
+                reexec_cycles += cycles;
+                r
             }
-            report.injections += 1;
-            let spec = InjectionSpec {
-                target: targets[rng.gen_range(0..targets.len())],
-                bit: rng.gen_range(0..64),
-                at_step: rng.gen_range(0..point.golden_len.max(1)),
-            };
-            match attempt_recovery(&point, spec, detector) {
-                None => {}
-                Some(RecoveryResult::Survived) => {
-                    report.attempted += 1;
-                    report.survived += 1;
-                }
-                Some(RecoveryResult::Residual(_)) => {
-                    report.attempted += 1;
-                    report.residual += 1;
-                }
-                Some(RecoveryResult::FailedAgain) => {
-                    report.attempted += 1;
-                    report.failed_again += 1;
-                }
+            RecoveryAction::Microreboot => {
+                let (r, report) = microreboot_recovery(fault, point, attempt);
+                microreboot_cycles += report.cycles;
+                words_lost = report.words_lost;
+                r
             }
-        }
-        plat.run_handler(cpu, reason, 0, &mut collector);
+            RecoveryAction::Ignore => ignore_recovery(fault, point),
+            RecoveryAction::Halt => unreachable!("halt never calls try_tier"),
+        },
+    );
+    PolicyRecovery {
+        technique: fault.technique,
+        outcome,
+        steps,
+        reexec_cycles,
+        microreboot_cycles,
+        words_lost,
     }
-    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::campaign::CampaignConfig;
+    use crate::injection::prepare_point;
     use guest_sim::Benchmark;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sim_machine::cpu::FlipTarget;
+
+    fn prepared_point(seed: u64, warm: usize) -> InjectionPoint {
+        let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, seed);
+        let mut plat = crate::campaign::campaign_platform(&cfg, seed);
+        let mut shim = Xentry::collector();
+        plat.boot(1, &mut shim);
+        for _ in 0..warm {
+            plat.run_activation(1, &mut shim);
+        }
+        let (reason, _) = plat.run_to_exit(1);
+        prepare_point(plat, 1, 1, reason, 6, None).unwrap()
+    }
 
     #[test]
-    fn detected_faults_mostly_recover() {
-        let mut cfg = CampaignConfig::paper(Benchmark::Freqmine, 150, 3);
-        cfg.warmup = 30;
-        let report = recovery_study(&cfg, 150, None, 9);
-        assert_eq!(report.injections, 150);
-        assert!(report.attempted > 20, "too few detections: {report:?}");
+    fn detected_faults_mostly_recover_via_reexecute() {
+        let point = prepared_point(5, 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let targets = FlipTarget::all();
+        let table = HmTable::reexecute_only();
+        let (mut attempted, mut recovered) = (0usize, 0usize);
+        for _ in 0..150 {
+            let spec = RecoverySpec::Reg(InjectionSpec {
+                target: targets[rng.gen_range(0..targets.len())],
+                bit: rng.gen_range(0..64),
+                at_step: rng.gen_range(0..point.golden_len.max(1)),
+            });
+            if let Some(rec) = recover_with_policy(&point, spec, None, &table) {
+                attempted += 1;
+                if matches!(rec.outcome, RecoveryOutcome::Recovered { .. }) {
+                    recovered += 1;
+                }
+                assert!(rec.steps.len() <= table.max_attempts() as usize);
+            }
+        }
+        assert!(attempted > 20, "too few detections: {attempted}");
         assert!(
-            report.survival_rate() > 0.85,
-            "critical-state recovery should survive most transient faults: {report:?}"
+            recovered as f64 / attempted as f64 > 0.85,
+            "critical-state recovery should survive most transient faults: \
+             {recovered}/{attempted}"
         );
     }
 
     #[test]
-    fn recovery_of_specific_detected_fault_survives() {
-        let cfg = CampaignConfig::paper(Benchmark::Freqmine, 1, 5);
-        let mut plat = crate::campaign::campaign_platform(&cfg, 5);
-        let mut shim = Xentry::collector();
-        plat.boot(1, &mut shim);
-        for _ in 0..40 {
-            plat.run_activation(1, &mut shim);
-        }
-        let (reason, _) = plat.run_to_exit(1);
-        let point = prepare_point(plat, 1, 1, reason, 6, None).unwrap();
+    fn recovery_of_specific_detected_fault_converges() {
+        let point = prepared_point(5, 40);
         // A guaranteed-detected fault: high RIP bit.
-        let spec = InjectionSpec {
+        let spec = RecoverySpec::Reg(InjectionSpec {
             target: FlipTarget::Rip,
             bit: 42,
             at_step: point.golden_len / 2,
+        });
+        let fault = detect_fault(&point, spec, None).expect("high RIP bit is always detected");
+        assert_eq!(fault.technique, Technique::HwException);
+        let (tier, _cycles) = attempt_recovery(&fault, &point, 1);
+        assert_eq!(tier, TierResult::Converged);
+        // The same fault through the tiered ladder closes at ReExecute.
+        let rec = recover_with_policy(&point, spec, None, &HmTable::tiered()).unwrap();
+        assert_eq!(
+            rec.outcome,
+            RecoveryOutcome::Recovered {
+                tier: RecoveryAction::ReExecute
+            }
+        );
+        assert_eq!(rec.microreboot_cycles, 0);
+    }
+
+    #[test]
+    fn microreboot_tier_recovers_a_detected_fault() {
+        let point = prepared_point(5, 40);
+        let spec = RecoverySpec::Reg(InjectionSpec {
+            target: FlipTarget::Rip,
+            bit: 42,
+            at_step: point.golden_len / 2,
+        });
+        let fault = detect_fault(&point, spec, None).unwrap();
+        let (tier, report) = microreboot_recovery(&fault, &point, 1);
+        assert_eq!(tier, TierResult::Converged, "report: {report:?}");
+        assert!(report.cycles >= xen_like::MICROREBOOT_BASE_CYCLES);
+        assert_eq!(report.cpu, 1);
+    }
+
+    #[test]
+    fn hv_mem_fault_defeats_reexecute_but_not_microreboot() {
+        let point = prepared_point(5, 40);
+        // Flip a high bit of this exit's dispatch-table entry: the stub's
+        // indirect jump goes wild — detected as a hardware exception. The
+        // corrupted entry is hypervisor-private memory, outside the
+        // critical-state copy, so every re-execution crashes the same way;
+        // only the microreboot's boot-image restore heals it.
+        let spec = RecoverySpec::HvMem {
+            region: 2, // hv.dispatch
+            word: point.reason.vmer(),
+            bit: 20,
+            at_step: 0,
         };
-        let result = attempt_recovery(&point, spec, None);
-        assert_eq!(result, Some(RecoveryResult::Survived));
+        let fault = detect_fault(&point, spec, None).expect("wild dispatch entry detected");
+        assert_eq!(fault.technique, Technique::HwException);
+        let (tier, _cycles) = attempt_recovery(&fault, &point, 1);
+        assert_ne!(
+            tier,
+            TierResult::Converged,
+            "the critical copy must not heal private memory"
+        );
+        let rec = recover_detected(&fault, &point, &HmTable::reexecute_only());
+        assert_eq!(rec.outcome, RecoveryOutcome::FailedRecovery);
+        assert_eq!(rec.microreboot_cycles, 0, "reexec-only never reboots");
+        let rec = recover_detected(&fault, &point, &HmTable::tiered());
+        assert_eq!(
+            rec.outcome,
+            RecoveryOutcome::Recovered {
+                tier: RecoveryAction::Microreboot
+            }
+        );
+        assert!(rec.words_lost > 0);
     }
 }

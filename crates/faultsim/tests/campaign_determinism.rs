@@ -88,3 +88,73 @@ fn stale_journal_from_a_different_config_is_ignored() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Recovery phase: same contract, policy tables included in the fingerprint
+// ---------------------------------------------------------------------------
+
+use faultsim::campaign::{
+    run_recovery_campaign, run_recovery_campaign_resumable, RecoveryCampaignResult,
+    RecoveryCampaignRun,
+};
+use faultsim::policy::HmTable;
+
+fn recovery_tables() -> Vec<HmTable> {
+    vec![HmTable::reexecute_only(), HmTable::tiered()]
+}
+
+fn recovery_json(res: &RecoveryCampaignResult) -> String {
+    serde_json::to_string(&res.records).expect("recovery records serialize")
+}
+
+#[test]
+fn recovery_thread_count_never_changes_a_byte() {
+    let tables = recovery_tables();
+    let baseline = recovery_json(&run_recovery_campaign(&cfg(1), None, &tables));
+    let got = recovery_json(&run_recovery_campaign(&cfg(4), None, &tables));
+    assert_eq!(
+        got, baseline,
+        "threads=4 produced a different recovery campaign result"
+    );
+}
+
+#[test]
+fn interrupted_recovery_campaign_resumes_to_the_identical_result() {
+    let c = cfg(2);
+    let tables = recovery_tables();
+    let dir = std::env::temp_dir().join("xentry_recovery_determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = dir.join("recovery.journal");
+
+    // A straight run is the reference.
+    let fresh = recovery_json(&run_recovery_campaign(&c, None, &tables));
+
+    // Kill the campaign mid-recovery-phase, after the first chunk...
+    let first = run_recovery_campaign_resumable(&c, None, &tables, &journal, Some(1)).unwrap();
+    match first {
+        RecoveryCampaignRun::Interrupted {
+            chunks_done,
+            chunks_total,
+        } => {
+            assert!(chunks_done >= 1);
+            assert!(chunks_done < chunks_total);
+        }
+        RecoveryCampaignRun::Complete(_) => panic!("stop_after_chunks=1 should interrupt"),
+    }
+    assert!(journal.exists(), "interrupt must leave a journal behind");
+
+    // ...and resume: same bytes as the uninterrupted run.
+    match run_recovery_campaign_resumable(&c, None, &tables, &journal, None).unwrap() {
+        RecoveryCampaignRun::Complete(res) => assert_eq!(recovery_json(&res), fresh),
+        RecoveryCampaignRun::Interrupted { .. } => panic!("resume did not complete"),
+    }
+
+    // A journal written under a different policy set must be ignored.
+    let other = vec![HmTable::ignore_all()];
+    let fresh_other = recovery_json(&run_recovery_campaign(&c, None, &other));
+    match run_recovery_campaign_resumable(&c, None, &other, &journal, None).unwrap() {
+        RecoveryCampaignRun::Complete(res) => assert_eq!(recovery_json(&res), fresh_other),
+        RecoveryCampaignRun::Interrupted { .. } => panic!("resume did not complete"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

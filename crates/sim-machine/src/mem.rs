@@ -349,6 +349,50 @@ impl Memory {
         }
         h
     }
+
+    /// Overwrite the named region's contents with `words` (privileged,
+    /// loader-grade: ignores write permission). Returns how many words
+    /// actually changed — the caller's state-loss accounting.
+    ///
+    /// # Panics
+    /// If the region is missing or the length differs: callers restore
+    /// images captured from this same layout, so a mismatch means the
+    /// image belongs to a different machine.
+    pub fn restore_region(&mut self, name: &str, words: &[u64]) -> usize {
+        let r = self
+            .regions
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("restore_region: no region named {name}"));
+        assert_eq!(
+            r.words.len(),
+            words.len(),
+            "restore_region: image size mismatch for {name}"
+        );
+        let mut changed = 0usize;
+        for (dst, &src) in r.words.iter_mut().zip(words) {
+            if *dst != src {
+                *dst = src;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Deterministic digest of a single region's contents, or `None` when
+    /// no region has that name. Lets callers assert which regions changed
+    /// across an operation (e.g. that a hypervisor microreboot reset the
+    /// private families while preserving guest-visible state) without
+    /// comparing full images.
+    pub fn region_digest(&self, name: &str) -> Option<u64> {
+        use crate::prng::fold64;
+        let r = self.region_by_name(name)?;
+        let mut h = fold64(0x7265_6769_6f6e, r.base);
+        for &w in &r.words {
+            h = fold64(h, w);
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +534,16 @@ mod tests {
         let mut c = Memory::new();
         c.map("other", 0x1000, 16, Perms::RX);
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn region_digest_tracks_only_that_region() {
+        let a = mem();
+        let mut b = mem();
+        b.poke(0x2000, 7).unwrap();
+        assert_eq!(a.region_digest("text"), b.region_digest("text"));
+        assert_ne!(a.region_digest("data"), b.region_digest("data"));
+        assert!(a.region_digest("nope").is_none());
     }
 
     #[test]

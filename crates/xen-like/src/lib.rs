@@ -30,6 +30,6 @@ pub mod platform;
 
 pub use builder::{build_image, build_machine, DomainSpec, Topology};
 pub use platform::{
-    Activation, ActivationOutcome, IrqProfile, Monitor, NullMonitor, Platform, PlatformDelta,
-    Verdict,
+    Activation, ActivationOutcome, IrqProfile, MicrorebootReport, Monitor, NullMonitor, Platform,
+    PlatformDelta, Verdict, MICROREBOOT_BASE_CYCLES, MICROREBOOT_PRIVATE_REGIONS,
 };

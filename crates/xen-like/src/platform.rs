@@ -10,11 +10,77 @@
 
 use crate::layout::{self as lay, pcpu, vcpu};
 use sim_asm::Image;
+use sim_machine::cpu::Cpu;
 use sim_machine::exit::{NR_APIC_VECTORS, NR_DEVICE_IRQS};
 use sim_machine::prng::{fold64, SplitMix64};
-use sim_machine::{CpuId, Event, Exception, ExitReason, Machine, MachineDelta, Mode, StepOutcome};
+use sim_machine::{
+    CpuId, Event, Exception, ExitReason, Machine, MachineDelta, Mode, Reg, StepOutcome,
+};
+use std::sync::Arc;
 
 use crate::builder::{build_machine, Topology};
+
+/// Hypervisor-**private** memory regions: state the hypervisor derives for
+/// itself and can therefore rebuild from the boot image on a microreboot.
+/// Everything else (VCPU/domain descriptors, event channels, grants,
+/// shared-info pages, VMCS blocks, guest memory, read-only text) is
+/// **preserved state** the VMs depend on and survives a microreboot.
+pub const MICROREBOOT_PRIVATE_REGIONS: [&str; 6] = [
+    "hv.global",
+    "hv.scratch",
+    "hv.dispatch",
+    "hv.pcpu",
+    "hv.runq",
+    "hv.stacks",
+];
+
+/// Boot-time image of the hypervisor-private regions plus the host
+/// re-entry point, captured once at [`Platform::new`]. Static for the
+/// lifetime of a boot, shared by every checkpoint/fork descended from it
+/// (hence the `Arc`), and deliberately excluded from snapshots, deltas and
+/// `state_digest` — it never changes.
+#[derive(Debug)]
+struct BootImage {
+    /// `(region name, boot-time contents)` for every private region.
+    private: Vec<(String, Vec<u64>)>,
+    /// Address of the `vmexit_return` stub: the same host entry point the
+    /// builder boots CPUs at, and the microreboot re-entry point.
+    reentry: u64,
+}
+
+/// Fixed reinitialization cost a microreboot charges before re-running the
+/// host path (structure rebuild, handler re-registration — the in-place
+/// analogue of ReHype's reboot work).
+pub const MICROREBOOT_BASE_CYCLES: u64 = 100_000;
+
+/// State-loss accounting for one microreboot: what the reinitialization
+/// discarded and what it cost. The word counts are *words that actually
+/// differed from the boot image* — the dynamic hypervisor state the reboot
+/// destroyed, not the (much larger) number of words scanned.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MicrorebootReport {
+    pub cpu: usize,
+    /// Private words reset to boot values (sum over `per_region`).
+    pub words_lost: usize,
+    /// `(region, words reset)` per private region.
+    pub per_region: Vec<(String, usize)>,
+    /// The wallclock survives the reboot (guest timer deadlines are
+    /// absolute wallclock ticks; rolling time back would stall them).
+    pub wallclock_preserved: u64,
+    /// Accounting counters zeroed by the restore, recorded for the
+    /// state-loss ledger.
+    pub sched_ticks_lost: u64,
+    pub tasklet_runs_lost: u64,
+    pub hypercalls_lost: u64,
+    pub irqs_lost: u64,
+    /// OR of every CPU's pending-softirq bits at reboot time; the work
+    /// they represented is dropped (the fresh scheduler pass re-derives
+    /// what still matters).
+    pub softirq_bits_dropped: u64,
+    /// Simulated cycles the microreboot cost: the fixed base, the restore
+    /// memory traffic, and the host-path re-entry run.
+    pub cycles: u64,
+}
 
 /// Verdict returned by the monitor at VM entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +216,9 @@ pub struct Platform {
     next_dev: Vec<u64>,
     irq_rng: SplitMix64,
     booted: Vec<bool>,
+    /// Boot-time image of the hypervisor-private regions (microreboot
+    /// substrate). Static per boot; shared across clones and checkpoints.
+    boot_image: Arc<BootImage>,
 }
 
 impl Platform {
@@ -158,6 +227,20 @@ impl Platform {
         let (machine, img) = build_machine(&topo);
         let irq = IrqProfile::default();
         let nr = topo.nr_cpus;
+        let private = MICROREBOOT_PRIVATE_REGIONS
+            .iter()
+            .map(|name| {
+                let r = machine
+                    .mem
+                    .region_by_name(name)
+                    .unwrap_or_else(|| panic!("private region {name} mapped"));
+                (r.name.clone(), r.words.clone())
+            })
+            .collect();
+        let boot_image = Arc::new(BootImage {
+            private,
+            reentry: img.sym("vmexit_return"),
+        });
         let p = Platform {
             machine,
             topo,
@@ -168,6 +251,7 @@ impl Platform {
             next_dev: vec![0; nr],
             irq_rng: SplitMix64::new(0x5EED_1234),
             booted: vec![false; nr],
+            boot_image,
         };
         (p, img)
     }
@@ -357,6 +441,126 @@ impl Platform {
     /// Whether this CPU has been booted.
     pub fn is_booted(&self, cpu: CpuId) -> bool {
         self.booted[cpu]
+    }
+
+    /// Boot-time contents of a hypervisor-private region, as captured for
+    /// the microreboot image. `None` for preserved (non-private) regions.
+    pub fn boot_image_region(&self, name: &str) -> Option<&[u64]> {
+        self.boot_image
+            .private
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w.as_slice())
+    }
+
+    /// ReHype-style hypervisor microreboot on `cpu`: reinitialize the
+    /// hypervisor-private regions (stacks, run-queues, pending-softirq
+    /// bits, handler scratch, dispatch table, global counters) from the
+    /// boot-time image while leaving VCPU/domain descriptors, event
+    /// channels, grants, shared-info pages, VMCS blocks and guest memory
+    /// untouched, then re-enter at the exit trampoline so the preserved
+    /// guest save area is reloaded and the VM resumes.
+    ///
+    /// The wallclock is carried across the reboot (VCPU timer deadlines
+    /// are absolute wallclock ticks; losing it would stall every guest
+    /// timer). All other accounting counters reset to their boot values —
+    /// the report records how much was lost. Only the target CPU's
+    /// architectural state is reset: campaigns drive a single CPU, and
+    /// the other CPUs' private memory is boot-fresh by construction.
+    pub fn microreboot<M: Monitor>(
+        &mut self,
+        cpu: CpuId,
+        monitor: &mut M,
+    ) -> (MicrorebootReport, ActivationOutcome) {
+        let mut report = self.microreboot_restore(cpu);
+        // Re-enter at the exit trampoline: the current VCPU is reloaded
+        // from the PCPU slot restored by the boot image, the preserved
+        // save area is published to the VMCS and the guest resumes where
+        // the last exit left it.
+        let (outcome, _insns, host_cycles) = self.run_host(cpu, monitor);
+        report.cycles += host_cycles;
+        (report, outcome)
+    }
+
+    /// The state-restore half of [`Self::microreboot`]: rewrite the
+    /// private regions from the boot image and reset the CPU, leaving the
+    /// platform parked at the exit trampoline without executing it. Split
+    /// out so tests can assert exactly what the reboot preserves before
+    /// any host code runs again.
+    pub fn microreboot_restore(&mut self, cpu: CpuId) -> MicrorebootReport {
+        assert!(self.booted[cpu], "cpu {cpu} not booted");
+        let g = |w| {
+            self.machine
+                .mem
+                .peek(lay::global_addr(w))
+                .expect("global mapped")
+        };
+        let wallclock = g(lay::global::WALLCLOCK);
+        let sched_ticks = g(lay::global::SCHED_TICKS);
+        let tasklet_runs = g(lay::global::TASKLET_RUNS);
+        let hypercalls = g(lay::global::HYPERCALL_COUNT);
+        let irqs = g(lay::global::IRQ_COUNT);
+        let mut softirq_bits = 0u64;
+        for c in 0..self.topo.nr_cpus {
+            softirq_bits |= self.pcpu_field(c, pcpu::SOFTIRQ_PENDING);
+        }
+
+        // Restore every private region from the boot image; count the
+        // words that actually changed — that is the state the reboot
+        // discards.
+        let image = Arc::clone(&self.boot_image);
+        let mut per_region = Vec::with_capacity(image.private.len());
+        let mut words_lost = 0usize;
+        let mut words_scanned = 0u64;
+        for (name, words) in &image.private {
+            let changed = self.machine.mem.restore_region(name, words);
+            words_lost += changed;
+            words_scanned += words.len() as u64;
+            per_region.push((name.clone(), changed));
+        }
+        self.machine
+            .mem
+            .poke(lay::global_addr(lay::global::WALLCLOCK), wallclock)
+            .expect("global mapped");
+
+        // Reset the CPU's architectural state, preserving the monotonic
+        // cycle/instruction counters and charging the reboot cost: a flat
+        // base plus the memory traffic of rewriting the private image.
+        let cost = MICROREBOOT_BASE_CYCLES + self.machine.config.cycle_model.mem * words_scanned;
+        let rbp = lay::pcpu_addr(cpu);
+        let rsp = self.machine.config.host_stack_top(cpu);
+        let reentry = image.reentry;
+        let c = self.machine.cpu_mut(cpu);
+        let cycles = c.cycles;
+        let insns = c.insns_retired;
+        *c = Cpu::new();
+        c.cycles = cycles + cost;
+        c.insns_retired = insns;
+        c.rip = reentry;
+        c.set(Reg::Rbp, rbp);
+        c.set(Reg::Rsp, rsp);
+
+        // Re-arm the interrupt deadlines exactly as boot does.
+        let now = self.machine.cpu(cpu).cycles;
+        self.next_tick[cpu] = now + self.irq.tick_period.max(1);
+        self.next_dev[cpu] = if self.irq.dev_irq_period > 0 {
+            now + 1 + self.irq_rng.next_below(2 * self.irq.dev_irq_period)
+        } else {
+            u64::MAX
+        };
+
+        MicrorebootReport {
+            cpu,
+            words_lost,
+            per_region,
+            wallclock_preserved: wallclock,
+            sched_ticks_lost: sched_ticks,
+            tasklet_runs_lost: tasklet_runs,
+            hypercalls_lost: hypercalls,
+            irqs_lost: irqs,
+            softirq_bits_dropped: softirq_bits,
+            cycles: cost,
+        }
     }
 
     /// Run exactly one activation on `cpu`: guest executes until the next VM

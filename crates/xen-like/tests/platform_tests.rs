@@ -263,3 +263,94 @@ fn guest_cycles_accumulate_between_exits() {
         "cycles include memory costs"
     );
 }
+
+#[test]
+fn microreboot_restore_heals_private_state_and_preserves_guest_state() {
+    let mut p = pv_platform(2);
+    p.boot(0, &mut NullMonitor);
+    for _ in 0..40 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+    }
+    // Corrupt hypervisor-private scratch so the reboot has something to heal.
+    p.machine.mem.poke(lay::SCRATCH_BASE, 0xDEAD_BEEF).unwrap();
+    let preserved = [
+        "hv.text",
+        "hv.vcpu",
+        "hv.domain",
+        "hv.evtchn",
+        "hv.grant",
+        "hv.shared",
+        "vmcs",
+        "dom0.text",
+        "dom0.data",
+        "dom1.text",
+        "dom1.data",
+    ];
+    let before: Vec<u64> = preserved
+        .iter()
+        .map(|n| p.machine.mem.region_digest(n).unwrap())
+        .collect();
+    let wallclock = p
+        .machine
+        .mem
+        .peek(lay::global_addr(lay::global::WALLCLOCK))
+        .unwrap();
+
+    let report = p.microreboot_restore(0);
+    assert!(report.words_lost > 0, "reboot discarded no state");
+    assert_eq!(report.wallclock_preserved, wallclock);
+    assert!(report.cycles >= xen_like::MICROREBOOT_BASE_CYCLES);
+
+    // Preserved regions are untouched.
+    for (n, d0) in preserved.iter().zip(&before) {
+        assert_eq!(p.machine.mem.region_digest(n).unwrap(), *d0, "{n} changed");
+    }
+    // Private regions are back to the boot image, except the carried
+    // wallclock word in hv.global.
+    for name in xen_like::MICROREBOOT_PRIVATE_REGIONS {
+        let img = p.boot_image_region(name).unwrap().to_vec();
+        let live = p.machine.mem.region_by_name(name).unwrap().words.clone();
+        if name == "hv.global" {
+            for (i, (l, b)) in live.iter().zip(&img).enumerate() {
+                if i as u64 == lay::global::WALLCLOCK {
+                    assert_eq!(*l, wallclock, "wallclock not carried across reboot");
+                } else {
+                    assert_eq!(l, b, "{name}[{i}] not restored");
+                }
+            }
+        } else {
+            assert_eq!(live, img, "{name} not restored to boot image");
+        }
+    }
+}
+
+#[test]
+fn microreboot_reenters_guest_which_keeps_running() {
+    let mut p = pv_platform(2);
+    p.boot(0, &mut NullMonitor);
+    for _ in 0..20 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(act.outcome.is_healthy());
+    }
+    // Wreck the scheduler run-queue — hypervisor-private damage that only
+    // a reboot repairs.
+    p.machine.mem.poke(lay::runq::BASE, 0xFFFF_FFFF).unwrap();
+    let cycles_before = p.machine.cpu(0).cycles;
+    let (report, out) = p.microreboot(0, &mut NullMonitor);
+    assert_eq!(out, ActivationOutcome::Resumed);
+    assert_eq!(report.cpu, 0);
+    assert!(
+        p.machine.cpu(0).cycles > cycles_before,
+        "reboot cost not charged"
+    );
+    // The rebooted hypervisor schedules guests exactly as before.
+    for _ in 0..40 {
+        let act = p.run_activation(0, &mut NullMonitor);
+        assert!(
+            act.outcome.is_healthy(),
+            "post-reboot activation unhealthy: {:?}",
+            act.outcome
+        );
+    }
+}

@@ -4,9 +4,13 @@
 //! figures [--quick|--paper] [--out DIR] [--perf-guard] [experiments...]
 //!
 //! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
-//!              overhead inference campaign distributed layout
+//!              recovery overhead inference campaign distributed layout
 //!                                                           (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
+//!   "recovery" drives every detected fault through competing
+//!   health-monitor policy tables (ignore / re-execute-only / tiered
+//!   with hypervisor microreboot) and writes `results/ext_recovery.json`
+//!   plus the repo-root mirror `BENCH_recovery.json`.
 //!   "inference" and "campaign" also mirror their JSON to the repo-root
 //!   `BENCH_inference.json` / `BENCH_campaign.json` perf-trajectory files.
 //!   "distributed" spawns a loopback multi-process fleet (re-executing
@@ -148,6 +152,7 @@ fn main() {
         || want("fig11")
         || want("extensions")
         || want("fleet")
+        || want("recovery")
     {
         let t = std::time::Instant::now();
         let (det, ml) = ml_accuracy(&benchmarks, &scale, seed);
@@ -190,17 +195,31 @@ fn main() {
         write_json(&out, "fig11", &fig11);
     }
 
-    if want("extensions") {
+    if want("recovery") {
         let det = detector.as_ref();
         let t = std::time::Instant::now();
-        let rec = recovery_feasibility(
+        let rec = recovery_experiment(
             &[Benchmark::Freqmine, Benchmark::Postmark],
             det,
             &scale,
             seed,
         );
         println!("{}", rec.render());
+        eprintln!("[figures] recovery took {:?}\n", t.elapsed());
         write_json(&out, "ext_recovery", &rec);
+        // Mirror at the repo root so the recovery receipts ride along in
+        // version control next to BENCH_campaign.json / BENCH_inference.json.
+        std::fs::write(
+            "BENCH_recovery.json",
+            serde_json::to_string_pretty(&rec).unwrap(),
+        )
+        .expect("write BENCH_recovery.json");
+        eprintln!("[figures] wrote BENCH_recovery.json");
+    }
+
+    if want("extensions") {
+        let det = detector.as_ref();
+        let t = std::time::Instant::now();
         let vuln = register_vulnerability(Benchmark::Freqmine, det, &scale, seed);
         println!("{}", vuln.render());
         write_json(&out, "ext_vulnerability", &vuln);
