@@ -264,6 +264,94 @@ pub fn target_breakdown(records: &[InjectionRecord]) -> Vec<TargetRow> {
     rows
 }
 
+/// One cell of the per-bit vulnerability map: outcome counts for every
+/// injection that struck a given (target, bit-position) pair.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct VulnCell {
+    /// Caught by any technique before the consequence landed.
+    pub detected: usize,
+    /// Escaped detection and corrupted application output (SDC).
+    pub silent: usize,
+    /// Escaped detection and crashed an app, a VM or the hypervisor.
+    pub crash: usize,
+    /// Never manifested (masked in the handler or at VM entry).
+    pub benign: usize,
+}
+
+impl VulnCell {
+    fn count(&mut self, outcome: &FaultOutcome) {
+        match outcome {
+            FaultOutcome::Detected { .. } => self.detected += 1,
+            FaultOutcome::Undetected {
+                consequence: Consequence::AppSdc,
+                ..
+            } => self.silent += 1,
+            FaultOutcome::Undetected { .. } => self.crash += 1,
+            FaultOutcome::Benign | FaultOutcome::MaskedAfterEntry => self.benign += 1,
+        }
+    }
+
+    /// Injections aggregated into this cell.
+    pub fn total(&self) -> usize {
+        self.detected + self.silent + self.crash + self.benign
+    }
+}
+
+/// Per-bit vulnerability map: `target name -> bit position -> outcome
+/// counts`. BTreeMaps keep iteration (and the serialized figure) in a
+/// stable order regardless of how the records were produced.
+pub type VulnMap = std::collections::BTreeMap<String, std::collections::BTreeMap<u8, VulnCell>>;
+
+/// Build a vulnerability map from `(target, bit, outcome)` triples.
+pub fn vulnerability_map<'a>(
+    cells: impl IntoIterator<Item = (String, u8, &'a FaultOutcome)>,
+) -> VulnMap {
+    let mut map = VulnMap::new();
+    for (target, bit, outcome) in cells {
+        map.entry(target)
+            .or_default()
+            .entry(bit)
+            .or_default()
+            .count(outcome);
+    }
+    map
+}
+
+/// Vulnerability map of a single-bit register campaign.
+pub fn vulnmap_from_records(records: &[InjectionRecord]) -> VulnMap {
+    vulnerability_map(records.iter().map(|r| (r.target.name(), r.bit, &r.outcome)))
+}
+
+/// Vulnerability map of an extended-model campaign ([`crate::ModelRecord`]):
+/// bursts bucket under their anchor bit, PTE strikes under the struck PTE
+/// bit, PMC strikes under the counter bit.
+pub fn vulnmap_from_model_records(records: &[crate::ModelRecord]) -> VulnMap {
+    vulnerability_map(
+        records
+            .iter()
+            .map(|r| (r.target.clone(), r.bit, &r.outcome)),
+    )
+}
+
+/// Merge vulnerability maps (e.g. the register map with a model map, or
+/// maps from different workloads) cell-wise.
+pub fn merge_vulnmaps(maps: impl IntoIterator<Item = VulnMap>) -> VulnMap {
+    let mut out = VulnMap::new();
+    for map in maps {
+        for (target, bits) in map {
+            let dst = out.entry(target).or_default();
+            for (bit, cell) in bits {
+                let d = dst.entry(bit).or_default();
+                d.detected += cell.detected;
+                d.silent += cell.silent;
+                d.crash += cell.crash;
+                d.benign += cell.benign;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +503,62 @@ mod tests {
         assert_eq!(b.stack_values, 1);
         assert_eq!(b.mis_classified, 1);
         assert_eq!(b.other_values, 0);
+    }
+
+    #[test]
+    fn vulnmap_buckets_by_target_and_bit() {
+        let mut records = vec![rec(FaultOutcome::Benign); 4];
+        records[0].bit = 7;
+        records[0].outcome = FaultOutcome::Detected {
+            technique: Technique::HwException,
+            latency: 1,
+            same_activation: true,
+            consequence: None,
+        };
+        records[1].bit = 7;
+        records[1].outcome = FaultOutcome::Undetected {
+            consequence: Consequence::AppSdc,
+            category: UndetectedCategory::OtherValues,
+        };
+        records[2].bit = 7;
+        records[2].outcome = FaultOutcome::Undetected {
+            consequence: Consequence::HypervisorCrash,
+            category: UndetectedCategory::OtherValues,
+        };
+        records[3].bit = 3;
+        records[3].outcome = FaultOutcome::MaskedAfterEntry;
+        let map = vulnmap_from_records(&records);
+        let rax = &map["rax"];
+        let hot = rax[&7];
+        assert_eq!(
+            (hot.detected, hot.silent, hot.crash, hot.benign),
+            (1, 1, 1, 0)
+        );
+        assert_eq!(hot.total(), 3);
+        // MaskedAfterEntry counts as benign, under its own bit.
+        assert_eq!(rax[&3].benign, 1);
+    }
+
+    #[test]
+    fn vulnmaps_merge_cell_wise() {
+        let a = vulnerability_map(vec![("rip".to_string(), 0u8, &FaultOutcome::Benign)]);
+        let b = vulnerability_map(vec![
+            (
+                "rip".to_string(),
+                0u8,
+                &FaultOutcome::Detected {
+                    technique: Technique::HwException,
+                    latency: 1,
+                    same_activation: true,
+                    consequence: None,
+                },
+            ),
+            ("pte.present".to_string(), 0u8, &FaultOutcome::Benign),
+        ]);
+        let merged = merge_vulnmaps(vec![a, b]);
+        assert_eq!(merged["rip"][&0].benign, 1);
+        assert_eq!(merged["rip"][&0].detected, 1);
+        assert_eq!(merged["pte.present"][&0].benign, 1);
+        assert_eq!(merged.len(), 2);
     }
 }

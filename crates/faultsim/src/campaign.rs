@@ -34,12 +34,16 @@
 
 use crate::checkpoint::{CheckpointStats, CheckpointStore};
 use crate::injection::{
-    inject, inject_with_flips, prepare_point, prepare_point_forked, InjectionPoint,
+    inject, inject_spec, inject_with_flips, prepare_point, prepare_point_forked, InjectionPoint,
     InjectionRecord, InjectionSpec, PointMeta,
 };
 use crate::journal::CampaignJournal;
+use crate::outcome::FaultOutcome;
 use crate::policy::HmTable;
-use crate::recovery::{detect_fault, recover_detected, PolicyRecovery, RecoverySpec};
+use crate::recovery::{
+    detect_fault, recover_detected, BurstSite, BurstSpec, PmcSpec, PolicyRecovery, PteField,
+    PteSpec, RecoverySpec,
+};
 use guest_sim::{dom0_profile, load_workload, profile, Benchmark};
 use mltree::{Dataset, Label};
 use rand::{Rng, SeedableRng};
@@ -642,7 +646,10 @@ pub fn recovery_campaign_digest(cfg: &CampaignConfig, tables: &[HmTable]) -> u64
 /// [`specs_at`] with every third injection redirected into a
 /// hypervisor-private memory word — the latent-corruption class that
 /// separates the microreboot tier from re-execution (the critical-state
-/// copy cannot heal it).
+/// copy cannot heal it) — and every third-plus-one injection redirected
+/// into the extended fault models (spatial bursts, PTE strikes, PMC
+/// strikes), so the HmTable receipts price every model the simulator
+/// can produce, not just single-bit flips.
 ///
 /// Memory flips land with `at_step: 0`: unlike a register flip, which
 /// only matters while the value is live in the handler, a memory strike
@@ -697,6 +704,20 @@ fn recovery_specs_at(
                     word,
                     bit: rng.gen_range(0..64),
                     at_step: 0,
+                }
+            } else if k % 3 == 1 {
+                // Extended models, bursts weighted up: a PMC strike is
+                // architecturally invisible to the exception paths, so an
+                // even split would starve the detection-rate signal the
+                // tiered-vs-reexecute comparison rests on.
+                match rng.gen_range(0..4u8) {
+                    0 | 1 => RecoverySpec::Burst(random_burst(&mut rng, golden_len, vmer)),
+                    2 => RecoverySpec::Pte(random_pte(&mut rng)),
+                    _ => RecoverySpec::Pmc(PmcSpec {
+                        counter: rng.gen_range(0..4),
+                        bit: rng.gen_range(0..64),
+                        at_step: rng.gen_range(0..golden_len.max(1)),
+                    }),
                 }
             } else {
                 RecoverySpec::Reg(s)
@@ -973,6 +994,260 @@ pub fn multibit_study(
         multi.records.push(m);
     }
     (single, multi)
+}
+
+// ---------------------------------------------------------------------------
+// Extended fault models: spatial bursts, PTE strikes, PMC strikes
+// ---------------------------------------------------------------------------
+
+/// Index of `hv.dispatch` in [`xen_like::MICROREBOOT_PRIVATE_REGIONS`].
+fn dispatch_region_index() -> u8 {
+    xen_like::MICROREBOOT_PRIVATE_REGIONS
+        .iter()
+        .position(|n| *n == "hv.dispatch")
+        .expect("dispatch region listed") as u8
+}
+
+fn random_burst(rng: &mut ChaCha8Rng, golden_len: u64, vmer: u16) -> BurstSpec {
+    let width = rng.gen_range(2..=4);
+    let stride = rng.gen_range(1..=3);
+    let start_bit = rng.gen_range(0..64);
+    if rng.gen_range(0..2u8) == 0 {
+        let targets = FlipTarget::all();
+        BurstSpec {
+            site: BurstSite::Reg(targets[rng.gen_range(0..targets.len())]),
+            start_bit,
+            width,
+            stride,
+            at_step: rng.gen_range(0..golden_len.max(1)),
+        }
+    } else {
+        // Importance-sample the dispatch table like [`recovery_specs_at`]:
+        // half the memory bursts anchor at the in-flight exit's own entry,
+        // so cross-word spills reach the adjacent (also live) entries.
+        let hot = rng.gen_range(0..2u8) == 0;
+        let word = if hot { vmer } else { rng.gen_range(0..256) };
+        BurstSpec {
+            site: BurstSite::HvMem {
+                region: dispatch_region_index(),
+                word,
+            },
+            start_bit,
+            width,
+            stride,
+            // Memory strikes persist: corrupted at handler entry.
+            at_step: 0,
+        }
+    }
+}
+
+fn random_pte(rng: &mut ChaCha8Rng) -> PteSpec {
+    let field = match rng.gen_range(0..3u8) {
+        0 => PteField::Present,
+        1 => PteField::Rw,
+        _ => PteField::Addr,
+    };
+    PteSpec {
+        // Strike the observed DomU's table: PTEs of a domain never
+        // scheduled on the observed CPU are benign by construction, and
+        // sampling only those would measure nothing.
+        dom: 1,
+        page: rng.gen_range(0..xen_like::layout::ptbl::PAGES_PER_DOM as u16),
+        field,
+        bit: rng.gen_range(0..28),
+        at_step: 0,
+    }
+}
+
+/// The model-diversity spec schedule: golden point `ordinal`'s injections
+/// rotate through the three extended fault models — spatial multi-bit
+/// bursts, page-table-entry strikes and performance-counter strikes. A
+/// pure function of (seed, ordinal, vmer), like [`specs_at`], so model
+/// campaigns inherit both determinism properties unchanged.
+pub fn model_specs_at(
+    cfg: &CampaignConfig,
+    ordinal: usize,
+    golden_len: u64,
+    vmer: u16,
+) -> Vec<RecoverySpec> {
+    let per = cfg.per_point.max(1);
+    let n = cfg.injections.saturating_sub(ordinal * per).min(per);
+    let mut rng = ChaCha8Rng::seed_from_u64(fold64(cfg.seed, 0x4d4f_444c ^ ordinal as u64));
+    (0..n)
+        .map(|k| match k % 3 {
+            0 => RecoverySpec::Burst(random_burst(&mut rng, golden_len, vmer)),
+            1 => RecoverySpec::Pte(random_pte(&mut rng)),
+            _ => RecoverySpec::Pmc(PmcSpec {
+                counter: rng.gen_range(0..4),
+                bit: rng.gen_range(0..64),
+                at_step: rng.gen_range(0..golden_len.max(1)),
+            }),
+        })
+        .collect()
+}
+
+/// Outcome record of one extended-model injection, carrying the labels
+/// the vulnerability map buckets by.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelRecord {
+    /// Golden point ordinal the fault was injected at.
+    pub ordinal: usize,
+    pub vmer: u16,
+    /// Fault-model class (`"burst"`, `"pte"`, `"pmc"`).
+    pub class: String,
+    /// Struck target: register, private region, PTE field or counter.
+    pub target: String,
+    /// Primary struck bit position.
+    pub bit: u8,
+    pub at_step: u64,
+    pub outcome: FaultOutcome,
+    /// Faulty-run features, when the handler reached VM entry.
+    pub features: Option<FeatureVec>,
+}
+
+/// Records of an extended-model campaign, in injection order.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ModelCampaignResult {
+    pub records: Vec<ModelRecord>,
+}
+
+impl ModelCampaignResult {
+    /// Persist the raw records as JSON, atomically.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::journal::write_atomic(
+            path.as_ref(),
+            serde_json::to_string(self)
+                .expect("records serialize")
+                .as_bytes(),
+        )
+    }
+
+    /// Load records saved by [`ModelCampaignResult::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<ModelCampaignResult> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Run an extended-model campaign against an already-walked golden trace.
+/// Deterministic: records depend only on the configuration, never on
+/// `threads` — the same chunk queue and schedule purity as
+/// [`run_campaign_with`].
+pub fn run_model_campaign_with(
+    cfg: &CampaignConfig,
+    trace: &GoldenTrace,
+    detector: Option<&VmTransitionDetector>,
+) -> ModelCampaignResult {
+    let ids: Vec<usize> = (0..cfg.nr_chunks()).collect();
+    let collected = Mutex::new(BTreeMap::new());
+    run_chunks(
+        cfg.threads,
+        &ids,
+        None,
+        &collected,
+        &|chunk| {
+            replay_chunk(cfg, trace, chunk, detector, |point, meta| {
+                model_specs_at(cfg, meta.ordinal, point.golden_len, point.reason.vmer())
+                    .into_iter()
+                    .map(|spec| {
+                        let (outcome, features) = inject_spec(point, &spec, detector);
+                        ModelRecord {
+                            ordinal: meta.ordinal,
+                            vmer: point.reason.vmer(),
+                            class: spec.class().to_string(),
+                            target: spec.target_label(),
+                            bit: spec.bit(),
+                            at_step: spec.at_step(),
+                            outcome,
+                            features,
+                        }
+                    })
+                    .collect()
+            })
+        },
+        &|_| {},
+    );
+    let chunks = collected.into_inner().expect("chunk map lock");
+    ModelCampaignResult {
+        records: chunks.into_values().flatten().collect(),
+    }
+}
+
+/// Run an extended-model campaign: golden pass once, then
+/// checkpoint-forked burst/PTE/PMC injections in parallel.
+pub fn run_model_campaign(
+    cfg: &CampaignConfig,
+    detector: Option<&VmTransitionDetector>,
+) -> ModelCampaignResult {
+    if cfg.injections == 0 {
+        return ModelCampaignResult::default();
+    }
+    let trace = golden_trace(cfg, detector);
+    run_model_campaign_with(cfg, &trace, detector)
+}
+
+/// Reference extended-model campaign with NO checkpoint forking: every
+/// injection replays from a fresh boot ([`run_campaign_from_boot`]'s
+/// slow path, for the model schedule). Must produce records identical to
+/// [`run_model_campaign`] — the equivalence the fast path is pinned by.
+pub fn run_model_campaign_from_boot(
+    cfg: &CampaignConfig,
+    detector: Option<&VmTransitionDetector>,
+) -> ModelCampaignResult {
+    let mut records = Vec::with_capacity(cfg.injections);
+    let nr_points = cfg.nr_points();
+    let (cpu, dom) = (1, 1);
+    for ordinal in 0..nr_points {
+        let mut done = 0usize;
+        loop {
+            let mut plat = campaign_platform(cfg, cfg.seed);
+            let mut collector = Xentry::collector();
+            plat.boot(cpu, &mut collector);
+            for _ in 0..cfg.warmup {
+                let act = plat.run_activation(cpu, &mut collector);
+                assert!(act.outcome.is_healthy(), "warmup died: {:?}", act.outcome);
+            }
+            let mut valid = 0usize;
+            let point = loop {
+                for _ in 0..cfg.stride {
+                    let act = plat.run_activation(cpu, &mut collector);
+                    assert!(act.outcome.is_healthy(), "trace died: {:?}", act.outcome);
+                }
+                let (reason, _gc) = plat.run_to_exit(cpu);
+                let prepared =
+                    prepare_point(plat.clone(), cpu, dom, reason, cfg.post_window, detector);
+                if let Some(p) = prepared {
+                    if valid == ordinal {
+                        break p;
+                    }
+                    valid += 1;
+                }
+                plat.run_handler(cpu, reason, 0, &mut collector);
+            };
+            let specs = model_specs_at(cfg, ordinal, point.golden_len, point.reason.vmer());
+            if done >= specs.len() {
+                break;
+            }
+            let spec = specs[done];
+            let (outcome, features) = inject_spec(&point, &spec, detector);
+            records.push(ModelRecord {
+                ordinal,
+                vmer: point.reason.vmer(),
+                class: spec.class().to_string(),
+                target: spec.target_label(),
+                bit: spec.bit(),
+                at_step: spec.at_step(),
+                outcome,
+                features,
+            });
+            done += 1;
+            if done >= specs.len() {
+                break;
+            }
+        }
+    }
+    ModelCampaignResult { records }
 }
 
 #[cfg(test)]

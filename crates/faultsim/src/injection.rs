@@ -19,9 +19,10 @@
 
 use crate::golden::{diff_machines, DiffSite, StateDiff};
 use crate::outcome::{Consequence, FaultOutcome, UndetectedCategory};
+use crate::recovery::RecoverySpec;
 use guest_sim::guest_addrs;
 use sim_machine::cpu::FlipTarget;
-use sim_machine::{CpuId, ExitReason};
+use sim_machine::{CpuId, ExitReason, Machine};
 use xen_like::{ActivationOutcome, Platform};
 use xentry::{FeatureVec, Xentry, XentryConfig};
 
@@ -365,6 +366,56 @@ pub fn inject_with_flips(
         bit: flips[0].1,
         at_step,
     };
+    let flips_owned: Vec<(FlipTarget, u8)> = flips.to_vec();
+    let (outcome, features) = inject_core(point, at_step, detector, false, move |m, c| {
+        for (target, bit) in flips_owned {
+            m.cpu_mut(c).flip_bit(target, bit);
+        }
+    });
+    InjectionRecord {
+        vmer: point.reason.vmer(),
+        target: spec.target,
+        bit: spec.bit,
+        at_step: spec.at_step,
+        outcome,
+        features,
+        golden_features: point.golden_features,
+    }
+}
+
+/// Execute one model fault — any [`RecoverySpec`]: register flip, private
+/// memory strike, spatial burst, PTE corruption or PMC corruption — at a
+/// prepared point, returning the outcome and the faulty feature vector
+/// (present when the handler reached VM entry).
+pub fn inject_spec(
+    point: &InjectionPoint,
+    spec: &RecoverySpec,
+    detector: Option<&xentry::VmTransitionDetector>,
+) -> (FaultOutcome, Option<FeatureVec>) {
+    let s = *spec;
+    // PMC corruption lands in PMU state the entry diff deliberately
+    // excludes, so a detector flag on an architecturally clean diff is a
+    // true detection of the corrupted counter — not a false positive.
+    let flag_on_clean_diff = matches!(spec, RecoverySpec::Pmc(_));
+    inject_core(
+        point,
+        spec.at_step(),
+        detector,
+        flag_on_clean_diff,
+        move |m, c| s.apply(m, c),
+    )
+}
+
+/// Shared execution core of every injection flavour: run the handler with
+/// the fault hook attached, diff against the golden entry state, classify
+/// the consequence, and give deployed detection its post-window chance.
+fn inject_core(
+    point: &InjectionPoint,
+    at_step: u64,
+    detector: Option<&xentry::VmTransitionDetector>,
+    flag_on_clean_diff: bool,
+    apply: impl FnOnce(&mut Machine, CpuId),
+) -> (FaultOutcome, Option<FeatureVec>) {
     let cpu = point.cpu;
     let nr_doms = point.at_exit.topo.domains.len();
     let mut f = point.at_exit.clone();
@@ -373,30 +424,9 @@ pub fn inject_with_flips(
     // `at_step` retired host instructions.
     shim.injection_mark = Some(f.machine.cpu(cpu).insns_retired + at_step);
 
-    let flips_owned: Vec<(FlipTarget, u8)> = flips.to_vec();
-    let act = f.run_handler_hooked(
-        cpu,
-        point.reason,
-        0,
-        &mut shim,
-        Some(at_step),
-        move |m, c| {
-            for (target, bit) in flips_owned {
-                m.cpu_mut(c).flip_bit(target, bit);
-            }
-        },
-    );
+    let act = f.run_handler_hooked(cpu, point.reason, 0, &mut shim, Some(at_step), apply);
 
-    let vmer = point.reason.vmer();
-    let base = |outcome, features| InjectionRecord {
-        vmer,
-        target: spec.target,
-        bit: spec.bit,
-        at_step: spec.at_step,
-        outcome,
-        features,
-        golden_features: point.golden_features,
-    };
+    let base = |outcome, features| (outcome, features);
 
     match act.outcome {
         ActivationOutcome::HostException(_)
@@ -436,6 +466,21 @@ pub fn inject_with_flips(
     let entry_diff = diff_machines(&point.golden_entry.machine, &f.machine, cpu, nr_doms);
 
     if entry_diff.is_empty() {
+        if flag_on_clean_diff && shim.detected() {
+            // The caller declared clean-diff flags to be true detections
+            // (PMC corruption: the strike is invisible to the diff by
+            // construction, and the counter anomaly IS the manifestation).
+            let d = &shim.detections[0];
+            return base(
+                FaultOutcome::Detected {
+                    technique: d.technique,
+                    latency: d.latency.unwrap_or(0),
+                    same_activation: true,
+                    consequence: None,
+                },
+                Some(faulty_features),
+            );
+        }
         // Architecturally clean execution. A positive verdict here is a
         // false positive (recovery would re-execute and succeed); it is not
         // a detection of a manifested fault, so the record stays benign —

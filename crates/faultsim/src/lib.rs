@@ -26,21 +26,24 @@ pub mod policy;
 pub mod recovery;
 
 pub use analysis::{
-    coverage_breakdown, latency_data, latency_data_filtered, long_latency_coverage,
-    target_breakdown, undetected_breakdown, CoverageBreakdown, LatencyData, LongLatencyCoverage,
-    TargetRow, UndetectedBreakdown,
+    coverage_breakdown, latency_data, latency_data_filtered, long_latency_coverage, merge_vulnmaps,
+    target_breakdown, undetected_breakdown, vulnerability_map, vulnmap_from_model_records,
+    vulnmap_from_records, CoverageBreakdown, LatencyData, LongLatencyCoverage, TargetRow,
+    UndetectedBreakdown, VulnCell, VulnMap,
 };
 pub use campaign::{
     campaign_platform, collect_correct_samples, dataset_from_records, evaluate_detector_on_records,
-    golden_trace, multibit_study, recovery_campaign_digest, run_campaign, run_campaign_from_boot,
-    run_campaign_resumable, run_campaign_with, run_recovery_campaign,
+    golden_trace, model_specs_at, multibit_study, recovery_campaign_digest, run_campaign,
+    run_campaign_from_boot, run_campaign_resumable, run_campaign_with, run_model_campaign,
+    run_model_campaign_from_boot, run_model_campaign_with, run_recovery_campaign,
     run_recovery_campaign_resumable, run_recovery_campaign_with, CampaignConfig, CampaignResult,
-    CampaignRun, GoldenTrace, RecoveryCampaignResult, RecoveryCampaignRun, RecoveryRecord,
+    CampaignRun, GoldenTrace, ModelCampaignResult, ModelRecord, RecoveryCampaignResult,
+    RecoveryCampaignRun, RecoveryRecord,
 };
 pub use checkpoint::{CheckpointStats, CheckpointStore};
 pub use golden::{classify_site, diff_machines, DiffSite, StateDiff};
 pub use injection::{
-    inject, inject_with_flips, prepare_point, prepare_point_forked, InjectionPoint,
+    inject, inject_spec, inject_with_flips, prepare_point, prepare_point_forked, InjectionPoint,
     InjectionRecord, InjectionSpec, PointMeta,
 };
 pub use journal::{write_atomic, CampaignJournal};
@@ -50,5 +53,6 @@ pub use policy::{
 };
 pub use recovery::{
     attempt_recovery, detect_fault, ignore_recovery, microreboot_recovery, recover_detected,
-    recover_with_policy, DetectedFault, PolicyRecovery, RecoverySpec,
+    recover_with_policy, BurstSite, BurstSpec, DetectedFault, PmcSpec, PolicyRecovery, PteField,
+    PteSpec, RecoverySpec,
 };

@@ -24,7 +24,9 @@ use crate::policy::{
 };
 use guest_sim::guest_addrs;
 use serde::{Deserialize, Serialize};
-use sim_machine::{CpuId, Machine};
+use sim_machine::cpu::FlipTarget;
+use sim_machine::{CpuId, Machine, PerfCounters, PTE_PRESENT, PTE_RW};
+use xen_like::layout as lay;
 use xen_like::{ActivationOutcome, MicrorebootReport, Platform, MICROREBOOT_PRIVATE_REGIONS};
 use xentry::{CriticalState, Technique, VmTransitionDetector, Xentry, XentryConfig};
 
@@ -48,6 +50,102 @@ pub enum RecoverySpec {
         bit: u8,
         at_step: u64,
     },
+    /// Spatial multi-bit burst: several flips at a fixed stride from one
+    /// strike point — the beyond-ECC upset pattern of adjacent cells.
+    Burst(BurstSpec),
+    /// Page-table-entry corruption: present/RW/frame-bit flips in a
+    /// domain's `hv.ptbl` entries, surfacing as faults on the next walk.
+    Pte(PteSpec),
+    /// Performance-counter corruption: a strike in the PMU state the
+    /// VM-transition detector itself consumes.
+    Pmc(PmcSpec),
+}
+
+/// Where a spatial burst lands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BurstSite {
+    /// Flips within one architectural register (bit indexes wrap mod 64:
+    /// a register has no adjacent word to spill into).
+    Reg(FlipTarget),
+    /// Flips anchored at a hypervisor-private memory word. Bit indexes
+    /// past 63 spill into the *adjacent word* (wrapping within the
+    /// region) — the physically contiguous layout of DRAM rows, and the
+    /// case a single-word read-modify-write would silently alias.
+    HvMem { region: u8, word: u16 },
+}
+
+/// A contiguous or stride-patterned multi-bit burst.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    pub site: BurstSite,
+    /// First flipped bit position.
+    pub start_bit: u8,
+    /// Number of flips (campaign envelope: 2..=4).
+    pub width: u8,
+    /// Bit-position distance between consecutive flips (envelope: 1..=3).
+    pub stride: u8,
+    pub at_step: u64,
+}
+
+impl BurstSpec {
+    /// Absolute bit offsets of every flip, relative to the strike point.
+    pub fn bit_offsets(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.width.max(1) as u64).map(|i| self.start_bit as u64 + i * self.stride as u64)
+    }
+}
+
+/// Which PTE field a page-table strike corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PteField {
+    /// Flip the present bit: the next walk of the page faults.
+    Present,
+    /// Flip the RW bit: writes to the page fault, reads survive.
+    Rw,
+    /// Flip a frame-address bit: accesses silently redirect (or fault on
+    /// an unmapped frame) — the silent-corruption corner of the model.
+    Addr,
+}
+
+/// One page-table-entry strike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PteSpec {
+    /// Victim domain (modulo the layout's domain count).
+    pub dom: u8,
+    /// Victim page within the domain's table (modulo pages per domain).
+    pub page: u16,
+    pub field: PteField,
+    /// Frame-bit offset for [`PteField::Addr`] strikes (ignored for the
+    /// permission fields, which are single fixed bits).
+    pub bit: u8,
+    pub at_step: u64,
+}
+
+impl PteSpec {
+    /// The PTE word's simulated-physical address.
+    pub fn pte_addr(&self) -> u64 {
+        let dom = self.dom as usize % lay::MAX_DOMS;
+        lay::ptbl_addr(dom) + (self.page as u64 % lay::ptbl::PAGES_PER_DOM) * 8
+    }
+
+    /// The XOR mask the strike applies to the PTE word.
+    pub fn mask(&self) -> u64 {
+        match self.field {
+            PteField::Present => PTE_PRESENT,
+            PteField::Rw => PTE_RW,
+            // Frame bits 12..40: low enough to stay inside the frame mask,
+            // high enough to move the translation by at least a page.
+            PteField::Addr => 1u64 << (12 + self.bit % 28),
+        }
+    }
+}
+
+/// One performance-counter strike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmcSpec {
+    /// Which of the four Table-I counters (modulo 4).
+    pub counter: u8,
+    pub bit: u8,
+    pub at_step: u64,
 }
 
 impl RecoverySpec {
@@ -56,6 +154,9 @@ impl RecoverySpec {
         match *self {
             RecoverySpec::Reg(s) => s.at_step,
             RecoverySpec::HvMem { at_step, .. } => at_step,
+            RecoverySpec::Burst(b) => b.at_step,
+            RecoverySpec::Pte(p) => p.at_step,
+            RecoverySpec::Pmc(p) => p.at_step,
         }
     }
 
@@ -64,11 +165,53 @@ impl RecoverySpec {
         match self {
             RecoverySpec::Reg(_) => "reg",
             RecoverySpec::HvMem { .. } => "hv-mem",
+            RecoverySpec::Burst(_) => "burst",
+            RecoverySpec::Pte(_) => "pte",
+            RecoverySpec::Pmc(_) => "pmc",
+        }
+    }
+
+    /// Target label for the vulnerability map: the register, region, PTE
+    /// field or counter the strike lands in.
+    pub fn target_label(&self) -> String {
+        let region_name =
+            |r: u8| MICROREBOOT_PRIVATE_REGIONS[r as usize % MICROREBOOT_PRIVATE_REGIONS.len()];
+        match self {
+            RecoverySpec::Reg(s) => s.target.name(),
+            RecoverySpec::HvMem { region, .. } => region_name(*region).to_string(),
+            RecoverySpec::Burst(b) => match b.site {
+                BurstSite::Reg(t) => t.name(),
+                BurstSite::HvMem { region, .. } => region_name(region).to_string(),
+            },
+            RecoverySpec::Pte(p) => match p.field {
+                PteField::Present => "pte.present".to_string(),
+                PteField::Rw => "pte.rw".to_string(),
+                PteField::Addr => "pte.addr".to_string(),
+            },
+            RecoverySpec::Pmc(p) => PerfCounters::counter_name(p.counter).to_string(),
+        }
+    }
+
+    /// Primary bit position for the vulnerability map: the struck bit, or
+    /// for compound strikes the first one.
+    pub fn bit(&self) -> u8 {
+        match *self {
+            RecoverySpec::Reg(s) => s.bit & 63,
+            RecoverySpec::HvMem { bit, .. } => bit & 63,
+            RecoverySpec::Burst(b) => b.start_bit & 63,
+            RecoverySpec::Pte(p) => p.mask().trailing_zeros() as u8,
+            RecoverySpec::Pmc(p) => p.bit & 63,
         }
     }
 
     /// Apply the flip to the running machine (the injection hook body).
     pub fn apply(&self, m: &mut Machine, cpu: CpuId) {
+        // poke is privileged: region write permissions are the guest/host
+        // boundary, not a shield against particle hits.
+        let poke_xor = |m: &mut Machine, addr: u64, mask: u64| {
+            let cur = m.mem.peek(addr).expect("struck word mapped");
+            m.mem.poke(addr, cur ^ mask).expect("struck word mapped");
+        };
         match *self {
             RecoverySpec::Reg(s) => m.cpu_mut(cpu).flip_bit(s.target, s.bit),
             RecoverySpec::HvMem {
@@ -78,13 +221,33 @@ impl RecoverySpec {
                     [region as usize % MICROREBOOT_PRIVATE_REGIONS.len()];
                 let r = m.mem.region_by_name(name).expect("private region mapped");
                 let idx = word as usize % r.words.len();
-                let (addr, cur) = (r.base + idx as u64 * 8, r.words[idx]);
-                // poke is privileged: region write permissions are the
-                // guest/host boundary, not a shield against particle hits.
-                m.mem
-                    .poke(addr, cur ^ (1u64 << (bit & 63)))
-                    .expect("private word writable");
+                let addr = r.base + idx as u64 * 8;
+                poke_xor(m, addr, 1u64 << (bit & 63));
             }
+            RecoverySpec::Burst(b) => match b.site {
+                BurstSite::Reg(target) => {
+                    for off in b.bit_offsets() {
+                        m.cpu_mut(cpu).flip_bit(target, (off % 64) as u8);
+                    }
+                }
+                BurstSite::HvMem { region, word } => {
+                    let name = MICROREBOOT_PRIVATE_REGIONS
+                        [region as usize % MICROREBOOT_PRIVATE_REGIONS.len()];
+                    let r = m.mem.region_by_name(name).expect("private region mapped");
+                    let (base, len) = (r.base, r.words.len());
+                    let idx = word as usize % len;
+                    for off in b.bit_offsets() {
+                        // Word-spill: a bit index past 63 lands in the
+                        // adjacent word, wrapping within the region — one
+                        // read-modify-write per struck word, never aliased
+                        // into the anchor word.
+                        let widx = (idx + (off / 64) as usize) % len;
+                        poke_xor(m, base + widx as u64 * 8, 1u64 << (off % 64));
+                    }
+                }
+            },
+            RecoverySpec::Pte(p) => poke_xor(m, p.pte_addr(), p.mask()),
+            RecoverySpec::Pmc(p) => m.cpu_mut(cpu).perf.corrupt(p.counter, p.bit),
         }
     }
 }
@@ -465,5 +628,127 @@ mod tests {
             }
         );
         assert!(rec.words_lost > 0);
+    }
+
+    #[test]
+    fn cross_word_burst_spills_and_microreboot_heals_every_word() {
+        // Regression: the recovery path once modeled every memory strike
+        // as a single read-modify-write of one word, which would alias a
+        // multi-word burst into its anchor word. A burst anchored at bit
+        // 62 with stride 2 reaches offsets {62, 64, 66} — bit 62 of the
+        // pending exit's dispatch entry plus bits 0 and 2 of the *next*
+        // entry — and must corrupt both words.
+        let point = prepared_point(5, 40);
+        let vmer = point.reason.vmer();
+        let spec = RecoverySpec::Burst(BurstSpec {
+            site: BurstSite::HvMem {
+                region: 2, // hv.dispatch
+                word: vmer,
+            },
+            start_bit: 62,
+            width: 3,
+            stride: 2,
+            at_step: 0,
+        });
+        let before: Vec<u64> = {
+            let r = point
+                .at_exit
+                .machine
+                .mem
+                .region_by_name("hv.dispatch")
+                .unwrap();
+            r.words.clone()
+        };
+        let mut m = point.at_exit.machine.clone();
+        spec.apply(&mut m, point.cpu);
+        let after = &m.mem.region_by_name("hv.dispatch").unwrap().words;
+        let changed: Vec<usize> = (0..before.len())
+            .filter(|&i| before[i] != after[i])
+            .collect();
+        assert_eq!(
+            changed,
+            vec![vmer as usize, vmer as usize + 1],
+            "burst must spill into the adjacent dispatch word"
+        );
+        // Bit 62 of the anchor entry sends the stub's indirect jump wild:
+        // detected, and latent in private memory, so re-execution keeps
+        // crashing; only the microreboot's boot-image restore — which
+        // rewrites *every* private word, not just the anchor — converges.
+        let fault = detect_fault(&point, spec, None).expect("wild dispatch entry detected");
+        let (tier, _cycles) = attempt_recovery(&fault, &point, 1);
+        assert_ne!(tier, TierResult::Converged);
+        let rec = recover_detected(&fault, &point, &HmTable::reexecute_only());
+        assert_eq!(rec.outcome, RecoveryOutcome::FailedRecovery);
+        let rec = recover_detected(&fault, &point, &HmTable::tiered());
+        assert_eq!(
+            rec.outcome,
+            RecoveryOutcome::Recovered {
+                tier: RecoveryAction::Microreboot
+            }
+        );
+    }
+
+    #[test]
+    fn pte_strike_defeats_reexecute_but_not_microreboot() {
+        // Present-bit strikes on the observed DomU's page tables: any
+        // page the handler itself touches (trap reflection, console and
+        // time staging write guest data through the walker) faults
+        // in-handler. hv.ptbl is outside the critical-state copy, so
+        // re-execution hits the same missing page forever; the microreboot
+        // restores the identity PTEs from the boot image.
+        //
+        // warm=30 parks the point at a hypercall whose handler stages data
+        // into the guest (page 1 of dom 1's table is on its walk path).
+        let point = prepared_point(5, 30);
+        let mut detected = 0usize;
+        for page in 0..lay::ptbl::PAGES_PER_DOM as u16 {
+            let spec = RecoverySpec::Pte(PteSpec {
+                dom: 1,
+                page,
+                field: PteField::Present,
+                bit: 0,
+                at_step: 0,
+            });
+            let Some(fault) = detect_fault(&point, spec, None) else {
+                continue;
+            };
+            detected += 1;
+            assert_eq!(fault.technique, Technique::HwException);
+            let (tier, _cycles) = attempt_recovery(&fault, &point, 1);
+            assert_ne!(tier, TierResult::Converged, "page {page}");
+            let rec = recover_detected(&fault, &point, &HmTable::tiered());
+            assert_eq!(
+                rec.outcome,
+                RecoveryOutcome::Recovered {
+                    tier: RecoveryAction::Microreboot
+                },
+                "page {page}"
+            );
+        }
+        assert!(
+            detected > 0,
+            "some handler-touched page must turn a PTE strike into an in-handler fault"
+        );
+    }
+
+    #[test]
+    fn pmc_strike_is_invisible_without_the_detector() {
+        // PMU state is excluded from golden differencing and raises no
+        // exception: with no deployed detector a counter strike is
+        // architecturally invisible — the motivation for flagging clean
+        // diffs when the VM-transition detector *is* deployed.
+        let point = prepared_point(5, 40);
+        let spec = RecoverySpec::Pmc(PmcSpec {
+            counter: 1,
+            bit: 40,
+            at_step: point.golden_len / 2,
+        });
+        let mut m = point.at_exit.machine.clone();
+        let before = m.cpu(point.cpu).perf.clone();
+        spec.apply(&mut m, point.cpu);
+        assert_ne!(m.cpu(point.cpu).perf, before, "the strike does land");
+        assert!(detect_fault(&point, spec, None).is_none());
+        let (outcome, _features) = crate::injection::inject_spec(&point, &spec, None);
+        assert_eq!(outcome, crate::outcome::FaultOutcome::Benign);
     }
 }

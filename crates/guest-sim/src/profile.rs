@@ -30,6 +30,15 @@ pub enum Benchmark {
     X264,
     /// Postmark — small-file I/O; the heaviest I/O exit mix.
     Postmark,
+    /// Adversarial: interrupt storm — device/APIC traffic dense enough
+    /// that asynchronous exits dominate the activation mix.
+    IrqStorm,
+    /// Adversarial: two-party event-channel ping-pong — notify/yield
+    /// cycles with almost no compute between exits.
+    EvtchnPingPong,
+    /// Adversarial: hypercall-saturated mix — nearly every hypercall
+    /// family at high weight with minimal kernels between calls.
+    HypercallHeavy,
 }
 
 impl Benchmark {
@@ -43,6 +52,16 @@ impl Benchmark {
         Benchmark::Postmark,
     ];
 
+    /// The adversarial stress workloads: not part of the paper's suite
+    /// (and deliberately excluded from [`Benchmark::ALL`]), they push the
+    /// exit-reason distribution to its corners so classifier coverage and
+    /// recovery receipts are exercised far from the benign benchmark mix.
+    pub const ADVERSARIAL: [Benchmark; 3] = [
+        Benchmark::IrqStorm,
+        Benchmark::EvtchnPingPong,
+        Benchmark::HypercallHeavy,
+    ];
+
     /// Display name (lowercase, as in the paper's figures).
     pub fn name(self) -> &'static str {
         match self {
@@ -52,12 +71,18 @@ impl Benchmark {
             Benchmark::Canneal => "canneal",
             Benchmark::X264 => "x264",
             Benchmark::Postmark => "postmark",
+            Benchmark::IrqStorm => "irq-storm",
+            Benchmark::EvtchnPingPong => "evtchn-pingpong",
+            Benchmark::HypercallHeavy => "hypercall-heavy",
         }
     }
 
-    /// Parse a benchmark name.
+    /// Parse a benchmark name (paper suite or adversarial).
     pub fn from_name(s: &str) -> Option<Benchmark> {
-        Benchmark::ALL.into_iter().find(|b| b.name() == s)
+        Benchmark::ALL
+            .into_iter()
+            .chain(Benchmark::ADVERSARIAL)
+            .find(|b| b.name() == s)
     }
 }
 
@@ -168,6 +193,9 @@ pub fn profile(benchmark: Benchmark, mode: VirtMode) -> WorkloadProfile {
         Benchmark::Canneal => (Kernel::Mixed, 26_000, 80_000),
         Benchmark::X264 => (Kernel::Mixed, 9_000, 50_000),
         Benchmark::Postmark => (Kernel::Alu, 9_500, 120_000),
+        Benchmark::IrqStorm => (Kernel::Alu, 8_000, 45_000),
+        Benchmark::EvtchnPingPong => (Kernel::Alu, 6_000, 40_000),
+        Benchmark::HypercallHeavy => (Kernel::Mixed, 5_500, 38_000),
     };
     let pv_actions: Vec<(Action, u32)> = match benchmark {
         Benchmark::Mcf => vec![
@@ -229,6 +257,43 @@ pub fn profile(benchmark: Benchmark, mode: VirtMode) -> WorkloadProfile {
             (XenVersion, 6),
             (SetTimer, 6),
         ],
+        // Adversarial mixes: each one drives a corner of the exit-reason
+        // space the benign suite only samples lightly.
+        Benchmark::IrqStorm => vec![
+            // Timer re-arms keep the APIC tick firing between the device
+            // storm's completions; the synchronous mix stays thin.
+            (SetTimer, 30),
+            (EvtchnSend, 25),
+            (SchedYield, 15),
+            (XenVersion, 10),
+            (VcpuIsUp, 10),
+            (Rdtsc, 10),
+        ],
+        Benchmark::EvtchnPingPong => vec![
+            // Notify-then-yield cycles: the event-channel and scheduler
+            // paths run almost back-to-back.
+            (EvtchnSend, 45),
+            (SchedYield, 30),
+            (XenVersion, 10),
+            (VcpuIsUp, 8),
+            (SetTimer, 7),
+        ],
+        Benchmark::HypercallHeavy => vec![
+            // Nearly every hypercall family at weight, with the MMU batch
+            // calls (dropped in HVM) well represented.
+            (MmuUpdate, 12),
+            (UpdateVa, 10),
+            (MmuextOp, 10),
+            (GrantOp, 10),
+            (MemoryOp, 10),
+            (Multicall, 10),
+            (EvtchnSend, 8),
+            (ConsoleWrite, 8),
+            (SetTimer, 6),
+            (Sysctl, 6),
+            (VcpuIsUp, 5),
+            (XenVersion, 5),
+        ],
     };
     // HVM guests keep event channels and grants (PV-on-HVM drivers) but
     // reach devices through direct I/O exits instead of console hypercalls,
@@ -248,6 +313,9 @@ pub fn profile(benchmark: Benchmark, mode: VirtMode) -> WorkloadProfile {
         Benchmark::X264 => 700_000,
         Benchmark::Mcf | Benchmark::Canneal => 2_600_000,
         Benchmark::Bzip2 => 3_400_000,
+        Benchmark::IrqStorm => 60_000, // the storm itself
+        Benchmark::EvtchnPingPong => 1_800_000,
+        Benchmark::HypercallHeavy => 1_200_000,
     };
     // Phase behaviour: freqmine has pronounced hot mining phases (the
     // paper's 650K/s peak); the I/O workloads show moderate spread; the
@@ -258,6 +326,9 @@ pub fn profile(benchmark: Benchmark, mode: VirtMode) -> WorkloadProfile {
         Benchmark::X264 => (300, 4, 1),
         Benchmark::Mcf | Benchmark::Canneal => (200, 6, 1),
         Benchmark::Bzip2 => (200, 8, 1),
+        Benchmark::IrqStorm => (150, 3, 2),
+        Benchmark::EvtchnPingPong => (150, 3, 1),
+        Benchmark::HypercallHeavy => (250, 3, 2),
     };
     match mode {
         VirtMode::Para => WorkloadProfile {
@@ -313,9 +384,13 @@ pub fn dom0_profile(mode: VirtMode) -> WorkloadProfile {
 mod tests {
     use super::*;
 
+    fn every_benchmark() -> impl Iterator<Item = Benchmark> {
+        Benchmark::ALL.into_iter().chain(Benchmark::ADVERSARIAL)
+    }
+
     #[test]
     fn all_profiles_have_actions_and_weight() {
-        for b in Benchmark::ALL {
+        for b in every_benchmark() {
             for mode in [VirtMode::Para, VirtMode::Hvm] {
                 let p = profile(b, mode);
                 assert!(!p.actions.is_empty());
@@ -328,7 +403,7 @@ mod tests {
     #[test]
     fn hvm_kernels_are_longer_than_pv() {
         // HVM activation rates (2K–10K/s) are far below PV's (5K–650K/s).
-        for b in Benchmark::ALL {
+        for b in every_benchmark() {
             let pv = profile(b, VirtMode::Para);
             let hvm = profile(b, VirtMode::Hvm);
             assert!(
@@ -357,7 +432,7 @@ mod tests {
 
     #[test]
     fn hvm_drops_pv_mmu_interfaces() {
-        for b in Benchmark::ALL {
+        for b in every_benchmark() {
             let p = profile(b, VirtMode::Hvm);
             for (a, _) in &p.actions {
                 assert!(
@@ -371,10 +446,51 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for b in Benchmark::ALL {
+        for b in every_benchmark() {
             assert_eq!(Benchmark::from_name(b.name()), Some(b));
         }
         assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn adversarial_excluded_from_paper_suite() {
+        // Figure-generating code iterates `ALL`; the stress workloads must
+        // stay opt-in so the paper's six-benchmark figures are undisturbed.
+        for b in Benchmark::ADVERSARIAL {
+            assert!(!Benchmark::ALL.contains(&b), "{} leaked into ALL", b.name());
+        }
+    }
+
+    #[test]
+    fn adversarial_profiles_stress_their_corner() {
+        // The storm's device-interrupt traffic is the densest in the suite.
+        let storm = profile(Benchmark::IrqStorm, VirtMode::Para);
+        for b in every_benchmark() {
+            if b != Benchmark::IrqStorm {
+                let p = profile(b, VirtMode::Para);
+                assert!(
+                    p.dev_irq_period == 0 || p.dev_irq_period > storm.dev_irq_period,
+                    "{} out-storms irq-storm",
+                    b.name()
+                );
+            }
+        }
+        // Ping-pong is dominated by notify/yield pairs.
+        let pp = profile(Benchmark::EvtchnPingPong, VirtMode::Para);
+        let pair: u32 = pp
+            .actions
+            .iter()
+            .filter(|(a, _)| matches!(a, Action::EvtchnSend | Action::SchedYield))
+            .map(|(_, w)| w)
+            .sum();
+        assert!(pair * 2 > pp.total_weight(), "ping-pong mix not dominant");
+        // Hypercall-heavy has the widest synchronous mix and short kernels.
+        let hh = profile(Benchmark::HypercallHeavy, VirtMode::Para);
+        for b in Benchmark::ALL {
+            let p = profile(b, VirtMode::Para);
+            assert!(hh.actions.len() >= p.actions.len());
+            assert!(hh.iters_mean <= p.iters_mean);
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub use insn::{Cond, DecodeError, Insn, Opcode};
 pub use machine::{
     vmcs, Devices, Event, Machine, MachineConfig, MachineDelta, StepOutcome, VirtMode, VMCS_WORDS,
 };
-pub use mem::{MemError, Memory, MemoryDelta, Perms, Region, RegionId};
+pub use mem::{
+    MemError, Memory, MemoryDelta, PageMap, Perms, Region, RegionId, PAGE_BYTES, PTE_FRAME_MASK,
+    PTE_PRESENT, PTE_RW,
+};
 pub use perf::{PerfCounters, PerfSample};
 pub use prng::fold64;
 pub use reg::Reg;

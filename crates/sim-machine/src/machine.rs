@@ -506,7 +506,7 @@ impl Machine {
             }
             Load { dst, base, off } => {
                 let addr = self.cpus[cpu].get(base).wrapping_add(off as u64);
-                match self.mem.read(addr) {
+                match self.mem.read_v(addr) {
                     Ok(v) => self.cpus[cpu].set(dst, v),
                     Err(e) => fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Read)),
                 }
@@ -514,7 +514,7 @@ impl Machine {
             Store { base, src, off } => {
                 let addr = self.cpus[cpu].get(base).wrapping_add(off as u64);
                 let v = self.cpus[cpu].get(src);
-                if let Err(e) = self.mem.write(addr, v) {
+                if let Err(e) = self.mem.write_v(addr, v) {
                     fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
                 }
             }
@@ -614,7 +614,7 @@ impl Machine {
             }
             Call { target } => {
                 let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
-                if let Err(e) = self.mem.write(rsp, pc.wrapping_add(8)) {
+                if let Err(e) = self.mem.write_v(rsp, pc.wrapping_add(8)) {
                     fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
                 }
                 self.cpus[cpu].set(Reg::Rsp, rsp);
@@ -623,7 +623,7 @@ impl Machine {
             }
             Ret => {
                 let rsp = self.cpus[cpu].rsp();
-                match self.mem.read(rsp) {
+                match self.mem.read_v(rsp) {
                     Ok(ra) => {
                         self.cpus[cpu].set(Reg::Rsp, rsp.wrapping_add(8));
                         next = ra;
@@ -635,14 +635,14 @@ impl Machine {
             Push { src } => {
                 let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
                 let v = self.cpus[cpu].get(src);
-                if let Err(e) = self.mem.write(rsp, v) {
+                if let Err(e) = self.mem.write_v(rsp, v) {
                     fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
                 }
                 self.cpus[cpu].set(Reg::Rsp, rsp);
             }
             Pop { dst } => {
                 let rsp = self.cpus[cpu].rsp();
-                match self.mem.read(rsp) {
+                match self.mem.read_v(rsp) {
                     Ok(v) => {
                         self.cpus[cpu].set(dst, v);
                         self.cpus[cpu].set(Reg::Rsp, rsp.wrapping_add(8));
@@ -657,7 +657,7 @@ impl Machine {
             CallReg { target } => {
                 let dest = self.cpus[cpu].get(target);
                 let rsp = self.cpus[cpu].rsp().wrapping_sub(8);
-                if let Err(e) = self.mem.write(rsp, pc.wrapping_add(8)) {
+                if let Err(e) = self.mem.write_v(rsp, pc.wrapping_add(8)) {
                     fault!(Machine::mem_error_to_exception(e, pc, AccessKind::Write));
                 }
                 self.cpus[cpu].set(Reg::Rsp, rsp);

@@ -90,11 +90,65 @@ pub enum MemError {
     Unaligned { addr: u64 },
 }
 
+/// Present bit of a page-table entry (see [`PageMap`]).
+pub const PTE_PRESENT: u64 = 1 << 0;
+/// Writable bit of a page-table entry.
+pub const PTE_RW: u64 = 1 << 1;
+/// Mask selecting the frame (physical page base) bits of a PTE.
+pub const PTE_FRAME_MASK: u64 = !0xFFFu64;
+/// Bytes per page — every [`PageMap`] uses 4 KiB pages.
+pub const PAGE_BYTES: u64 = 0x1000;
+
+/// A single-level page table governing one virtual range: data accesses
+/// (never fetches) whose address falls in `[virt_base, virt_base +
+/// nr_pages * 4 KiB)` are walked through the PTE array at `ptbl_base`
+/// (one word per page, in the memory image itself — so PTE corruption is
+/// ordinary word corruption, visible to deltas, digests and microreboot).
+///
+/// Accesses outside every map pass through untranslated, which keeps the
+/// hypervisor's own flat addressing intact while guest data pages get
+/// fault-on-walk semantics: a non-present PTE raises `Unmapped` (`#PF`), a
+/// write through a read-only PTE raises `Protection`, and corrupted frame
+/// bits silently redirect the access — exactly the three failure shapes of
+/// real PTE soft errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMap {
+    /// First virtual byte address the map governs (page-aligned).
+    pub virt_base: u64,
+    /// Pages in the map.
+    pub nr_pages: u32,
+    /// Byte address of the first PTE word backing this map.
+    pub ptbl_base: u64,
+}
+
+impl PageMap {
+    /// Whether `addr` falls inside the governed virtual range.
+    pub fn covers(&self, addr: u64) -> bool {
+        addr >= self.virt_base && addr < self.virt_base + self.nr_pages as u64 * PAGE_BYTES
+    }
+
+    /// Byte address of the PTE word governing `addr` (which must be
+    /// covered).
+    pub fn pte_addr(&self, addr: u64) -> u64 {
+        self.ptbl_base + ((addr - self.virt_base) / PAGE_BYTES) * 8
+    }
+
+    /// The identity PTE for page `page` of this map: present, writable,
+    /// frame equal to the virtual page base (what boot installs).
+    pub fn identity_pte(&self, page: u32) -> u64 {
+        (self.virt_base + page as u64 * PAGE_BYTES) | PTE_PRESENT | PTE_RW
+    }
+}
+
 /// The physical memory map.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Memory {
     /// Regions sorted by base address.
     regions: Vec<Region>,
+    /// Page maps governing translated virtual ranges. Boot-static (the
+    /// descriptors never change after setup; the PTE *words* live in a
+    /// region and change like any other memory).
+    page_maps: Vec<PageMap>,
 }
 
 /// Sparse word-level difference between two memory images that share one
@@ -234,6 +288,64 @@ impl Memory {
         Ok(())
     }
 
+    /// Register a page map over a virtual range (trusted setup code, like
+    /// [`Memory::map`]). The PTE words at `ptbl_base` must already be
+    /// mapped; setup fills them with identity entries.
+    pub fn add_page_map(&mut self, map: PageMap) {
+        assert!(
+            map.virt_base.is_multiple_of(PAGE_BYTES),
+            "page map base must be page-aligned: {:#x}",
+            map.virt_base
+        );
+        assert!(map.nr_pages > 0, "empty page map");
+        for m in &self.page_maps {
+            assert!(
+                !m.covers(map.virt_base) && !map.covers(m.virt_base),
+                "page maps overlap at {:#x}",
+                map.virt_base
+            );
+        }
+        self.page_maps.push(map);
+    }
+
+    /// Registered page maps.
+    pub fn page_maps(&self) -> &[PageMap] {
+        &self.page_maps
+    }
+
+    /// Walk `addr` through the covering page map, if any. Returns the
+    /// physical address data accesses must use; addresses outside every
+    /// map translate to themselves. A non-present PTE faults `Unmapped`, a
+    /// write through a read-only PTE faults `Protection` — both reported
+    /// against the *virtual* address, as hardware does. The PTE read
+    /// itself is a raw walk (privileged, no recursion, no PMC events).
+    pub fn translate(&self, addr: u64, write: bool) -> Result<u64, MemError> {
+        let Some(map) = self.page_maps.iter().find(|m| m.covers(addr)) else {
+            return Ok(addr);
+        };
+        let pte = self.peek(map.pte_addr(addr))?;
+        if pte & PTE_PRESENT == 0 {
+            return Err(MemError::Unmapped { addr });
+        }
+        if write && pte & PTE_RW == 0 {
+            return Err(MemError::Protection { addr });
+        }
+        Ok((pte & PTE_FRAME_MASK) | (addr & (PAGE_BYTES - 1)))
+    }
+
+    /// Read the word at virtual address `addr`: translate through the
+    /// covering page map (identity outside every map), then [`Memory::read`].
+    pub fn read_v(&self, addr: u64) -> Result<u64, MemError> {
+        let pa = self.translate(addr, false)?;
+        self.read(pa)
+    }
+
+    /// Write the word at virtual address `addr` (see [`Memory::read_v`]).
+    pub fn write_v(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        let pa = self.translate(addr, true)?;
+        self.write(pa, value)
+    }
+
     /// Fetch the word at `addr` for execution.
     pub fn fetch(&self, addr: u64) -> Result<u64, MemError> {
         let (r, w) = self.access(addr, Access::Fetch)?;
@@ -346,6 +458,11 @@ impl Memory {
             for &w in &r.words {
                 h = fold64(h, w);
             }
+        }
+        for m in &self.page_maps {
+            h = fold64(h, m.virt_base);
+            h = fold64(h, m.nr_pages as u64);
+            h = fold64(h, m.ptbl_base);
         }
         h
     }
@@ -553,5 +670,87 @@ mod tests {
         let mut b = Memory::new();
         b.map("text", 0x1000, 16, Perms::RX);
         let _ = a.delta_from(&b);
+    }
+
+    /// Two-page mapped range at 0x10_0000 with its PTE words at 0x8000.
+    fn paged_mem() -> (Memory, PageMap) {
+        let mut m = mem();
+        m.map("ptbl", 0x8000, 4, Perms::RW);
+        m.map("paged", 0x10_0000, (2 * PAGE_BYTES / 8) as usize, Perms::RW);
+        let map = PageMap {
+            virt_base: 0x10_0000,
+            nr_pages: 2,
+            ptbl_base: 0x8000,
+        };
+        for page in 0..2 {
+            m.poke(0x8000 + page * 8, map.identity_pte(page as u32))
+                .unwrap();
+        }
+        m.add_page_map(map);
+        (m, map)
+    }
+
+    #[test]
+    fn identity_pte_translates_to_self() {
+        let (mut m, _) = paged_mem();
+        m.write_v(0x10_0008, 0xfeed).unwrap();
+        assert_eq!(m.read_v(0x10_0008).unwrap(), 0xfeed);
+        assert_eq!(m.peek(0x10_0008).unwrap(), 0xfeed, "identity map");
+        // Unmapped addresses pass through untranslated.
+        assert_eq!(m.translate(0x2008, false).unwrap(), 0x2008);
+    }
+
+    #[test]
+    fn cleared_present_bit_faults_on_walk() {
+        let (mut m, map) = paged_mem();
+        let pte = m.peek(0x8008).unwrap();
+        m.poke(0x8008, pte & !PTE_PRESENT).unwrap();
+        let va = map.virt_base + PAGE_BYTES; // page 1
+        assert_eq!(m.read_v(va).unwrap_err(), MemError::Unmapped { addr: va });
+        // Page 0 still translates.
+        assert!(m.read_v(map.virt_base).is_ok());
+    }
+
+    #[test]
+    fn cleared_rw_bit_faults_writes_only() {
+        let (mut m, map) = paged_mem();
+        let pte = m.peek(0x8000).unwrap();
+        m.poke(0x8000, pte & !PTE_RW).unwrap();
+        let va = map.virt_base;
+        assert!(m.read_v(va).is_ok());
+        assert_eq!(
+            m.write_v(va, 1).unwrap_err(),
+            MemError::Protection { addr: va }
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_bits_redirect_or_fault() {
+        let (mut m, map) = paged_mem();
+        let pte = m.peek(0x8000).unwrap();
+        // Flip a high frame bit: the walk lands in unmapped space.
+        m.poke(0x8000, pte ^ (1 << 40)).unwrap();
+        assert!(matches!(
+            m.read_v(map.virt_base),
+            Err(MemError::Unmapped { .. })
+        ));
+        // Redirect page 0's frame to page 1: reads alias the other page.
+        m.poke(0x8000, map.identity_pte(1)).unwrap();
+        m.poke(map.virt_base + PAGE_BYTES, 0x5150).unwrap();
+        assert_eq!(m.read_v(map.virt_base).unwrap(), 0x5150);
+    }
+
+    #[test]
+    fn digest_tracks_page_maps() {
+        let (m, _) = paged_mem();
+        let mut plain = mem();
+        plain.map("ptbl", 0x8000, 4, Perms::RW);
+        plain.map("paged", 0x10_0000, (2 * PAGE_BYTES / 8) as usize, Perms::RW);
+        for page in 0..2u64 {
+            plain
+                .poke(0x8000 + page * 8, (0x10_0000 + page * PAGE_BYTES) | 3)
+                .unwrap();
+        }
+        assert_ne!(m.digest(), plain.digest(), "maps are part of the layout");
     }
 }

@@ -70,6 +70,32 @@ impl PerfCounters {
         self.counts.loads += reads;
         self.counts.stores += writes;
     }
+
+    /// Flip one bit of one counter — the PMC-corruption fault model. MSR
+    /// counter registers are architectural state like any GPR: a particle
+    /// strike there corrupts exactly the values the VM-transition detector
+    /// consumes, without touching program semantics. `counter` selects the
+    /// Table-I event (modulo 4, in declaration order); `bit` is taken
+    /// modulo 64.
+    pub fn corrupt(&mut self, counter: u8, bit: u8) {
+        let mask = 1u64 << (bit & 63);
+        match counter % 4 {
+            0 => self.counts.inst_retired ^= mask,
+            1 => self.counts.branches ^= mask,
+            2 => self.counts.loads ^= mask,
+            _ => self.counts.stores ^= mask,
+        }
+    }
+
+    /// Name of the counter `corrupt` would hit (report labels).
+    pub fn counter_name(counter: u8) -> &'static str {
+        match counter % 4 {
+            0 => "pmc.inst",
+            1 => "pmc.branch",
+            2 => "pmc.load",
+            _ => "pmc.store",
+        }
+    }
 }
 
 #[cfg(test)]

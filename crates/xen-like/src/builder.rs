@@ -184,6 +184,12 @@ pub fn build_machine(topo: &Topology) -> (Machine, Image) {
         Perms::RW,
     );
     mem.map(
+        "hv.ptbl",
+        lay::ptbl::BASE,
+        lay::MAX_DOMS * lay::ptbl::STRIDE as usize,
+        Perms::RW,
+    );
+    mem.map(
         "hv.stacks",
         lay::HV_STACK_BASE,
         (lay::MAX_PCPUS as u64 * lay::HV_STACK_SIZE / 8) as usize,
@@ -331,6 +337,24 @@ fn init_data(m: &mut Machine, topo: &Topology, img: &Image) {
         let rq = lay::runq_addr(cpu);
         poke(m, rq + runq::COUNT * 8, count);
         poke(m, rq + runq::CURSOR * 8, 0);
+    }
+
+    // Guest page tables: every domain's data region is mapped through
+    // identity PTEs in hv.ptbl, so data accesses walk a PTE first
+    // (fault-on-walk). Healthy tables translate to themselves — execution
+    // is unchanged — but a PTE soft error now manifests like on real
+    // hardware: #PF on a cleared present bit, write fault on a cleared RW
+    // bit, silent redirection on corrupted frame bits.
+    for d in 0..topo.domains.len() {
+        let map = sim_machine::PageMap {
+            virt_base: lay::guest_data(d),
+            nr_pages: lay::ptbl::PAGES_PER_DOM as u32,
+            ptbl_base: lay::ptbl_addr(d),
+        };
+        for page in 0..map.nr_pages {
+            poke(m, map.ptbl_base + page as u64 * 8, map.identity_pte(page));
+        }
+        m.mem.add_page_map(map);
     }
 
     // PCPU blocks.

@@ -278,6 +278,20 @@ pub mod runq {
     pub const MAX_ENTRIES: u64 = 14;
 }
 
+/// Guest page tables: one PTE word per 4 KiB page of each domain's data
+/// region, in domain order. Hypervisor-private (guests never map it), so
+/// a microreboot restores it from the boot image like any other private
+/// family — PTE soft errors are healable by the reboot tier but survive
+/// the critical-state copy.
+pub mod ptbl {
+    /// Absolute base address of the page-table block.
+    pub const BASE: u64 = 0x0088_0000;
+    /// Pages (= PTE words) per domain data region.
+    pub const PAGES_PER_DOM: u64 = (super::GUEST_DATA_WORDS as u64 * 8) / sim_machine::PAGE_BYTES;
+    /// Words per domain in the block.
+    pub const STRIDE: u64 = PAGES_PER_DOM;
+}
+
 // ---------------------------------------------------------------------------
 // Address helpers
 // ---------------------------------------------------------------------------
@@ -338,11 +352,17 @@ pub fn runq_addr(cpu: usize) -> u64 {
     runq::BASE + (cpu as u64 * runq::STRIDE) * 8
 }
 
+/// Byte address of domain `dom`'s first PTE word.
+pub fn ptbl_addr(dom: usize) -> u64 {
+    assert!(dom < MAX_DOMS, "domain {dom} out of range");
+    ptbl::BASE + (dom as u64 * ptbl::STRIDE) * 8
+}
+
 /// Span covering all hypervisor data families (diagnostics/classification).
 pub fn hv_data_span() -> (u64, u64) {
     (
         GLOBAL_BASE,
-        runq::BASE + (MAX_PCPUS as u64 * runq::STRIDE) * 8,
+        ptbl::BASE + (MAX_DOMS as u64 * ptbl::STRIDE) * 8,
     )
 }
 
@@ -374,6 +394,7 @@ mod tests {
             (grant::BASE, MAX_DOMS as u64 * grant::STRIDE * 8),
             (shared::BASE, MAX_DOMS as u64 * shared::STRIDE * 8),
             (runq::BASE, MAX_PCPUS as u64 * runq::STRIDE * 8),
+            (ptbl::BASE, MAX_DOMS as u64 * ptbl::STRIDE * 8),
         ];
         for (i, &(a, alen)) in spans.iter().enumerate() {
             for &(b, blen) in spans.iter().skip(i + 1) {

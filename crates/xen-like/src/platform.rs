@@ -25,13 +25,14 @@ use crate::builder::{build_machine, Topology};
 /// Everything else (VCPU/domain descriptors, event channels, grants,
 /// shared-info pages, VMCS blocks, guest memory, read-only text) is
 /// **preserved state** the VMs depend on and survives a microreboot.
-pub const MICROREBOOT_PRIVATE_REGIONS: [&str; 6] = [
+pub const MICROREBOOT_PRIVATE_REGIONS: [&str; 7] = [
     "hv.global",
     "hv.scratch",
     "hv.dispatch",
     "hv.pcpu",
     "hv.runq",
     "hv.stacks",
+    "hv.ptbl",
 ];
 
 /// Boot-time image of the hypervisor-private regions plus the host

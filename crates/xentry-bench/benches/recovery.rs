@@ -2,7 +2,9 @@
 //! the paper prices at 1,900 ns) and a full detect-restore-reexecute cycle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faultsim::{attempt_recovery, prepare_point, CampaignConfig, InjectionSpec};
+use faultsim::{
+    attempt_recovery, detect_fault, prepare_point, CampaignConfig, InjectionSpec, RecoverySpec,
+};
 use guest_sim::Benchmark;
 use sim_machine::cpu::FlipTarget;
 use xentry::{CriticalState, Xentry};
@@ -31,21 +33,15 @@ fn bench_recovery(c: &mut Criterion) {
     });
 
     let point = prepare_point(plat.clone(), 1, 1, reason, 6, None).expect("golden run");
+    let spec = RecoverySpec::Reg(InjectionSpec {
+        target: FlipTarget::Rip,
+        bit: 42,
+        at_step: point.golden_len / 2,
+    });
+    let fault = detect_fault(&point, spec, None).expect("rip flip detected");
     group.bench_function(
         BenchmarkId::from_parameter("detect_restore_reexecute"),
-        |b| {
-            b.iter(|| {
-                attempt_recovery(
-                    &point,
-                    InjectionSpec {
-                        target: FlipTarget::Rip,
-                        bit: 42,
-                        at_step: point.golden_len / 2,
-                    },
-                    None,
-                )
-            })
-        },
+        |b| b.iter(|| attempt_recovery(&fault, &point, 1)),
     );
     group.finish();
 }

@@ -5,7 +5,7 @@
 //!
 //! experiments: fig3 table1 ml fig7 injection fig11 ablation fleet
 //!              recovery overhead inference campaign distributed layout
-//!                                                           (default: all)
+//!              vulnmap                                      (default: all)
 //!   "injection" produces Fig. 8, Fig. 9, Fig. 10 and Table II.
 //!   "recovery" drives every detected fault through competing
 //!   health-monitor policy tables (ignore / re-execute-only / tiered
@@ -18,6 +18,11 @@
 //!   wire-level accounting/convergence receipt.
 //!   "layout" records the profile-guided arena relayout's byte maps and
 //!   measured delta (`results/layout.json`).
+//!   "vulnmap" campaigns every fault model (register flips, spatial
+//!   bursts, PTE strikes, PMC strikes) over a paper benchmark plus the
+//!   three adversarial guest profiles and writes the per-bit
+//!   vulnerability map to `results/vulnmap.json` and the repo-root
+//!   mirror `BENCH_vulnmap.json`.
 //!   --perf-guard (with "inference") compares the fresh detector_batch
 //!   number against the committed BENCH_inference.json before the mirror
 //!   overwrite and exits non-zero on a >25% regression — the CI gate.
@@ -146,16 +151,30 @@ fn main() {
         write_json(&out, "fig3", &fig3);
     }
 
-    // The detector is needed by the injection and recovery experiments.
+    // The detector is needed by the injection, recovery and vulnmap
+    // experiments. The vulnmap campaigns over the adversarial guest
+    // workloads too, so when it runs, those profiles join the training
+    // set (threaded through `gather_dataset` by `ml_accuracy`) — the
+    // classifier must have seen their exit-reason mix to stand a chance.
+    let train_set: Vec<Benchmark> = if want("vulnmap") {
+        benchmarks
+            .iter()
+            .copied()
+            .chain(Benchmark::ADVERSARIAL)
+            .collect()
+    } else {
+        benchmarks.to_vec()
+    };
     let detector = if want("ml")
         || want("injection")
         || want("fig11")
         || want("extensions")
         || want("fleet")
         || want("recovery")
+        || want("vulnmap")
     {
         let t = std::time::Instant::now();
-        let (det, ml) = ml_accuracy(&benchmarks, &scale, seed);
+        let (det, ml) = ml_accuracy(&train_set, &scale, seed);
         println!("{}", ml.render());
         eprintln!("[figures] training took {:?}\n", t.elapsed());
         write_json(&out, "ml_accuracy", &ml);
@@ -215,6 +234,28 @@ fn main() {
         )
         .expect("write BENCH_recovery.json");
         eprintln!("[figures] wrote BENCH_recovery.json");
+    }
+
+    if want("vulnmap") {
+        let det = detector.as_ref();
+        let t = std::time::Instant::now();
+        // One paper benchmark plus all three adversarial profiles: the
+        // map must cover the stressed exit-reason corners, not just the
+        // well-behaved mix.
+        let workloads: Vec<Benchmark> = std::iter::once(Benchmark::Freqmine)
+            .chain(Benchmark::ADVERSARIAL)
+            .collect();
+        let vm = vulnmap_experiment(&workloads, det, &scale, seed);
+        println!("{}", vm.render());
+        eprintln!("[figures] vulnmap took {:?}\n", t.elapsed());
+        write_json(&out, "vulnmap", &vm);
+        // Mirror at the repo root next to the other committed receipts.
+        std::fs::write(
+            "BENCH_vulnmap.json",
+            serde_json::to_string_pretty(&vm).unwrap(),
+        )
+        .expect("write BENCH_vulnmap.json");
+        eprintln!("[figures] wrote BENCH_vulnmap.json");
     }
 
     if want("extensions") {

@@ -15,8 +15,10 @@
 use crate::pipeline::{gather_dataset, rebalance, Scale, OVERSAMPLE_INCORRECT};
 use faultsim::policy::{HmTable, RecoveryAction, RecoveryOutcome};
 use faultsim::{
-    coverage_breakdown, multibit_study, run_campaign, run_recovery_campaign, target_breakdown,
-    CampaignConfig, CoverageBreakdown, TargetRow,
+    coverage_breakdown, golden_trace, merge_vulnmaps, multibit_study, run_campaign,
+    run_campaign_with, run_model_campaign_with, run_recovery_campaign, target_breakdown,
+    vulnmap_from_model_records, vulnmap_from_records, CampaignConfig, CoverageBreakdown, TargetRow,
+    VulnMap,
 };
 use guest_sim::Benchmark;
 use mltree::{
@@ -562,6 +564,126 @@ impl EnvelopeReport {
     }
 }
 
+/// The per-bit vulnerability map experiment: every fault model × every
+/// workload, bucketed by (target × bit position × outcome class).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VulnmapReport {
+    /// Workloads campaigned over (paper benchmark + the adversarial mix).
+    pub workloads: Vec<String>,
+    /// Fault-model classes represented in the map.
+    pub models: Vec<String>,
+    /// Total injections aggregated into the map.
+    pub injections: usize,
+    /// Populated (target, bit) cells.
+    pub cells: usize,
+    pub detected: usize,
+    pub silent: usize,
+    pub crash: usize,
+    pub benign: usize,
+    /// `target name -> bit position -> outcome counts`.
+    pub map: VulnMap,
+}
+
+/// Build the per-bit vulnerability map: for each workload, one single-bit
+/// register campaign plus one extended-model campaign (bursts, PTE
+/// strikes, PMC strikes) over a *shared* golden trace, all merged into a
+/// single `(register × bit-position) -> outcome` map.
+pub fn vulnmap_experiment(
+    workloads: &[Benchmark],
+    detector: Option<&VmTransitionDetector>,
+    scale: &Scale,
+    seed: u64,
+) -> VulnmapReport {
+    let mut maps = Vec::new();
+    let mut models = std::collections::BTreeSet::new();
+    let mut injections = 0usize;
+    for (i, &b) in workloads.iter().enumerate() {
+        let mut cfg = CampaignConfig::paper(b, scale.eval_injections / 2, seed + i as u64 * 17);
+        cfg.warmup = 40;
+        let trace = golden_trace(&cfg, detector);
+        let reg = run_campaign_with(&cfg, &trace, detector);
+        let model = run_model_campaign_with(&cfg, &trace, detector);
+        injections += reg.records.len() + model.records.len();
+        if !reg.records.is_empty() {
+            models.insert("reg".to_string());
+        }
+        for r in &model.records {
+            models.insert(r.class.clone());
+        }
+        maps.push(vulnmap_from_records(&reg.records));
+        maps.push(vulnmap_from_model_records(&model.records));
+    }
+    let map = merge_vulnmaps(maps);
+    let (mut detected, mut silent, mut crash, mut benign, mut cells) = (0, 0, 0, 0, 0);
+    for bits in map.values() {
+        for c in bits.values() {
+            cells += 1;
+            detected += c.detected;
+            silent += c.silent;
+            crash += c.crash;
+            benign += c.benign;
+        }
+    }
+    VulnmapReport {
+        workloads: workloads.iter().map(|b| b.name().to_string()).collect(),
+        models: models.into_iter().collect(),
+        injections,
+        cells,
+        detected,
+        silent,
+        crash,
+        benign,
+        map,
+    }
+}
+
+impl VulnmapReport {
+    pub fn render(&self) -> String {
+        let mut s =
+            String::from("Extension — per-bit vulnerability map (fault model x workload x bit)\n");
+        writeln!(s, "vulnmap workloads: {}", self.workloads.join(" ")).unwrap();
+        writeln!(s, "vulnmap models: {}", self.models.join(" ")).unwrap();
+        writeln!(
+            s,
+            "vulnmap cells: {} ({} injections: {} detected, {} silent, {} crash, {} benign)",
+            self.cells, self.injections, self.detected, self.silent, self.crash, self.benign
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<14} {:>5} {:>10} {:>9} {:>7} {:>6} {:>17}",
+            "target", "bits", "injections", "detected", "silent", "crash", "worst bit(escapes)"
+        )
+        .unwrap();
+        for (target, bits) in &self.map {
+            let injections: usize = bits.values().map(|c| c.total()).sum();
+            let detected: usize = bits.values().map(|c| c.detected).sum();
+            let silent: usize = bits.values().map(|c| c.silent).sum();
+            let crash: usize = bits.values().map(|c| c.crash).sum();
+            // Worst bit: the position whose strikes escaped detection the
+            // most — ties broken toward the lower bit for determinism.
+            let (worst, escapes) = bits
+                .iter()
+                .map(|(b, c)| (*b, c.silent + c.crash))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .unwrap_or((0, 0));
+            writeln!(
+                s,
+                "{:<14} {:>5} {:>10} {:>9} {:>7} {:>6} {:>17}",
+                target,
+                bits.len(),
+                injections,
+                detected,
+                silent,
+                crash,
+                format!("{worst} ({escapes})"),
+            )
+            .unwrap();
+        }
+        s
+    }
+}
+
 /// Single- vs multi-bit comparison report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultibitReport {
@@ -639,6 +761,32 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("recovery rate"));
         assert!(text.contains("escalation caps respected: true"));
+    }
+
+    #[test]
+    fn vulnmap_covers_models_and_workloads() {
+        let scale = Scale {
+            eval_injections: 120,
+            ..Scale::quick()
+        };
+        let rep = vulnmap_experiment(&[Benchmark::Freqmine, Benchmark::IrqStorm], None, &scale, 7);
+        assert_eq!(rep.workloads, ["freqmine", "irq-storm"]);
+        for model in ["reg", "burst", "pte", "pmc"] {
+            assert!(
+                rep.models.iter().any(|m| m == model),
+                "model {model} missing from {:?}",
+                rep.models
+            );
+        }
+        assert!(rep.cells > 10, "map too sparse: {} cells", rep.cells);
+        assert_eq!(
+            rep.injections,
+            rep.detected + rep.silent + rep.crash + rep.benign,
+            "every injection lands in exactly one outcome class"
+        );
+        let text = rep.render();
+        assert!(text.contains("vulnmap models: burst pmc pte reg"));
+        assert!(text.contains("vulnmap workloads: freqmine irq-storm"));
     }
 
     #[test]

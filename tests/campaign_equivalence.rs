@@ -4,6 +4,11 @@
 //! `tests/golden/`, so any future drift in the walk, the spec schedule
 //! or the outcome taxonomy is caught as a diff against a pinned file.
 //!
+//! The corpus covers every fault model the engine can produce: `reg`
+//! (the paper's single-bit register flips) plus the extended models
+//! `burst` (spatial multi-bit), `pte` (page-table-entry strikes) and
+//! `pmc` (performance-counter strikes).
+//!
 //! Regenerate the corpus (after an *intentional* engine change) with:
 //!
 //! ```text
@@ -11,8 +16,10 @@
 //!     --test campaign_equivalence
 //! ```
 
-use faultsim::campaign::{golden_trace, run_campaign_from_boot, run_campaign_with};
-use faultsim::{CampaignConfig, InjectionRecord};
+use faultsim::campaign::{
+    golden_trace, run_campaign_from_boot, run_campaign_with, run_model_campaign_with,
+};
+use faultsim::{CampaignConfig, InjectionRecord, ModelRecord};
 use guest_sim::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -36,12 +43,49 @@ struct CorpusRecord {
     outcome: faultsim::FaultOutcome,
 }
 
+/// One extended-model corpus row ([`ModelRecord`] minus the features).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ModelCorpusRecord {
+    ordinal: usize,
+    vmer: u16,
+    class: String,
+    target: String,
+    bit: u8,
+    at_step: u64,
+    outcome: faultsim::FaultOutcome,
+}
+
+/// The committed corpus: one pinned record list per fault model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Corpus {
+    reg: Vec<CorpusRecord>,
+    burst: Vec<ModelCorpusRecord>,
+    pte: Vec<ModelCorpusRecord>,
+    pmc: Vec<ModelCorpusRecord>,
+}
+
 fn corpus_of(records: &[InjectionRecord]) -> Vec<CorpusRecord> {
     records
         .iter()
         .map(|r| CorpusRecord {
             vmer: r.vmer,
             target: format!("{:?}", r.target),
+            bit: r.bit,
+            at_step: r.at_step,
+            outcome: r.outcome.clone(),
+        })
+        .collect()
+}
+
+fn model_corpus_of(records: &[ModelRecord], class: &str) -> Vec<ModelCorpusRecord> {
+    records
+        .iter()
+        .filter(|r| r.class == class)
+        .map(|r| ModelCorpusRecord {
+            ordinal: r.ordinal,
+            vmer: r.vmer,
+            class: r.class.clone(),
+            target: r.target.clone(),
             bit: r.bit,
             at_step: r.at_step,
             outcome: r.outcome.clone(),
@@ -84,8 +128,34 @@ fn forked_engine_matches_from_boot_and_the_golden_corpus() {
     };
     assert_eq!(class(&boot.records), class(&forked.records));
 
-    // Pin against the committed corpus.
-    let got = corpus_of(&forked.records);
+    // Extended-model campaign over the same golden trace, byte-identical
+    // across thread counts (the model schedule is a pure function of the
+    // config, and chunks reassemble in id order).
+    let model = run_model_campaign_with(&cfg, &trace, None);
+    assert_eq!(model.records.len(), cfg.injections);
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.threads = 1;
+    let serial = run_model_campaign_with(&serial_cfg, &trace, None);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&model).unwrap(),
+        "thread count changed the model-campaign result"
+    );
+
+    // Pin every fault model against the committed corpus.
+    let got = Corpus {
+        reg: corpus_of(&forked.records),
+        burst: model_corpus_of(&model.records, "burst"),
+        pte: model_corpus_of(&model.records, "pte"),
+        pmc: model_corpus_of(&model.records, "pmc"),
+    };
+    for (name, len) in [
+        ("burst", got.burst.len()),
+        ("pte", got.pte.len()),
+        ("pmc", got.pmc.len()),
+    ] {
+        assert!(len > 0, "model campaign produced no {name} records");
+    }
     let path = corpus_path();
     if std::env::var("XENTRY_UPDATE_GOLDEN").is_ok() {
         faultsim::write_atomic(
@@ -96,13 +166,23 @@ fn forked_engine_matches_from_boot_and_the_golden_corpus() {
         eprintln!("regenerated {path:?}");
         return;
     }
-    let want: Vec<CorpusRecord> = serde_json::from_str(
+    let want: Corpus = serde_json::from_str(
         &std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing golden corpus {path:?}: {e}")),
     )
     .expect("golden corpus parses");
-    assert_eq!(got.len(), want.len(), "corpus length changed");
-    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
-        assert_eq!(g, w, "corpus record {i} diverged");
+    assert_eq!(got.reg.len(), want.reg.len(), "reg corpus length changed");
+    for (i, (g, w)) in got.reg.iter().zip(want.reg.iter()).enumerate() {
+        assert_eq!(g, w, "reg corpus record {i} diverged");
+    }
+    for (name, g_rows, w_rows) in [
+        ("burst", &got.burst, &want.burst),
+        ("pte", &got.pte, &want.pte),
+        ("pmc", &got.pmc, &want.pmc),
+    ] {
+        assert_eq!(g_rows.len(), w_rows.len(), "{name} corpus length changed");
+        for (i, (g, w)) in g_rows.iter().zip(w_rows.iter()).enumerate() {
+            assert_eq!(g, w, "{name} corpus record {i} diverged");
+        }
     }
 }
